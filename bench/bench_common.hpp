@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction benches: a tiny flag parser
+// (--trials N, --seed S, --fast) so every bench can be re-run with more
+// statistical power without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace sld::bench {
+
+struct BenchArgs {
+  std::size_t trials = 5;
+  std::uint64_t seed = 1;
+  bool fast = false;  // benches may shrink sweeps under --fast
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next_value = [&](const char* flag) -> long long {
+        if (i + 1 >= argc) {
+          std::cerr << flag << " requires a value\n";
+          std::exit(2);
+        }
+        return std::atoll(argv[++i]);
+      };
+      if (a == "--trials") {
+        args.trials = static_cast<std::size_t>(next_value("--trials"));
+      } else if (a == "--seed") {
+        args.seed = static_cast<std::uint64_t>(next_value("--seed"));
+      } else if (a == "--fast") {
+        args.fast = true;
+      } else if (a == "--help" || a == "-h") {
+        std::cout << "usage: " << argv[0]
+                  << " [--trials N] [--seed S] [--fast]\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown flag: " << a << "\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+}  // namespace sld::bench

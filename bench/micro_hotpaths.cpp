@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks for the library's hot paths: the MAC
+// primitive, multilateration solve, event-queue churn, RTT sampling, and a
+// full small-scale trial.
+#include <benchmark/benchmark.h>
+
+#include "analysis/formulas.hpp"
+#include "core/secure_localization.hpp"
+#include "crypto/siphash.hpp"
+#include "crypto/tesla.hpp"
+#include "localization/multilateration.hpp"
+#include "ranging/rtt.hpp"
+#include "routing/gpsr.hpp"
+#include "sim/event.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_SipHash64ByteMessage(benchmark::State& state) {
+  sld::crypto::Key128 key{};
+  for (std::uint8_t i = 0; i < 16; ++i) key[i] = i;
+  std::vector<std::uint8_t> msg(64, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sld::crypto::siphash24(key, msg));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SipHash64ByteMessage);
+
+void BM_MultilaterationSolve(benchmark::State& state) {
+  sld::util::Rng rng(1);
+  const sld::util::Vec2 truth{500, 500};
+  sld::localization::LocationReferences refs;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0));
+       ++i) {
+    const sld::util::Vec2 b{truth.x + rng.uniform(-150, 150),
+                            truth.y + rng.uniform(-150, 150)};
+    refs.push_back({i, b, sld::util::distance(truth, b) + rng.uniform(-4, 4)});
+  }
+  sld::localization::MultilaterationSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(refs));
+  }
+}
+BENCHMARK(BM_MultilaterationSolve)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sld::sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i)
+      q.push(static_cast<sld::sim::SimTime>((i * 7919) % 1000), []() {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_RttSample(benchmark::State& state) {
+  sld::ranging::MoteTimingModel model;
+  sld::util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample_rtt_cycles(75.0, rng));
+  }
+}
+BENCHMARK(BM_RttSample);
+
+void BM_GpsrRoute(benchmark::State& state) {
+  sld::util::Rng rng(3);
+  sld::sim::DeploymentConfig dc;
+  dc.total_nodes = 300;
+  dc.beacon_count = 0;
+  dc.malicious_beacon_count = 0;
+  const auto deployment = sld::sim::deploy_random(dc, rng);
+  sld::routing::Topology topo(150.0);
+  for (const auto& n : deployment.nodes) topo.add_node(n.id, n.position);
+  topo.build_links();
+  sld::routing::GpsrRouter router(&topo);
+  const auto& ids = topo.node_ids();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto src = ids[i % ids.size()];
+    const auto dst = ids[(i * 37 + 11) % ids.size()];
+    benchmark::DoNotOptimize(router.route(src, dst));
+    ++i;
+  }
+}
+BENCHMARK(BM_GpsrRoute);
+
+void BM_AnalysisRevocationProbability(benchmark::State& state) {
+  sld::analysis::ModelParams params;
+  double P = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sld::analysis::revocation_probability(params, P));
+    P += 0.001;
+    if (P > 0.99) P = 0.01;
+  }
+}
+BENCHMARK(BM_AnalysisRevocationProbability);
+
+void BM_TeslaChainSetup(benchmark::State& state) {
+  sld::crypto::Key128 seed{};
+  seed.fill(0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sld::crypto::TeslaKeyChain(
+        seed, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TeslaChainSetup)->Arg(100)->Arg(1000);
+
+void BM_FullSmallTrial(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sld::core::SystemConfig c;
+    c.deployment.total_nodes = 200;
+    c.deployment.beacon_count = 20;
+    c.deployment.malicious_beacon_count = 2;
+    c.deployment.field = sld::util::Rect::square(450.0);
+    c.rtt_calibration_samples = 1000;
+    c.strategy =
+        sld::attack::MaliciousStrategyConfig::with_effectiveness(0.3);
+    c.seed = seed++;
+    sld::core::SecureLocalizationSystem system(c);
+    benchmark::DoNotOptimize(system.run());
+  }
+}
+BENCHMARK(BM_FullSmallTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace

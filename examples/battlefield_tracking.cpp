@@ -1,0 +1,124 @@
+// Battlefield target tracking — the motivating application from the
+// paper's introduction. Sensors first discover their own locations using
+// beacon nodes; a target then moves through the field, and every sensor
+// that detects it reports "target seen at my position". The fused track is
+// only as good as the sensors' self-localization, so compromised beacon
+// nodes translate directly into wrong tracks — unless they are detected
+// and revoked.
+//
+// The example runs the same scenario twice: once with the paper's
+// detection + revocation pipeline enabled, once with it disabled
+// (tau2 = infinity, i.e. alerts are collected but nobody is revoked), and
+// compares the fused track error.
+//
+//   $ ./battlefield_tracking
+//
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/nodes.hpp"
+#include "core/secure_localization.hpp"
+
+namespace {
+
+using sld::util::Vec2;
+
+struct TrackPoint {
+  Vec2 true_position;
+  Vec2 fused_estimate;
+  int reporting_sensors = 0;
+};
+
+/// Runs one localization trial and fuses target detections along a path.
+std::vector<TrackPoint> run_scenario(bool revocation_enabled,
+                                     double attack_effectiveness,
+                                     std::uint64_t seed) {
+  sld::core::SystemConfig config;
+  config.strategy = sld::attack::MaliciousStrategyConfig::with_effectiveness(
+      attack_effectiveness);
+  config.seed = seed;
+  if (!revocation_enabled) {
+    // Alerts still flow, but the threshold is unreachable: no revocation.
+    config.revocation.alert_threshold = 1000000;
+  }
+
+  sld::core::SecureLocalizationSystem system(config);
+  system.run();
+
+  // Collect every sensor's self-estimate.
+  struct LocalizedSensor {
+    Vec2 true_pos;
+    Vec2 est_pos;
+  };
+  std::vector<LocalizedSensor> sensors;
+  for (const auto* node : system.network().nodes()) {
+    const auto* sensor = dynamic_cast<const sld::core::SensorNode*>(node);
+    if (sensor == nullptr || !sensor->result().has_value()) continue;
+    sensors.push_back({sensor->position(), sensor->result()->position});
+  }
+
+  // March a target across the diagonal; sensors within 100 ft sensing
+  // range report it at their own believed position.
+  std::vector<TrackPoint> track;
+  constexpr double kSensingRange = 100.0;
+  for (double t = 0.0; t <= 1.0 + 1e-9; t += 0.1) {
+    TrackPoint point;
+    point.true_position = {150.0 + 700.0 * t, 200.0 + 600.0 * t};
+    Vec2 sum;
+    for (const auto& s : sensors) {
+      if (sld::util::distance(s.true_pos, point.true_position) <=
+          kSensingRange) {
+        sum += s.est_pos;
+        ++point.reporting_sensors;
+      }
+    }
+    if (point.reporting_sensors > 0)
+      point.fused_estimate = sum / point.reporting_sensors;
+    track.push_back(point);
+  }
+  return track;
+}
+
+double mean_track_error(const std::vector<TrackPoint>& track) {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& p : track) {
+    if (p.reporting_sensors == 0) continue;
+    sum += sld::util::distance(p.true_position, p.fused_estimate);
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kAttack = 0.6;
+  constexpr std::uint64_t kSeed = 77;
+
+  std::printf("=== battlefield tracking with compromised beacons ===\n");
+  std::printf("attack effectiveness P = %.1f, seed = %llu\n\n", kAttack,
+              static_cast<unsigned long long>(kSeed));
+
+  const auto unprotected = run_scenario(false, kAttack, kSeed);
+  const auto protected_run = run_scenario(true, kAttack, kSeed);
+
+  std::printf("%-6s %-22s %-26s %-26s\n", "step", "target(true)",
+              "fused(no revocation)", "fused(with revocation)");
+  for (std::size_t i = 0; i < unprotected.size(); ++i) {
+    const auto& u = unprotected[i];
+    const auto& p = protected_run[i];
+    std::printf("%-6zu (%6.1f,%6.1f)      (%6.1f,%6.1f) n=%-3d     "
+                "(%6.1f,%6.1f) n=%-3d\n",
+                i, u.true_position.x, u.true_position.y, u.fused_estimate.x,
+                u.fused_estimate.y, u.reporting_sensors, p.fused_estimate.x,
+                p.fused_estimate.y, p.reporting_sensors);
+  }
+
+  std::printf("\nmean fused-track error without revocation: %.2f ft\n",
+              mean_track_error(unprotected));
+  std::printf("mean fused-track error with revocation:    %.2f ft\n",
+              mean_track_error(protected_run));
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Localization-scheme comparison under compromised beacons — the library
+// tour. One deployment, one set of lying beacons, five estimators:
+//
+//   centroid        range-free, no defence (Bulusu et al.)
+//   range_free      SerLoc-style disk-intersection CoG (related work [16])
+//   mmse            plain multilateration (what the paper protects)
+//   robust_mmse     residual-filtering multilateration (extension)
+//   mmse+revocation multilateration fed only non-revoked beacons — the
+//                   paper's full pipeline, approximated here by dropping
+//                   the known-detected beacons
+//
+// It prints each scheme's mean error with and without the attack, showing
+// (a) every undefended scheme degrades, range-free ones included, and
+// (b) what the detection + revocation layer restores.
+//
+//   $ ./scheme_comparison
+//
+#include <cstdio>
+#include <vector>
+
+#include "localization/centroid.hpp"
+#include "localization/multilateration.hpp"
+#include "localization/range_free.hpp"
+#include "localization/robust.hpp"
+#include "ranging/rssi.hpp"
+#include "sim/deployment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace sld;
+
+struct Scenario {
+  sim::Deployment deployment;
+  ranging::RssiRangingModel rssi{ranging::RssiConfig{}};
+  util::Rng rng{7};
+
+  /// References a sensor at `truth` collects; malicious beacons lie by
+  /// `lie` feet and manipulate the measured distance by `delta` feet.
+  localization::LocationReferences references_for(const util::Vec2& truth,
+                                                  bool attack,
+                                                  bool drop_malicious) {
+    localization::LocationReferences refs;
+    for (const auto* b : deployment.beacons()) {
+      const double d = util::distance(truth, b->position);
+      if (d > deployment.config.comm_range_ft) continue;
+      if (b->malicious && attack && drop_malicious) continue;  // revoked
+      localization::LocationReference r;
+      r.beacon_id = b->id;
+      if (b->malicious && attack) {
+        r.beacon_position = b->position + util::Vec2{80.0, 60.0};  // lie
+        r.measured_distance_ft =
+            rssi.measure_manipulated(d, -120.0, rng);
+      } else {
+        r.beacon_position = b->position;
+        r.measured_distance_ft = rssi.measure(d, rng);
+      }
+      refs.push_back(r);
+    }
+    return refs;
+  }
+};
+
+struct SchemeStats {
+  util::RunningStat clean, attacked, secured;
+};
+
+}  // namespace
+
+int main() {
+  util::Rng deploy_rng(99);
+  sim::DeploymentConfig dc;
+  dc.beacon_count = 100;
+  dc.malicious_beacon_count = 20;  // heavy compromise to stress schemes
+  Scenario scenario{sim::deploy_random(dc, deploy_rng)};
+
+  SchemeStats centroid, range_free, mmse, robust, secured_mmse;
+  localization::MultilaterationSolver solver;
+
+  int evaluated = 0;
+  for (const auto* s : scenario.deployment.sensors()) {
+    if (++evaluated > 300) break;
+    const auto truth = s->position;
+    const auto clean = scenario.references_for(truth, false, false);
+    const auto attacked = scenario.references_for(truth, true, false);
+    const auto secured = scenario.references_for(truth, true, true);
+    if (clean.size() < 4 || attacked.size() < 4) continue;
+
+    const auto eval = [&](const localization::LocationReferences& refs,
+                          util::RunningStat& c_stat,
+                          util::RunningStat& m_stat,
+                          util::RunningStat& r_stat,
+                          util::RunningStat& rf_stat) {
+      if (const auto e = localization::centroid_estimate(refs))
+        c_stat.add(util::distance(*e, truth));
+      if (const auto e = solver.solve(refs))
+        m_stat.add(util::distance(e->position, truth));
+      if (const auto e = localization::robust_multilateration(refs))
+        r_stat.add(util::distance(e->fit.position, truth));
+      std::vector<util::Vec2> heard;
+      for (const auto& r : refs) heard.push_back(r.beacon_position);
+      if (const auto e = localization::range_free_estimate(heard))
+        rf_stat.add(util::distance(e->position, truth));
+    };
+
+    eval(clean, centroid.clean, mmse.clean, robust.clean, range_free.clean);
+    eval(attacked, centroid.attacked, mmse.attacked, robust.attacked,
+         range_free.attacked);
+    if (const auto e = solver.solve(secured))
+      secured_mmse.secured.add(util::distance(e->position, truth));
+  }
+
+  std::printf("=== localization schemes vs 20%% compromised beacons ===\n");
+  std::printf("(mean error in feet over %zu sensors)\n\n",
+              mmse.clean.count());
+  std::printf("%-24s %-12s %-12s\n", "scheme", "no attack", "under attack");
+  std::printf("%-24s %-12.2f %-12.2f\n", "centroid", centroid.clean.mean(),
+              centroid.attacked.mean());
+  std::printf("%-24s %-12.2f %-12.2f\n", "range_free(SerLoc-ish)",
+              range_free.clean.mean(), range_free.attacked.mean());
+  std::printf("%-24s %-12.2f %-12.2f\n", "mmse", mmse.clean.mean(),
+              mmse.attacked.mean());
+  std::printf("%-24s %-12.2f %-12.2f\n", "robust_mmse", robust.clean.mean(),
+              robust.attacked.mean());
+  std::printf("%-24s %-12s %-12.2f\n", "mmse + revocation", "-",
+              secured_mmse.secured.mean());
+  std::printf(
+      "\nreading: every scheme that trusts beacon locations degrades under\n"
+      "attack — including range-free ones, which is the paper's related-\n"
+      "work point about [16]. Robust estimation helps but cannot beat a\n"
+      "large compromised fraction; removing the beacons (detection +\n"
+      "revocation) restores near-clean accuracy.\n");
+  return 0;
+}

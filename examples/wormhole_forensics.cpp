@@ -1,0 +1,68 @@
+// Wormhole forensics — a close-up of the replay-filtering pipeline
+// (paper §2.2). A wormhole tunnels beacon traffic between two corners of
+// the field; this example shows, counter by counter, how (a) sensors near
+// the far mouth receive beacon signals claiming impossible origins, (b)
+// the wormhole detector discards most of them, and (c) detecting beacon
+// nodes avoid false-accusing the benign beacons at the other end — and
+// what breaks when the wormhole detector is turned off (p_d = 0).
+//
+//   $ ./wormhole_forensics
+//
+#include <cstdio>
+
+#include "core/secure_localization.hpp"
+
+namespace {
+
+sld::core::TrialSummary run_with_detector(double p_d) {
+  sld::core::SystemConfig config;
+  // Benign network: all beacons honest; the only adversary is the
+  // wormhole between (100,100) and (800,700).
+  config.deployment.malicious_beacon_count = 0;
+  config.wormhole_detection_rate = p_d;
+  config.seed = 424242;
+  sld::core::SecureLocalizationSystem system(config);
+  return system.run();
+}
+
+void report(const char* title, const sld::core::TrialSummary& s) {
+  std::printf("--- %s ---\n", title);
+  std::printf("wormhole deliveries:          %llu\n",
+              static_cast<unsigned long long>(s.channel.wormhole_deliveries));
+  std::printf("probe signals flagged:        %llu\n",
+              static_cast<unsigned long long>(s.raw.consistency_flags));
+  std::printf("  attributed to wormhole:     %llu (correctly discarded)\n",
+              static_cast<unsigned long long>(s.raw.probe_ignored_wormhole));
+  std::printf("  false alerts submitted:     %llu\n",
+              static_cast<unsigned long long>(s.raw.alerts_submitted));
+  std::printf("benign beacons revoked:       %zu of %zu\n", s.benign_revoked,
+              s.benign_beacons);
+  std::printf("sensor refs dropped (wormhole stage): %llu\n",
+              static_cast<unsigned long long>(s.raw.sensor_discarded_wormhole));
+  std::printf("sensors localized:            %zu/%zu, mean error %.2f ft\n\n",
+              s.sensors_localized, s.sensors, s.mean_localization_error_ft);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== wormhole forensics: (100,100) <-> (800,700) tunnel ===\n");
+  std::printf("all 100 beacons are honest; the wormhole replays their "
+              "signals across the field\n\n");
+
+  const auto with_detector = run_with_detector(0.9);
+  report("wormhole detector ON (p_d = 0.9, the paper's setting)",
+         with_detector);
+
+  const auto without_detector = run_with_detector(0.0);
+  report("wormhole detector OFF (p_d = 0)", without_detector);
+
+  std::printf(
+      "reading: with p_d = 0.9 nearly all tunneled beacon signals are\n"
+      "attributed to the wormhole and ignored, so benign beacons survive;\n"
+      "with the detector off, every tunneled probe looks like a lying\n"
+      "beacon, false alerts flood the base station, and benign beacons at\n"
+      "both mouths get revoked — exactly the false-positive mechanism the\n"
+      "paper's N_f analysis bounds.\n");
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "analysis/formulas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sld::analysis {
+
+void ModelParams::validate() const {
+  if (beacon_count > total_nodes)
+    throw std::invalid_argument("ModelParams: N_b > N");
+  if (malicious_count > beacon_count)
+    throw std::invalid_argument("ModelParams: N_a > N_b");
+  if (wormhole_detection_rate < 0.0 || wormhole_detection_rate > 1.0)
+    throw std::invalid_argument("ModelParams: p_d outside [0, 1]");
+  if (detecting_ids == 0)
+    throw std::invalid_argument("ModelParams: m must be >= 1");
+  if (total_nodes == 0)
+    throw std::invalid_argument("ModelParams: N must be >= 1");
+}
+
+namespace {
+void check_probability(double P, const char* what) {
+  if (P < 0.0 || P > 1.0)
+    throw std::invalid_argument(std::string(what) + ": outside [0, 1]");
+}
+}  // namespace
+
+double attack_effectiveness(double p_n, double p_w, double p_l) {
+  check_probability(p_n, "attack_effectiveness: p_n");
+  check_probability(p_w, "attack_effectiveness: p_w");
+  check_probability(p_l, "attack_effectiveness: p_l");
+  return (1.0 - p_n) * (1.0 - p_w) * (1.0 - p_l);
+}
+
+double detection_probability(double P, std::size_t m) {
+  check_probability(P, "detection_probability: P");
+  if (m == 0) throw std::invalid_argument("detection_probability: m == 0");
+  return 1.0 - std::pow(1.0 - P, static_cast<double>(m));
+}
+
+double alert_probability(const ModelParams& p, double P) {
+  p.validate();
+  const double pr = detection_probability(P, p.detecting_ids);
+  return static_cast<double>(p.benign_beacons()) * pr /
+         static_cast<double>(p.total_nodes);
+}
+
+double alert_count_pmf(const ModelParams& p, double P, std::size_t i) {
+  const double pa = alert_probability(p, P);
+  return util::binomial_pmf(p.requesters_per_beacon, i, pa);
+}
+
+double revocation_probability(const ModelParams& p, double P) {
+  const double pa = alert_probability(p, P);
+  return util::binomial_tail_above(p.requesters_per_beacon, p.alert_threshold,
+                                   pa);
+}
+
+double affected_nonbeacon_nodes(const ModelParams& p, double P) {
+  check_probability(P, "affected_nonbeacon_nodes: P");
+  const double pd = revocation_probability(p, P);
+  return P * (1.0 - pd) * static_cast<double>(p.requesters_per_beacon) *
+         static_cast<double>(p.nonbeacon_nodes()) /
+         static_cast<double>(p.total_nodes);
+}
+
+double max_affected_nonbeacon_nodes(const ModelParams& p, double* argmax_P) {
+  struct Ctx {
+    const ModelParams* params;
+  } ctx{&p};
+  const auto f = [](double P, const void* raw) {
+    const auto* c = static_cast<const Ctx*>(raw);
+    return affected_nonbeacon_nodes(*c->params, P);
+  };
+  const double best_P = util::argmax_scalar(0.0, 1.0, 201, f, &ctx);
+  if (argmax_P != nullptr) *argmax_P = best_P;
+  return affected_nonbeacon_nodes(p, best_P);
+}
+
+double false_positive_count(const ModelParams& p) {
+  p.validate();
+  const double wormhole_alerts =
+      (1.0 - p.wormhole_detection_rate) *
+      static_cast<double>(p.wormhole_count);
+  const double collusion_alerts =
+      static_cast<double>(p.malicious_count) *
+      static_cast<double>(p.report_quota + 1);
+  return (wormhole_alerts + collusion_alerts) /
+         static_cast<double>(p.alert_threshold + 1);
+}
+
+double report_increment_prob_malicious(const ModelParams& p, double P) {
+  const double pr = detection_probability(P, p.detecting_ids);
+  const double pd = revocation_probability(p, P);
+  return pr * static_cast<double>(p.requesters_per_beacon) /
+         static_cast<double>(p.total_nodes) * (1.0 - pd);
+}
+
+double report_increment_prob_wormhole(const ModelParams& p) {
+  p.validate();
+  const double benign = static_cast<double>(p.benign_beacons());
+  if (benign <= 0.0) return 0.0;
+  const double nf = std::min(false_positive_count(p), benign);
+  const double prob =
+      2.0 * (1.0 - p.wormhole_detection_rate) * (benign - nf) /
+      (benign * benign);
+  return std::clamp(prob, 0.0, 1.0);
+}
+
+double report_counter_pmf(const ModelParams& p, double P, std::size_t i) {
+  const double p1 = report_increment_prob_malicious(p, P);
+  const double p2 = report_increment_prob_wormhole(p);
+  // Convolution of Bin(N_a, p1) and Bin(N_w, p2).
+  double sum = 0.0;
+  const std::size_t j_max = std::min<std::size_t>(i, p.malicious_count);
+  for (std::size_t j = 0; j <= j_max; ++j) {
+    const std::size_t k = i - j;
+    if (k > p.wormhole_count) continue;
+    sum += util::binomial_pmf(p.malicious_count, j, p1) *
+           util::binomial_pmf(p.wormhole_count, k, p2);
+  }
+  return sum;
+}
+
+double report_counter_overflow_probability(const ModelParams& p, double P) {
+  double cdf = 0.0;
+  for (std::size_t i = 0; i <= p.report_quota; ++i)
+    cdf += report_counter_pmf(p, P, i);
+  return std::max(0.0, 1.0 - cdf);
+}
+
+std::optional<ThresholdChoice> choose_thresholds(
+    const ModelParams& base, const ThresholdSearch& search) {
+  if (search.tau2_min > search.tau2_max)
+    throw std::invalid_argument("choose_thresholds: empty tau2 grid");
+  if (search.damage_budget <= 0.0 || search.overflow_budget <= 0.0)
+    throw std::invalid_argument("choose_thresholds: non-positive budget");
+
+  std::optional<ThresholdChoice> best;
+  for (std::uint32_t tau2 = search.tau2_min; tau2 <= search.tau2_max;
+       ++tau2) {
+    ModelParams p = base;
+    p.alert_threshold = tau2;
+
+    // Step 1 (§3.2): keep the attacker's best-case damage under budget.
+    p.report_quota = search.tau1_max;  // quota not binding for N'
+    double attacker_P = 0.0;
+    const double damage = max_affected_nonbeacon_nodes(p, &attacker_P);
+    if (damage > search.damage_budget) continue;
+
+    // Step 2: smallest tau1 whose overflow probability is negligible at
+    // the attacker's P (so honest alerts are not dropped).
+    std::optional<std::uint32_t> tau1_pick;
+    for (std::uint32_t tau1 = 0; tau1 <= search.tau1_max; ++tau1) {
+      p.report_quota = tau1;
+      if (report_counter_overflow_probability(p, attacker_P) <=
+          search.overflow_budget) {
+        tau1_pick = tau1;
+        break;
+      }
+    }
+    if (!tau1_pick) continue;
+
+    // Step 3: among feasible pairs, minimize the false positives N_f.
+    p.report_quota = *tau1_pick;
+    ThresholdChoice choice;
+    choice.tau1 = *tau1_pick;
+    choice.tau2 = tau2;
+    choice.attacker_P = attacker_P;
+    choice.detection = revocation_probability(p, attacker_P);
+    choice.max_damage = damage;
+    choice.false_positives = false_positive_count(p);
+    choice.quota_overflow =
+        report_counter_overflow_probability(p, attacker_P);
+    if (!best || choice.false_positives < best->false_positives)
+      best = choice;
+  }
+  return best;
+}
+
+}  // namespace sld::analysis

@@ -1,0 +1,122 @@
+// Closed-form analytical model (paper §2.3 and §3.2). Every quantity the
+// paper derives is implemented here with the paper's own notation quoted;
+// the figure benches evaluate these directly and the simulation benches
+// compare against them.
+//
+// Notation:
+//   N    total sensor nodes             N_b   beacon nodes
+//   N_a  malicious beacon nodes         N_w   wormholes (benign pairs)
+//   p_d  wormhole detection rate        m     detecting IDs per beacon
+//   N_c  requesting nodes per beacon    tau1  report-counter quota
+//   tau2 alert threshold                P     attack effectiveness
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace sld::analysis {
+
+struct ModelParams {
+  std::size_t total_nodes = 1000;           // N
+  std::size_t beacon_count = 100;           // N_b
+  std::size_t malicious_count = 10;         // N_a
+  std::size_t wormhole_count = 10;          // N_w
+  double wormhole_detection_rate = 0.9;     // p_d
+  std::size_t detecting_ids = 8;            // m
+  std::size_t requesters_per_beacon = 100;  // N_c
+  std::uint32_t report_quota = 10;          // tau1
+  std::uint32_t alert_threshold = 2;        // tau2
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+
+  std::size_t benign_beacons() const { return beacon_count - malicious_count; }
+  std::size_t nonbeacon_nodes() const { return total_nodes - beacon_count; }
+};
+
+/// P = (1 - p_n)(1 - p_w)(1 - p_l): the probability that a requester gets
+/// the effective malicious signal and it survives both replay filters.
+double attack_effectiveness(double p_n, double p_w, double p_l);
+
+/// P_r = 1 - (1 - P)^m: probability a benign detecting node with m
+/// detecting IDs detects a given malicious beacon (§2.3).
+double detection_probability(double P, std::size_t m);
+
+/// P_a = (N_b - N_a) P_r / N: probability that a given requester of a
+/// malicious beacon is a benign beacon that reports an alert (§3.2).
+double alert_probability(const ModelParams& p, double P);
+
+/// P(i) = C(N_c, i) P_a^i (1 - P_a)^(N_c - i): exactly i alerts reported.
+double alert_count_pmf(const ModelParams& p, double P, std::size_t i);
+
+/// P_d = P[#alerts > tau2]: probability a malicious beacon is revoked.
+double revocation_probability(const ModelParams& p, double P);
+
+/// N' = P (1 - P_d) N_c (N - N_b) / N: expected number of requesting
+/// non-beacon nodes still accepting the malicious signal after revocation.
+double affected_nonbeacon_nodes(const ModelParams& p, double P);
+
+/// max over P of N'(P); optionally returns the maximizing P. The paper's
+/// Figures 9 and 14 assume the attacker plays this argmax.
+double max_affected_nonbeacon_nodes(const ModelParams& p,
+                                    double* argmax_P = nullptr);
+
+/// N_f = ((1 - p_d) N_w + N_a (tau1 + 1)) / (tau2 + 1): worst-case number
+/// of benign beacons revoked (wormhole false alerts + colluding floods).
+double false_positive_count(const ModelParams& p);
+
+/// P_1 = P_r (N_c / N) (1 - P_d): probability that a particular malicious
+/// beacon causes one increment of a benign reporter's report counter.
+double report_increment_prob_malicious(const ModelParams& p, double P);
+
+/// P_2 = 2 (1 - p_d) (N_b - N_a - N_f) / (N_b - N_a)^2: probability that a
+/// particular wormhole causes one increment of a benign reporter's report
+/// counter.
+double report_increment_prob_wormhole(const ModelParams& p);
+
+/// P'(i): pmf of a benign beacon's report counter — the convolution of
+/// Bin(N_a, P_1) and Bin(N_w, P_2) (§3.2).
+double report_counter_pmf(const ModelParams& p, double P, std::size_t i);
+
+/// P_o = P[report counter > tau1]: probability a benign beacon's honest
+/// alerts start being dropped by the quota (Figure 10's y-axis).
+double report_counter_overflow_probability(const ModelParams& p, double P);
+
+/// --- The §3.2 threshold-selection procedure --------------------------
+///
+/// "We can then choose a set of tau2 that make the maximum number of
+/// affected non-beacon nodes remain under a given value. For each of the
+/// selected thresholds tau2, we configure threshold tau1 ... so that most
+/// of the alerts from benign beacon nodes will not be ignored ... We then
+/// choose a pair of thresholds that ... lead to the minimum N_f."
+
+struct ThresholdChoice {
+  std::uint32_t tau1 = 0;
+  std::uint32_t tau2 = 0;
+  /// Metrics at the attacker's damage-maximizing P under this pair.
+  double attacker_P = 0.0;
+  double detection = 0.0;          // P_d
+  double max_damage = 0.0;         // max_P N'
+  double false_positives = 0.0;    // N_f
+  double quota_overflow = 0.0;     // P_o
+};
+
+struct ThresholdSearch {
+  /// Candidate grids.
+  std::uint32_t tau2_min = 1;
+  std::uint32_t tau2_max = 6;
+  std::uint32_t tau1_max = 40;
+  /// Constraints: keep max_P N' under `damage_budget`, P_o under
+  /// `overflow_budget`.
+  double damage_budget = 5.0;
+  double overflow_budget = 1e-4;
+};
+
+/// Runs the procedure over `base` (its tau1/tau2 fields are ignored).
+/// Returns the feasible pair minimizing N_f, or nullopt if no pair in the
+/// grid satisfies the budgets.
+std::optional<ThresholdChoice> choose_thresholds(
+    const ModelParams& base, const ThresholdSearch& search = {});
+
+}  // namespace sld::analysis

@@ -1,0 +1,52 @@
+#include "attack/active_wormhole.hpp"
+
+namespace sld::attack {
+
+ActiveWormholeEnd::ActiveWormholeEnd(const ActiveWormholeConfig& config,
+                                     bool is_end_a, sim::Channel& channel,
+                                     sim::Scheduler& scheduler)
+    : config_(config),
+      is_end_a_(is_end_a),
+      channel_(channel),
+      scheduler_(scheduler) {}
+
+util::Vec2 ActiveWormholeEnd::observer_position() const {
+  return is_end_a_ ? config_.end_a : config_.end_b;
+}
+
+bool ActiveWormholeEnd::on_overhear(const sim::Message& msg,
+                                    const sim::TxContext& ctx) {
+  if (ctx.is_replay) return false;  // never re-tunnel tunnelled copies
+
+  // Store-and-forward: the packet must be fully received before the far
+  // end can start re-transmitting it — one packet air time, plus the
+  // tunnel electronics.
+  const double delay_cycles =
+      channel_.packet_airtime_cycles(msg.payload.size()) +
+      config_.processing_cycles;
+
+  sim::TxContext fwd;
+  fwd.radiating_position = is_end_a_ ? config_.end_b : config_.end_a;
+  fwd.radiating_range = config_.range_ft;
+  fwd.extra_delay_cycles = ctx.extra_delay_cycles + delay_cycles;
+  fwd.via_wormhole = true;
+  fwd.is_replay = true;
+
+  ++forwarded_;
+  sim::Channel* ch = &channel_;
+  sim::Message copy = msg;
+  scheduler_.schedule_after(sim::cycles_to_ns(delay_cycles),
+                            [ch, fwd, copy]() { ch->inject(fwd, copy); });
+  return false;  // the original transmission proceeds untouched
+}
+
+ActiveWormhole::ActiveWormhole(ActiveWormholeConfig config,
+                               sim::Channel& channel,
+                               sim::Scheduler& scheduler)
+    : end_a_(config, true, channel, scheduler),
+      end_b_(config, false, channel, scheduler) {
+  channel.add_observer(&end_a_);
+  channel.add_observer(&end_b_);
+}
+
+}  // namespace sld::attack

@@ -1,0 +1,63 @@
+// Active (store-and-forward) wormhole: two cooperating radio devices that
+// capture packets at one end and re-transmit them at the other, unlike the
+// idealized zero-latency channel tunnel (sim::WormholeLink). Forwarding a
+// whole packet costs at least one packet air time per hop, so this wormhole
+// is *visible to the RTT filter* even when the wormhole detector misses it
+// — exercising the defence-in-depth path the paper's §2.2.2 describes for
+// slow replays.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "sim/scheduler.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::attack {
+
+struct ActiveWormholeConfig {
+  util::Vec2 end_a;
+  util::Vec2 end_b;
+  /// Capture/re-transmit radio range at each end, feet.
+  double range_ft = 150.0;
+  /// Processing latency of the tunnel electronics per packet, cycles
+  /// (on top of the unavoidable store-and-forward air time).
+  double processing_cycles = 0.0;
+};
+
+/// One end of the tunnel; owns the forwarding toward the opposite end.
+class ActiveWormholeEnd final : public sim::RadioObserver {
+ public:
+  ActiveWormholeEnd(const ActiveWormholeConfig& config, bool is_end_a,
+                    sim::Channel& channel, sim::Scheduler& scheduler);
+
+  bool on_overhear(const sim::Message& msg,
+                   const sim::TxContext& ctx) override;
+  util::Vec2 observer_position() const override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  ActiveWormholeConfig config_;
+  bool is_end_a_;
+  sim::Channel& channel_;
+  sim::Scheduler& scheduler_;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// The full device: installs both ends as observers on the channel.
+class ActiveWormhole {
+ public:
+  ActiveWormhole(ActiveWormholeConfig config, sim::Channel& channel,
+                 sim::Scheduler& scheduler);
+
+  std::uint64_t packets_tunneled() const {
+    return end_a_.forwarded() + end_b_.forwarded();
+  }
+
+ private:
+  ActiveWormholeEnd end_a_;
+  ActiveWormholeEnd end_b_;
+};
+
+}  // namespace sld::attack

@@ -1,0 +1,38 @@
+#include "attack/collusion.hpp"
+
+namespace sld::attack {
+
+CollusionPlan plan_collusion(const std::vector<sim::NodeId>& colluders,
+                             const std::vector<sim::NodeId>& benign_targets,
+                             std::size_t report_quota,
+                             std::size_t alert_threshold) {
+  CollusionPlan plan;
+  if (colluders.empty() || benign_targets.empty()) return plan;
+
+  // Total accepted-alert budget and the cost of one revocation.
+  const std::size_t per_reporter = report_quota + 1;
+  const std::size_t per_target = alert_threshold + 1;
+
+  std::vector<std::size_t> remaining(colluders.size(), per_reporter);
+  std::size_t reporter = 0;
+  auto next_reporter = [&]() -> bool {
+    // Find a colluder with quota left, round-robin.
+    for (std::size_t tries = 0; tries < colluders.size(); ++tries) {
+      if (remaining[reporter] > 0) return true;
+      reporter = (reporter + 1) % colluders.size();
+    }
+    return false;
+  };
+
+  for (const auto target : benign_targets) {
+    for (std::size_t hit = 0; hit < per_target; ++hit) {
+      if (!next_reporter()) return plan;  // budget exhausted
+      plan.alerts.push_back(sim::AlertPayload{colluders[reporter], target});
+      --remaining[reporter];
+      reporter = (reporter + 1) % colluders.size();
+    }
+  }
+  return plan;
+}
+
+}  // namespace sld::attack

@@ -1,0 +1,32 @@
+// Colluding alert flooding (paper §4): "malicious beacon nodes collude
+// together to report alerts against benign beacon nodes. Thus, they can
+// always make the base station revoke about N_a (tau1 + 1) / (tau2 + 1)
+// benign beacon nodes by simply reporting alerts." The planner distributes
+// each colluder's full report quota (tau1 + 1 accepted alerts) across
+// benign targets so that targets are revoked in sequence — the worst case
+// the ROC evaluation (Figure 14) assumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace sld::attack {
+
+struct CollusionPlan {
+  /// Alerts in submission order: (reporter = malicious beacon, target =
+  /// benign beacon).
+  std::vector<sim::AlertPayload> alerts;
+};
+
+/// Builds the worst-case flooding plan. Each of `colluders` spends
+/// `report_quota + 1` alerts; alerts are grouped so each targeted benign
+/// beacon receives `alert_threshold + 1` alerts in a row (enough to revoke
+/// it) before the plan moves to the next target.
+CollusionPlan plan_collusion(const std::vector<sim::NodeId>& colluders,
+                             const std::vector<sim::NodeId>& benign_targets,
+                             std::size_t report_quota,
+                             std::size_t alert_threshold);
+
+}  // namespace sld::attack

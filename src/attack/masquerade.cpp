@@ -1,0 +1,29 @@
+#include "attack/masquerade.hpp"
+
+namespace sld::attack {
+
+Masquerader::Masquerader(MasqueradeConfig config, sim::Channel& channel)
+    : config_(config), channel_(channel) {}
+
+void Masquerader::forge_reply(sim::NodeId victim, std::uint64_t nonce,
+                              util::Rng& rng) {
+  sim::BeaconReplyPayload payload;
+  payload.nonce = nonce;
+  payload.claimed_position = config_.claimed_position;
+
+  sim::Message msg;
+  msg.src = config_.impersonated_beacon;
+  msg.dst = victim;
+  msg.type = sim::MsgType::kBeaconReply;
+  msg.payload = payload.serialize();
+  msg.mac = rng();  // no key material: the tag is a guess
+
+  sim::TxContext ctx;
+  ctx.radiating_position = config_.position;
+  ctx.radiating_range = config_.range_ft;
+
+  ++forgeries_sent_;
+  channel_.inject(ctx, msg);
+}
+
+}  // namespace sld::attack

@@ -1,0 +1,43 @@
+// The external masquerader (paper Figure 1a): an attacker without any valid
+// keys who forges beacon packets pretending to be a beacon node. Because
+// every beacon packet is authenticated with the pairwise key of the two
+// endpoints, these forgeries fail MAC verification at the receiver — the
+// paper's baseline assumption ("beacon packets forged by external attackers
+// that do not have the right keys can be easily filtered out").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "sim/message.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::attack {
+
+struct MasqueradeConfig {
+  util::Vec2 position;
+  double range_ft = 150.0;
+  /// Beacon identity to impersonate.
+  sim::NodeId impersonated_beacon = 1;
+  /// Location the forged packets claim.
+  util::Vec2 claimed_position;
+};
+
+/// Forges and injects beacon replies with random (invalid) MAC tags.
+class Masquerader {
+ public:
+  Masquerader(MasqueradeConfig config, sim::Channel& channel);
+
+  /// Sends one forged beacon reply to `victim`, echoing `nonce`.
+  void forge_reply(sim::NodeId victim, std::uint64_t nonce, util::Rng& rng);
+
+  std::uint64_t forgeries_sent() const { return forgeries_sent_; }
+
+ private:
+  MasqueradeConfig config_;
+  sim::Channel& channel_;
+  std::uint64_t forgeries_sent_ = 0;
+};
+
+}  // namespace sld::attack

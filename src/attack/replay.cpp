@@ -1,0 +1,38 @@
+#include "attack/replay.hpp"
+
+namespace sld::attack {
+
+LocalReplayAttacker::LocalReplayAttacker(LocalReplayConfig config,
+                                         sim::Channel& channel,
+                                         sim::Scheduler& scheduler)
+    : config_(config), channel_(channel), scheduler_(scheduler) {}
+
+bool LocalReplayAttacker::on_overhear(const sim::Message& msg,
+                                      const sim::TxContext& ctx) {
+  if (msg.src != config_.victim_beacon) return false;
+  if (ctx.is_replay) return false;  // don't replay our own replays
+
+  const double delay_cycles =
+      config_.replay_delay_cycles.value_or(
+          channel_.packet_airtime_cycles(msg.payload.size()));
+
+  sim::TxContext replay_ctx;
+  replay_ctx.radiating_position = config_.position;
+  replay_ctx.radiating_range = config_.range_ft;
+  replay_ctx.extra_delay_cycles = ctx.extra_delay_cycles + delay_cycles;
+  replay_ctx.is_replay = true;
+  replay_ctx.via_wormhole = ctx.via_wormhole;
+
+  ++replays_sent_;
+  sim::Message copy = msg;
+  // Inject after the capture completes; the channel adds air time again on
+  // the replayed transmission.
+  sim::Channel* ch = &channel_;
+  scheduler_.schedule_after(
+      sim::cycles_to_ns(delay_cycles),
+      [ch, replay_ctx, copy]() { ch->inject(replay_ctx, copy); });
+
+  return config_.shield_original;
+}
+
+}  // namespace sld::attack

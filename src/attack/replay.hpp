@@ -1,0 +1,55 @@
+// The local replay attacker (paper §2.2.2, Figure 1c): a device that
+// captures beacon signals from a victim beacon in its vicinity and replays
+// them to requesters, either alongside the original or — in shielded mode —
+// while suppressing the original ("the attacker has to physically shield
+// the signal to the detecting node and replay the intercepted packet at the
+// same time", which the paper argues is the only way to beat the RTT
+// filter). Replaying costs at least one packet air-time of delay unless the
+// attacker is given an (unrealistic) smaller value, which tests use to
+// probe the filter's blind spot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/channel.hpp"
+#include "sim/message.hpp"
+#include "sim/scheduler.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::attack {
+
+struct LocalReplayConfig {
+  /// The beacon whose signals are captured and replayed.
+  sim::NodeId victim_beacon = 0;
+  /// Replay device location and transmit range.
+  util::Vec2 position;
+  double range_ft = 150.0;
+  /// Suppress the original transmission (shield-and-replay).
+  bool shield_original = false;
+  /// Delay the replay adds on top of capture, in CPU cycles. nullopt means
+  /// "one full packet air time", the paper's physical lower bound for a
+  /// store-and-forward replay.
+  std::optional<double> replay_delay_cycles;
+};
+
+/// A radio observer that re-injects captured victim transmissions.
+class LocalReplayAttacker final : public sim::RadioObserver {
+ public:
+  LocalReplayAttacker(LocalReplayConfig config, sim::Channel& channel,
+                      sim::Scheduler& scheduler);
+
+  bool on_overhear(const sim::Message& msg,
+                   const sim::TxContext& ctx) override;
+  util::Vec2 observer_position() const override { return config_.position; }
+
+  std::uint64_t replays_sent() const { return replays_sent_; }
+
+ private:
+  LocalReplayConfig config_;
+  sim::Channel& channel_;
+  sim::Scheduler& scheduler_;
+  std::uint64_t replays_sent_ = 0;
+};
+
+}  // namespace sld::attack

@@ -1,0 +1,93 @@
+// The compromised-beacon adversary (paper §2.3). A malicious beacon node
+// partitions its requesters:
+//   * a fraction p_n receive *normal* (truthful, consistent) signals;
+//   * of the rest, a fraction p_w are convinced the signal came through a
+//     wormhole (so the wormhole stage discards it);
+//   * of the rest, a fraction p_l are convinced the signal was locally
+//     replayed (inflated RTT, so the RTT stage discards it);
+//   * the remaining fraction P = (1-p_n)(1-p_w)(1-p_l) receive the
+//     *effective* malicious signal that actually corrupts localization —
+//     and is what a detecting node catches.
+//
+// The paper notes the best strategy is to behave consistently toward the
+// same requester ID; we make the choice a deterministic keyed hash of the
+// requester ID, which is exactly why distinct detecting IDs draw fresh
+// Bernoulli trials and P_r = 1 - (1 - P)^m.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/siphash.hpp"
+#include "sim/message.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::attack {
+
+enum class MaliciousBehavior {
+  kNormal,           // truthful beacon signal
+  kFakeWormhole,     // far location claim + faked wormhole indications
+  kFakeLocalReplay,  // inflated RTT report
+  kEffective,        // the damaging, detectable malicious signal
+};
+
+struct MaliciousStrategyConfig {
+  double p_normal = 0.0;        // p_n
+  double p_fake_wormhole = 0.0; // p_w
+  double p_fake_local_replay = 0.0;  // p_l
+  /// Location lie magnitude of the effective malicious signal, in feet.
+  /// Must exceed the consistency threshold (max ranging error) to matter.
+  double location_lie_ft = 100.0;
+  /// Physical-layer ranging manipulation of malicious signals, in feet
+  /// (negative: the receiver measures the beacon closer than it is). Its
+  /// magnitude must exceed location_lie_ft + max ranging error so that the
+  /// consistency check flags every effective signal — the paper's premise
+  /// that a damaging signal is by definition inconsistent.
+  double range_manipulation_ft = -120.0;
+  /// Claimed-position offset for the fake-wormhole behaviour; must exceed
+  /// the radio range so the geographic precondition of the wormhole stage
+  /// holds. Feet.
+  double far_claim_ft = 400.0;
+  /// RTT inflation for the fake-local-replay behaviour, in CPU cycles;
+  /// must exceed the calibrated x_max - x_min span.
+  double rtt_inflation_cycles = 40'000.0;
+
+  /// Attack effectiveness P = (1-p_n)(1-p_w)(1-p_l).
+  double effectiveness() const {
+    return (1.0 - p_normal) * (1.0 - p_fake_wormhole) *
+           (1.0 - p_fake_local_replay);
+  }
+
+  /// Simplest strategy achieving effectiveness `P`: sends normal signals to
+  /// a (1 - P) fraction of requesters and effective ones to the rest.
+  static MaliciousStrategyConfig with_effectiveness(double P);
+};
+
+/// Per-requester sticky behaviour selection for one malicious beacon.
+class MaliciousBeaconStrategy {
+ public:
+  /// `secret_seed` is the beacon's private randomness; two beacons with
+  /// different seeds partition requesters independently.
+  MaliciousBeaconStrategy(MaliciousStrategyConfig config,
+                          std::uint64_t secret_seed);
+
+  const MaliciousStrategyConfig& config() const { return config_; }
+
+  /// The behaviour this beacon shows requester `requester` — stable across
+  /// repeated requests from the same ID.
+  MaliciousBehavior behavior_for(sim::NodeId requester) const;
+
+  /// Fills a beacon reply for `requester` given the beacon's true position.
+  /// `nonce` echoes the request nonce.
+  sim::BeaconReplyPayload craft_reply(sim::NodeId requester,
+                                      std::uint64_t nonce,
+                                      const util::Vec2& true_position) const;
+
+ private:
+  /// Deterministic uniform draw in [0,1) keyed by (requester, salt).
+  double keyed_uniform(sim::NodeId requester, std::uint64_t salt) const;
+
+  MaliciousStrategyConfig config_;
+  crypto::Key128 secret_{};
+};
+
+}  // namespace sld::attack

@@ -1,0 +1,38 @@
+#include "attack/wormhole.hpp"
+
+namespace sld::attack {
+
+sim::WormholeLink install_wormhole(sim::Channel& channel, const util::Vec2& a,
+                                   const util::Vec2& b, double exit_range_ft,
+                                   double extra_delay_cycles) {
+  sim::WormholeLink link;
+  link.mouth_a = a;
+  link.mouth_b = b;
+  link.exit_range_ft = exit_range_ft;
+  link.extra_delay_cycles = extra_delay_cycles;
+  channel.add_wormhole(link);
+  return link;
+}
+
+sim::WormholeLink install_paper_wormhole(sim::Channel& channel,
+                                         double exit_range_ft) {
+  return install_wormhole(channel, {100.0, 100.0}, {800.0, 700.0},
+                          exit_range_ft);
+}
+
+std::vector<sim::WormholeLink> install_random_wormholes(
+    sim::Channel& channel, const util::Rect& field, std::size_t count,
+    double exit_range_ft, util::Rng& rng) {
+  std::vector<sim::WormholeLink> links;
+  links.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const util::Vec2 a{rng.uniform(field.x0, field.x1),
+                       rng.uniform(field.y0, field.y1)};
+    const util::Vec2 b{rng.uniform(field.x0, field.x1),
+                       rng.uniform(field.y0, field.y1)};
+    links.push_back(install_wormhole(channel, a, b, exit_range_ft));
+  }
+  return links;
+}
+
+}  // namespace sld::attack

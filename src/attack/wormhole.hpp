@@ -1,0 +1,37 @@
+// Wormhole attack installation (paper Figure 1c, §4). The tunnel itself is
+// modelled at the channel layer (see sim::WormholeLink); this header offers
+// the attacker-facing API for planting tunnels and a helper matching the
+// paper's simulated setup: one wormhole between (100,100) and (800,700) in
+// a 1000x1000 ft field that "forwards every message received at one side
+// immediately to the other side".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::attack {
+
+/// Plants a zero-latency tunnel between `a` and `b` with the given exit
+/// range. Returns the installed link.
+sim::WormholeLink install_wormhole(sim::Channel& channel,
+                                   const util::Vec2& a, const util::Vec2& b,
+                                   double exit_range_ft,
+                                   double extra_delay_cycles = 0.0);
+
+/// The paper's §4 wormhole: (100,100) <-> (800,700), exit range = node
+/// radio range.
+sim::WormholeLink install_paper_wormhole(sim::Channel& channel,
+                                         double exit_range_ft);
+
+/// Plants `count` wormholes between uniformly random positions in `field`
+/// (used by the false-positive analysis, which assumes N_w wormholes
+/// between benign beacon pairs).
+std::vector<sim::WormholeLink> install_random_wormholes(
+    sim::Channel& channel, const util::Rect& field, std::size_t count,
+    double exit_range_ft, util::Rng& rng);
+
+}  // namespace sld::attack

@@ -1,0 +1,89 @@
+// Top-level system configuration. Defaults reproduce the paper's §4 setup
+// (see DESIGN.md "Recovered constants" for how each number was fixed):
+// 1000 nodes in a 1000x1000 ft field, 100 beacons of which 10 compromised,
+// 150 ft radio range, 4 ft maximum ranging error, m = 8 detecting IDs,
+// p_d = 0.9 wormhole detection rate, one wormhole (100,100)-(800,700),
+// thresholds tau1 = 10, tau2 = 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/strategy.hpp"
+#include "sim/channel.hpp"
+#include "ranging/rssi.hpp"
+#include "ranging/rtt.hpp"
+#include "ranging/toa.hpp"
+#include "revocation/base_station.hpp"
+#include "sim/deployment.hpp"
+#include "sim/time.hpp"
+
+namespace sld::core {
+
+/// Which distance-measurement feature the deployment uses (paper §1 lists
+/// RSSI, ToA, TDoA, AoA; §2.3 notes the detector works with any feature
+/// that yields a bounded-error distance).
+enum class RangingType {
+  kRssi,
+  kToa,
+};
+
+struct SystemConfig {
+  sim::DeploymentConfig deployment;  // N, N_b, N_a, field, range
+
+  RangingType ranging_type = RangingType::kRssi;
+  ranging::RssiConfig rssi;          // e_max = 4 ft default
+  ranging::ToaConfig toa;            // ~3.9 ft at the default sync bound
+  ranging::MoteTimingConfig timing;  // Figure 4 RTT model
+
+  /// Which wormhole detector every node carries: the paper's p_d
+  /// abstraction, or the concrete geographic-leash detector (whose
+  /// effective rate emerges from geometry instead of being assumed).
+  enum class WormholeDetectorType { kProbabilistic, kGeographicLeash };
+  WormholeDetectorType wormhole_detector_type =
+      WormholeDetectorType::kProbabilistic;
+
+  /// p_d of the probabilistic wormhole detector every node carries.
+  double wormhole_detection_rate = 0.9;
+
+  /// m: detecting IDs provisioned per benign beacon.
+  std::size_t detecting_ids = 8;
+
+  revocation::RevocationConfig revocation;  // tau1 = 10, tau2 = 2
+
+  /// Behaviour of every compromised beacon.
+  attack::MaliciousStrategyConfig strategy;
+
+  /// Install the paper's wormhole between (100,100) and (800,700).
+  bool paper_wormhole = true;
+  /// Additional uniformly random wormholes (the analysis's N_w knob).
+  std::size_t extra_random_wormholes = 0;
+  /// Explicit extra tunnels (e.g. slow store-and-forward ones), installed
+  /// before connectivity is computed.
+  std::vector<sim::WormholeLink> custom_wormholes;
+
+  /// Colluding malicious beacons flood alerts against benign beacons
+  /// (Figure 14's worst case).
+  bool collusion = false;
+
+  /// Probability a sensor learns a given revocation (paper: ~1 thanks to
+  /// retransmission).
+  double revocation_reach_probability = 1.0;
+
+  /// Samples for the Figure-4 RTT calibration that fixes x_max.
+  std::size_t rtt_calibration_samples = 10'000;
+
+  /// Per-delivery radio loss probability (failure injection; the paper
+  /// assumes reliable delivery via retransmission, so default 0).
+  double channel_loss_probability = 0.0;
+
+  /// Simulation phases: beacons probe first, then sensors localize.
+  sim::SimTime probe_phase_start = 0;
+  sim::SimTime sensor_phase_start = 60 * sim::kSecond;
+  /// Stagger between consecutive probe/query transmissions per node.
+  sim::SimTime transmission_stagger = 5 * sim::kMillisecond;
+
+  std::uint64_t seed = 1;
+};
+
+}  // namespace sld::core

@@ -1,0 +1,42 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+namespace sld::core {
+
+AggregateSummary run_experiment(const ExperimentConfig& config) {
+  AggregateSummary agg;
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    SystemConfig trial_config = config.base;
+    trial_config.seed = config.base.seed + i;
+    SecureLocalizationSystem system(trial_config);
+    TrialSummary summary = system.run();
+    agg.detection_rate.add(summary.detection_rate);
+    agg.false_positive_rate.add(summary.false_positive_rate);
+    agg.affected_per_malicious.add(summary.avg_affected_per_malicious);
+    agg.mean_localization_error_ft.add(summary.mean_localization_error_ft);
+    agg.requesters_per_malicious.add(summary.avg_requesters_per_malicious);
+    agg.sensors_localized.add(static_cast<double>(summary.sensors_localized));
+    if (config.keep_trial_summaries) agg.trials.push_back(std::move(summary));
+  }
+  return agg;
+}
+
+analysis::ModelParams model_params_for(const SystemConfig& config,
+                                       double measured_requesters) {
+  analysis::ModelParams p;
+  p.total_nodes = config.deployment.total_nodes;
+  p.beacon_count = config.deployment.beacon_count;
+  p.malicious_count = config.deployment.malicious_beacon_count;
+  p.wormhole_count =
+      (config.paper_wormhole ? 1 : 0) + config.extra_random_wormholes;
+  p.wormhole_detection_rate = config.wormhole_detection_rate;
+  p.detecting_ids = config.detecting_ids;
+  p.requesters_per_beacon =
+      static_cast<std::size_t>(std::llround(measured_requesters));
+  p.report_quota = config.revocation.report_quota;
+  p.alert_threshold = config.revocation.alert_threshold;
+  return p;
+}
+
+}  // namespace sld::core

@@ -1,0 +1,41 @@
+// Multi-trial experiment runner: repeats a SystemConfig across seeds and
+// aggregates the TrialSummary quantities the figures plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/formulas.hpp"
+#include "core/secure_localization.hpp"
+#include "util/stats.hpp"
+
+namespace sld::core {
+
+struct ExperimentConfig {
+  SystemConfig base;
+  std::size_t trials = 5;
+  /// Seed of trial i is base.seed + i.
+  bool keep_trial_summaries = false;
+};
+
+struct AggregateSummary {
+  util::RunningStat detection_rate;
+  util::RunningStat false_positive_rate;
+  util::RunningStat affected_per_malicious;  // N'
+  util::RunningStat mean_localization_error_ft;
+  util::RunningStat requesters_per_malicious;  // measured N_c
+  util::RunningStat sensors_localized;
+  std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
+};
+
+/// Runs `config.trials` independent trials.
+AggregateSummary run_experiment(const ExperimentConfig& config);
+
+/// Builds analytical ModelParams matching a system config, with N_c taken
+/// from the measured average (`measured_requesters`) so theory and
+/// simulation are compared on the same footing (the paper feeds its
+/// analysis the same deployment parameters).
+analysis::ModelParams model_params_for(const SystemConfig& config,
+                                       double measured_requesters);
+
+}  // namespace sld::core

@@ -1,0 +1,369 @@
+#include "core/nodes.hpp"
+
+#include <stdexcept>
+
+#include "crypto/mac.hpp"
+#include "sim/channel.hpp"
+
+namespace sld::core {
+
+namespace {
+/// Builds the authenticated wire message for a payload.
+sim::Message make_message(const crypto::PairwiseKeyManager& keys,
+                          sim::NodeId src, sim::NodeId dst, sim::MsgType type,
+                          util::Bytes payload) {
+  sim::Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  msg.mac = crypto::compute_mac(keys.pairwise_key(src, dst), src, dst,
+                                msg.payload);
+  return msg;
+}
+
+bool verify(const crypto::PairwiseKeyManager& keys, const sim::Message& msg) {
+  return crypto::verify_mac(keys.pairwise_key(msg.src, msg.dst), msg.src,
+                            msg.dst, msg.payload, msg.mac);
+}
+}  // namespace
+
+SystemContext::SystemContext(const SystemConfig& cfg)
+    : config(cfg),
+      keys(crypto::PairwiseKeyManager::from_seed(cfg.seed ^
+                                                 0x6b6579736565643fULL)),
+      rssi(cfg.rssi),
+      toa(cfg.toa),
+      timing(cfg.timing),
+      base_station(cfg.revocation),
+      dissemination(cfg.revocation_reach_probability,
+                    cfg.seed ^ 0xd15534731a7e0000ULL),
+      rng(cfg.seed) {
+  // Calibrate the RTT filter exactly the way the paper does: measure the
+  // no-attack distribution and take x_max as the acceptance threshold.
+  util::Rng calib_rng = rng.fork(0xca11b);
+  rtt_calibration = ranging::calibrate_rtt(
+      timing, cfg.rtt_calibration_samples, cfg.deployment.comm_range_ft,
+      calib_rng);
+  switch (cfg.wormhole_detector_type) {
+    case SystemConfig::WormholeDetectorType::kProbabilistic:
+      wormhole_detector =
+          std::make_unique<ranging::ProbabilisticWormholeDetector>(
+              cfg.wormhole_detection_rate, cfg.seed ^ 0x3a1e5bd7a11ULL);
+      break;
+    case SystemConfig::WormholeDetectorType::kGeographicLeash:
+      wormhole_detector =
+          std::make_unique<ranging::GeographicLeashDetector>(
+              max_ranging_error_ft());
+      break;
+  }
+  detection::DetectorConfig det_cfg;
+  det_cfg.max_ranging_error_ft = max_ranging_error_ft();
+  det_cfg.replay.rtt_x_max_cycles = rtt_calibration.x_max_cycles;
+  detector.emplace(det_cfg, wormhole_detector.get());
+}
+
+double SystemContext::max_ranging_error_ft() const {
+  switch (config.ranging_type) {
+    case RangingType::kRssi:
+      return config.rssi.max_error_ft;
+    case RangingType::kToa:
+      return toa.max_error_ft();
+  }
+  return config.rssi.max_error_ft;  // unreachable
+}
+
+void SystemContext::submit_alert(sim::NodeId reporter, sim::NodeId target,
+                                 bool collusion_alert) {
+  if (scheduler == nullptr)
+    throw std::logic_error("SystemContext: scheduler not wired");
+  if (collusion_alert)
+    ++metrics.collusion_alerts_submitted;
+  else
+    ++metrics.alerts_submitted;
+  metrics.alert_log.push_back({reporter, target, collusion_alert});
+  const sim::SimTime jitter = static_cast<sim::SimTime>(
+      rng.uniform(0.0, 50.0 * static_cast<double>(sim::kMillisecond)));
+  scheduler->schedule_after(jitter, [this, reporter, target]() {
+    base_station.process_alert(reporter, target);
+  });
+}
+
+SystemContext::SignalMeasurement SystemContext::measure(
+    const sim::Delivery& delivery, const sim::BeaconReplyPayload& payload,
+    const util::Vec2& receiver_position, util::Rng& node_rng) const {
+  SignalMeasurement m;
+  // Ranging measures distance to wherever the energy radiated from.
+  const double physical_distance =
+      util::distance(delivery.ctx.radiating_position, receiver_position);
+  switch (config.ranging_type) {
+    case RangingType::kRssi:
+      m.distance_ft = rssi.measure_manipulated(
+          physical_distance, payload.range_manipulation_ft, node_rng);
+      break;
+    case RangingType::kToa:
+      // The attacker's manipulation is expressed in feet; convert to the
+      // equivalent timestamp shift (1 ft ~ 1.0167 ns).
+      m.distance_ft = toa.measure_manipulated(
+          physical_distance,
+          payload.range_manipulation_ft /
+              (sim::kSpeedOfLightFtPerSec * 1e-9),
+          node_rng);
+      break;
+  }
+  // RTT = honest hardware sample + replay delay + the target's timing lie.
+  m.rtt_cycles = timing.sample_rtt_cycles(physical_distance, node_rng) +
+                 delivery.ctx.extra_delay_cycles +
+                 payload.processing_bias_cycles;
+  return m;
+}
+
+// --- BeaconNode ----------------------------------------------------------
+
+BeaconNode::BeaconNode(sim::NodeId id, util::Vec2 position, double range_ft,
+                       SystemContext& ctx,
+                       std::vector<sim::NodeId> detecting_ids)
+    : sim::Node(id, position, range_ft),
+      ctx_(ctx),
+      detecting_ids_(std::move(detecting_ids)),
+      rng_(ctx.rng.fork(0xbea0000ULL + id)) {}
+
+void BeaconNode::set_probe_targets(std::vector<sim::NodeId> targets) {
+  probe_targets_ = std::move(targets);
+}
+
+void BeaconNode::start() {
+  // Probe every target beacon once per detecting ID, staggered so the
+  // event queue interleaves nodes deterministically but not degenerately.
+  sim::SimTime at = ctx_.config.probe_phase_start;
+  for (const auto target : probe_targets_) {
+    for (const auto detecting_id : detecting_ids_) {
+      at += ctx_.config.transmission_stagger;
+      scheduler().schedule_at(at, [this, target, detecting_id]() {
+        send_probe(target, detecting_id);
+      });
+    }
+  }
+}
+
+void BeaconNode::send_probe(sim::NodeId target, sim::NodeId detecting_id) {
+  sim::BeaconRequestPayload req;
+  req.nonce = rng_();
+  pending_.emplace(req.nonce, PendingProbe{target, detecting_id});
+  ++ctx_.metrics.probes_sent;
+  channel().unicast(*this, make_message(ctx_.keys, detecting_id, target,
+                                        sim::MsgType::kBeaconRequest,
+                                        req.serialize()));
+}
+
+void BeaconNode::on_message(const sim::Delivery& delivery) {
+  switch (delivery.msg.type) {
+    case sim::MsgType::kBeaconRequest:
+      handle_request(delivery);
+      return;
+    case sim::MsgType::kBeaconReply:
+      handle_probe_reply(delivery);
+      return;
+    default:
+      return;  // beacons ignore other traffic
+  }
+}
+
+void BeaconNode::handle_request(const sim::Delivery& delivery) {
+  if (!verify(ctx_.keys, delivery.msg)) {
+    ++ctx_.metrics.mac_failures;
+    return;
+  }
+  const auto req = sim::BeaconRequestPayload::parse(delivery.msg.payload);
+  sim::BeaconReplyPayload reply;
+  reply.nonce = req.nonce;
+  reply.claimed_position = position();  // truthful
+  channel().unicast(*this, make_message(ctx_.keys, id(), delivery.msg.src,
+                                        sim::MsgType::kBeaconReply,
+                                        reply.serialize()));
+}
+
+void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
+  if (!verify(ctx_.keys, delivery.msg)) {
+    ++ctx_.metrics.mac_failures;
+    return;
+  }
+  const auto reply = sim::BeaconReplyPayload::parse(delivery.msg.payload);
+  const auto it = pending_.find(reply.nonce);
+  if (it == pending_.end()) return;  // duplicate or stale: first copy wins
+  const PendingProbe probe = it->second;
+  pending_.erase(it);
+  if (delivery.msg.src != probe.target) return;  // mismatched responder
+  ++ctx_.metrics.probe_replies;
+
+  const auto m = ctx_.measure(delivery, reply, position(), rng_);
+
+  detection::SignalObservation obs;
+  obs.receiver_id = id();
+  obs.sender_id = probe.target;
+  obs.receiver_position = position();
+  obs.receiver_knows_position = true;
+  obs.claimed_position = reply.claimed_position;
+  obs.measured_distance_ft = m.distance_ft;
+  obs.target_range_ft = ctx_.config.deployment.comm_range_ft;
+  obs.observed_rtt_cycles = m.rtt_cycles;
+  obs.via_wormhole = delivery.ctx.via_wormhole;
+  obs.sender_faked_wormhole_indication = reply.fake_wormhole_indication;
+
+  switch (ctx_.detector->evaluate(obs, rng_)) {
+    case detection::ProbeOutcome::kConsistent:
+      return;
+    case detection::ProbeOutcome::kIgnoredWormholeReplay:
+      ++ctx_.metrics.consistency_flags;
+      ++ctx_.metrics.probe_ignored_wormhole;
+      return;
+    case detection::ProbeOutcome::kIgnoredLocalReplay:
+      ++ctx_.metrics.consistency_flags;
+      ++ctx_.metrics.probe_ignored_local_replay;
+      return;
+    case detection::ProbeOutcome::kAlert:
+      ++ctx_.metrics.consistency_flags;
+      // One alert per (reporter, target) pair.
+      if (reported_.insert(probe.target).second)
+        ctx_.submit_alert(id(), probe.target, /*collusion_alert=*/false);
+      return;
+  }
+}
+
+// --- MaliciousBeaconNode --------------------------------------------------
+
+MaliciousBeaconNode::MaliciousBeaconNode(sim::NodeId id, util::Vec2 position,
+                                         double range_ft, SystemContext& ctx,
+                                         attack::MaliciousBeaconStrategy strategy)
+    : sim::Node(id, position, range_ft),
+      ctx_(ctx),
+      strategy_(std::move(strategy)),
+      rng_(ctx.rng.fork(0xbad0000ULL + id)) {}
+
+void MaliciousBeaconNode::on_message(const sim::Delivery& delivery) {
+  if (delivery.msg.type != sim::MsgType::kBeaconRequest) return;
+  if (!verify(ctx_.keys, delivery.msg)) {
+    ++ctx_.metrics.mac_failures;
+    return;
+  }
+  const auto req = sim::BeaconRequestPayload::parse(delivery.msg.payload);
+  // The requester ID is all the attacker sees — it cannot tell a detecting
+  // ID from a real sensor ID, which is the crux of the scheme.
+  const auto reply =
+      strategy_.craft_reply(delivery.msg.src, req.nonce, position());
+  channel().unicast(*this, make_message(ctx_.keys, id(), delivery.msg.src,
+                                        sim::MsgType::kBeaconReply,
+                                        reply.serialize()));
+}
+
+// --- SensorNode -----------------------------------------------------------
+
+SensorNode::SensorNode(sim::NodeId id, util::Vec2 position, double range_ft,
+                       SystemContext& ctx)
+    : sim::Node(id, position, range_ft),
+      ctx_(ctx),
+      rng_(ctx.rng.fork(0x5e50000ULL + id)) {}
+
+void SensorNode::set_query_targets(std::vector<sim::NodeId> targets) {
+  query_targets_ = std::move(targets);
+}
+
+void SensorNode::start() {
+  sim::SimTime at = ctx_.config.sensor_phase_start;
+  for (const auto target : query_targets_) {
+    at += ctx_.config.transmission_stagger;
+    scheduler().schedule_at(at, [this, target]() {
+      sim::BeaconRequestPayload req;
+      req.nonce = rng_();
+      pending_.emplace(req.nonce, target);
+      ++ctx_.metrics.sensor_requests;
+      channel().unicast(*this, make_message(ctx_.keys, id(), target,
+                                            sim::MsgType::kBeaconRequest,
+                                            req.serialize()));
+    });
+  }
+}
+
+void SensorNode::on_message(const sim::Delivery& delivery) {
+  if (delivery.msg.type != sim::MsgType::kBeaconReply) return;
+  if (!verify(ctx_.keys, delivery.msg)) {
+    ++ctx_.metrics.mac_failures;
+    return;
+  }
+  const auto reply = sim::BeaconReplyPayload::parse(delivery.msg.payload);
+  const auto it = pending_.find(reply.nonce);
+  if (it == pending_.end()) return;  // duplicate or stale: first copy wins
+  const sim::NodeId target = it->second;
+  pending_.erase(it);
+  if (delivery.msg.src != target) return;
+  ++ctx_.metrics.sensor_replies;
+
+  const auto m = ctx_.measure(delivery, reply, position(), rng_);
+
+  detection::SignalObservation obs;
+  obs.receiver_id = id();
+  obs.sender_id = target;
+  obs.receiver_knows_position = false;  // sensors don't know where they are
+  obs.claimed_position = reply.claimed_position;
+  obs.measured_distance_ft = m.distance_ft;
+  obs.target_range_ft = ctx_.config.deployment.comm_range_ft;
+  obs.observed_rtt_cycles = m.rtt_cycles;
+  obs.via_wormhole = delivery.ctx.via_wormhole;
+  obs.sender_faked_wormhole_indication = reply.fake_wormhole_indication;
+
+  switch (ctx_.detector->replay_filter().evaluate_at_nonbeacon(obs, rng_)) {
+    case detection::SignalVerdict::kWormholeReplay:
+      ++ctx_.metrics.sensor_discarded_wormhole;
+      return;
+    case detection::SignalVerdict::kLocalReplay:
+      ++ctx_.metrics.sensor_discarded_rtt;
+      return;
+    case detection::SignalVerdict::kGenuine:
+      break;
+  }
+
+  AcceptedReference acc;
+  acc.ref.beacon_id = target;
+  acc.ref.beacon_position = reply.claimed_position;
+  acc.ref.measured_distance_ft = m.distance_ft;
+  const auto truth_it = ctx_.truth.find(target);
+  if (truth_it != ctx_.truth.end() && truth_it->second.malicious) {
+    const bool lied_location =
+        util::distance(truth_it->second.true_position,
+                       reply.claimed_position) > 1e-6;
+    const bool manipulated_signal = reply.range_manipulation_ft != 0.0;
+    acc.effective_malicious = lied_location || manipulated_signal;
+  }
+  accepted_.push_back(std::move(acc));
+}
+
+void SensorNode::finalize() {
+  localization::LocationReferences refs;
+  refs.reserve(accepted_.size());
+  std::unordered_set<sim::NodeId> counted;
+  for (const auto& acc : accepted_) {
+    const bool revoked = ctx_.base_station.is_revoked(acc.ref.beacon_id) &&
+                         ctx_.dissemination.sensor_knows(id(),
+                                                         acc.ref.beacon_id);
+    if (revoked) {
+      ++ctx_.metrics.sensor_refs_dropped_revoked;
+      continue;
+    }
+    if (acc.effective_malicious && counted.insert(acc.ref.beacon_id).second)
+      ++ctx_.metrics.affected_by_malicious[acc.ref.beacon_id];
+    refs.push_back(acc.ref);
+  }
+
+  localization::MultilaterationSolver solver;
+  auto fit = solver.solve(refs);
+  if (fit) {
+    result_ = *fit;
+    ++ctx_.metrics.sensors_localized;
+    ctx_.metrics.localization_error_ft.add(
+        util::distance(fit->position, position()));
+  } else {
+    ++ctx_.metrics.sensors_unlocalized;
+  }
+}
+
+}  // namespace sld::core

@@ -1,0 +1,205 @@
+// Protocol node implementations wiring the detection/revocation logic into
+// the simulator: benign beacons (which double as detecting nodes), malicious
+// beacons, non-beacon sensors, and the shared per-trial SystemContext.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attack/strategy.hpp"
+#include "core/config.hpp"
+#include "crypto/pairwise.hpp"
+#include "detection/detector.hpp"
+#include "localization/location_reference.hpp"
+#include "localization/multilateration.hpp"
+#include "ranging/rssi.hpp"
+#include "ranging/rtt.hpp"
+#include "ranging/toa.hpp"
+#include "ranging/wormhole_detector.hpp"
+#include "revocation/base_station.hpp"
+#include "revocation/dissemination.hpp"
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+namespace sld::core {
+
+/// Ground truth the metrics oracle keeps about every beacon.
+struct BeaconTruth {
+  util::Vec2 true_position;
+  bool malicious = false;
+};
+
+/// Raw counters collected during one trial.
+struct Metrics {
+  // Probing (detecting-node) phase.
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_replies = 0;
+  std::uint64_t consistency_flags = 0;
+  std::uint64_t probe_ignored_wormhole = 0;
+  std::uint64_t probe_ignored_local_replay = 0;
+  std::uint64_t alerts_submitted = 0;
+  std::uint64_t collusion_alerts_submitted = 0;
+  std::uint64_t mac_failures = 0;
+
+  // Sensor (localization) phase.
+  std::uint64_t sensor_requests = 0;
+  std::uint64_t sensor_replies = 0;
+  std::uint64_t sensor_discarded_wormhole = 0;
+  std::uint64_t sensor_discarded_rtt = 0;
+  std::uint64_t sensor_refs_dropped_revoked = 0;
+  std::uint64_t sensors_localized = 0;
+  std::uint64_t sensors_unlocalized = 0;
+  util::RunningStat localization_error_ft;
+
+  /// Per malicious beacon: how many distinct sensors accepted (and kept,
+  /// post-revocation) its effective malicious reference.
+  std::unordered_map<sim::NodeId, std::uint64_t> affected_by_malicious;
+
+  /// Every alert submitted this trial, in submission order — consumed by
+  /// the distributed-revocation evaluation, which replays them as local
+  /// votes instead of base-station reports.
+  struct LoggedAlert {
+    sim::NodeId reporter = 0;
+    sim::NodeId target = 0;
+    bool collusion = false;
+  };
+  std::vector<LoggedAlert> alert_log;
+};
+
+/// Shared per-trial state every node holds a reference to. Owned by
+/// SecureLocalizationSystem; nodes must not outlive it.
+struct SystemContext {
+  explicit SystemContext(const SystemConfig& config);
+
+  const SystemConfig& config;
+  crypto::PairwiseKeyManager keys;
+  ranging::RssiRangingModel rssi;
+  ranging::ToaRangingModel toa;
+  ranging::MoteTimingModel timing;
+
+  /// Maximum honest error of the configured ranging feature, feet — the
+  /// consistency detector's threshold.
+  double max_ranging_error_ft() const;
+  ranging::RttCalibration rtt_calibration;
+  std::unique_ptr<ranging::WormholeDetector> wormhole_detector;
+  std::optional<detection::Detector> detector;  // built after calibration
+  revocation::BaseStation base_station;
+  revocation::DisseminationModel dissemination;
+  std::unordered_map<sim::NodeId, BeaconTruth> truth;
+  Metrics metrics;
+  util::Rng rng;
+  sim::Scheduler* scheduler = nullptr;  // set by the system before start
+
+  /// Delivers an alert to the base station with a small random transport
+  /// jitter, so honest and colluding alerts interleave realistically.
+  void submit_alert(sim::NodeId reporter, sim::NodeId target,
+                    bool collusion_alert);
+
+  /// Measured distance + observed RTT for one received beacon reply.
+  struct SignalMeasurement {
+    double distance_ft = 0.0;
+    double rtt_cycles = 0.0;
+  };
+  SignalMeasurement measure(const sim::Delivery& delivery,
+                            const sim::BeaconReplyPayload& payload,
+                            const util::Vec2& receiver_position,
+                            util::Rng& node_rng) const;
+};
+
+/// A benign beacon node: answers beacon requests truthfully and probes the
+/// beacons around it through its m detecting IDs (paper §2.1).
+class BeaconNode final : public sim::Node {
+ public:
+  BeaconNode(sim::NodeId id, util::Vec2 position, double range_ft,
+             SystemContext& ctx, std::vector<sim::NodeId> detecting_ids);
+
+  bool is_beacon() const override { return true; }
+  const std::vector<sim::NodeId>& detecting_ids() const {
+    return detecting_ids_;
+  }
+
+  /// Beacons this node will probe (set by the system from connectivity).
+  void set_probe_targets(std::vector<sim::NodeId> targets);
+
+  void start() override;
+  void on_message(const sim::Delivery& delivery) override;
+
+  std::size_t alerts_reported() const { return reported_.size(); }
+
+ private:
+  void handle_request(const sim::Delivery& delivery);
+  void handle_probe_reply(const sim::Delivery& delivery);
+  void send_probe(sim::NodeId target, sim::NodeId detecting_id);
+
+  struct PendingProbe {
+    sim::NodeId target = 0;
+    sim::NodeId detecting_id = 0;
+  };
+
+  SystemContext& ctx_;
+  std::vector<sim::NodeId> detecting_ids_;
+  std::vector<sim::NodeId> probe_targets_;
+  std::unordered_map<std::uint64_t, PendingProbe> pending_;  // by nonce
+  std::unordered_set<sim::NodeId> reported_;  // one alert per target
+  util::Rng rng_;
+};
+
+/// A compromised beacon node following the (p_n, p_w, p_l) strategy. It
+/// never probes or reports honest alerts; collusion alerts are scheduled by
+/// the system from the collusion plan.
+class MaliciousBeaconNode final : public sim::Node {
+ public:
+  MaliciousBeaconNode(sim::NodeId id, util::Vec2 position, double range_ft,
+                      SystemContext& ctx,
+                      attack::MaliciousBeaconStrategy strategy);
+
+  bool is_beacon() const override { return true; }
+  const attack::MaliciousBeaconStrategy& strategy() const { return strategy_; }
+
+  void on_message(const sim::Delivery& delivery) override;
+
+ private:
+  SystemContext& ctx_;
+  attack::MaliciousBeaconStrategy strategy_;
+  util::Rng rng_;
+};
+
+/// A non-beacon sensor: requests beacon signals from the beacons around it,
+/// filters them (§2.2 pipelines), drops revoked beacons, and multilaterates.
+class SensorNode final : public sim::Node {
+ public:
+  SensorNode(sim::NodeId id, util::Vec2 position, double range_ft,
+             SystemContext& ctx);
+
+  /// Beacons this sensor will query (set by the system from connectivity).
+  void set_query_targets(std::vector<sim::NodeId> targets);
+
+  void start() override;
+  void on_message(const sim::Delivery& delivery) override;
+
+  /// Called by the system after the sensor phase: applies revocations,
+  /// localizes, and records metrics.
+  void finalize();
+
+  const std::optional<localization::LocalizationResult>& result() const {
+    return result_;
+  }
+
+ private:
+  struct AcceptedReference {
+    localization::LocationReference ref;
+    bool effective_malicious = false;  // ground-truth label
+  };
+
+  SystemContext& ctx_;
+  std::vector<sim::NodeId> query_targets_;
+  std::unordered_map<std::uint64_t, sim::NodeId> pending_;  // nonce -> target
+  std::vector<AcceptedReference> accepted_;
+  std::optional<localization::LocalizationResult> result_;
+  util::Rng rng_;
+};
+
+}  // namespace sld::core

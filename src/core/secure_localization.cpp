@@ -1,0 +1,193 @@
+#include "core/secure_localization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "attack/collusion.hpp"
+#include "attack/wormhole.hpp"
+
+namespace sld::core {
+
+SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
+    : config_(config),
+      ctx_(std::make_unique<SystemContext>(config_)),
+      network_(sim::ChannelConfig{config_.channel_loss_probability},
+               config_.seed ^ 0xc4a27e1ULL),
+      detecting_registry_(sim::kNonBeaconIdBase, sim::kNonBeaconIdLimit) {
+  util::Rng deploy_rng = ctx_->rng.fork(0xdeb107);
+  deployment_ = sim::deploy_random(config_.deployment, deploy_rng);
+
+  if (config_.paper_wormhole) {
+    attack::install_paper_wormhole(network_.channel(),
+                                   config_.deployment.comm_range_ft);
+  }
+  for (const auto& link : config_.custom_wormholes)
+    network_.channel().add_wormhole(link);
+  if (config_.extra_random_wormholes > 0) {
+    util::Rng wh_rng = ctx_->rng.fork(0x3072);
+    attack::install_random_wormholes(
+        network_.channel(), config_.deployment.field,
+        config_.extra_random_wormholes, config_.deployment.comm_range_ft,
+        wh_rng);
+  }
+
+  build_nodes();
+  ctx_->scheduler = &network_.scheduler();
+}
+
+void SecureLocalizationSystem::build_nodes() {
+  const double range = config_.deployment.comm_range_ft;
+
+  // Real sensor IDs must be reserved before detecting IDs are drawn, so no
+  // detecting ID collides with a deployed sensor.
+  for (const auto& spec : deployment_.nodes) {
+    if (!spec.beacon) detecting_registry_.reserve_real_id(spec.id);
+  }
+
+  util::Rng id_rng = ctx_->rng.fork(0x1d5);
+  for (const auto& spec : deployment_.nodes) {
+    if (spec.beacon) {
+      ctx_->truth[spec.id] = BeaconTruth{spec.position, spec.malicious};
+      if (spec.malicious) {
+        attack::MaliciousBeaconStrategy strategy(
+            config_.strategy, ctx_->rng.fork(0xeb11 + spec.id)());
+        auto& node = network_.emplace_node<MaliciousBeaconNode>(
+            spec.id, spec.position, range, *ctx_, std::move(strategy));
+        malicious_nodes_.push_back(&node);
+      } else {
+        const auto ids = detecting_registry_.allocate(
+            spec.id, config_.detecting_ids, id_rng);
+        auto& node = network_.emplace_node<BeaconNode>(
+            spec.id, spec.position, range, *ctx_, ids);
+        for (const auto alias : ids) network_.add_alias(alias, node);
+        benign_nodes_.push_back(&node);
+      }
+    } else {
+      auto& node = network_.emplace_node<SensorNode>(spec.id, spec.position,
+                                                     range, *ctx_);
+      sensor_nodes_.push_back(&node);
+    }
+  }
+
+  // Connectivity-driven target lists: detecting beacons probe every beacon
+  // they can reach (directly or through a wormhole — the wormhole is how
+  // they would have heard of it); sensors query the same set.
+  for (auto* beacon : benign_nodes_) {
+    std::vector<sim::NodeId> targets;
+    for (const auto id : network_.connected_nodes(beacon->id())) {
+      const sim::Node* other = network_.node(id);
+      if (other != nullptr && other->is_beacon()) targets.push_back(id);
+    }
+    beacon->set_probe_targets(std::move(targets));
+  }
+  for (auto* sensor : sensor_nodes_) {
+    std::vector<sim::NodeId> targets;
+    for (const auto id : network_.connected_nodes(sensor->id())) {
+      const sim::Node* other = network_.node(id);
+      if (other != nullptr && other->is_beacon()) targets.push_back(id);
+    }
+    sensor->set_query_targets(std::move(targets));
+  }
+}
+
+void SecureLocalizationSystem::schedule_collusion() {
+  if (!config_.collusion || malicious_nodes_.empty()) return;
+
+  std::vector<sim::NodeId> colluders;
+  for (const auto* m : malicious_nodes_) colluders.push_back(m->id());
+  std::vector<sim::NodeId> benign_targets;
+  for (const auto* b : benign_nodes_) benign_targets.push_back(b->id());
+  util::Rng shuffle_rng = ctx_->rng.fork(0xc0111);
+  shuffle_rng.shuffle(benign_targets);
+
+  const auto plan = attack::plan_collusion(
+      colluders, benign_targets, config_.revocation.report_quota,
+      config_.revocation.alert_threshold);
+
+  // Colluders flood as early as possible; transport jitter still
+  // interleaves their alerts with honest ones.
+  for (const auto& alert : plan.alerts)
+    ctx_->submit_alert(alert.reporter, alert.target, /*collusion_alert=*/true);
+}
+
+void SecureLocalizationSystem::schedule_finalize() {
+  std::size_t max_targets = 0;
+  for (const auto* s : sensor_nodes_)
+    max_targets = std::max(
+        max_targets, network_.connected_nodes(s->id()).size());
+  const sim::SimTime finalize_at =
+      config_.sensor_phase_start +
+      static_cast<sim::SimTime>(max_targets + 2) *
+          config_.transmission_stagger +
+      sim::kSecond;
+  for (auto* sensor : sensor_nodes_) {
+    network_.scheduler().schedule_at(finalize_at,
+                                     [sensor]() { sensor->finalize(); });
+  }
+}
+
+TrialSummary SecureLocalizationSystem::run() {
+  if (ran_)
+    throw std::logic_error("SecureLocalizationSystem::run: already ran");
+  ran_ = true;
+
+  network_.start_all();
+  schedule_collusion();
+  schedule_finalize();
+  network_.run();
+  return summarize();
+}
+
+TrialSummary SecureLocalizationSystem::summarize() const {
+  TrialSummary s;
+  s.benign_beacons = benign_nodes_.size();
+  s.malicious_beacons = malicious_nodes_.size();
+  s.sensors = sensor_nodes_.size();
+
+  double requester_sum = 0.0;
+  for (const auto* m : malicious_nodes_) {
+    requester_sum +=
+        static_cast<double>(network_.connected_nodes(m->id()).size());
+    if (ctx_->base_station.is_revoked(m->id())) ++s.malicious_revoked;
+  }
+  s.avg_requesters_per_malicious =
+      malicious_nodes_.empty()
+          ? 0.0
+          : requester_sum / static_cast<double>(malicious_nodes_.size());
+  for (const auto* b : benign_nodes_) {
+    if (ctx_->base_station.is_revoked(b->id())) ++s.benign_revoked;
+  }
+  s.detection_rate =
+      malicious_nodes_.empty()
+          ? 0.0
+          : static_cast<double>(s.malicious_revoked) /
+                static_cast<double>(malicious_nodes_.size());
+  s.false_positive_rate =
+      benign_nodes_.empty()
+          ? 0.0
+          : static_cast<double>(s.benign_revoked) /
+                static_cast<double>(benign_nodes_.size());
+
+  std::uint64_t affected = 0;
+  for (const auto& [beacon, count] : ctx_->metrics.affected_by_malicious)
+    affected += count;
+  s.affected_sensor_references = affected;
+  s.avg_affected_per_malicious =
+      malicious_nodes_.empty()
+          ? 0.0
+          : static_cast<double>(affected) /
+                static_cast<double>(malicious_nodes_.size());
+
+  s.sensors_localized = ctx_->metrics.sensors_localized;
+  s.sensors_unlocalized = ctx_->metrics.sensors_unlocalized;
+  s.mean_localization_error_ft = ctx_->metrics.localization_error_ft.mean();
+  s.max_localization_error_ft = ctx_->metrics.localization_error_ft.max();
+
+  s.rtt_x_max_cycles = ctx_->rtt_calibration.x_max_cycles;
+  s.raw = ctx_->metrics;
+  s.base_station = ctx_->base_station.stats();
+  s.channel = network_.channel().stats();
+  return s;
+}
+
+}  // namespace sld::core

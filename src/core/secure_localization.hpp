@@ -1,0 +1,83 @@
+// The full system: deployment -> crypto provisioning -> probing phase
+// (detecting nodes + base-station revocation) -> sensor localization phase
+// -> metrics. One SecureLocalizationSystem instance runs one trial; the
+// whole trial is a pure function of (SystemConfig, SystemConfig::seed).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/nodes.hpp"
+#include "crypto/detecting_ids.hpp"
+#include "sim/deployment.hpp"
+#include "sim/network.hpp"
+
+namespace sld::core {
+
+/// Digest of one trial.
+struct TrialSummary {
+  // Topology.
+  std::size_t benign_beacons = 0;
+  std::size_t malicious_beacons = 0;
+  std::size_t sensors = 0;
+  /// Average number of requester nodes connected to a malicious beacon —
+  /// the measured N_c fed back into the analytical model.
+  double avg_requesters_per_malicious = 0.0;
+
+  // Revocation outcomes.
+  std::size_t malicious_revoked = 0;
+  std::size_t benign_revoked = 0;
+  double detection_rate = 0.0;       // malicious_revoked / N_a
+  double false_positive_rate = 0.0;  // benign_revoked / (N_b - N_a)
+
+  // Attack impact.
+  /// N': average number of non-beacon requesters that kept an effective
+  /// malicious reference, per malicious beacon.
+  double avg_affected_per_malicious = 0.0;
+  std::size_t affected_sensor_references = 0;
+
+  // Localization quality.
+  std::size_t sensors_localized = 0;
+  std::size_t sensors_unlocalized = 0;
+  double mean_localization_error_ft = 0.0;
+  double max_localization_error_ft = 0.0;
+
+  // Calibration + raw counters.
+  double rtt_x_max_cycles = 0.0;
+  Metrics raw;
+  revocation::BaseStationStats base_station;
+  sim::ChannelStats channel;
+};
+
+class SecureLocalizationSystem {
+ public:
+  explicit SecureLocalizationSystem(SystemConfig config);
+
+  /// Runs the trial once. Must not be called twice on the same instance.
+  TrialSummary run();
+
+  // Post-run (or post-construction) introspection for examples/benches.
+  const SystemConfig& config() const { return config_; }
+  const sim::Deployment& deployment() const { return deployment_; }
+  const SystemContext& context() const { return *ctx_; }
+  sim::Network& network() { return network_; }
+
+ private:
+  void build_nodes();
+  void schedule_collusion();
+  void schedule_finalize();
+  TrialSummary summarize() const;
+
+  SystemConfig config_;
+  std::unique_ptr<SystemContext> ctx_;
+  sim::Network network_;
+  sim::Deployment deployment_;
+  std::vector<BeaconNode*> benign_nodes_;
+  std::vector<MaliciousBeaconNode*> malicious_nodes_;
+  std::vector<SensorNode*> sensor_nodes_;
+  crypto::DetectingIdRegistry detecting_registry_;
+  bool ran_ = false;
+};
+
+}  // namespace sld::core

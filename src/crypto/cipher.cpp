@@ -1,0 +1,53 @@
+#include "crypto/cipher.hpp"
+
+#include "crypto/mac.hpp"
+
+namespace sld::crypto {
+
+namespace {
+constexpr std::uint64_t kEncryptLabel = 0x656e63'00000000ULL;  // "enc"
+constexpr std::uint64_t kMacLabel = 0x6d6163'00000000ULL;      // "mac"
+}  // namespace
+
+util::Bytes stream_crypt(const Key128& key, std::uint64_t nonce,
+                         std::span<const std::uint8_t> data) {
+  util::Bytes out(data.begin(), data.end());
+  std::uint64_t block = 0;
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    // Keystream block i = PRF(key, nonce || i).
+    const std::uint64_t ks =
+        siphash24_u64(key, nonce ^ (block * 0x9e3779b97f4a7c15ULL + block));
+    for (int b = 0; b < 8 && offset < out.size(); ++b, ++offset)
+      out[offset] ^= static_cast<std::uint8_t>(ks >> (8 * b));
+    ++block;
+  }
+  return out;
+}
+
+SealedBox seal(const Key128& key, std::uint64_t nonce, std::uint32_t src,
+               std::uint32_t dst, std::span<const std::uint8_t> plaintext) {
+  const Key128 enc_key = derive_key(key, kEncryptLabel ^ nonce);
+  const Key128 mac_key = derive_key(key, kMacLabel);
+  SealedBox box;
+  box.ciphertext = stream_crypt(enc_key, nonce, plaintext);
+  util::ByteWriter ad;
+  ad.u64(nonce);
+  ad.bytes(box.ciphertext);
+  box.tag = compute_mac(mac_key, src, dst, ad.data());
+  return box;
+}
+
+std::optional<util::Bytes> open(const Key128& key, std::uint64_t nonce,
+                                std::uint32_t src, std::uint32_t dst,
+                                const SealedBox& box) {
+  const Key128 mac_key = derive_key(key, kMacLabel);
+  util::ByteWriter ad;
+  ad.u64(nonce);
+  ad.bytes(box.ciphertext);
+  if (!verify_mac(mac_key, src, dst, ad.data(), box.tag)) return std::nullopt;
+  const Key128 enc_key = derive_key(key, kEncryptLabel ^ nonce);
+  return stream_crypt(enc_key, nonce, box.ciphertext);
+}
+
+}  // namespace sld::crypto

@@ -1,0 +1,40 @@
+// Payload encryption. The paper requires every beacon packet to be
+// "authenticated (and potentially encrypted) with the pairwise key shared
+// between two communicating nodes"; this provides the encryption half as a
+// SipHash-based stream cipher (counter-mode keystream under a derived
+// subkey, so the same key can safely both encrypt and MAC). A (key, nonce)
+// pair must never be reused — the protocol layer uses the per-request
+// nonce it already carries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/mac.hpp"
+#include "crypto/siphash.hpp"
+#include "util/bytes.hpp"
+
+namespace sld::crypto {
+
+/// Encrypts `plaintext` in place-copy under (key, nonce). Symmetric:
+/// applying it twice with the same parameters decrypts.
+util::Bytes stream_crypt(const Key128& key, std::uint64_t nonce,
+                         std::span<const std::uint8_t> data);
+
+/// Authenticated encryption convenience: encrypt-then-MAC with subkeys
+/// derived from `key` (so key reuse across the two roles is safe).
+struct SealedBox {
+  util::Bytes ciphertext;
+  MacTag tag = 0;
+};
+
+SealedBox seal(const Key128& key, std::uint64_t nonce, std::uint32_t src,
+               std::uint32_t dst, std::span<const std::uint8_t> plaintext);
+
+/// Verifies and decrypts; nullopt when the tag does not verify.
+std::optional<util::Bytes> open(const Key128& key, std::uint64_t nonce,
+                                std::uint32_t src, std::uint32_t dst,
+                                const SealedBox& box);
+
+}  // namespace sld::crypto

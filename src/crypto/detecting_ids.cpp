@@ -1,0 +1,55 @@
+#include "crypto/detecting_ids.hpp"
+
+#include <stdexcept>
+
+namespace sld::crypto {
+
+DetectingIdRegistry::DetectingIdRegistry(std::uint32_t id_space_begin,
+                                         std::uint32_t id_space_end)
+    : begin_(id_space_begin), end_(id_space_end) {
+  if (begin_ >= end_)
+    throw std::invalid_argument("DetectingIdRegistry: empty id space");
+}
+
+std::vector<std::uint32_t> DetectingIdRegistry::allocate(std::uint32_t beacon,
+                                                         std::size_t count,
+                                                         util::Rng& rng) {
+  const std::uint64_t space = end_ - begin_;
+  if (taken_.size() + count > space)
+    throw std::runtime_error("DetectingIdRegistry: id space exhausted");
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const auto candidate =
+        begin_ + static_cast<std::uint32_t>(rng.uniform_u64(space));
+    if (taken_.contains(candidate)) continue;
+    taken_.emplace(candidate, true);
+    owner_.emplace(candidate, beacon);
+    by_beacon_[beacon].push_back(candidate);
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+void DetectingIdRegistry::reserve_real_id(std::uint32_t id) {
+  if (id < begin_ || id >= end_)
+    throw std::invalid_argument("reserve_real_id: id outside the space");
+  if (!taken_.emplace(id, true).second)
+    throw std::invalid_argument("reserve_real_id: id already taken");
+}
+
+std::optional<std::uint32_t> DetectingIdRegistry::owner_of(
+    std::uint32_t detecting_id) const {
+  const auto it = owner_.find(detecting_id);
+  if (it == owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint32_t> DetectingIdRegistry::ids_of(
+    std::uint32_t beacon) const {
+  const auto it = by_beacon_.find(beacon);
+  if (it == by_beacon_.end()) return {};
+  return it->second;
+}
+
+}  // namespace sld::crypto

@@ -1,0 +1,52 @@
+// Detecting-ID provisioning (paper §2.1). Each beacon node is preloaded
+// with `m` extra node IDs that are indistinguishable from non-beacon IDs,
+// plus the keying material for them, so it can probe other beacons while
+// posing as a regular sensor. The registry is held by the deployment
+// authority / base station; in-network attackers cannot query it, which is
+// exactly what makes the probe requests indistinguishable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sld::crypto {
+
+/// Allocates detecting IDs from an ID range reserved for (real or virtual)
+/// non-beacon sensors and remembers which beacon owns which detecting ID.
+class DetectingIdRegistry {
+ public:
+  /// `id_space_begin/end`: half-open range of IDs that read as non-beacon
+  /// node IDs. Real non-beacon nodes occupy part of it; detecting IDs are
+  /// drawn from the remainder so that an ID's numeric value leaks nothing.
+  DetectingIdRegistry(std::uint32_t id_space_begin, std::uint32_t id_space_end);
+
+  /// Allocates `count` fresh detecting IDs for `beacon`, drawn uniformly at
+  /// random from the unused portion of the ID space.
+  std::vector<std::uint32_t> allocate(std::uint32_t beacon, std::size_t count,
+                                      util::Rng& rng);
+
+  /// Marks an ID as used by a real (non-detecting) node, excluding it from
+  /// future allocation. Throws if already taken.
+  void reserve_real_id(std::uint32_t id);
+
+  /// Owner beacon of a detecting ID, if it is one.
+  std::optional<std::uint32_t> owner_of(std::uint32_t detecting_id) const;
+
+  /// All detecting IDs provisioned to `beacon` (empty if none).
+  std::vector<std::uint32_t> ids_of(std::uint32_t beacon) const;
+
+  std::size_t allocated_count() const { return owner_.size(); }
+
+ private:
+  std::uint32_t begin_;
+  std::uint32_t end_;
+  std::unordered_map<std::uint32_t, std::uint32_t> owner_;  // id -> beacon
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_beacon_;
+  std::unordered_map<std::uint32_t, bool> taken_;  // real + detecting
+};
+
+}  // namespace sld::crypto

@@ -1,0 +1,85 @@
+#include "crypto/key_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sld::crypto {
+
+KeyPool::KeyPool(std::size_t pool_size, util::Rng& rng) {
+  if (pool_size == 0) throw std::invalid_argument("KeyPool: empty pool");
+  keys_.resize(pool_size);
+  for (auto& k : keys_) {
+    for (std::size_t i = 0; i < k.size(); i += 8) {
+      const std::uint64_t word = rng();
+      for (std::size_t b = 0; b < 8; ++b)
+        k[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+}
+
+const Key128& KeyPool::key(PoolKeyId id) const {
+  if (id >= keys_.size()) throw std::out_of_range("KeyPool::key: bad id");
+  return keys_[id];
+}
+
+std::vector<PoolKeyId> KeyPool::draw_ring(std::size_t ring_size,
+                                          util::Rng& rng) const {
+  if (ring_size > keys_.size())
+    throw std::invalid_argument("KeyPool::draw_ring: ring larger than pool");
+  const auto idx = rng.sample_indices(keys_.size(), ring_size);
+  std::vector<PoolKeyId> ids;
+  ids.reserve(ring_size);
+  for (const auto i : idx) ids.push_back(static_cast<PoolKeyId>(i));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+double KeyPool::share_probability(std::size_t pool_size,
+                                  std::size_t ring_size) {
+  if (ring_size == 0) return 0.0;
+  if (2 * ring_size > pool_size) return 1.0;
+  // P[share >= 1] = 1 - C(P-k, k) / C(P, k), in log space.
+  const double log_miss =
+      util::log_binomial_coefficient(pool_size - ring_size, ring_size) -
+      util::log_binomial_coefficient(pool_size, ring_size);
+  return 1.0 - std::exp(log_miss);
+}
+
+KeyRing::KeyRing(std::vector<PoolKeyId> ids, const KeyPool& pool)
+    : ids_(std::move(ids)) {
+  if (!std::is_sorted(ids_.begin(), ids_.end()))
+    std::sort(ids_.begin(), ids_.end());
+  key_material_.reserve(ids_.size());
+  for (const auto id : ids_) key_material_.push_back(pool.key(id));
+}
+
+std::optional<PoolKeyId> KeyRing::shared_key_id(const KeyRing& other) const {
+  auto a = ids_.begin();
+  auto b = other.ids_.begin();
+  while (a != ids_.end() && b != other.ids_.end()) {
+    if (*a == *b) return *a;
+    if (*a < *b)
+      ++a;
+    else
+      ++b;
+  }
+  return std::nullopt;
+}
+
+Key128 KeyRing::link_key(PoolKeyId id, std::uint32_t node_a,
+                         std::uint32_t node_b) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id)
+    throw std::invalid_argument("KeyRing::link_key: key not in ring");
+  const auto& material =
+      key_material_[static_cast<std::size_t>(it - ids_.begin())];
+  const std::uint32_t lo = std::min(node_a, node_b);
+  const std::uint32_t hi = std::max(node_a, node_b);
+  return derive_key(material,
+                    (static_cast<std::uint64_t>(lo) << 32) | hi);
+}
+
+}  // namespace sld::crypto

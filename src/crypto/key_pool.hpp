@@ -1,0 +1,63 @@
+// Eschenauer-Gligor random key predistribution [EG02], one of the schemes
+// the paper cites ([3,6,7]) for establishing pairwise keys. Each node is
+// preloaded with a random k-subset ("key ring") of a global pool of P keys;
+// two nodes that share at least one pool key can derive a link key from the
+// shared key with the lowest index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/siphash.hpp"
+#include "util/rng.hpp"
+
+namespace sld::crypto {
+
+/// Identifier of a key in the global pool.
+using PoolKeyId = std::uint32_t;
+
+/// The offline key pool held by the deployment authority.
+class KeyPool {
+ public:
+  /// Generates `pool_size` random keys from `rng`.
+  KeyPool(std::size_t pool_size, util::Rng& rng);
+
+  std::size_t size() const { return keys_.size(); }
+  const Key128& key(PoolKeyId id) const;
+
+  /// Draws a key ring of `ring_size` distinct pool key ids for one node.
+  std::vector<PoolKeyId> draw_ring(std::size_t ring_size,
+                                   util::Rng& rng) const;
+
+  /// Analytic probability that two random rings of size k share >= 1 key
+  /// (the EG connectivity formula), used to size the pool in tests.
+  static double share_probability(std::size_t pool_size,
+                                  std::size_t ring_size);
+
+ private:
+  std::vector<Key128> keys_;
+};
+
+/// A node's key ring plus shared-key discovery.
+class KeyRing {
+ public:
+  KeyRing(std::vector<PoolKeyId> ids, const KeyPool& pool);
+
+  const std::vector<PoolKeyId>& ids() const { return ids_; }
+
+  /// Lowest-indexed pool key shared with `other`, if any.
+  std::optional<PoolKeyId> shared_key_id(const KeyRing& other) const;
+
+  /// Link key for the shared pool key `id`, bound to the (unordered) node
+  /// pair so distinct pairs using the same pool key still get distinct
+  /// link keys.
+  Key128 link_key(PoolKeyId id, std::uint32_t node_a,
+                  std::uint32_t node_b) const;
+
+ private:
+  std::vector<PoolKeyId> ids_;     // sorted
+  std::vector<Key128> key_material_;  // parallel to ids_
+};
+
+}  // namespace sld::crypto

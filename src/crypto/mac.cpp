@@ -1,0 +1,25 @@
+#include "crypto/mac.hpp"
+
+#include "util/bytes.hpp"
+
+namespace sld::crypto {
+
+MacTag compute_mac(const Key128& key, std::uint32_t src, std::uint32_t dst,
+                   std::span<const std::uint8_t> payload) {
+  util::ByteWriter w;
+  w.u32(src);
+  w.u32(dst);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  return siphash24(key, w.data());
+}
+
+bool verify_mac(const Key128& key, std::uint32_t src, std::uint32_t dst,
+                std::span<const std::uint8_t> payload, MacTag tag) {
+  const MacTag expected = compute_mac(key, src, dst, payload);
+  // Branch-free comparison; in the simulator this is about API shape, not
+  // a real timing defence.
+  return ((expected ^ tag) | (tag ^ expected)) == 0;
+}
+
+}  // namespace sld::crypto

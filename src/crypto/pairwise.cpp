@@ -1,0 +1,35 @@
+#include "crypto/pairwise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sld::crypto {
+
+PairwiseKeyManager PairwiseKeyManager::from_seed(std::uint64_t seed) {
+  Key128 master{};
+  for (int i = 0; i < 8; ++i) {
+    master[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+    master[static_cast<std::size_t>(i + 8)] =
+        static_cast<std::uint8_t>((seed * 0x9e3779b97f4a7c15ULL) >> (8 * i));
+  }
+  return PairwiseKeyManager(master);
+}
+
+Key128 PairwiseKeyManager::pairwise_key(std::uint32_t a,
+                                        std::uint32_t b) const {
+  if (a == b)
+    throw std::invalid_argument("pairwise_key: a node has no pair with itself");
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  return derive_key(master_, (static_cast<std::uint64_t>(lo) << 32) | hi);
+}
+
+Key128 PairwiseKeyManager::base_station_key(std::uint32_t id) const {
+  if (id == kBaseStationId)
+    throw std::invalid_argument("base_station_key: id is the base station");
+  return derive_key(master_,
+                    0xb5e0000000000000ULL | static_cast<std::uint64_t>(id));
+}
+
+}  // namespace sld::crypto

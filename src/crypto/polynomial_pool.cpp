@@ -1,0 +1,169 @@
+#include "crypto/polynomial_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sld::crypto {
+
+namespace gf {
+
+std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kPrime) s -= kPrime;
+  return s;
+}
+
+std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  // Mersenne reduction: x = hi * 2^61 + lo = hi + lo (mod 2^61 - 1).
+  std::uint64_t lo = static_cast<std::uint64_t>(prod) & kPrime;
+  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+#pragma GCC diagnostic pop
+  std::uint64_t s = lo + hi;
+  if (s >= kPrime) s -= kPrime;
+  // hi can be up to ~2^61, one more fold covers it.
+  if (s >= kPrime) s -= kPrime;
+  return s;
+}
+
+}  // namespace gf
+
+namespace {
+std::uint64_t random_element(util::Rng& rng) {
+  return rng.uniform_u64(gf::kPrime);
+}
+
+std::uint64_t reduce(std::uint64_t x) { return x % gf::kPrime; }
+}  // namespace
+
+SymmetricBivariatePolynomial::SymmetricBivariatePolynomial(std::size_t t,
+                                                           util::Rng& rng)
+    : degree_(t) {
+  const std::size_t n = t + 1;
+  upper_.resize(n * (n + 1) / 2);
+  for (auto& c : upper_) c = random_element(rng);
+}
+
+std::uint64_t SymmetricBivariatePolynomial::coefficient(std::size_t i,
+                                                        std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  // Packed upper triangle: row r (r <= i) holds n - r entries.
+  const std::size_t n = degree_ + 1;
+  const std::size_t idx = i * n - i * (i - 1) / 2 + (j - i);
+  return upper_[idx];
+}
+
+std::uint64_t SymmetricBivariatePolynomial::evaluate(std::uint64_t x,
+                                                     std::uint64_t y) const {
+  x = reduce(x);
+  y = reduce(y);
+  // Horner in y of polynomials in x: f(x, y) = sum_j (sum_i a_ij x^i) y^j.
+  std::uint64_t result = 0;
+  for (std::size_t j = degree_ + 1; j-- > 0;) {
+    std::uint64_t inner = 0;
+    for (std::size_t i = degree_ + 1; i-- > 0;) {
+      inner = gf::add(gf::mul(inner, x), coefficient(i, j));
+    }
+    result = gf::add(gf::mul(result, y), inner);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> SymmetricBivariatePolynomial::share_for(
+    std::uint64_t node_id) const {
+  const std::uint64_t x = reduce(node_id);
+  std::vector<std::uint64_t> share(degree_ + 1);
+  for (std::size_t j = 0; j <= degree_; ++j) {
+    std::uint64_t inner = 0;
+    for (std::size_t i = degree_ + 1; i-- > 0;) {
+      inner = gf::add(gf::mul(inner, x), coefficient(i, j));
+    }
+    share[j] = inner;
+  }
+  return share;
+}
+
+PolynomialShare::PolynomialShare(std::uint32_t poly_id, std::uint64_t node_id,
+                                 std::vector<std::uint64_t> coefficients)
+    : poly_id_(poly_id),
+      node_id_(node_id),
+      coefficients_(std::move(coefficients)) {
+  if (coefficients_.empty())
+    throw std::invalid_argument("PolynomialShare: empty share");
+}
+
+std::uint64_t PolynomialShare::evaluate(std::uint64_t peer) const {
+  const std::uint64_t y = reduce(peer);
+  std::uint64_t result = 0;
+  for (std::size_t j = coefficients_.size(); j-- > 0;) {
+    result = gf::add(gf::mul(result, y), coefficients_[j]);
+  }
+  return result;
+}
+
+Key128 PolynomialShare::pairwise_key(std::uint64_t peer) const {
+  const std::uint64_t secret = evaluate(peer);
+  Key128 kdf{};
+  for (int i = 0; i < 8; ++i)
+    kdf[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(secret >> (8 * i));
+  const std::uint64_t lo = std::min(node_id_, peer);
+  const std::uint64_t hi = std::max(node_id_, peer);
+  return derive_key(kdf, (lo << 32) ^ hi ^
+                             (static_cast<std::uint64_t>(poly_id_) << 56));
+}
+
+PolynomialPool::PolynomialPool(std::size_t pool_size, std::size_t degree,
+                               util::Rng& rng)
+    : degree_(degree) {
+  if (pool_size == 0)
+    throw std::invalid_argument("PolynomialPool: empty pool");
+  polys_.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i)
+    polys_.emplace_back(degree, rng);
+}
+
+std::vector<PolynomialShare> PolynomialPool::provision(std::uint64_t node_id,
+                                                       std::size_t count,
+                                                       util::Rng& rng) const {
+  if (count > polys_.size())
+    throw std::invalid_argument("PolynomialPool: count exceeds pool");
+  const auto idx = rng.sample_indices(polys_.size(), count);
+  std::vector<PolynomialShare> shares;
+  shares.reserve(count);
+  for (const auto i : idx) {
+    shares.emplace_back(static_cast<std::uint32_t>(i), node_id,
+                        polys_[i].share_for(node_id));
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const auto& a, const auto& b) {
+              return a.poly_id() < b.poly_id();
+            });
+  return shares;
+}
+
+std::uint64_t PolynomialPool::truth(std::uint32_t poly_id, std::uint64_t a,
+                                    std::uint64_t b) const {
+  if (poly_id >= polys_.size())
+    throw std::out_of_range("PolynomialPool::truth: bad id");
+  return polys_[poly_id].evaluate(a, b);
+}
+
+std::optional<std::uint32_t> shared_polynomial(
+    const std::vector<PolynomialShare>& a,
+    const std::vector<PolynomialShare>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].poly_id() == b[j].poly_id()) return a[i].poly_id();
+    if (a[i].poly_id() < b[j].poly_id())
+      ++i;
+    else
+      ++j;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sld::crypto

@@ -1,0 +1,104 @@
+// Polynomial-pool key predistribution (Liu & Ning, CCS'03 — reference [17]
+// of the paper, by the same authors). A t-degree symmetric bivariate
+// polynomial f(x, y) over GF(p) gives node u the univariate share
+// g_u(y) = f(u, y); nodes u and v derive the same pairwise key because
+// g_u(v) = f(u, v) = f(v, u) = g_v(u). Any coalition of at most t
+// compromised nodes learns nothing about other pairs' keys. The pool
+// variant predistributes shares of s polynomials drawn from a pool of F,
+// trading memory for resilience exactly like EG key rings.
+//
+// Arithmetic is over GF(2^61 - 1) (a Mersenne prime, so reduction is two
+// adds), and the 61-bit shared secret is expanded to a Key128 with the
+// SipHash-based KDF.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/siphash.hpp"
+#include "util/rng.hpp"
+
+namespace sld::crypto {
+
+/// GF(p) with p = 2^61 - 1.
+namespace gf {
+inline constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+std::uint64_t add(std::uint64_t a, std::uint64_t b);
+std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+}  // namespace gf
+
+/// A t-degree symmetric bivariate polynomial over GF(2^61 - 1).
+class SymmetricBivariatePolynomial {
+ public:
+  /// Random symmetric polynomial of degree `t` in each variable.
+  SymmetricBivariatePolynomial(std::size_t t, util::Rng& rng);
+
+  std::size_t degree() const { return degree_; }
+
+  /// f(x, y).
+  std::uint64_t evaluate(std::uint64_t x, std::uint64_t y) const;
+
+  /// Coefficients of the univariate share g_u(y) = f(u, y), low degree
+  /// first — what gets loaded onto node u.
+  std::vector<std::uint64_t> share_for(std::uint64_t node_id) const;
+
+ private:
+  std::uint64_t coefficient(std::size_t i, std::size_t j) const;
+
+  std::size_t degree_;
+  // Upper triangle (i <= j) of the symmetric coefficient matrix.
+  std::vector<std::uint64_t> upper_;
+};
+
+/// A node's share of one polynomial.
+class PolynomialShare {
+ public:
+  PolynomialShare(std::uint32_t poly_id, std::uint64_t node_id,
+                  std::vector<std::uint64_t> coefficients);
+
+  std::uint32_t poly_id() const { return poly_id_; }
+  std::uint64_t node_id() const { return node_id_; }
+
+  /// g_u(peer): the 61-bit shared secret with `peer`.
+  std::uint64_t evaluate(std::uint64_t peer) const;
+
+  /// The 128-bit pairwise key with `peer` (KDF over the shared secret,
+  /// bound to the polynomial id and the unordered node pair).
+  Key128 pairwise_key(std::uint64_t peer) const;
+
+ private:
+  std::uint32_t poly_id_;
+  std::uint64_t node_id_;
+  std::vector<std::uint64_t> coefficients_;  // low degree first
+};
+
+/// The deployment authority's pool of F polynomials.
+class PolynomialPool {
+ public:
+  PolynomialPool(std::size_t pool_size, std::size_t degree, util::Rng& rng);
+
+  std::size_t size() const { return polys_.size(); }
+  std::size_t degree() const { return degree_; }
+
+  /// Draws `count` distinct polynomial shares for a node.
+  std::vector<PolynomialShare> provision(std::uint64_t node_id,
+                                         std::size_t count,
+                                         util::Rng& rng) const;
+
+  /// Ground-truth key for tests: f_poly(a, b).
+  std::uint64_t truth(std::uint32_t poly_id, std::uint64_t a,
+                      std::uint64_t b) const;
+
+ private:
+  std::size_t degree_;
+  std::vector<SymmetricBivariatePolynomial> polys_;
+};
+
+/// Lowest-id polynomial two provisioned nodes share, if any.
+std::optional<std::uint32_t> shared_polynomial(
+    const std::vector<PolynomialShare>& a,
+    const std::vector<PolynomialShare>& b);
+
+}  // namespace sld::crypto

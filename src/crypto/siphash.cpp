@@ -1,0 +1,99 @@
+#include "crypto/siphash.hpp"
+
+#include <cstring>
+
+namespace sld::crypto {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(const Key128& key,
+                        std::span<const std::uint8_t> data) {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  SipState s{0x736f6d6570736575ULL ^ k0, 0x646f72616e646f6dULL ^ k1,
+             0x6c7967656e657261ULL ^ k0, 0x7465646279746573ULL ^ k1};
+
+  const std::size_t len = data.size();
+  const std::size_t full_blocks = len / 8;
+  const std::uint8_t* p = data.data();
+
+  for (std::size_t i = 0; i < full_blocks; ++i, p += 8) {
+    const std::uint64_t m = load_le64(p);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = 0; i < (len & 7); ++i)
+    last |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24_u64(const Key128& key, std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i)
+    buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  return siphash24(key, std::span<const std::uint8_t>(buf, 8));
+}
+
+Key128 derive_key(const Key128& master, std::uint64_t label) {
+  const std::uint64_t lo = siphash24_u64(master, label * 2);
+  const std::uint64_t hi = siphash24_u64(master, label * 2 + 1);
+  Key128 out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(lo >> (8 * i));
+    out[static_cast<std::size_t>(i + 8)] =
+        static_cast<std::uint8_t>(hi >> (8 * i));
+  }
+  return out;
+}
+
+}  // namespace sld::crypto

@@ -1,0 +1,27 @@
+// SipHash-2-4: a keyed 64-bit PRF (Aumasson & Bernstein, 2012). Used as the
+// MAC primitive for beacon packets and as the keyed hash behind sticky
+// per-requester attacker decisions. Implemented from scratch — the target
+// platform (sensor motes) would never link OpenSSL, and the reference
+// vectors below pin the implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace sld::crypto {
+
+/// 128-bit SipHash key.
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under `key`.
+std::uint64_t siphash24(const Key128& key, std::span<const std::uint8_t> data);
+
+/// Convenience: SipHash-2-4 of a 64-bit value (little-endian encoded).
+std::uint64_t siphash24_u64(const Key128& key, std::uint64_t value);
+
+/// Derives a subkey from `master` and a 64-bit context label, by using the
+/// PRF output of two related labels as the two subkey halves.
+Key128 derive_key(const Key128& master, std::uint64_t label);
+
+}  // namespace sld::crypto

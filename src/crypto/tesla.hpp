@@ -1,0 +1,141 @@
+// uTESLA broadcast authentication (Perrig, Szewczyk, Wen, Culler, Tygar —
+// SPINS, cited by the paper as [24]). The base station's revocation
+// notices are broadcasts: per-receiver MACs do not scale, and a plain
+// shared key would let any compromised node forge revocations. uTESLA
+// fixes this with delayed key disclosure:
+//
+//  * the sender owns a one-way key chain K_n -> K_{n-1} -> ... -> K_0
+//    (K_{i-1} = F(K_i)); receivers hold the commitment K_0;
+//  * time is slotted; packets sent in interval i are MACed with K_i;
+//  * K_i itself is disclosed d intervals later; receivers accept a packet
+//    only if it provably arrived before its key could have been disclosed
+//    (the "security condition"), buffer it, and verify once the key
+//    arrives and authenticates against the chain.
+//
+// Clocks are assumed loosely synchronized within a known bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/mac.hpp"
+#include "crypto/siphash.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace sld::crypto {
+
+/// One-way function for the key chain: keyed hash with a fixed public
+/// domain-separation key (the chain's security rests on one-wayness, not
+/// on the key).
+Key128 tesla_one_way(const Key128& key);
+
+/// A sender-side one-way key chain.
+class TeslaKeyChain {
+ public:
+  /// Derives a chain of `length` keys from `seed`. Interval i (1-based,
+  /// i <= length) uses key K_i; K_0 is the commitment.
+  TeslaKeyChain(Key128 seed, std::size_t length);
+
+  std::size_t length() const { return keys_.size() - 1; }
+  const Key128& commitment() const { return keys_[0]; }
+
+  /// K_i for 1 <= i <= length().
+  const Key128& key(std::size_t interval) const;
+
+  /// Verifies a disclosed key: hashing `key` back (interval - last_known)
+  /// times must land on `last_known_key`. This is what receivers run.
+  static bool verify_disclosed(const Key128& disclosed, std::size_t interval,
+                               const Key128& last_known_key,
+                               std::size_t last_known_interval);
+
+ private:
+  std::vector<Key128> keys_;  // keys_[i] = K_i
+};
+
+struct TeslaConfig {
+  /// Duration of one interval.
+  sim::SimTime interval = 500 * sim::kMillisecond;
+  /// Key-disclosure lag d, in intervals.
+  std::size_t disclosure_lag = 2;
+  /// Bound on |sender clock - receiver clock|.
+  sim::SimTime max_clock_skew = 50 * sim::kMillisecond;
+  std::size_t chain_length = 1000;
+};
+
+/// An authenticated broadcast packet.
+struct TeslaPacket {
+  std::size_t interval = 0;
+  util::Bytes payload;
+  MacTag mac = 0;
+};
+
+/// A key disclosure message.
+struct TeslaDisclosure {
+  std::size_t interval = 0;
+  Key128 key{};
+};
+
+/// Sender side: MACs payloads with the current interval key and discloses
+/// expired keys.
+class TeslaBroadcaster {
+ public:
+  TeslaBroadcaster(TeslaConfig config, Key128 chain_seed);
+
+  const TeslaConfig& config() const { return config_; }
+  const Key128& commitment() const { return chain_.commitment(); }
+
+  std::size_t interval_at(sim::SimTime now) const;
+
+  /// Builds an authenticated packet for transmission at `now`.
+  TeslaPacket authenticate(util::Bytes payload, sim::SimTime now) const;
+
+  /// The disclosure receivers should be sent at `now` (the key of the
+  /// interval that expired `disclosure_lag` intervals ago), if any.
+  std::optional<TeslaDisclosure> disclosure_at(sim::SimTime now) const;
+
+ private:
+  TeslaConfig config_;
+  TeslaKeyChain chain_;
+};
+
+/// Receiver side: enforces the security condition, buffers packets, and
+/// releases them once their interval key is disclosed and verified.
+class TeslaReceiver {
+ public:
+  TeslaReceiver(TeslaConfig config, Key128 commitment);
+
+  /// Handles an incoming data packet. Returns false if the packet was
+  /// rejected outright (security condition violated: its key may already
+  /// have been disclosed, so it could be forged).
+  bool on_packet(const TeslaPacket& packet, sim::SimTime rx_time);
+
+  /// Handles a key disclosure; authenticates the key against the chain
+  /// and, on success, verifies and releases buffered packets from that
+  /// interval. Returns false if the disclosed key failed verification.
+  bool on_disclosure(const TeslaDisclosure& disclosure);
+
+  /// Authenticated payloads released so far (drained by the caller).
+  std::vector<util::Bytes> take_authenticated();
+
+  struct Stats {
+    std::uint64_t accepted_buffered = 0;
+    std::uint64_t rejected_unsafe = 0;   // security condition violated
+    std::uint64_t rejected_bad_mac = 0;  // failed MAC after disclosure
+    std::uint64_t rejected_bad_key = 0;  // disclosure didn't match chain
+    std::uint64_t authenticated = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  TeslaConfig config_;
+  Key128 last_key_;
+  std::size_t last_interval_ = 0;  // interval of last_key_ (0 = commitment)
+  std::unordered_map<std::size_t, std::vector<TeslaPacket>> buffer_;
+  std::vector<util::Bytes> released_;
+  Stats stats_;
+};
+
+}  // namespace sld::crypto

@@ -1,0 +1,31 @@
+#include "detection/angle_check.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sld::detection {
+
+AngleConsistencyCheck::AngleConsistencyCheck(double max_angle_error_rad,
+                                             double min_meaningful_distance_ft)
+    : max_angle_error_rad_(max_angle_error_rad),
+      min_meaningful_distance_ft_(min_meaningful_distance_ft) {
+  if (max_angle_error_rad < 0.0 || max_angle_error_rad > M_PI)
+    throw std::invalid_argument("AngleConsistencyCheck: bad angle bound");
+  if (min_meaningful_distance_ft < 0.0)
+    throw std::invalid_argument("AngleConsistencyCheck: bad distance floor");
+}
+
+bool AngleConsistencyCheck::is_malicious(const util::Vec2& detector_position,
+                                         const util::Vec2& claimed_position,
+                                         double measured_bearing_rad) const {
+  if (util::distance(detector_position, claimed_position) <
+      min_meaningful_distance_ft_) {
+    return false;  // bearing carries no information at point-blank range
+  }
+  const double expected =
+      ranging::true_bearing(detector_position, claimed_position);
+  return ranging::angular_distance(measured_bearing_rad, expected) >
+         max_angle_error_rad_;
+}
+
+}  // namespace sld::detection

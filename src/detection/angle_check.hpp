@@ -1,0 +1,37 @@
+// AoA variant of the §2.1 consistency detector ("our approach can be
+// easily revised to deal with location estimation based on other
+// measurements"). The detecting node measures the bearing the beacon
+// signal physically arrived from and compares it against the bearing of
+// the location claimed in the beacon packet; a mismatch beyond the antenna
+// array's calibrated error bound means the signal is malicious.
+//
+// The angular threshold is only meaningful when the claimed position is
+// far enough away: at very short ranges an honest position error of a few
+// feet swings the bearing arbitrarily, so claims closer than
+// `min_meaningful_distance_ft` are never flagged by the angle check alone.
+#pragma once
+
+#include "ranging/aoa.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::detection {
+
+class AngleConsistencyCheck {
+ public:
+  AngleConsistencyCheck(double max_angle_error_rad,
+                        double min_meaningful_distance_ft = 10.0);
+
+  double max_angle_error_rad() const { return max_angle_error_rad_; }
+
+  /// True if the measured arrival bearing is inconsistent with the
+  /// location claimed in the beacon packet.
+  bool is_malicious(const util::Vec2& detector_position,
+                    const util::Vec2& claimed_position,
+                    double measured_bearing_rad) const;
+
+ private:
+  double max_angle_error_rad_;
+  double min_meaningful_distance_ft_;
+};
+
+}  // namespace sld::detection

@@ -1,0 +1,29 @@
+#include "detection/beacon_check.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sld::detection {
+
+ConsistencyCheck::ConsistencyCheck(double max_error_ft)
+    : max_error_ft_(max_error_ft) {
+  if (max_error_ft < 0.0)
+    throw std::invalid_argument("ConsistencyCheck: negative error bound");
+}
+
+double ConsistencyCheck::calculated_distance(
+    const util::Vec2& detector_position, const util::Vec2& claimed_position) {
+  return util::distance(detector_position, claimed_position);
+}
+
+bool ConsistencyCheck::is_malicious(const util::Vec2& detector_position,
+                                    const util::Vec2& claimed_position,
+                                    double measured_distance_ft) const {
+  if (measured_distance_ft < 0.0)
+    throw std::invalid_argument("ConsistencyCheck: negative measurement");
+  const double calculated =
+      calculated_distance(detector_position, claimed_position);
+  return std::abs(calculated - measured_distance_ft) > max_error_ft_;
+}
+
+}  // namespace sld::detection

@@ -1,0 +1,28 @@
+#include "detection/detector.hpp"
+
+namespace sld::detection {
+
+Detector::Detector(DetectorConfig config,
+                   const ranging::WormholeDetector* wormhole_detector)
+    : consistency_(config.max_ranging_error_ft),
+      replay_filter_(config.replay, wormhole_detector) {}
+
+ProbeOutcome Detector::evaluate(const SignalObservation& observation,
+                                util::Rng& rng) const {
+  if (!consistency_.is_malicious(observation.receiver_position,
+                                 observation.claimed_position,
+                                 observation.measured_distance_ft)) {
+    return ProbeOutcome::kConsistent;
+  }
+  switch (replay_filter_.evaluate_at_detecting_node(observation, rng)) {
+    case SignalVerdict::kWormholeReplay:
+      return ProbeOutcome::kIgnoredWormholeReplay;
+    case SignalVerdict::kLocalReplay:
+      return ProbeOutcome::kIgnoredLocalReplay;
+    case SignalVerdict::kGenuine:
+      return ProbeOutcome::kAlert;
+  }
+  return ProbeOutcome::kAlert;  // unreachable
+}
+
+}  // namespace sld::detection

@@ -1,0 +1,46 @@
+// The complete detecting-node decision procedure (paper §2): consistency
+// check first; on a malicious signal, the replay filters decide whether the
+// signal can be attributed to the target node; only then is an alert
+// raised. Pure logic — the simulation's node classes delegate here, and the
+// unit/property tests drive it directly.
+#pragma once
+
+#include <cstdint>
+
+#include "detection/beacon_check.hpp"
+#include "detection/replay_filter.hpp"
+
+namespace sld::detection {
+
+/// What the detecting node concluded about one probed beacon signal.
+enum class ProbeOutcome {
+  kConsistent,              // signal passed the consistency check: no alert
+  kIgnoredWormholeReplay,   // malicious but attributed to a wormhole replay
+  kIgnoredLocalReplay,      // malicious but attributed to a local replay
+  kAlert,                   // malicious and direct: the target is malicious
+};
+
+struct DetectorConfig {
+  double max_ranging_error_ft = 4.0;
+  ReplayFilterConfig replay;
+};
+
+class Detector {
+ public:
+  /// `wormhole_detector` is borrowed and must outlive the Detector.
+  Detector(DetectorConfig config,
+           const ranging::WormholeDetector* wormhole_detector);
+
+  const ConsistencyCheck& consistency() const { return consistency_; }
+  const ReplayFilter& replay_filter() const { return replay_filter_; }
+
+  /// Runs the full §2 pipeline on one probed beacon signal.
+  ProbeOutcome evaluate(const SignalObservation& observation,
+                        util::Rng& rng) const;
+
+ private:
+  ConsistencyCheck consistency_;
+  ReplayFilter replay_filter_;
+};
+
+}  // namespace sld::detection

@@ -1,0 +1,65 @@
+#include "detection/replay_filter.hpp"
+
+#include <stdexcept>
+
+namespace sld::detection {
+
+ReplayFilter::ReplayFilter(ReplayFilterConfig config,
+                           const ranging::WormholeDetector* detector)
+    : config_(config), detector_(detector) {
+  if (config_.rtt_x_max_cycles <= 0.0)
+    throw std::invalid_argument("ReplayFilter: x_max must be positive");
+  if (detector_ == nullptr)
+    throw std::invalid_argument("ReplayFilter: null wormhole detector");
+}
+
+bool ReplayFilter::rtt_looks_replayed(double observed_rtt_cycles) const {
+  return observed_rtt_cycles > config_.rtt_x_max_cycles;
+}
+
+namespace {
+ranging::WormholeEvidence to_evidence(const SignalObservation& obs) {
+  ranging::WormholeEvidence e;
+  e.receiver_id = obs.receiver_id;
+  e.sender_id = obs.sender_id;
+  e.receiver_knows_position = obs.receiver_knows_position;
+  e.via_wormhole = obs.via_wormhole;
+  e.sender_faked_indication = obs.sender_faked_wormhole_indication;
+  e.receiver_position = obs.receiver_position;
+  e.claimed_sender_position = obs.claimed_position;
+  e.measured_distance_ft = obs.measured_distance_ft;
+  e.sender_range_ft = obs.target_range_ft;
+  return e;
+}
+}  // namespace
+
+SignalVerdict ReplayFilter::evaluate_at_detecting_node(
+    const SignalObservation& obs, util::Rng& rng) const {
+  if (!obs.receiver_knows_position)
+    throw std::invalid_argument(
+        "evaluate_at_detecting_node: detecting nodes know their position");
+  // Stage 1 (§2.2.1): geographic precondition AND wormhole detector.
+  const double calculated =
+      util::distance(obs.receiver_position, obs.claimed_position);
+  if (calculated > obs.target_range_ft &&
+      detector_->detects(to_evidence(obs), rng)) {
+    return SignalVerdict::kWormholeReplay;
+  }
+  // Stage 2 (§2.2.2): the RTT check.
+  if (rtt_looks_replayed(obs.observed_rtt_cycles))
+    return SignalVerdict::kLocalReplay;
+  return SignalVerdict::kGenuine;
+}
+
+SignalVerdict ReplayFilter::evaluate_at_nonbeacon(
+    const SignalObservation& obs, util::Rng& rng) const {
+  // Non-beacons cannot evaluate the geographic precondition (no known own
+  // position); the wormhole detector runs unconditionally.
+  if (detector_->detects(to_evidence(obs), rng))
+    return SignalVerdict::kWormholeReplay;
+  if (rtt_looks_replayed(obs.observed_rtt_cycles))
+    return SignalVerdict::kLocalReplay;
+  return SignalVerdict::kGenuine;
+}
+
+}  // namespace sld::detection

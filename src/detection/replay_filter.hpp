@@ -1,0 +1,88 @@
+// Replay filtering (paper §2.2): the wormhole stage and the RTT stage.
+//
+// Two call sites run (parts of) this pipeline:
+//  * a *detecting node* that has already flagged a signal as malicious runs
+//    the full §2.2.1 algorithm — geographic precondition (calculated
+//    distance > target's radio range) AND wormhole detector => discard as
+//    wormhole replay; otherwise RTT > x_max => discard as local replay;
+//    otherwise the signal really came from the target: report an alert;
+//  * a *non-beacon node* (which does not know its own location, so cannot
+//    run the consistency check or the geographic precondition) runs its
+//    wormhole detector and the RTT check on every beacon signal before
+//    using it for localization.
+#pragma once
+
+#include <cstdint>
+
+#include "ranging/wormhole_detector.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::detection {
+
+/// Outcome of filtering one beacon signal.
+enum class SignalVerdict {
+  kGenuine,        // passed every stage: came directly from the target
+  kWormholeReplay, // discarded by the wormhole stage
+  kLocalReplay,    // discarded by the RTT stage
+};
+
+/// Everything the receiving node observes about one beacon signal.
+struct SignalObservation {
+  /// Physical endpoint identities (the wormhole detector's per-link
+  /// verdict is keyed on them).
+  std::uint32_t receiver_id = 0;
+  std::uint32_t sender_id = 0;
+
+  /// Receiver's own location — only meaningful at detecting nodes (set
+  /// `receiver_knows_position = false` at non-beacon nodes).
+  util::Vec2 receiver_position;
+  bool receiver_knows_position = true;
+
+  /// Claimed beacon location from the packet.
+  util::Vec2 claimed_position;
+  /// Distance measured from the signal, in feet.
+  double measured_distance_ft = 0.0;
+  /// Nominal radio range of the target node, in feet.
+  double target_range_ft = 0.0;
+
+  /// Observed round-trip time, in CPU cycles.
+  double observed_rtt_cycles = 0.0;
+
+  /// Ground truth / manipulations forwarded from the channel + payload,
+  /// consumed by the wormhole detector model.
+  bool via_wormhole = false;
+  bool sender_faked_wormhole_indication = false;
+};
+
+struct ReplayFilterConfig {
+  /// Calibrated maximum no-attack RTT (x_max from Figure 4), CPU cycles.
+  double rtt_x_max_cycles = 0.0;
+};
+
+class ReplayFilter {
+ public:
+  /// `detector` is borrowed and must outlive the filter.
+  ReplayFilter(ReplayFilterConfig config,
+               const ranging::WormholeDetector* detector);
+
+  const ReplayFilterConfig& config() const { return config_; }
+
+  /// Full detecting-node pipeline (§2.2.1 + §2.2.2), run after the
+  /// consistency check flagged the signal as malicious.
+  SignalVerdict evaluate_at_detecting_node(const SignalObservation& obs,
+                                           util::Rng& rng) const;
+
+  /// Non-beacon pipeline: wormhole detector + RTT check on every signal.
+  SignalVerdict evaluate_at_nonbeacon(const SignalObservation& obs,
+                                      util::Rng& rng) const;
+
+  /// The RTT stage alone: true if the observed RTT exceeds x_max.
+  bool rtt_looks_replayed(double observed_rtt_cycles) const;
+
+ private:
+  ReplayFilterConfig config_;
+  const ranging::WormholeDetector* detector_;
+};
+
+}  // namespace sld::detection

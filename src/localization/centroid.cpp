@@ -1,0 +1,29 @@
+#include "localization/centroid.hpp"
+
+#include <stdexcept>
+
+namespace sld::localization {
+
+std::optional<util::Vec2> centroid_estimate(const LocationReferences& refs) {
+  if (refs.empty()) return std::nullopt;
+  util::Vec2 sum;
+  for (const auto& r : refs) sum += r.beacon_position;
+  return sum / static_cast<double>(refs.size());
+}
+
+std::optional<util::Vec2> weighted_centroid_estimate(
+    const LocationReferences& refs, double epsilon_ft) {
+  if (epsilon_ft <= 0.0)
+    throw std::invalid_argument("weighted_centroid_estimate: bad epsilon");
+  if (refs.empty()) return std::nullopt;
+  util::Vec2 sum;
+  double total = 0.0;
+  for (const auto& r : refs) {
+    const double w = 1.0 / (r.measured_distance_ft + epsilon_ft);
+    sum += r.beacon_position * w;
+    total += w;
+  }
+  return sum / total;
+}
+
+}  // namespace sld::localization

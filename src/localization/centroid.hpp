@@ -1,0 +1,23 @@
+// The coarse-grained centroid localizer of Bulusu, Heidemann & Estrin
+// ("GPS-less low cost outdoor localization", 2000), cited by the paper as a
+// representative scheme its detector protects: the node estimates its
+// position as the centroid of the beacon locations it hears, ignoring the
+// distance measurements entirely.
+#pragma once
+
+#include <optional>
+
+#include "localization/location_reference.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::localization {
+
+/// Centroid of the claimed beacon positions; nullopt when no references.
+std::optional<util::Vec2> centroid_estimate(const LocationReferences& refs);
+
+/// Distance-weighted centroid (closer beacons weigh more); a common
+/// refinement that still needs no solver. Weights are 1 / (d + epsilon).
+std::optional<util::Vec2> weighted_centroid_estimate(
+    const LocationReferences& refs, double epsilon_ft = 1.0);
+
+}  // namespace sld::localization

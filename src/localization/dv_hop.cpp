@@ -1,0 +1,76 @@
+#include "localization/dv_hop.hpp"
+
+#include <deque>
+
+namespace sld::localization {
+
+std::unordered_map<std::uint32_t, std::uint32_t> hop_counts_from(
+    const Adjacency& graph, std::uint32_t source) {
+  std::unordered_map<std::uint32_t, std::uint32_t> hops;
+  if (!graph.contains(source)) return hops;
+  std::deque<std::uint32_t> frontier{source};
+  hops[source] = 0;
+  while (!frontier.empty()) {
+    const auto u = frontier.front();
+    frontier.pop_front();
+    const auto it = graph.find(u);
+    if (it == graph.end()) continue;
+    for (const auto v : it->second) {
+      if (hops.contains(v)) continue;
+      hops[v] = hops[u] + 1;
+      frontier.push_back(v);
+    }
+  }
+  return hops;
+}
+
+std::optional<DvHopResult> dv_hop_localize(
+    const Adjacency& graph,
+    const std::unordered_map<std::uint32_t, util::Vec2>& beacon_positions,
+    std::uint32_t node) {
+  if (beacon_positions.size() < 3) return std::nullopt;
+
+  // Stage 1: hop counts from every beacon.
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::uint32_t>>
+      beacon_hops;
+  for (const auto& [bid, pos] : beacon_positions) {
+    (void)pos;
+    beacon_hops[bid] = hop_counts_from(graph, bid);
+  }
+
+  // Stage 2: network-wide average hop size from beacon pair distances.
+  double dist_sum = 0.0;
+  double hop_sum = 0.0;
+  for (const auto& [a, a_hops] : beacon_hops) {
+    for (const auto& [b, b_pos] : beacon_positions) {
+      if (b <= a) continue;
+      const auto it = a_hops.find(b);
+      if (it == a_hops.end() || it->second == 0) continue;
+      dist_sum += util::distance(beacon_positions.at(a), b_pos);
+      hop_sum += static_cast<double>(it->second);
+    }
+  }
+  if (hop_sum <= 0.0) return std::nullopt;
+  const double avg_hop_size = dist_sum / hop_sum;
+
+  // Stage 3: hop counts to `node` become distance estimates.
+  LocationReferences refs;
+  for (const auto& [bid, hops] : beacon_hops) {
+    const auto it = hops.find(node);
+    if (it == hops.end()) continue;
+    refs.push_back({bid, beacon_positions.at(bid),
+                    avg_hop_size * static_cast<double>(it->second)});
+  }
+  MultilaterationSolver solver;
+  const auto fit = solver.solve(refs);
+  if (!fit) return std::nullopt;
+
+  DvHopResult result;
+  result.position = fit->position;
+  result.avg_hop_size_ft = avg_hop_size;
+  result.beacons_used = refs.size();
+  return result;
+}
+
+}  // namespace sld::localization

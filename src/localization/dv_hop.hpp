@@ -1,0 +1,47 @@
+// DV-Hop localization (Niculescu & Nath, cited by the paper as [23]):
+// "use the minimum hop count and the average hop size to estimate the
+// distance between nodes and then determine sensor nodes' locations".
+//
+// Stage 1: every beacon floods the network; each node learns its minimum
+// hop count to every beacon. Stage 2: each beacon computes an average
+// hop size from the known beacon-to-beacon distances and hop counts, and
+// nodes convert hop counts into distance estimates. Stage 3: standard
+// multilateration over those estimates.
+//
+// Because stage 3 consumes beacon-claimed positions, DV-Hop inherits the
+// same vulnerability to compromised beacons that the paper's detector
+// addresses — lying beacons poison every node within flooding reach.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "localization/multilateration.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::localization {
+
+using Adjacency =
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>;
+
+/// Minimum hop counts from `source` to every reachable node (BFS).
+std::unordered_map<std::uint32_t, std::uint32_t> hop_counts_from(
+    const Adjacency& graph, std::uint32_t source);
+
+struct DvHopResult {
+  util::Vec2 position;
+  double avg_hop_size_ft = 0.0;
+  std::size_t beacons_used = 0;
+};
+
+/// Localizes `node` with DV-Hop over `graph`, given the (claimed)
+/// positions of the beacons. Returns nullopt when fewer than three beacons
+/// are reachable or the geometry degenerates.
+std::optional<DvHopResult> dv_hop_localize(
+    const Adjacency& graph,
+    const std::unordered_map<std::uint32_t, util::Vec2>& beacon_positions,
+    std::uint32_t node);
+
+}  // namespace sld::localization

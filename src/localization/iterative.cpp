@@ -1,0 +1,77 @@
+#include "localization/iterative.hpp"
+
+#include <stdexcept>
+
+#include "localization/robust.hpp"
+
+namespace sld::localization {
+
+IterativeResult iterative_multilateration(
+    const std::unordered_map<std::uint32_t, util::Vec2>& seed_beacons,
+    const std::unordered_map<std::uint32_t, util::Vec2>& true_positions,
+    const IterativeConfig& config, util::Rng& rng) {
+  if (config.comm_range_ft <= 0.0)
+    throw std::invalid_argument("iterative_multilateration: bad range");
+  if (config.max_ranging_error_ft < 0.0)
+    throw std::invalid_argument("iterative_multilateration: bad error bound");
+
+  // Located references: id -> (claimed/estimated position). True positions
+  // of located nodes are tracked separately for measurement physics.
+  std::unordered_map<std::uint32_t, util::Vec2> located = seed_beacons;
+  std::unordered_map<std::uint32_t, util::Vec2> located_truth;
+  for (const auto& [id, pos] : seed_beacons) {
+    // Seed beacons know their positions exactly; physics == claim.
+    const auto it = true_positions.find(id);
+    located_truth[id] = it != true_positions.end() ? it->second : pos;
+  }
+
+  IterativeResult result;
+  MultilaterationSolver solver(config.solver);
+  const double r2 = config.comm_range_ft * config.comm_range_ft;
+
+  for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    std::vector<std::pair<std::uint32_t, IterativeNodeResult>> newly;
+    for (const auto& [id, truth] : true_positions) {
+      if (located.contains(id)) continue;
+      LocationReferences refs;
+      for (const auto& [ref_id, ref_claimed] : located) {
+        const auto& ref_truth = located_truth.at(ref_id);
+        if (util::distance_squared(truth, ref_truth) > r2) continue;
+        const double measured =
+            util::distance(truth, ref_truth) +
+            rng.uniform(-config.max_ranging_error_ft,
+                        config.max_ranging_error_ft);
+        refs.push_back({ref_id, ref_claimed, std::max(0.0, measured)});
+      }
+      if (refs.size() < 3) continue;
+      IterativeNodeResult node;
+      if (config.robust) {
+        RobustOptions ropt;
+        ropt.solver = config.solver;
+        // Allow promoted-beacon position error on top of ranging noise.
+        ropt.acceptable_rms_ft = 2.0 * config.max_ranging_error_ft + 1.0;
+        const auto fit = robust_multilateration(refs, ropt);
+        if (!fit) continue;
+        node.estimate = fit->fit.position;
+        node.references = refs.size() - fit->discarded.size();
+      } else {
+        const auto fit = solver.solve(refs);
+        if (!fit) continue;
+        node.estimate = fit->position;
+        node.references = refs.size();
+      }
+      node.round = round;
+      newly.emplace_back(id, node);
+    }
+    if (newly.empty()) break;
+    result.rounds_run = round;
+    for (auto& [id, node] : newly) {
+      located[id] = node.estimate;       // serves as a claimed reference
+      located_truth[id] = true_positions.at(id);  // physics stays honest
+      result.localized.emplace(id, node);
+    }
+  }
+  return result;
+}
+
+}  // namespace sld::localization

@@ -1,0 +1,61 @@
+// Iterative (n-hop) multilateration, after Savvides et al. [27, 28] and
+// the paper's §2.3 discussion: "a non-beacon node may become a beacon node
+// to supply location references once it discovers its own location.
+// Localization error may accumulate when more and more non-beacon nodes
+// turn into beacon nodes." This module implements that promotion process
+// so the accumulation can be measured (and so the detector's consistency
+// constraints can still be applied against promoted beacons).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "localization/multilateration.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::localization {
+
+struct IterativeConfig {
+  /// Radio range bounding which beacons a node can hear, feet.
+  double comm_range_ft = 150.0;
+  /// Honest ranging error bound applied to every measurement, feet.
+  double max_ranging_error_ft = 4.0;
+  /// Maximum promotion rounds (round 1 uses only the seed beacons).
+  std::size_t max_rounds = 10;
+  /// Apply the §2.3 idea of keeping consistency constraints on promoted
+  /// beacons: fit with residual-filtering multilateration, discarding
+  /// references whose residual exceeds the error budget (which catches
+  /// promoted beacons that lie about their discovered position).
+  bool robust = false;
+  MultilaterationOptions solver;
+};
+
+struct IterativeNodeResult {
+  util::Vec2 estimate;
+  /// Round in which this node localized (1 = from seed beacons only).
+  std::size_t round = 0;
+  /// References used for the fix.
+  std::size_t references = 0;
+};
+
+struct IterativeResult {
+  /// Per non-seed node id.
+  std::unordered_map<std::uint32_t, IterativeNodeResult> localized;
+  std::size_t rounds_run = 0;
+};
+
+/// Runs iterative multilateration: in each round, every not-yet-localized
+/// node that hears >= 3 located nodes (seed beacons or promoted ones)
+/// solves for its position, then serves as a reference in later rounds.
+/// Distances are measured against *true* positions with bounded noise, but
+/// references carry the *estimated* positions — the mechanism by which
+/// error accumulates.
+IterativeResult iterative_multilateration(
+    const std::unordered_map<std::uint32_t, util::Vec2>& seed_beacons,
+    const std::unordered_map<std::uint32_t, util::Vec2>& true_positions,
+    const IterativeConfig& config, util::Rng& rng);
+
+}  // namespace sld::localization

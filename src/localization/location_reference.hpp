@@ -1,0 +1,22 @@
+// A location reference (paper §1): "such a measurement and the location of
+// the corresponding beacon node collectively".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace sld::localization {
+
+struct LocationReference {
+  std::uint32_t beacon_id = 0;
+  /// Beacon location as claimed in the beacon packet.
+  util::Vec2 beacon_position;
+  /// Distance measured from the beacon signal, in feet.
+  double measured_distance_ft = 0.0;
+};
+
+using LocationReferences = std::vector<LocationReference>;
+
+}  // namespace sld::localization

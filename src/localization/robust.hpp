@@ -1,0 +1,36 @@
+// Attack-resistant multilateration (extension beyond the paper, used by the
+// ablation benches): greedily discards the reference with the largest
+// absolute residual while the RMS residual exceeds a threshold tied to the
+// honest ranging error. This approximates the "consistency-based" robust
+// estimators that followed this paper (e.g. attack-resistant MMSE), and
+// quantifies how much beacon revocation still helps an estimator that
+// already defends itself.
+#pragma once
+
+#include <optional>
+
+#include "localization/location_reference.hpp"
+#include "localization/multilateration.hpp"
+
+namespace sld::localization {
+
+struct RobustOptions {
+  /// Accept the fit once the RMS residual drops below this (feet). A good
+  /// default is the honest maximum ranging error.
+  double acceptable_rms_ft = 4.0;
+  /// Never drop below this many references.
+  std::size_t min_references = 3;
+  MultilaterationOptions solver;
+};
+
+struct RobustResult {
+  LocalizationResult fit;
+  /// Indices (into the original reference vector) that were discarded.
+  std::vector<std::size_t> discarded;
+};
+
+/// Robust fit; nullopt if even the final reduced set cannot be solved.
+std::optional<RobustResult> robust_multilateration(
+    const LocationReferences& references, const RobustOptions& options = {});
+
+}  // namespace sld::localization

@@ -1,0 +1,46 @@
+#include "localization/triangulation.hpp"
+
+#include <cmath>
+
+namespace sld::localization {
+
+std::optional<TriangulationResult> triangulate(
+    const std::vector<BearingReference>& references) {
+  if (references.size() < 2) return std::nullopt;
+
+  // The node x lies on the line through beacon B with direction
+  // u = (cos theta, sin theta); equivalently n . x = n . B for the normal
+  // n = (-sin theta, cos theta). Solve the 2x2 normal equations of the
+  // stacked constraints.
+  double a11 = 0.0, a12 = 0.0, a22 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (const auto& r : references) {
+    const double nx = -std::sin(r.bearing_rad);
+    const double ny = std::cos(r.bearing_rad);
+    const double rhs = nx * r.beacon_position.x + ny * r.beacon_position.y;
+    a11 += nx * nx;
+    a12 += nx * ny;
+    a22 += ny * ny;
+    b1 += nx * rhs;
+    b2 += ny * rhs;
+  }
+  const double det = a11 * a22 - a12 * a12;
+  if (std::abs(det) < 1e-9) return std::nullopt;  // parallel bearings
+
+  TriangulationResult result;
+  result.position = {(a22 * b1 - a12 * b2) / det,
+                     (a11 * b2 - a12 * b1) / det};
+
+  double sum = 0.0;
+  for (const auto& r : references) {
+    const double nx = -std::sin(r.bearing_rad);
+    const double ny = std::cos(r.bearing_rad);
+    const double resid = nx * (result.position.x - r.beacon_position.x) +
+                         ny * (result.position.y - r.beacon_position.y);
+    sum += resid * resid;
+  }
+  result.rms_residual_ft =
+      std::sqrt(sum / static_cast<double>(references.size()));
+  return result;
+}
+
+}  // namespace sld::localization

@@ -1,0 +1,36 @@
+// Bearing-based localization (triangulation), the estimator AoA-based
+// schemes cited by the paper use ([Niculescu-Nath APS-AoA, Nasipuri-Li]).
+// Each reference contributes the constraint "the beacon at B lies at
+// bearing theta from me"; with two or more non-degenerate bearings the
+// node's position is the least-squares intersection of the bearing lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace sld::localization {
+
+/// One AoA reference: a beacon's (claimed) position and the bearing at
+/// which its signal arrived at the node being localized.
+struct BearingReference {
+  std::uint32_t beacon_id = 0;
+  util::Vec2 beacon_position;
+  /// Bearing of the *beacon as seen from the unknown node*, radians.
+  double bearing_rad = 0.0;
+};
+
+struct TriangulationResult {
+  util::Vec2 position;
+  /// RMS perpendicular distance from the estimate to the bearing lines.
+  double rms_residual_ft = 0.0;
+};
+
+/// Least-squares intersection of the bearing lines; nullopt with fewer
+/// than two references or (near-)parallel bearings.
+std::optional<TriangulationResult> triangulate(
+    const std::vector<BearingReference>& references);
+
+}  // namespace sld::localization

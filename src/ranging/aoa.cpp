@@ -1,0 +1,35 @@
+#include "ranging/aoa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sld::ranging {
+
+double normalize_angle(double radians) {
+  while (radians > M_PI) radians -= 2.0 * M_PI;
+  while (radians <= -M_PI) radians += 2.0 * M_PI;
+  return radians;
+}
+
+double true_bearing(const util::Vec2& from, const util::Vec2& to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+double angular_distance(double a, double b) {
+  return std::abs(normalize_angle(a - b));
+}
+
+AoaModel::AoaModel(AoaConfig config) : config_(config) {
+  if (config_.max_error_rad < 0.0 || config_.max_error_rad > M_PI)
+    throw std::invalid_argument("AoaModel: bad angular error bound");
+}
+
+double AoaModel::measure_bearing(const util::Vec2& receiver_position,
+                                 const util::Vec2& radiating_position,
+                                 util::Rng& rng) const {
+  const double truth = true_bearing(receiver_position, radiating_position);
+  return normalize_angle(
+      truth + rng.uniform(-config_.max_error_rad, config_.max_error_rad));
+}
+
+}  // namespace sld::ranging

@@ -1,0 +1,42 @@
+// Angle-of-Arrival measurement (paper §1: AoA is one of the features used
+// for location determination; §2.3: the detector revises naturally to
+// angle constraints). A node with a directional antenna array measures the
+// bearing the signal arrived from, with a bounded angular error.
+#pragma once
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+
+/// Normalizes an angle to (-pi, pi].
+double normalize_angle(double radians);
+
+/// True bearing of `to` as seen from `from`, in (-pi, pi].
+double true_bearing(const util::Vec2& from, const util::Vec2& to);
+
+/// Absolute angular difference |a - b| folded to [0, pi].
+double angular_distance(double a, double b);
+
+struct AoaConfig {
+  /// Bound on the bearing measurement error, radians (~3 degrees).
+  double max_error_rad = 0.05;
+};
+
+class AoaModel {
+ public:
+  explicit AoaModel(AoaConfig config = {});
+
+  const AoaConfig& config() const { return config_; }
+
+  /// Honest bearing measurement of a signal radiating from
+  /// `radiating_position`, taken at `receiver_position`.
+  double measure_bearing(const util::Vec2& receiver_position,
+                         const util::Vec2& radiating_position,
+                         util::Rng& rng) const;
+
+ private:
+  AoaConfig config_;
+};
+
+}  // namespace sld::ranging

@@ -1,0 +1,41 @@
+#include "ranging/echo.hpp"
+
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace sld::ranging {
+
+EchoVerifier::EchoVerifier(EchoConfig config) : config_(config) {
+  if (config_.speed_of_sound_ft_per_s <= 0.0)
+    throw std::invalid_argument("EchoVerifier: bad speed of sound");
+  if (config_.processing_allowance_s < 0.0)
+    throw std::invalid_argument("EchoVerifier: negative allowance");
+}
+
+double EchoVerifier::max_round_trip_s(const EchoClaim& claim) const {
+  if (claim.region_radius_ft <= 0.0)
+    throw std::invalid_argument("EchoVerifier: empty region");
+  return claim.region_radius_ft / sim::kSpeedOfLightFtPerSec +
+         claim.region_radius_ft / config_.speed_of_sound_ft_per_s +
+         config_.processing_allowance_s;
+}
+
+double EchoVerifier::round_trip_s(double true_distance_ft,
+                                  double prover_delay_s) const {
+  if (true_distance_ft < 0.0)
+    throw std::invalid_argument("EchoVerifier: negative distance");
+  if (prover_delay_s < 0.0)
+    throw std::invalid_argument(
+        "EchoVerifier: the prover cannot reply before receiving");
+  return true_distance_ft / sim::kSpeedOfLightFtPerSec + prover_delay_s +
+         true_distance_ft / config_.speed_of_sound_ft_per_s;
+}
+
+bool EchoVerifier::accepts(const EchoClaim& claim, double true_distance_ft,
+                           double prover_delay_s) const {
+  return round_trip_s(true_distance_ft, prover_delay_s) <=
+         max_round_trip_s(claim);
+}
+
+}  // namespace sld::ranging

@@ -1,0 +1,55 @@
+// The Echo protocol (Sastry, Shankar & Wagner, WiSe'03 — the paper's
+// related-work reference [26]: "can verify the relative distance between a
+// verifying node and a beacon node", but "cannot ensure correct location
+// discovery when beacon nodes are compromised"). A verifier accepts the
+// claim "I am inside region R" iff a packet sent by RF and echoed back by
+// ultrasound returns within d/c_rf + d/c_sound for the farthest in-region
+// distance d: sound's slowness makes the prover unable to pretend to be
+// closer than it is (it cannot make sound travel faster), while nothing
+// stops it from pretending to be *farther* — the asymmetry this module's
+// tests pin down.
+#pragma once
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+
+struct EchoConfig {
+  /// Speed of sound, feet per second (~1125 ft/s in air).
+  double speed_of_sound_ft_per_s = 1125.0;
+  /// Processing allowance at the prover, seconds.
+  double processing_allowance_s = 1e-6;
+};
+
+/// An in-region claim to verify.
+struct EchoClaim {
+  /// Verifier's own position and the region it vouches for (a disk).
+  util::Vec2 verifier_position;
+  double region_radius_ft = 0.0;
+};
+
+class EchoVerifier {
+ public:
+  explicit EchoVerifier(EchoConfig config = {});
+
+  const EchoConfig& config() const { return config_; }
+
+  /// Threshold round-trip time for a prover anywhere inside the region.
+  double max_round_trip_s(const EchoClaim& claim) const;
+
+  /// Honest round-trip time for a prover at `true_distance_ft` that echoes
+  /// after `prover_delay_s` of (adversarially chosen) processing time.
+  double round_trip_s(double true_distance_ft, double prover_delay_s) const;
+
+  /// Verifies the claim for a prover at `true_distance_ft` replying after
+  /// `prover_delay_s`. A delay of 0 is the fastest physically possible
+  /// echo; positive delays only make the prover look farther.
+  bool accepts(const EchoClaim& claim, double true_distance_ft,
+               double prover_delay_s = 0.0) const;
+
+ private:
+  EchoConfig config_;
+};
+
+}  // namespace sld::ranging

@@ -1,0 +1,51 @@
+#include "ranging/rssi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sld::ranging {
+
+RssiRangingModel::RssiRangingModel(RssiConfig config) : config_(config) {
+  if (config_.max_error_ft < 0.0)
+    throw std::invalid_argument("RssiRangingModel: negative max error");
+  if (config_.path_loss_exponent <= 0.0)
+    throw std::invalid_argument("RssiRangingModel: bad path-loss exponent");
+  if (config_.reference_distance_ft <= 0.0)
+    throw std::invalid_argument("RssiRangingModel: bad reference distance");
+}
+
+double RssiRangingModel::measure(double true_distance_ft,
+                                 util::Rng& rng) const {
+  if (true_distance_ft < 0.0)
+    throw std::invalid_argument("RssiRangingModel::measure: negative distance");
+
+  double error = 0.0;
+  switch (config_.kind) {
+    case RssiModelKind::kBoundedUniform:
+      error = rng.uniform(-config_.max_error_ft, config_.max_error_ft);
+      break;
+    case RssiModelKind::kLogNormalShadowing: {
+      // Path loss PL(d) = PL(d0) + 10 n log10(d/d0) + X_sigma. The receiver
+      // inverts the mean model, so the distance error is multiplicative:
+      // d_hat = d * 10^(X / (10 n)). Clip to the calibrated bound.
+      const double d = std::max(true_distance_ft,
+                                config_.reference_distance_ft);
+      const double shadow_db = rng.normal(0.0, config_.shadowing_sigma_db);
+      const double d_hat =
+          d * std::pow(10.0, shadow_db / (10.0 * config_.path_loss_exponent));
+      error = std::clamp(d_hat - true_distance_ft, -config_.max_error_ft,
+                         config_.max_error_ft);
+      break;
+    }
+  }
+  return std::max(0.0, true_distance_ft + error);
+}
+
+double RssiRangingModel::measure_manipulated(double true_distance_ft,
+                                             double manipulation_ft,
+                                             util::Rng& rng) const {
+  return std::max(0.0, measure(true_distance_ft, rng) + manipulation_ft);
+}
+
+}  // namespace sld::ranging

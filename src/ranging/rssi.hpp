@@ -1,0 +1,57 @@
+// Distance measurement from received beacon signals. The paper assumes
+// "location estimation is based on the distances measured from beacon
+// signals (through, e.g., RSSI)" with a known *maximum* measurement error
+// e_max; the consistency detector's threshold is exactly that bound.
+//
+// Two honest-measurement models are provided:
+//  * BoundedUniform — error ~ U(-e_max, +e_max): the paper's abstraction.
+//  * LogNormalShadowing — a physical RSSI chain (log-distance path loss
+//    with shadowing, inverted back to distance) whose error is then clipped
+//    to +-e_max, modelling the calibrated bound real deployments assume.
+//
+// On top of the honest measurement, an attacker-controlled additive
+// manipulation (from BeaconReplyPayload::range_manipulation_ft) shifts what
+// the receiver observes.
+#pragma once
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+
+enum class RssiModelKind {
+  kBoundedUniform,
+  kLogNormalShadowing,
+};
+
+struct RssiConfig {
+  RssiModelKind kind = RssiModelKind::kBoundedUniform;
+  /// Maximum honest measurement error, in feet (paper §4: 4 ft).
+  double max_error_ft = 4.0;
+  /// Path-loss exponent and shadowing sigma (dB) for the physical model.
+  double path_loss_exponent = 2.7;
+  double shadowing_sigma_db = 1.0;
+  /// Reference distance for the path-loss model, in feet.
+  double reference_distance_ft = 3.0;
+};
+
+/// Samples distance measurements.
+class RssiRangingModel {
+ public:
+  explicit RssiRangingModel(RssiConfig config);
+
+  const RssiConfig& config() const { return config_; }
+
+  /// Honest measured distance for a true distance (>= 0); the result is
+  /// non-negative and within +-max_error_ft of the truth.
+  double measure(double true_distance_ft, util::Rng& rng) const;
+
+  /// Measurement including an attacker's physical-layer manipulation.
+  double measure_manipulated(double true_distance_ft,
+                             double manipulation_ft, util::Rng& rng) const;
+
+ private:
+  RssiConfig config_;
+};
+
+}  // namespace sld::ranging

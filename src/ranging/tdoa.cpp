@@ -1,0 +1,50 @@
+#include "ranging/tdoa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sld::ranging {
+
+TdoaRangingModel::TdoaRangingModel(TdoaConfig config) : config_(config) {
+  if (config_.speed_of_sound_ft_per_s <= 0.0)
+    throw std::invalid_argument("TdoaRangingModel: bad speed of sound");
+  if (config_.max_timing_error_s < 0.0)
+    throw std::invalid_argument("TdoaRangingModel: negative timing bound");
+}
+
+double TdoaRangingModel::max_error_ft() const {
+  return config_.max_timing_error_s * config_.speed_of_sound_ft_per_s;
+}
+
+double TdoaRangingModel::measure(double true_distance_ft,
+                                 util::Rng& rng) const {
+  if (true_distance_ft < 0.0)
+    throw std::invalid_argument("TdoaRangingModel::measure: negative distance");
+  const double err_s =
+      rng.uniform(-config_.max_timing_error_s, config_.max_timing_error_s);
+  return std::max(0.0, true_distance_ft +
+                           err_s * config_.speed_of_sound_ft_per_s);
+}
+
+double TdoaRangingModel::measure_with_injected_pulse(
+    double true_distance_ft, double attacker_distance_ft,
+    double injection_lead_s, util::Rng& rng) const {
+  if (attacker_distance_ft < 0.0)
+    throw std::invalid_argument("TdoaRangingModel: negative attacker distance");
+  if (injection_lead_s < 0.0)
+    throw std::invalid_argument("TdoaRangingModel: negative injection lead");
+  // Arrival times of the two ultrasound pulses, relative to the RF packet
+  // (whose propagation is negligible at these scales).
+  const double genuine_s =
+      true_distance_ft / config_.speed_of_sound_ft_per_s;
+  const double injected_s =
+      attacker_distance_ft / config_.speed_of_sound_ft_per_s -
+      injection_lead_s;
+  const double first_s = std::min(genuine_s, std::max(0.0, injected_s));
+  const double err_s =
+      rng.uniform(-config_.max_timing_error_s, config_.max_timing_error_s);
+  return std::max(0.0,
+                  (first_s + err_s) * config_.speed_of_sound_ft_per_s);
+}
+
+}  // namespace sld::ranging

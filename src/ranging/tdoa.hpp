@@ -1,0 +1,51 @@
+// Time-Difference-of-Arrival ranging (RF + ultrasound, as in AHLoS /
+// Cricket): the beacon emits an RF packet and an ultrasound pulse
+// together; the receiver converts the arrival gap into distance using the
+// speed of sound. Paper §2.3 singles this feature out as the weak one for
+// the detection scheme: "it is usually more difficult to protect
+// ultrasound signals, especially when ultrasound signals cannot carry data
+// packets" — the ultrasound pulse is unauthenticated, so an attacker can
+// inject an *earlier* pulse and shrink the measured distance without
+// touching the (authenticated) RF packet at all. The model exposes that
+// attack surface explicitly so the weakness can be demonstrated.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+
+struct TdoaConfig {
+  double speed_of_sound_ft_per_s = 1125.0;
+  /// Bound on the honest arrival-gap timing error, seconds
+  /// (~3.5 ms of jitter ~ 4 ft).
+  double max_timing_error_s = 0.00355;
+};
+
+class TdoaRangingModel {
+ public:
+  explicit TdoaRangingModel(TdoaConfig config = {});
+
+  const TdoaConfig& config() const { return config_; }
+
+  /// Maximum honest distance error implied by the timing bound, feet.
+  double max_error_ft() const;
+
+  /// Honest TDoA distance measurement.
+  double measure(double true_distance_ft, util::Rng& rng) const;
+
+  /// Measurement when an attacker injects its own ultrasound pulse from
+  /// `attacker_distance_ft` away, `injection_lead_s` before the genuine
+  /// pulse would be due (0 = alongside the RF packet). The receiver locks
+  /// onto the first pulse it hears, so the attacker can only ever make the
+  /// beacon look *closer* — and needs no key material to do it, which is
+  /// the §2.3 weakness.
+  double measure_with_injected_pulse(double true_distance_ft,
+                                     double attacker_distance_ft,
+                                     double injection_lead_s,
+                                     util::Rng& rng) const;
+
+ private:
+  TdoaConfig config_;
+};
+
+}  // namespace sld::ranging

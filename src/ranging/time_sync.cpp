@@ -1,0 +1,48 @@
+#include "ranging/time_sync.hpp"
+
+#include <stdexcept>
+
+namespace sld::ranging {
+
+TimeSyncResult synchronize(const MoteTimingModel& model, double distance_ft,
+                           double true_offset_cycles,
+                           double attacker_delay_cycles, util::Rng& rng) {
+  if (distance_ft < 0.0)
+    throw std::invalid_argument("synchronize: negative distance");
+  if (attacker_delay_cycles < 0.0)
+    throw std::invalid_argument("synchronize: negative attacker delay");
+
+  const auto& cfg = model.config();
+  const auto edge = [&]() {
+    return cfg.edge_base_cycles + rng.uniform(0.0, cfg.edge_jitter_cycles);
+  };
+  const double flight = sim::propagation_cycles(distance_ft);
+
+  // Sender clock = reference; receiver clock = reference + offset. The
+  // pulse-delay attacker jams the *reply in flight* and replays it late:
+  // an asymmetric path delay, which is exactly what the symmetric
+  // exchange cannot cancel (unlike the receiver's own turnaround time,
+  // which drops out of the computation).
+  const double t1 = 1000.0;                      // sender clock
+  const double arrive = t1 + edge() + flight + edge();  // reference time
+  const double t2 = arrive + true_offset_cycles;        // receiver clock
+  const double t3 = t2 + 500.0;                         // receiver clock
+  const double depart = t3 - true_offset_cycles;        // reference time
+  const double t4 = depart + edge() + flight + attacker_delay_cycles +
+                    edge();                             // sender clock
+
+  TimeSyncResult r;
+  r.offset_cycles = ((t2 - t1) - (t4 - t3)) / 2.0;
+  r.delay_cycles = ((t2 - t1) + (t4 - t3)) / 2.0;
+  return r;
+}
+
+double max_sync_error_cycles(const MoteTimingModel& model) {
+  // offset error = (forward delays - backward delays) / 2; each direction
+  // is two edges, so the asymmetry is at most 2 * jitter / ... precisely:
+  // |(e1 + e2) - (e3 + e4)| / 2 <= jitter (each pair differs by at most
+  // 2 * jitter, halved).
+  return model.config().edge_jitter_cycles;
+}
+
+}  // namespace sld::ranging

@@ -1,0 +1,38 @@
+// Pairwise time synchronization (TPSN-style symmetric exchange). The paper
+// contrasts its RTT filter against temporal leashes, which "require a
+// secure and tight time synchronization"; this module provides that
+// substrate so the comparison is concrete: sender-receiver sync via a
+// timestamped two-way exchange, its achievable precision under the same
+// mote timing model, and the classic pulse-delay attack that defeats naive
+// sync (and which authenticated timestamps alone cannot prevent).
+//
+// With the Figure-3 timestamps, offset = ((t2 - t1) - (t4 - t3)) / 2 and
+// one-way delay = ((t2 - t1) + (t4 - t3)) / 2; the estimate's error is
+// bounded by the asymmetry of the two directions' hardware delays.
+#pragma once
+
+#include "ranging/rtt.hpp"
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+
+struct TimeSyncResult {
+  /// Estimated clock offset (receiver - sender), cycles.
+  double offset_cycles = 0.0;
+  /// Estimated one-way propagation + hardware delay, cycles.
+  double delay_cycles = 0.0;
+};
+
+/// One synchronization exchange between clocks that differ by
+/// `true_offset_cycles`; an attacker may hold the reply back by
+/// `attacker_delay_cycles` (the pulse-delay attack), which corrupts the
+/// offset estimate by half the injected delay.
+TimeSyncResult synchronize(const MoteTimingModel& model, double distance_ft,
+                           double true_offset_cycles,
+                           double attacker_delay_cycles, util::Rng& rng);
+
+/// Worst-case honest offset error of one exchange: half the spread of the
+/// per-edge hardware delay (the asymmetry bound).
+double max_sync_error_cycles(const MoteTimingModel& model);
+
+}  // namespace sld::ranging

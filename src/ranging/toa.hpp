@@ -1,0 +1,40 @@
+// Time-of-Arrival ranging (paper §1 lists ToA among the usable features,
+// §2.3 notes the detector works with it like with RSSI). Distance is the
+// speed of light times the measured one-way flight time; the dominant
+// error is the clock-synchronization error between the two motes, which
+// calibration bounds. The resulting distance error is therefore bounded,
+// which is all the consistency detector requires.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+
+struct ToaConfig {
+  /// Bound on the pairwise clock-sync error, in nanoseconds. 4 ns of
+  /// timing error ~ 4 ft of distance error at the speed of light.
+  double max_sync_error_ns = 4.0;
+};
+
+class ToaRangingModel {
+ public:
+  explicit ToaRangingModel(ToaConfig config = {});
+
+  const ToaConfig& config() const { return config_; }
+
+  /// Maximum distance error implied by the sync-error bound, in feet.
+  double max_error_ft() const;
+
+  /// Honest ToA distance measurement (non-negative, error within bound).
+  double measure(double true_distance_ft, util::Rng& rng) const;
+
+  /// Measurement with an attacker's timestamp manipulation of
+  /// `manipulation_ns` (positive = signal appears to have flown longer).
+  double measure_manipulated(double true_distance_ft, double manipulation_ns,
+                             util::Rng& rng) const;
+
+ private:
+  ToaConfig config_;
+};
+
+}  // namespace sld::ranging

@@ -1,0 +1,48 @@
+#include "revocation/base_station.hpp"
+
+namespace sld::revocation {
+
+BaseStation::BaseStation(RevocationConfig config) : config_(config) {}
+
+AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
+                                            sim::NodeId target) {
+  ++stats_.alerts_received;
+
+  // Paper: accept iff the reporter's report counter has not exceeded tau1
+  // and the target is not revoked. Note the reporter being revoked does
+  // NOT disqualify its alerts.
+  if (revoked_.contains(target)) {
+    ++stats_.alerts_ignored_revoked;
+    return AlertDisposition::kIgnoredTargetRevoked;
+  }
+  auto& reports = report_counter_[reporter];
+  if (reports > config_.report_quota) {
+    ++stats_.alerts_ignored_quota;
+    return AlertDisposition::kIgnoredReporterQuota;
+  }
+
+  ++reports;
+  auto& alerts = alert_counter_[target];
+  ++alerts;
+  ++stats_.alerts_accepted;
+
+  if (alerts > config_.alert_threshold) {
+    revoked_.insert(target);
+    revocation_order_.push_back(target);
+    ++stats_.revocations;
+    return AlertDisposition::kAcceptedAndRevoked;
+  }
+  return AlertDisposition::kAccepted;
+}
+
+std::uint32_t BaseStation::alert_counter(sim::NodeId beacon) const {
+  const auto it = alert_counter_.find(beacon);
+  return it == alert_counter_.end() ? 0 : it->second;
+}
+
+std::uint32_t BaseStation::report_counter(sim::NodeId beacon) const {
+  const auto it = report_counter_.find(beacon);
+  return it == report_counter_.end() ? 0 : it->second;
+}
+
+}  // namespace sld::revocation

@@ -1,0 +1,80 @@
+// The base-station revocation scheme (paper §3.1).
+//
+// Per beacon node the base station keeps
+//   * an alert counter  — "records the suspiciousness of this beacon node";
+//   * a report counter  — "the number of alerts this node reported and
+//                          accepted by the base station".
+// An incoming alert (reporter, target) is accepted iff the reporter's
+// report counter has not exceeded tau1 AND the target is not yet revoked;
+// acceptance increments both counters, and the target is revoked once its
+// alert counter exceeds tau2. Alerts from already-revoked reporters are
+// still accepted (subject to the same quota), which stops malicious nodes
+// from flooding alerts to get benign nodes revoked "before they can report
+// any alert".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace sld::revocation {
+
+struct RevocationConfig {
+  /// tau1: maximum report-counter value at which an alert is still
+  /// accepted (so each reporter gets tau1 + 1 accepted alerts).
+  std::uint32_t report_quota = 10;
+  /// tau2: a target is revoked once its alert counter *exceeds* this
+  /// (i.e. at tau2 + 1 accepted alerts).
+  std::uint32_t alert_threshold = 2;
+};
+
+enum class AlertDisposition {
+  kAccepted,               // counters incremented, target not (yet) revoked
+  kAcceptedAndRevoked,     // this alert pushed the target over tau2
+  kIgnoredReporterQuota,   // reporter's report counter exceeded tau1
+  kIgnoredTargetRevoked,   // target was already revoked
+};
+
+struct BaseStationStats {
+  std::uint64_t alerts_received = 0;
+  std::uint64_t alerts_accepted = 0;
+  std::uint64_t alerts_ignored_quota = 0;
+  std::uint64_t alerts_ignored_revoked = 0;
+  std::uint64_t revocations = 0;
+};
+
+class BaseStation {
+ public:
+  explicit BaseStation(RevocationConfig config);
+
+  const RevocationConfig& config() const { return config_; }
+
+  /// Processes one alert (paper §3.1 algorithm).
+  AlertDisposition process_alert(sim::NodeId reporter, sim::NodeId target);
+
+  bool is_revoked(sim::NodeId beacon) const {
+    return revoked_.contains(beacon);
+  }
+  const std::vector<sim::NodeId>& revocation_order() const {
+    return revocation_order_;
+  }
+  std::size_t revoked_count() const { return revoked_.size(); }
+
+  std::uint32_t alert_counter(sim::NodeId beacon) const;
+  std::uint32_t report_counter(sim::NodeId beacon) const;
+
+  const BaseStationStats& stats() const { return stats_; }
+
+ private:
+  RevocationConfig config_;
+  std::unordered_map<sim::NodeId, std::uint32_t> alert_counter_;
+  std::unordered_map<sim::NodeId, std::uint32_t> report_counter_;
+  std::unordered_set<sim::NodeId> revoked_;
+  std::vector<sim::NodeId> revocation_order_;
+  BaseStationStats stats_;
+};
+
+}  // namespace sld::revocation

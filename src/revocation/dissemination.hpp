@@ -1,0 +1,32 @@
+// Revocation dissemination. The paper assumes "some standard fault
+// tolerance techniques (e.g., retransmission) so that the revocation
+// message from the base station can reach most of sensor nodes". We model
+// the *outcome*: each (sensor, revocation) pair independently learns the
+// revocation with probability `reach_probability` (1.0 by default, the
+// paper's working assumption). The Bernoulli draw is a deterministic keyed
+// hash, so whether a given sensor heard a given revocation is stable across
+// queries within a trial.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/siphash.hpp"
+#include "sim/message.hpp"
+
+namespace sld::revocation {
+
+class DisseminationModel {
+ public:
+  DisseminationModel(double reach_probability, std::uint64_t seed);
+
+  double reach_probability() const { return reach_probability_; }
+
+  /// True if `sensor` has learnt that `revoked_beacon` was revoked.
+  bool sensor_knows(sim::NodeId sensor, sim::NodeId revoked_beacon) const;
+
+ private:
+  double reach_probability_;
+  crypto::Key128 key_{};
+};
+
+}  // namespace sld::revocation

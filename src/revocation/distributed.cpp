@@ -1,0 +1,46 @@
+#include "revocation/distributed.hpp"
+
+namespace sld::revocation {
+
+VoteAggregator::VoteAggregator(DistributedConfig config) : config_(config) {}
+
+bool VoteAggregator::on_vote(sim::NodeId reporter, sim::NodeId target) {
+  ++stats_.votes_heard;
+
+  auto& targets_of_reporter = accused_[reporter];
+  const bool already_accused = targets_of_reporter.contains(target);
+  if (!already_accused &&
+      targets_of_reporter.size() >= config_.per_reporter_target_quota) {
+    ++stats_.votes_quota_suppressed;
+    return false;
+  }
+
+  auto& reporters = votes_[target];
+  if (!reporters.insert(reporter).second) {
+    ++stats_.votes_duplicate;
+    return false;
+  }
+  targets_of_reporter.insert(target);
+  ++stats_.votes_counted;
+
+  if (reporters.size() >= config_.vote_threshold) blacklist_.insert(target);
+  return true;
+}
+
+std::uint32_t VoteAggregator::distinct_reporters_against(
+    sim::NodeId target) const {
+  const auto it = votes_.find(target);
+  return it == votes_.end()
+             ? 0
+             : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::unordered_set<sim::NodeId> local_blacklist(
+    const std::vector<sim::AlertPayload>& votes_heard,
+    const DistributedConfig& config) {
+  VoteAggregator agg(config);
+  for (const auto& v : votes_heard) agg.on_vote(v.reporter, v.target);
+  return agg.blacklist();
+}
+
+}  // namespace sld::revocation

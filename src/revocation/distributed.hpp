@@ -1,0 +1,72 @@
+// Distributed revocation — the paper's §6 future-work direction
+// ("investigate distributed algorithms to revoke malicious beacon nodes
+// without using the base station"), built here as an extension.
+//
+// Instead of reporting to the base station, a detecting beacon locally
+// broadcasts a signed vote (reporter, target). Every listener maintains
+// its own blacklist: a target is blacklisted once votes from at least
+// `vote_threshold` *distinct* reporters have been heard (distinctness is
+// what stops a single malicious voter from flooding), and each reporter
+// may accuse at most `per_reporter_target_quota` distinct targets at any
+// one listener (the local analogue of the base station's tau1 quota).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace sld::revocation {
+
+struct DistributedConfig {
+  /// Distinct reporters required to blacklist a target (local tau2 + 1).
+  std::uint32_t vote_threshold = 3;
+  /// Max distinct targets one reporter may accuse at a listener (tau1 + 1).
+  std::uint32_t per_reporter_target_quota = 11;
+};
+
+/// One listener's vote-aggregation state.
+class VoteAggregator {
+ public:
+  explicit VoteAggregator(DistributedConfig config);
+
+  /// Processes a vote heard over the air, in arrival order. Returns true
+  /// if this vote was counted (not suppressed by the quota or duplicate).
+  bool on_vote(sim::NodeId reporter, sim::NodeId target);
+
+  bool is_blacklisted(sim::NodeId target) const {
+    return blacklist_.contains(target);
+  }
+  const std::unordered_set<sim::NodeId>& blacklist() const {
+    return blacklist_;
+  }
+
+  std::uint32_t distinct_reporters_against(sim::NodeId target) const;
+
+  struct Stats {
+    std::uint64_t votes_heard = 0;
+    std::uint64_t votes_counted = 0;
+    std::uint64_t votes_duplicate = 0;
+    std::uint64_t votes_quota_suppressed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  DistributedConfig config_;
+  // target -> reporters that voted against it (deduplicated).
+  std::unordered_map<sim::NodeId, std::unordered_set<sim::NodeId>> votes_;
+  // reporter -> targets it has accused here (for the quota).
+  std::unordered_map<sim::NodeId, std::unordered_set<sim::NodeId>> accused_;
+  std::unordered_set<sim::NodeId> blacklist_;
+  Stats stats_;
+};
+
+/// Convenience: the blacklist one listener derives from the votes it heard
+/// (in order).
+std::unordered_set<sim::NodeId> local_blacklist(
+    const std::vector<sim::AlertPayload>& votes_heard,
+    const DistributedConfig& config);
+
+}  // namespace sld::revocation

@@ -1,0 +1,63 @@
+#include "revocation/suspiciousness.hpp"
+
+#include <stdexcept>
+
+namespace sld::revocation {
+
+SuspiciousnessResult evaluate_suspiciousness(
+    const std::vector<sim::AlertPayload>& alerts,
+    const SuspiciousnessConfig& config) {
+  if (config.iterations == 0)
+    throw std::invalid_argument("evaluate_suspiciousness: zero iterations");
+  if (config.revocation_threshold <= 0.0)
+    throw std::invalid_argument("evaluate_suspiciousness: bad threshold");
+
+  // Deduplicate accusations and enforce the per-reporter quota in arrival
+  // order.
+  std::unordered_map<sim::NodeId, std::unordered_set<sim::NodeId>>
+      accusers_of;  // target -> reporters
+  std::unordered_map<sim::NodeId, std::unordered_set<sim::NodeId>>
+      accused_by;  // reporter -> targets
+  for (const auto& a : alerts) {
+    auto& targets = accused_by[a.reporter];
+    if (!targets.contains(a.target) &&
+        targets.size() >= config.per_reporter_target_quota)
+      continue;
+    targets.insert(a.target);
+    accusers_of[a.target].insert(a.reporter);
+  }
+
+  SuspiciousnessResult result;
+  // Everyone starts fully trusted and unsuspected.
+  for (const auto& [reporter, targets] : accused_by) {
+    (void)targets;
+    result.trust[reporter] = 1.0;
+  }
+  for (const auto& [target, reporters] : accusers_of) {
+    (void)reporters;
+    result.suspicion[target] = 0.0;
+  }
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // suspicion from current trust...
+    for (auto& [target, s] : result.suspicion) {
+      s = 0.0;
+      for (const auto r : accusers_of.at(target)) {
+        const auto t = result.trust.find(r);
+        s += t == result.trust.end() ? 1.0 : t->second;
+      }
+    }
+    // ...then trust from current suspicion.
+    for (auto& [reporter, t] : result.trust) {
+      const auto s = result.suspicion.find(reporter);
+      t = 1.0 / (1.0 + (s == result.suspicion.end() ? 0.0 : s->second));
+    }
+  }
+
+  for (const auto& [target, s] : result.suspicion) {
+    if (s >= config.revocation_threshold) result.revoked.insert(target);
+  }
+  return result;
+}
+
+}  // namespace sld::revocation

@@ -1,0 +1,46 @@
+// Trust-weighted suspiciousness (extension of §3's "reason about the
+// suspiciousness of each beacon node"). The base-station counter scheme
+// weighs every accepted alert equally, which is why N_a colluders can buy
+// N_a (tau1+1)/(tau2+1) benign revocations. This model instead iterates
+//
+//     suspicion(t) = sum over reporters r accusing t of trust(r)
+//     trust(r)     = 1 / (1 + suspicion(r))
+//
+// for a few rounds: nodes that are themselves heavily accused (the
+// colluders, once the honest detecting nodes catch them) lose voting
+// power, so their floods count for little. A target is revoked when its
+// converged suspicion exceeds `revocation_threshold` — calibrated so that
+// `ceil(threshold)` fully-trusted honest reporters still suffice.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace sld::revocation {
+
+struct SuspiciousnessConfig {
+  std::size_t iterations = 3;
+  /// Suspicion mass needed to revoke (counter scheme analogue: tau2 + 1
+  /// unit-weight alerts).
+  double revocation_threshold = 3.0;
+  /// Max distinct targets one reporter may accuse (tau1 + 1 analogue).
+  std::uint32_t per_reporter_target_quota = 11;
+};
+
+struct SuspiciousnessResult {
+  std::unordered_map<sim::NodeId, double> suspicion;  // per accused target
+  std::unordered_map<sim::NodeId, double> trust;      // per reporter
+  std::unordered_set<sim::NodeId> revoked;
+};
+
+/// Runs the iterative model over an alert stream (order matters only for
+/// the quota; accusations are deduplicated per (reporter, target)).
+SuspiciousnessResult evaluate_suspiciousness(
+    const std::vector<sim::AlertPayload>& alerts,
+    const SuspiciousnessConfig& config = {});
+
+}  // namespace sld::revocation

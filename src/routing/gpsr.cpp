@@ -1,0 +1,165 @@
+#include "routing/gpsr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sld::routing {
+
+GpsrRouter::GpsrRouter(const Topology* topology, GpsrConfig config)
+    : topo_(topology), config_(config) {
+  if (topo_ == nullptr) throw std::invalid_argument("GpsrRouter: null topology");
+  if (config_.max_hops == 0)
+    throw std::invalid_argument("GpsrRouter: zero hop limit");
+}
+
+std::optional<sim::NodeId> GpsrRouter::greedy_next(sim::NodeId at,
+                                                   sim::NodeId dst) const {
+  const auto& dst_pos = topo_->believed_position(dst);
+  const double here =
+      util::distance_squared(topo_->believed_position(at), dst_pos);
+  std::optional<sim::NodeId> best;
+  double best_d = here;
+  for (const auto n : topo_->neighbors(at)) {
+    const double d =
+        util::distance_squared(topo_->believed_position(n), dst_pos);
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  return best;
+}
+
+std::vector<sim::NodeId> GpsrRouter::gabriel_neighbors(
+    sim::NodeId node) const {
+  // Gabriel condition on believed positions: keep edge (u, v) iff no
+  // common radio neighbour w lies inside the circle with diameter uv,
+  // i.e. |uw|^2 + |vw|^2 > |uv|^2 for all witnesses w.
+  const auto& u = topo_->believed_position(node);
+  std::vector<sim::NodeId> kept;
+  for (const auto vid : topo_->neighbors(node)) {
+    const auto& v = topo_->believed_position(vid);
+    const double uv2 = util::distance_squared(u, v);
+    bool witnessed = false;
+    for (const auto wid : topo_->neighbors(node)) {
+      if (wid == vid) continue;
+      const auto& w = topo_->believed_position(wid);
+      if (util::distance_squared(u, w) + util::distance_squared(v, w) <=
+          uv2) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) kept.push_back(vid);
+  }
+  return kept;
+}
+
+namespace {
+/// Counter-clockwise angle of b as seen from a, in [0, 2pi).
+double bearing(const util::Vec2& a, const util::Vec2& b) {
+  const double angle = std::atan2(b.y - a.y, b.x - a.x);
+  return angle < 0.0 ? angle + 2.0 * M_PI : angle;
+}
+}  // namespace
+
+std::optional<sim::NodeId> GpsrRouter::perimeter_next(sim::NodeId at,
+                                                      sim::NodeId prev,
+                                                      sim::NodeId dst) const {
+  (void)dst;
+  const auto candidates = gabriel_neighbors(at);
+  if (candidates.empty()) return std::nullopt;
+
+  const auto& here = topo_->believed_position(at);
+  const double reference =
+      bearing(here, topo_->believed_position(prev));
+
+  // Right-hand rule: first edge counter-clockwise from the edge we
+  // arrived on.
+  std::optional<sim::NodeId> best;
+  double best_delta = 2.0 * M_PI + 1.0;
+  for (const auto c : candidates) {
+    if (c == prev && candidates.size() > 1) continue;  // last resort only
+    double delta = bearing(here, topo_->believed_position(c)) - reference;
+    while (delta <= 1e-12) delta += 2.0 * M_PI;
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = c;
+    }
+  }
+  if (!best && !candidates.empty()) best = candidates.front();
+  return best;
+}
+
+RouteResult GpsrRouter::route(sim::NodeId src, sim::NodeId dst) const {
+  if (!topo_->contains(src) || !topo_->contains(dst))
+    throw std::invalid_argument("GpsrRouter::route: unknown endpoint");
+
+  RouteResult result;
+  result.path.push_back(src);
+  if (src == dst) {
+    result.status = RouteStatus::kDelivered;
+    return result;
+  }
+
+  sim::NodeId at = src;
+  bool perimeter_mode = false;
+  sim::NodeId perimeter_prev = src;
+  double perimeter_entry_distance = 0.0;
+  // (node, mode) pairs visited; revisiting one means a believed-position
+  // loop that will never terminate.
+  std::unordered_set<std::uint64_t> visited;
+
+  const auto& dst_believed = topo_->believed_position(dst);
+  while (result.path.size() <= config_.max_hops) {
+    const std::uint64_t state_key =
+        (static_cast<std::uint64_t>(at) << 1) | (perimeter_mode ? 1u : 0u);
+    if (!visited.insert(state_key).second) {
+      result.status = RouteStatus::kHopLimit;
+      return result;
+    }
+
+    std::optional<sim::NodeId> next;
+    if (!perimeter_mode) {
+      next = greedy_next(at, dst);
+      if (next) {
+        ++result.greedy_hops;
+      } else {
+        // Local minimum: enter perimeter mode.
+        perimeter_mode = true;
+        perimeter_entry_distance =
+            util::distance(topo_->believed_position(at), dst_believed);
+        perimeter_prev = at;
+        next = perimeter_next(at, at, dst);
+        if (next) ++result.perimeter_hops;
+      }
+    } else {
+      // Return to greedy once we are closer than where greedy failed.
+      if (util::distance(topo_->believed_position(at), dst_believed) <
+          perimeter_entry_distance) {
+        perimeter_mode = false;
+        continue;  // re-evaluate greedily from the same node
+      }
+      next = perimeter_next(at, perimeter_prev, dst);
+      if (next) ++result.perimeter_hops;
+    }
+
+    if (!next) {
+      result.status = RouteStatus::kStuck;
+      return result;
+    }
+
+    perimeter_prev = at;
+    at = *next;
+    result.path.push_back(at);
+    if (at == dst) {
+      result.status = RouteStatus::kDelivered;
+      return result;
+    }
+  }
+  result.status = RouteStatus::kHopLimit;
+  return result;
+}
+
+}  // namespace sld::routing

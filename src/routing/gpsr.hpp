@@ -1,0 +1,67 @@
+// GPSR-style geographic routing (Karp & Kung, MobiCom'00 — the paper's §1
+// example of a fundamental technique that "make[s] routing decisions at
+// least partially based on their own and their neighbors' locations").
+//
+// Greedy mode forwards to the neighbour whose *believed* position is
+// closest to the destination's believed position, as long as that makes
+// progress. At a local minimum (a void), the router switches to perimeter
+// mode: a right-hand-rule walk over the Gabriel-graph planarization of the
+// believed positions, returning to greedy once a node closer to the
+// destination than the point where greedy failed is reached. (The
+// full-GPSR face-crossing refinement is omitted; the right-hand walk with
+// the distance-based recovery rule is the standard teaching simplification
+// and recovers the same voids on these topologies.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/topology.hpp"
+
+namespace sld::routing {
+
+enum class RouteStatus {
+  kDelivered,
+  kStuck,      // greedy failed and perimeter walk found no way out
+  kHopLimit,   // exceeded max hops (usually a believed-position loop)
+};
+
+struct RouteResult {
+  RouteStatus status = RouteStatus::kStuck;
+  std::vector<sim::NodeId> path;  // includes source; includes dest iff delivered
+  std::size_t greedy_hops = 0;
+  std::size_t perimeter_hops = 0;
+
+  bool delivered() const { return status == RouteStatus::kDelivered; }
+};
+
+struct GpsrConfig {
+  std::size_t max_hops = 256;
+};
+
+class GpsrRouter {
+ public:
+  /// Borrows `topology`; it must outlive the router and have built links.
+  explicit GpsrRouter(const Topology* topology, GpsrConfig config = {});
+
+  /// Routes a packet from `src` to `dst`. Delivery means physically
+  /// reaching `dst` (ids, not positions).
+  RouteResult route(sim::NodeId src, sim::NodeId dst) const;
+
+  /// Gabriel-graph neighbours of `node` under believed positions: the
+  /// planar subgraph perimeter mode walks.
+  std::vector<sim::NodeId> gabriel_neighbors(sim::NodeId node) const;
+
+ private:
+  /// Greedy next hop, or nullopt at a local minimum.
+  std::optional<sim::NodeId> greedy_next(sim::NodeId at, sim::NodeId dst) const;
+
+  /// Right-hand-rule successor after arriving at `at` from `prev`.
+  std::optional<sim::NodeId> perimeter_next(sim::NodeId at, sim::NodeId prev,
+                                            sim::NodeId dst) const;
+
+  const Topology* topo_;
+  GpsrConfig config_;
+};
+
+}  // namespace sld::routing

@@ -1,0 +1,67 @@
+#include "routing/topology.hpp"
+
+#include <stdexcept>
+
+namespace sld::routing {
+
+Topology::Topology(double comm_range_ft) : range_(comm_range_ft) {
+  if (range_ <= 0.0)
+    throw std::invalid_argument("Topology: non-positive range");
+}
+
+void Topology::add_node(sim::NodeId id, const util::Vec2& true_position) {
+  if (!true_pos_.emplace(id, true_position).second)
+    throw std::invalid_argument("Topology::add_node: duplicate id");
+  believed_pos_.emplace(id, true_position);
+  ids_.push_back(id);
+  built_ = false;
+}
+
+void Topology::set_believed_position(sim::NodeId id,
+                                     const util::Vec2& believed) {
+  const auto it = believed_pos_.find(id);
+  if (it == believed_pos_.end())
+    throw std::invalid_argument("Topology::set_believed_position: unknown id");
+  it->second = believed;
+}
+
+const util::Vec2& Topology::true_position(sim::NodeId id) const {
+  const auto it = true_pos_.find(id);
+  if (it == true_pos_.end())
+    throw std::invalid_argument("Topology::true_position: unknown id");
+  return it->second;
+}
+
+const util::Vec2& Topology::believed_position(sim::NodeId id) const {
+  const auto it = believed_pos_.find(id);
+  if (it == believed_pos_.end())
+    throw std::invalid_argument("Topology::believed_position: unknown id");
+  return it->second;
+}
+
+void Topology::build_links() {
+  links_.clear();
+  const double r2 = range_ * range_;
+  for (const auto a : ids_) links_[a] = {};
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids_.size(); ++j) {
+      const auto a = ids_[i];
+      const auto b = ids_[j];
+      if (util::distance_squared(true_pos_.at(a), true_pos_.at(b)) <= r2) {
+        links_[a].push_back(b);
+        links_[b].push_back(a);
+      }
+    }
+  }
+  built_ = true;
+}
+
+const std::vector<sim::NodeId>& Topology::neighbors(sim::NodeId id) const {
+  if (!built_) throw std::logic_error("Topology: build_links() not called");
+  const auto it = links_.find(id);
+  if (it == links_.end())
+    throw std::invalid_argument("Topology::neighbors: unknown id");
+  return it->second;
+}
+
+}  // namespace sld::routing

@@ -1,0 +1,55 @@
+// Routing topology: the split the paper's motivation rests on. Radio links
+// exist between nodes whose *true* positions are within range (physics),
+// but geographic forwarding decides next hops from the positions nodes
+// *believe* (their localization output). Corrupted localization therefore
+// breaks routing even though the physical links are fine — which is why
+// GPSR-style protocols need secure location discovery.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::routing {
+
+class Topology {
+ public:
+  explicit Topology(double comm_range_ft);
+
+  /// Adds a node with its physical position; the believed position
+  /// defaults to the truth until overridden.
+  void add_node(sim::NodeId id, const util::Vec2& true_position);
+
+  /// Overrides what `id` believes its own position to be (e.g. the output
+  /// of multilateration under attack).
+  void set_believed_position(sim::NodeId id, const util::Vec2& believed);
+
+  double comm_range() const { return range_; }
+  std::size_t node_count() const { return true_pos_.size(); }
+  bool contains(sim::NodeId id) const { return true_pos_.contains(id); }
+
+  const util::Vec2& true_position(sim::NodeId id) const;
+  const util::Vec2& believed_position(sim::NodeId id) const;
+
+  /// Physical neighbours of `id` (link = true distance <= range).
+  const std::vector<sim::NodeId>& neighbors(sim::NodeId id) const;
+
+  /// Finalizes the neighbour index; call after all add_node calls.
+  /// (Re-callable; believed positions do not affect links.)
+  void build_links();
+
+  const std::vector<sim::NodeId>& node_ids() const { return ids_; }
+
+ private:
+  double range_;
+  std::vector<sim::NodeId> ids_;
+  std::unordered_map<sim::NodeId, util::Vec2> true_pos_;
+  std::unordered_map<sim::NodeId, util::Vec2> believed_pos_;
+  std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> links_;
+  bool built_ = false;
+};
+
+}  // namespace sld::routing

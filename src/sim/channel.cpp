@@ -1,0 +1,185 @@
+#include "sim/channel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/geometry.hpp"
+
+namespace sld::sim {
+
+Channel::Channel(Scheduler& scheduler, ChannelConfig config, util::Rng rng)
+    : scheduler_(scheduler), config_(config), rng_(rng) {
+  if (config_.loss_probability < 0.0 || config_.loss_probability > 1.0)
+    throw std::invalid_argument("Channel: loss probability outside [0, 1]");
+}
+
+void Channel::add_node(Node* node) {
+  if (node == nullptr) throw std::invalid_argument("Channel::add_node: null");
+  if (!nodes_.emplace(node->id(), node).second)
+    throw std::invalid_argument("Channel::add_node: duplicate node id");
+}
+
+void Channel::add_alias(NodeId alias, Node* node) {
+  if (node == nullptr) throw std::invalid_argument("Channel::add_alias: null");
+  if (!nodes_.emplace(alias, node).second)
+    throw std::invalid_argument("Channel::add_alias: id already in use");
+}
+
+void Channel::add_wormhole(WormholeLink link) {
+  if (link.exit_range_ft <= 0.0)
+    throw std::invalid_argument("Channel::add_wormhole: bad exit range");
+  wormholes_.push_back(link);
+}
+
+void Channel::add_observer(RadioObserver* observer) {
+  if (observer == nullptr)
+    throw std::invalid_argument("Channel::add_observer: null");
+  observers_.push_back(observer);
+}
+
+SimTime Channel::packet_airtime_ns(std::size_t payload_bytes) const {
+  const double bits = static_cast<double>(
+                          (payload_bytes + config_.frame_overhead_bytes) * 8);
+  return static_cast<SimTime>(bits / kRadioBitsPerSecond * 1e9);
+}
+
+double Channel::packet_airtime_cycles(std::size_t payload_bytes) const {
+  const double bits = static_cast<double>(
+                          (payload_bytes + config_.frame_overhead_bytes) * 8);
+  return bits * kCyclesPerBit;
+}
+
+bool Channel::direct_reach(const util::Vec2& from_pos, double from_range,
+                           const Node& to) const {
+  return util::distance_squared(from_pos, to.position()) <=
+         from_range * from_range;
+}
+
+bool Channel::connected(const Node& a, const Node& b) const {
+  if (direct_reach(a.position(), a.range(), b)) return true;
+  for (const auto& w : wormholes_) {
+    const bool a_to_mouth_a =
+        util::distance_squared(a.position(), w.mouth_a) <=
+        a.range() * a.range();
+    const bool b_hears_mouth_b =
+        util::distance_squared(w.mouth_b, b.position()) <=
+        w.exit_range_ft * w.exit_range_ft;
+    if (a_to_mouth_a && b_hears_mouth_b) return true;
+    const bool a_to_mouth_b =
+        util::distance_squared(a.position(), w.mouth_b) <=
+        a.range() * a.range();
+    const bool b_hears_mouth_a =
+        util::distance_squared(w.mouth_a, b.position()) <=
+        w.exit_range_ft * w.exit_range_ft;
+    if (a_to_mouth_b && b_hears_mouth_a) return true;
+  }
+  return false;
+}
+
+Node* Channel::find(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+void Channel::unicast(const Node& sender, Message msg) {
+  TxContext ctx;
+  ctx.radiating_position = sender.position();
+  ctx.radiating_range = sender.range();
+  auto& radio = radio_[sender.id()];
+  ++radio.packets_sent;
+  radio.bytes_sent += msg.payload.size() + config_.frame_overhead_bytes;
+  transmit(ctx, msg);
+}
+
+NodeRadioStats Channel::node_radio(NodeId id) const {
+  const auto it = radio_.find(id);
+  return it == radio_.end() ? NodeRadioStats{} : it->second;
+}
+
+void Channel::inject(const TxContext& ctx, Message msg) {
+  if (ctx.radiating_range <= 0.0)
+    throw std::invalid_argument("Channel::inject: bad radiating range");
+  transmit(ctx, msg);
+}
+
+void Channel::transmit(const TxContext& ctx, const Message& msg) {
+  ++stats_.transmissions;
+
+  // Eavesdroppers / jammers hear everything radiating within range.
+  bool suppressed = false;
+  for (auto* obs : observers_) {
+    const double d2 =
+        util::distance_squared(ctx.radiating_position, obs->observer_position());
+    if (d2 <= ctx.radiating_range * ctx.radiating_range) {
+      suppressed = obs->on_overhear(msg, ctx) || suppressed;
+    }
+  }
+  if (suppressed) {
+    ++stats_.suppressed;
+    return;
+  }
+
+  Node* dst = find(msg.dst);
+
+  // Direct path.
+  if (dst != nullptr &&
+      direct_reach(ctx.radiating_position, ctx.radiating_range, *dst)) {
+    deliver(*dst, ctx, msg);
+  } else if (dst != nullptr) {
+    ++stats_.out_of_range;
+  }
+
+  // Wormhole paths: any tunnel mouth within the radiating range picks the
+  // signal up and re-radiates it at the opposite mouth. A copy that already
+  // crossed a tunnel is not tunnelled again (no cascading).
+  if (ctx.via_wormhole || dst == nullptr) return;
+  for (const auto& w : wormholes_) {
+    struct Hop {
+      const util::Vec2& in;
+      const util::Vec2& out;
+    };
+    const Hop hops[2] = {{w.mouth_a, w.mouth_b}, {w.mouth_b, w.mouth_a}};
+    for (const auto& hop : hops) {
+      const double d2_in =
+          util::distance_squared(ctx.radiating_position, hop.in);
+      if (d2_in > ctx.radiating_range * ctx.radiating_range) continue;
+      TxContext tunneled;
+      tunneled.radiating_position = hop.out;
+      tunneled.radiating_range = w.exit_range_ft;
+      tunneled.extra_delay_cycles =
+          ctx.extra_delay_cycles + w.extra_delay_cycles;
+      tunneled.via_wormhole = true;
+      tunneled.is_replay = true;
+      if (direct_reach(hop.out, w.exit_range_ft, *dst)) {
+        deliver(*dst, tunneled, msg);
+      }
+    }
+  }
+}
+
+void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
+  if (rng_.bernoulli(config_.loss_probability)) {
+    ++stats_.losses;
+    return;
+  }
+  const double prop_ft =
+      util::distance(ctx.radiating_position, dst.position());
+  const SimTime delay =
+      packet_airtime_ns(msg.payload.size()) +
+      static_cast<SimTime>(prop_ft / kSpeedOfLightFtPerSec * 1e9) +
+      cycles_to_ns(ctx.extra_delay_cycles);
+  ++stats_.deliveries;
+  if (ctx.via_wormhole) ++stats_.wormhole_deliveries;
+  auto& radio = radio_[dst.id()];
+  ++radio.packets_received;
+  radio.bytes_received += msg.payload.size() + config_.frame_overhead_bytes;
+  Node* dst_ptr = &dst;
+  TxContext ctx_copy = ctx;
+  Message msg_copy = msg;
+  scheduler_.schedule_after(delay, [this, dst_ptr, ctx_copy, msg_copy]() {
+    Delivery d{msg_copy, ctx_copy, scheduler_.now()};
+    dst_ptr->on_message(d);
+  });
+}
+
+}  // namespace sld::sim

@@ -1,0 +1,64 @@
+// Random deployment of the sensing field (paper §4: N nodes uniformly at
+// random in a square field; N_b of them beacons, N_a of those compromised).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::sim {
+
+/// First ID assigned to non-beacon sensors. Beacon IDs start at 1, so an
+/// ID's numeric range reveals beacon vs non-beacon — exactly the property
+/// the paper assumes ("this ID should be recognized as a non-beacon node
+/// ID"). Detecting IDs are drawn from the non-beacon range.
+inline constexpr NodeId kFirstBeaconId = 1;
+inline constexpr NodeId kNonBeaconIdBase = 0x00100000u;
+inline constexpr NodeId kNonBeaconIdLimit = 0x7fffffffu;
+
+/// Returns true if `id` reads as a beacon ID.
+constexpr bool is_beacon_id(NodeId id) { return id < kNonBeaconIdBase; }
+
+struct DeploymentConfig {
+  std::size_t total_nodes = 1000;        // N
+  std::size_t beacon_count = 100;        // N_b
+  std::size_t malicious_beacon_count = 10;  // N_a
+  util::Rect field = util::Rect::square(1000.0);  // feet
+  double comm_range_ft = 150.0;
+};
+
+/// One deployed device.
+struct NodeSpec {
+  NodeId id = 0;
+  util::Vec2 position;
+  bool beacon = false;
+  bool malicious = false;  // only meaningful when beacon
+};
+
+/// A concrete deployment: node specs with beacons first.
+struct Deployment {
+  DeploymentConfig config;
+  std::vector<NodeSpec> nodes;
+
+  std::vector<const NodeSpec*> beacons() const;
+  std::vector<const NodeSpec*> benign_beacons() const;
+  std::vector<const NodeSpec*> malicious_beacons() const;
+  std::vector<const NodeSpec*> sensors() const;
+
+  const NodeSpec* find(NodeId id) const;
+};
+
+/// Uniform random deployment; the malicious subset is drawn uniformly from
+/// the beacons.
+Deployment deploy_random(const DeploymentConfig& config, util::Rng& rng);
+
+/// Grid deployment: nodes on a near-square lattice covering the field
+/// (beacons first, row-major). Deterministic apart from the malicious
+/// subset, which is still drawn from `rng`. Useful for reproducible
+/// topology tests and density studies.
+Deployment deploy_grid(const DeploymentConfig& config, util::Rng& rng);
+
+}  // namespace sld::sim

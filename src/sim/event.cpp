@@ -1,0 +1,31 @@
+#include "sim/event.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sld::sim {
+
+void EventQueue::push(SimTime when, std::function<void()> action) {
+  heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().when;
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  // priority_queue::top returns const&; the move is safe because we pop
+  // immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace sld::sim

@@ -1,0 +1,50 @@
+// Event queue for the discrete-event simulator: a min-heap of (time, seq)
+// ordered closures. The sequence number makes same-time events FIFO, which
+// keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sld::sim {
+
+/// A scheduled callback.
+struct Event {
+  SimTime when = 0;
+  std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (when, seq).
+class EventQueue {
+ public:
+  void push(SimTime when, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event; queue must be non-empty.
+  Event pop();
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sld::sim

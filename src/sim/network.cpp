@@ -1,0 +1,59 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace sld::sim {
+
+Network::Network(ChannelConfig channel_config, std::uint64_t seed)
+    : channel_(scheduler_, channel_config, util::Rng(seed)) {}
+
+void Network::register_node(std::unique_ptr<Node> node) {
+  Node* raw = node.get();
+  if (by_id_.contains(raw->id()))
+    throw std::invalid_argument("Network: duplicate node id");
+  channel_.add_node(raw);
+  raw->attach(&channel_, &scheduler_);
+  by_id_.emplace(raw->id(), raw);
+  order_.push_back(raw);
+  owned_.push_back(std::move(node));
+}
+
+Node* Network::node(NodeId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<NodeId> Network::direct_neighbors(NodeId id) const {
+  const Node* center = node(id);
+  if (center == nullptr)
+    throw std::invalid_argument("Network::direct_neighbors: unknown node");
+  std::vector<NodeId> out;
+  for (const Node* other : order_) {
+    if (other == center) continue;
+    if (channel_.direct_reach(center->position(), center->range(), *other))
+      out.push_back(other->id());
+  }
+  return out;
+}
+
+std::vector<NodeId> Network::connected_nodes(NodeId id) const {
+  const Node* center = node(id);
+  if (center == nullptr)
+    throw std::invalid_argument("Network::connected_nodes: unknown node");
+  std::vector<NodeId> out;
+  for (const Node* other : order_) {
+    if (other == center) continue;
+    if (channel_.connected(*center, *other)) out.push_back(other->id());
+  }
+  return out;
+}
+
+void Network::start_all() {
+  for (Node* n : order_) n->start();
+}
+
+std::uint64_t Network::run(std::uint64_t max_events) {
+  return scheduler_.run(max_events);
+}
+
+}  // namespace sld::sim

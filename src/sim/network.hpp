@@ -1,0 +1,65 @@
+// The Network ties scheduler + channel + node ownership together and offers
+// neighbourhood queries.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace sld::sim {
+
+class Network {
+ public:
+  explicit Network(ChannelConfig channel_config = {},
+                   std::uint64_t seed = 0x5eedULL);
+
+  Scheduler& scheduler() { return scheduler_; }
+  Channel& channel() { return channel_; }
+  const Channel& channel() const { return channel_; }
+
+  /// Constructs a node of type T in place, registers it with the channel,
+  /// and attaches it. Returns a reference valid for the Network's lifetime.
+  template <typename T, typename... Args>
+  T& emplace_node(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    register_node(std::move(owned));
+    return ref;
+  }
+
+  /// Registers an extra address (e.g. a detecting ID) for `owner`.
+  void add_alias(NodeId alias, Node& owner) { channel_.add_alias(alias, &owner); }
+
+  Node* node(NodeId id) const;
+  std::size_t node_count() const { return order_.size(); }
+  const std::vector<Node*>& nodes() const { return order_; }
+
+  /// IDs of nodes that can hear `id` directly (no wormholes).
+  std::vector<NodeId> direct_neighbors(NodeId id) const;
+
+  /// IDs of nodes connected to `id` directly or through a wormhole.
+  std::vector<NodeId> connected_nodes(NodeId id) const;
+
+  /// Calls start() on every node in registration order.
+  void start_all();
+
+  /// Runs the simulation until the event queue drains (bounded by
+  /// `max_events` as a runaway guard). Returns events executed.
+  std::uint64_t run(std::uint64_t max_events = 50'000'000ULL);
+
+ private:
+  void register_node(std::unique_ptr<Node> node);
+
+  Scheduler scheduler_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Node>> owned_;
+  std::vector<Node*> order_;
+  std::unordered_map<NodeId, Node*> by_id_;
+};
+
+}  // namespace sld::sim

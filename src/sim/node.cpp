@@ -1,0 +1,30 @@
+#include "sim/node.hpp"
+
+#include <stdexcept>
+
+namespace sld::sim {
+
+Node::Node(NodeId id, util::Vec2 position, double range_ft)
+    : id_(id), position_(position), range_(range_ft) {
+  if (range_ft <= 0.0)
+    throw std::invalid_argument("Node: range must be positive");
+}
+
+void Node::attach(Channel* channel, Scheduler* scheduler) {
+  if (channel == nullptr || scheduler == nullptr)
+    throw std::invalid_argument("Node::attach: null environment");
+  channel_ = channel;
+  scheduler_ = scheduler;
+}
+
+Channel& Node::channel() const {
+  if (channel_ == nullptr) throw std::logic_error("Node: not attached");
+  return *channel_;
+}
+
+Scheduler& Node::scheduler() const {
+  if (scheduler_ == nullptr) throw std::logic_error("Node: not attached");
+  return *scheduler_;
+}
+
+}  // namespace sld::sim

@@ -1,0 +1,52 @@
+// Base class for every device participating in the simulation. Protocol
+// behaviour (beacon, sensor, detecting node, attacker) lives in subclasses;
+// the base class owns identity, physics (position, range), and wiring to
+// the channel/scheduler.
+#pragma once
+
+#include "sim/message.hpp"
+#include "sim/scheduler.hpp"
+#include "util/geometry.hpp"
+
+namespace sld::sim {
+
+class Channel;
+
+class Node {
+ public:
+  Node(NodeId id, util::Vec2 position, double range_ft);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const util::Vec2& position() const { return position_; }
+  double range() const { return range_; }
+
+  /// True for beacon nodes (their IDs are recognisable as beacon IDs).
+  virtual bool is_beacon() const { return false; }
+
+  /// Invoked by the channel when an authentic-looking packet addressed to
+  /// this node arrives. MAC verification is the receiver's job.
+  virtual void on_message(const Delivery& delivery) = 0;
+
+  /// Invoked once when the simulation starts; schedule initial work here.
+  virtual void start() {}
+
+  /// Wires the node to its environment; called by Network.
+  void attach(Channel* channel, Scheduler* scheduler);
+
+ protected:
+  Channel& channel() const;
+  Scheduler& scheduler() const;
+
+ private:
+  NodeId id_;
+  util::Vec2 position_;
+  double range_;
+  Channel* channel_ = nullptr;
+  Scheduler* scheduler_ = nullptr;
+};
+
+}  // namespace sld::sim

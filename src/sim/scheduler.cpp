@@ -1,0 +1,47 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace sld::sim {
+
+void Scheduler::schedule_at(SimTime when, std::function<void()> action) {
+  if (when < now_)
+    throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+  queue_.push(when, std::move(action));
+}
+
+void Scheduler::schedule_after(SimTime delay, std::function<void()> action) {
+  if (delay < 0)
+    throw std::invalid_argument("Scheduler::schedule_after: negative delay");
+  queue_.push(now_ + delay, std::move(action));
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    Event ev = queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+std::uint64_t Scheduler::run_until(SimTime until) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    Event ev = queue_.pop();
+    now_ = ev.when;
+    ev.action();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+void Scheduler::reset() {
+  queue_.clear();
+  now_ = 0;
+}
+
+}  // namespace sld::sim

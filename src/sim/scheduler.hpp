@@ -1,0 +1,43 @@
+// The simulation clock + run loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace sld::sim {
+
+/// Owns virtual time and the event queue; advances time by executing events
+/// in (time, FIFO) order.
+class Scheduler {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (>= now).
+  void schedule_at(SimTime when, std::function<void()> action);
+
+  /// Schedules `action` `delay` nanoseconds from now (delay >= 0).
+  void schedule_after(SimTime delay, std::function<void()> action);
+
+  /// Runs until the queue is empty or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = ~0ULL);
+
+  /// Runs events with time <= `until`. Time advances to `until` even if
+  /// the queue drains earlier. Returns the number of events executed.
+  std::uint64_t run_until(SimTime until);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Drops all pending events and resets time to zero.
+  void reset();
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace sld::sim

@@ -1,0 +1,16 @@
+#include "util/geometry.hpp"
+
+#include <ostream>
+
+namespace sld::util {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x0 << ", " << r.x1 << "] x [" << r.y0 << ", " << r.y1
+            << ']';
+}
+
+}  // namespace sld::util

@@ -1,0 +1,82 @@
+// Planar geometry primitives used throughout the simulator and the
+// localization code. Coordinates are in feet, matching the paper's units.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace sld::util {
+
+/// A point / displacement in the 2-D sensing field, in feet.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_ft, double y_ft) : x(x_ft), y(y_ft) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  /// Squared Euclidean norm (avoids the sqrt when only comparing).
+  constexpr double norm_squared() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm_squared()); }
+};
+
+/// Euclidean distance between two points, in feet.
+inline double distance(const Vec2& a, const Vec2& b) {
+  return (a - b).norm();
+}
+
+/// Squared Euclidean distance, for range checks without sqrt.
+constexpr double distance_squared(const Vec2& a, const Vec2& b) {
+  return (a - b).norm_squared();
+}
+
+/// Axis-aligned rectangular sensing field, `[x0, x1] x [y0, y1]` in feet.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  constexpr Rect() = default;
+  constexpr Rect(double x_lo, double y_lo, double x_hi, double y_hi)
+      : x0(x_lo), y0(y_lo), x1(x_hi), y1(y_hi) {}
+
+  /// Square field `[0, side] x [0, side]`.
+  static constexpr Rect square(double side) { return {0.0, 0.0, side, side}; }
+
+  constexpr double width() const { return x1 - x0; }
+  constexpr double height() const { return y1 - y0; }
+  constexpr double area() const { return width() * height(); }
+
+  constexpr bool contains(const Vec2& p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  /// Nearest point inside the rectangle to `p`.
+  constexpr Vec2 clamp(const Vec2& p) const {
+    const double cx = p.x < x0 ? x0 : (p.x > x1 ? x1 : p.x);
+    const double cy = p.y < y0 ? y0 : (p.y > y1 ? y1 : p.y);
+    return {cx, cy};
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace sld::util

@@ -1,0 +1,165 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sld::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::at: empty");
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::quantile: empty");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("EmpiricalCdf::quantile: p outside [0, 1]");
+  if (p <= 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+double EmpiricalCdf::x_min() const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::x_min: empty");
+  return sorted_.front();
+}
+
+double EmpiricalCdf::x_max() const {
+  if (sorted_.empty()) throw std::logic_error("EmpiricalCdf::x_max: empty");
+  return sorted_.back();
+}
+
+double log_gamma(double x) {
+  if (x <= 0.0) throw std::invalid_argument("log_gamma: x must be > 0");
+  // Lanczos approximation, g = 7, n = 9.
+  static constexpr double kCoeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula keeps accuracy for small x.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double acc = kCoeffs[0];
+  for (int i = 1; i < 9; ++i) acc += kCoeffs[i] / (z + static_cast<double>(i));
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(acc);
+}
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n)
+    throw std::invalid_argument("log_binomial_coefficient: k > n");
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  return log_gamma(dn + 1.0) - log_gamma(dk + 1.0) - log_gamma(dn - dk + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("binomial_pmf: p outside [0, 1]");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = log_binomial_coefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_cdf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i <= k; ++i) sum += binomial_pmf(n, i, p);
+  return std::min(sum, 1.0);
+}
+
+double binomial_tail_above(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 0.0;
+  // Sum the smaller side for accuracy.
+  if (static_cast<double>(k) > static_cast<double>(n) * p) {
+    double sum = 0.0;
+    for (std::uint64_t i = k + 1; i <= n; ++i) sum += binomial_pmf(n, i, p);
+    return std::min(sum, 1.0);
+  }
+  return std::max(0.0, 1.0 - binomial_cdf(n, k, p));
+}
+
+double argmax_scalar(double lo, double hi, std::size_t coarse,
+                     double (*f)(double, const void*), const void* ctx) {
+  if (!(lo <= hi)) throw std::invalid_argument("argmax_scalar: lo > hi");
+  if (coarse < 2) coarse = 2;
+  double best_x = lo;
+  double best_v = f(lo, ctx);
+  const double step = (hi - lo) / static_cast<double>(coarse - 1);
+  for (std::size_t i = 1; i < coarse; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double v = f(x, ctx);
+    if (v > best_v) {
+      best_v = v;
+      best_x = x;
+    }
+  }
+  // Golden-section refinement in the bracket around the best grid point.
+  double a = std::max(lo, best_x - step);
+  double b = std::min(hi, best_x + step);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c, ctx);
+  double fd = f(d, ctx);
+  for (int iter = 0; iter < 60 && (b - a) > 1e-10; ++iter) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c, ctx);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d, ctx);
+    }
+  }
+  const double mid = 0.5 * (a + b);
+  return f(mid, ctx) >= best_v ? mid : best_x;
+}
+
+}  // namespace sld::util

@@ -1,0 +1,84 @@
+// Statistics utilities: running moments, empirical CDFs, and numerically
+// stable binomial tail probabilities (log-gamma based) used by the
+// analytical model in `sld::analysis`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sld::util {
+
+/// Welford running mean / variance accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical cumulative distribution built from a sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Smallest sample value q with F(q) >= p, p in [0, 1].
+  double quantile(double p) const;
+
+  /// Paper notation: largest x with F(x) = 0 (i.e. the sample minimum; all
+  /// observed values exceed it or equal it).
+  double x_min() const;
+  /// Paper notation: smallest x with F(x) = 1 (the sample maximum).
+  double x_max() const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// ln Gamma(x) for x > 0 (Lanczos approximation, ~1e-13 relative error).
+double log_gamma(double x);
+
+/// ln C(n, k); requires 0 <= k <= n.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Binomial pmf P[X = k] for X ~ Bin(n, p), computed in log space.
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Upper tail P[X > k] for X ~ Bin(n, p) (strictly greater).
+double binomial_tail_above(std::uint64_t n, std::uint64_t k, double p);
+
+/// Lower tail P[X <= k] for X ~ Bin(n, p).
+double binomial_cdf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Maximizes a unimodal-ish f over [lo, hi] with a grid of `coarse` points
+/// followed by golden-section refinement around the best cell. Returns the
+/// argmax. Robust enough for the attacker's one-dimensional P sweep.
+double argmax_scalar(double lo, double hi, std::size_t coarse,
+                     double (*f)(double, const void*), const void* ctx);
+
+}  // namespace sld::util

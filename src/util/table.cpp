@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sld::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string v) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before row()");
+  rows_.back().emplace_back(std::move(v));
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(double v) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before row()");
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+Table& Table::cell(long long v) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before row()");
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+namespace {
+std::string render(const Table::Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double d = std::get<double>(c);
+  std::ostringstream os;
+  if (std::abs(d) != 0.0 && (std::abs(d) < 1e-4 || std::abs(d) >= 1e7)) {
+    os.precision(6);
+    os << std::scientific << d;
+  } else {
+    os.precision(6);
+    os << d;
+  }
+  return os.str();
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os, const std::string& title) const {
+  os << "# " << title << '\n';
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    if (r.size() != header_.size())
+      throw std::logic_error("Table: row width != header width");
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      os << render(r[i]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace sld::util

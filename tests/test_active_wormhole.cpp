@@ -1,0 +1,112 @@
+#include "attack/active_wormhole.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace sld::attack {
+namespace {
+
+class RecorderNode final : public sim::Node {
+ public:
+  using Node::Node;
+  void on_message(const sim::Delivery& d) override { inbox.push_back(d); }
+  std::vector<sim::Delivery> inbox;
+};
+
+sim::Message msg(sim::NodeId src, sim::NodeId dst) {
+  sim::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = sim::MsgType::kAppData;
+  m.payload = {1, 2, 3};
+  return m;
+}
+
+ActiveWormholeConfig tunnel_config() {
+  ActiveWormholeConfig c;
+  c.end_a = {100, 100};
+  c.end_b = {800, 700};
+  c.range_ft = 150.0;
+  return c;
+}
+
+class ActiveWormholeTest : public ::testing::Test {
+ protected:
+  sim::Network net{sim::ChannelConfig{}, 9};
+};
+
+TEST_F(ActiveWormholeTest, TunnelsAcrossTheField) {
+  auto& a = net.emplace_node<RecorderNode>(1, util::Vec2{120, 100}, 150.0);
+  auto& b = net.emplace_node<RecorderNode>(2, util::Vec2{820, 700}, 150.0);
+  ActiveWormhole tunnel(tunnel_config(), net.channel(), net.scheduler());
+
+  net.channel().unicast(a, msg(1, 2));
+  net.run();
+
+  ASSERT_EQ(b.inbox.size(), 1u);
+  EXPECT_TRUE(b.inbox[0].ctx.via_wormhole);
+  EXPECT_TRUE(b.inbox[0].ctx.is_replay);
+  EXPECT_EQ(tunnel.packets_tunneled(), 1u);
+  // The tunnelled copy radiates from the far mouth.
+  EXPECT_EQ(b.inbox[0].ctx.radiating_position, (util::Vec2{800, 700}));
+}
+
+TEST_F(ActiveWormholeTest, StoreAndForwardCostsOnePacketAirTime) {
+  auto& a = net.emplace_node<RecorderNode>(1, util::Vec2{120, 100}, 150.0);
+  auto& b = net.emplace_node<RecorderNode>(2, util::Vec2{820, 700}, 150.0);
+  ActiveWormhole tunnel(tunnel_config(), net.channel(), net.scheduler());
+  (void)tunnel;
+
+  net.channel().unicast(a, msg(1, 2));
+  net.run();
+
+  ASSERT_EQ(b.inbox.size(), 1u);
+  const double min_delay =
+      net.channel().packet_airtime_cycles(b.inbox[0].msg.payload.size());
+  // Unlike the idealized zero-latency tunnel, this copy is late enough
+  // for the RTT filter (one packet >> the 1728-cycle envelope).
+  EXPECT_GE(b.inbox[0].ctx.extra_delay_cycles, min_delay);
+  EXPECT_GT(b.inbox[0].ctx.extra_delay_cycles, 4.5 * 384.0);
+}
+
+TEST_F(ActiveWormholeTest, DoesNotTunnelItsOwnForwards) {
+  // Both ends hear the re-transmission of the other end; without the
+  // is_replay guard the packet would ping-pong forever.
+  auto& a = net.emplace_node<RecorderNode>(1, util::Vec2{120, 100}, 150.0);
+  net.emplace_node<RecorderNode>(2, util::Vec2{820, 700}, 150.0);
+  ActiveWormhole tunnel(tunnel_config(), net.channel(), net.scheduler());
+
+  net.channel().unicast(a, msg(1, 2));
+  net.run();
+  EXPECT_EQ(tunnel.packets_tunneled(), 1u);
+}
+
+TEST_F(ActiveWormholeTest, OutOfEarshotPacketsUntouched) {
+  auto& a = net.emplace_node<RecorderNode>(1, util::Vec2{400, 400}, 150.0);
+  auto& b = net.emplace_node<RecorderNode>(2, util::Vec2{450, 400}, 150.0);
+  ActiveWormhole tunnel(tunnel_config(), net.channel(), net.scheduler());
+
+  net.channel().unicast(a, msg(1, 2));
+  net.run();
+  EXPECT_EQ(tunnel.packets_tunneled(), 0u);
+  ASSERT_EQ(b.inbox.size(), 1u);
+  EXPECT_FALSE(b.inbox[0].ctx.via_wormhole);
+}
+
+TEST_F(ActiveWormholeTest, ProcessingLatencyAccumulates) {
+  auto& a = net.emplace_node<RecorderNode>(1, util::Vec2{120, 100}, 150.0);
+  auto& b = net.emplace_node<RecorderNode>(2, util::Vec2{820, 700}, 150.0);
+  ActiveWormholeConfig cfg = tunnel_config();
+  cfg.processing_cycles = 50000.0;
+  ActiveWormhole tunnel(cfg, net.channel(), net.scheduler());
+  (void)tunnel;
+
+  net.channel().unicast(a, msg(1, 2));
+  net.run();
+  ASSERT_EQ(b.inbox.size(), 1u);
+  EXPECT_GE(b.inbox[0].ctx.extra_delay_cycles, 50000.0);
+}
+
+}  // namespace
+}  // namespace sld::attack

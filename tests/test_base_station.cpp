@@ -1,0 +1,119 @@
+#include "revocation/base_station.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::revocation {
+namespace {
+
+RevocationConfig config(std::uint32_t tau1 = 10, std::uint32_t tau2 = 2) {
+  return RevocationConfig{tau1, tau2};
+}
+
+TEST(BaseStation, RevokesAfterThresholdExceeded) {
+  BaseStation bs(config(10, 2));
+  EXPECT_EQ(bs.process_alert(1, 50), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(2, 50), AlertDisposition::kAccepted);
+  EXPECT_FALSE(bs.is_revoked(50));
+  // Third alert: counter exceeds tau2 = 2 -> revoked.
+  EXPECT_EQ(bs.process_alert(3, 50), AlertDisposition::kAcceptedAndRevoked);
+  EXPECT_TRUE(bs.is_revoked(50));
+  EXPECT_EQ(bs.revoked_count(), 1u);
+}
+
+TEST(BaseStation, AlertsAgainstRevokedTargetIgnored) {
+  BaseStation bs(config(10, 0));
+  EXPECT_EQ(bs.process_alert(1, 50), AlertDisposition::kAcceptedAndRevoked);
+  EXPECT_EQ(bs.process_alert(2, 50),
+            AlertDisposition::kIgnoredTargetRevoked);
+  // The late reporter's quota is NOT consumed by an ignored alert.
+  EXPECT_EQ(bs.report_counter(2), 0u);
+}
+
+TEST(BaseStation, ReporterQuotaEnforced) {
+  BaseStation bs(config(2, 100));  // tau1 = 2: 3 accepted alerts per reporter
+  EXPECT_EQ(bs.process_alert(1, 10), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(1, 11), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(1, 12), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(1, 13),
+            AlertDisposition::kIgnoredReporterQuota);
+  EXPECT_EQ(bs.report_counter(1), 3u);
+  EXPECT_EQ(bs.alert_counter(13), 0u);
+}
+
+TEST(BaseStation, QuotaIsTauPlusOneAccepted) {
+  // Paper: accept while the counter "has not exceeded" tau1, so exactly
+  // tau1 + 1 alerts are accepted — the N_a (tau1+1) term in N_f.
+  const std::uint32_t tau1 = 5;
+  BaseStation bs(config(tau1, 1000));
+  int accepted = 0;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    if (bs.process_alert(1, 100 + i) == AlertDisposition::kAccepted)
+      ++accepted;
+  }
+  EXPECT_EQ(accepted, static_cast<int>(tau1 + 1));
+}
+
+TEST(BaseStation, RevokedReporterStillAccepted) {
+  // Paper §3.1: "the alert from a revoked detecting node will still be
+  // accepted" — malicious nodes cannot silence a benign beacon by revoking
+  // it first.
+  BaseStation bs(config(10, 0));
+  bs.process_alert(1, 50);  // revokes 50 (tau2 = 0)
+  EXPECT_TRUE(bs.is_revoked(50));
+  EXPECT_EQ(bs.process_alert(50, 60), AlertDisposition::kAcceptedAndRevoked);
+  EXPECT_TRUE(bs.is_revoked(60));
+}
+
+TEST(BaseStation, CountersStartAtZero) {
+  BaseStation bs(config());
+  EXPECT_EQ(bs.alert_counter(1), 0u);
+  EXPECT_EQ(bs.report_counter(1), 0u);
+  EXPECT_FALSE(bs.is_revoked(1));
+}
+
+TEST(BaseStation, DistinctReportersNeededToRevoke) {
+  // One reporter sends many alerts against the same target: only the
+  // first is meaningful per our one-alert-per-pair protocol, but even at
+  // the base station each accepted alert counts once; tau2 = 2 needs 3.
+  BaseStation bs(config(10, 2));
+  bs.process_alert(1, 50);
+  bs.process_alert(2, 50);
+  EXPECT_FALSE(bs.is_revoked(50));
+  bs.process_alert(3, 50);
+  EXPECT_TRUE(bs.is_revoked(50));
+}
+
+TEST(BaseStation, RevocationOrderPreserved) {
+  BaseStation bs(config(10, 0));
+  bs.process_alert(1, 30);
+  bs.process_alert(2, 20);
+  bs.process_alert(3, 10);
+  EXPECT_EQ(bs.revocation_order(),
+            (std::vector<sim::NodeId>{30, 20, 10}));
+}
+
+TEST(BaseStation, StatsTrackDispositions) {
+  BaseStation bs(config(0, 0));  // quota 1, threshold 1 alert
+  bs.process_alert(1, 50);  // accepted + revoked
+  bs.process_alert(1, 60);  // quota exceeded
+  bs.process_alert(2, 50);  // target revoked
+  const auto& st = bs.stats();
+  EXPECT_EQ(st.alerts_received, 3u);
+  EXPECT_EQ(st.alerts_accepted, 1u);
+  EXPECT_EQ(st.alerts_ignored_quota, 1u);
+  EXPECT_EQ(st.alerts_ignored_revoked, 1u);
+  EXPECT_EQ(st.revocations, 1u);
+}
+
+TEST(BaseStation, IndependentTargetsIndependentCounters) {
+  BaseStation bs(config(10, 2));
+  bs.process_alert(1, 50);
+  bs.process_alert(2, 60);
+  EXPECT_EQ(bs.alert_counter(50), 1u);
+  EXPECT_EQ(bs.alert_counter(60), 1u);
+  EXPECT_FALSE(bs.is_revoked(50));
+  EXPECT_FALSE(bs.is_revoked(60));
+}
+
+}  // namespace
+}  // namespace sld::revocation

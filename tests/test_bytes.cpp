@@ -1,0 +1,101 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sld::util {
+namespace {
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  const Bytes expected{0x34, 0x12, 0xef, 0xbe, 0xad, 0xde};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteRoundTrip, AllScalarTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xcdef);
+  w.u32(0x01234567);
+  w.u64(0x89abcdef01234567ULL);
+  w.i64(-42);
+  w.f64(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xcdef);
+  EXPECT_EQ(r.u32(), 0x01234567u);
+  EXPECT_EQ(r.u64(), 0x89abcdef01234567ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteRoundTrip, DoubleSpecialValues) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  ByteReader r(w.data());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ByteRoundTrip, SizedBytes) {
+  ByteWriter w;
+  const Bytes blob{1, 2, 3, 4, 5};
+  w.sized_bytes(blob);
+  w.u8(0xff);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.sized_bytes(), blob);
+  EXPECT_EQ(r.u8(), 0xff);
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_THROW(r.u32(), TruncatedBuffer);
+}
+
+TEST(ByteReader, ThrowsOnTruncatedSizedBytes) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow, but none do
+  ByteReader r(w.data());
+  EXPECT_THROW(r.sized_bytes(), TruncatedBuffer);
+}
+
+TEST(ByteReader, RemainingTracksPosition) {
+  ByteWriter w;
+  w.u64(1);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.u8(9);
+  const Bytes taken = w.take();
+  EXPECT_EQ(taken, Bytes{9});
+}
+
+TEST(ToHex, RendersLowercasePairs) {
+  const Bytes data{0x00, 0xff, 0x1a};
+  EXPECT_EQ(to_hex(data), "00ff1a");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+}  // namespace
+}  // namespace sld::util

@@ -1,0 +1,68 @@
+#include "localization/centroid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::localization {
+namespace {
+
+TEST(Centroid, AverageOfBeaconPositions) {
+  LocationReferences refs{
+      {1, {0, 0}, 10}, {2, {100, 0}, 10}, {3, {50, 90}, 10}};
+  const auto est = centroid_estimate(refs);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->x, 50.0, 1e-12);
+  EXPECT_NEAR(est->y, 30.0, 1e-12);
+}
+
+TEST(Centroid, EmptyGivesNothing) {
+  EXPECT_FALSE(centroid_estimate({}).has_value());
+  EXPECT_FALSE(weighted_centroid_estimate({}).has_value());
+}
+
+TEST(Centroid, SingleBeaconIsItsPosition) {
+  LocationReferences refs{{1, {42, 17}, 5}};
+  const auto est = centroid_estimate(refs);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(*est, (util::Vec2{42, 17}));
+}
+
+TEST(Centroid, IgnoresDistances) {
+  LocationReferences a{{1, {0, 0}, 1}, {2, {10, 0}, 1}};
+  LocationReferences b{{1, {0, 0}, 99}, {2, {10, 0}, 99}};
+  EXPECT_EQ(*centroid_estimate(a), *centroid_estimate(b));
+}
+
+TEST(WeightedCentroid, CloserBeaconsDominate) {
+  LocationReferences refs{{1, {0, 0}, 1.0}, {2, {100, 0}, 99.0}};
+  const auto est = weighted_centroid_estimate(refs);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(est->x, 20.0);  // pulled strongly toward the near beacon
+}
+
+TEST(WeightedCentroid, EqualDistancesReduceToCentroid) {
+  LocationReferences refs{{1, {0, 0}, 10}, {2, {100, 0}, 10}};
+  const auto w = weighted_centroid_estimate(refs);
+  const auto c = centroid_estimate(refs);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_NEAR(w->x, c->x, 1e-9);
+}
+
+TEST(WeightedCentroid, RejectsBadEpsilon) {
+  LocationReferences refs{{1, {0, 0}, 10}};
+  EXPECT_THROW(weighted_centroid_estimate(refs, 0.0), std::invalid_argument);
+}
+
+TEST(Centroid, MaliciousBeaconShiftsCentroid) {
+  // Why the paper's revocation matters even for range-free schemes: a
+  // single lying beacon drags the centroid.
+  LocationReferences honest{
+      {1, {400, 400}, 10}, {2, {600, 400}, 10}, {3, {500, 600}, 10}};
+  auto attacked = honest;
+  attacked.push_back({4, {5000, 5000}, 10});
+  const auto before = *centroid_estimate(honest);
+  const auto after = *centroid_estimate(attacked);
+  EXPECT_GT(util::distance(before, after), 1000.0);
+}
+
+}  // namespace
+}  // namespace sld::localization

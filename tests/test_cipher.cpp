@@ -1,0 +1,90 @@
+#include "crypto/cipher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::crypto {
+namespace {
+
+Key128 test_key() {
+  Key128 k{};
+  for (std::uint8_t i = 0; i < 16; ++i) k[i] = static_cast<std::uint8_t>(i * 7);
+  return k;
+}
+
+TEST(StreamCipher, RoundTrips) {
+  const util::Bytes plaintext{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  const auto ct = stream_crypt(test_key(), 42, plaintext);
+  EXPECT_NE(ct, plaintext);
+  EXPECT_EQ(stream_crypt(test_key(), 42, ct), plaintext);
+}
+
+TEST(StreamCipher, NonceChangesKeystream) {
+  const util::Bytes plaintext(32, 0);
+  const auto a = stream_crypt(test_key(), 1, plaintext);
+  const auto b = stream_crypt(test_key(), 2, plaintext);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamCipher, KeyChangesKeystream) {
+  const util::Bytes plaintext(32, 0);
+  Key128 other = test_key();
+  other[5] ^= 1;
+  EXPECT_NE(stream_crypt(test_key(), 1, plaintext),
+            stream_crypt(other, 1, plaintext));
+}
+
+TEST(StreamCipher, HandlesOddLengthsAndEmpty) {
+  EXPECT_TRUE(stream_crypt(test_key(), 1, util::Bytes{}).empty());
+  for (std::size_t len : {1u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+    util::Bytes pt(len, 0xab);
+    const auto ct = stream_crypt(test_key(), 9, pt);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(stream_crypt(test_key(), 9, ct), pt);
+  }
+}
+
+TEST(StreamCipher, KeystreamBlocksDiffer) {
+  // A constant plaintext must not produce a repeating 8-byte pattern.
+  const util::Bytes plaintext(24, 0);
+  const auto ct = stream_crypt(test_key(), 3, plaintext);
+  const util::Bytes b0(ct.begin(), ct.begin() + 8);
+  const util::Bytes b1(ct.begin() + 8, ct.begin() + 16);
+  const util::Bytes b2(ct.begin() + 16, ct.begin() + 24);
+  EXPECT_NE(b0, b1);
+  EXPECT_NE(b1, b2);
+}
+
+TEST(SealedBox, RoundTrips) {
+  const util::Bytes plaintext{10, 20, 30};
+  const auto box = seal(test_key(), 7, 1, 2, plaintext);
+  const auto opened = open(test_key(), 7, 1, 2, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(SealedBox, TamperDetected) {
+  const util::Bytes plaintext{10, 20, 30};
+  auto box = seal(test_key(), 7, 1, 2, plaintext);
+  box.ciphertext[0] ^= 1;
+  EXPECT_FALSE(open(test_key(), 7, 1, 2, box).has_value());
+}
+
+TEST(SealedBox, WrongContextRejected) {
+  const util::Bytes plaintext{10, 20, 30};
+  const auto box = seal(test_key(), 7, 1, 2, plaintext);
+  EXPECT_FALSE(open(test_key(), 8, 1, 2, box).has_value());  // wrong nonce
+  EXPECT_FALSE(open(test_key(), 7, 3, 2, box).has_value());  // wrong src
+  EXPECT_FALSE(open(test_key(), 7, 1, 4, box).has_value());  // wrong dst
+  Key128 other = test_key();
+  other[0] ^= 1;
+  EXPECT_FALSE(open(other, 7, 1, 2, box).has_value());  // wrong key
+}
+
+TEST(SealedBox, CiphertextHidesPlaintext) {
+  const util::Bytes plaintext(64, 0x55);
+  const auto box = seal(test_key(), 7, 1, 2, plaintext);
+  EXPECT_NE(box.ciphertext, plaintext);
+}
+
+}  // namespace
+}  // namespace sld::crypto

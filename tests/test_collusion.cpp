@@ -1,0 +1,75 @@
+#include "attack/collusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "revocation/base_station.hpp"
+
+namespace sld::attack {
+namespace {
+
+TEST(Collusion, EmptyInputsGiveEmptyPlan) {
+  EXPECT_TRUE(plan_collusion({}, {1, 2}, 10, 2).alerts.empty());
+  EXPECT_TRUE(plan_collusion({1}, {}, 10, 2).alerts.empty());
+}
+
+TEST(Collusion, RespectsPerReporterQuota) {
+  const std::vector<sim::NodeId> colluders{100, 101};
+  const std::vector<sim::NodeId> targets{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto plan = plan_collusion(colluders, targets, 3, 1);
+  std::map<sim::NodeId, int> per_reporter;
+  for (const auto& a : plan.alerts) ++per_reporter[a.reporter];
+  for (const auto& [reporter, count] : per_reporter) EXPECT_LE(count, 4);
+  // Total budget = 2 reporters x (3+1) alerts.
+  EXPECT_EQ(plan.alerts.size(), 8u);
+}
+
+TEST(Collusion, TargetsAreRevokedInSequence) {
+  const std::vector<sim::NodeId> colluders{100, 101, 102};
+  const std::vector<sim::NodeId> targets{1, 2, 3};
+  const auto plan = plan_collusion(colluders, targets, 10, 2);
+  // Each target gets tau2 + 1 = 3 consecutive alerts.
+  ASSERT_EQ(plan.alerts.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_EQ(plan.alerts[i].target, targets[i / 3]);
+}
+
+TEST(Collusion, AchievesPaperRevocationBound) {
+  // N_a colluders with quota tau1 revoke about N_a (tau1+1) / (tau2+1)
+  // benign beacons (paper §4).
+  const std::size_t tau1 = 10, tau2 = 2;
+  std::vector<sim::NodeId> colluders;
+  for (sim::NodeId i = 200; i < 210; ++i) colluders.push_back(i);  // N_a=10
+  std::vector<sim::NodeId> targets;
+  for (sim::NodeId i = 1; i <= 90; ++i) targets.push_back(i);
+
+  const auto plan = plan_collusion(colluders, targets, tau1, tau2);
+
+  revocation::BaseStation bs(
+      revocation::RevocationConfig{static_cast<std::uint32_t>(tau1),
+                                   static_cast<std::uint32_t>(tau2)});
+  for (const auto& a : plan.alerts) bs.process_alert(a.reporter, a.target);
+
+  const double expected = 10.0 * (tau1 + 1) / (tau2 + 1);  // ~36.7
+  EXPECT_NEAR(static_cast<double>(bs.revoked_count()), expected, 1.0);
+}
+
+TEST(Collusion, StopsWhenBudgetExhausted) {
+  const auto plan = plan_collusion({100}, {1, 2, 3, 4, 5}, 1, 2);
+  // One colluder with 2 accepted alerts cannot finish even one target
+  // needing 3, so the plan still emits its full budget and no more.
+  EXPECT_EQ(plan.alerts.size(), 2u);
+}
+
+TEST(Collusion, AlertsComeFromColluders) {
+  const std::vector<sim::NodeId> colluders{7, 8};
+  const auto plan = plan_collusion(colluders, {1, 2}, 5, 1);
+  for (const auto& a : plan.alerts) {
+    EXPECT_TRUE(a.reporter == 7 || a.reporter == 8);
+    EXPECT_TRUE(a.target == 1 || a.target == 2);
+  }
+}
+
+}  // namespace
+}  // namespace sld::attack

@@ -1,0 +1,91 @@
+#include "crypto/detecting_ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sld::crypto {
+namespace {
+
+TEST(DetectingIdRegistry, AllocatesRequestedCount) {
+  util::Rng rng(1);
+  DetectingIdRegistry reg(1000, 2000);
+  const auto ids = reg.allocate(7, 8, rng);
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(reg.allocated_count(), 8u);
+  for (const auto id : ids) {
+    EXPECT_GE(id, 1000u);
+    EXPECT_LT(id, 2000u);
+  }
+}
+
+TEST(DetectingIdRegistry, IdsAreDistinctAcrossBeacons) {
+  util::Rng rng(2);
+  DetectingIdRegistry reg(0, 10000);
+  std::set<std::uint32_t> all;
+  for (std::uint32_t beacon = 1; beacon <= 20; ++beacon) {
+    for (const auto id : reg.allocate(beacon, 8, rng)) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate detecting id";
+    }
+  }
+  EXPECT_EQ(all.size(), 160u);
+}
+
+TEST(DetectingIdRegistry, OwnerLookup) {
+  util::Rng rng(3);
+  DetectingIdRegistry reg(100, 200);
+  const auto ids = reg.allocate(42, 3, rng);
+  for (const auto id : ids) {
+    ASSERT_TRUE(reg.owner_of(id).has_value());
+    EXPECT_EQ(*reg.owner_of(id), 42u);
+  }
+  // An id that was never allocated has no owner.
+  std::uint32_t unallocated = 100;
+  while (std::find(ids.begin(), ids.end(), unallocated) != ids.end())
+    ++unallocated;
+  EXPECT_FALSE(reg.owner_of(unallocated).has_value());
+}
+
+TEST(DetectingIdRegistry, IdsOfBeacon) {
+  util::Rng rng(4);
+  DetectingIdRegistry reg(0, 1000);
+  const auto ids = reg.allocate(5, 4, rng);
+  auto got = reg.ids_of(5);
+  EXPECT_EQ(got, ids);
+  EXPECT_TRUE(reg.ids_of(6).empty());
+}
+
+TEST(DetectingIdRegistry, RealIdsNeverCollide) {
+  util::Rng rng(5);
+  DetectingIdRegistry reg(0, 100);
+  for (std::uint32_t id = 0; id < 50; ++id) reg.reserve_real_id(id);
+  const auto ids = reg.allocate(1, 40, rng);
+  for (const auto id : ids) EXPECT_GE(id, 50u);
+}
+
+TEST(DetectingIdRegistry, ReserveRejectsDuplicates) {
+  DetectingIdRegistry reg(0, 10);
+  reg.reserve_real_id(3);
+  EXPECT_THROW(reg.reserve_real_id(3), std::invalid_argument);
+}
+
+TEST(DetectingIdRegistry, ReserveRejectsOutOfRange) {
+  DetectingIdRegistry reg(10, 20);
+  EXPECT_THROW(reg.reserve_real_id(5), std::invalid_argument);
+  EXPECT_THROW(reg.reserve_real_id(20), std::invalid_argument);
+}
+
+TEST(DetectingIdRegistry, ExhaustionThrows) {
+  util::Rng rng(6);
+  DetectingIdRegistry reg(0, 10);
+  reg.allocate(1, 10, rng);
+  EXPECT_THROW(reg.allocate(2, 1, rng), std::runtime_error);
+}
+
+TEST(DetectingIdRegistry, EmptySpaceRejected) {
+  EXPECT_THROW(DetectingIdRegistry(5, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::crypto

@@ -1,0 +1,94 @@
+#include "revocation/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::revocation {
+namespace {
+
+DistributedConfig config(std::uint32_t threshold = 3,
+                         std::uint32_t quota = 11) {
+  return DistributedConfig{threshold, quota};
+}
+
+TEST(VoteAggregator, BlacklistsAtThreshold) {
+  VoteAggregator agg(config(3));
+  EXPECT_TRUE(agg.on_vote(1, 50));
+  EXPECT_TRUE(agg.on_vote(2, 50));
+  EXPECT_FALSE(agg.is_blacklisted(50));
+  EXPECT_TRUE(agg.on_vote(3, 50));
+  EXPECT_TRUE(agg.is_blacklisted(50));
+}
+
+TEST(VoteAggregator, DuplicateReportersDoNotCount) {
+  // The distinctness rule: one malicious reporter repeating itself can
+  // never blacklist a benign target.
+  VoteAggregator agg(config(2));
+  EXPECT_TRUE(agg.on_vote(1, 50));
+  EXPECT_FALSE(agg.on_vote(1, 50));
+  EXPECT_FALSE(agg.on_vote(1, 50));
+  EXPECT_FALSE(agg.is_blacklisted(50));
+  EXPECT_EQ(agg.distinct_reporters_against(50), 1u);
+  EXPECT_EQ(agg.stats().votes_duplicate, 2u);
+}
+
+TEST(VoteAggregator, PerReporterTargetQuota) {
+  VoteAggregator agg(config(1, 2));  // one reporter can accuse 2 targets
+  EXPECT_TRUE(agg.on_vote(1, 10));
+  EXPECT_TRUE(agg.on_vote(1, 11));
+  EXPECT_FALSE(agg.on_vote(1, 12));  // quota hit
+  EXPECT_FALSE(agg.is_blacklisted(12));
+  EXPECT_EQ(agg.stats().votes_quota_suppressed, 1u);
+  // Re-voting an already-accused target is duplicate, not quota.
+  EXPECT_FALSE(agg.on_vote(1, 10));
+  EXPECT_EQ(agg.stats().votes_duplicate, 1u);
+}
+
+TEST(VoteAggregator, IndependentTargets) {
+  VoteAggregator agg(config(2));
+  agg.on_vote(1, 10);
+  agg.on_vote(2, 10);
+  agg.on_vote(1, 20);
+  EXPECT_TRUE(agg.is_blacklisted(10));
+  EXPECT_FALSE(agg.is_blacklisted(20));
+}
+
+TEST(VoteAggregator, CollusionBoundedByQuotaTimesColluders) {
+  // N_a colluders with quota q can blacklist at most the targets they can
+  // jointly push past the threshold: q * N_a / threshold.
+  const std::uint32_t threshold = 3, quota = 6;
+  VoteAggregator agg(config(threshold, quota));
+  const std::vector<sim::NodeId> colluders{100, 101, 102};
+  // They coordinate: all three accuse the same targets.
+  for (sim::NodeId target = 1; target <= 20; ++target)
+    for (const auto c : colluders) agg.on_vote(c, target);
+  // Each colluder exhausts its quota after 6 targets -> 6 blacklisted.
+  EXPECT_EQ(agg.blacklist().size(), 6u);
+}
+
+TEST(VoteAggregator, StatsAreConsistent) {
+  VoteAggregator agg(config(2, 1));
+  agg.on_vote(1, 10);
+  agg.on_vote(1, 10);  // duplicate
+  agg.on_vote(1, 11);  // quota suppressed
+  agg.on_vote(2, 10);  // counted, blacklists 10
+  const auto& s = agg.stats();
+  EXPECT_EQ(s.votes_heard, 4u);
+  EXPECT_EQ(s.votes_counted, 2u);
+  EXPECT_EQ(s.votes_duplicate, 1u);
+  EXPECT_EQ(s.votes_quota_suppressed, 1u);
+}
+
+TEST(LocalBlacklist, ConvenienceMatchesAggregator) {
+  const std::vector<sim::AlertPayload> votes{
+      {1, 50}, {2, 50}, {3, 50}, {1, 60}};
+  const auto bl = local_blacklist(votes, config(3));
+  EXPECT_EQ(bl.size(), 1u);
+  EXPECT_TRUE(bl.contains(50));
+}
+
+TEST(LocalBlacklist, EmptyVotesEmptyBlacklist) {
+  EXPECT_TRUE(local_blacklist({}, config()).empty());
+}
+
+}  // namespace
+}  // namespace sld::revocation

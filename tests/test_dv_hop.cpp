@@ -1,0 +1,143 @@
+#include "localization/dv_hop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/deployment.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sld::localization {
+namespace {
+
+/// Line graph 0 - 1 - 2 - 3 - 4.
+Adjacency line_graph() {
+  Adjacency g;
+  for (std::uint32_t i = 0; i < 5; ++i) g[i] = {};
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) {
+    g[i].push_back(i + 1);
+    g[i + 1].push_back(i);
+  }
+  return g;
+}
+
+TEST(HopCounts, BfsOnLine) {
+  const auto hops = hop_counts_from(line_graph(), 0);
+  ASSERT_EQ(hops.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(hops.at(i), i);
+}
+
+TEST(HopCounts, UnreachableNodesAbsent) {
+  Adjacency g = line_graph();
+  g[99] = {};  // isolated node
+  const auto hops = hop_counts_from(g, 0);
+  EXPECT_FALSE(hops.contains(99));
+}
+
+TEST(HopCounts, UnknownSourceGivesEmpty) {
+  EXPECT_TRUE(hop_counts_from(line_graph(), 42).empty());
+}
+
+TEST(DvHop, GridLocalizationIsReasonable) {
+  // 6x6 grid, 100 ft pitch, 4-connected; beacons at three corners.
+  Adjacency g;
+  std::unordered_map<std::uint32_t, util::Vec2> pos;
+  const auto id = [](std::uint32_t r, std::uint32_t c) { return r * 6 + c; };
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      pos[id(r, c)] = {static_cast<double>(c) * 100.0,
+                       static_cast<double>(r) * 100.0};
+      g[id(r, c)] = {};
+    }
+  }
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      if (c + 1 < 6) {
+        g[id(r, c)].push_back(id(r, c + 1));
+        g[id(r, c + 1)].push_back(id(r, c));
+      }
+      if (r + 1 < 6) {
+        g[id(r, c)].push_back(id(r + 1, c));
+        g[id(r + 1, c)].push_back(id(r, c));
+      }
+    }
+  }
+  const std::unordered_map<std::uint32_t, util::Vec2> beacons{
+      {id(0, 0), pos[id(0, 0)]},
+      {id(0, 5), pos[id(0, 5)]},
+      {id(5, 0), pos[id(5, 0)]},
+      {id(5, 5), pos[id(5, 5)]}};
+
+  const auto target = id(2, 3);
+  const auto result = dv_hop_localize(g, beacons, target);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->beacons_used, 4u);
+  // Manhattan hops overestimate Euclidean beacon distances, so the hop
+  // size is < 100 ft and estimates are coarse — DV-Hop is a coarse
+  // scheme; within ~1.5 grid cells is the expected regime.
+  EXPECT_LT(util::distance(result->position, pos[target]), 150.0);
+  EXPECT_GT(result->avg_hop_size_ft, 50.0);
+  EXPECT_LT(result->avg_hop_size_ft, 100.0 + 1e-9);
+}
+
+TEST(DvHop, RandomDeploymentMedianError) {
+  util::Rng rng(3);
+  sim::DeploymentConfig dc;
+  dc.total_nodes = 300;
+  dc.beacon_count = 12;
+  dc.malicious_beacon_count = 0;
+  dc.field = util::Rect::square(1000.0);
+  const auto deployment = sim::deploy_random(dc, rng);
+
+  Adjacency g;
+  for (const auto& n : deployment.nodes) g[n.id] = {};
+  for (std::size_t i = 0; i < deployment.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < deployment.nodes.size(); ++j) {
+      const auto& a = deployment.nodes[i];
+      const auto& b = deployment.nodes[j];
+      if (util::distance(a.position, b.position) <= dc.comm_range_ft) {
+        g[a.id].push_back(b.id);
+        g[b.id].push_back(a.id);
+      }
+    }
+  }
+  std::unordered_map<std::uint32_t, util::Vec2> beacons;
+  for (const auto* b : deployment.beacons()) beacons[b->id] = b->position;
+
+  util::RunningStat err;
+  for (const auto* s : deployment.sensors()) {
+    const auto result = dv_hop_localize(g, beacons, s->id);
+    if (result) err.add(util::distance(result->position, s->position));
+    if (err.count() >= 60) break;
+  }
+  ASSERT_GT(err.count(), 30u);
+  // DV-Hop is hop-granular: mean error well under one radio range.
+  EXPECT_LT(err.mean(), dc.comm_range_ft);
+}
+
+TEST(DvHop, LyingBeaconCorruptsEstimates) {
+  Adjacency g = line_graph();
+  // Positions along a line, beacons at 0, 2, 4.
+  std::unordered_map<std::uint32_t, util::Vec2> honest{
+      {0, {0, 0}}, {2, {200, 0}}, {4, {400, 0}}};
+  // Node 1 (true (100, 0)). Give beacon geometry a second dimension so the
+  // solver is not degenerate: lift beacon 2 slightly.
+  honest[2] = {200, 50};
+  const auto clean = dv_hop_localize(g, honest, 1);
+  ASSERT_TRUE(clean.has_value());
+
+  auto lying = honest;
+  lying[4] = {400, 800};  // beacon 4 lies wildly
+  const auto attacked = dv_hop_localize(g, lying, 1);
+  ASSERT_TRUE(attacked.has_value());
+  EXPECT_GT(util::distance(attacked->position, {100, 0}),
+            util::distance(clean->position, {100, 0}));
+}
+
+TEST(DvHop, RequiresThreeBeacons) {
+  const std::unordered_map<std::uint32_t, util::Vec2> two{{0, {0, 0}},
+                                                          {4, {400, 0}}};
+  EXPECT_FALSE(dv_hop_localize(line_graph(), two, 2).has_value());
+}
+
+}  // namespace
+}  // namespace sld::localization

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "ranging/echo.hpp"
+#include "ranging/tdoa.hpp"
+#include "util/rng.hpp"
+
+namespace sld::ranging {
+namespace {
+
+// --- Echo protocol (related work [26]) ---------------------------------
+
+TEST(Echo, AcceptsProversInsideRegion) {
+  EchoVerifier v;
+  EchoClaim claim{{0, 0}, 100.0};
+  EXPECT_TRUE(v.accepts(claim, 0.0));
+  EXPECT_TRUE(v.accepts(claim, 50.0));
+  EXPECT_TRUE(v.accepts(claim, 100.0));
+}
+
+TEST(Echo, RejectsProversOutsideRegion) {
+  EchoVerifier v;
+  EchoClaim claim{{0, 0}, 100.0};
+  // Sound dominates: a prover 150 ft away cannot echo in time even with
+  // zero processing delay.
+  EXPECT_FALSE(v.accepts(claim, 150.0));
+  EXPECT_FALSE(v.accepts(claim, 1000.0));
+}
+
+TEST(Echo, ProverCannotPretendToBeCloser) {
+  // The protocol's soundness: any delay only increases the round trip.
+  EchoVerifier v;
+  EchoClaim claim{{0, 0}, 100.0};
+  const double honest = v.round_trip_s(150.0, 0.0);
+  for (const double delay : {1e-6, 1e-3, 0.1}) {
+    EXPECT_GT(v.round_trip_s(150.0, delay), honest);
+    EXPECT_FALSE(v.accepts(claim, 150.0, delay));
+  }
+  // Negative delay (replying before receiving) is physically impossible.
+  EXPECT_THROW(v.round_trip_s(150.0, -1e-9), std::invalid_argument);
+}
+
+TEST(Echo, ProverCanPretendToBeFarther) {
+  // The asymmetry the paper exploits when explaining why verification
+  // alone cannot stop compromised beacons: an in-region prover can always
+  // stall and look out-of-region (deny being nearby), the reverse is
+  // impossible.
+  EchoVerifier v;
+  EchoClaim claim{{0, 0}, 100.0};
+  EXPECT_TRUE(v.accepts(claim, 50.0, 0.0));
+  EXPECT_FALSE(v.accepts(claim, 50.0, 1.0));  // stalls a second: "far away"
+}
+
+TEST(Echo, ThresholdScalesWithRegion) {
+  EchoVerifier v;
+  EXPECT_LT(v.max_round_trip_s({{0, 0}, 50.0}),
+            v.max_round_trip_s({{0, 0}, 200.0}));
+}
+
+TEST(Echo, Validation) {
+  EchoConfig bad;
+  bad.speed_of_sound_ft_per_s = 0.0;
+  EXPECT_THROW(EchoVerifier{bad}, std::invalid_argument);
+  EchoVerifier v;
+  EXPECT_THROW(v.max_round_trip_s({{0, 0}, 0.0}), std::invalid_argument);
+  EXPECT_THROW(v.round_trip_s(-1.0, 0.0), std::invalid_argument);
+}
+
+// --- TDoA and its §2.3 weakness -----------------------------------------
+
+TEST(Tdoa, HonestErrorWithinBound) {
+  TdoaRangingModel model;
+  util::Rng rng(1);
+  const double bound = model.max_error_ft();
+  EXPECT_NEAR(bound, 4.0, 0.1);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform(0.0, 150.0);
+    EXPECT_LE(std::abs(model.measure(d, rng) - d), bound + 1e-9);
+  }
+}
+
+TEST(Tdoa, InjectedPulseShrinksDistanceWithoutKeys) {
+  // The §2.3 weakness: an attacker near the receiver injects an early
+  // ultrasound pulse; the measured distance collapses toward the
+  // attacker's distance even though every RF packet stays authentic.
+  TdoaRangingModel model;
+  util::Rng rng(2);
+  const double true_d = 120.0;
+  const double attacker_d = 20.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double m =
+        model.measure_with_injected_pulse(true_d, attacker_d, 0.0, rng);
+    EXPECT_LT(m, 30.0);  // looks ~20 ft away instead of 120
+  }
+}
+
+TEST(Tdoa, InjectionLeadShrinksFurther) {
+  TdoaRangingModel model;
+  util::Rng rng(3);
+  // Leading the genuine pulse by 50 ms removes ~56 ft more.
+  const double without_lead = model.measure_with_injected_pulse(
+      120.0, 100.0, 0.0, rng);
+  const double with_lead = model.measure_with_injected_pulse(
+      120.0, 100.0, 0.05, rng);
+  EXPECT_GT(without_lead - with_lead, 40.0);
+}
+
+TEST(Tdoa, LateInjectionIsHarmless) {
+  // If the attacker is farther than the beacon and doesn't lead, the
+  // genuine pulse wins the race.
+  TdoaRangingModel model;
+  util::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double m =
+        model.measure_with_injected_pulse(50.0, 140.0, 0.0, rng);
+    EXPECT_NEAR(m, 50.0, model.max_error_ft() + 1e-9);
+  }
+}
+
+TEST(Tdoa, AttackEvadesDistanceConsistencyOnlyPartially) {
+  // Why the paper's detector still helps: the shrunk distance is
+  // inconsistent with the (authenticated) claimed location, so a
+  // detecting node flags the signal — it just cannot attribute it to the
+  // beacon, since the beacon never misbehaved. Detection of the *signal*
+  // still protects the localization.
+  TdoaRangingModel model;
+  util::Rng rng(5);
+  const double true_d = 120.0;
+  const double measured =
+      model.measure_with_injected_pulse(true_d, 20.0, 0.0, rng);
+  EXPECT_GT(std::abs(true_d - measured), model.max_error_ft());
+}
+
+TEST(Tdoa, Validation) {
+  TdoaConfig bad;
+  bad.speed_of_sound_ft_per_s = -1.0;
+  EXPECT_THROW(TdoaRangingModel{bad}, std::invalid_argument);
+  TdoaRangingModel model;
+  util::Rng rng(6);
+  EXPECT_THROW(model.measure(-1.0, rng), std::invalid_argument);
+  EXPECT_THROW(model.measure_with_injected_pulse(1.0, -1.0, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(model.measure_with_injected_pulse(1.0, 1.0, -0.1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::ranging

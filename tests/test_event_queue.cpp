@@ -1,0 +1,75 @@
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sld::sim {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&]() { order.push_back(3); });
+  q.push(10, [&]() { order.push_back(1); });
+  q.push(20, [&]() { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.push(5, [&order, i]() { order.push_back(i); });
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(100, []() {});
+  q.push(50, []() {});
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, PopReturnsEventWithMetadata) {
+  EventQueue q;
+  q.push(77, []() {});
+  const Event ev = q.pop();
+  EXPECT_EQ(ev.when, 77);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ThrowsOnEmptyAccess) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.push(1, []() {});
+  q.push(2, []() {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&]() { order.push_back(1); });
+  q.pop().action();
+  q.push(5, [&]() { order.push_back(2); });
+  q.push(15, [&]() { order.push_back(3); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace sld::sim

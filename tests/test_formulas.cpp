@@ -1,0 +1,406 @@
+#include "analysis/formulas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sld::analysis {
+namespace {
+
+ModelParams paper_params() { return ModelParams{}; }
+
+TEST(ModelParams, PaperDefaultsValidate) {
+  const ModelParams p = paper_params();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.benign_beacons(), 90u);
+  EXPECT_EQ(p.nonbeacon_nodes(), 900u);
+}
+
+TEST(ModelParams, ValidationCatchesInconsistency) {
+  ModelParams p = paper_params();
+  p.beacon_count = p.total_nodes + 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.malicious_count = p.beacon_count + 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.wormhole_detection_rate = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = paper_params();
+  p.detecting_ids = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(AttackEffectiveness, Formula) {
+  EXPECT_DOUBLE_EQ(attack_effectiveness(0.0, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(attack_effectiveness(1.0, 0.0, 0.0), 0.0);
+  EXPECT_NEAR(attack_effectiveness(0.2, 0.3, 0.5), 0.8 * 0.7 * 0.5, 1e-12);
+  EXPECT_THROW(attack_effectiveness(-0.1, 0, 0), std::invalid_argument);
+}
+
+TEST(DetectionProbability, MatchesClosedForm) {
+  // P_r = 1 - (1 - P)^m, paper Figure 5.
+  EXPECT_DOUBLE_EQ(detection_probability(0.0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(detection_probability(1.0, 1), 1.0);
+  EXPECT_NEAR(detection_probability(0.3, 1), 0.3, 1e-12);
+  EXPECT_NEAR(detection_probability(0.3, 2), 1 - 0.49, 1e-12);
+  EXPECT_NEAR(detection_probability(0.2, 8), 1 - std::pow(0.8, 8), 1e-12);
+}
+
+TEST(DetectionProbability, MonotoneInPAndM) {
+  double prev = -1.0;
+  for (double P = 0.0; P <= 1.0; P += 0.05) {
+    const double pr = detection_probability(P, 4);
+    EXPECT_GE(pr, prev);
+    prev = pr;
+  }
+  for (std::size_t m = 1; m < 16; ++m)
+    EXPECT_LE(detection_probability(0.3, m),
+              detection_probability(0.3, m + 1));
+}
+
+TEST(DetectionProbability, Figure5Shape) {
+  // Figure 5: more detecting IDs -> higher P_r at every P; at P = 0.5,
+  // m = 8 is nearly certain detection.
+  EXPECT_GT(detection_probability(0.5, 8), 0.99);
+  EXPECT_LT(detection_probability(0.1, 1), 0.11);
+}
+
+TEST(AlertProbability, ScalesWithBenignBeaconFraction) {
+  const ModelParams p = paper_params();
+  const double pa = alert_probability(p, 0.2);
+  // (N_b - N_a)/N = 0.09, P_r(0.2, 8) ~ 0.832.
+  EXPECT_NEAR(pa, 0.09 * detection_probability(0.2, 8), 1e-12);
+}
+
+TEST(AlertCountPmf, SumsToOne) {
+  const ModelParams p = paper_params();
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= p.requesters_per_beacon; ++i)
+    sum += alert_count_pmf(p, 0.3, i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(RevocationProbability, ZeroAttackNeverRevoked) {
+  EXPECT_DOUBLE_EQ(revocation_probability(paper_params(), 0.0), 0.0);
+}
+
+TEST(RevocationProbability, IncreasesWithP) {
+  const ModelParams p = paper_params();
+  double prev = -1.0;
+  for (double P = 0.0; P <= 1.0; P += 0.1) {
+    const double pd = revocation_probability(p, P);
+    EXPECT_GE(pd, prev - 1e-12);
+    prev = pd;
+  }
+}
+
+TEST(RevocationProbability, DecreasesWithThreshold) {
+  // Figure 6(a): larger tau2 needs more alerts -> lower P_d.
+  ModelParams p = paper_params();
+  double prev = 1.0;
+  for (std::uint32_t tau2 = 2; tau2 <= 5; ++tau2) {
+    p.alert_threshold = tau2;
+    const double pd = revocation_probability(p, 0.4);
+    EXPECT_LE(pd, prev + 1e-12);
+    prev = pd;
+  }
+}
+
+TEST(RevocationProbability, IncreasesWithDetectingIds) {
+  // Figure 6(b).
+  ModelParams p = paper_params();
+  p.alert_threshold = 4;
+  double prev = 0.0;
+  for (const std::size_t m : {1u, 2u, 4u, 8u}) {
+    p.detecting_ids = m;
+    const double pd = revocation_probability(p, 0.5);
+    EXPECT_GE(pd, prev - 1e-12);
+    prev = pd;
+  }
+}
+
+TEST(RevocationProbability, IncreasesWithRequesters) {
+  // Figure 7: more requesters -> more alerts -> higher P_d.
+  ModelParams p = paper_params();
+  p.alert_threshold = 2;
+  double prev = 0.0;
+  for (std::size_t nc = 5; nc <= 100; nc += 5) {
+    p.requesters_per_beacon = nc;
+    const double pd = revocation_probability(p, 0.2);
+    EXPECT_GE(pd, prev - 1e-9);
+    prev = pd;
+  }
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(RevocationProbability, MonteCarloAgreement) {
+  // Simulate the §3.2 model directly: N_c requesters, each a benign beacon
+  // w.p. (N_b-N_a)/N that alerts w.p. P_r; revoke if > tau2 alerts.
+  const ModelParams p = paper_params();
+  const double P = 0.3;
+  const double pa = alert_probability(p, P);
+  util::Rng rng(1);
+  int revoked = 0;
+  constexpr int kTrials = 200000;
+  for (int t = 0; t < kTrials; ++t) {
+    int alerts = 0;
+    for (std::size_t r = 0; r < p.requesters_per_beacon; ++r)
+      if (rng.bernoulli(pa)) ++alerts;
+    if (alerts > static_cast<int>(p.alert_threshold)) ++revoked;
+  }
+  EXPECT_NEAR(static_cast<double>(revoked) / kTrials,
+              revocation_probability(p, P), 0.005);
+}
+
+TEST(AffectedNodes, ZeroAtExtremes) {
+  const ModelParams p = paper_params();
+  EXPECT_DOUBLE_EQ(affected_nonbeacon_nodes(p, 0.0), 0.0);
+  // At P = 1 the beacon is revoked almost surely with N_c = 100, m = 8,
+  // so barely any requester keeps the malicious signal.
+  EXPECT_LT(affected_nonbeacon_nodes(p, 1.0), 1.0);
+}
+
+TEST(AffectedNodes, InteriorMaximum) {
+  // Figure 8's hump: N' peaks at an interior P.
+  const ModelParams p = paper_params();
+  double argmax = 0.0;
+  const double peak = max_affected_nonbeacon_nodes(p, &argmax);
+  EXPECT_GT(argmax, 0.0);
+  EXPECT_LT(argmax, 1.0);
+  EXPECT_GT(peak, affected_nonbeacon_nodes(p, 0.001));
+  EXPECT_GT(peak, affected_nonbeacon_nodes(p, 0.999));
+  EXPECT_GE(peak, affected_nonbeacon_nodes(p, argmax) - 1e-12);
+}
+
+TEST(AffectedNodes, LargerTauTwoAllowsMoreDamage) {
+  // Figure 8: N' grows with tau2 (harder to revoke).
+  ModelParams p = paper_params();
+  p.alert_threshold = 2;
+  const double small = max_affected_nonbeacon_nodes(p);
+  p.alert_threshold = 4;
+  const double large = max_affected_nonbeacon_nodes(p);
+  EXPECT_GT(large, small);
+}
+
+TEST(AffectedNodes, MoreDetectingIdsReducesDamage) {
+  ModelParams p = paper_params();
+  p.detecting_ids = 8;
+  const double strong = max_affected_nonbeacon_nodes(p);
+  p.detecting_ids = 4;
+  const double weak = max_affected_nonbeacon_nodes(p);
+  EXPECT_LT(strong, weak);
+}
+
+TEST(AffectedNodes, Figure9ShapeRiseThenFall) {
+  // N'max rises with N_c while revocation is unlikely, then falls once
+  // more requesters mean more detecting-beacon alerts.
+  ModelParams p = paper_params();
+  p.detecting_ids = 8;
+  p.alert_threshold = 2;
+  std::vector<double> curve;
+  for (std::size_t nc = 2; nc <= 200; nc += 6) {
+    p.requesters_per_beacon = nc;
+    curve.push_back(max_affected_nonbeacon_nodes(p));
+  }
+  const auto peak_it = std::max_element(curve.begin(), curve.end());
+  EXPECT_NE(peak_it, curve.begin());
+  EXPECT_NE(peak_it, curve.end() - 1);
+  EXPECT_LT(curve.back(), *peak_it);
+}
+
+TEST(FalsePositives, MatchesClosedForm) {
+  const ModelParams p = paper_params();
+  // ((1-0.9)*10 + 10*11) / 3 = 111 / 3 = 37.
+  EXPECT_NEAR(false_positive_count(p), 37.0, 1e-9);
+}
+
+TEST(FalsePositives, TradeoffDirections) {
+  // §3.2: decreasing tau1 or increasing tau2 reduces N_f.
+  ModelParams p = paper_params();
+  const double base = false_positive_count(p);
+  p.report_quota = 5;
+  EXPECT_LT(false_positive_count(p), base);
+  p = paper_params();
+  p.alert_threshold = 4;
+  EXPECT_LT(false_positive_count(p), base);
+}
+
+TEST(ReportCounter, IncrementProbabilitiesInRange) {
+  const ModelParams p = paper_params();
+  for (double P = 0.05; P < 1.0; P += 0.1) {
+    const double p1 = report_increment_prob_malicious(p, P);
+    EXPECT_GE(p1, 0.0);
+    EXPECT_LE(p1, 1.0);
+  }
+  const double p2 = report_increment_prob_wormhole(p);
+  EXPECT_GE(p2, 0.0);
+  EXPECT_LE(p2, 1.0);
+}
+
+TEST(ReportCounter, PmfSumsToOne) {
+  const ModelParams p = paper_params();
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= p.malicious_count + p.wormhole_count; ++i)
+    sum += report_counter_pmf(p, 0.1, i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ReportCounter, OverflowNegligibleAtPaperThreshold) {
+  // Figure 10's conclusion: with tau1 = 10 the probability of a benign
+  // beacon's report counter overflowing is close to zero.
+  const ModelParams p = paper_params();  // tau1 = 10
+  EXPECT_LT(report_counter_overflow_probability(p, 0.1), 1e-6);
+}
+
+TEST(ReportCounter, OverflowDecreasesWithTau1) {
+  ModelParams p = paper_params();
+  double prev = 1.0;
+  for (std::uint32_t tau1 = 0; tau1 <= 12; ++tau1) {
+    p.report_quota = tau1;
+    const double po = report_counter_overflow_probability(p, 0.1);
+    EXPECT_LE(po, prev + 1e-12);
+    prev = po;
+  }
+}
+
+// --- metamorphic properties across the parameter space ------------------
+
+TEST(Metamorphic, MoreBenignBeaconsMeanMoreAlerts) {
+  // P_a scales with the benign-beacon fraction, so P_d is monotone in it.
+  ModelParams p = paper_params();
+  double prev = 0.0;
+  for (std::size_t nb = 20; nb <= 200; nb += 20) {
+    p.beacon_count = nb;
+    p.malicious_count = 10;
+    const double pd = revocation_probability(p, 0.2);
+    EXPECT_GE(pd, prev - 1e-12) << "N_b = " << nb;
+    prev = pd;
+  }
+}
+
+TEST(Metamorphic, AffectedNodesScaleWithNonBeaconFraction) {
+  // N' = P (1-P_d) N_c (N - N_b)/N: doubling the non-beacon fraction at
+  // fixed P_d doubles the damage.
+  ModelParams p = paper_params();
+  const double pd = revocation_probability(p, 0.3);
+  const double n1 = affected_nonbeacon_nodes(p, 0.3);
+  EXPECT_NEAR(n1,
+              0.3 * (1.0 - pd) * 100.0 * 900.0 / 1000.0, 1e-9);
+}
+
+TEST(Metamorphic, FalsePositivesLinearInQuota) {
+  ModelParams p = paper_params();
+  p.report_quota = 10;
+  const double base = false_positive_count(p);
+  p.report_quota = 21;  // tau1+1 doubles: 11 -> 22
+  EXPECT_NEAR(false_positive_count(p),
+              base + 10.0 * 11.0 / 3.0, 1e-9);
+}
+
+TEST(Metamorphic, PerfectWormholeDetectorRemovesWormholeTerm) {
+  ModelParams p = paper_params();
+  p.wormhole_detection_rate = 1.0;
+  EXPECT_NEAR(false_positive_count(p),
+              10.0 * 11.0 / 3.0, 1e-9);  // only the collusion term remains
+  EXPECT_EQ(report_increment_prob_wormhole(p), 0.0);
+}
+
+TEST(Metamorphic, NoMaliciousNoWormholesNoOverflow) {
+  ModelParams p = paper_params();
+  p.malicious_count = 0;
+  p.wormhole_count = 0;
+  EXPECT_EQ(report_counter_overflow_probability(p, 0.5), 0.0);
+  EXPECT_EQ(false_positive_count(p), 0.0);
+}
+
+TEST(Metamorphic, DamageBoundedByRequesterPopulation) {
+  // N' can never exceed the expected non-beacon requester count.
+  ModelParams p = paper_params();
+  for (double P = 0.0; P <= 1.0 + 1e-9; P += 0.05) {
+    const double bound = static_cast<double>(p.requesters_per_beacon) *
+                         static_cast<double>(p.nonbeacon_nodes()) /
+                         static_cast<double>(p.total_nodes);
+    EXPECT_LE(affected_nonbeacon_nodes(p, std::min(P, 1.0)), bound + 1e-9);
+  }
+}
+
+TEST(Metamorphic, RevocationNeedsAlertThresholdReporters) {
+  // With fewer possible benign requesters than tau2+1, revocation is
+  // impossible no matter how blatant the attack.
+  ModelParams p = paper_params();
+  p.requesters_per_beacon = 2;  // tau2 = 2 needs 3 alerts
+  EXPECT_EQ(revocation_probability(p, 1.0), 0.0);
+}
+
+TEST(ChooseThresholds, FindsFeasiblePairAtPaperParameters) {
+  const ModelParams p = paper_params();
+  const auto choice = analysis::choose_thresholds(p);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_LE(choice->max_damage, 5.0);
+  EXPECT_LE(choice->quota_overflow, 1e-4);
+  // The winning pair keeps false positives at or below the paper pair's
+  // N_f (tau1=10, tau2=2 gives 37).
+  ModelParams paper_pair = p;
+  paper_pair.report_quota = 10;
+  paper_pair.alert_threshold = 2;
+  EXPECT_LE(choice->false_positives,
+            false_positive_count(paper_pair) + 1e-9);
+}
+
+TEST(ChooseThresholds, TighterDamageBudgetPrunesLargeTau2) {
+  const ModelParams p = paper_params();
+  ThresholdSearch strict;
+  strict.damage_budget = 2.0;  // only small tau2 keep N' this low
+  const auto choice = analysis::choose_thresholds(p, strict);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_LE(choice->max_damage, 2.0);
+  EXPECT_LE(choice->tau2, 2u);
+}
+
+TEST(ChooseThresholds, ImpossibleBudgetGivesNothing) {
+  const ModelParams p = paper_params();
+  ThresholdSearch impossible;
+  impossible.damage_budget = 1e-6;
+  EXPECT_FALSE(analysis::choose_thresholds(p, impossible).has_value());
+}
+
+TEST(ChooseThresholds, Validation) {
+  const ModelParams p = paper_params();
+  ThresholdSearch bad;
+  bad.tau2_min = 5;
+  bad.tau2_max = 2;
+  EXPECT_THROW(analysis::choose_thresholds(p, bad), std::invalid_argument);
+  bad = ThresholdSearch{};
+  bad.damage_budget = 0.0;
+  EXPECT_THROW(analysis::choose_thresholds(p, bad), std::invalid_argument);
+}
+
+TEST(ReportCounter, MonteCarloAgreement) {
+  // Simulate the §3.2 counter model: Bin(N_a, P_1) + Bin(N_w, P_2).
+  const ModelParams p = paper_params();
+  const double P = 0.1;
+  const double p1 = report_increment_prob_malicious(p, P);
+  const double p2 = report_increment_prob_wormhole(p);
+  util::Rng rng(2);
+  constexpr int kTrials = 300000;
+  ModelParams small_quota = p;
+  small_quota.report_quota = 1;
+  int overflow = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    int counter = 0;
+    for (std::size_t j = 0; j < p.malicious_count; ++j)
+      if (rng.bernoulli(p1)) ++counter;
+    for (std::size_t k = 0; k < p.wormhole_count; ++k)
+      if (rng.bernoulli(p2)) ++counter;
+    if (counter > 1) ++overflow;
+  }
+  EXPECT_NEAR(static_cast<double>(overflow) / kTrials,
+              report_counter_overflow_probability(small_quota, P), 0.005);
+}
+
+}  // namespace
+}  // namespace sld::analysis

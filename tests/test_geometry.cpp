@@ -1,0 +1,96 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace sld::util {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {3.0, 4.0};
+  EXPECT_EQ(v, Vec2(0.0, 0.0));
+}
+
+TEST(Vec2, NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm_squared(), 25.0);
+}
+
+TEST(Vec2, DistanceIsSymmetric) {
+  const Vec2 a{10.0, 20.0};
+  const Vec2 b{-5.0, 7.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Vec2, DistanceSquaredMatchesDistance) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+}
+
+TEST(Vec2, TriangleInequality) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{13.0, -7.0};
+  const Vec2 c{-2.0, 9.5};
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c) + 1e-12);
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(Rect, SquareField) {
+  const Rect field = Rect::square(1000.0);
+  EXPECT_EQ(field.width(), 1000.0);
+  EXPECT_EQ(field.height(), 1000.0);
+  EXPECT_EQ(field.area(), 1e6);
+}
+
+TEST(Rect, Contains) {
+  const Rect r{0.0, 0.0, 10.0, 20.0};
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({10.0, 20.0}));
+  EXPECT_TRUE(r.contains({5.0, 5.0}));
+  EXPECT_FALSE(r.contains({-0.1, 5.0}));
+  EXPECT_FALSE(r.contains({5.0, 20.1}));
+}
+
+TEST(Rect, ClampProjectsOutsidePoints) {
+  const Rect r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_EQ(r.clamp({-5.0, 5.0}), Vec2(0.0, 5.0));
+  EXPECT_EQ(r.clamp({15.0, 25.0}), Vec2(10.0, 10.0));
+  EXPECT_EQ(r.clamp({3.0, 4.0}), Vec2(3.0, 4.0));
+}
+
+TEST(Rect, StreamOutput) {
+  std::ostringstream os;
+  os << Rect{0.0, 1.0, 2.0, 3.0};
+  EXPECT_EQ(os.str(), "[0, 2] x [1, 3]");
+}
+
+}  // namespace
+}  // namespace sld::util

@@ -1,0 +1,156 @@
+#include "localization/iterative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace sld::localization {
+namespace {
+
+/// Chain of clusters: seed beacons around the origin, then nodes marching
+/// right in 100 ft steps, each only hearing the previous cluster.
+struct ChainWorld {
+  std::unordered_map<std::uint32_t, util::Vec2> seeds;
+  std::unordered_map<std::uint32_t, util::Vec2> truths;
+};
+
+ChainWorld chain_world(std::size_t clusters) {
+  ChainWorld w;
+  w.seeds = {{1, {0, 0}}, {2, {100, 0}}, {3, {50, 90}}, {4, {50, -90}}};
+  std::uint32_t next = 100;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const double x = 120.0 + static_cast<double>(c) * 100.0;
+    w.truths[next++] = {x, 20.0};
+    w.truths[next++] = {x, -20.0};
+    w.truths[next++] = {x + 20.0, 0.0};
+  }
+  return w;
+}
+
+IterativeConfig config() {
+  IterativeConfig c;
+  c.comm_range_ft = 150.0;
+  c.max_ranging_error_ft = 2.0;
+  return c;
+}
+
+TEST(Iterative, SingleRoundMatchesPlainMultilateration) {
+  util::Rng rng(1);
+  ChainWorld w = chain_world(1);
+  const auto result =
+      iterative_multilateration(w.seeds, w.truths, config(), rng);
+  EXPECT_EQ(result.localized.size(), w.truths.size());
+  for (const auto& [id, node] : result.localized) {
+    EXPECT_EQ(node.round, 1u);
+    EXPECT_LT(util::distance(node.estimate, w.truths.at(id)), 15.0);
+  }
+}
+
+TEST(Iterative, PromotionReachesNodesBeyondSeedRange) {
+  util::Rng rng(2);
+  ChainWorld w = chain_world(4);  // far clusters unreachable from seeds
+  const auto result =
+      iterative_multilateration(w.seeds, w.truths, config(), rng);
+  EXPECT_EQ(result.localized.size(), w.truths.size());
+  EXPECT_GT(result.rounds_run, 1u);
+  bool saw_late_round = false;
+  for (const auto& [id, node] : result.localized) {
+    (void)id;
+    if (node.round >= 3) saw_late_round = true;
+  }
+  EXPECT_TRUE(saw_late_round);
+}
+
+TEST(Iterative, ErrorAccumulatesAcrossRounds) {
+  // The paper's §2.3 observation, measured: later-round fixes are worse
+  // on average than first-round fixes.
+  util::RunningStat round1, later;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    ChainWorld w = chain_world(6);
+    const auto result =
+        iterative_multilateration(w.seeds, w.truths, config(), rng);
+    for (const auto& [id, node] : result.localized) {
+      const double err = util::distance(node.estimate, w.truths.at(id));
+      if (node.round == 1)
+        round1.add(err);
+      else if (node.round >= 4)
+        later.add(err);
+    }
+  }
+  ASSERT_GT(round1.count(), 10u);
+  ASSERT_GT(later.count(), 10u);
+  EXPECT_GT(later.mean(), round1.mean());
+}
+
+TEST(Iterative, IsolatedNodesStayUnlocalized) {
+  util::Rng rng(3);
+  ChainWorld w = chain_world(1);
+  w.truths[999] = {5000, 5000};  // out of everyone's range
+  const auto result =
+      iterative_multilateration(w.seeds, w.truths, config(), rng);
+  EXPECT_FALSE(result.localized.contains(999));
+}
+
+TEST(Iterative, RoundLimitRespected) {
+  util::Rng rng(4);
+  ChainWorld w = chain_world(8);
+  IterativeConfig c = config();
+  c.max_rounds = 2;
+  const auto result = iterative_multilateration(w.seeds, w.truths, c, rng);
+  EXPECT_LE(result.rounds_run, 2u);
+  EXPECT_LT(result.localized.size(), w.truths.size());
+}
+
+TEST(Iterative, RobustModeFiltersLyingPromotedBeacon) {
+  // The §2.3 remark made concrete: "there are still constraints between
+  // estimated measurements and calculated measurements ... we can still
+  // apply the proposed detector" to promoted beacons. A promoted node
+  // that lies about its discovered position produces references whose
+  // residuals blow past the error budget; robust mode discards them.
+  const util::Vec2 truth{300, 0};
+  // Seeds around the target plus one "promoted" reference that lies.
+  std::unordered_map<std::uint32_t, util::Vec2> seeds{
+      {1, {200, 0}}, {2, {300, 100}}, {3, {400, 0}}, {4, {300, -100}}};
+  // Node 4's physical position stays where it is; only its *claim* lies.
+  std::unordered_map<std::uint32_t, util::Vec2> truths{
+      {50, truth}, {4, {300, -100}}};
+
+  // Plain and robust runs over the same world, but with reference 4's
+  // claimed position corrupted (as if it were a lying promoted beacon).
+  auto lying_seeds = seeds;
+  lying_seeds[4] = {300, -250};  // claims 150 ft south of where it is
+  IterativeConfig plain = config();
+  IterativeConfig robust = config();
+  robust.robust = true;
+
+  util::Rng rng1(9), rng2(9);
+  const auto bad =
+      iterative_multilateration(lying_seeds, truths, plain, rng1);
+  const auto fixed =
+      iterative_multilateration(lying_seeds, truths, robust, rng2);
+  ASSERT_TRUE(bad.localized.contains(50));
+  ASSERT_TRUE(fixed.localized.contains(50));
+  const double bad_err =
+      util::distance(bad.localized.at(50).estimate, truth);
+  const double fixed_err =
+      util::distance(fixed.localized.at(50).estimate, truth);
+  EXPECT_GT(bad_err, 25.0);   // the lie drags the plain fit
+  EXPECT_LT(fixed_err, 10.0); // robust mode discards the liar
+  EXPECT_LT(fixed.localized.at(50).references, 4u);
+}
+
+TEST(Iterative, Validation) {
+  util::Rng rng(5);
+  IterativeConfig bad = config();
+  bad.comm_range_ft = 0.0;
+  EXPECT_THROW(iterative_multilateration({}, {}, bad, rng),
+               std::invalid_argument);
+  bad = config();
+  bad.max_ranging_error_ft = -1.0;
+  EXPECT_THROW(iterative_multilateration({}, {}, bad, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::localization

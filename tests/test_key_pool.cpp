@@ -1,0 +1,109 @@
+#include "crypto/key_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::crypto {
+namespace {
+
+TEST(KeyPool, GeneratesRequestedSize) {
+  util::Rng rng(1);
+  KeyPool pool(100, rng);
+  EXPECT_EQ(pool.size(), 100u);
+}
+
+TEST(KeyPool, KeysAreDistinct) {
+  util::Rng rng(2);
+  KeyPool pool(50, rng);
+  for (PoolKeyId i = 0; i < 50; ++i)
+    for (PoolKeyId j = i + 1; j < 50; ++j)
+      EXPECT_NE(pool.key(i), pool.key(j));
+}
+
+TEST(KeyPool, RejectsEmptyPool) {
+  util::Rng rng(3);
+  EXPECT_THROW(KeyPool(0, rng), std::invalid_argument);
+}
+
+TEST(KeyPool, KeyLookupBoundsChecked) {
+  util::Rng rng(4);
+  KeyPool pool(10, rng);
+  EXPECT_THROW(pool.key(10), std::out_of_range);
+}
+
+TEST(KeyPool, DrawRingDistinctSorted) {
+  util::Rng rng(5);
+  KeyPool pool(200, rng);
+  const auto ring = pool.draw_ring(50, rng);
+  EXPECT_EQ(ring.size(), 50u);
+  for (std::size_t i = 1; i < ring.size(); ++i)
+    EXPECT_LT(ring[i - 1], ring[i]);
+}
+
+TEST(KeyPool, DrawRingRejectsOversizedRing) {
+  util::Rng rng(6);
+  KeyPool pool(10, rng);
+  EXPECT_THROW(pool.draw_ring(11, rng), std::invalid_argument);
+}
+
+TEST(KeyPool, ShareProbabilityFormulaSanity) {
+  // EG connectivity: with ring = pool, sharing is certain.
+  EXPECT_DOUBLE_EQ(KeyPool::share_probability(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(KeyPool::share_probability(100, 0), 0.0);
+  // Known EG working point: pool 10000, ring 75 -> ~0.43.
+  const double p = KeyPool::share_probability(10000, 75);
+  EXPECT_NEAR(p, 0.43, 0.02);
+}
+
+TEST(KeyPool, ShareProbabilityMatchesMonteCarlo) {
+  util::Rng rng(7);
+  KeyPool pool(500, rng);
+  constexpr std::size_t kRing = 30;
+  const double analytic = KeyPool::share_probability(500, kRing);
+  int shared = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    KeyRing a(pool.draw_ring(kRing, rng), pool);
+    KeyRing b(pool.draw_ring(kRing, rng), pool);
+    if (a.shared_key_id(b)) ++shared;
+  }
+  EXPECT_NEAR(static_cast<double>(shared) / kTrials, analytic, 0.05);
+}
+
+TEST(KeyRing, SharedKeyIsSymmetricAndLowest) {
+  util::Rng rng(8);
+  KeyPool pool(100, rng);
+  KeyRing a({5, 10, 20}, pool);
+  KeyRing b({10, 20, 30}, pool);
+  ASSERT_TRUE(a.shared_key_id(b).has_value());
+  EXPECT_EQ(*a.shared_key_id(b), 10u);
+  EXPECT_EQ(*b.shared_key_id(a), 10u);
+}
+
+TEST(KeyRing, NoSharedKey) {
+  util::Rng rng(9);
+  KeyPool pool(100, rng);
+  KeyRing a({1, 2, 3}, pool);
+  KeyRing b({4, 5, 6}, pool);
+  EXPECT_FALSE(a.shared_key_id(b).has_value());
+}
+
+TEST(KeyRing, LinkKeysMatchOnBothSidesAndBindPair) {
+  util::Rng rng(10);
+  KeyPool pool(100, rng);
+  KeyRing a({7, 8}, pool);
+  KeyRing b({8, 9}, pool);
+  const auto shared = *a.shared_key_id(b);
+  EXPECT_EQ(a.link_key(shared, 100, 200), b.link_key(shared, 200, 100));
+  // Different node pair with the same pool key gets a different link key.
+  EXPECT_NE(a.link_key(shared, 100, 200), a.link_key(shared, 100, 201));
+}
+
+TEST(KeyRing, LinkKeyRequiresMembership) {
+  util::Rng rng(11);
+  KeyPool pool(100, rng);
+  KeyRing a({1, 2}, pool);
+  EXPECT_THROW(a.link_key(3, 1, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::crypto

@@ -1,0 +1,83 @@
+#include "attack/masquerade.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/mac.hpp"
+#include "crypto/pairwise.hpp"
+#include "sim/network.hpp"
+
+namespace sld::attack {
+namespace {
+
+class RecorderNode final : public sim::Node {
+ public:
+  using Node::Node;
+  void on_message(const sim::Delivery& d) override {
+    deliveries.push_back(d);
+  }
+  std::vector<sim::Delivery> deliveries;
+};
+
+TEST(Masquerade, ForgeryIsDeliveredButFailsAuthentication) {
+  sim::Network net(sim::ChannelConfig{}, 5);
+  auto& victim = net.emplace_node<RecorderNode>(1000, util::Vec2{0, 0}, 150.0);
+
+  MasqueradeConfig cfg;
+  cfg.position = {50, 0};
+  cfg.impersonated_beacon = 7;
+  cfg.claimed_position = {999, 999};
+  Masquerader attacker(cfg, net.channel());
+
+  util::Rng rng(1);
+  attacker.forge_reply(1000, 42, rng);
+  net.run();
+
+  ASSERT_EQ(victim.deliveries.size(), 1u);
+  EXPECT_EQ(attacker.forgeries_sent(), 1u);
+  const auto& d = victim.deliveries[0];
+  EXPECT_EQ(d.msg.src, 7u);
+
+  // The receiver's MAC check — the paper's first line of defence — rejects
+  // the forgery because the attacker has no pairwise key material.
+  const auto keys = crypto::PairwiseKeyManager::from_seed(99);
+  EXPECT_FALSE(crypto::verify_mac(keys.pairwise_key(d.msg.src, d.msg.dst),
+                                  d.msg.src, d.msg.dst, d.msg.payload,
+                                  d.msg.mac));
+}
+
+TEST(Masquerade, ForgedPayloadParsesWithClaimedLocation) {
+  sim::Network net(sim::ChannelConfig{}, 6);
+  auto& victim = net.emplace_node<RecorderNode>(1000, util::Vec2{0, 0}, 150.0);
+
+  MasqueradeConfig cfg;
+  cfg.position = {10, 0};
+  cfg.claimed_position = {123, 456};
+  Masquerader attacker(cfg, net.channel());
+  util::Rng rng(2);
+  attacker.forge_reply(1000, 9, rng);
+  net.run();
+
+  ASSERT_EQ(victim.deliveries.size(), 1u);
+  const auto payload =
+      sim::BeaconReplyPayload::parse(victim.deliveries[0].msg.payload);
+  EXPECT_EQ(payload.nonce, 9u);
+  EXPECT_EQ(payload.claimed_position, (util::Vec2{123, 456}));
+}
+
+TEST(Masquerade, OutOfRangeForgeryNotDelivered) {
+  sim::Network net(sim::ChannelConfig{}, 7);
+  auto& victim =
+      net.emplace_node<RecorderNode>(1000, util::Vec2{500, 500}, 150.0);
+
+  MasqueradeConfig cfg;
+  cfg.position = {0, 0};
+  cfg.range_ft = 150.0;
+  Masquerader attacker(cfg, net.channel());
+  util::Rng rng(3);
+  attacker.forge_reply(1000, 1, rng);
+  net.run();
+  EXPECT_TRUE(victim.deliveries.empty());
+}
+
+}  // namespace
+}  // namespace sld::attack

@@ -1,0 +1,98 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sld::sim {
+namespace {
+
+class CountingNode final : public Node {
+ public:
+  using Node::Node;
+  void start() override { ++started; }
+  void on_message(const Delivery&) override { ++received; }
+  int started = 0;
+  int received = 0;
+};
+
+TEST(Network, NodeLookup) {
+  Network net;
+  auto& a = net.emplace_node<CountingNode>(1, util::Vec2{0, 0}, 100.0);
+  EXPECT_EQ(net.node(1), &a);
+  EXPECT_EQ(net.node(99), nullptr);
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(Network, StartAllInvokesEveryNode) {
+  Network net;
+  auto& a = net.emplace_node<CountingNode>(1, util::Vec2{0, 0}, 100.0);
+  auto& b = net.emplace_node<CountingNode>(2, util::Vec2{1, 0}, 100.0);
+  net.start_all();
+  EXPECT_EQ(a.started, 1);
+  EXPECT_EQ(b.started, 1);
+}
+
+TEST(Network, DirectNeighborsRespectRange) {
+  Network net;
+  net.emplace_node<CountingNode>(1, util::Vec2{0, 0}, 100.0);
+  net.emplace_node<CountingNode>(2, util::Vec2{50, 0}, 100.0);
+  net.emplace_node<CountingNode>(3, util::Vec2{150, 0}, 100.0);
+  const auto n1 = net.direct_neighbors(1);
+  EXPECT_EQ(n1, (std::vector<NodeId>{2}));
+  const auto n2 = net.direct_neighbors(2);
+  EXPECT_EQ(n2.size(), 2u);
+}
+
+TEST(Network, ConnectedNodesIncludeWormholePeers) {
+  Network net;
+  net.emplace_node<CountingNode>(1, util::Vec2{0, 0}, 100.0);
+  net.emplace_node<CountingNode>(2, util::Vec2{900, 900}, 100.0);
+  WormholeLink link;
+  link.mouth_a = {10, 0};
+  link.mouth_b = {890, 900};
+  link.exit_range_ft = 100.0;
+  net.channel().add_wormhole(link);
+  const auto connected = net.connected_nodes(1);
+  EXPECT_NE(std::find(connected.begin(), connected.end(), 2u),
+            connected.end());
+  EXPECT_TRUE(net.direct_neighbors(1).empty());
+}
+
+TEST(Network, NeighborQueriesValidateId) {
+  Network net;
+  EXPECT_THROW(net.direct_neighbors(1), std::invalid_argument);
+  EXPECT_THROW(net.connected_nodes(1), std::invalid_argument);
+}
+
+TEST(Network, RunExecutesScheduledEvents) {
+  Network net;
+  int fired = 0;
+  net.scheduler().schedule_at(10, [&]() { ++fired; });
+  EXPECT_EQ(net.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Network, NodesListPreservesRegistrationOrder) {
+  Network net;
+  net.emplace_node<CountingNode>(3, util::Vec2{0, 0}, 100.0);
+  net.emplace_node<CountingNode>(1, util::Vec2{0, 0}, 100.0);
+  net.emplace_node<CountingNode>(2, util::Vec2{0, 0}, 100.0);
+  ASSERT_EQ(net.nodes().size(), 3u);
+  EXPECT_EQ(net.nodes()[0]->id(), 3u);
+  EXPECT_EQ(net.nodes()[1]->id(), 1u);
+  EXPECT_EQ(net.nodes()[2]->id(), 2u);
+}
+
+TEST(Node, AttachValidation) {
+  CountingNode n(1, {0, 0}, 100.0);
+  EXPECT_THROW(n.attach(nullptr, nullptr), std::invalid_argument);
+}
+
+TEST(Node, RejectsNonPositiveRange) {
+  EXPECT_THROW(CountingNode(1, util::Vec2{0, 0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(CountingNode(1, util::Vec2{0, 0}, -5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::sim

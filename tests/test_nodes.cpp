@@ -1,0 +1,223 @@
+// Protocol-level tests of the node classes: message handling, MAC
+// enforcement, nonce deduplication, and one-alert-per-target behaviour,
+// driven through hand-built micro-networks rather than full trials.
+#include "core/nodes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/mac.hpp"
+#include "sim/network.hpp"
+
+namespace sld::core {
+namespace {
+
+/// Captures everything addressed to it.
+class ProbeNode final : public sim::Node {
+ public:
+  using Node::Node;
+  void on_message(const sim::Delivery& d) override { inbox.push_back(d); }
+  std::vector<sim::Delivery> inbox;
+};
+
+class NodeProtocolTest : public ::testing::Test {
+ protected:
+  NodeProtocolTest() : ctx_(config_) {
+    ctx_.scheduler = &net_.scheduler();
+  }
+
+  static SystemConfig make_config() {
+    SystemConfig c;
+    c.rtt_calibration_samples = 500;
+    c.seed = 5;
+    return c;
+  }
+
+  sim::Message authed(sim::NodeId src, sim::NodeId dst, sim::MsgType type,
+                      util::Bytes payload) {
+    sim::Message m;
+    m.src = src;
+    m.dst = dst;
+    m.type = type;
+    m.payload = std::move(payload);
+    m.mac = crypto::compute_mac(ctx_.keys.pairwise_key(src, dst), src, dst,
+                                m.payload);
+    return m;
+  }
+
+  SystemConfig config_ = make_config();
+  SystemContext ctx_;
+  sim::Network net_{sim::ChannelConfig{}, 77};
+};
+
+TEST_F(NodeProtocolTest, BenignBeaconRepliesTruthfully) {
+  auto& beacon = net_.emplace_node<BeaconNode>(
+      1, util::Vec2{100, 100}, 150.0, ctx_, std::vector<sim::NodeId>{});
+  auto& requester = net_.emplace_node<ProbeNode>(
+      sim::kNonBeaconIdBase, util::Vec2{150, 100}, 150.0);
+
+  sim::BeaconRequestPayload req;
+  req.nonce = 777;
+  net_.channel().unicast(requester, authed(requester.id(), beacon.id(),
+                                           sim::MsgType::kBeaconRequest,
+                                           req.serialize()));
+  net_.run();
+
+  ASSERT_EQ(requester.inbox.size(), 1u);
+  const auto& reply_msg = requester.inbox[0].msg;
+  EXPECT_EQ(reply_msg.type, sim::MsgType::kBeaconReply);
+  EXPECT_EQ(reply_msg.src, beacon.id());
+  // Authenticated under the pairwise key.
+  EXPECT_TRUE(crypto::verify_mac(
+      ctx_.keys.pairwise_key(reply_msg.src, reply_msg.dst), reply_msg.src,
+      reply_msg.dst, reply_msg.payload, reply_msg.mac));
+  const auto reply = sim::BeaconReplyPayload::parse(reply_msg.payload);
+  EXPECT_EQ(reply.nonce, 777u);
+  EXPECT_EQ(reply.claimed_position, beacon.position());
+  EXPECT_EQ(reply.range_manipulation_ft, 0.0);
+  EXPECT_EQ(reply.processing_bias_cycles, 0.0);
+  EXPECT_FALSE(reply.fake_wormhole_indication);
+}
+
+TEST_F(NodeProtocolTest, BeaconDropsForgedRequests) {
+  auto& beacon = net_.emplace_node<BeaconNode>(
+      1, util::Vec2{100, 100}, 150.0, ctx_, std::vector<sim::NodeId>{});
+  auto& attacker = net_.emplace_node<ProbeNode>(
+      sim::kNonBeaconIdBase + 7, util::Vec2{150, 100}, 150.0);
+
+  sim::BeaconRequestPayload req;
+  req.nonce = 1;
+  sim::Message forged;
+  forged.src = attacker.id();
+  forged.dst = beacon.id();
+  forged.type = sim::MsgType::kBeaconRequest;
+  forged.payload = req.serialize();
+  forged.mac = 0xdeadbeef;  // wrong tag
+  net_.channel().unicast(attacker, forged);
+  net_.run();
+
+  EXPECT_TRUE(attacker.inbox.empty());
+  EXPECT_EQ(ctx_.metrics.mac_failures, 1u);
+}
+
+TEST_F(NodeProtocolTest, MaliciousBeaconAppliesItsStrategy) {
+  attack::MaliciousBeaconStrategy strategy(
+      attack::MaliciousStrategyConfig::with_effectiveness(1.0), 99);
+  auto& mal = net_.emplace_node<MaliciousBeaconNode>(
+      2, util::Vec2{100, 100}, 150.0, ctx_, std::move(strategy));
+  auto& requester = net_.emplace_node<ProbeNode>(
+      sim::kNonBeaconIdBase + 1, util::Vec2{150, 100}, 150.0);
+
+  sim::BeaconRequestPayload req;
+  req.nonce = 5;
+  net_.channel().unicast(requester, authed(requester.id(), mal.id(),
+                                           sim::MsgType::kBeaconRequest,
+                                           req.serialize()));
+  net_.run();
+
+  ASSERT_EQ(requester.inbox.size(), 1u);
+  const auto reply =
+      sim::BeaconReplyPayload::parse(requester.inbox[0].msg.payload);
+  EXPECT_EQ(reply.nonce, 5u);
+  // P = 1: the effective signal lies about location AND manipulates range.
+  EXPECT_GT(util::distance(reply.claimed_position, mal.position()), 50.0);
+  EXPECT_NE(reply.range_manipulation_ft, 0.0);
+}
+
+TEST_F(NodeProtocolTest, DetectingBeaconReportsEachTargetOnce) {
+  // Benign beacon with 4 detecting IDs probes a fully malicious target:
+  // all four probes detect, but exactly one alert reaches the station.
+  std::vector<sim::NodeId> ids{sim::kNonBeaconIdBase + 100,
+                               sim::kNonBeaconIdBase + 101,
+                               sim::kNonBeaconIdBase + 102,
+                               sim::kNonBeaconIdBase + 103};
+  auto& detector = net_.emplace_node<BeaconNode>(
+      1, util::Vec2{100, 100}, 150.0, ctx_, ids);
+  for (const auto alias : ids) net_.add_alias(alias, detector);
+
+  attack::MaliciousBeaconStrategy strategy(
+      attack::MaliciousStrategyConfig::with_effectiveness(1.0), 42);
+  auto& mal = net_.emplace_node<MaliciousBeaconNode>(
+      2, util::Vec2{150, 100}, 150.0, ctx_, std::move(strategy));
+  ctx_.truth[mal.id()] = BeaconTruth{mal.position(), true};
+
+  detector.set_probe_targets({mal.id()});
+  detector.start();
+  net_.run();
+
+  EXPECT_EQ(ctx_.metrics.probes_sent, 4u);
+  EXPECT_EQ(ctx_.metrics.probe_replies, 4u);
+  EXPECT_EQ(ctx_.metrics.consistency_flags, 4u);
+  EXPECT_EQ(ctx_.metrics.alerts_submitted, 1u);
+  EXPECT_EQ(ctx_.base_station.alert_counter(mal.id()), 1u);
+  EXPECT_EQ(detector.alerts_reported(), 1u);
+}
+
+TEST_F(NodeProtocolTest, DetectingBeaconStaysQuietForHonestTargets) {
+  std::vector<sim::NodeId> ids{sim::kNonBeaconIdBase + 200,
+                               sim::kNonBeaconIdBase + 201};
+  auto& detector = net_.emplace_node<BeaconNode>(
+      1, util::Vec2{100, 100}, 150.0, ctx_, ids);
+  for (const auto alias : ids) net_.add_alias(alias, detector);
+  auto& honest = net_.emplace_node<BeaconNode>(
+      2, util::Vec2{150, 100}, 150.0, ctx_, std::vector<sim::NodeId>{});
+  ctx_.truth[honest.id()] = BeaconTruth{honest.position(), false};
+
+  detector.set_probe_targets({honest.id()});
+  detector.start();
+  net_.run();
+
+  EXPECT_EQ(ctx_.metrics.probe_replies, 2u);
+  EXPECT_EQ(ctx_.metrics.consistency_flags, 0u);
+  EXPECT_EQ(ctx_.metrics.alerts_submitted, 0u);
+}
+
+TEST_F(NodeProtocolTest, SensorCollectsFiltersAndLocalizes) {
+  auto& sensor = net_.emplace_node<SensorNode>(
+      sim::kNonBeaconIdBase, util::Vec2{500, 500}, 150.0, ctx_);
+  std::vector<sim::NodeId> beacon_ids;
+  const util::Vec2 spots[] = {{450, 450}, {560, 470}, {480, 590}, {555, 555}};
+  sim::NodeId next = 1;
+  for (const auto& p : spots) {
+    auto& b = net_.emplace_node<BeaconNode>(next, p, 150.0, ctx_,
+                                            std::vector<sim::NodeId>{});
+    ctx_.truth[b.id()] = BeaconTruth{p, false};
+    beacon_ids.push_back(next++);
+  }
+  sensor.set_query_targets(beacon_ids);
+  sensor.start();
+  net_.run();
+  sensor.finalize();
+
+  EXPECT_EQ(ctx_.metrics.sensor_requests, 4u);
+  EXPECT_EQ(ctx_.metrics.sensor_replies, 4u);
+  ASSERT_TRUE(sensor.result().has_value());
+  EXPECT_LT(util::distance(sensor.result()->position, sensor.position()),
+            10.0);
+  EXPECT_EQ(ctx_.metrics.sensors_localized, 1u);
+}
+
+TEST_F(NodeProtocolTest, SensorIgnoresDuplicateReplies) {
+  // A wormhole between the sensor's area and the beacon's area makes the
+  // reply arrive twice; the nonce table must accept only the first copy.
+  auto& sensor = net_.emplace_node<SensorNode>(
+      sim::kNonBeaconIdBase, util::Vec2{100, 100}, 150.0, ctx_);
+  auto& beacon = net_.emplace_node<BeaconNode>(
+      1, util::Vec2{150, 100}, 150.0, ctx_, std::vector<sim::NodeId>{});
+  ctx_.truth[beacon.id()] = BeaconTruth{beacon.position(), false};
+  sim::WormholeLink link;
+  link.mouth_a = {120, 100};  // hears both endpoints
+  link.mouth_b = {130, 100};
+  link.exit_range_ft = 150.0;
+  net_.channel().add_wormhole(link);
+
+  sensor.set_query_targets({beacon.id()});
+  sensor.start();
+  net_.run();
+
+  // The request and the reply each traverse direct + two tunnel paths,
+  // but only one reply is counted.
+  EXPECT_EQ(ctx_.metrics.sensor_replies, 1u);
+}
+
+}  // namespace
+}  // namespace sld::core

@@ -1,0 +1,61 @@
+#include "crypto/pairwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sld::crypto {
+namespace {
+
+TEST(PairwiseKeyManager, SymmetricInNodeOrder) {
+  const auto mgr = PairwiseKeyManager::from_seed(1);
+  EXPECT_EQ(mgr.pairwise_key(3, 9), mgr.pairwise_key(9, 3));
+}
+
+TEST(PairwiseKeyManager, UniquePerPair) {
+  const auto mgr = PairwiseKeyManager::from_seed(2);
+  std::set<Key128> keys;
+  for (std::uint32_t a = 0; a < 12; ++a)
+    for (std::uint32_t b = a + 1; b < 12; ++b)
+      keys.insert(mgr.pairwise_key(a, b));
+  EXPECT_EQ(keys.size(), 12u * 11u / 2u);
+}
+
+TEST(PairwiseKeyManager, SelfPairRejected) {
+  const auto mgr = PairwiseKeyManager::from_seed(3);
+  EXPECT_THROW(mgr.pairwise_key(4, 4), std::invalid_argument);
+}
+
+TEST(PairwiseKeyManager, DifferentMastersDisagree) {
+  const auto a = PairwiseKeyManager::from_seed(4);
+  const auto b = PairwiseKeyManager::from_seed(5);
+  EXPECT_NE(a.pairwise_key(1, 2), b.pairwise_key(1, 2));
+}
+
+TEST(PairwiseKeyManager, BaseStationKeysUniquePerNode) {
+  const auto mgr = PairwiseKeyManager::from_seed(6);
+  std::set<Key128> keys;
+  for (std::uint32_t id = 0; id < 50; ++id)
+    keys.insert(mgr.base_station_key(id));
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(PairwiseKeyManager, BaseStationKeyDistinctFromPairwise) {
+  const auto mgr = PairwiseKeyManager::from_seed(7);
+  EXPECT_NE(mgr.base_station_key(1), mgr.pairwise_key(1, 2));
+}
+
+TEST(PairwiseKeyManager, BaseStationIdRejected) {
+  const auto mgr = PairwiseKeyManager::from_seed(8);
+  EXPECT_THROW(mgr.base_station_key(kBaseStationId), std::invalid_argument);
+}
+
+TEST(PairwiseKeyManager, DeterministicFromSeed) {
+  const auto a = PairwiseKeyManager::from_seed(9);
+  const auto b = PairwiseKeyManager::from_seed(9);
+  EXPECT_EQ(a.pairwise_key(10, 20), b.pairwise_key(10, 20));
+  EXPECT_EQ(a.base_station_key(10), b.base_station_key(10));
+}
+
+}  // namespace
+}  // namespace sld::crypto

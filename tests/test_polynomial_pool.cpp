@@ -1,0 +1,150 @@
+#include "crypto/polynomial_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sld::crypto {
+namespace {
+
+TEST(GfArithmetic, AddWrapsAtPrime) {
+  EXPECT_EQ(gf::add(gf::kPrime - 1, 1), 0u);
+  EXPECT_EQ(gf::add(5, 7), 12u);
+  EXPECT_EQ(gf::add(gf::kPrime - 1, gf::kPrime - 1), gf::kPrime - 2);
+}
+
+TEST(GfArithmetic, MulMatchesSmallCases) {
+  EXPECT_EQ(gf::mul(0, 12345), 0u);
+  EXPECT_EQ(gf::mul(1, 12345), 12345u);
+  EXPECT_EQ(gf::mul(3, 5), 15u);
+}
+
+TEST(GfArithmetic, MulReducesLargeProducts) {
+  // (p-1)^2 mod p = 1 since p-1 = -1 (mod p).
+  EXPECT_EQ(gf::mul(gf::kPrime - 1, gf::kPrime - 1), 1u);
+  // 2^61 mod (2^61 - 1) = 1 -> (2^60)*2 = 1.
+  EXPECT_EQ(gf::mul(1ULL << 60, 2), 1u);
+}
+
+TEST(GfArithmetic, MulDistributesOverAdd) {
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = rng.uniform_u64(gf::kPrime);
+    const auto b = rng.uniform_u64(gf::kPrime);
+    const auto c = rng.uniform_u64(gf::kPrime);
+    EXPECT_EQ(gf::mul(a, gf::add(b, c)),
+              gf::add(gf::mul(a, b), gf::mul(a, c)));
+  }
+}
+
+TEST(SymmetricPolynomial, IsSymmetric) {
+  util::Rng rng(2);
+  SymmetricBivariatePolynomial f(5, rng);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = rng.uniform_u64(gf::kPrime);
+    const auto y = rng.uniform_u64(gf::kPrime);
+    EXPECT_EQ(f.evaluate(x, y), f.evaluate(y, x));
+  }
+}
+
+TEST(SymmetricPolynomial, ShareEvaluationMatchesFull) {
+  util::Rng rng(3);
+  SymmetricBivariatePolynomial f(7, rng);
+  const std::uint64_t u = 12345, v = 67890;
+  PolynomialShare share(0, u, f.share_for(u));
+  EXPECT_EQ(share.evaluate(v), f.evaluate(u, v));
+}
+
+TEST(SymmetricPolynomial, DegreeZeroIsConstant) {
+  util::Rng rng(4);
+  SymmetricBivariatePolynomial f(0, rng);
+  EXPECT_EQ(f.evaluate(1, 2), f.evaluate(999, 3));
+}
+
+TEST(PolynomialShare, PairwiseKeysAgree) {
+  util::Rng rng(5);
+  SymmetricBivariatePolynomial f(10, rng);
+  const std::uint64_t u = 42, v = 4242;
+  PolynomialShare su(3, u, f.share_for(u));
+  PolynomialShare sv(3, v, f.share_for(v));
+  EXPECT_EQ(su.evaluate(v), sv.evaluate(u));
+  EXPECT_EQ(su.pairwise_key(v), sv.pairwise_key(u));
+}
+
+TEST(PolynomialShare, DistinctPairsGetDistinctKeys) {
+  util::Rng rng(6);
+  SymmetricBivariatePolynomial f(10, rng);
+  PolynomialShare s1(0, 1, f.share_for(1));
+  EXPECT_NE(s1.pairwise_key(2), s1.pairwise_key(3));
+}
+
+TEST(PolynomialShare, EmptyShareRejected) {
+  EXPECT_THROW(PolynomialShare(0, 1, {}), std::invalid_argument);
+}
+
+TEST(PolynomialPool, ProvisionAndDiscovery) {
+  util::Rng rng(7);
+  PolynomialPool pool(20, 5, rng);
+  const auto a = pool.provision(100, 8, rng);
+  const auto b = pool.provision(200, 8, rng);
+  EXPECT_EQ(a.size(), 8u);
+  // Shares are sorted and distinct.
+  std::set<std::uint32_t> ids;
+  for (const auto& s : a) ids.insert(s.poly_id());
+  EXPECT_EQ(ids.size(), 8u);
+
+  const auto shared = shared_polynomial(a, b);
+  if (shared) {
+    const auto* sa = &*std::find_if(a.begin(), a.end(), [&](const auto& s) {
+      return s.poly_id() == *shared;
+    });
+    const auto* sb = &*std::find_if(b.begin(), b.end(), [&](const auto& s) {
+      return s.poly_id() == *shared;
+    });
+    EXPECT_EQ(sa->evaluate(200), sb->evaluate(100));
+    EXPECT_EQ(sa->evaluate(200), pool.truth(*shared, 100, 200));
+  }
+}
+
+TEST(PolynomialPool, SharedPolynomialSymmetric) {
+  util::Rng rng(8);
+  PolynomialPool pool(10, 3, rng);
+  const auto a = pool.provision(1, 5, rng);
+  const auto b = pool.provision(2, 5, rng);
+  EXPECT_EQ(shared_polynomial(a, b), shared_polynomial(b, a));
+}
+
+TEST(PolynomialPool, FullPoolAlwaysShares) {
+  util::Rng rng(9);
+  PolynomialPool pool(5, 3, rng);
+  const auto a = pool.provision(1, 5, rng);
+  const auto b = pool.provision(2, 5, rng);
+  ASSERT_TRUE(shared_polynomial(a, b).has_value());
+  EXPECT_EQ(*shared_polynomial(a, b), 0u);  // lowest shared id
+}
+
+TEST(PolynomialPool, TCollusionResistanceShapeCheck) {
+  // t+1 shares of a degree-t polynomial determine it; t shares do not.
+  // Sanity-check the share sizes that property rests on.
+  util::Rng rng(10);
+  constexpr std::size_t t = 6;
+  PolynomialPool pool(1, t, rng);
+  const auto shares = pool.provision(77, 1, rng);
+  ASSERT_EQ(shares.size(), 1u);
+  // A share is t+1 field elements — enough to evaluate, not to reconstruct
+  // the bivariate polynomial's (t+1)(t+2)/2 free coefficients.
+  SymmetricBivariatePolynomial f(t, rng);
+  EXPECT_EQ(f.share_for(77).size(), t + 1);
+}
+
+TEST(PolynomialPool, Validation) {
+  util::Rng rng(11);
+  EXPECT_THROW(PolynomialPool(0, 3, rng), std::invalid_argument);
+  PolynomialPool pool(3, 2, rng);
+  EXPECT_THROW(pool.provision(1, 4, rng), std::invalid_argument);
+  EXPECT_THROW(pool.truth(3, 1, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sld::crypto

@@ -1,0 +1,164 @@
+#include "localization/range_free.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranging/aoa.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sld::localization {
+namespace {
+
+TEST(RangeFree, SingleBeaconCentersOnIt) {
+  const auto result = range_free_estimate({{100, 100}});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->position.x, 100.0, 3.0);
+  EXPECT_NEAR(result->position.y, 100.0, 3.0);
+}
+
+TEST(RangeFree, EstimateLiesInEveryDisk) {
+  util::Rng rng(1);
+  RangeFreeConfig cfg;
+  for (int trial = 0; trial < 50; ++trial) {
+    const util::Vec2 truth{rng.uniform(200, 800), rng.uniform(200, 800)};
+    std::vector<util::Vec2> heard;
+    for (int i = 0; i < 5; ++i) {
+      heard.push_back({truth.x + rng.uniform(-100, 100),
+                       truth.y + rng.uniform(-100, 100)});
+    }
+    const auto result = range_free_estimate(heard, cfg);
+    ASSERT_TRUE(result.has_value());
+    for (const auto& b : heard) {
+      EXPECT_LE(util::distance(result->position, b),
+                cfg.comm_range_ft + cfg.grid_step_ft);
+    }
+  }
+}
+
+TEST(RangeFree, MoreBeaconsShrinkTheRegion) {
+  util::Rng rng(2);
+  const util::Vec2 truth{500, 500};
+  std::vector<util::Vec2> few{{400, 500}, {600, 500}};
+  std::vector<util::Vec2> many = few;
+  many.push_back({500, 400});
+  many.push_back({500, 620});
+  const auto coarse = range_free_estimate(few);
+  const auto fine = range_free_estimate(many);
+  ASSERT_TRUE(coarse.has_value());
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_LT(fine->region_samples, coarse->region_samples);
+}
+
+TEST(RangeFree, BoundedErrorForHonestBeacons) {
+  util::Rng rng(3);
+  util::RunningStat err;
+  RangeFreeConfig cfg;
+  for (int trial = 0; trial < 100; ++trial) {
+    const util::Vec2 truth{rng.uniform(200, 800), rng.uniform(200, 800)};
+    std::vector<util::Vec2> heard;
+    for (int i = 0; i < 6; ++i) {
+      // Beacons the sensor hears lie within its range, by definition.
+      for (;;) {
+        const util::Vec2 b{truth.x + rng.uniform(-150, 150),
+                           truth.y + rng.uniform(-150, 150)};
+        if (util::distance(truth, b) <= cfg.comm_range_ft) {
+          heard.push_back(b);
+          break;
+        }
+      }
+    }
+    const auto result = range_free_estimate(heard, cfg);
+    ASSERT_TRUE(result.has_value());
+    err.add(util::distance(result->position, truth));
+  }
+  // Range-free is coarse but sane: mean error well under one range.
+  EXPECT_LT(err.mean(), 75.0);
+}
+
+TEST(RangeFree, LyingBeaconDragsTheEstimate) {
+  // The related-work comparison: no amount of range-free robustness stops
+  // a compromised beacon that claims a wrong location.
+  const util::Vec2 truth{500, 500};
+  std::vector<util::Vec2> honest{{450, 500}, {550, 500}, {500, 450}};
+  const auto clean = range_free_estimate(honest);
+  ASSERT_TRUE(clean.has_value());
+  auto attacked = honest;
+  attacked.push_back({640, 640});  // liar, still intersecting
+  const auto skewed = range_free_estimate(attacked);
+  ASSERT_TRUE(skewed.has_value());
+  EXPECT_GT(util::distance(skewed->position, truth),
+            util::distance(clean->position, truth) + 10.0);
+}
+
+TEST(RangeFree, InconsistentClaimsYieldNothing) {
+  // Two "heard" beacons claiming positions > 2R apart cannot both be
+  // heard — the empty intersection is itself a tamper signal.
+  const auto result = range_free_estimate({{0, 0}, {400, 0}});
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Serloc, SectorsTightenTheEstimate) {
+  // Same beacons, but each also reports the sector the sensor is in: the
+  // feasible region shrinks and the estimate improves.
+  const util::Vec2 truth{500, 500};
+  const std::vector<util::Vec2> beacons{{400, 500}, {500, 400}, {430, 430}};
+  std::vector<SectorReference> sectors;
+  for (const auto& b : beacons) {
+    SectorReference s;
+    s.beacon_position = b;
+    s.sector_bearing_rad = ranging::true_bearing(b, truth);
+    s.sector_halfwidth_rad = 0.3;  // ~34 degree sectors
+    sectors.push_back(s);
+  }
+  const auto disk_only = range_free_estimate(beacons);
+  const auto sectored = serloc_estimate(sectors);
+  ASSERT_TRUE(disk_only.has_value());
+  ASSERT_TRUE(sectored.has_value());
+  EXPECT_LT(sectored->region_samples, disk_only->region_samples);
+  EXPECT_LE(util::distance(sectored->position, truth),
+            util::distance(disk_only->position, truth) + 5.0);
+}
+
+TEST(Serloc, FullWidthSectorsMatchDiskIntersection) {
+  const std::vector<util::Vec2> beacons{{100, 100}, {180, 100}};
+  std::vector<SectorReference> sectors;
+  for (const auto& b : beacons)
+    sectors.push_back({b, 0.0, M_PI});  // omnidirectional
+  const auto disk = range_free_estimate(beacons);
+  const auto serloc = serloc_estimate(sectors);
+  ASSERT_TRUE(disk.has_value());
+  ASSERT_TRUE(serloc.has_value());
+  EXPECT_EQ(serloc->region_samples, disk->region_samples);
+  EXPECT_NEAR(util::distance(serloc->position, disk->position), 0.0, 1e-9);
+}
+
+TEST(Serloc, ContradictorySectorsYieldNothing) {
+  // Two beacons pointing their sectors away from each other: no feasible
+  // point — a tamper signal, just like empty disk intersections.
+  std::vector<SectorReference> sectors{
+      {{100, 100}, M_PI, 0.2},  // sensor claimed west of beacon 1
+      {{180, 100}, 0.0, 0.2}};  // ... and east of beacon 2: impossible
+  const auto result = serloc_estimate(sectors);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Serloc, Validation) {
+  EXPECT_FALSE(serloc_estimate({}).has_value());
+  std::vector<SectorReference> bad{{{0, 0}, 0.0, 0.0}};
+  EXPECT_THROW(serloc_estimate(bad), std::invalid_argument);
+  bad[0].sector_halfwidth_rad = 4.0;
+  EXPECT_THROW(serloc_estimate(bad), std::invalid_argument);
+}
+
+TEST(RangeFree, Validation) {
+  EXPECT_FALSE(range_free_estimate({}).has_value());
+  RangeFreeConfig bad;
+  bad.comm_range_ft = 0.0;
+  EXPECT_THROW(range_free_estimate({{0, 0}}, bad), std::invalid_argument);
+  bad = RangeFreeConfig{};
+  bad.grid_step_ft = 0.0;
+  EXPECT_THROW(range_free_estimate({{0, 0}}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::localization

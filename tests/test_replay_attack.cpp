@@ -1,0 +1,135 @@
+#include "attack/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace sld::attack {
+namespace {
+
+class RecorderNode final : public sim::Node {
+ public:
+  using Node::Node;
+  void on_message(const sim::Delivery& d) override {
+    deliveries.push_back(d);
+  }
+  std::vector<sim::Delivery> deliveries;
+};
+
+sim::Message beacon_reply(sim::NodeId src, sim::NodeId dst) {
+  sim::Message m;
+  m.src = src;
+  m.dst = dst;
+  m.type = sim::MsgType::kBeaconReply;
+  m.payload = sim::BeaconReplyPayload{}.serialize();
+  return m;
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  sim::Network net{sim::ChannelConfig{}, 42};
+};
+
+TEST_F(ReplayTest, ReplayArrivesWithDelay) {
+  auto& victim = net.emplace_node<RecorderNode>(1, util::Vec2{0, 0}, 150.0);
+  auto& requester =
+      net.emplace_node<RecorderNode>(1000, util::Vec2{100, 0}, 150.0);
+
+  LocalReplayConfig cfg;
+  cfg.victim_beacon = 1;
+  cfg.position = {50, 0};
+  LocalReplayAttacker attacker(cfg, net.channel(), net.scheduler());
+  net.channel().add_observer(&attacker);
+
+  net.channel().unicast(victim, beacon_reply(1, 1000));
+  net.run();
+
+  ASSERT_EQ(requester.deliveries.size(), 2u);  // original + replay
+  const auto& original = requester.deliveries[0];
+  const auto& replay = requester.deliveries[1];
+  EXPECT_FALSE(original.ctx.is_replay);
+  EXPECT_TRUE(replay.ctx.is_replay);
+  EXPECT_EQ(attacker.replays_sent(), 1u);
+  // Store-and-forward costs at least one packet air time of RTT delay.
+  EXPECT_GE(replay.ctx.extra_delay_cycles,
+            net.channel().packet_airtime_cycles(original.msg.payload.size()));
+  EXPECT_GT(replay.rx_time, original.rx_time);
+  // The replayed energy radiates from the attacker's position.
+  EXPECT_EQ(replay.ctx.radiating_position, (util::Vec2{50, 0}));
+}
+
+TEST_F(ReplayTest, ShieldedModeSuppressesOriginal) {
+  auto& victim = net.emplace_node<RecorderNode>(1, util::Vec2{0, 0}, 150.0);
+  auto& requester =
+      net.emplace_node<RecorderNode>(1000, util::Vec2{100, 0}, 150.0);
+
+  LocalReplayConfig cfg;
+  cfg.victim_beacon = 1;
+  cfg.position = {50, 0};
+  cfg.shield_original = true;
+  LocalReplayAttacker attacker(cfg, net.channel(), net.scheduler());
+  net.channel().add_observer(&attacker);
+
+  net.channel().unicast(victim, beacon_reply(1, 1000));
+  net.run();
+
+  ASSERT_EQ(requester.deliveries.size(), 1u);
+  EXPECT_TRUE(requester.deliveries[0].ctx.is_replay);
+}
+
+TEST_F(ReplayTest, IgnoresOtherSenders) {
+  auto& other = net.emplace_node<RecorderNode>(2, util::Vec2{0, 0}, 150.0);
+  auto& requester =
+      net.emplace_node<RecorderNode>(1000, util::Vec2{100, 0}, 150.0);
+
+  LocalReplayConfig cfg;
+  cfg.victim_beacon = 1;  // not node 2
+  cfg.position = {50, 0};
+  LocalReplayAttacker attacker(cfg, net.channel(), net.scheduler());
+  net.channel().add_observer(&attacker);
+
+  net.channel().unicast(other, beacon_reply(2, 1000));
+  net.run();
+
+  EXPECT_EQ(attacker.replays_sent(), 0u);
+  EXPECT_EQ(requester.deliveries.size(), 1u);
+}
+
+TEST_F(ReplayTest, DoesNotReplayItsOwnReplays) {
+  auto& victim = net.emplace_node<RecorderNode>(1, util::Vec2{0, 0}, 150.0);
+  net.emplace_node<RecorderNode>(1000, util::Vec2{100, 0}, 150.0);
+
+  LocalReplayConfig cfg;
+  cfg.victim_beacon = 1;
+  cfg.position = {50, 0};
+  LocalReplayAttacker attacker(cfg, net.channel(), net.scheduler());
+  net.channel().add_observer(&attacker);
+
+  net.channel().unicast(victim, beacon_reply(1, 1000));
+  net.run();
+  // Exactly one replay despite the attacker hearing its own transmission.
+  EXPECT_EQ(attacker.replays_sent(), 1u);
+}
+
+TEST_F(ReplayTest, CustomDelayHonored) {
+  auto& victim = net.emplace_node<RecorderNode>(1, util::Vec2{0, 0}, 150.0);
+  auto& requester =
+      net.emplace_node<RecorderNode>(1000, util::Vec2{100, 0}, 150.0);
+
+  LocalReplayConfig cfg;
+  cfg.victim_beacon = 1;
+  cfg.position = {50, 0};
+  cfg.replay_delay_cycles = 1000.0;  // sub-packet: the filter's blind spot
+  LocalReplayAttacker attacker(cfg, net.channel(), net.scheduler());
+  net.channel().add_observer(&attacker);
+
+  net.channel().unicast(victim, beacon_reply(1, 1000));
+  net.run();
+  ASSERT_EQ(requester.deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(requester.deliveries[1].ctx.extra_delay_cycles, 1000.0);
+}
+
+}  // namespace
+}  // namespace sld::attack

@@ -1,0 +1,145 @@
+#include "detection/replay_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sld::detection {
+namespace {
+
+constexpr double kXmax = 7124.0;
+
+SignalObservation direct_obs() {
+  SignalObservation o;
+  o.receiver_position = {0, 0};
+  o.claimed_position = {100, 0};
+  o.measured_distance_ft = 100.0;
+  o.target_range_ft = 150.0;
+  o.observed_rtt_cycles = 6000.0;
+  return o;
+}
+
+SignalObservation wormhole_obs() {
+  SignalObservation o = direct_obs();
+  o.via_wormhole = true;
+  o.claimed_position = {800, 700};  // farther than one radio range
+  o.measured_distance_ft = 20.0;
+  return o;
+}
+
+class ReplayFilterTest : public ::testing::Test {
+ protected:
+  ranging::ProbabilisticWormholeDetector detector{0.9};
+  ReplayFilter filter{ReplayFilterConfig{kXmax}, &detector};
+  util::Rng rng{1};
+};
+
+TEST_F(ReplayFilterTest, DirectSignalPassesBothStages) {
+  EXPECT_EQ(filter.evaluate_at_detecting_node(direct_obs(), rng),
+            SignalVerdict::kGenuine);
+  EXPECT_EQ(filter.evaluate_at_nonbeacon(direct_obs(), rng),
+            SignalVerdict::kGenuine);
+}
+
+TEST_F(ReplayFilterTest, RttAboveXmaxIsLocalReplay) {
+  SignalObservation o = direct_obs();
+  o.observed_rtt_cycles = kXmax + 1.0;
+  EXPECT_EQ(filter.evaluate_at_detecting_node(o, rng),
+            SignalVerdict::kLocalReplay);
+  EXPECT_EQ(filter.evaluate_at_nonbeacon(o, rng),
+            SignalVerdict::kLocalReplay);
+}
+
+TEST_F(ReplayFilterTest, RttExactlyXmaxPasses) {
+  SignalObservation o = direct_obs();
+  o.observed_rtt_cycles = kXmax;  // paper: "When RTT <= x_max ... not replayed"
+  EXPECT_EQ(filter.evaluate_at_detecting_node(o, rng),
+            SignalVerdict::kGenuine);
+}
+
+TEST_F(ReplayFilterTest, WormholeCaughtAtDetectorRatePerLink) {
+  // p_d applies per (receiver, sender) link; measure across many links.
+  int caught = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    SignalObservation o = wormhole_obs();
+    o.receiver_id = static_cast<std::uint32_t>(i);
+    o.sender_id = static_cast<std::uint32_t>(i + kN);
+    if (filter.evaluate_at_detecting_node(o, rng) ==
+        SignalVerdict::kWormholeReplay)
+      ++caught;
+  }
+  EXPECT_NEAR(static_cast<double>(caught) / kN, 0.9, 0.01);
+}
+
+TEST_F(ReplayFilterTest, GeographicPreconditionGatesWormholeStage) {
+  // The §2.2.1 algorithm only consults the wormhole detector when the
+  // calculated distance exceeds the target's radio range. A tunneled
+  // signal claiming a *nearby* origin skips the wormhole stage entirely.
+  ranging::ProbabilisticWormholeDetector always(1.0);
+  ReplayFilter strict(ReplayFilterConfig{kXmax}, &always);
+  SignalObservation o = wormhole_obs();
+  o.claimed_position = {100, 0};  // within range -> precondition false
+  EXPECT_EQ(strict.evaluate_at_detecting_node(o, rng),
+            SignalVerdict::kGenuine);
+}
+
+TEST_F(ReplayFilterTest, NonBeaconHasNoGeographicPrecondition) {
+  // Non-beacons don't know their own position, so their wormhole detector
+  // runs unconditionally and still catches the same signal.
+  ranging::ProbabilisticWormholeDetector always(1.0);
+  ReplayFilter strict(ReplayFilterConfig{kXmax}, &always);
+  SignalObservation o = wormhole_obs();
+  o.claimed_position = {100, 0};
+  o.receiver_knows_position = false;
+  EXPECT_EQ(strict.evaluate_at_nonbeacon(o, rng),
+            SignalVerdict::kWormholeReplay);
+}
+
+TEST_F(ReplayFilterTest, FakedWormholeIndicationDiscardsSignal) {
+  // The malicious p_w strategy: far claim + faked indication always lands
+  // in the wormhole branch.
+  SignalObservation o = direct_obs();
+  o.claimed_position = {500, 0};
+  o.sender_faked_wormhole_indication = true;
+  EXPECT_EQ(filter.evaluate_at_detecting_node(o, rng),
+            SignalVerdict::kWormholeReplay);
+  EXPECT_EQ(filter.evaluate_at_nonbeacon(o, rng),
+            SignalVerdict::kWormholeReplay);
+}
+
+TEST_F(ReplayFilterTest, UndetectedWormholeFallsThroughToRtt) {
+  // A missed wormhole with zero tunnel latency passes the RTT stage — the
+  // residual false-positive path the paper's analysis quantifies.
+  ranging::ProbabilisticWormholeDetector never(0.0);
+  ReplayFilter blind(ReplayFilterConfig{kXmax}, &never);
+  EXPECT_EQ(blind.evaluate_at_detecting_node(wormhole_obs(), rng),
+            SignalVerdict::kGenuine);
+  // ... but a slow tunnel is still caught by the RTT stage.
+  SignalObservation slow = wormhole_obs();
+  slow.observed_rtt_cycles = kXmax + 5000.0;
+  EXPECT_EQ(blind.evaluate_at_detecting_node(slow, rng),
+            SignalVerdict::kLocalReplay);
+}
+
+TEST_F(ReplayFilterTest, DetectingNodeRequiresKnownPosition) {
+  SignalObservation o = direct_obs();
+  o.receiver_knows_position = false;
+  EXPECT_THROW(filter.evaluate_at_detecting_node(o, rng),
+               std::invalid_argument);
+}
+
+TEST_F(ReplayFilterTest, ConfigValidation) {
+  EXPECT_THROW(ReplayFilter(ReplayFilterConfig{0.0}, &detector),
+               std::invalid_argument);
+  EXPECT_THROW(ReplayFilter(ReplayFilterConfig{kXmax}, nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(ReplayFilterTest, RttHelper) {
+  EXPECT_FALSE(filter.rtt_looks_replayed(kXmax));
+  EXPECT_TRUE(filter.rtt_looks_replayed(kXmax + 0.5));
+}
+
+}  // namespace
+}  // namespace sld::detection

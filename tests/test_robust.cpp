@@ -1,0 +1,107 @@
+#include "localization/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sld::localization {
+namespace {
+
+LocationReferences honest_refs(const util::Vec2& truth, util::Rng& rng,
+                               std::size_t count) {
+  LocationReferences refs;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const util::Vec2 b{truth.x + rng.uniform(-140, 140),
+                       truth.y + rng.uniform(-140, 140)};
+    refs.push_back({i, b, util::distance(truth, b) + rng.uniform(-4, 4)});
+  }
+  return refs;
+}
+
+TEST(Robust, CleanDataNeedsNoDiscards) {
+  util::Rng rng(1);
+  const util::Vec2 truth{500, 500};
+  const auto refs = honest_refs(truth, rng, 6);
+  const auto result = robust_multilateration(refs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->discarded.empty());
+  EXPECT_LT(util::distance(result->fit.position, truth), 10.0);
+}
+
+TEST(Robust, DiscardsSingleOutlier) {
+  util::Rng rng(2);
+  const util::Vec2 truth{500, 500};
+  auto refs = honest_refs(truth, rng, 6);
+  refs.push_back({99, {560, 500}, 250.0});  // massive distance lie
+  const auto result = robust_multilateration(refs);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->discarded.size(), 1u);
+  EXPECT_EQ(result->discarded[0], 6u);  // original index of the outlier
+  EXPECT_LT(util::distance(result->fit.position, truth), 10.0);
+}
+
+TEST(Robust, DiscardsMultipleOutliers) {
+  util::Rng rng(3);
+  const util::Vec2 truth{500, 500};
+  auto refs = honest_refs(truth, rng, 8);
+  refs.push_back({90, {400, 400}, 300.0});
+  refs.push_back({91, {600, 600}, 280.0});
+  const auto result = robust_multilateration(refs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->discarded.size(), 2u);
+  EXPECT_LT(util::distance(result->fit.position, truth), 10.0);
+}
+
+TEST(Robust, RespectsMinReferences) {
+  util::Rng rng(4);
+  const util::Vec2 truth{500, 500};
+  auto refs = honest_refs(truth, rng, 3);
+  refs[0].measured_distance_ft += 300.0;  // poison one of only three
+  RobustOptions opt;
+  opt.min_references = 3;
+  const auto result = robust_multilateration(refs, opt);
+  // With only three references nothing can be dropped; the fit is bad but
+  // reported rather than silently reduced below a solvable system.
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->discarded.empty());
+  EXPECT_GT(result->fit.rms_residual_ft, opt.acceptable_rms_ft);
+}
+
+TEST(Robust, OptionValidation) {
+  RobustOptions bad;
+  bad.min_references = 2;
+  EXPECT_THROW(robust_multilateration({}, bad), std::invalid_argument);
+  bad = RobustOptions{};
+  bad.acceptable_rms_ft = 0.0;
+  EXPECT_THROW(robust_multilateration({}, bad), std::invalid_argument);
+}
+
+TEST(Robust, UnsolvableInputGivesNothing) {
+  EXPECT_FALSE(robust_multilateration({}).has_value());
+}
+
+TEST(Robust, QuantifiesResidualVulnerability) {
+  // With a majority of colluding liars pulling to the same fake point the
+  // residual filter can be defeated — the reason detection/revocation is
+  // still needed even with a robust estimator (paper §1 motivation).
+  util::Rng rng(5);
+  const util::Vec2 truth{500, 500};
+  const util::Vec2 fake{700, 700};
+  LocationReferences refs;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const util::Vec2 b{truth.x + rng.uniform(-140, 140),
+                       truth.y + rng.uniform(-140, 140)};
+    refs.push_back({i, b, util::distance(truth, b)});
+  }
+  for (std::uint32_t i = 10; i < 17; ++i) {
+    const util::Vec2 b{truth.x + rng.uniform(-140, 140),
+                       truth.y + rng.uniform(-140, 140)};
+    refs.push_back({i, b, util::distance(fake, b)});  // coordinated lie
+  }
+  const auto result = robust_multilateration(refs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(util::distance(result->fit.position, fake), 50.0);
+}
+
+}  // namespace
+}  // namespace sld::localization

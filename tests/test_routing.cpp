@@ -1,0 +1,196 @@
+#include "routing/gpsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace sld::routing {
+namespace {
+
+/// A 5x5 grid with 100 ft spacing and 150 ft range (8-connected).
+Topology grid_topology() {
+  Topology topo(150.0);
+  for (sim::NodeId r = 0; r < 5; ++r)
+    for (sim::NodeId c = 0; c < 5; ++c)
+      topo.add_node(r * 5 + c, {static_cast<double>(c) * 100.0,
+                                static_cast<double>(r) * 100.0});
+  topo.build_links();
+  return topo;
+}
+
+TEST(Topology, LinksUseTruePositions) {
+  Topology topo(150.0);
+  topo.add_node(1, {0, 0});
+  topo.add_node(2, {100, 0});
+  topo.add_node(3, {400, 0});
+  topo.build_links();
+  EXPECT_EQ(topo.neighbors(1).size(), 1u);
+  EXPECT_EQ(topo.neighbors(1)[0], 2u);
+  EXPECT_TRUE(topo.neighbors(3).empty());
+  // Lying about believed positions does NOT create physical links.
+  topo.set_believed_position(3, {50, 0});
+  EXPECT_TRUE(topo.neighbors(3).empty());
+}
+
+TEST(Topology, BelievedDefaultsToTrue) {
+  Topology topo(150.0);
+  topo.add_node(1, {10, 20});
+  EXPECT_EQ(topo.believed_position(1), topo.true_position(1));
+  topo.set_believed_position(1, {99, 99});
+  EXPECT_EQ(topo.believed_position(1), (util::Vec2{99, 99}));
+  EXPECT_EQ(topo.true_position(1), (util::Vec2{10, 20}));
+}
+
+TEST(Topology, Validation) {
+  EXPECT_THROW(Topology(0.0), std::invalid_argument);
+  Topology topo(100.0);
+  topo.add_node(1, {0, 0});
+  EXPECT_THROW(topo.add_node(1, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(topo.neighbors(1), std::logic_error);  // before build_links
+  topo.build_links();
+  EXPECT_THROW(topo.neighbors(2), std::invalid_argument);
+  EXPECT_THROW(topo.true_position(2), std::invalid_argument);
+}
+
+TEST(Gpsr, GreedyDeliversAcrossGrid) {
+  const auto topo = grid_topology();
+  GpsrRouter router(&topo);
+  const auto result = router.route(0, 24);  // corner to corner
+  EXPECT_TRUE(result.delivered());
+  EXPECT_EQ(result.path.front(), 0u);
+  EXPECT_EQ(result.path.back(), 24u);
+  EXPECT_EQ(result.perimeter_hops, 0u);  // no voids on a full grid
+  EXPECT_GE(result.path.size(), 4u);     // needs at least 4 hops diagonally
+}
+
+TEST(Gpsr, PathHopsArePhysicalLinks) {
+  const auto topo = grid_topology();
+  GpsrRouter router(&topo);
+  const auto result = router.route(0, 24);
+  ASSERT_TRUE(result.delivered());
+  for (std::size_t i = 1; i < result.path.size(); ++i) {
+    EXPECT_LE(util::distance(topo.true_position(result.path[i - 1]),
+                             topo.true_position(result.path[i])),
+              150.0 + 1e-9);
+  }
+}
+
+TEST(Gpsr, SelfRouteIsTrivial) {
+  const auto topo = grid_topology();
+  GpsrRouter router(&topo);
+  const auto result = router.route(7, 7);
+  EXPECT_TRUE(result.delivered());
+  EXPECT_EQ(result.path.size(), 1u);
+}
+
+TEST(Gpsr, PerimeterModeRecoversFromVoid) {
+  // A "U" shaped corridor: greedy gets stuck at the bottom of the U when
+  // the destination is across the void; perimeter mode walks around.
+  Topology topo(120.0);
+  //   0 --- 1 --- 2
+  //   |           |
+  //   3           4
+  //   |           |
+  //   5 --- 6 --- 7      (void between the arms)
+  topo.add_node(0, {0, 0});
+  topo.add_node(1, {100, 0});
+  topo.add_node(2, {200, 0});
+  topo.add_node(3, {0, 100});
+  topo.add_node(4, {200, 100});
+  topo.add_node(5, {0, 200});
+  topo.add_node(6, {100, 200});
+  topo.add_node(7, {200, 200});
+  topo.build_links();
+  GpsrRouter router(&topo);
+  // From 6 (bottom middle) to 1 (top middle): greedy from 6 can step to 5
+  // or 7 (not closer? 5:(0,200)->1 d=~223; 7:(200,200) d=~223; 6 d=200):
+  // both farther -> local minimum right away.
+  const auto result = router.route(6, 1);
+  EXPECT_TRUE(result.delivered());
+  EXPECT_GT(result.perimeter_hops, 0u);
+}
+
+TEST(Gpsr, DisconnectedDestinationFails) {
+  Topology topo(100.0);
+  topo.add_node(1, {0, 0});
+  topo.add_node(2, {50, 0});
+  topo.add_node(3, {900, 900});  // unreachable island
+  topo.build_links();
+  GpsrRouter router(&topo);
+  const auto result = router.route(1, 3);
+  EXPECT_FALSE(result.delivered());
+}
+
+TEST(Gpsr, UnknownEndpointRejected) {
+  const auto topo = grid_topology();
+  GpsrRouter router(&topo);
+  EXPECT_THROW(router.route(0, 999), std::invalid_argument);
+}
+
+TEST(Gpsr, GabrielGraphIsSubsetOfNeighbors) {
+  const auto topo = grid_topology();
+  GpsrRouter router(&topo);
+  for (const auto id : topo.node_ids()) {
+    const auto& all = topo.neighbors(id);
+    for (const auto g : router.gabriel_neighbors(id)) {
+      EXPECT_NE(std::find(all.begin(), all.end(), g), all.end());
+    }
+    // On a grid with diagonal links, Gabriel planarization removes the
+    // diagonals (the orthogonal witnesses sit inside the diameter circle).
+    EXPECT_LE(router.gabriel_neighbors(id).size(), 4u);
+  }
+}
+
+TEST(Gpsr, CorruptedBelievedPositionsBreakDelivery) {
+  // The paper's motivation quantified: physically identical network, but
+  // nodes believe wrong positions -> geographic forwarding degrades.
+  util::Rng rng(1);
+  sim::DeploymentConfig dc;
+  dc.total_nodes = 250;
+  dc.beacon_count = 0;
+  dc.malicious_beacon_count = 0;
+  dc.field = util::Rect::square(1000.0);
+  const auto deployment = sim::deploy_random(dc, rng);
+
+  Topology honest(150.0);
+  Topology corrupted(150.0);
+  for (const auto& n : deployment.nodes) {
+    honest.add_node(n.id, n.position);
+    corrupted.add_node(n.id, n.position);
+  }
+  honest.build_links();
+  corrupted.build_links();
+  // A third of the nodes are badly mislocalized (150-400 ft off).
+  for (const auto& n : deployment.nodes) {
+    if (n.id % 3 == 0) {
+      corrupted.set_believed_position(
+          n.id, n.position + util::Vec2{rng.uniform(150, 400),
+                                        rng.uniform(150, 400)});
+    }
+  }
+
+  GpsrRouter honest_router(&honest);
+  GpsrRouter corrupted_router(&corrupted);
+  int honest_ok = 0, corrupted_ok = 0, trials = 0;
+  const auto& nodes = deployment.nodes;
+  for (std::size_t i = 0; i + 1 < nodes.size(); i += 7) {
+    const auto src = nodes[i].id;
+    const auto dst = nodes[nodes.size() - 1 - i].id;
+    if (src == dst) continue;
+    ++trials;
+    if (honest_router.route(src, dst).delivered()) ++honest_ok;
+    if (corrupted_router.route(src, dst).delivered()) ++corrupted_ok;
+  }
+  ASSERT_GT(trials, 20);
+  EXPECT_GT(honest_ok, corrupted_ok);
+}
+
+TEST(Gpsr, ConfigValidation) {
+  const auto topo = grid_topology();
+  EXPECT_THROW(GpsrRouter(nullptr), std::invalid_argument);
+  EXPECT_THROW(GpsrRouter(&topo, GpsrConfig{0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::routing

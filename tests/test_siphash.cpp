@@ -1,0 +1,90 @@
+#include "crypto/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace sld::crypto {
+namespace {
+
+Key128 reference_key() {
+  Key128 k{};
+  for (std::uint8_t i = 0; i < 16; ++i) k[i] = i;
+  return k;
+}
+
+// Official SipHash-2-4 test vectors (Aumasson & Bernstein reference
+// implementation): key = 00..0f, message i = bytes 00..(i-1).
+constexpr std::uint64_t kReferenceVectors[] = {
+    0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+    0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+    0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+    0x9e0082df0ba9e4b0ULL, 0x7a5dbbc594ddb9f3ULL, 0xf4b32f46226bada7ULL,
+    0x751e8fbc860ee5fbULL, 0x14ea5627c0843d90ULL, 0xf723ca908e7af2eeULL,
+    0xa129ca6149be45e5ULL,
+};
+
+TEST(SipHash, OfficialVectors) {
+  const Key128 key = reference_key();
+  std::vector<std::uint8_t> msg;
+  for (std::size_t len = 0; len < std::size(kReferenceVectors); ++len) {
+    EXPECT_EQ(siphash24(key, msg), kReferenceVectors[len])
+        << "message length " << len;
+    msg.push_back(static_cast<std::uint8_t>(len));
+  }
+}
+
+TEST(SipHash, Deterministic) {
+  const Key128 key = reference_key();
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  EXPECT_EQ(siphash24(key, msg), siphash24(key, msg));
+}
+
+TEST(SipHash, KeySensitivity) {
+  Key128 a = reference_key();
+  Key128 b = reference_key();
+  b[0] ^= 1;
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  EXPECT_NE(siphash24(a, msg), siphash24(b, msg));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  const Key128 key = reference_key();
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{1, 2, 4};
+  EXPECT_NE(siphash24(key, a), siphash24(key, b));
+}
+
+TEST(SipHash, LengthMattersEvenWithZeroPadding) {
+  const Key128 key = reference_key();
+  const std::vector<std::uint8_t> a{0, 0, 0};
+  const std::vector<std::uint8_t> b{0, 0, 0, 0};
+  EXPECT_NE(siphash24(key, a), siphash24(key, b));
+}
+
+TEST(SipHashU64, MatchesByteEncoding) {
+  const Key128 key = reference_key();
+  const std::uint64_t value = 0x0123456789abcdefULL;
+  std::vector<std::uint8_t> le(8);
+  for (int i = 0; i < 8; ++i)
+    le[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  EXPECT_EQ(siphash24_u64(key, value), siphash24(key, le));
+}
+
+TEST(DeriveKey, DistinctLabelsGiveDistinctKeys) {
+  const Key128 master = reference_key();
+  EXPECT_NE(derive_key(master, 1), derive_key(master, 2));
+  EXPECT_EQ(derive_key(master, 1), derive_key(master, 1));
+}
+
+TEST(DeriveKey, DistinctMastersGiveDistinctKeys) {
+  Key128 a = reference_key();
+  Key128 b = reference_key();
+  b[15] ^= 0x80;
+  EXPECT_NE(derive_key(a, 7), derive_key(b, 7));
+}
+
+}  // namespace
+}  // namespace sld::crypto

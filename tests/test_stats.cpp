@@ -1,0 +1,181 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sld::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  RunningStat small, large;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(EmpiricalCdf, SortedQueries) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, MinMaxMatchPaperNotation) {
+  EmpiricalCdf cdf({5.0, 9.0, 7.0});
+  EXPECT_EQ(cdf.x_min(), 5.0);  // largest x with F(x) = 0 is the minimum
+  EXPECT_EQ(cdf.x_max(), 9.0);  // smallest x with F(x) = 1 is the maximum
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  EXPECT_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdf, ThrowsOnEmptyOrBadP) {
+  EmpiricalCdf empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.at(1.0), std::logic_error);
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerValue) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::invalid_argument);
+  EXPECT_THROW(log_gamma(-1.0), std::invalid_argument);
+}
+
+TEST(LogBinomialCoefficient, SmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(7, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(7, 7)), 1.0, 1e-12);
+}
+
+TEST(LogBinomialCoefficient, LargeValuesStayFinite) {
+  const double v = log_binomial_coefficient(1000, 500);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 600.0);  // C(1000,500) ~ 2.7e299 -> log ~ 689
+  EXPECT_LT(v, 700.0);
+}
+
+TEST(LogBinomialCoefficient, ThrowsWhenKExceedsN) {
+  EXPECT_THROW(log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) sum += binomial_pmf(20, k, 0.3);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_EQ(binomial_pmf(10, 1, 0.0), 0.0);
+  EXPECT_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(BinomialPmf, MatchesDirectComputation) {
+  // P[X = 3], X ~ Bin(5, 0.5) = 10 / 32.
+  EXPECT_NEAR(binomial_pmf(5, 3, 0.5), 0.3125, 1e-12);
+}
+
+TEST(BinomialPmf, KAboveNIsZero) { EXPECT_EQ(binomial_pmf(4, 5, 0.5), 0.0); }
+
+TEST(BinomialTail, ComplementOfCdf) {
+  for (std::uint64_t k = 0; k < 15; ++k) {
+    EXPECT_NEAR(binomial_tail_above(15, k, 0.37) + binomial_cdf(15, k, 0.37),
+                1.0, 1e-12);
+  }
+}
+
+TEST(BinomialTail, KnownValue) {
+  // P[X > 1], X ~ Bin(2, 0.5) = P[X = 2] = 0.25.
+  EXPECT_NEAR(binomial_tail_above(2, 1, 0.5), 0.25, 1e-12);
+}
+
+TEST(BinomialTail, EdgeCases) {
+  EXPECT_EQ(binomial_tail_above(10, 10, 0.9), 0.0);
+  EXPECT_NEAR(binomial_tail_above(10, 0, 1.0), 1.0, 1e-12);
+}
+
+TEST(BinomialCdf, MonotoneInK) {
+  double prev = 0.0;
+  for (std::uint64_t k = 0; k <= 30; ++k) {
+    const double c = binomial_cdf(30, k, 0.6);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+namespace {
+double neg_parabola(double x, const void*) { return -(x - 0.3) * (x - 0.3); }
+double linear_up(double x, const void*) { return x; }
+}  // namespace
+
+TEST(ArgmaxScalar, FindsParabolaPeak) {
+  const double x = argmax_scalar(0.0, 1.0, 101, neg_parabola, nullptr);
+  EXPECT_NEAR(x, 0.3, 1e-6);
+}
+
+TEST(ArgmaxScalar, MonotoneFunctionPicksBoundary) {
+  const double x = argmax_scalar(0.0, 1.0, 11, linear_up, nullptr);
+  EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+TEST(ArgmaxScalar, RejectsInvertedInterval) {
+  EXPECT_THROW(argmax_scalar(1.0, 0.0, 10, linear_up, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::util

@@ -1,0 +1,118 @@
+#include "revocation/suspiciousness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::revocation {
+namespace {
+
+using sim::AlertPayload;
+
+TEST(Suspiciousness, HonestConsensusRevokes) {
+  // Three independent honest reporters (never accused themselves) accuse
+  // the same target: suspicion = 3 >= threshold.
+  const std::vector<AlertPayload> alerts{{1, 50}, {2, 50}, {3, 50}};
+  const auto r = evaluate_suspiciousness(alerts);
+  EXPECT_TRUE(r.revoked.contains(50));
+  EXPECT_NEAR(r.suspicion.at(50), 3.0, 1e-9);
+}
+
+TEST(Suspiciousness, TwoReportersInsufficient) {
+  const std::vector<AlertPayload> alerts{{1, 50}, {2, 50}};
+  const auto r = evaluate_suspiciousness(alerts);
+  EXPECT_FALSE(r.revoked.contains(50));
+}
+
+TEST(Suspiciousness, AccusedReportersLoseVotingPower) {
+  // Colluders 100-102 are themselves accused by five honest reporters, so
+  // their trust collapses to ~1/6 each and their joint flood (~0.5 mass)
+  // cannot revoke the benign target 7.
+  std::vector<AlertPayload> alerts;
+  for (sim::NodeId honest = 1; honest <= 5; ++honest)
+    for (sim::NodeId colluder = 100; colluder <= 102; ++colluder)
+      alerts.push_back({honest, colluder});
+  for (sim::NodeId colluder = 100; colluder <= 102; ++colluder)
+    alerts.push_back({colluder, 7});
+
+  const auto r = evaluate_suspiciousness(alerts);
+  EXPECT_TRUE(r.revoked.contains(100));
+  EXPECT_TRUE(r.revoked.contains(101));
+  EXPECT_TRUE(r.revoked.contains(102));
+  EXPECT_FALSE(r.revoked.contains(7));
+  EXPECT_LT(r.trust.at(100), 0.25);
+  EXPECT_LT(r.suspicion.at(7), 1.0);
+}
+
+TEST(Suspiciousness, UnaccusedColludersStillCapped) {
+  // If nobody catches the colluders, they are fully trusted — but the
+  // per-reporter quota still bounds the damage, like tau1 does.
+  SuspiciousnessConfig cfg;
+  cfg.per_reporter_target_quota = 4;
+  std::vector<AlertPayload> alerts;
+  for (sim::NodeId target = 1; target <= 20; ++target)
+    for (sim::NodeId colluder = 100; colluder <= 102; ++colluder)
+      alerts.push_back({colluder, target});
+  const auto r = evaluate_suspiciousness(alerts, cfg);
+  EXPECT_EQ(r.revoked.size(), 4u);  // quota: 4 targets x 3 trusted votes
+}
+
+TEST(Suspiciousness, DuplicateAccusationsCountOnce) {
+  std::vector<AlertPayload> alerts;
+  for (int i = 0; i < 10; ++i) alerts.push_back({1, 50});
+  const auto r = evaluate_suspiciousness(alerts);
+  EXPECT_NEAR(r.suspicion.at(50), 1.0, 1e-9);
+  EXPECT_FALSE(r.revoked.contains(50));
+}
+
+TEST(Suspiciousness, MutualAccusationDampens) {
+  // Two cliques accusing each other: everyone's trust drops, nobody
+  // reaches the threshold on one vote.
+  const std::vector<AlertPayload> alerts{{1, 2}, {2, 1}};
+  const auto r = evaluate_suspiciousness(alerts);
+  EXPECT_TRUE(r.revoked.empty());
+  EXPECT_LT(r.trust.at(1), 1.0);
+  EXPECT_LT(r.trust.at(2), 1.0);
+}
+
+TEST(Suspiciousness, EmptyInput) {
+  const auto r = evaluate_suspiciousness({});
+  EXPECT_TRUE(r.revoked.empty());
+  EXPECT_TRUE(r.suspicion.empty());
+}
+
+TEST(Suspiciousness, Validation) {
+  SuspiciousnessConfig bad;
+  bad.iterations = 0;
+  EXPECT_THROW(evaluate_suspiciousness({}, bad), std::invalid_argument);
+  bad = SuspiciousnessConfig{};
+  bad.revocation_threshold = 0.0;
+  EXPECT_THROW(evaluate_suspiciousness({}, bad), std::invalid_argument);
+}
+
+TEST(Suspiciousness, CounterSchemeComparison) {
+  // Same worst-case collusion the paper's N_f formula covers: with honest
+  // detection catching the colluders, the trust-weighted model revokes
+  // far fewer benign targets than the counter bound N_a(tau1+1)/(tau2+1).
+  std::vector<AlertPayload> alerts;
+  // 6 honest reporters catch all 10 colluders.
+  for (sim::NodeId honest = 1; honest <= 6; ++honest)
+    for (sim::NodeId colluder = 200; colluder < 210; ++colluder)
+      alerts.push_back({honest, colluder});
+  // Each colluder floods its full quota of 11 distinct benign targets.
+  sim::NodeId benign = 20;
+  for (sim::NodeId colluder = 200; colluder < 210; ++colluder)
+    for (int k = 0; k < 11; ++k)
+      alerts.push_back({colluder, benign++ % 110 + 20});
+
+  const auto r = evaluate_suspiciousness(alerts);
+  std::size_t benign_revoked = 0;
+  for (const auto t : r.revoked)
+    if (t < 200) ++benign_revoked;
+  // Counter scheme would allow ~36; trust weighting nearly eliminates it.
+  EXPECT_LT(benign_revoked, 5u);
+  // And all colluders are revoked.
+  for (sim::NodeId colluder = 200; colluder < 210; ++colluder)
+    EXPECT_TRUE(r.revoked.contains(colluder));
+}
+
+}  // namespace
+}  // namespace sld::revocation

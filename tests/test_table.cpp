@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sld::util {
+namespace {
+
+TEST(Table, CsvOutputShape) {
+  Table t({"x", "name", "value"});
+  t.row().cell(1).cell("alpha").cell(0.5);
+  t.row().cell(2).cell("beta").cell(1.25);
+  std::ostringstream os;
+  t.print_csv(os, "demo");
+  EXPECT_EQ(os.str(),
+            "# demo\n"
+            "x,name,value\n"
+            "1,alpha,0.5\n"
+            "2,beta,1.25\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell(1);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, ScientificForExtremeDoubles) {
+  Table t({"v"});
+  t.row().cell(1e-9);
+  std::ostringstream os;
+  t.print_csv(os, "sci");
+  EXPECT_NE(os.str().find("e-09"), std::string::npos);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell(1), std::logic_error);
+}
+
+TEST(Table, RejectsMisshapenRowAtPrint) {
+  Table t({"a", "b"});
+  t.row().cell(1);  // missing second cell
+  std::ostringstream os;
+  EXPECT_THROW(t.print_csv(os, "bad"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sld::util

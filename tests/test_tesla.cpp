@@ -1,0 +1,189 @@
+#include "crypto/tesla.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::crypto {
+namespace {
+
+Key128 seed_key(std::uint8_t fill = 0x42) {
+  Key128 k{};
+  k.fill(fill);
+  return k;
+}
+
+TeslaConfig config() {
+  TeslaConfig c;
+  c.interval = 100 * sim::kMillisecond;
+  c.disclosure_lag = 2;
+  c.max_clock_skew = 10 * sim::kMillisecond;
+  c.chain_length = 50;
+  return c;
+}
+
+TEST(TeslaKeyChain, ChainLinksViaOneWayFunction) {
+  TeslaKeyChain chain(seed_key(), 10);
+  EXPECT_EQ(chain.length(), 10u);
+  for (std::size_t i = 10; i > 1; --i)
+    EXPECT_EQ(tesla_one_way(chain.key(i)), chain.key(i - 1));
+  EXPECT_EQ(tesla_one_way(chain.key(1)), chain.commitment());
+}
+
+TEST(TeslaKeyChain, OneWayFunctionChangesOutput) {
+  const Key128 k = seed_key();
+  EXPECT_NE(tesla_one_way(k), k);
+  Key128 k2 = k;
+  k2[0] ^= 1;
+  EXPECT_NE(tesla_one_way(k), tesla_one_way(k2));
+}
+
+TEST(TeslaKeyChain, VerifyDisclosedWalksBackToCommitment) {
+  TeslaKeyChain chain(seed_key(), 20);
+  EXPECT_TRUE(TeslaKeyChain::verify_disclosed(chain.key(5), 5,
+                                              chain.commitment(), 0));
+  EXPECT_TRUE(
+      TeslaKeyChain::verify_disclosed(chain.key(9), 9, chain.key(5), 5));
+  // Wrong interval or wrong key must fail.
+  EXPECT_FALSE(TeslaKeyChain::verify_disclosed(chain.key(5), 6,
+                                               chain.commitment(), 0));
+  Key128 forged = chain.key(5);
+  forged[3] ^= 0x10;
+  EXPECT_FALSE(
+      TeslaKeyChain::verify_disclosed(forged, 5, chain.commitment(), 0));
+  // Non-advancing disclosure is rejected.
+  EXPECT_FALSE(
+      TeslaKeyChain::verify_disclosed(chain.key(5), 5, chain.key(5), 5));
+}
+
+TEST(TeslaKeyChain, Validation) {
+  EXPECT_THROW(TeslaKeyChain(seed_key(), 0), std::invalid_argument);
+  TeslaKeyChain chain(seed_key(), 5);
+  EXPECT_THROW(chain.key(0), std::out_of_range);
+  EXPECT_THROW(chain.key(6), std::out_of_range);
+}
+
+TEST(TeslaBroadcaster, IntervalIndexing) {
+  TeslaBroadcaster tx(config(), seed_key());
+  EXPECT_EQ(tx.interval_at(0), 1u);
+  EXPECT_EQ(tx.interval_at(99 * sim::kMillisecond), 1u);
+  EXPECT_EQ(tx.interval_at(100 * sim::kMillisecond), 2u);
+  EXPECT_EQ(tx.interval_at(250 * sim::kMillisecond), 3u);
+}
+
+TEST(TeslaBroadcaster, DisclosureLagsConfiguredIntervals) {
+  TeslaBroadcaster tx(config(), seed_key());
+  EXPECT_FALSE(tx.disclosure_at(0).has_value());
+  EXPECT_FALSE(tx.disclosure_at(150 * sim::kMillisecond).has_value());
+  const auto d = tx.disclosure_at(250 * sim::kMillisecond);  // interval 3
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->interval, 1u);
+}
+
+TEST(Tesla, EndToEndAuthenticatedBroadcast) {
+  const auto cfg = config();
+  TeslaBroadcaster tx(cfg, seed_key());
+  TeslaReceiver rx(cfg, tx.commitment());
+
+  const util::Bytes payload{1, 2, 3, 4};
+  const sim::SimTime t_send = 50 * sim::kMillisecond;  // interval 1
+  const auto packet = tx.authenticate(payload, t_send);
+  EXPECT_TRUE(rx.on_packet(packet, t_send + 5 * sim::kMillisecond));
+  EXPECT_TRUE(rx.take_authenticated().empty());  // buffered, not yet verified
+
+  // Key for interval 1 is disclosed during interval 3.
+  const auto disclosure = tx.disclosure_at(250 * sim::kMillisecond);
+  ASSERT_TRUE(disclosure.has_value());
+  EXPECT_TRUE(rx.on_disclosure(*disclosure));
+  const auto released = rx.take_authenticated();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], payload);
+  EXPECT_EQ(rx.stats().authenticated, 1u);
+}
+
+TEST(Tesla, LatePacketRejectedBySecurityCondition) {
+  const auto cfg = config();
+  TeslaBroadcaster tx(cfg, seed_key());
+  TeslaReceiver rx(cfg, tx.commitment());
+
+  const auto packet = tx.authenticate({9}, 50 * sim::kMillisecond);
+  // Arrives after its key could have been disclosed (interval 1 key is
+  // public from interval 3 = t >= 200 ms): must be rejected.
+  EXPECT_FALSE(rx.on_packet(packet, 300 * sim::kMillisecond));
+  EXPECT_EQ(rx.stats().rejected_unsafe, 1u);
+}
+
+TEST(Tesla, ForgedPacketFailsMacAfterDisclosure) {
+  const auto cfg = config();
+  TeslaBroadcaster tx(cfg, seed_key());
+  TeslaReceiver rx(cfg, tx.commitment());
+
+  auto packet = tx.authenticate({7, 7}, 50 * sim::kMillisecond);
+  packet.payload[0] ^= 1;  // attacker flips a bit in flight
+  EXPECT_TRUE(rx.on_packet(packet, 60 * sim::kMillisecond));
+  const auto d = tx.disclosure_at(250 * sim::kMillisecond);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(rx.on_disclosure(*d));
+  EXPECT_TRUE(rx.take_authenticated().empty());
+  EXPECT_EQ(rx.stats().rejected_bad_mac, 1u);
+}
+
+TEST(Tesla, ForgedDisclosureRejected) {
+  const auto cfg = config();
+  TeslaBroadcaster tx(cfg, seed_key());
+  TeslaReceiver rx(cfg, tx.commitment());
+
+  TeslaDisclosure forged;
+  forged.interval = 1;
+  forged.key = seed_key(0x99);  // not on the chain
+  EXPECT_FALSE(rx.on_disclosure(forged));
+  EXPECT_EQ(rx.stats().rejected_bad_key, 1u);
+}
+
+TEST(Tesla, SkippedDisclosureStillReleasesOlderPackets) {
+  // Receiver misses the interval-1 disclosure but gets interval 2's: the
+  // chain walk must still derive K_1 and release interval-1 packets.
+  const auto cfg = config();
+  TeslaBroadcaster tx(cfg, seed_key());
+  TeslaReceiver rx(cfg, tx.commitment());
+
+  const auto p1 = tx.authenticate({1}, 50 * sim::kMillisecond);    // int 1
+  const auto p2 = tx.authenticate({2}, 150 * sim::kMillisecond);   // int 2
+  EXPECT_TRUE(rx.on_packet(p1, 55 * sim::kMillisecond));
+  EXPECT_TRUE(rx.on_packet(p2, 155 * sim::kMillisecond));
+
+  const auto d2 = tx.disclosure_at(350 * sim::kMillisecond);  // disclose K_2
+  ASSERT_TRUE(d2.has_value());
+  ASSERT_EQ(d2->interval, 2u);
+  EXPECT_TRUE(rx.on_disclosure(*d2));
+  const auto released = rx.take_authenticated();
+  EXPECT_EQ(released.size(), 2u);
+}
+
+TEST(Tesla, StaleDisclosureIsHarmless) {
+  const auto cfg = config();
+  TeslaBroadcaster tx(cfg, seed_key());
+  TeslaReceiver rx(cfg, tx.commitment());
+  const auto d = tx.disclosure_at(250 * sim::kMillisecond);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(rx.on_disclosure(*d));
+  EXPECT_TRUE(rx.on_disclosure(*d));  // replayed disclosure: no effect
+}
+
+TEST(Tesla, ConfigValidation) {
+  TeslaConfig bad = config();
+  bad.interval = 0;
+  EXPECT_THROW(TeslaBroadcaster(bad, seed_key()), std::invalid_argument);
+  bad = config();
+  bad.disclosure_lag = 0;
+  EXPECT_THROW(TeslaBroadcaster(bad, seed_key()), std::invalid_argument);
+}
+
+TEST(Tesla, ChainExhaustionDetected) {
+  TeslaConfig cfg = config();
+  cfg.chain_length = 3;
+  TeslaBroadcaster tx(cfg, seed_key());
+  EXPECT_NO_THROW(tx.interval_at(250 * sim::kMillisecond));
+  EXPECT_THROW(tx.interval_at(350 * sim::kMillisecond), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sld::crypto

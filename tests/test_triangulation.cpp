@@ -1,0 +1,94 @@
+#include "localization/triangulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ranging/aoa.hpp"
+#include "util/rng.hpp"
+
+namespace sld::localization {
+namespace {
+
+/// Bearing of beacon `b` as seen from `node` (what AoA measures).
+double bearing_of(const util::Vec2& node, const util::Vec2& b) {
+  return ranging::true_bearing(node, b);
+}
+
+TEST(Triangulation, ExactWithTwoPerpendicularBearings) {
+  const util::Vec2 truth{30, 40};
+  std::vector<BearingReference> refs{
+      {1, {130, 40}, bearing_of(truth, {130, 40})},   // due east
+      {2, {30, 140}, bearing_of(truth, {30, 140})}};  // due north
+  const auto result = triangulate(refs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->position.x, truth.x, 1e-9);
+  EXPECT_NEAR(result->position.y, truth.y, 1e-9);
+  EXPECT_NEAR(result->rms_residual_ft, 0.0, 1e-9);
+}
+
+TEST(Triangulation, ExactWithManyBearings) {
+  util::Rng rng(1);
+  const util::Vec2 truth{512, 384};
+  std::vector<BearingReference> refs;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const util::Vec2 b{truth.x + rng.uniform(-150, 150),
+                       truth.y + rng.uniform(-150, 150)};
+    refs.push_back({i, b, bearing_of(truth, b)});
+  }
+  const auto result = triangulate(refs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(util::distance(result->position, truth), 1e-6);
+}
+
+TEST(Triangulation, NoisyBearingsBoundedError) {
+  util::Rng rng(2);
+  ranging::AoaModel aoa;  // 0.05 rad error bound
+  const util::Vec2 truth{500, 500};
+  int ok = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<BearingReference> refs;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      const util::Vec2 b{truth.x + rng.uniform(-150, 150),
+                         truth.y + rng.uniform(-150, 150)};
+      if (util::distance(truth, b) < 30) continue;
+      refs.push_back({i, b, aoa.measure_bearing(truth, b, rng)});
+    }
+    if (refs.size() < 3) continue;
+    const auto result = triangulate(refs);
+    if (!result) continue;
+    ++ok;
+    // 0.05 rad over <= 212 ft baselines: error stays within ~25 ft.
+    EXPECT_LT(util::distance(result->position, truth), 25.0);
+  }
+  EXPECT_GT(ok, 80);
+}
+
+TEST(Triangulation, RejectsDegenerateInputs) {
+  EXPECT_FALSE(triangulate({}).has_value());
+  EXPECT_FALSE(
+      triangulate({{1, {0, 0}, 0.0}}).has_value());  // single bearing
+  // Parallel bearings never intersect.
+  std::vector<BearingReference> parallel{{1, {0, 0}, 0.0},
+                                         {2, {0, 100}, 0.0}};
+  EXPECT_FALSE(triangulate(parallel).has_value());
+}
+
+TEST(Triangulation, LyingBeaconSkewsFix) {
+  const util::Vec2 truth{100, 100};
+  std::vector<BearingReference> refs{
+      {1, {200, 100}, bearing_of(truth, {200, 100})},
+      {2, {100, 200}, bearing_of(truth, {100, 200})},
+      {3, {0, 100}, bearing_of(truth, {0, 100})}};
+  const auto clean = triangulate(refs);
+  ASSERT_TRUE(clean.has_value());
+  // Beacon 3 claims a position 90 degrees off its real one.
+  refs[2].beacon_position = {100, 0};
+  const auto attacked = triangulate(refs);
+  ASSERT_TRUE(attacked.has_value());
+  EXPECT_GT(util::distance(attacked->position, truth),
+            util::distance(clean->position, truth) + 5.0);
+}
+
+}  // namespace
+}  // namespace sld::localization

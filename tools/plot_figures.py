@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Plot the figure-reproduction bench outputs.
+
+Usage:
+    for b in build/bench/fig*; do name=$(basename "$b");
+        "$b" > "out/$name.csv"; done
+    python3 tools/plot_figures.py out/ plots/
+
+Each bench prints one or more CSV blocks ('# title' line, a header line,
+then rows). This script renders every block as a PNG, grouping rows into
+series by the categorical columns (m, tau1, tau2, Na, Nc, P, kind...).
+Requires matplotlib; prints a summary and exits cleanly without it.
+"""
+
+import os
+import sys
+
+
+def parse_blocks(path):
+    """Yields (title, header, rows) for each CSV block in a bench output."""
+    title, header, rows = None, None, []
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if header and rows:
+                    yield title, header, rows
+                    header, rows = None, []
+                title = line.lstrip("# ")
+                continue
+            cells = line.split(",")
+            if header is None:
+                header = cells
+            elif len(cells) == len(header):
+                rows.append(cells)
+    if header and rows:
+        yield title, header, rows
+
+
+SERIES_KEYS = ("m", "tau1", "tau2", "Na", "Nc", "P", "kind", "scheme",
+               "variant", "collusion", "positions")
+
+
+def plot_block(plt, title, header, rows, out_path):
+    x_col = 0
+    # Numeric y columns are everything after the x and series columns.
+    series_cols = [i for i, h in enumerate(header)
+                   if h in SERIES_KEYS and i != x_col]
+    y_cols = [i for i in range(len(header))
+              if i != x_col and i not in series_cols]
+
+    def key_of(row):
+        return ", ".join(f"{header[i]}={row[i]}" for i in series_cols)
+
+    groups = {}
+    for row in rows:
+        groups.setdefault(key_of(row), []).append(row)
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, grp in groups.items():
+        try:
+            xs = [float(r[x_col]) for r in grp]
+        except ValueError:
+            continue  # categorical x: skip plotting, table-only block
+        for y in y_cols:
+            try:
+                ys = [float(r[y]) for r in grp]
+            except ValueError:
+                continue
+            suffix = header[y] if len(y_cols) > 1 else ""
+            name = ", ".join(filter(None, [label, suffix]))
+            ax.plot(xs, ys, marker=".", label=name or None)
+    ax.set_xlabel(header[x_col])
+    ax.set_title(title, fontsize=9)
+    if len(groups) > 1 or len(y_cols) > 1:
+        ax.legend(fontsize=6)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=130)
+    plt.close(fig)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    in_dir, out_dir = sys.argv[1], sys.argv[2]
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; CSV outputs are already usable "
+              "as-is in any plotting tool.")
+        return 0
+
+    os.makedirs(out_dir, exist_ok=True)
+    count = 0
+    for name in sorted(os.listdir(in_dir)):
+        base = os.path.splitext(name)[0]
+        for i, (title, header, rows) in enumerate(
+                parse_blocks(os.path.join(in_dir, name))):
+            out = os.path.join(out_dir, f"{base}_{i}.png")
+            plot_block(plt, title, header, rows, out)
+            print(f"wrote {out} ({len(rows)} rows)")
+            count += 1
+    print(f"{count} plots rendered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
