@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filters.dir/ablation_filters.cpp.o"
+  "CMakeFiles/ablation_filters.dir/ablation_filters.cpp.o.d"
+  "ablation_filters"
+  "ablation_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

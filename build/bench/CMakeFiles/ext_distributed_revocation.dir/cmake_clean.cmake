@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_distributed_revocation.dir/ext_distributed_revocation.cpp.o"
+  "CMakeFiles/ext_distributed_revocation.dir/ext_distributed_revocation.cpp.o.d"
+  "ext_distributed_revocation"
+  "ext_distributed_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_distributed_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_routing_impact.dir/ext_routing_impact.cpp.o"
+  "CMakeFiles/ext_routing_impact.dir/ext_routing_impact.cpp.o.d"
+  "ext_routing_impact"
+  "ext_routing_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_routing_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

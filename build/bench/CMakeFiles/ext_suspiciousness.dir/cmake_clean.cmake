@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_suspiciousness.dir/ext_suspiciousness.cpp.o"
+  "CMakeFiles/ext_suspiciousness.dir/ext_suspiciousness.cpp.o.d"
+  "ext_suspiciousness"
+  "ext_suspiciousness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_suspiciousness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_rtt_cdf.dir/fig04_rtt_cdf.cpp.o"
+  "CMakeFiles/fig04_rtt_cdf.dir/fig04_rtt_cdf.cpp.o.d"
+  "fig04_rtt_cdf"
+  "fig04_rtt_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rtt_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

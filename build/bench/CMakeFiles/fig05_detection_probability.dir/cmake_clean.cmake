@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_detection_probability.dir/fig05_detection_probability.cpp.o"
+  "CMakeFiles/fig05_detection_probability.dir/fig05_detection_probability.cpp.o.d"
+  "fig05_detection_probability"
+  "fig05_detection_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_detection_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_revocation_rate.dir/fig06_revocation_rate.cpp.o"
+  "CMakeFiles/fig06_revocation_rate.dir/fig06_revocation_rate.cpp.o.d"
+  "fig06_revocation_rate"
+  "fig06_revocation_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_revocation_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_revocation_vs_requesters.dir/fig07_revocation_vs_requesters.cpp.o"
+  "CMakeFiles/fig07_revocation_vs_requesters.dir/fig07_revocation_vs_requesters.cpp.o.d"
+  "fig07_revocation_vs_requesters"
+  "fig07_revocation_vs_requesters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_revocation_vs_requesters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_revocation_vs_requesters.
+# This may be replaced when dependencies are built.

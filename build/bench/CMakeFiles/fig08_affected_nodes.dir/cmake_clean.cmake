@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_affected_nodes.dir/fig08_affected_nodes.cpp.o"
+  "CMakeFiles/fig08_affected_nodes.dir/fig08_affected_nodes.cpp.o.d"
+  "fig08_affected_nodes"
+  "fig08_affected_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_affected_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_affected_vs_requesters.dir/fig09_affected_vs_requesters.cpp.o"
+  "CMakeFiles/fig09_affected_vs_requesters.dir/fig09_affected_vs_requesters.cpp.o.d"
+  "fig09_affected_vs_requesters"
+  "fig09_affected_vs_requesters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_affected_vs_requesters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_report_counter.dir/fig10_report_counter.cpp.o"
+  "CMakeFiles/fig10_report_counter.dir/fig10_report_counter.cpp.o.d"
+  "fig10_report_counter"
+  "fig10_report_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_report_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

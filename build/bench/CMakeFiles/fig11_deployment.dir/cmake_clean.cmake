@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_deployment.dir/fig11_deployment.cpp.o"
+  "CMakeFiles/fig11_deployment.dir/fig11_deployment.cpp.o.d"
+  "fig11_deployment"
+  "fig11_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

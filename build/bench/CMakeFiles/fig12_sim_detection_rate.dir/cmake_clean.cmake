@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sim_detection_rate.dir/fig12_sim_detection_rate.cpp.o"
+  "CMakeFiles/fig12_sim_detection_rate.dir/fig12_sim_detection_rate.cpp.o.d"
+  "fig12_sim_detection_rate"
+  "fig12_sim_detection_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sim_detection_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

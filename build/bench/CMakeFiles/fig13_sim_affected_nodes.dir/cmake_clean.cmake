@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sim_affected_nodes.dir/fig13_sim_affected_nodes.cpp.o"
+  "CMakeFiles/fig13_sim_affected_nodes.dir/fig13_sim_affected_nodes.cpp.o.d"
+  "fig13_sim_affected_nodes"
+  "fig13_sim_affected_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sim_affected_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

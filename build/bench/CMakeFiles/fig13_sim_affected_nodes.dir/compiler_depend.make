@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_sim_affected_nodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_sim_affected_nodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_roc.dir/fig14_roc.cpp.o"
+  "CMakeFiles/fig14_roc.dir/fig14_roc.cpp.o.d"
+  "fig14_roc"
+  "fig14_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

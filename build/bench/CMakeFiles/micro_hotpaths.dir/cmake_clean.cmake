@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hotpaths.dir/micro_hotpaths.cpp.o"
+  "CMakeFiles/micro_hotpaths.dir/micro_hotpaths.cpp.o.d"
+  "micro_hotpaths"
+  "micro_hotpaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hotpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

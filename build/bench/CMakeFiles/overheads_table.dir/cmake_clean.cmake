@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overheads_table.dir/overheads_table.cpp.o"
+  "CMakeFiles/overheads_table.dir/overheads_table.cpp.o.d"
+  "overheads_table"
+  "overheads_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overheads_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield_tracking.dir/battlefield_tracking.cpp.o"
+  "CMakeFiles/battlefield_tracking.dir/battlefield_tracking.cpp.o.d"
+  "battlefield_tracking"
+  "battlefield_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revocation_tuning.dir/revocation_tuning.cpp.o"
+  "CMakeFiles/revocation_tuning.dir/revocation_tuning.cpp.o.d"
+  "revocation_tuning"
+  "revocation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revocation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/secure_broadcast.cpp" "examples/CMakeFiles/secure_broadcast.dir/secure_broadcast.cpp.o" "gcc" "examples/CMakeFiles/secure_broadcast.dir/secure_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/sld_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sld_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/localization/CMakeFiles/sld_localization.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sld_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/detection/CMakeFiles/sld_detection.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranging/CMakeFiles/sld_ranging.dir/DependInfo.cmake"
+  "/root/repo/build/src/revocation/CMakeFiles/sld_revocation.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sld_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_broadcast.dir/secure_broadcast.cpp.o"
+  "CMakeFiles/secure_broadcast.dir/secure_broadcast.cpp.o.d"
+  "secure_broadcast"
+  "secure_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wormhole_forensics.dir/wormhole_forensics.cpp.o"
+  "CMakeFiles/wormhole_forensics.dir/wormhole_forensics.cpp.o.d"
+  "wormhole_forensics"
+  "wormhole_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wormhole_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

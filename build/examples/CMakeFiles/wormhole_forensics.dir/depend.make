@@ -1,0 +1,2 @@
+# Empty dependencies file for wormhole_forensics.
+# This may be replaced when dependencies are built.

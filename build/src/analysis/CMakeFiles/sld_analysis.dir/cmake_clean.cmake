@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_analysis.dir/formulas.cpp.o"
+  "CMakeFiles/sld_analysis.dir/formulas.cpp.o.d"
+  "libsld_analysis.a"
+  "libsld_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsld_analysis.a"
+)

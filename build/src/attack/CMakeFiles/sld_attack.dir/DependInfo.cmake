@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/active_wormhole.cpp" "src/attack/CMakeFiles/sld_attack.dir/active_wormhole.cpp.o" "gcc" "src/attack/CMakeFiles/sld_attack.dir/active_wormhole.cpp.o.d"
+  "/root/repo/src/attack/collusion.cpp" "src/attack/CMakeFiles/sld_attack.dir/collusion.cpp.o" "gcc" "src/attack/CMakeFiles/sld_attack.dir/collusion.cpp.o.d"
+  "/root/repo/src/attack/masquerade.cpp" "src/attack/CMakeFiles/sld_attack.dir/masquerade.cpp.o" "gcc" "src/attack/CMakeFiles/sld_attack.dir/masquerade.cpp.o.d"
+  "/root/repo/src/attack/replay.cpp" "src/attack/CMakeFiles/sld_attack.dir/replay.cpp.o" "gcc" "src/attack/CMakeFiles/sld_attack.dir/replay.cpp.o.d"
+  "/root/repo/src/attack/strategy.cpp" "src/attack/CMakeFiles/sld_attack.dir/strategy.cpp.o" "gcc" "src/attack/CMakeFiles/sld_attack.dir/strategy.cpp.o.d"
+  "/root/repo/src/attack/wormhole.cpp" "src/attack/CMakeFiles/sld_attack.dir/wormhole.cpp.o" "gcc" "src/attack/CMakeFiles/sld_attack.dir/wormhole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

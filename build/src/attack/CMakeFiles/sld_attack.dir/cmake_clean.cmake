@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_attack.dir/active_wormhole.cpp.o"
+  "CMakeFiles/sld_attack.dir/active_wormhole.cpp.o.d"
+  "CMakeFiles/sld_attack.dir/collusion.cpp.o"
+  "CMakeFiles/sld_attack.dir/collusion.cpp.o.d"
+  "CMakeFiles/sld_attack.dir/masquerade.cpp.o"
+  "CMakeFiles/sld_attack.dir/masquerade.cpp.o.d"
+  "CMakeFiles/sld_attack.dir/replay.cpp.o"
+  "CMakeFiles/sld_attack.dir/replay.cpp.o.d"
+  "CMakeFiles/sld_attack.dir/strategy.cpp.o"
+  "CMakeFiles/sld_attack.dir/strategy.cpp.o.d"
+  "CMakeFiles/sld_attack.dir/wormhole.cpp.o"
+  "CMakeFiles/sld_attack.dir/wormhole.cpp.o.d"
+  "libsld_attack.a"
+  "libsld_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsld_attack.a"
+)

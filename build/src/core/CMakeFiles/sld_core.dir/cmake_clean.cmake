@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_core.dir/experiment.cpp.o"
+  "CMakeFiles/sld_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sld_core.dir/nodes.cpp.o"
+  "CMakeFiles/sld_core.dir/nodes.cpp.o.d"
+  "CMakeFiles/sld_core.dir/secure_localization.cpp.o"
+  "CMakeFiles/sld_core.dir/secure_localization.cpp.o.d"
+  "libsld_core.a"
+  "libsld_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

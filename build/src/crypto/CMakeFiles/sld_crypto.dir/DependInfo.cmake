@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/cipher.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/cipher.cpp.o.d"
+  "/root/repo/src/crypto/detecting_ids.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/detecting_ids.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/detecting_ids.cpp.o.d"
+  "/root/repo/src/crypto/key_pool.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/key_pool.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/key_pool.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/mac.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/mac.cpp.o.d"
+  "/root/repo/src/crypto/pairwise.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/pairwise.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/pairwise.cpp.o.d"
+  "/root/repo/src/crypto/polynomial_pool.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/polynomial_pool.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/polynomial_pool.cpp.o.d"
+  "/root/repo/src/crypto/siphash.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/siphash.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/siphash.cpp.o.d"
+  "/root/repo/src/crypto/tesla.cpp" "src/crypto/CMakeFiles/sld_crypto.dir/tesla.cpp.o" "gcc" "src/crypto/CMakeFiles/sld_crypto.dir/tesla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/sld_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/detecting_ids.cpp.o"
+  "CMakeFiles/sld_crypto.dir/detecting_ids.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/key_pool.cpp.o"
+  "CMakeFiles/sld_crypto.dir/key_pool.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/mac.cpp.o"
+  "CMakeFiles/sld_crypto.dir/mac.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/pairwise.cpp.o"
+  "CMakeFiles/sld_crypto.dir/pairwise.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/polynomial_pool.cpp.o"
+  "CMakeFiles/sld_crypto.dir/polynomial_pool.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/sld_crypto.dir/siphash.cpp.o.d"
+  "CMakeFiles/sld_crypto.dir/tesla.cpp.o"
+  "CMakeFiles/sld_crypto.dir/tesla.cpp.o.d"
+  "libsld_crypto.a"
+  "libsld_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

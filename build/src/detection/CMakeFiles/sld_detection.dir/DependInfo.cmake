@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detection/angle_check.cpp" "src/detection/CMakeFiles/sld_detection.dir/angle_check.cpp.o" "gcc" "src/detection/CMakeFiles/sld_detection.dir/angle_check.cpp.o.d"
+  "/root/repo/src/detection/beacon_check.cpp" "src/detection/CMakeFiles/sld_detection.dir/beacon_check.cpp.o" "gcc" "src/detection/CMakeFiles/sld_detection.dir/beacon_check.cpp.o.d"
+  "/root/repo/src/detection/detector.cpp" "src/detection/CMakeFiles/sld_detection.dir/detector.cpp.o" "gcc" "src/detection/CMakeFiles/sld_detection.dir/detector.cpp.o.d"
+  "/root/repo/src/detection/replay_filter.cpp" "src/detection/CMakeFiles/sld_detection.dir/replay_filter.cpp.o" "gcc" "src/detection/CMakeFiles/sld_detection.dir/replay_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranging/CMakeFiles/sld_ranging.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_detection.dir/angle_check.cpp.o"
+  "CMakeFiles/sld_detection.dir/angle_check.cpp.o.d"
+  "CMakeFiles/sld_detection.dir/beacon_check.cpp.o"
+  "CMakeFiles/sld_detection.dir/beacon_check.cpp.o.d"
+  "CMakeFiles/sld_detection.dir/detector.cpp.o"
+  "CMakeFiles/sld_detection.dir/detector.cpp.o.d"
+  "CMakeFiles/sld_detection.dir/replay_filter.cpp.o"
+  "CMakeFiles/sld_detection.dir/replay_filter.cpp.o.d"
+  "libsld_detection.a"
+  "libsld_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

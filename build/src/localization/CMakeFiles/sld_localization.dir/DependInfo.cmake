@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localization/centroid.cpp" "src/localization/CMakeFiles/sld_localization.dir/centroid.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/centroid.cpp.o.d"
+  "/root/repo/src/localization/dv_hop.cpp" "src/localization/CMakeFiles/sld_localization.dir/dv_hop.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/dv_hop.cpp.o.d"
+  "/root/repo/src/localization/iterative.cpp" "src/localization/CMakeFiles/sld_localization.dir/iterative.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/iterative.cpp.o.d"
+  "/root/repo/src/localization/multilateration.cpp" "src/localization/CMakeFiles/sld_localization.dir/multilateration.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/multilateration.cpp.o.d"
+  "/root/repo/src/localization/range_free.cpp" "src/localization/CMakeFiles/sld_localization.dir/range_free.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/range_free.cpp.o.d"
+  "/root/repo/src/localization/robust.cpp" "src/localization/CMakeFiles/sld_localization.dir/robust.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/robust.cpp.o.d"
+  "/root/repo/src/localization/triangulation.cpp" "src/localization/CMakeFiles/sld_localization.dir/triangulation.cpp.o" "gcc" "src/localization/CMakeFiles/sld_localization.dir/triangulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranging/CMakeFiles/sld_ranging.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

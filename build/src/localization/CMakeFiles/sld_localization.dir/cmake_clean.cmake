@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_localization.dir/centroid.cpp.o"
+  "CMakeFiles/sld_localization.dir/centroid.cpp.o.d"
+  "CMakeFiles/sld_localization.dir/dv_hop.cpp.o"
+  "CMakeFiles/sld_localization.dir/dv_hop.cpp.o.d"
+  "CMakeFiles/sld_localization.dir/iterative.cpp.o"
+  "CMakeFiles/sld_localization.dir/iterative.cpp.o.d"
+  "CMakeFiles/sld_localization.dir/multilateration.cpp.o"
+  "CMakeFiles/sld_localization.dir/multilateration.cpp.o.d"
+  "CMakeFiles/sld_localization.dir/range_free.cpp.o"
+  "CMakeFiles/sld_localization.dir/range_free.cpp.o.d"
+  "CMakeFiles/sld_localization.dir/robust.cpp.o"
+  "CMakeFiles/sld_localization.dir/robust.cpp.o.d"
+  "CMakeFiles/sld_localization.dir/triangulation.cpp.o"
+  "CMakeFiles/sld_localization.dir/triangulation.cpp.o.d"
+  "libsld_localization.a"
+  "libsld_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

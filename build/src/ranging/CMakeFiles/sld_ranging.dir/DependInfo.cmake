@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ranging/aoa.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/aoa.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/aoa.cpp.o.d"
+  "/root/repo/src/ranging/echo.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/echo.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/echo.cpp.o.d"
+  "/root/repo/src/ranging/rssi.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/rssi.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/rssi.cpp.o.d"
+  "/root/repo/src/ranging/rtt.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/rtt.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/rtt.cpp.o.d"
+  "/root/repo/src/ranging/tdoa.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/tdoa.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/tdoa.cpp.o.d"
+  "/root/repo/src/ranging/time_sync.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/time_sync.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/time_sync.cpp.o.d"
+  "/root/repo/src/ranging/toa.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/toa.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/toa.cpp.o.d"
+  "/root/repo/src/ranging/wormhole_detector.cpp" "src/ranging/CMakeFiles/sld_ranging.dir/wormhole_detector.cpp.o" "gcc" "src/ranging/CMakeFiles/sld_ranging.dir/wormhole_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_ranging.dir/aoa.cpp.o"
+  "CMakeFiles/sld_ranging.dir/aoa.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/echo.cpp.o"
+  "CMakeFiles/sld_ranging.dir/echo.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/rssi.cpp.o"
+  "CMakeFiles/sld_ranging.dir/rssi.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/rtt.cpp.o"
+  "CMakeFiles/sld_ranging.dir/rtt.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/tdoa.cpp.o"
+  "CMakeFiles/sld_ranging.dir/tdoa.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/time_sync.cpp.o"
+  "CMakeFiles/sld_ranging.dir/time_sync.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/toa.cpp.o"
+  "CMakeFiles/sld_ranging.dir/toa.cpp.o.d"
+  "CMakeFiles/sld_ranging.dir/wormhole_detector.cpp.o"
+  "CMakeFiles/sld_ranging.dir/wormhole_detector.cpp.o.d"
+  "libsld_ranging.a"
+  "libsld_ranging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_ranging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revocation/base_station.cpp" "src/revocation/CMakeFiles/sld_revocation.dir/base_station.cpp.o" "gcc" "src/revocation/CMakeFiles/sld_revocation.dir/base_station.cpp.o.d"
+  "/root/repo/src/revocation/dissemination.cpp" "src/revocation/CMakeFiles/sld_revocation.dir/dissemination.cpp.o" "gcc" "src/revocation/CMakeFiles/sld_revocation.dir/dissemination.cpp.o.d"
+  "/root/repo/src/revocation/distributed.cpp" "src/revocation/CMakeFiles/sld_revocation.dir/distributed.cpp.o" "gcc" "src/revocation/CMakeFiles/sld_revocation.dir/distributed.cpp.o.d"
+  "/root/repo/src/revocation/suspiciousness.cpp" "src/revocation/CMakeFiles/sld_revocation.dir/suspiciousness.cpp.o" "gcc" "src/revocation/CMakeFiles/sld_revocation.dir/suspiciousness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_revocation.dir/base_station.cpp.o"
+  "CMakeFiles/sld_revocation.dir/base_station.cpp.o.d"
+  "CMakeFiles/sld_revocation.dir/dissemination.cpp.o"
+  "CMakeFiles/sld_revocation.dir/dissemination.cpp.o.d"
+  "CMakeFiles/sld_revocation.dir/distributed.cpp.o"
+  "CMakeFiles/sld_revocation.dir/distributed.cpp.o.d"
+  "CMakeFiles/sld_revocation.dir/suspiciousness.cpp.o"
+  "CMakeFiles/sld_revocation.dir/suspiciousness.cpp.o.d"
+  "libsld_revocation.a"
+  "libsld_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

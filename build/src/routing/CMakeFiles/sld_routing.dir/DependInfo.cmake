@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/gpsr.cpp" "src/routing/CMakeFiles/sld_routing.dir/gpsr.cpp.o" "gcc" "src/routing/CMakeFiles/sld_routing.dir/gpsr.cpp.o.d"
+  "/root/repo/src/routing/topology.cpp" "src/routing/CMakeFiles/sld_routing.dir/topology.cpp.o" "gcc" "src/routing/CMakeFiles/sld_routing.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sld_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_routing.dir/gpsr.cpp.o"
+  "CMakeFiles/sld_routing.dir/gpsr.cpp.o.d"
+  "CMakeFiles/sld_routing.dir/topology.cpp.o"
+  "CMakeFiles/sld_routing.dir/topology.cpp.o.d"
+  "libsld_routing.a"
+  "libsld_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

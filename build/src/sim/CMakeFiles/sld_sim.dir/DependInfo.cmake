@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/channel.cpp" "src/sim/CMakeFiles/sld_sim.dir/channel.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/channel.cpp.o.d"
+  "/root/repo/src/sim/deployment.cpp" "src/sim/CMakeFiles/sld_sim.dir/deployment.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/deployment.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/sld_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/sim/CMakeFiles/sld_sim.dir/message.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/message.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/sld_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/sld_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/sld_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/sld_sim.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sld_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sld_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_sim.dir/channel.cpp.o"
+  "CMakeFiles/sld_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/sld_sim.dir/deployment.cpp.o"
+  "CMakeFiles/sld_sim.dir/deployment.cpp.o.d"
+  "CMakeFiles/sld_sim.dir/event.cpp.o"
+  "CMakeFiles/sld_sim.dir/event.cpp.o.d"
+  "CMakeFiles/sld_sim.dir/message.cpp.o"
+  "CMakeFiles/sld_sim.dir/message.cpp.o.d"
+  "CMakeFiles/sld_sim.dir/network.cpp.o"
+  "CMakeFiles/sld_sim.dir/network.cpp.o.d"
+  "CMakeFiles/sld_sim.dir/node.cpp.o"
+  "CMakeFiles/sld_sim.dir/node.cpp.o.d"
+  "CMakeFiles/sld_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/sld_sim.dir/scheduler.cpp.o.d"
+  "libsld_sim.a"
+  "libsld_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_util.dir/bytes.cpp.o"
+  "CMakeFiles/sld_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sld_util.dir/geometry.cpp.o"
+  "CMakeFiles/sld_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/sld_util.dir/rng.cpp.o"
+  "CMakeFiles/sld_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sld_util.dir/stats.cpp.o"
+  "CMakeFiles/sld_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sld_util.dir/table.cpp.o"
+  "CMakeFiles/sld_util.dir/table.cpp.o.d"
+  "libsld_util.a"
+  "libsld_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_wormhole.dir/test_active_wormhole.cpp.o"
+  "CMakeFiles/test_active_wormhole.dir/test_active_wormhole.cpp.o.d"
+  "test_active_wormhole"
+  "test_active_wormhole.pdb"
+  "test_active_wormhole[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_station.dir/test_base_station.cpp.o"
+  "CMakeFiles/test_base_station.dir/test_base_station.cpp.o.d"
+  "test_base_station"
+  "test_base_station.pdb"
+  "test_base_station[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

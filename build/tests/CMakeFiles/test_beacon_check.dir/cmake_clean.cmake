@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beacon_check.dir/test_beacon_check.cpp.o"
+  "CMakeFiles/test_beacon_check.dir/test_beacon_check.cpp.o.d"
+  "test_beacon_check"
+  "test_beacon_check.pdb"
+  "test_beacon_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beacon_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

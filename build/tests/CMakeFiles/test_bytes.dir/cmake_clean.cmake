@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bytes.dir/test_bytes.cpp.o"
+  "CMakeFiles/test_bytes.dir/test_bytes.cpp.o.d"
+  "test_bytes"
+  "test_bytes.pdb"
+  "test_bytes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_centroid.dir/test_centroid.cpp.o"
+  "CMakeFiles/test_centroid.dir/test_centroid.cpp.o.d"
+  "test_centroid"
+  "test_centroid.pdb"
+  "test_centroid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_centroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cipher.dir/test_cipher.cpp.o"
+  "CMakeFiles/test_cipher.dir/test_cipher.cpp.o.d"
+  "test_cipher"
+  "test_cipher.pdb"
+  "test_cipher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collusion.dir/test_collusion.cpp.o"
+  "CMakeFiles/test_collusion.dir/test_collusion.cpp.o.d"
+  "test_collusion"
+  "test_collusion.pdb"
+  "test_collusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

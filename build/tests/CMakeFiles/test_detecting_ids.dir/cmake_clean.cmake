@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detecting_ids.dir/test_detecting_ids.cpp.o"
+  "CMakeFiles/test_detecting_ids.dir/test_detecting_ids.cpp.o.d"
+  "test_detecting_ids"
+  "test_detecting_ids.pdb"
+  "test_detecting_ids[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detecting_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

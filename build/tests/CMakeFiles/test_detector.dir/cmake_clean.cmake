@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector.dir/test_detector.cpp.o"
+  "CMakeFiles/test_detector.dir/test_detector.cpp.o.d"
+  "test_detector"
+  "test_detector.pdb"
+  "test_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dissemination.dir/test_dissemination.cpp.o"
+  "CMakeFiles/test_dissemination.dir/test_dissemination.cpp.o.d"
+  "test_dissemination"
+  "test_dissemination.pdb"
+  "test_dissemination[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

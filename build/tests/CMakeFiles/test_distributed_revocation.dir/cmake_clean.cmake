@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_revocation.dir/test_distributed_revocation.cpp.o"
+  "CMakeFiles/test_distributed_revocation.dir/test_distributed_revocation.cpp.o.d"
+  "test_distributed_revocation"
+  "test_distributed_revocation.pdb"
+  "test_distributed_revocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dv_hop.dir/test_dv_hop.cpp.o"
+  "CMakeFiles/test_dv_hop.dir/test_dv_hop.cpp.o.d"
+  "test_dv_hop"
+  "test_dv_hop.pdb"
+  "test_dv_hop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dv_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_echo_tdoa.dir/test_echo_tdoa.cpp.o"
+  "CMakeFiles/test_echo_tdoa.dir/test_echo_tdoa.cpp.o.d"
+  "test_echo_tdoa"
+  "test_echo_tdoa.pdb"
+  "test_echo_tdoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_echo_tdoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formulas.dir/test_formulas.cpp.o"
+  "CMakeFiles/test_formulas.dir/test_formulas.cpp.o.d"
+  "test_formulas"
+  "test_formulas.pdb"
+  "test_formulas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_parsing.dir/test_fuzz_parsing.cpp.o"
+  "CMakeFiles/test_fuzz_parsing.dir/test_fuzz_parsing.cpp.o.d"
+  "test_fuzz_parsing"
+  "test_fuzz_parsing.pdb"
+  "test_fuzz_parsing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterative.dir/test_iterative.cpp.o"
+  "CMakeFiles/test_iterative.dir/test_iterative.cpp.o.d"
+  "test_iterative"
+  "test_iterative.pdb"
+  "test_iterative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

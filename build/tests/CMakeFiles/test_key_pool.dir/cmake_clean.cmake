@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_pool.dir/test_key_pool.cpp.o"
+  "CMakeFiles/test_key_pool.dir/test_key_pool.cpp.o.d"
+  "test_key_pool"
+  "test_key_pool.pdb"
+  "test_key_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

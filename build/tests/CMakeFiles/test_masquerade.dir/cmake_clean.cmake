@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masquerade.dir/test_masquerade.cpp.o"
+  "CMakeFiles/test_masquerade.dir/test_masquerade.cpp.o.d"
+  "test_masquerade"
+  "test_masquerade.pdb"
+  "test_masquerade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masquerade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

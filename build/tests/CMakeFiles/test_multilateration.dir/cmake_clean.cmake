@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multilateration.dir/test_multilateration.cpp.o"
+  "CMakeFiles/test_multilateration.dir/test_multilateration.cpp.o.d"
+  "test_multilateration"
+  "test_multilateration.pdb"
+  "test_multilateration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multilateration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nodes.dir/test_nodes.cpp.o"
+  "CMakeFiles/test_nodes.dir/test_nodes.cpp.o.d"
+  "test_nodes"
+  "test_nodes.pdb"
+  "test_nodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

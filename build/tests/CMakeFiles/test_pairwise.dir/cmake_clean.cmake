@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairwise.dir/test_pairwise.cpp.o"
+  "CMakeFiles/test_pairwise.dir/test_pairwise.cpp.o.d"
+  "test_pairwise"
+  "test_pairwise.pdb"
+  "test_pairwise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

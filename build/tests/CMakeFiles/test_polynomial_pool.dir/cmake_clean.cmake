@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polynomial_pool.dir/test_polynomial_pool.cpp.o"
+  "CMakeFiles/test_polynomial_pool.dir/test_polynomial_pool.cpp.o.d"
+  "test_polynomial_pool"
+  "test_polynomial_pool.pdb"
+  "test_polynomial_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polynomial_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

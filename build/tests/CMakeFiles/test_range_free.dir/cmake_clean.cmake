@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_free.dir/test_range_free.cpp.o"
+  "CMakeFiles/test_range_free.dir/test_range_free.cpp.o.d"
+  "test_range_free"
+  "test_range_free.pdb"
+  "test_range_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_attack.dir/test_replay_attack.cpp.o"
+  "CMakeFiles/test_replay_attack.dir/test_replay_attack.cpp.o.d"
+  "test_replay_attack"
+  "test_replay_attack.pdb"
+  "test_replay_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_filter.dir/test_replay_filter.cpp.o"
+  "CMakeFiles/test_replay_filter.dir/test_replay_filter.cpp.o.d"
+  "test_replay_filter"
+  "test_replay_filter.pdb"
+  "test_replay_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

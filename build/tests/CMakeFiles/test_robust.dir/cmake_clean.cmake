@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust.dir/test_robust.cpp.o"
+  "CMakeFiles/test_robust.dir/test_robust.cpp.o.d"
+  "test_robust"
+  "test_robust.pdb"
+  "test_robust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

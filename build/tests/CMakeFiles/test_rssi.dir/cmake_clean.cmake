@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rssi.dir/test_rssi.cpp.o"
+  "CMakeFiles/test_rssi.dir/test_rssi.cpp.o.d"
+  "test_rssi"
+  "test_rssi.pdb"
+  "test_rssi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rssi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

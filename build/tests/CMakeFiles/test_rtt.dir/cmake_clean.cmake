@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtt.dir/test_rtt.cpp.o"
+  "CMakeFiles/test_rtt.dir/test_rtt.cpp.o.d"
+  "test_rtt"
+  "test_rtt.pdb"
+  "test_rtt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_siphash.dir/test_siphash.cpp.o"
+  "CMakeFiles/test_siphash.dir/test_siphash.cpp.o.d"
+  "test_siphash"
+  "test_siphash.pdb"
+  "test_siphash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_siphash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

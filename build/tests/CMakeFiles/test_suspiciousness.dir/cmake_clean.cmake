@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suspiciousness.dir/test_suspiciousness.cpp.o"
+  "CMakeFiles/test_suspiciousness.dir/test_suspiciousness.cpp.o.d"
+  "test_suspiciousness"
+  "test_suspiciousness.pdb"
+  "test_suspiciousness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suspiciousness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_sweeps.dir/test_system_sweeps.cpp.o"
+  "CMakeFiles/test_system_sweeps.dir/test_system_sweeps.cpp.o.d"
+  "test_system_sweeps"
+  "test_system_sweeps.pdb"
+  "test_system_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

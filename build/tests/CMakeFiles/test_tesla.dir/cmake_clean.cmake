@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tesla.dir/test_tesla.cpp.o"
+  "CMakeFiles/test_tesla.dir/test_tesla.cpp.o.d"
+  "test_tesla"
+  "test_tesla.pdb"
+  "test_tesla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tesla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theory_vs_sim.dir/test_theory_vs_sim.cpp.o"
+  "CMakeFiles/test_theory_vs_sim.dir/test_theory_vs_sim.cpp.o.d"
+  "test_theory_vs_sim"
+  "test_theory_vs_sim.pdb"
+  "test_theory_vs_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theory_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_theory_vs_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toa_aoa.dir/test_toa_aoa.cpp.o"
+  "CMakeFiles/test_toa_aoa.dir/test_toa_aoa.cpp.o.d"
+  "test_toa_aoa"
+  "test_toa_aoa.pdb"
+  "test_toa_aoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toa_aoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangulation.dir/test_triangulation.cpp.o"
+  "CMakeFiles/test_triangulation.dir/test_triangulation.cpp.o.d"
+  "test_triangulation"
+  "test_triangulation.pdb"
+  "test_triangulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

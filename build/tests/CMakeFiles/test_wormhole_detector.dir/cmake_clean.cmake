@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wormhole_detector.dir/test_wormhole_detector.cpp.o"
+  "CMakeFiles/test_wormhole_detector.dir/test_wormhole_detector.cpp.o.d"
+  "test_wormhole_detector"
+  "test_wormhole_detector.pdb"
+  "test_wormhole_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wormhole_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

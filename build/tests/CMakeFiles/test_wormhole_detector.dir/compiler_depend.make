@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_wormhole_detector.
+# This may be replaced when dependencies are built.
