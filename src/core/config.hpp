@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "attack/strategy.hpp"
+#include "sim/arq.hpp"
 #include "sim/channel.hpp"
+#include "sim/faults.hpp"
 #include "ranging/rssi.hpp"
 #include "ranging/rtt.hpp"
 #include "ranging/toa.hpp"
@@ -76,6 +78,27 @@ struct SystemConfig {
   /// Per-delivery radio loss probability (failure injection; the paper
   /// assumes reliable delivery via retransmission, so default 0).
   double channel_loss_probability = 0.0;
+
+  /// Composable channel fault injection: i.i.d. + bursty loss,
+  /// duplication, corruption, delay jitter, crash windows. Default: all
+  /// off, reproducing the paper's reliable-delivery assumption exactly.
+  sim::FaultPlan faults;
+
+  /// Retransmission policy for the probe exchange and sensor queries
+  /// (timeout / max retries / exponential backoff with jitter). Disabled
+  /// by default: requests are sent once, exactly the seed behaviour.
+  sim::ArqConfig arq;
+
+  /// k: how many request/reply rounds each probe performs; the detector
+  /// evaluates the *median* measured distance and RTT, so one delayed
+  /// retransmission cannot trigger a false local-replay verdict. k = 1
+  /// reproduces the single-shot paper protocol.
+  std::size_t rtt_probe_repeats = 1;
+
+  /// Per-attempt loss probability of the alert transport (detecting
+  /// beacon -> base station, typically multi-hop). Retried under `arq`;
+  /// alerts that exhaust every attempt are counted as delivery failures.
+  double alert_loss_probability = 0.0;
 
   /// Simulation phases: beacons probe first, then sensors localize.
   sim::SimTime probe_phase_start = 0;

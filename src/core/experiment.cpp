@@ -17,6 +17,10 @@ AggregateSummary run_experiment(const ExperimentConfig& config) {
     agg.mean_localization_error_ft.add(summary.mean_localization_error_ft);
     agg.requesters_per_malicious.add(summary.avg_requesters_per_malicious);
     agg.sensors_localized.add(static_cast<double>(summary.sensors_localized));
+    if (summary.mean_malicious_revocation_latency_ms > 0.0)
+      agg.revocation_latency_ms.add(
+          summary.mean_malicious_revocation_latency_ms);
+    agg.radio_energy_uj.add(summary.radio_energy_uj);
     if (config.keep_trial_summaries) agg.trials.push_back(std::move(summary));
   }
   return agg;

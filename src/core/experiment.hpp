@@ -25,6 +25,11 @@ struct AggregateSummary {
   util::RunningStat mean_localization_error_ft;
   util::RunningStat requesters_per_malicious;  // measured N_c
   util::RunningStat sensors_localized;
+  /// Mean malicious-revocation latency, ms (trials where something
+  /// malicious was revoked).
+  util::RunningStat revocation_latency_ms;
+  /// Whole-network radio energy per trial, microjoules.
+  util::RunningStat radio_energy_uj;
   std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
 };
 

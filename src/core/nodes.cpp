@@ -1,5 +1,6 @@
 #include "core/nodes.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/mac.hpp"
@@ -8,6 +9,22 @@
 namespace sld::core {
 
 namespace {
+/// Median of a small sample vector (mutates its argument; averages the two
+/// middle elements for even sizes). A one-element vector returns its
+/// element bit-for-bit, which keeps the default k = 1 probe exact.
+double median_of(std::vector<double>& samples) {
+  const std::size_t n = samples.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  const double upper = samples[mid];
+  if (n % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(samples.begin(),
+                        samples.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lower + upper) / 2.0;
+}
+
 /// Builds the authenticated wire message for a payload.
 sim::Message make_message(const crypto::PairwiseKeyManager& keys,
                           sim::NodeId src, sim::NodeId dst, sim::MsgType type,
@@ -85,8 +102,31 @@ void SystemContext::submit_alert(sim::NodeId reporter, sim::NodeId target,
   const sim::SimTime jitter = static_cast<sim::SimTime>(
       rng.uniform(0.0, 50.0 * static_cast<double>(sim::kMillisecond)));
   scheduler->schedule_after(jitter, [this, reporter, target]() {
-    base_station.process_alert(reporter, target);
+    deliver_alert_attempt(reporter, target, 0);
   });
+}
+
+void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
+                                          sim::NodeId target,
+                                          std::size_t attempt) {
+  // bernoulli(0) draws nothing, so the default lossless transport leaves
+  // the per-trial RNG stream untouched.
+  if (!rng.bernoulli(config.alert_loss_probability)) {
+    const auto disposition = base_station.process_alert(reporter, target);
+    if (disposition == revocation::AlertDisposition::kAcceptedAndRevoked)
+      metrics.revocation_times.emplace_back(target, scheduler->now());
+    return;
+  }
+  // Attempt lost in transit.
+  if (config.arq.enabled && attempt < config.arq.max_retries) {
+    ++metrics.alert_retransmissions;
+    const sim::SimTime delay = sim::arq_timeout(config.arq, attempt, rng);
+    scheduler->schedule_after(delay, [this, reporter, target, attempt]() {
+      deliver_alert_attempt(reporter, target, attempt + 1);
+    });
+  } else {
+    ++metrics.alerts_delivery_failed;
+  }
 }
 
 SystemContext::SignalMeasurement SystemContext::measure(
@@ -147,13 +187,52 @@ void BeaconNode::start() {
 }
 
 void BeaconNode::send_probe(sim::NodeId target, sim::NodeId detecting_id) {
+  PendingProbe probe;
+  probe.target = target;
+  probe.detecting_id = detecting_id;
+  send_probe_round(std::move(probe), /*is_retransmission=*/false);
+}
+
+void BeaconNode::send_probe_round(PendingProbe probe,
+                                  bool is_retransmission) {
   sim::BeaconRequestPayload req;
   req.nonce = rng_();
-  pending_.emplace(req.nonce, PendingProbe{target, detecting_id});
-  ++ctx_.metrics.probes_sent;
+  const std::uint64_t nonce = req.nonce;
+  const auto target = probe.target;
+  const auto detecting_id = probe.detecting_id;
+  const auto attempt = probe.attempt;
+  pending_.emplace(nonce, std::move(probe));
+  if (is_retransmission)
+    ++ctx_.metrics.probe_retransmissions;
+  else
+    ++ctx_.metrics.probes_sent;
   channel().unicast(*this, make_message(ctx_.keys, detecting_id, target,
                                         sim::MsgType::kBeaconRequest,
                                         req.serialize()));
+  if (ctx_.config.arq.enabled) {
+    const sim::SimTime timeout =
+        sim::arq_timeout(ctx_.config.arq, attempt, rng_);
+    scheduler().schedule_after(timeout,
+                               [this, nonce]() { on_probe_timeout(nonce); });
+  }
+}
+
+void BeaconNode::on_probe_timeout(std::uint64_t nonce) {
+  const auto it = pending_.find(nonce);
+  if (it == pending_.end()) return;  // a reply arrived in time
+  PendingProbe probe = std::move(it->second);
+  pending_.erase(it);
+  if (probe.attempt < ctx_.config.arq.max_retries) {
+    // Retransmit under a fresh nonce: a straggling reply to the old nonce
+    // is ignored and the new round's RTT clock starts clean, so the
+    // timeout itself can never read as replay delay.
+    ++probe.attempt;
+    send_probe_round(std::move(probe), /*is_retransmission=*/true);
+    return;
+  }
+  // Every attempt exhausted: the explicit ProbeOutcome::kNoResponse path
+  // (instead of the seed's silently missing probe).
+  ++ctx_.metrics.probe_no_response;
 }
 
 void BeaconNode::on_message(const sim::Delivery& delivery) {
@@ -191,12 +270,23 @@ void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
   const auto reply = sim::BeaconReplyPayload::parse(delivery.msg.payload);
   const auto it = pending_.find(reply.nonce);
   if (it == pending_.end()) return;  // duplicate or stale: first copy wins
-  const PendingProbe probe = it->second;
+  PendingProbe probe = std::move(it->second);
   pending_.erase(it);
   if (delivery.msg.src != probe.target) return;  // mismatched responder
   ++ctx_.metrics.probe_replies;
 
   const auto m = ctx_.measure(delivery, reply, position(), rng_);
+  probe.rtt_samples.push_back(m.rtt_cycles);
+  probe.dist_samples.push_back(m.distance_ft);
+
+  // Median-of-k probing: keep exchanging until k rounds answered, then
+  // judge the median measurement (k = 1: this round's values verbatim).
+  const std::size_t k = std::max<std::size_t>(1, ctx_.config.rtt_probe_repeats);
+  if (probe.rtt_samples.size() < k) {
+    probe.attempt = 0;  // fresh ARQ budget for the next round
+    send_probe_round(std::move(probe), /*is_retransmission=*/false);
+    return;
+  }
 
   detection::SignalObservation obs;
   obs.receiver_id = id();
@@ -204,9 +294,9 @@ void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
   obs.receiver_position = position();
   obs.receiver_knows_position = true;
   obs.claimed_position = reply.claimed_position;
-  obs.measured_distance_ft = m.distance_ft;
+  obs.measured_distance_ft = median_of(probe.dist_samples);
   obs.target_range_ft = ctx_.config.deployment.comm_range_ft;
-  obs.observed_rtt_cycles = m.rtt_cycles;
+  obs.observed_rtt_cycles = median_of(probe.rtt_samples);
   obs.via_wormhole = delivery.ctx.via_wormhole;
   obs.sender_faked_wormhole_indication = reply.fake_wormhole_indication;
 
@@ -227,6 +317,9 @@ void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
       if (reported_.insert(probe.target).second)
         ctx_.submit_alert(id(), probe.target, /*collusion_alert=*/false);
       return;
+    case detection::ProbeOutcome::kNoResponse:
+      return;  // evaluate() never returns this; timeouts are handled in
+               // on_probe_timeout
   }
 }
 
@@ -273,15 +366,46 @@ void SensorNode::start() {
   for (const auto target : query_targets_) {
     at += ctx_.config.transmission_stagger;
     scheduler().schedule_at(at, [this, target]() {
-      sim::BeaconRequestPayload req;
-      req.nonce = rng_();
-      pending_.emplace(req.nonce, target);
-      ++ctx_.metrics.sensor_requests;
-      channel().unicast(*this, make_message(ctx_.keys, id(), target,
-                                            sim::MsgType::kBeaconRequest,
-                                            req.serialize()));
+      send_query(PendingQuery{target, 0}, /*is_retransmission=*/false);
     });
   }
+}
+
+void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
+  sim::BeaconRequestPayload req;
+  req.nonce = rng_();
+  const std::uint64_t nonce = req.nonce;
+  const auto target = query.target;
+  const auto attempt = query.attempt;
+  pending_.emplace(nonce, query);
+  if (is_retransmission)
+    ++ctx_.metrics.sensor_retransmissions;
+  else
+    ++ctx_.metrics.sensor_requests;
+  channel().unicast(*this, make_message(ctx_.keys, id(), target,
+                                        sim::MsgType::kBeaconRequest,
+                                        req.serialize()));
+  if (ctx_.config.arq.enabled) {
+    const sim::SimTime timeout =
+        sim::arq_timeout(ctx_.config.arq, attempt, rng_);
+    scheduler().schedule_after(timeout,
+                               [this, nonce]() { on_query_timeout(nonce); });
+  }
+}
+
+void SensorNode::on_query_timeout(std::uint64_t nonce) {
+  const auto it = pending_.find(nonce);
+  if (it == pending_.end()) return;  // answered in time
+  PendingQuery query = it->second;
+  pending_.erase(it);
+  if (query.attempt < ctx_.config.arq.max_retries) {
+    ++query.attempt;
+    send_query(query, /*is_retransmission=*/true);
+    return;
+  }
+  // The beacon never answered: one fewer location reference, accounted
+  // explicitly instead of vanishing.
+  ++ctx_.metrics.sensor_no_response;
 }
 
 void SensorNode::on_message(const sim::Delivery& delivery) {
@@ -293,7 +417,7 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
   const auto reply = sim::BeaconReplyPayload::parse(delivery.msg.payload);
   const auto it = pending_.find(reply.nonce);
   if (it == pending_.end()) return;  // duplicate or stale: first copy wins
-  const sim::NodeId target = it->second;
+  const sim::NodeId target = it->second.target;
   pending_.erase(it);
   if (delivery.msg.src != target) return;
   ++ctx_.metrics.sensor_replies;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "attack/strategy.hpp"
@@ -43,6 +44,18 @@ struct Metrics {
   std::uint64_t alerts_submitted = 0;
   std::uint64_t collusion_alerts_submitted = 0;
   std::uint64_t mac_failures = 0;
+
+  // ARQ / fault-tolerance accounting (all zero with the default config).
+  std::uint64_t probe_retransmissions = 0;
+  std::uint64_t probe_no_response = 0;  // ProbeOutcome::kNoResponse count
+  std::uint64_t sensor_retransmissions = 0;
+  std::uint64_t sensor_no_response = 0;
+  std::uint64_t alert_retransmissions = 0;
+  std::uint64_t alerts_delivery_failed = 0;
+
+  /// (revoked beacon, simulation time) per revocation, in order — the
+  /// basis of revocation-latency reporting under lossy alert transport.
+  std::vector<std::pair<sim::NodeId, sim::SimTime>> revocation_times;
 
   // Sensor (localization) phase.
   std::uint64_t sensor_requests = 0;
@@ -95,8 +108,15 @@ struct SystemContext {
 
   /// Delivers an alert to the base station with a small random transport
   /// jitter, so honest and colluding alerts interleave realistically.
+  /// With `alert_loss_probability > 0` each delivery attempt can fail;
+  /// failed attempts are retried under the ARQ policy and alerts that
+  /// exhaust every attempt are counted in `alerts_delivery_failed`.
   void submit_alert(sim::NodeId reporter, sim::NodeId target,
                     bool collusion_alert);
+
+  /// One alert-transport delivery attempt (attempt 0 is the original).
+  void deliver_alert_attempt(sim::NodeId reporter, sim::NodeId target,
+                             std::size_t attempt);
 
   /// Measured distance + observed RTT for one received beacon reply.
   struct SignalMeasurement {
@@ -130,14 +150,23 @@ class BeaconNode final : public sim::Node {
   std::size_t alerts_reported() const { return reported_.size(); }
 
  private:
-  void handle_request(const sim::Delivery& delivery);
-  void handle_probe_reply(const sim::Delivery& delivery);
-  void send_probe(sim::NodeId target, sim::NodeId detecting_id);
-
+  /// One probe exchange in flight. Carries the ARQ attempt counter for the
+  /// current round and the measurements accumulated across the k rounds of
+  /// a median-of-k probe (each round uses a fresh nonce, so a retransmitted
+  /// round restarts its RTT clock instead of absorbing the timeout).
   struct PendingProbe {
     sim::NodeId target = 0;
     sim::NodeId detecting_id = 0;
+    std::size_t attempt = 0;  // retransmissions used for the current round
+    std::vector<double> rtt_samples;
+    std::vector<double> dist_samples;
   };
+
+  void handle_request(const sim::Delivery& delivery);
+  void handle_probe_reply(const sim::Delivery& delivery);
+  void send_probe(sim::NodeId target, sim::NodeId detecting_id);
+  void send_probe_round(PendingProbe probe, bool is_retransmission);
+  void on_probe_timeout(std::uint64_t nonce);
 
   SystemContext& ctx_;
   std::vector<sim::NodeId> detecting_ids_;
@@ -194,9 +223,18 @@ class SensorNode final : public sim::Node {
     bool effective_malicious = false;  // ground-truth label
   };
 
+  /// One beacon query in flight (ARQ state mirrors BeaconNode's probes).
+  struct PendingQuery {
+    sim::NodeId target = 0;
+    std::size_t attempt = 0;
+  };
+
+  void send_query(PendingQuery query, bool is_retransmission);
+  void on_query_timeout(std::uint64_t nonce);
+
   SystemContext& ctx_;
   std::vector<sim::NodeId> query_targets_;
-  std::unordered_map<std::uint64_t, sim::NodeId> pending_;  // nonce -> target
+  std::unordered_map<std::uint64_t, PendingQuery> pending_;  // by nonce
   std::vector<AcceptedReference> accepted_;
   std::optional<localization::LocalizationResult> result_;
   util::Rng rng_;

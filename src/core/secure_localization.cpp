@@ -8,11 +8,19 @@
 
 namespace sld::core {
 
+namespace {
+sim::ChannelConfig channel_config_for(const SystemConfig& config) {
+  sim::ChannelConfig cc;
+  cc.loss_probability = config.channel_loss_probability;
+  cc.faults = config.faults;
+  return cc;
+}
+}  // namespace
+
 SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
     : config_(config),
       ctx_(std::make_unique<SystemContext>(config_)),
-      network_(sim::ChannelConfig{config_.channel_loss_probability},
-               config_.seed ^ 0xc4a27e1ULL),
+      network_(channel_config_for(config_), config_.seed ^ 0xc4a27e1ULL),
       detecting_registry_(sim::kNonBeaconIdBase, sim::kNonBeaconIdLimit) {
   util::Rng deploy_rng = ctx_->rng.fork(0xdeb107);
   deployment_ = sim::deploy_random(config_.deployment, deploy_rng);
@@ -182,6 +190,20 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.sensors_unlocalized = ctx_->metrics.sensors_unlocalized;
   s.mean_localization_error_ft = ctx_->metrics.localization_error_ft.mean();
   s.max_localization_error_ft = ctx_->metrics.localization_error_ft.max();
+
+  double latency_sum_ms = 0.0;
+  std::size_t latency_count = 0;
+  for (const auto& [beacon, at] : ctx_->metrics.revocation_times) {
+    const auto truth_it = ctx_->truth.find(beacon);
+    if (truth_it == ctx_->truth.end() || !truth_it->second.malicious) continue;
+    latency_sum_ms += static_cast<double>(at) /
+                      static_cast<double>(sim::kMillisecond);
+    ++latency_count;
+  }
+  if (latency_count > 0)
+    s.mean_malicious_revocation_latency_ms =
+        latency_sum_ms / static_cast<double>(latency_count);
+  s.radio_energy_uj = network_.channel().total_radio().energy_uj();
 
   s.rtt_x_max_cycles = ctx_->rtt_calibration.x_max_cycles;
   s.raw = ctx_->metrics;

@@ -43,6 +43,14 @@ struct TrialSummary {
   double mean_localization_error_ft = 0.0;
   double max_localization_error_ft = 0.0;
 
+  // Fault tolerance.
+  /// Mean time until a malicious beacon was revoked, in milliseconds of
+  /// simulated time (0 when none was revoked).
+  double mean_malicious_revocation_latency_ms = 0.0;
+  /// Whole-network radio energy spent this trial, in microjoules — the
+  /// denominator of retransmission-overhead comparisons.
+  double radio_energy_uj = 0.0;
+
   // Calibration + raw counters.
   double rtt_x_max_cycles = 0.0;
   Metrics raw;

@@ -18,6 +18,9 @@ enum class ProbeOutcome {
   kIgnoredWormholeReplay,   // malicious but attributed to a wormhole replay
   kIgnoredLocalReplay,      // malicious but attributed to a local replay
   kAlert,                   // malicious and direct: the target is malicious
+  kNoResponse,              // probe exchange timed out (every ARQ attempt
+                            // exhausted); never produced by evaluate(),
+                            // which requires an observed signal
 };
 
 struct DetectorConfig {

@@ -1,0 +1,26 @@
+#include "sim/arq.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sld::sim {
+
+SimTime arq_timeout(const ArqConfig& config, std::size_t attempt,
+                    util::Rng& rng) {
+  if (config.initial_timeout_ns <= 0)
+    throw std::invalid_argument("ArqConfig: timeout must be positive");
+  if (config.backoff_factor < 1.0)
+    throw std::invalid_argument("ArqConfig: backoff factor < 1");
+  if (config.jitter_fraction < 0.0 || config.jitter_fraction >= 1.0)
+    throw std::invalid_argument("ArqConfig: jitter fraction outside [0, 1)");
+  double timeout = static_cast<double>(config.initial_timeout_ns) *
+                   std::pow(config.backoff_factor,
+                            static_cast<double>(attempt));
+  if (config.jitter_fraction > 0.0) {
+    timeout *= 1.0 + rng.uniform(-config.jitter_fraction,
+                                 config.jitter_fraction);
+  }
+  return static_cast<SimTime>(timeout);
+}
+
+}  // namespace sld::sim

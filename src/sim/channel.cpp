@@ -8,7 +8,13 @@
 namespace sld::sim {
 
 Channel::Channel(Scheduler& scheduler, ChannelConfig config, util::Rng rng)
-    : scheduler_(scheduler), config_(config), rng_(rng) {
+    : scheduler_(scheduler),
+      config_(std::move(config)),
+      rng_(rng),
+      // The injector gets its own forked stream so enabling faults never
+      // perturbs the delivery-loss draws of the main stream (and a
+      // disabled plan never draws at all).
+      faults_(config_.faults, rng.fork(0xfa0175)) {
   if (config_.loss_probability < 0.0 || config_.loss_probability > 1.0)
     throw std::invalid_argument("Channel: loss probability outside [0, 1]");
 }
@@ -82,6 +88,12 @@ Node* Channel::find(NodeId id) const {
 }
 
 void Channel::unicast(const Node& sender, Message msg) {
+  // A crashed node does not transmit at all.
+  if (faults_.enabled() &&
+      faults_.node_crashed(sender.id(), scheduler_.now())) {
+    ++stats_.crashed_drops;
+    return;
+  }
   TxContext ctx;
   ctx.radiating_position = sender.position();
   ctx.radiating_range = sender.range();
@@ -94,6 +106,17 @@ void Channel::unicast(const Node& sender, Message msg) {
 NodeRadioStats Channel::node_radio(NodeId id) const {
   const auto it = radio_.find(id);
   return it == radio_.end() ? NodeRadioStats{} : it->second;
+}
+
+NodeRadioStats Channel::total_radio() const {
+  NodeRadioStats total;
+  for (const auto& [id, r] : radio_) {
+    total.packets_sent += r.packets_sent;
+    total.packets_received += r.packets_received;
+    total.bytes_sent += r.bytes_sent;
+    total.bytes_received += r.bytes_received;
+  }
+  return total;
 }
 
 void Channel::inject(const TxContext& ctx, Message msg) {
@@ -164,10 +187,48 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
   }
   const double prop_ft =
       util::distance(ctx.radiating_position, dst.position());
-  const SimTime delay =
+  SimTime delay =
       packet_airtime_ns(msg.payload.size()) +
       static_cast<SimTime>(prop_ft / kSpeedOfLightFtPerSec * 1e9) +
       cycles_to_ns(ctx.extra_delay_cycles);
+
+  if (!faults_.enabled()) {
+    schedule_delivery(dst, ctx, msg, delay);
+    return;
+  }
+
+  // A crashed receiver hears nothing. Windows are static, so the check can
+  // run against the (deterministic) arrival time up front.
+  if (faults_.node_crashed(dst.id(), scheduler_.now() + delay)) {
+    ++stats_.crashed_drops;
+    return;
+  }
+  auto fate = faults_.decide(msg.src, dst.id());
+  if (fate.dropped) {
+    ++stats_.dropped_by_fault;
+    return;
+  }
+  delay += fate.extra_delay_ns;
+  if (fate.corrupted) {
+    // The primary copy arrives damaged; MAC verification at the receiver
+    // rejects it. A duplicate (below) is an independent clean copy.
+    ++stats_.corrupted;
+    Message damaged = msg;
+    faults_.corrupt(damaged);
+    schedule_delivery(dst, ctx, damaged, delay);
+  } else {
+    schedule_delivery(dst, ctx, msg, delay);
+  }
+  if (fate.duplicated) {
+    ++stats_.duplicates;
+    // The duplicate trails one packet air time behind the original.
+    schedule_delivery(dst, ctx, msg,
+                      delay + packet_airtime_ns(msg.payload.size()));
+  }
+}
+
+void Channel::schedule_delivery(Node& dst, const TxContext& ctx,
+                                const Message& msg, SimTime delay) {
   ++stats_.deliveries;
   if (ctx.via_wormhole) ++stats_.wormhole_deliveries;
   auto& radio = radio_[dst.id()];

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "sim/node.hpp"
 #include "sim/scheduler.hpp"
@@ -50,10 +51,14 @@ struct WormholeLink {
 
 struct ChannelConfig {
   /// Per-delivery loss probability (paper assumes reliable delivery via
-  /// retransmission, so default 0).
+  /// retransmission, so default 0). Kept separate from `faults` for
+  /// backward compatibility; both contribute independently.
   double loss_probability = 0.0;
   /// Fixed per-packet framing overhead in bytes (preamble/header/CRC).
   std::size_t frame_overhead_bytes = 16;
+  /// Composable fault injection (loss models, duplication, corruption,
+  /// jitter, crash windows). All off by default.
+  FaultPlan faults;
 };
 
 /// Counters exposed for tests and experiment reporting.
@@ -64,6 +69,11 @@ struct ChannelStats {
   std::uint64_t losses = 0;
   std::uint64_t suppressed = 0;
   std::uint64_t out_of_range = 0;
+  // Fault-injection outcomes (all zero when ChannelConfig::faults is off).
+  std::uint64_t dropped_by_fault = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t crashed_drops = 0;
 };
 
 /// Per-node radio activity, the basis of energy accounting (tx and rx are
@@ -121,8 +131,15 @@ class Channel {
 
   const ChannelStats& stats() const { return stats_; }
 
+  /// The channel's fault injector (crash queries, plan introspection).
+  const FaultInjector& faults() const { return faults_; }
+
   /// Radio activity of one node (zeros for unknown ids).
   NodeRadioStats node_radio(NodeId id) const;
+
+  /// Radio activity summed over every node — the basis of whole-network
+  /// energy accounting (e.g. the energy overhead of retransmissions).
+  NodeRadioStats total_radio() const;
 
   /// Air time of a `payload_bytes`-byte packet, in nanoseconds.
   SimTime packet_airtime_ns(std::size_t payload_bytes) const;
@@ -134,10 +151,13 @@ class Channel {
  private:
   void transmit(const TxContext& ctx, const Message& msg);
   void deliver(Node& dst, const TxContext& ctx, const Message& msg);
+  void schedule_delivery(Node& dst, const TxContext& ctx, const Message& msg,
+                         SimTime delay);
 
   Scheduler& scheduler_;
   ChannelConfig config_;
   util::Rng rng_;
+  FaultInjector faults_;
   std::unordered_map<NodeId, Node*> nodes_;
   std::vector<WormholeLink> wormholes_;
   std::vector<RadioObserver*> observers_;

@@ -1,0 +1,124 @@
+#include "sim/faults.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sld::sim {
+
+GilbertElliottConfig GilbertElliottConfig::for_average_loss(
+    double target_loss, double mean_burst_len) {
+  if (target_loss < 0.0 || target_loss >= 1.0)
+    throw std::invalid_argument("GilbertElliott: target loss outside [0, 1)");
+  if (mean_burst_len < 1.0)
+    throw std::invalid_argument("GilbertElliott: burst length < 1");
+  GilbertElliottConfig ge;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 1.0;
+  ge.p_exit_bad = 1.0 / mean_burst_len;
+  // Stationary P(bad) must equal target_loss:
+  //   p_enter / (p_enter + p_exit) = target  =>  p_enter = p_exit * t/(1-t).
+  ge.p_enter_bad = ge.p_exit_bad * target_loss / (1.0 - target_loss);
+  return ge;
+}
+
+bool FaultPlan::any_enabled() const {
+  return loss_probability > 0.0 || burst.enabled() ||
+         duplicate_probability > 0.0 || corruption_probability > 0.0 ||
+         max_extra_delay_ns > 0 || !node_loss.empty() || !link_loss.empty() ||
+         !crashes.empty();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
+    : plan_(std::move(plan)), rng_(rng), enabled_(plan_.any_enabled()) {
+  auto check_p = [](double p, const char* what) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                  " outside [0, 1]");
+  };
+  check_p(plan_.loss_probability, "loss probability");
+  check_p(plan_.duplicate_probability, "duplicate probability");
+  check_p(plan_.corruption_probability, "corruption probability");
+  for (const auto& [node, p] : plan_.node_loss) check_p(p, "node loss");
+  for (const auto& [link, p] : plan_.link_loss) check_p(p, "link loss");
+  for (const auto& w : plan_.crashes) {
+    if (w.end <= w.start)
+      throw std::invalid_argument("FaultPlan: empty crash window");
+  }
+}
+
+bool FaultInjector::node_crashed(NodeId node, SimTime t) const {
+  for (const auto& w : plan_.crashes) {
+    if (w.node == node && t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::link_lost(NodeId src, NodeId dst) {
+  // i.i.d. term, applied to every link.
+  if (plan_.loss_probability > 0.0 &&
+      rng_.bernoulli(plan_.loss_probability))
+    return true;
+
+  // Gilbert-Elliott chain, one independent state per (src, dst) link.
+  if (plan_.burst.enabled()) {
+    bool& in_bad = link_in_bad_[FaultPlan::link_key(src, dst)];
+    const double loss_p =
+        in_bad ? plan_.burst.loss_bad : plan_.burst.loss_good;
+    const bool lost = rng_.bernoulli(loss_p);
+    // Evolve the chain after sampling the current state's loss.
+    if (in_bad) {
+      if (rng_.bernoulli(plan_.burst.p_exit_bad)) in_bad = false;
+    } else {
+      if (rng_.bernoulli(plan_.burst.p_enter_bad)) in_bad = true;
+    }
+    if (lost) return true;
+  }
+
+  // Per-node receiver-side loss.
+  if (!plan_.node_loss.empty()) {
+    const auto it = plan_.node_loss.find(dst);
+    if (it != plan_.node_loss.end() && rng_.bernoulli(it->second))
+      return true;
+  }
+
+  // Per-link loss.
+  if (!plan_.link_loss.empty()) {
+    const auto it = plan_.link_loss.find(FaultPlan::link_key(src, dst));
+    if (it != plan_.link_loss.end() && rng_.bernoulli(it->second))
+      return true;
+  }
+
+  return false;
+}
+
+FaultInjector::DeliveryFate FaultInjector::decide(NodeId src, NodeId dst) {
+  DeliveryFate fate;
+  if (!enabled_) return fate;
+  if (link_lost(src, dst)) {
+    fate.dropped = true;
+    return fate;  // no further draws for a lost packet
+  }
+  if (plan_.duplicate_probability > 0.0)
+    fate.duplicated = rng_.bernoulli(plan_.duplicate_probability);
+  if (plan_.corruption_probability > 0.0)
+    fate.corrupted = rng_.bernoulli(plan_.corruption_probability);
+  if (plan_.max_extra_delay_ns > 0)
+    fate.extra_delay_ns = static_cast<SimTime>(rng_.uniform_u64(
+        static_cast<std::uint64_t>(plan_.max_extra_delay_ns)));
+  return fate;
+}
+
+void FaultInjector::corrupt(Message& msg) {
+  if (msg.payload.empty()) {
+    // Nothing to flip in the payload: damage the tag itself.
+    msg.mac ^= 1ULL << rng_.uniform_u64(64);
+    return;
+  }
+  const std::size_t index =
+      static_cast<std::size_t>(rng_.uniform_u64(msg.payload.size()));
+  // XOR with a nonzero byte so the payload always actually changes.
+  msg.payload[index] ^= static_cast<std::uint8_t>(1 + rng_.uniform_u64(255));
+}
+
+}  // namespace sld::sim

@@ -129,7 +129,9 @@ TEST_F(ChannelTest, NearbyNodeGetsAllCopies) {
 }
 
 TEST_F(ChannelTest, LossyChannelDropsRoughlyAtRate) {
-  Network lossy{ChannelConfig{.loss_probability = 0.5}, 7};
+  ChannelConfig cfg;
+  cfg.loss_probability = 0.5;
+  Network lossy{cfg, 7};
   auto& a = lossy.emplace_node<RecorderNode>(1, util::Vec2{0, 0}, 150.0);
   auto& b = lossy.emplace_node<RecorderNode>(2, util::Vec2{10, 0}, 150.0);
   for (int i = 0; i < 1000; ++i) lossy.channel().unicast(a, make_msg(1, 2));

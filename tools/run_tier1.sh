@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build Release and Sanitize (ASan+UBSan) configurations and
+# run the full gtest suite on each. Exits nonzero on the first failure.
+#
+# Usage: tools/run_tier1.sh [jobs]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+
+run_config() {
+  local name="$1" build_type="$2" dir="$repo/build-$1"
+  echo "=== [$name] configure ($build_type) ==="
+  cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE="$build_type" \
+    -DSLD_BUILD_BENCH=OFF -DSLD_BUILD_EXAMPLES=OFF
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_config release Release
+run_config sanitize Sanitize
+
+echo "=== tier-1 OK: Release + Sanitize suites passed ==="
