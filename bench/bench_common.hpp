@@ -1,13 +1,18 @@
 // Shared helpers for the figure-reproduction benches: a tiny flag parser
-// (--trials N, --seed S, --fast) so every bench can be re-run with more
-// statistical power without recompiling.
+// (--trials N, --seed S, --fast, --trace FILE, --metrics FILE) so every
+// bench can be re-run with more statistical power — or full forensics —
+// without recompiling.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+
+#include "obs/trace.hpp"
 
 namespace sld::bench {
 
@@ -15,17 +20,40 @@ struct BenchArgs {
   std::size_t trials = 5;
   std::uint64_t seed = 1;
   bool fast = false;  // benches may shrink sweeps under --fast
+  /// JSONL trace destination ("--trace FILE"); empty means tracing off.
+  std::string trace_path;
+  /// Per-trial metrics snapshot destination ("--metrics FILE").
+  std::string metrics_path;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      auto next_value = [&](const char* flag) -> long long {
+      auto next_arg = [&](const char* flag) -> const char* {
         if (i + 1 >= argc) {
           std::cerr << flag << " requires a value\n";
           std::exit(2);
         }
-        return std::atoll(argv[++i]);
+        return argv[++i];
+      };
+      auto next_value = [&](const char* flag) -> long long {
+        const char* text = next_arg(flag);
+        errno = 0;
+        char* end = nullptr;
+        const long long v = std::strtoll(text, &end, 10);
+        if (end == text || *end != '\0') {
+          std::cerr << flag << ": not a number: '" << text << "'\n";
+          std::exit(2);
+        }
+        if (errno == ERANGE) {
+          std::cerr << flag << ": out of range: '" << text << "'\n";
+          std::exit(2);
+        }
+        if (v < 0) {
+          std::cerr << flag << ": must be non-negative: '" << text << "'\n";
+          std::exit(2);
+        }
+        return v;
       };
       if (a == "--trials") {
         args.trials = static_cast<std::size_t>(next_value("--trials"));
@@ -33,9 +61,14 @@ struct BenchArgs {
         args.seed = static_cast<std::uint64_t>(next_value("--seed"));
       } else if (a == "--fast") {
         args.fast = true;
+      } else if (a == "--trace") {
+        args.trace_path = next_arg("--trace");
+      } else if (a == "--metrics") {
+        args.metrics_path = next_arg("--metrics");
       } else if (a == "--help" || a == "-h") {
         std::cout << "usage: " << argv[0]
-                  << " [--trials N] [--seed S] [--fast]\n";
+                  << " [--trials N] [--seed S] [--fast]"
+                  << " [--trace FILE] [--metrics FILE]\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -43,6 +76,19 @@ struct BenchArgs {
       }
     }
     return args;
+  }
+
+  /// Opens the --trace sink, or returns nullptr when tracing is off.
+  /// Wire the raw pointer into SystemConfig::trace_sink; the unique_ptr
+  /// must outlive every trial that uses it.
+  std::unique_ptr<sld::obs::JsonlSink> open_trace_sink() const {
+    if (trace_path.empty()) return nullptr;
+    try {
+      return std::make_unique<sld::obs::JsonlSink>(trace_path);
+    } catch (const std::exception& e) {
+      std::cerr << "--trace: " << e.what() << "\n";
+      std::exit(2);
+    }
   }
 };
 

@@ -7,6 +7,7 @@
 // Figure 5/6 story re-examined without the "reliable delivery via
 // retransmission" assumption: the metrics must degrade gracefully with
 // loss, and retries must buy the degradation back.
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -33,6 +34,17 @@ sld::core::SystemConfig scaled_config(const sld::bench::BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
+  const auto trace_sink = args.open_trace_sink();
+  std::ofstream metrics_out;
+  if (!args.metrics_path.empty()) {
+    metrics_out.open(args.metrics_path);
+    if (!metrics_out) {
+      std::cerr << "--metrics: cannot open " << args.metrics_path << "\n";
+      return 2;
+    }
+    metrics_out << "[";
+  }
+  std::size_t metrics_entries = 0;
   const double losses[] = {0.0, 0.05, 0.1, 0.2};
   const double kBurstLen = 4.0;
 
@@ -64,14 +76,25 @@ int main(int argc, char** argv) {
           e.base.arq.initial_timeout_ns = 250 * sld::sim::kMillisecond;
           e.base.arq.max_retries = 4;
         }
+        e.base.trace_sink = trace_sink.get();
         e.keep_trial_summaries = true;
         const auto agg = sld::core::run_experiment(e);
 
         std::uint64_t probe_timeouts = 0, retx = 0;
-        for (const auto& t : agg.trials) {
+        for (std::size_t ti = 0; ti < agg.trials.size(); ++ti) {
+          const auto& t = agg.trials[ti];
           probe_timeouts += t.raw.probe_no_response;
           retx += t.raw.probe_retransmissions + t.raw.sensor_retransmissions +
                   t.raw.alert_retransmissions;
+          if (metrics_out.is_open()) {
+            if (metrics_entries++) metrics_out << ",";
+            metrics_out << "\n{\"loss_model\":\""
+                        << (bursty ? "bursty" : "iid")
+                        << "\",\"loss_rate\":" << loss << ",\"arq\":\""
+                        << (arq_on ? "on" : "off") << "\",\"trial\":" << ti
+                        << ",\"seed\":" << (args.seed + ti)
+                        << ",\"metrics\":" << t.metrics_json << "}";
+          }
         }
         table.row()
             .cell(bursty ? "bursty" : "iid")
@@ -91,5 +114,6 @@ int main(int argc, char** argv) {
                   "Fault tolerance: detection/revocation vs channel loss "
                   "(iid + Gilbert-Elliott burst len 4), ARQ off vs on "
                   "(timeout 250 ms, 4 retries, exp. backoff)");
+  if (metrics_out.is_open()) metrics_out << "\n]\n";
   return 0;
 }

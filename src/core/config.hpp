@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "attack/strategy.hpp"
+#include "obs/trace.hpp"
 #include "sim/arq.hpp"
 #include "sim/channel.hpp"
 #include "sim/faults.hpp"
@@ -99,6 +100,12 @@ struct SystemConfig {
   /// beacon -> base station, typically multi-hop). Retried under `arq`;
   /// alerts that exhaust every attempt are counted as delivery failures.
   double alert_loss_probability = 0.0;
+
+  /// Structured-trace destination (non-owning; must outlive every trial run
+  /// with this config). nullptr — the default — means tracing is off and
+  /// costs one cached branch per emit site; results are bit-for-bit
+  /// identical either way because tracing draws no randomness.
+  obs::TraceSink* trace_sink = nullptr;
 
   /// Simulation phases: beacons probe first, then sensors localize.
   sim::SimTime probe_phase_start = 0;

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
 
 namespace sld::core {
@@ -9,8 +10,13 @@ AggregateSummary run_experiment(const ExperimentConfig& config) {
   for (std::size_t i = 0; i < config.trials; ++i) {
     SystemConfig trial_config = config.base;
     trial_config.seed = config.base.seed + i;
+    const auto wall_start = std::chrono::steady_clock::now();
     SecureLocalizationSystem system(trial_config);
     TrialSummary summary = system.run();
+    agg.trial_wall_ms.add(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
     agg.detection_rate.add(summary.detection_rate);
     agg.false_positive_rate.add(summary.false_positive_rate);
     agg.affected_per_malicious.add(summary.avg_affected_per_malicious);

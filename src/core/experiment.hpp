@@ -30,6 +30,9 @@ struct AggregateSummary {
   util::RunningStat revocation_latency_ms;
   /// Whole-network radio energy per trial, microjoules.
   util::RunningStat radio_energy_uj;
+  /// Host wall-clock time per trial, milliseconds (profiling, not
+  /// simulation output — varies run to run).
+  util::RunningStat trial_wall_ms;
   std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
 };
 

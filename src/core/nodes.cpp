@@ -58,10 +58,26 @@ SystemContext::SystemContext(const SystemConfig& cfg)
       rng(cfg.seed) {
   // Calibrate the RTT filter exactly the way the paper does: measure the
   // no-attack distribution and take x_max as the acceptance threshold.
-  util::Rng calib_rng = rng.fork(0xca11b);
-  rtt_calibration = ranging::calibrate_rtt(
-      timing, cfg.rtt_calibration_samples, cfg.deployment.comm_range_ft,
-      calib_rng);
+  {
+    obs::ScopedTimerMs timer(instruments, "phase.calibration_ms");
+    util::Rng calib_rng = rng.fork(0xca11b);
+    rtt_calibration = ranging::calibrate_rtt(
+        timing, cfg.rtt_calibration_samples, cfg.deployment.comm_range_ft,
+        calib_rng);
+  }
+  // Register the per-trial histograms up front so their order in the
+  // snapshot is stable. RTT ranges are keyed off the calibrated x_max;
+  // out-of-range samples clamp into the edge buckets (min/max stay exact).
+  const double rtt_hi = 2.0 * rtt_calibration.x_max_cycles;
+  rtt_probe_hist = &instruments.histogram("rtt.probe_cycles", 0.0, rtt_hi, 64);
+  rtt_query_hist = &instruments.histogram("rtt.query_cycles", 0.0, rtt_hi, 64);
+  residual_hist =
+      &instruments.histogram("ranging.residual_ft", -20.0, 20.0, 80);
+  alert_counter_hist = &instruments.histogram(
+      "bs.alert_counter", 0.0,
+      static_cast<double>(cfg.revocation.alert_threshold + 8), 16);
+  node_energy_hist =
+      &instruments.histogram("radio.node_energy_uj", 0.0, 100'000.0, 50);
   switch (cfg.wormhole_detector_type) {
     case SystemConfig::WormholeDetectorType::kProbabilistic:
       wormhole_detector =
@@ -99,6 +115,12 @@ void SystemContext::submit_alert(sim::NodeId reporter, sim::NodeId target,
   else
     ++metrics.alerts_submitted;
   metrics.alert_log.push_back({reporter, target, collusion_alert});
+  if (tracer.on()) {
+    tracer.emit(tracer.event("alert.submit")
+                    .f("reporter", reporter)
+                    .f("target", target)
+                    .f("collusion", collusion_alert));
+  }
   const sim::SimTime jitter = static_cast<sim::SimTime>(
       rng.uniform(0.0, 50.0 * static_cast<double>(sim::kMillisecond)));
   scheduler->schedule_after(jitter, [this, reporter, target]() {
@@ -112,20 +134,50 @@ void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
   // bernoulli(0) draws nothing, so the default lossless transport leaves
   // the per-trial RNG stream untouched.
   if (!rng.bernoulli(config.alert_loss_probability)) {
+    if (tracer.on()) {
+      tracer.emit(tracer.event("alert.delivered")
+                      .f("reporter", reporter)
+                      .f("target", target)
+                      .f("attempt", static_cast<std::uint64_t>(attempt)));
+    }
     const auto disposition = base_station.process_alert(reporter, target);
+    if (disposition == revocation::AlertDisposition::kAccepted ||
+        disposition == revocation::AlertDisposition::kAcceptedAndRevoked) {
+      alert_counter_hist->observe(
+          static_cast<double>(base_station.alert_counter(target)));
+    }
     if (disposition == revocation::AlertDisposition::kAcceptedAndRevoked)
       metrics.revocation_times.emplace_back(target, scheduler->now());
     return;
   }
   // Attempt lost in transit.
+  if (tracer.on()) {
+    tracer.emit(tracer.event("alert.lost")
+                    .f("reporter", reporter)
+                    .f("target", target)
+                    .f("attempt", static_cast<std::uint64_t>(attempt)));
+  }
   if (config.arq.enabled && attempt < config.arq.max_retries) {
     ++metrics.alert_retransmissions;
     const sim::SimTime delay = sim::arq_timeout(config.arq, attempt, rng);
+    if (tracer.on()) {
+      tracer.emit(tracer.event("alert.retry")
+                      .f("reporter", reporter)
+                      .f("target", target)
+                      .f("attempt", static_cast<std::uint64_t>(attempt + 1))
+                      .f("delay_ns", static_cast<std::int64_t>(delay)));
+    }
     scheduler->schedule_after(delay, [this, reporter, target, attempt]() {
       deliver_alert_attempt(reporter, target, attempt + 1);
     });
   } else {
     ++metrics.alerts_delivery_failed;
+    if (tracer.on()) {
+      tracer.emit(tracer.event("alert.giveup")
+                      .f("reporter", reporter)
+                      .f("target", target)
+                      .f("attempt", static_cast<std::uint64_t>(attempt)));
+    }
   }
 }
 
@@ -136,6 +188,7 @@ SystemContext::SignalMeasurement SystemContext::measure(
   // Ranging measures distance to wherever the energy radiated from.
   const double physical_distance =
       util::distance(delivery.ctx.radiating_position, receiver_position);
+  m.physical_distance_ft = physical_distance;
   switch (config.ranging_type) {
     case RangingType::kRssi:
       m.distance_ft = rssi.measure_manipulated(
@@ -206,6 +259,15 @@ void BeaconNode::send_probe_round(PendingProbe probe,
     ++ctx_.metrics.probe_retransmissions;
   else
     ++ctx_.metrics.probes_sent;
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(ctx_.tracer.event("probe.send")
+                         .f("node", id())
+                         .f("det_id", detecting_id)
+                         .f("target", target)
+                         .f("nonce", nonce)
+                         .f("attempt", static_cast<std::uint64_t>(attempt))
+                         .f("retx", is_retransmission));
+  }
   channel().unicast(*this, make_message(ctx_.keys, detecting_id, target,
                                         sim::MsgType::kBeaconRequest,
                                         req.serialize()));
@@ -222,17 +284,41 @@ void BeaconNode::on_probe_timeout(std::uint64_t nonce) {
   if (it == pending_.end()) return;  // a reply arrived in time
   PendingProbe probe = std::move(it->second);
   pending_.erase(it);
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(
+        ctx_.tracer.event("arq.timeout")
+            .f("node", id())
+            .f("target", probe.target)
+            .f("kind", "probe")
+            .f("attempt", static_cast<std::uint64_t>(probe.attempt)));
+  }
   if (probe.attempt < ctx_.config.arq.max_retries) {
     // Retransmit under a fresh nonce: a straggling reply to the old nonce
     // is ignored and the new round's RTT clock starts clean, so the
     // timeout itself can never read as replay delay.
     ++probe.attempt;
+    if (ctx_.tracer.on()) {
+      ctx_.tracer.emit(
+          ctx_.tracer.event("arq.retry")
+              .f("node", id())
+              .f("target", probe.target)
+              .f("kind", "probe")
+              .f("attempt", static_cast<std::uint64_t>(probe.attempt)));
+    }
     send_probe_round(std::move(probe), /*is_retransmission=*/true);
     return;
   }
   // Every attempt exhausted: the explicit ProbeOutcome::kNoResponse path
   // (instead of the seed's silently missing probe).
   ++ctx_.metrics.probe_no_response;
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(
+        ctx_.tracer.event("arq.giveup")
+            .f("node", id())
+            .f("target", probe.target)
+            .f("kind", "probe")
+            .f("attempt", static_cast<std::uint64_t>(probe.attempt)));
+  }
 }
 
 void BeaconNode::on_message(const sim::Delivery& delivery) {
@@ -276,6 +362,16 @@ void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
   ++ctx_.metrics.probe_replies;
 
   const auto m = ctx_.measure(delivery, reply, position(), rng_);
+  ctx_.rtt_probe_hist->observe(m.rtt_cycles);
+  ctx_.residual_hist->observe(m.distance_ft - m.physical_distance_ft);
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(ctx_.tracer.event("probe.reply")
+                         .f("node", id())
+                         .f("target", probe.target)
+                         .f("nonce", reply.nonce)
+                         .f("dist_ft", m.distance_ft)
+                         .f("rtt_cycles", m.rtt_cycles));
+  }
   probe.rtt_samples.push_back(m.rtt_cycles);
   probe.dist_samples.push_back(m.distance_ft);
 
@@ -382,6 +478,14 @@ void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
     ++ctx_.metrics.sensor_retransmissions;
   else
     ++ctx_.metrics.sensor_requests;
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(ctx_.tracer.event("query.send")
+                         .f("node", id())
+                         .f("target", target)
+                         .f("nonce", nonce)
+                         .f("attempt", static_cast<std::uint64_t>(attempt))
+                         .f("retx", is_retransmission));
+  }
   channel().unicast(*this, make_message(ctx_.keys, id(), target,
                                         sim::MsgType::kBeaconRequest,
                                         req.serialize()));
@@ -398,14 +502,38 @@ void SensorNode::on_query_timeout(std::uint64_t nonce) {
   if (it == pending_.end()) return;  // answered in time
   PendingQuery query = it->second;
   pending_.erase(it);
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(
+        ctx_.tracer.event("arq.timeout")
+            .f("node", id())
+            .f("target", query.target)
+            .f("kind", "query")
+            .f("attempt", static_cast<std::uint64_t>(query.attempt)));
+  }
   if (query.attempt < ctx_.config.arq.max_retries) {
     ++query.attempt;
+    if (ctx_.tracer.on()) {
+      ctx_.tracer.emit(
+          ctx_.tracer.event("arq.retry")
+              .f("node", id())
+              .f("target", query.target)
+              .f("kind", "query")
+              .f("attempt", static_cast<std::uint64_t>(query.attempt)));
+    }
     send_query(query, /*is_retransmission=*/true);
     return;
   }
   // The beacon never answered: one fewer location reference, accounted
   // explicitly instead of vanishing.
   ++ctx_.metrics.sensor_no_response;
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(
+        ctx_.tracer.event("arq.giveup")
+            .f("node", id())
+            .f("target", query.target)
+            .f("kind", "query")
+            .f("attempt", static_cast<std::uint64_t>(query.attempt)));
+  }
 }
 
 void SensorNode::on_message(const sim::Delivery& delivery) {
@@ -423,6 +551,16 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
   ++ctx_.metrics.sensor_replies;
 
   const auto m = ctx_.measure(delivery, reply, position(), rng_);
+  ctx_.rtt_query_hist->observe(m.rtt_cycles);
+  ctx_.residual_hist->observe(m.distance_ft - m.physical_distance_ft);
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(ctx_.tracer.event("query.reply")
+                         .f("node", id())
+                         .f("target", target)
+                         .f("nonce", reply.nonce)
+                         .f("dist_ft", m.distance_ft)
+                         .f("rtt_cycles", m.rtt_cycles));
+  }
 
   detection::SignalObservation obs;
   obs.receiver_id = id();
@@ -435,7 +573,20 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
   obs.via_wormhole = delivery.ctx.via_wormhole;
   obs.sender_faked_wormhole_indication = reply.fake_wormhole_indication;
 
-  switch (ctx_.detector->replay_filter().evaluate_at_nonbeacon(obs, rng_)) {
+  const auto verdict =
+      ctx_.detector->replay_filter().evaluate_at_nonbeacon(obs, rng_);
+  if (ctx_.tracer.on()) {
+    const char* verdict_name = "genuine";
+    if (verdict == detection::SignalVerdict::kWormholeReplay)
+      verdict_name = "wormhole_replay";
+    else if (verdict == detection::SignalVerdict::kLocalReplay)
+      verdict_name = "local_replay";
+    ctx_.tracer.emit(ctx_.tracer.event("query.verdict")
+                         .f("node", id())
+                         .f("target", target)
+                         .f("verdict", verdict_name));
+  }
+  switch (verdict) {
     case detection::SignalVerdict::kWormholeReplay:
       ++ctx_.metrics.sensor_discarded_wormhole;
       return;
@@ -458,6 +609,12 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
     const bool manipulated_signal = reply.range_manipulation_ft != 0.0;
     acc.effective_malicious = lied_location || manipulated_signal;
   }
+  if (ctx_.tracer.on()) {
+    ctx_.tracer.emit(ctx_.tracer.event("query.accept")
+                         .f("node", id())
+                         .f("target", target)
+                         .f("effective_malicious", acc.effective_malicious));
+  }
   accepted_.push_back(std::move(acc));
 }
 
@@ -471,6 +628,11 @@ void SensorNode::finalize() {
                                                          acc.ref.beacon_id);
     if (revoked) {
       ++ctx_.metrics.sensor_refs_dropped_revoked;
+      if (ctx_.tracer.on()) {
+        ctx_.tracer.emit(ctx_.tracer.event("sensor.drop_revoked")
+                             .f("node", id())
+                             .f("target", acc.ref.beacon_id));
+      }
       continue;
     }
     if (acc.effective_malicious && counted.insert(acc.ref.beacon_id).second)
@@ -483,10 +645,23 @@ void SensorNode::finalize() {
   if (fit) {
     result_ = *fit;
     ++ctx_.metrics.sensors_localized;
-    ctx_.metrics.localization_error_ft.add(
-        util::distance(fit->position, position()));
+    const double err_ft = util::distance(fit->position, position());
+    ctx_.metrics.localization_error_ft.add(err_ft);
+    if (ctx_.tracer.on()) {
+      ctx_.tracer.emit(ctx_.tracer.event("sensor.localized")
+                           .f("node", id())
+                           .f("err_ft", err_ft)
+                           .f("refs",
+                              static_cast<std::uint64_t>(refs.size())));
+    }
   } else {
     ++ctx_.metrics.sensors_unlocalized;
+    if (ctx_.tracer.on()) {
+      ctx_.tracer.emit(ctx_.tracer.event("sensor.unlocalized")
+                           .f("node", id())
+                           .f("refs",
+                              static_cast<std::uint64_t>(refs.size())));
+    }
   }
 }
 

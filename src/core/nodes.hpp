@@ -16,6 +16,8 @@
 #include "detection/detector.hpp"
 #include "localization/location_reference.hpp"
 #include "localization/multilateration.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "ranging/rssi.hpp"
 #include "ranging/rtt.hpp"
 #include "ranging/toa.hpp"
@@ -106,6 +108,20 @@ struct SystemContext {
   util::Rng rng;
   sim::Scheduler* scheduler = nullptr;  // set by the system before start
 
+  /// Event tracer shared by every node (off until the system installs a
+  /// sink-backed one alongside the scheduler).
+  obs::Tracer tracer;
+
+  /// Per-trial instrument registry, snapshotted into
+  /// TrialSummary::metrics_json. The histogram pointers below are
+  /// registered by the constructor and stay valid for the trial.
+  obs::MetricsRegistry instruments;
+  obs::Histogram* rtt_probe_hist = nullptr;      // rtt.probe_cycles
+  obs::Histogram* rtt_query_hist = nullptr;      // rtt.query_cycles
+  obs::Histogram* residual_hist = nullptr;       // ranging.residual_ft
+  obs::Histogram* alert_counter_hist = nullptr;  // bs.alert_counter
+  obs::Histogram* node_energy_hist = nullptr;    // radio.node_energy_uj
+
   /// Delivers an alert to the base station with a small random transport
   /// jitter, so honest and colluding alerts interleave realistically.
   /// With `alert_loss_probability > 0` each delivery attempt can fail;
@@ -122,6 +138,9 @@ struct SystemContext {
   struct SignalMeasurement {
     double distance_ft = 0.0;
     double rtt_cycles = 0.0;
+    /// Ground-truth distance to the radiating position — measured minus
+    /// this is the ranging residual the metrics histogram tracks.
+    double physical_distance_ft = 0.0;
   };
   SignalMeasurement measure(const sim::Delivery& delivery,
                             const sim::BeaconReplyPayload& payload,

@@ -22,9 +22,14 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
       ctx_(std::make_unique<SystemContext>(config_)),
       network_(channel_config_for(config_), config_.seed ^ 0xc4a27e1ULL),
       detecting_registry_(sim::kNonBeaconIdBase, sim::kNonBeaconIdLimit) {
-  util::Rng deploy_rng = ctx_->rng.fork(0xdeb107);
-  deployment_ = sim::deploy_random(config_.deployment, deploy_rng);
+  {
+    obs::ScopedTimerMs timer(ctx_->instruments, "phase.deployment_ms");
+    util::Rng deploy_rng = ctx_->rng.fork(0xdeb107);
+    deployment_ = sim::deploy_random(config_.deployment, deploy_rng);
+  }
 
+  obs::ScopedTimerMs provision_timer(ctx_->instruments,
+                                     "phase.provisioning_ms");
   if (config_.paper_wormhole) {
     attack::install_paper_wormhole(network_.channel(),
                                    config_.deployment.comm_range_ft);
@@ -41,6 +46,41 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
 
   build_nodes();
   ctx_->scheduler = &network_.scheduler();
+
+  // Wire one sink-backed tracer (clocked by the trial's scheduler) through
+  // every instrumented layer. With no sink this constructs an off tracer
+  // and every emit site stays a single cached branch.
+  sim::Scheduler* sched = &network_.scheduler();
+  obs::Tracer tracer(config_.trace_sink, [sched]() {
+    return static_cast<std::int64_t>(sched->now());
+  });
+  ctx_->tracer = tracer;
+  network_.channel().set_tracer(tracer);
+  ctx_->detector->set_tracer(tracer);
+  ctx_->base_station.set_tracer(tracer);
+  ctx_->dissemination.set_tracer(tracer);
+
+  if (tracer.on()) {
+    tracer.emit(
+        tracer.event("trial.start")
+            .f("seed", config_.seed)
+            .f("nodes", static_cast<std::uint64_t>(deployment_.nodes.size()))
+            .f("beacons", static_cast<std::uint64_t>(benign_nodes_.size() +
+                                                     malicious_nodes_.size()))
+            .f("malicious",
+               static_cast<std::uint64_t>(malicious_nodes_.size()))
+            .f("sensors", static_cast<std::uint64_t>(sensor_nodes_.size())));
+    // Ground-truth beacon roster: trace consumers join verdicts against it
+    // to separate true detections from false positives.
+    for (const auto& spec : deployment_.nodes) {
+      if (!spec.beacon) continue;
+      tracer.emit(tracer.event("node.beacon")
+                      .f("id", spec.id)
+                      .f("x", spec.position.x)
+                      .f("y", spec.position.y)
+                      .f("malicious", spec.malicious));
+    }
+  }
 }
 
 void SecureLocalizationSystem::build_nodes() {
@@ -139,10 +179,47 @@ TrialSummary SecureLocalizationSystem::run() {
     throw std::logic_error("SecureLocalizationSystem::run: already ran");
   ran_ = true;
 
-  network_.start_all();
-  schedule_collusion();
-  schedule_finalize();
-  network_.run();
+  // The probing and localization phases are timed separately. Splitting
+  // the run at sensor_phase_start executes the exact same event sequence
+  // as one uninterrupted run (events are ordered by time either way).
+  {
+    obs::ScopedTimerMs timer(ctx_->instruments, "phase.probing_ms");
+    network_.start_all();
+    schedule_collusion();
+    schedule_finalize();
+    network_.scheduler().run_until(config_.sensor_phase_start);
+  }
+  {
+    obs::ScopedTimerMs timer(ctx_->instruments, "phase.localization_ms");
+    network_.run();
+  }
+
+  ctx_->instruments.gauge("sched.events")
+      .set(static_cast<double>(network_.scheduler().executed()));
+  ctx_->instruments.gauge("sched.max_queue_depth")
+      .set(static_cast<double>(network_.scheduler().max_pending()));
+  // Per-node radio energy, iterated in registration order so the
+  // histogram's floating-point sums are deterministic.
+  for (const auto* node : network_.nodes()) {
+    ctx_->node_energy_hist->observe(
+        network_.channel().node_radio(node->id()).energy_uj());
+  }
+
+  if (ctx_->tracer.on()) {
+    std::size_t malicious_revoked = 0;
+    std::size_t benign_revoked = 0;
+    for (const auto* m : malicious_nodes_)
+      if (ctx_->base_station.is_revoked(m->id())) ++malicious_revoked;
+    for (const auto* b : benign_nodes_)
+      if (ctx_->base_station.is_revoked(b->id())) ++benign_revoked;
+    ctx_->tracer.emit(
+        ctx_->tracer.event("trial.end")
+            .f("seed", config_.seed)
+            .f("malicious_revoked",
+               static_cast<std::uint64_t>(malicious_revoked))
+            .f("benign_revoked", static_cast<std::uint64_t>(benign_revoked))
+            .f("sensors_localized", ctx_->metrics.sensors_localized));
+  }
   return summarize();
 }
 
@@ -209,6 +286,7 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.raw = ctx_->metrics;
   s.base_station = ctx_->base_station.stats();
   s.channel = network_.channel().stats();
+  s.metrics_json = ctx_->instruments.snapshot_json();
   return s;
 }
 

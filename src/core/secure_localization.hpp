@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -56,6 +57,12 @@ struct TrialSummary {
   Metrics raw;
   revocation::BaseStationStats base_station;
   sim::ChannelStats channel;
+
+  /// JSON snapshot of the trial's instrument registry (counters, gauges,
+  /// histograms with p50/p90/p99, per-phase wall-clock timings). The
+  /// wall-clock gauges make this the one TrialSummary field that is NOT a
+  /// pure function of (config, seed).
+  std::string metrics_json;
 };
 
 class SecureLocalizationSystem {

@@ -16,14 +16,23 @@ double ConsistencyCheck::calculated_distance(
   return util::distance(detector_position, claimed_position);
 }
 
+ConsistencyResult ConsistencyCheck::check(const util::Vec2& detector_position,
+                                          const util::Vec2& claimed_position,
+                                          double measured_distance_ft) const {
+  if (measured_distance_ft < 0.0)
+    throw std::invalid_argument("ConsistencyCheck: negative measurement");
+  ConsistencyResult r;
+  r.calculated_ft = calculated_distance(detector_position, claimed_position);
+  r.deviation_ft = std::abs(r.calculated_ft - measured_distance_ft);
+  r.malicious = r.deviation_ft > max_error_ft_;
+  return r;
+}
+
 bool ConsistencyCheck::is_malicious(const util::Vec2& detector_position,
                                     const util::Vec2& claimed_position,
                                     double measured_distance_ft) const {
-  if (measured_distance_ft < 0.0)
-    throw std::invalid_argument("ConsistencyCheck: negative measurement");
-  const double calculated =
-      calculated_distance(detector_position, claimed_position);
-  return std::abs(calculated - measured_distance_ft) > max_error_ft_;
+  return check(detector_position, claimed_position, measured_distance_ft)
+      .malicious;
 }
 
 }  // namespace sld::detection

@@ -16,6 +16,16 @@
 
 namespace sld::detection {
 
+/// The full evidence behind one consistency verdict — what forensics and
+/// tracing report alongside the boolean.
+struct ConsistencyResult {
+  /// Distance implied by the two locations, in feet.
+  double calculated_ft = 0.0;
+  /// |calculated - measured|, the quantity compared against the bound.
+  double deviation_ft = 0.0;
+  bool malicious = false;
+};
+
 class ConsistencyCheck {
  public:
   /// `max_error_ft` is the maximum honest ranging error (paper: 4 ft).
@@ -26,6 +36,11 @@ class ConsistencyCheck {
   /// Distance the detecting node computes from the two locations.
   static double calculated_distance(const util::Vec2& detector_position,
                                     const util::Vec2& claimed_position);
+
+  /// The verdict plus the measured-vs-calculated evidence behind it.
+  ConsistencyResult check(const util::Vec2& detector_position,
+                          const util::Vec2& claimed_position,
+                          double measured_distance_ft) const;
 
   /// True if the signal is malicious: measured vs calculated distance
   /// differ by more than the maximum measurement error.

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "detection/beacon_check.hpp"
 #include "detection/replay_filter.hpp"
+#include "obs/trace.hpp"
 
 namespace sld::detection {
 
@@ -41,9 +43,19 @@ class Detector {
   ProbeOutcome evaluate(const SignalObservation& observation,
                         util::Rng& rng) const;
 
+  /// Installs the event tracer (off by default) on the detector and its
+  /// replay filter. Emits `detect.consistency` (with the measured vs
+  /// expected distances and the threshold that fired) and the final
+  /// `detect.verdict`; stage records come from the replay filter.
+  void set_tracer(sld::obs::Tracer tracer) {
+    replay_filter_.set_tracer(tracer);
+    trace_ = std::move(tracer);
+  }
+
  private:
   ConsistencyCheck consistency_;
   ReplayFilter replay_filter_;
+  sld::obs::Tracer trace_;
 };
 
 }  // namespace sld::detection

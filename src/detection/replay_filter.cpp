@@ -38,16 +38,37 @@ SignalVerdict ReplayFilter::evaluate_at_detecting_node(
   if (!obs.receiver_knows_position)
     throw std::invalid_argument(
         "evaluate_at_detecting_node: detecting nodes know their position");
-  // Stage 1 (§2.2.1): geographic precondition AND wormhole detector.
+  // Stage 1 (§2.2.1): geographic precondition AND wormhole detector. The
+  // detector draws randomness, so it must run exactly when the
+  // precondition holds — tracing must never force the call.
   const double calculated =
       util::distance(obs.receiver_position, obs.claimed_position);
-  if (calculated > obs.target_range_ft &&
-      detector_->detects(to_evidence(obs), rng)) {
-    return SignalVerdict::kWormholeReplay;
+  const bool precondition = calculated > obs.target_range_ft;
+  const bool detected =
+      precondition && detector_->detects(to_evidence(obs), rng);
+  if (trace_.on()) {
+    trace_.emit(trace_.event("detect.wormhole")
+                    .f("node", obs.receiver_id)
+                    .f("target", obs.sender_id)
+                    .f("role", "detecting")
+                    .f("calculated_ft", calculated)
+                    .f("range_ft", obs.target_range_ft)
+                    .f("precondition", precondition)
+                    .f("detected", detected));
   }
+  if (detected) return SignalVerdict::kWormholeReplay;
   // Stage 2 (§2.2.2): the RTT check.
-  if (rtt_looks_replayed(obs.observed_rtt_cycles))
-    return SignalVerdict::kLocalReplay;
+  const bool replay = rtt_looks_replayed(obs.observed_rtt_cycles);
+  if (trace_.on()) {
+    trace_.emit(trace_.event("detect.rtt")
+                    .f("node", obs.receiver_id)
+                    .f("target", obs.sender_id)
+                    .f("role", "detecting")
+                    .f("rtt_cycles", obs.observed_rtt_cycles)
+                    .f("x_max_cycles", config_.rtt_x_max_cycles)
+                    .f("replay", replay));
+  }
+  if (replay) return SignalVerdict::kLocalReplay;
   return SignalVerdict::kGenuine;
 }
 
@@ -55,10 +76,26 @@ SignalVerdict ReplayFilter::evaluate_at_nonbeacon(
     const SignalObservation& obs, util::Rng& rng) const {
   // Non-beacons cannot evaluate the geographic precondition (no known own
   // position); the wormhole detector runs unconditionally.
-  if (detector_->detects(to_evidence(obs), rng))
-    return SignalVerdict::kWormholeReplay;
-  if (rtt_looks_replayed(obs.observed_rtt_cycles))
-    return SignalVerdict::kLocalReplay;
+  const bool detected = detector_->detects(to_evidence(obs), rng);
+  if (trace_.on()) {
+    trace_.emit(trace_.event("detect.wormhole")
+                    .f("node", obs.receiver_id)
+                    .f("target", obs.sender_id)
+                    .f("role", "nonbeacon")
+                    .f("detected", detected));
+  }
+  if (detected) return SignalVerdict::kWormholeReplay;
+  const bool replay = rtt_looks_replayed(obs.observed_rtt_cycles);
+  if (trace_.on()) {
+    trace_.emit(trace_.event("detect.rtt")
+                    .f("node", obs.receiver_id)
+                    .f("target", obs.sender_id)
+                    .f("role", "nonbeacon")
+                    .f("rtt_cycles", obs.observed_rtt_cycles)
+                    .f("x_max_cycles", config_.rtt_x_max_cycles)
+                    .f("replay", replay));
+  }
+  if (replay) return SignalVerdict::kLocalReplay;
   return SignalVerdict::kGenuine;
 }
 

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
+#include "obs/trace.hpp"
 #include "ranging/wormhole_detector.hpp"
 #include "util/geometry.hpp"
 #include "util/rng.hpp"
@@ -80,9 +82,15 @@ class ReplayFilter {
   /// The RTT stage alone: true if the observed RTT exceeds x_max.
   bool rtt_looks_replayed(double observed_rtt_cycles) const;
 
+  /// Installs the event tracer (off by default). Emits `detect.wormhole`
+  /// and `detect.rtt` stage records. Tracing never changes which stages
+  /// run, so RNG draws are identical with and without it.
+  void set_tracer(sld::obs::Tracer tracer) { trace_ = std::move(tracer); }
+
  private:
   ReplayFilterConfig config_;
   const ranging::WormholeDetector* detector_;
+  sld::obs::Tracer trace_;
 };
 
 }  // namespace sld::detection

@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sld::obs {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bucket_count)) {
+  if (!(hi > lo))
+    throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bucket_count == 0)
+    throw std::invalid_argument("Histogram: need at least one bucket");
+  counts_.assign(bucket_count, 0);
+}
+
+void Histogram::observe(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double offset = (x - lo_) / width_;
+  std::size_t idx = 0;
+  if (offset > 0.0) {
+    idx = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+double Histogram::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(n_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double frac =
+          (target - before) / static_cast<double>(counts_[i]);
+      const double v = lo_ + (static_cast<double>(i) + frac) * width_;
+      // The clamped tails are reported with the exact extrema.
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end())
+    return *counters_[it->second].instrument;
+  counter_index_.emplace(name, counters_.size());
+  counters_.push_back({name, std::make_unique<Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return *gauges_[it->second].instrument;
+  gauge_index_.emplace(name, gauges_.size());
+  gauges_.push_back({name, std::make_unique<Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bucket_count) {
+  const auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end())
+    return *histograms_[it->second].instrument;
+  histogram_index_.emplace(name, histograms_.size());
+  histograms_.push_back({name, std::make_unique<Histogram>(lo, hi,
+                                                           bucket_count)});
+  return *histograms_.back().instrument;
+}
+
+namespace {
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char num[40];
+  std::snprintf(num, sizeof(num), "%.10g", v);
+  out += num;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i) out += ',';
+    append_quoted(out, counters_[i].name);
+    out += ':';
+    out += std::to_string(counters_[i].instrument->value());
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i) out += ',';
+    append_quoted(out, gauges_[i].name);
+    out += ':';
+    append_number(out, gauges_[i].instrument->value());
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i) out += ',';
+    const Histogram& h = *histograms_[i].instrument;
+    append_quoted(out, histograms_[i].name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"mean\":";
+    append_number(out, h.mean());
+    out += ",\"min\":";
+    append_number(out, h.min());
+    out += ",\"max\":";
+    append_number(out, h.max());
+    out += ",\"p50\":";
+    append_number(out, h.p50());
+    out += ",\"p90\":";
+    append_number(out, h.p90());
+    out += ",\"p99\":";
+    append_number(out, h.p99());
+    out += ",\"lo\":";
+    append_number(out, h.lo());
+    out += ",\"hi\":";
+    append_number(out, h.hi());
+    out += ",\"buckets\":[";
+    const auto& buckets = h.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (b) out += ',';
+      out += std::to_string(buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sld::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace sld::obs {
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path,
+                                             std::ios::out | std::ios::trunc)),
+      os_(owned_.get()) {
+  if (!owned_->is_open())
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+}
+
+void JsonlSink::write(std::string_view line) {
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  os_->put('\n');
+  ++records_;
+}
+
+namespace {
+void append_escaped(std::string& buf, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        buf += "\\\"";
+        break;
+      case '\\':
+        buf += "\\\\";
+        break;
+      case '\n':
+        buf += "\\n";
+        break;
+      case '\r':
+        buf += "\\r";
+        break;
+      case '\t':
+        buf += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          buf += esc;
+        } else {
+          buf += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+Event::Event(std::string_view type, std::int64_t t_ns) {
+  buf_.reserve(128);
+  buf_ += "{\"t\":";
+  buf_ += std::to_string(t_ns);
+  buf_ += ",\"e\":\"";
+  append_escaped(buf_, type);
+  buf_ += '"';
+}
+
+void Event::key_prefix(std::string_view key) {
+  buf_ += ",\"";
+  append_escaped(buf_, key);
+  buf_ += "\":";
+}
+
+Event& Event::f(std::string_view key, std::string_view v) {
+  key_prefix(key);
+  buf_ += '"';
+  append_escaped(buf_, v);
+  buf_ += '"';
+  return *this;
+}
+
+Event& Event::f(std::string_view key, bool v) {
+  key_prefix(key);
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+Event& Event::f(std::string_view key, double v) {
+  key_prefix(key);
+  if (!std::isfinite(v)) {
+    buf_ += "null";  // NaN/Inf are not representable in JSON
+    return *this;
+  }
+  char num[40];
+  std::snprintf(num, sizeof(num), "%.10g", v);
+  buf_ += num;
+  return *this;
+}
+
+Event& Event::f(std::string_view key, std::int64_t v) {
+  key_prefix(key);
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+Event& Event::f(std::string_view key, std::uint64_t v) {
+  key_prefix(key);
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+std::string Event::finish() {
+  buf_ += '}';
+  return std::move(buf_);
+}
+
+}  // namespace sld::obs

@@ -1,0 +1,143 @@
+// Structured event tracing (the observability subsystem's event half; see
+// obs/metrics.hpp for the metrics half).
+//
+// Every interesting decision in the pipeline — packet fates in the channel,
+// ARQ timeouts/retries, probe verdicts with the measured-vs-expected values
+// that produced them, alert processing and revocations — can emit one
+// structured, sim-time-stamped JSONL record through a `Tracer`. The default
+// tracer is OFF: `Tracer::on()` is a cached boolean test, no record is ever
+// built, no sink is touched, and (crucially) no randomness is drawn — a
+// traced run and an untraced run of the same seed produce bit-for-bit
+// identical results. Records are keyed on *simulation* time (the tracer's
+// clock, typically `Scheduler::now()`), never wall clock, so traces are
+// reproducible.
+//
+// Record shape: `{"t":<sim ns>,"e":"<event type>", ...fields}` — one JSON
+// object per line. The event taxonomy and per-type schema live in DESIGN.md
+// ("Observability") and are validated by tools/trace_report.py --validate.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sld::obs {
+
+/// Destination of trace records. Implementations must be cheap to query:
+/// `enabled()` gates every emit site.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// False => emit sites skip record construction entirely.
+  virtual bool enabled() const = 0;
+
+  /// Receives one complete JSON object (no trailing newline).
+  virtual void write(std::string_view jsonl_line) = 0;
+};
+
+/// The zero-overhead default: never enabled, never written to.
+class NullSink final : public TraceSink {
+ public:
+  bool enabled() const override { return false; }
+  void write(std::string_view) override {}
+};
+
+/// Collects records in memory — tests and in-process trace replay
+/// (examples/wormhole_forensics) consume this.
+class MemorySink final : public TraceSink {
+ public:
+  bool enabled() const override { return true; }
+  void write(std::string_view line) override { lines_.emplace_back(line); }
+  const std::vector<std::string>& lines() const { return lines_; }
+  void clear() { lines_.clear(); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// Writes one record per line (JSONL) to a borrowed stream or an owned file.
+class JsonlSink final : public TraceSink {
+ public:
+  /// Borrowed stream; must outlive the sink.
+  explicit JsonlSink(std::ostream& os);
+  /// Owned file (truncated); throws std::runtime_error if it cannot open.
+  explicit JsonlSink(const std::string& path);
+
+  bool enabled() const override { return true; }
+  void write(std::string_view line) override;
+
+  std::uint64_t records() const { return records_; }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* os_;
+  std::uint64_t records_ = 0;
+};
+
+/// Builder for one record. Construct with the event type and sim time, chain
+/// `f(key, value)` calls, then hand it to `Tracer::emit`. String values are
+/// JSON-escaped; non-finite doubles become `null`.
+class Event {
+ public:
+  Event(std::string_view type, std::int64_t t_ns);
+
+  Event& f(std::string_view key, std::string_view v);
+  Event& f(std::string_view key, const char* v) {
+    return f(key, std::string_view(v));
+  }
+  Event& f(std::string_view key, bool v);
+  Event& f(std::string_view key, double v);
+  Event& f(std::string_view key, std::int64_t v);
+  Event& f(std::string_view key, std::uint64_t v);
+  Event& f(std::string_view key, std::uint32_t v) {
+    return f(key, static_cast<std::uint64_t>(v));
+  }
+  Event& f(std::string_view key, int v) {
+    return f(key, static_cast<std::int64_t>(v));
+  }
+
+  /// Closes the object and returns the line. The Event must not be reused.
+  std::string finish();
+
+ private:
+  void key_prefix(std::string_view key);
+
+  std::string buf_;
+};
+
+/// The handle every instrumented layer holds. Default-constructed tracers
+/// are off; `on()` is a cached bool so hot paths pay one branch. The clock
+/// supplies the current simulation time (bind it to `Scheduler::now`).
+class Tracer {
+ public:
+  using Clock = std::function<std::int64_t()>;
+
+  Tracer() = default;
+  Tracer(TraceSink* sink, Clock clock)
+      : sink_(sink),
+        clock_(std::move(clock)),
+        on_(sink != nullptr && sink->enabled()) {}
+
+  bool on() const { return on_; }
+  std::int64_t now_ns() const { return clock_ ? clock_() : 0; }
+
+  /// Starts a record stamped with the current sim time.
+  Event event(std::string_view type) const { return Event(type, now_ns()); }
+
+  void emit(Event& e) const {
+    if (on_) sink_->write(e.finish());
+  }
+  void emit(Event&& e) const { emit(e); }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  Clock clock_;
+  bool on_ = false;
+};
+
+}  // namespace sld::obs

@@ -4,8 +4,44 @@ namespace sld::revocation {
 
 BaseStation::BaseStation(RevocationConfig config) : config_(config) {}
 
+namespace {
+const char* disposition_name(AlertDisposition d) {
+  switch (d) {
+    case AlertDisposition::kAccepted:
+      return "accepted";
+    case AlertDisposition::kAcceptedAndRevoked:
+      return "accepted_revoked";
+    case AlertDisposition::kIgnoredReporterQuota:
+      return "ignored_quota";
+    case AlertDisposition::kIgnoredTargetRevoked:
+      return "ignored_revoked";
+  }
+  return "unknown";
+}
+}  // namespace
+
 AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                                             sim::NodeId target) {
+  const AlertDisposition disposition = process_alert_impl(reporter, target);
+  if (trace_.on()) {
+    trace_.emit(trace_.event("bs.alert")
+                    .f("reporter", reporter)
+                    .f("target", target)
+                    .f("disposition", disposition_name(disposition))
+                    .f("alert_counter", alert_counter(target))
+                    .f("report_counter", report_counter(reporter)));
+    if (disposition == AlertDisposition::kAcceptedAndRevoked) {
+      trace_.emit(trace_.event("bs.revoke")
+                      .f("target", target)
+                      .f("alert_counter", alert_counter(target))
+                      .f("threshold", config_.alert_threshold));
+    }
+  }
+  return disposition;
+}
+
+AlertDisposition BaseStation::process_alert_impl(sim::NodeId reporter,
+                                                 sim::NodeId target) {
   ++stats_.alerts_received;
 
   // Paper: accept iff the reporter's report counter has not exceeded tau1

@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/message.hpp"
 
 namespace sld::revocation {
@@ -68,8 +70,17 @@ class BaseStation {
 
   const BaseStationStats& stats() const { return stats_; }
 
+  /// Installs the event tracer (off by default). Emits one `bs.alert`
+  /// record per processed alert (disposition + post-state counters) and a
+  /// `bs.revoke` record when a counter crosses tau2.
+  void set_tracer(obs::Tracer tracer) { trace_ = std::move(tracer); }
+
  private:
+  AlertDisposition process_alert_impl(sim::NodeId reporter,
+                                      sim::NodeId target);
+
   RevocationConfig config_;
+  obs::Tracer trace_;
   std::unordered_map<sim::NodeId, std::uint32_t> alert_counter_;
   std::unordered_map<sim::NodeId, std::uint32_t> report_counter_;
   std::unordered_set<sim::NodeId> revoked_;

@@ -20,13 +20,24 @@ DisseminationModel::DisseminationModel(double reach_probability,
 
 bool DisseminationModel::sensor_knows(sim::NodeId sensor,
                                       sim::NodeId revoked_beacon) const {
-  if (reach_probability_ >= 1.0) return true;
-  if (reach_probability_ <= 0.0) return false;
-  const std::uint64_t h = crypto::siphash24_u64(
-      key_, (static_cast<std::uint64_t>(sensor) << 32) |
-                static_cast<std::uint64_t>(revoked_beacon));
-  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-  return u < reach_probability_;
+  bool knows = true;
+  if (reach_probability_ >= 1.0) {
+    knows = true;
+  } else if (reach_probability_ <= 0.0) {
+    knows = false;
+  } else {
+    const std::uint64_t h = crypto::siphash24_u64(
+        key_, (static_cast<std::uint64_t>(sensor) << 32) |
+                  static_cast<std::uint64_t>(revoked_beacon));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    knows = u < reach_probability_;
+  }
+  if (!knows && trace_.on()) {
+    trace_.emit(trace_.event("dissem.miss")
+                    .f("sensor", sensor)
+                    .f("target", revoked_beacon));
+  }
+  return knows;
 }
 
 }  // namespace sld::revocation

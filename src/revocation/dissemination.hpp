@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "crypto/siphash.hpp"
+#include "obs/trace.hpp"
 #include "sim/message.hpp"
 
 namespace sld::revocation {
@@ -24,9 +26,14 @@ class DisseminationModel {
   /// True if `sensor` has learnt that `revoked_beacon` was revoked.
   bool sensor_knows(sim::NodeId sensor, sim::NodeId revoked_beacon) const;
 
+  /// Installs the event tracer (off by default). Emits a `dissem.miss`
+  /// record whenever a sensor turns out not to have heard a revocation.
+  void set_tracer(obs::Tracer tracer) { trace_ = std::move(tracer); }
+
  private:
   double reach_probability_;
   crypto::Key128 key_{};
+  obs::Tracer trace_;
 };
 
 }  // namespace sld::revocation

@@ -7,6 +7,24 @@
 
 namespace sld::sim {
 
+namespace {
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kBeaconRequest:
+      return "request";
+    case MsgType::kBeaconReply:
+      return "reply";
+    case MsgType::kAlertReport:
+      return "alert";
+    case MsgType::kRevocation:
+      return "revocation";
+    case MsgType::kAppData:
+      return "app";
+  }
+  return "unknown";
+}
+}  // namespace
+
 Channel::Channel(Scheduler& scheduler, ChannelConfig config, util::Rng rng)
     : scheduler_(scheduler),
       config_(std::move(config)),
@@ -92,7 +110,19 @@ void Channel::unicast(const Node& sender, Message msg) {
   if (faults_.enabled() &&
       faults_.node_crashed(sender.id(), scheduler_.now())) {
     ++stats_.crashed_drops;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.crash_tx").f("node", sender.id()));
     return;
+  }
+  if (trace_.on()) {
+    trace_.emit(trace_.event("pkt.send")
+                    .f("node", sender.id())
+                    .f("src", msg.src)
+                    .f("dst", msg.dst)
+                    .f("type", msg_type_name(msg.type))
+                    .f("bytes", static_cast<std::uint64_t>(
+                                    msg.payload.size() +
+                                    config_.frame_overhead_bytes)));
   }
   TxContext ctx;
   ctx.radiating_position = sender.position();
@@ -139,6 +169,10 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
   }
   if (suppressed) {
     ++stats_.suppressed;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.suppressed")
+                      .f("src", msg.src)
+                      .f("dst", msg.dst));
     return;
   }
 
@@ -150,6 +184,10 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
     deliver(*dst, ctx, msg);
   } else if (dst != nullptr) {
     ++stats_.out_of_range;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.out_of_range")
+                      .f("src", msg.src)
+                      .f("dst", msg.dst));
   }
 
   // Wormhole paths: any tunnel mouth within the radiating range picks the
@@ -183,6 +221,9 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
 void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
   if (rng_.bernoulli(config_.loss_probability)) {
     ++stats_.losses;
+    if (trace_.on())
+      trace_.emit(
+          trace_.event("pkt.loss").f("src", msg.src).f("dst", msg.dst));
     return;
   }
   const double prop_ft =
@@ -201,11 +242,17 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
   // run against the (deterministic) arrival time up front.
   if (faults_.node_crashed(dst.id(), scheduler_.now() + delay)) {
     ++stats_.crashed_drops;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.crash_rx").f("node", dst.id()));
     return;
   }
   auto fate = faults_.decide(msg.src, dst.id());
   if (fate.dropped) {
     ++stats_.dropped_by_fault;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.fault_drop")
+                      .f("src", msg.src)
+                      .f("dst", msg.dst));
     return;
   }
   delay += fate.extra_delay_ns;
@@ -213,6 +260,10 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
     // The primary copy arrives damaged; MAC verification at the receiver
     // rejects it. A duplicate (below) is an independent clean copy.
     ++stats_.corrupted;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.corrupt")
+                      .f("src", msg.src)
+                      .f("dst", msg.dst));
     Message damaged = msg;
     faults_.corrupt(damaged);
     schedule_delivery(dst, ctx, damaged, delay);
@@ -221,6 +272,10 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
   }
   if (fate.duplicated) {
     ++stats_.duplicates;
+    if (trace_.on())
+      trace_.emit(trace_.event("pkt.duplicate")
+                      .f("src", msg.src)
+                      .f("dst", msg.dst));
     // The duplicate trails one packet air time behind the original.
     schedule_delivery(dst, ctx, msg,
                       delay + packet_airtime_ns(msg.payload.size()));
@@ -231,6 +286,14 @@ void Channel::schedule_delivery(Node& dst, const TxContext& ctx,
                                 const Message& msg, SimTime delay) {
   ++stats_.deliveries;
   if (ctx.via_wormhole) ++stats_.wormhole_deliveries;
+  if (trace_.on()) {
+    trace_.emit(trace_.event("pkt.deliver")
+                    .f("src", msg.src)
+                    .f("dst", msg.dst)
+                    .f("type", msg_type_name(msg.type))
+                    .f("wormhole", ctx.via_wormhole)
+                    .f("delay_ns", static_cast<std::int64_t>(delay)));
+  }
   auto& radio = radio_[dst.id()];
   ++radio.packets_received;
   radio.bytes_received += msg.payload.size() + config_.frame_overhead_bytes;

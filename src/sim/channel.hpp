@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/faults.hpp"
 #include "sim/message.hpp"
 #include "sim/node.hpp"
@@ -137,6 +138,17 @@ class Channel {
   /// Radio activity of one node (zeros for unknown ids).
   NodeRadioStats node_radio(NodeId id) const;
 
+  /// Per-node radio activity of every node that sent or received anything.
+  const std::unordered_map<NodeId, NodeRadioStats>& radio_all() const {
+    return radio_;
+  }
+
+  /// Installs the event tracer (off by default). Emits one record per
+  /// packet fate: pkt.send / pkt.deliver / pkt.loss / pkt.out_of_range /
+  /// pkt.suppressed / pkt.fault_drop / pkt.duplicate / pkt.corrupt /
+  /// pkt.crash_tx / pkt.crash_rx.
+  void set_tracer(obs::Tracer tracer) { trace_ = std::move(tracer); }
+
   /// Radio activity summed over every node — the basis of whole-network
   /// energy accounting (e.g. the energy overhead of retransmissions).
   NodeRadioStats total_radio() const;
@@ -163,6 +175,7 @@ class Channel {
   std::vector<RadioObserver*> observers_;
   ChannelStats stats_;
   std::unordered_map<NodeId, NodeRadioStats> radio_;
+  obs::Tracer trace_;
 };
 
 }  // namespace sld::sim

@@ -8,12 +8,14 @@ void Scheduler::schedule_at(SimTime when, std::function<void()> action) {
   if (when < now_)
     throw std::invalid_argument("Scheduler::schedule_at: time in the past");
   queue_.push(when, std::move(action));
+  note_depth();
 }
 
 void Scheduler::schedule_after(SimTime delay, std::function<void()> action) {
   if (delay < 0)
     throw std::invalid_argument("Scheduler::schedule_after: negative delay");
   queue_.push(now_ + delay, std::move(action));
+  note_depth();
 }
 
 std::uint64_t Scheduler::run(std::uint64_t max_events) {
@@ -23,6 +25,7 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
     now_ = ev.when;
     ev.action();
     ++executed;
+    ++executed_;
   }
   return executed;
 }
@@ -34,6 +37,7 @@ std::uint64_t Scheduler::run_until(SimTime until) {
     now_ = ev.when;
     ev.action();
     ++executed;
+    ++executed_;
   }
   if (now_ < until) now_ = until;
   return executed;
@@ -42,6 +46,8 @@ std::uint64_t Scheduler::run_until(SimTime until) {
 void Scheduler::reset() {
   queue_.clear();
   now_ = 0;
+  executed_ = 0;
+  max_pending_ = 0;
 }
 
 }  // namespace sld::sim

@@ -32,12 +32,24 @@ class Scheduler {
   bool idle() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
-  /// Drops all pending events and resets time to zero.
+  /// Total events executed since construction (or the last reset()).
+  std::uint64_t executed() const { return executed_; }
+
+  /// High-water mark of the pending-event queue depth.
+  std::size_t max_pending() const { return max_pending_; }
+
+  /// Drops all pending events and resets time and counters to zero.
   void reset();
 
  private:
+  void note_depth() {
+    if (queue_.size() > max_pending_) max_pending_ = queue_.size();
+  }
+
   SimTime now_ = 0;
   EventQueue queue_;
+  std::uint64_t executed_ = 0;
+  std::size_t max_pending_ = 0;
 };
 
 }  // namespace sld::sim

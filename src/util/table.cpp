@@ -38,6 +38,21 @@ Table& Table::cell(long long v) {
 }
 
 namespace {
+/// RFC 4180 quoting: a field containing a comma, quote, CR, or LF is
+/// wrapped in double quotes, with embedded quotes doubled.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string render(const Table::Cell& c) {
   if (const auto* s = std::get_if<std::string>(&c)) return *s;
   if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
@@ -58,7 +73,7 @@ void Table::print_csv(std::ostream& os, const std::string& title) const {
   os << "# " << title << '\n';
   for (std::size_t i = 0; i < header_.size(); ++i) {
     if (i) os << ',';
-    os << header_[i];
+    os << csv_escape(header_[i]);
   }
   os << '\n';
   for (const auto& r : rows_) {
@@ -66,7 +81,7 @@ void Table::print_csv(std::ostream& os, const std::string& title) const {
       throw std::logic_error("Table: row width != header width");
     for (std::size_t i = 0; i < r.size(); ++i) {
       if (i) os << ',';
-      os << render(r[i]);
+      os << csv_escape(render(r[i]));
     }
     os << '\n';
   }

@@ -51,5 +51,29 @@ TEST(Table, RejectsMisshapenRowAtPrint) {
   EXPECT_THROW(t.print_csv(os, "bad"), std::logic_error);
 }
 
+TEST(Table, Rfc4180QuotesSpecialCells) {
+  Table t({"label", "note, with comma"});
+  t.row().cell("plain").cell("says \"hi\"");
+  t.row().cell("multi\nline").cell("trailing\r");
+  std::ostringstream os;
+  t.print_csv(os, "quoting");
+  EXPECT_EQ(os.str(),
+            "# quoting\n"
+            "label,\"note, with comma\"\n"
+            "plain,\"says \"\"hi\"\"\"\n"
+            "\"multi\nline\",\"trailing\r\"\n");
+}
+
+TEST(Table, Rfc4180LeavesPlainCellsUnquoted) {
+  Table t({"a", "b"});
+  t.row().cell("x y").cell(3);
+  std::ostringstream os;
+  t.print_csv(os, "plain");
+  EXPECT_EQ(os.str(),
+            "# plain\n"
+            "a,b\n"
+            "x y,3\n");
+}
+
 }  // namespace
 }  // namespace sld::util

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build Release and Sanitize (ASan+UBSan) configurations and
-# run the full gtest suite on each. Exits nonzero on the first failure.
+# Tier-1 gate: build Release and Sanitize (ASan+UBSan) configurations, run
+# the full gtest suite on each, then run one traced smoke trial and
+# schema-validate the emitted JSONL trace. Exits nonzero on the first
+# failure.
 #
 # Usage: tools/run_tier1.sh [jobs]
 set -euo pipefail
@@ -12,11 +14,15 @@ run_config() {
   local name="$1" build_type="$2" dir="$repo/build-$1"
   echo "=== [$name] configure ($build_type) ==="
   cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE="$build_type" \
-    -DSLD_BUILD_BENCH=OFF -DSLD_BUILD_EXAMPLES=OFF
+    -DSLD_BUILD_BENCH=ON -DSLD_BUILD_EXAMPLES=OFF
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$jobs"
   echo "=== [$name] ctest ==="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  echo "=== [$name] traced smoke trial ==="
+  "$dir/bench/ext_fault_tolerance" --fast --trials 1 \
+    --trace "$dir/smoke_trace.jsonl" > /dev/null
+  python3 "$repo/tools/trace_report.py" --validate "$dir/smoke_trace.jsonl"
 }
 
 run_config release Release
