@@ -1,0 +1,42 @@
+#include "check/invariant.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sld::check {
+
+namespace {
+std::atomic<InvariantHandler> g_handler{&default_invariant_handler};
+std::atomic<std::uint64_t> g_failures{0};
+}  // namespace
+
+void default_invariant_handler(const InvariantViolation& violation) {
+  std::fprintf(stderr, "SLD_INVARIANT violated at %s:%d\n  condition: %s\n  %s\n",
+               violation.file, violation.line, violation.condition,
+               violation.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+InvariantHandler set_invariant_handler(InvariantHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler
+                                               : &default_invariant_handler);
+}
+
+std::uint64_t invariant_failure_count() {
+  return g_failures.load(std::memory_order_relaxed);
+}
+
+void invariant_failed(const char* file, int line, const char* condition,
+                      const std::string& message) {
+  g_failures.fetch_add(1, std::memory_order_relaxed);
+  InvariantViolation violation;
+  violation.file = file;
+  violation.line = line;
+  violation.condition = condition;
+  violation.message = message;
+  g_handler.load()(violation);
+}
+
+}  // namespace sld::check

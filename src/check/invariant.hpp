@@ -1,0 +1,110 @@
+// Compile-time-gated runtime invariant checking.
+//
+// The paper's guarantees are stated as invariants — simulation time never
+// runs backwards, packets are conserved across every fault outcome, alert
+// counters are monotone and revocation fires exactly when a counter crosses
+// tau2, a detector verdict always agrees with its measured-vs-expected
+// evidence. `SLD_INVARIANT(cond, msg)` asserts one of them at the point in
+// the code where it must hold.
+//
+// Build gating: the macro checks only when `SLD_INVARIANTS_ENABLED` is
+// defined (CMake turns it on for Debug and Sanitize build types, or
+// explicitly via -DSLD_INVARIANTS=ON). In Release the macro compiles to
+// nothing — the condition and message are parsed and type-checked inside
+// unevaluated `sizeof` operands but never executed, so Release binaries are
+// bit-for-bit identical to binaries built before the check existed. Do not
+// put side effects in either argument.
+//
+// Violation handling: the default handler prints `file:line: condition —
+// message` to stderr and aborts (so CI and sanitizer runs fail loudly).
+// Tests install a recording handler via ScopedInvariantHandler to assert
+// that specific invariants do (or do not) fire without dying.
+//
+// The message argument is an ostream chain, evaluated only on failure:
+//
+//   SLD_INVARIANT(sent == delivered + lost,
+//                 "conservation: sent=" << sent << " delivered=" << delivered);
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace sld::check {
+
+/// Everything the failure site knows about one violated invariant.
+struct InvariantViolation {
+  const char* file = "";
+  int line = 0;
+  /// The stringified condition that evaluated false.
+  const char* condition = "";
+  /// The rendered message expression.
+  std::string message;
+};
+
+/// Called for every violation. Must not return to resume normal execution
+/// in production handlers (the default aborts); test handlers may return,
+/// in which case execution continues past the failed check.
+using InvariantHandler = void (*)(const InvariantViolation&);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previously installed one.
+InvariantHandler set_invariant_handler(InvariantHandler handler);
+
+/// Prints the violation to stderr and aborts. The initial handler.
+void default_invariant_handler(const InvariantViolation& violation);
+
+/// Total violations reported since process start (any handler).
+std::uint64_t invariant_failure_count();
+
+/// The failure funnel the macro expands to; callable directly by tests.
+void invariant_failed(const char* file, int line, const char* condition,
+                      const std::string& message);
+
+/// True when this translation unit was compiled with checks on. Reported
+/// per-TU on purpose: tests use it to assert the build-appropriate macro
+/// behaviour.
+constexpr bool invariants_enabled() {
+#if defined(SLD_INVARIANTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// RAII: installs a handler for one scope, restores the previous on exit.
+class ScopedInvariantHandler {
+ public:
+  explicit ScopedInvariantHandler(InvariantHandler handler)
+      : previous_(set_invariant_handler(handler)) {}
+  ~ScopedInvariantHandler() { set_invariant_handler(previous_); }
+  ScopedInvariantHandler(const ScopedInvariantHandler&) = delete;
+  ScopedInvariantHandler& operator=(const ScopedInvariantHandler&) = delete;
+
+ private:
+  InvariantHandler previous_;
+};
+
+}  // namespace sld::check
+
+#if defined(SLD_INVARIANTS_ENABLED)
+#define SLD_INVARIANT(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream sld_invariant_os_;                                \
+      sld_invariant_os_ << msg;                                            \
+      ::sld::check::invariant_failed(__FILE__, __LINE__, #cond,            \
+                                     sld_invariant_os_.str());             \
+    }                                                                      \
+  } while (0)
+#else
+// Disabled: both operands stay type-checked (inside unevaluated sizeof) but
+// generate no code and evaluate nothing.
+#define SLD_INVARIANT(cond, msg)                                           \
+  do {                                                                     \
+    (void)sizeof(static_cast<bool>(cond));                                 \
+    (void)sizeof([&](std::ostream& sld_invariant_os_) {                    \
+      sld_invariant_os_ << msg;                                            \
+    });                                                                    \
+  } while (0)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/invariant.hpp"
 #include "crypto/mac.hpp"
 #include "sim/channel.hpp"
 
@@ -131,6 +132,9 @@ void SystemContext::submit_alert(sim::NodeId reporter, sim::NodeId target,
 void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
                                           sim::NodeId target,
                                           std::size_t attempt) {
+  SLD_INVARIANT(attempt <= config.arq.max_retries,
+                "retries bounded: alert delivery attempt " << attempt
+                    << " exceeds max_retries=" << config.arq.max_retries);
   // bernoulli(0) draws nothing, so the default lossless transport leaves
   // the per-trial RNG stream untouched.
   if (!rng.bernoulli(config.alert_loss_probability)) {
@@ -248,6 +252,9 @@ void BeaconNode::send_probe(sim::NodeId target, sim::NodeId detecting_id) {
 
 void BeaconNode::send_probe_round(PendingProbe probe,
                                   bool is_retransmission) {
+  SLD_INVARIANT(probe.attempt <= ctx_.config.arq.max_retries,
+                "retries bounded: probe attempt " << probe.attempt
+                    << " exceeds max_retries=" << ctx_.config.arq.max_retries);
   sim::BeaconRequestPayload req;
   req.nonce = rng_();
   const std::uint64_t nonce = req.nonce;
@@ -468,6 +475,9 @@ void SensorNode::start() {
 }
 
 void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
+  SLD_INVARIANT(query.attempt <= ctx_.config.arq.max_retries,
+                "retries bounded: query attempt " << query.attempt
+                    << " exceeds max_retries=" << ctx_.config.arq.max_retries);
   sim::BeaconRequestPayload req;
   req.nonce = rng_();
   const std::uint64_t nonce = req.nonce;

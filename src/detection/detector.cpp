@@ -1,5 +1,7 @@
 #include "detection/detector.hpp"
 
+#include "check/invariant.hpp"
+
 namespace sld::detection {
 
 Detector::Detector(DetectorConfig config,
@@ -61,6 +63,18 @@ ProbeOutcome Detector::evaluate(const SignalObservation& observation,
                     .f("target", observation.sender_id)
                     .f("outcome", outcome_name(outcome)));
   }
+  SLD_INVARIANT(consistency.malicious ==
+                    (consistency.deviation_ft > consistency_.max_error_ft()),
+                "consistency verdict must match the measured-vs-expected "
+                "deviation: deviation="
+                    << consistency.deviation_ft
+                    << " ft, threshold=" << consistency_.max_error_ft()
+                    << " ft, malicious=" << consistency.malicious);
+  SLD_INVARIANT((outcome == ProbeOutcome::kConsistent) ==
+                    !consistency.malicious,
+                "verdict consistency: outcome " << outcome_name(outcome)
+                    << " contradicts consistency.malicious="
+                    << consistency.malicious);
   return outcome;
 }
 

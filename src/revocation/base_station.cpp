@@ -1,5 +1,7 @@
 #include "revocation/base_station.hpp"
 
+#include "check/invariant.hpp"
+
 namespace sld::revocation {
 
 BaseStation::BaseStation(RevocationConfig config) : config_(config) {}
@@ -22,7 +24,34 @@ const char* disposition_name(AlertDisposition d) {
 
 AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                                             sim::NodeId target) {
+  const std::uint32_t alerts_before = alert_counter(target);
+  const bool revoked_before = revoked_.contains(target);
   const AlertDisposition disposition = process_alert_impl(reporter, target);
+  SLD_INVARIANT(stats_.alerts_received ==
+                    stats_.alerts_accepted + stats_.alerts_ignored_quota +
+                        stats_.alerts_ignored_revoked,
+                "alert accounting: received=" << stats_.alerts_received
+                    << " accepted=" << stats_.alerts_accepted << " quota="
+                    << stats_.alerts_ignored_quota << " revoked_ignored="
+                    << stats_.alerts_ignored_revoked);
+  SLD_INVARIANT(stats_.revocations == revoked_.size() &&
+                    revoked_.size() == revocation_order_.size(),
+                "revocation bookkeeping: stat=" << stats_.revocations
+                    << " set=" << revoked_.size()
+                    << " order=" << revocation_order_.size());
+  SLD_INVARIANT(alert_counter(target) >= alerts_before,
+                "alert counter monotonicity: target " << target << " fell from "
+                    << alerts_before << " to " << alert_counter(target));
+  SLD_INVARIANT(revoked_.contains(target) ==
+                    (alert_counter(target) > config_.alert_threshold),
+                "revocation iff counter > tau2: target " << target
+                    << " counter=" << alert_counter(target) << " tau2="
+                    << config_.alert_threshold
+                    << " revoked=" << revoked_.contains(target));
+  SLD_INVARIANT(!(revoked_before &&
+                  disposition == AlertDisposition::kAcceptedAndRevoked),
+                "no double revocation: target " << target
+                    << " was already revoked");
   if (trace_.on()) {
     trace_.emit(trace_.event("bs.alert")
                     .f("reporter", reporter)

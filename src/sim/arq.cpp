@@ -3,10 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/invariant.hpp"
+
 namespace sld::sim {
 
 SimTime arq_timeout(const ArqConfig& config, std::size_t attempt,
                     util::Rng& rng) {
+  SLD_INVARIANT(attempt <= config.max_retries,
+                "retries bounded: attempt index " << attempt
+                    << " exceeds max_retries=" << config.max_retries);
   if (config.initial_timeout_ns <= 0)
     throw std::invalid_argument("ArqConfig: timeout must be positive");
   if (config.backoff_factor < 1.0)

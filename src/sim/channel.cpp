@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/invariant.hpp"
 #include "util/geometry.hpp"
 
 namespace sld::sim {
@@ -110,6 +111,7 @@ void Channel::unicast(const Node& sender, Message msg) {
   if (faults_.enabled() &&
       faults_.node_crashed(sender.id(), scheduler_.now())) {
     ++stats_.crashed_drops;
+    ++stats_.crashed_tx_drops;
     if (trace_.on())
       trace_.emit(trace_.event("pkt.crash_tx").f("node", sender.id()));
     return;
@@ -219,8 +221,10 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
 }
 
 void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
+  ++stats_.delivery_attempts;
   if (rng_.bernoulli(config_.loss_probability)) {
     ++stats_.losses;
+    check_conservation();
     if (trace_.on())
       trace_.emit(
           trace_.event("pkt.loss").f("src", msg.src).f("dst", msg.dst));
@@ -235,6 +239,7 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
 
   if (!faults_.enabled()) {
     schedule_delivery(dst, ctx, msg, delay);
+    check_conservation();
     return;
   }
 
@@ -242,6 +247,8 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
   // run against the (deterministic) arrival time up front.
   if (faults_.node_crashed(dst.id(), scheduler_.now() + delay)) {
     ++stats_.crashed_drops;
+    ++stats_.crashed_rx_drops;
+    check_conservation();
     if (trace_.on())
       trace_.emit(trace_.event("pkt.crash_rx").f("node", dst.id()));
     return;
@@ -249,6 +256,7 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
   auto fate = faults_.decide(msg.src, dst.id());
   if (fate.dropped) {
     ++stats_.dropped_by_fault;
+    check_conservation();
     if (trace_.on())
       trace_.emit(trace_.event("pkt.fault_drop")
                       .f("src", msg.src)
@@ -280,6 +288,24 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
     schedule_delivery(dst, ctx, msg,
                       delay + packet_airtime_ns(msg.payload.size()));
   }
+  check_conservation();
+}
+
+void Channel::check_conservation() const {
+  SLD_INVARIANT(stats_.deliveries + stats_.losses + stats_.dropped_by_fault +
+                        stats_.crashed_rx_drops ==
+                    stats_.delivery_attempts + stats_.duplicates,
+                "packet conservation: deliveries=" << stats_.deliveries
+                    << " losses=" << stats_.losses << " fault_drops="
+                    << stats_.dropped_by_fault << " crashed_rx="
+                    << stats_.crashed_rx_drops << " attempts="
+                    << stats_.delivery_attempts << " duplicates="
+                    << stats_.duplicates);
+  SLD_INVARIANT(stats_.crashed_drops ==
+                    stats_.crashed_tx_drops + stats_.crashed_rx_drops,
+                "crash accounting: total=" << stats_.crashed_drops
+                    << " tx=" << stats_.crashed_tx_drops
+                    << " rx=" << stats_.crashed_rx_drops);
 }
 
 void Channel::schedule_delivery(Node& dst, const TxContext& ctx,

@@ -62,9 +62,21 @@ struct ChannelConfig {
   FaultPlan faults;
 };
 
-/// Counters exposed for tests and experiment reporting.
+/// Counters exposed for tests and experiment reporting. Every delivery
+/// attempt is conserved: it is lost, dropped by a fault, dropped at a
+/// crashed receiver, or delivered — and a duplication fault adds one extra
+/// delivery. So
+///
+///   deliveries + losses + dropped_by_fault + crashed_rx_drops
+///     == delivery_attempts + duplicates
+///
+/// always, which `SLD_INVARIANT` asserts after every attempt in
+/// invariant-enabled builds and the property suite asserts on the public
+/// stats.
 struct ChannelStats {
   std::uint64_t transmissions = 0;
+  /// Reachable (src, dst) delivery attempts, direct or through a wormhole.
+  std::uint64_t delivery_attempts = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t wormhole_deliveries = 0;
   std::uint64_t losses = 0;
@@ -74,7 +86,11 @@ struct ChannelStats {
   std::uint64_t dropped_by_fault = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t corrupted = 0;
+  /// crashed_drops = crashed_tx_drops + crashed_rx_drops (kept as the
+  /// combined total for existing consumers).
   std::uint64_t crashed_drops = 0;
+  std::uint64_t crashed_tx_drops = 0;
+  std::uint64_t crashed_rx_drops = 0;
 };
 
 /// Per-node radio activity, the basis of energy accounting (tx and rx are
@@ -165,6 +181,8 @@ class Channel {
   void deliver(Node& dst, const TxContext& ctx, const Message& msg);
   void schedule_delivery(Node& dst, const TxContext& ctx, const Message& msg,
                          SimTime delay);
+  /// Asserts the ChannelStats conservation law (no-op in Release builds).
+  void check_conservation() const;
 
   Scheduler& scheduler_;
   ChannelConfig config_;

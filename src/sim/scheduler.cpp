@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/invariant.hpp"
+
 namespace sld::sim {
 
 void Scheduler::schedule_at(SimTime when, std::function<void()> action) {
@@ -22,6 +24,9 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
   std::uint64_t executed = 0;
   while (!queue_.empty() && executed < max_events) {
     Event ev = queue_.pop();
+    SLD_INVARIANT(ev.when >= now_,
+                  "time monotonicity: popped event at " << ev.when
+                      << " ns while the clock reads " << now_ << " ns");
     now_ = ev.when;
     ev.action();
     ++executed;
@@ -34,6 +39,12 @@ std::uint64_t Scheduler::run_until(SimTime until) {
   std::uint64_t executed = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {
     Event ev = queue_.pop();
+    SLD_INVARIANT(ev.when >= now_,
+                  "time monotonicity: popped event at " << ev.when
+                      << " ns while the clock reads " << now_ << " ns");
+    SLD_INVARIANT(ev.when <= until,
+                  "no event after stop: event at " << ev.when
+                      << " ns executed past run_until(" << until << ")");
     now_ = ev.when;
     ev.action();
     ++executed;

@@ -1,0 +1,356 @@
+// Domain generators for the property suite: deployments, topologies,
+// attack strategies, fault configurations, revocation parameters, and wire
+// payloads. Each keeps its type's validity constraints under both generate
+// and shrink (e.g. malicious_beacon_count <= beacon_count <= total_nodes),
+// so properties never see an ill-formed input.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "attack/strategy.hpp"
+#include "prop/prop.hpp"
+#include "revocation/base_station.hpp"
+#include "sim/deployment.hpp"
+#include "sim/faults.hpp"
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace sld::prop {
+
+// ---------------------------------------------------------------------------
+// Deployments and topologies.
+
+/// Small-but-varied deployment parameters (sized for fast property runs).
+inline Gen<sim::DeploymentConfig> deployment_config() {
+  Gen<sim::DeploymentConfig> g;
+  g.generate = [](util::Rng& rng) {
+    sim::DeploymentConfig c;
+    c.total_nodes = 10 + static_cast<std::size_t>(rng.uniform_u64(91));
+    c.beacon_count =
+        1 + static_cast<std::size_t>(rng.uniform_u64(c.total_nodes));
+    c.malicious_beacon_count =
+        static_cast<std::size_t>(rng.uniform_u64(c.beacon_count + 1));
+    c.field = util::Rect::square(rng.uniform(200.0, 1500.0));
+    c.comm_range_ft = rng.uniform(50.0, 400.0);
+    return c;
+  };
+  g.shrink = [](const sim::DeploymentConfig& c) {
+    std::vector<sim::DeploymentConfig> out;
+    auto clamped = [](sim::DeploymentConfig d) {
+      d.beacon_count = std::max<std::size_t>(
+          1, std::min(d.beacon_count, d.total_nodes));
+      d.malicious_beacon_count =
+          std::min(d.malicious_beacon_count, d.beacon_count);
+      return d;
+    };
+    if (c.total_nodes > 10) {
+      sim::DeploymentConfig d = c;
+      d.total_nodes = std::max<std::size_t>(10, c.total_nodes / 2);
+      out.push_back(clamped(d));
+    }
+    if (c.beacon_count > 1) {
+      sim::DeploymentConfig d = c;
+      d.beacon_count = std::max<std::size_t>(1, c.beacon_count / 2);
+      out.push_back(clamped(d));
+    }
+    if (c.malicious_beacon_count > 0) {
+      sim::DeploymentConfig d = c;
+      d.malicious_beacon_count /= 2;
+      out.push_back(clamped(d));
+    }
+    return out;
+  };
+  g.show = [](const sim::DeploymentConfig& c) {
+    std::ostringstream os;
+    os << "{N=" << c.total_nodes << " Nb=" << c.beacon_count
+       << " Na=" << c.malicious_beacon_count << " field="
+       << c.field.width() << "x" << c.field.height()
+       << "ft range=" << c.comm_range_ft << "ft}";
+    return os.str();
+  };
+  return g;
+}
+
+/// A concrete deployment: random or grid topology over a generated config.
+inline Gen<sim::Deployment> deployment() {
+  Gen<sim::Deployment> g;
+  const Gen<sim::DeploymentConfig> cfg = deployment_config();
+  g.generate = [cfg](util::Rng& rng) {
+    const sim::DeploymentConfig c = cfg.generate(rng);
+    return rng.bernoulli(0.5) ? sim::deploy_random(c, rng)
+                              : sim::deploy_grid(c, rng);
+  };
+  g.show = [cfg](const sim::Deployment& d) {
+    return "deployment over " + cfg.describe(d.config);
+  };
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Attack strategies.
+
+/// Malicious-beacon strategy mixes (paper §2.3), with the magnitude fields
+/// left at their paper-consistent defaults. Shrinks toward the pure
+/// always-effective attacker (all probabilities zero).
+inline Gen<attack::MaliciousStrategyConfig> strategy_config() {
+  Gen<attack::MaliciousStrategyConfig> g;
+  g.generate = [](util::Rng& rng) {
+    attack::MaliciousStrategyConfig s;
+    s.p_normal = rng.uniform(0.0, 0.9);
+    s.p_fake_wormhole = rng.uniform(0.0, 0.9);
+    s.p_fake_local_replay = rng.uniform(0.0, 0.9);
+    return s;
+  };
+  g.shrink = [](const attack::MaliciousStrategyConfig& s) {
+    std::vector<attack::MaliciousStrategyConfig> out;
+    auto zeroed = [&](double attack::MaliciousStrategyConfig::* field) {
+      attack::MaliciousStrategyConfig t = s;
+      t.*field = 0.0;
+      out.push_back(t);
+    };
+    if (s.p_normal > 0.0) zeroed(&attack::MaliciousStrategyConfig::p_normal);
+    if (s.p_fake_wormhole > 0.0)
+      zeroed(&attack::MaliciousStrategyConfig::p_fake_wormhole);
+    if (s.p_fake_local_replay > 0.0)
+      zeroed(&attack::MaliciousStrategyConfig::p_fake_local_replay);
+    return out;
+  };
+  g.show = [](const attack::MaliciousStrategyConfig& s) {
+    std::ostringstream os;
+    os << "{pn=" << s.p_normal << " pw=" << s.p_fake_wormhole
+       << " pl=" << s.p_fake_local_replay << " P=" << s.effectiveness() << "}";
+    return os.str();
+  };
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Fault configurations.
+
+/// Channel fault plans mixing i.i.d. loss, bursty loss, duplication,
+/// corruption, and jitter. Shrinks by switching fault sources off one at a
+/// time — the empty plan is the fully-shrunk value.
+inline Gen<sim::FaultPlan> fault_plan() {
+  Gen<sim::FaultPlan> g;
+  g.generate = [](util::Rng& rng) {
+    sim::FaultPlan p;
+    if (rng.bernoulli(0.6)) p.loss_probability = rng.uniform(0.0, 0.4);
+    if (rng.bernoulli(0.4))
+      p.burst = sim::GilbertElliottConfig::for_average_loss(
+          rng.uniform(0.01, 0.3), rng.uniform(1.5, 6.0));
+    if (rng.bernoulli(0.4)) p.duplicate_probability = rng.uniform(0.0, 0.2);
+    if (rng.bernoulli(0.4)) p.corruption_probability = rng.uniform(0.0, 0.2);
+    if (rng.bernoulli(0.4))
+      p.max_extra_delay_ns = static_cast<sim::SimTime>(
+          rng.uniform_u64(5'000'000));  // up to 5 ms of jitter
+    return p;
+  };
+  g.shrink = [](const sim::FaultPlan& p) {
+    std::vector<sim::FaultPlan> out;
+    if (p.loss_probability > 0.0) {
+      sim::FaultPlan q = p;
+      q.loss_probability = 0.0;
+      out.push_back(q);
+    }
+    if (p.burst.enabled()) {
+      sim::FaultPlan q = p;
+      q.burst = sim::GilbertElliottConfig{};
+      out.push_back(q);
+    }
+    if (p.duplicate_probability > 0.0) {
+      sim::FaultPlan q = p;
+      q.duplicate_probability = 0.0;
+      out.push_back(q);
+    }
+    if (p.corruption_probability > 0.0) {
+      sim::FaultPlan q = p;
+      q.corruption_probability = 0.0;
+      out.push_back(q);
+    }
+    if (p.max_extra_delay_ns > 0) {
+      sim::FaultPlan q = p;
+      q.max_extra_delay_ns = 0;
+      out.push_back(q);
+    }
+    return out;
+  };
+  g.show = [](const sim::FaultPlan& p) {
+    std::ostringstream os;
+    os << "{loss=" << p.loss_probability << " burst="
+       << (p.burst.enabled() ? "on" : "off")
+       << " dup=" << p.duplicate_probability
+       << " corrupt=" << p.corruption_probability
+       << " jitter_ns=" << p.max_extra_delay_ns << "}";
+    return os.str();
+  };
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Revocation parameters and alert streams.
+
+inline Gen<revocation::RevocationConfig> revocation_config() {
+  Gen<revocation::RevocationConfig> g;
+  g.generate = [](util::Rng& rng) {
+    revocation::RevocationConfig c;
+    c.report_quota = static_cast<std::uint32_t>(rng.uniform_u64(16));
+    c.alert_threshold = static_cast<std::uint32_t>(rng.uniform_u64(8));
+    return c;
+  };
+  g.shrink = [](const revocation::RevocationConfig& c) {
+    std::vector<revocation::RevocationConfig> out;
+    if (c.report_quota > 0) {
+      revocation::RevocationConfig d = c;
+      d.report_quota /= 2;
+      out.push_back(d);
+    }
+    if (c.alert_threshold > 0) {
+      revocation::RevocationConfig d = c;
+      d.alert_threshold /= 2;
+      out.push_back(d);
+    }
+    return out;
+  };
+  g.show = [](const revocation::RevocationConfig& c) {
+    std::ostringstream os;
+    os << "{tau1=" << c.report_quota << " tau2=" << c.alert_threshold << "}";
+    return os.str();
+  };
+  return g;
+}
+
+/// A revocation scenario: tau parameters plus an ordered (reporter, target)
+/// alert stream over a deliberately tiny ID universe, so quota exhaustion,
+/// threshold crossings, and post-revocation alerts all actually occur.
+struct AlertStream {
+  revocation::RevocationConfig config;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> alerts;
+};
+
+inline Gen<AlertStream> alert_stream() {
+  Gen<AlertStream> g;
+  const Gen<revocation::RevocationConfig> cfg = revocation_config();
+  g.generate = [cfg](util::Rng& rng) {
+    AlertStream s;
+    s.config = cfg.generate(rng);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_u64(120));
+    s.alerts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // 4 reporters x 4 targets forces counter collisions.
+      const auto reporter =
+          static_cast<sim::NodeId>(100 + rng.uniform_u64(4));
+      const auto target = static_cast<sim::NodeId>(1 + rng.uniform_u64(4));
+      s.alerts.emplace_back(reporter, target);
+    }
+    return s;
+  };
+  g.shrink = [cfg](const AlertStream& s) {
+    std::vector<AlertStream> out;
+    // Drop alert chunks, then single alerts, then shrink the config.
+    if (!s.alerts.empty()) {
+      AlertStream half = s;
+      half.alerts.resize(s.alerts.size() / 2);
+      out.push_back(std::move(half));
+      for (std::size_t i = 0; i < s.alerts.size(); ++i) {
+        AlertStream smaller = s;
+        smaller.alerts.erase(smaller.alerts.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(smaller));
+      }
+    }
+    if (cfg.shrink) {
+      for (auto& c : cfg.shrink(s.config)) {
+        AlertStream t = s;
+        t.config = c;
+        out.push_back(std::move(t));
+      }
+    }
+    return out;
+  };
+  g.show = [cfg](const AlertStream& s) {
+    std::ostringstream os;
+    os << "{" << cfg.describe(s.config) << ", " << s.alerts.size()
+       << " alerts:";
+    const std::size_t shown = std::min<std::size_t>(s.alerts.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i)
+      os << " " << s.alerts[i].first << "->" << s.alerts[i].second;
+    if (shown < s.alerts.size()) os << " ...";
+    os << "}";
+    return os.str();
+  };
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Wire payloads (serialize/parse roundtrip fodder).
+
+inline Gen<sim::BeaconRequestPayload> beacon_request_payload() {
+  Gen<sim::BeaconRequestPayload> g;
+  g.generate = [](util::Rng& rng) {
+    sim::BeaconRequestPayload p;
+    p.nonce = rng();
+    return p;
+  };
+  g.show = [](const sim::BeaconRequestPayload& p) {
+    return "{nonce=" + std::to_string(p.nonce) + "}";
+  };
+  return g;
+}
+
+inline Gen<sim::BeaconReplyPayload> beacon_reply_payload() {
+  Gen<sim::BeaconReplyPayload> g;
+  g.generate = [](util::Rng& rng) {
+    sim::BeaconReplyPayload p;
+    p.nonce = rng();
+    p.claimed_position = {rng.uniform(-2000.0, 2000.0),
+                          rng.uniform(-2000.0, 2000.0)};
+    p.processing_bias_cycles = rng.uniform(-1e5, 1e5);
+    p.range_manipulation_ft = rng.uniform(-500.0, 500.0);
+    p.fake_wormhole_indication = rng.bernoulli(0.5);
+    return p;
+  };
+  g.show = [](const sim::BeaconReplyPayload& p) {
+    std::ostringstream os;
+    os << "{nonce=" << p.nonce << " pos=(" << p.claimed_position.x << ","
+       << p.claimed_position.y << ") bias=" << p.processing_bias_cycles
+       << " manip=" << p.range_manipulation_ft
+       << " fake_wh=" << p.fake_wormhole_indication << "}";
+    return os.str();
+  };
+  return g;
+}
+
+inline Gen<sim::AlertPayload> alert_payload() {
+  Gen<sim::AlertPayload> g;
+  g.generate = [](util::Rng& rng) {
+    sim::AlertPayload p;
+    p.reporter = static_cast<sim::NodeId>(rng());
+    p.target = static_cast<sim::NodeId>(rng());
+    return p;
+  };
+  g.show = [](const sim::AlertPayload& p) {
+    std::ostringstream os;
+    os << "{reporter=" << p.reporter << " target=" << p.target << "}";
+    return os.str();
+  };
+  return g;
+}
+
+inline Gen<sim::RevocationPayload> revocation_payload() {
+  Gen<sim::RevocationPayload> g;
+  g.generate = [](util::Rng& rng) {
+    sim::RevocationPayload p;
+    p.revoked = static_cast<sim::NodeId>(rng());
+    return p;
+  };
+  g.show = [](const sim::RevocationPayload& p) {
+    return "{revoked=" + std::to_string(p.revoked) + "}";
+  };
+  return g;
+}
+
+}  // namespace sld::prop

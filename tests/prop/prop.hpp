@@ -1,0 +1,254 @@
+// A small property-based testing harness for the sld test suite.
+//
+// A Gen<T> bundles a generator (seeded from util::Rng, so every case is a
+// pure function of its 64-bit case seed), an optional shrinker (candidate
+// "smaller" values tried greedily after a failure), and an optional printer.
+// forall() runs a predicate over `iterations` generated cases; on the first
+// failure it shrinks to a locally-minimal counterexample and reports it via
+// ADD_FAILURE together with a one-line repro:
+//
+//   repro: SLD_PROP_SEED=<seed> ./test_binary --gtest_filter=<Suite.Test>
+//
+// Setting SLD_PROP_SEED in the environment replays exactly that case (one
+// iteration, same seed), which reproduces the failure deterministically.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sld::prop {
+
+struct Config {
+  /// Cases generated per property (ignored when SLD_PROP_SEED is set).
+  std::size_t iterations = 100;
+  /// Case i draws from seed base_seed + i.
+  std::uint64_t base_seed = 0x5afe5eedULL;
+  /// Upper bound on predicate re-evaluations spent shrinking.
+  std::size_t max_shrink_steps = 400;
+};
+
+/// Value of SLD_PROP_SEED if set and parseable, else `fallback`.
+inline std::uint64_t env_seed_or(std::uint64_t fallback, bool* present = nullptr) {
+  if (present) *present = false;
+  if (const char* s = std::getenv("SLD_PROP_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 0);
+    if (end != nullptr && end != s && *end == '\0') {
+      if (present) *present = true;
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return fallback;
+}
+
+template <typename T>
+std::string default_show(const T& value) {
+  if constexpr (requires(std::ostream& os, const T& t) { os << t; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<value of " + std::string(typeid(T).name()) + ">";
+  }
+}
+
+/// A generator: how to produce a T, how to shrink one, how to print one.
+template <typename T>
+struct Gen {
+  std::function<T(util::Rng&)> generate;
+  /// Candidate strictly-"smaller" values, most aggressive first. May be
+  /// empty (no shrinking).
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> show;
+
+  std::string describe(const T& value) const {
+    return show ? show(value) : default_show(value);
+  }
+};
+
+namespace detail {
+
+/// Invokes the predicate; a two-argument predicate additionally receives a
+/// fresh Rng deterministically derived from the case seed, so replaying the
+/// seed replays the predicate's own randomness too.
+template <typename T, typename Pred>
+bool holds(Pred& pred, const T& value, std::uint64_t case_seed) {
+  if constexpr (std::is_invocable_r_v<bool, Pred, const T&, util::Rng&>) {
+    util::Rng rng(case_seed ^ 0x9d2c5680cafef00dULL);
+    return pred(value, rng);
+  } else {
+    static_assert(std::is_invocable_r_v<bool, Pred, const T&>,
+                  "predicate must be bool(const T&) or bool(const T&, Rng&)");
+    return pred(value);
+  }
+}
+
+inline std::string current_test_filter() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info == nullptr) return "<test>";
+  return std::string(info->test_suite_name()) + "." + info->name();
+}
+
+}  // namespace detail
+
+/// Checks `pred` over `cfg.iterations` generated cases. Returns true if the
+/// property held for every case; on failure, shrinks and reports exactly one
+/// gtest (non-fatal) failure carrying the repro seed.
+template <typename T, typename Pred>
+bool forall(const std::string& name, const Gen<T>& gen, Pred pred,
+            Config cfg = {}) {
+  bool forced = false;
+  const std::uint64_t forced_seed = env_seed_or(0, &forced);
+  const std::size_t iterations = forced ? 1 : cfg.iterations;
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t case_seed = forced ? forced_seed : cfg.base_seed + i;
+    util::Rng gen_rng(case_seed);
+    T value = gen.generate(gen_rng);
+    if (detail::holds(pred, value, case_seed)) continue;
+
+    // Greedy shrink: repeatedly move to the first failing candidate.
+    T minimal = value;
+    std::size_t steps = 0;
+    bool improved = gen.shrink != nullptr;
+    while (improved && steps < cfg.max_shrink_steps) {
+      improved = false;
+      for (T& candidate : gen.shrink(minimal)) {
+        ++steps;
+        if (!detail::holds(pred, candidate, case_seed)) {
+          minimal = std::move(candidate);
+          improved = true;
+          break;
+        }
+        if (steps >= cfg.max_shrink_steps) break;
+      }
+    }
+
+    ADD_FAILURE() << "property '" << name << "' falsified (case " << i + 1
+                  << " of " << iterations << ")\n  counterexample: "
+                  << gen.describe(minimal) << "\n  original input:  "
+                  << gen.describe(value) << "\n  repro: SLD_PROP_SEED="
+                  << case_seed << " ./<test-binary> --gtest_filter="
+                  << detail::current_test_filter();
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive generators.
+
+/// Uniform integer in [lo, hi], shrinking toward lo.
+inline Gen<std::int64_t> int_range(std::int64_t lo, std::int64_t hi) {
+  Gen<std::int64_t> g;
+  g.generate = [lo, hi](util::Rng& rng) { return rng.uniform_int(lo, hi); };
+  g.shrink = [lo](const std::int64_t& v) {
+    std::vector<std::int64_t> out;
+    if (v == lo) return out;
+    out.push_back(lo);
+    for (std::int64_t delta = (v - lo) / 2; delta > 0; delta /= 2)
+      out.push_back(v - delta);
+    return out;
+  };
+  return g;
+}
+
+/// Uniform double in [lo, hi), shrinking toward lo by repeated halving.
+inline Gen<double> double_range(double lo, double hi) {
+  Gen<double> g;
+  g.generate = [lo, hi](util::Rng& rng) { return rng.uniform(lo, hi); };
+  g.shrink = [lo](const double& v) {
+    std::vector<double> out;
+    if (!(v > lo)) return out;
+    out.push_back(lo);
+    double delta = (v - lo) / 2.0;
+    for (int i = 0; i < 8 && delta > 1e-9; ++i, delta /= 2.0)
+      out.push_back(v - delta);
+    return out;
+  };
+  return g;
+}
+
+/// Fair coin, shrinking true -> false.
+inline Gen<bool> boolean() {
+  Gen<bool> g;
+  g.generate = [](util::Rng& rng) { return rng.bernoulli(0.5); };
+  g.shrink = [](const bool& v) {
+    return v ? std::vector<bool>{false} : std::vector<bool>{};
+  };
+  return g;
+}
+
+/// Uniform choice from a fixed list (no shrinking: elements are unordered).
+template <typename T>
+Gen<T> element_of(std::vector<T> choices) {
+  Gen<T> g;
+  g.generate = [choices](util::Rng& rng) {
+    return choices[static_cast<std::size_t>(rng.uniform_u64(choices.size()))];
+  };
+  return g;
+}
+
+/// Vector of `elem` draws with size in [min_size, max_size]. Shrinks by
+/// dropping chunks/elements (respecting min_size) and by shrinking single
+/// elements in place.
+template <typename T>
+Gen<std::vector<T>> vector_of(Gen<T> elem, std::size_t min_size,
+                              std::size_t max_size) {
+  Gen<std::vector<T>> g;
+  g.generate = [elem, min_size, max_size](util::Rng& rng) {
+    const std::size_t n =
+        min_size + static_cast<std::size_t>(
+                       rng.uniform_u64(max_size - min_size + 1));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(elem.generate(rng));
+    return out;
+  };
+  g.shrink = [elem, min_size](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    // Drop the front/back half, then single elements.
+    if (v.size() > min_size) {
+      const std::size_t half = std::max(min_size, v.size() / 2);
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+      out.emplace_back(v.end() - static_cast<std::ptrdiff_t>(half), v.end());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        std::vector<T> smaller = v;
+        smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(smaller));
+      }
+    }
+    // Shrink one element in place.
+    if (elem.shrink) {
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        for (T& cand : elem.shrink(v[i])) {
+          std::vector<T> copy = v;
+          copy[i] = std::move(cand);
+          out.push_back(std::move(copy));
+        }
+      }
+    }
+    return out;
+  };
+  g.show = [elem](const std::vector<T>& v) {
+    std::ostringstream os;
+    os << "[" << v.size() << " elems:";
+    const std::size_t shown = std::min<std::size_t>(v.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) os << " " << elem.describe(v[i]);
+    if (shown < v.size()) os << " ...";
+    os << "]";
+    return os.str();
+  };
+  return g;
+}
+
+}  // namespace sld::prop

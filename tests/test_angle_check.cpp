@@ -1,0 +1,129 @@
+// Unit tests for the AoA consistency detector (detection/angle_check.hpp):
+// benign/malicious verdicts, the short-range floor, boundary strictness,
+// wraparound near +-pi, and rigid-motion invariance as a property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detection/angle_check.hpp"
+#include "prop/prop.hpp"
+#include "ranging/aoa.hpp"
+#include "util/geometry.hpp"
+
+namespace {
+
+using namespace sld;
+using detection::AngleConsistencyCheck;
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(AngleCheck, HonestBearingWithinBoundIsBenign) {
+  const AngleConsistencyCheck check(/*max_angle_error_rad=*/0.05);
+  const util::Vec2 detector{0.0, 0.0};
+  const util::Vec2 claimed{100.0, 0.0};
+  const double truth = ranging::true_bearing(detector, claimed);
+  EXPECT_FALSE(check.is_malicious(detector, claimed, truth));
+  EXPECT_FALSE(check.is_malicious(detector, claimed, truth + 0.04));
+  EXPECT_FALSE(check.is_malicious(detector, claimed, truth - 0.04));
+}
+
+TEST(AngleCheck, LargeBearingMismatchIsMalicious) {
+  const AngleConsistencyCheck check(0.05);
+  const util::Vec2 detector{0.0, 0.0};
+  const util::Vec2 claimed{100.0, 0.0};  // true bearing 0
+  EXPECT_TRUE(check.is_malicious(detector, claimed, kPi / 2));
+  EXPECT_TRUE(check.is_malicious(detector, claimed, kPi));
+  EXPECT_TRUE(check.is_malicious(detector, claimed, -kPi / 2));
+}
+
+TEST(AngleCheck, ThresholdIsStrictlyGreater) {
+  const AngleConsistencyCheck check(0.05);
+  const util::Vec2 detector{0.0, 0.0};
+  const util::Vec2 claimed{100.0, 0.0};
+  const double truth = ranging::true_bearing(detector, claimed);
+  // Exactly at the bound: an honest antenna can produce this, so benign.
+  EXPECT_FALSE(check.is_malicious(detector, claimed, truth + 0.05));
+  EXPECT_TRUE(check.is_malicious(detector, claimed, truth + 0.050001));
+}
+
+TEST(AngleCheck, PointBlankClaimsAreNeverFlagged) {
+  // Inside min_meaningful_distance_ft a few feet of honest position error
+  // swing the bearing arbitrarily, so the angle check must stay silent
+  // even for a wildly wrong bearing.
+  const AngleConsistencyCheck check(0.05, /*min_meaningful_distance_ft=*/10.0);
+  const util::Vec2 detector{0.0, 0.0};
+  const util::Vec2 claimed{3.0, 4.0};  // 5 ft away
+  EXPECT_FALSE(check.is_malicious(detector, claimed, kPi));
+  EXPECT_FALSE(check.is_malicious(detector, claimed, -kPi / 2));
+}
+
+TEST(AngleCheck, WraparoundNearPiIsHandled) {
+  const AngleConsistencyCheck check(0.05);
+  const util::Vec2 detector{0.0, 0.0};
+  const util::Vec2 claimed{-100.0, -0.001};  // true bearing ~ -pi
+  const double truth = ranging::true_bearing(detector, claimed);
+  // A measurement just across the +-pi seam differs by ~0.02 rad, not ~2 pi.
+  const double across_seam = ranging::normalize_angle(truth - 0.02);
+  EXPECT_NE(std::signbit(across_seam), std::signbit(truth));
+  EXPECT_FALSE(check.is_malicious(detector, claimed, across_seam));
+  EXPECT_TRUE(
+      check.is_malicious(detector, claimed, ranging::normalize_angle(truth + 0.2)));
+}
+
+TEST(AngleCheckProperty, VerdictIsRigidMotionInvariant) {
+  // Translating and rotating the whole scene (detector, claimed position,
+  // and the measured bearing) must never change the verdict.
+  const AngleConsistencyCheck check(0.05);
+  struct Scene {
+    util::Vec2 detector;
+    util::Vec2 claimed;
+    double bearing_offset;  // measured = true bearing + offset
+    util::Vec2 translation;
+    double rotation;
+  };
+  prop::Gen<Scene> gen;
+  gen.generate = [](util::Rng& rng) {
+    Scene s;
+    s.detector = {rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0)};
+    // Keep the claim beyond the 10 ft floor so the angular branch decides.
+    const double angle = rng.uniform(-kPi, kPi);
+    const double dist = rng.uniform(20.0, 600.0);
+    s.claimed = s.detector +
+                util::Vec2{dist * std::cos(angle), dist * std::sin(angle)};
+    // Keep the offset away from the 0.05 rad threshold so float noise from
+    // the rotation can't flip a knife-edge verdict.
+    do {
+      s.bearing_offset = rng.uniform(-0.5, 0.5);
+    } while (std::abs(std::abs(s.bearing_offset) - 0.05) < 1e-3);
+    s.translation = {rng.uniform(-2000.0, 2000.0), rng.uniform(-2000.0, 2000.0)};
+    s.rotation = rng.uniform(-kPi, kPi);
+    return s;
+  };
+  gen.show = [](const Scene& s) {
+    std::ostringstream os;
+    os << "{det=(" << s.detector.x << "," << s.detector.y << ") claim=("
+       << s.claimed.x << "," << s.claimed.y << ") offset=" << s.bearing_offset
+       << " T=(" << s.translation.x << "," << s.translation.y
+       << ") R=" << s.rotation << "}";
+    return os.str();
+  };
+  auto rotate = [](const util::Vec2& v, double a) {
+    return util::Vec2{v.x * std::cos(a) - v.y * std::sin(a),
+                      v.x * std::sin(a) + v.y * std::cos(a)};
+  };
+  EXPECT_TRUE(prop::forall(
+      "angle verdict invariant under translation+rotation", gen,
+      [&](const Scene& s) {
+        const double measured =
+            ranging::true_bearing(s.detector, s.claimed) + s.bearing_offset;
+        const bool base = check.is_malicious(s.detector, s.claimed,
+                                             ranging::normalize_angle(measured));
+        const util::Vec2 det2 = rotate(s.detector, s.rotation) + s.translation;
+        const util::Vec2 claim2 = rotate(s.claimed, s.rotation) + s.translation;
+        const bool moved = check.is_malicious(
+            det2, claim2, ranging::normalize_angle(measured + s.rotation));
+        return base == moved;
+      }));
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Self-tests of the property harness (tests/prop/prop.hpp): generator
+// bounds, determinism, seed reporting, shrinking to a minimal
+// counterexample, and the SLD_PROP_SEED replay override.
+#include <gtest/gtest.h>
+#include <gtest/gtest-spi.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+
+namespace {
+
+using namespace sld;
+
+TEST(PropHarness, IntRangeStaysInBounds) {
+  EXPECT_TRUE(prop::forall("int in [5,42]", prop::int_range(5, 42),
+                           [](const std::int64_t& v) {
+                             return v >= 5 && v <= 42;
+                           }));
+}
+
+TEST(PropHarness, DoubleRangeStaysInBounds) {
+  EXPECT_TRUE(prop::forall("double in [-1,1)", prop::double_range(-1.0, 1.0),
+                           [](const double& v) { return v >= -1.0 && v < 1.0; }));
+}
+
+TEST(PropHarness, VectorOfRespectsSizeBounds) {
+  const auto gen = prop::vector_of(prop::int_range(0, 9), 2, 7);
+  EXPECT_TRUE(prop::forall("vector size in [2,7]", gen,
+                           [](const std::vector<std::int64_t>& v) {
+                             return v.size() >= 2 && v.size() <= 7;
+                           }));
+}
+
+TEST(PropHarness, GenerationIsDeterministicPerSeed) {
+  const auto gen = prop::int_range(0, 1'000'000);
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    util::Rng a(seed), b(seed);
+    EXPECT_EQ(gen.generate(a), gen.generate(b)) << "seed " << seed;
+  }
+}
+
+TEST(PropHarness, TwoArgPredicateRngIsDeterministic) {
+  // The per-case Rng handed to a two-argument predicate must be a pure
+  // function of the case seed: two identical runs observe identical draws.
+  std::vector<std::uint64_t> first, second;
+  auto record_into = [](std::vector<std::uint64_t>& sink) {
+    return [&sink](const std::int64_t&, util::Rng& rng) {
+      sink.push_back(rng());
+      return true;
+    };
+  };
+  prop::Config cfg;
+  cfg.iterations = 20;
+  EXPECT_TRUE(prop::forall("record rng", prop::int_range(0, 10),
+                           record_into(first), cfg));
+  EXPECT_TRUE(prop::forall("record rng", prop::int_range(0, 10),
+                           record_into(second), cfg));
+  EXPECT_EQ(first, second);
+}
+
+TEST(PropHarness, PlantedBugShrinksToMinimalAndPrintsSeed) {
+  ::testing::TestPartResultArray failures;
+  {
+    ::testing::ScopedFakeTestPartResultReporter reporter(
+        ::testing::ScopedFakeTestPartResultReporter::
+            INTERCEPT_ONLY_CURRENT_THREAD,
+        &failures);
+    prop::forall("all ints below 50", prop::int_range(0, 1000),
+                 [](const std::int64_t& v) { return v < 50; });
+  }
+  ASSERT_EQ(failures.size(), 1);
+  const std::string message = failures.GetTestPartResult(0).message();
+  // Greedy shrinking must land on the boundary counterexample...
+  EXPECT_NE(message.find("counterexample: 50"), std::string::npos) << message;
+  // ...and the failure must carry a deterministic repro seed.
+  EXPECT_NE(message.find("SLD_PROP_SEED="), std::string::npos) << message;
+  EXPECT_NE(message.find("--gtest_filter="), std::string::npos) << message;
+}
+
+TEST(PropHarness, EnvSeedReplaysExactlyOneCase) {
+  ASSERT_EQ(setenv("SLD_PROP_SEED", "12345", /*overwrite=*/1), 0);
+  std::vector<std::int64_t> seen;
+  const auto gen = prop::int_range(0, 1'000'000'000);
+  prop::forall("record forced case", gen, [&](const std::int64_t& v) {
+    seen.push_back(v);
+    return true;
+  });
+  ASSERT_EQ(unsetenv("SLD_PROP_SEED"), 0);
+
+  util::Rng rng(12345);
+  const std::int64_t expected = gen.generate(rng);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], expected);
+}
+
+TEST(PropHarness, DeploymentConfigGeneratorKeepsConstraints) {
+  const auto gen = prop::deployment_config();
+  EXPECT_TRUE(prop::forall(
+      "deployment config valid (incl. shrinks)", gen,
+      [&](const sld::sim::DeploymentConfig& c) {
+        auto valid = [](const sld::sim::DeploymentConfig& d) {
+          return d.beacon_count >= 1 && d.beacon_count <= d.total_nodes &&
+                 d.malicious_beacon_count <= d.beacon_count &&
+                 d.comm_range_ft > 0.0 && d.field.area() > 0.0;
+        };
+        if (!valid(c)) return false;
+        for (const auto& shrunk : gen.shrink(c))
+          if (!valid(shrunk)) return false;
+        return true;
+      }));
+}
+
+TEST(PropHarness, AlertStreamShrinkKeepsValidity) {
+  const auto gen = prop::alert_stream();
+  prop::Config cfg;
+  cfg.iterations = 30;
+  EXPECT_TRUE(prop::forall(
+      "alert stream shrinks stay well-formed", gen,
+      [&](const prop::AlertStream& s) {
+        for (const auto& shrunk : gen.shrink(s)) {
+          if (shrunk.alerts.size() > s.alerts.size()) return false;
+          for (const auto& [reporter, target] : shrunk.alerts)
+            if (reporter == target) return false;
+        }
+        return true;
+      },
+      cfg));
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Differential and metamorphic properties of the base-station revocation
+// scheme: a naive reference implementation must agree disposition-for-
+// disposition with BaseStation over arbitrary alert streams, counters are
+// monotone, revocation fires exactly when a counter crosses tau2, and no
+// target is revoked twice.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "revocation/base_station.hpp"
+
+namespace {
+
+using namespace sld;
+using revocation::AlertDisposition;
+using revocation::BaseStation;
+
+/// Straight-line reference transcription of the paper's §3.1 algorithm,
+/// with none of BaseStation's bookkeeping. Deliberately different data
+/// structures (ordered maps) so shared bugs are unlikely.
+class NaiveBaseStation {
+ public:
+  explicit NaiveBaseStation(revocation::RevocationConfig config)
+      : config_(config) {}
+
+  AlertDisposition process(sim::NodeId reporter, sim::NodeId target) {
+    if (revoked_.count(target) > 0)
+      return AlertDisposition::kIgnoredTargetRevoked;
+    if (reports_[reporter] > config_.report_quota)
+      return AlertDisposition::kIgnoredReporterQuota;
+    reports_[reporter] += 1;
+    alerts_[target] += 1;
+    if (alerts_[target] > config_.alert_threshold) {
+      revoked_.insert(target);
+      order_.push_back(target);
+      return AlertDisposition::kAcceptedAndRevoked;
+    }
+    return AlertDisposition::kAccepted;
+  }
+
+  std::uint32_t alerts(sim::NodeId t) const {
+    const auto it = alerts_.find(t);
+    return it == alerts_.end() ? 0 : it->second;
+  }
+  std::uint32_t reports(sim::NodeId r) const {
+    const auto it = reports_.find(r);
+    return it == reports_.end() ? 0 : it->second;
+  }
+  const std::set<sim::NodeId>& revoked() const { return revoked_; }
+  const std::vector<sim::NodeId>& order() const { return order_; }
+
+ private:
+  revocation::RevocationConfig config_;
+  std::map<sim::NodeId, std::uint32_t> alerts_;
+  std::map<sim::NodeId, std::uint32_t> reports_;
+  std::set<sim::NodeId> revoked_;
+  std::vector<sim::NodeId> order_;
+};
+
+TEST(RevocationProperty, AgreesWithNaiveReferenceModel) {
+  EXPECT_TRUE(prop::forall(
+      "BaseStation == naive reference", prop::alert_stream(),
+      [](const prop::AlertStream& s) {
+        BaseStation bs(s.config);
+        NaiveBaseStation ref(s.config);
+        for (const auto& [reporter, target] : s.alerts) {
+          if (bs.process_alert(reporter, target) !=
+              ref.process(reporter, target))
+            return false;
+          if (bs.alert_counter(target) != ref.alerts(target)) return false;
+          if (bs.report_counter(reporter) != ref.reports(reporter))
+            return false;
+        }
+        if (bs.revoked_count() != ref.revoked().size()) return false;
+        for (const auto id : ref.revoked())
+          if (!bs.is_revoked(id)) return false;
+        return bs.revocation_order() == ref.order();
+      }));
+}
+
+TEST(RevocationProperty, CountersAreMonotone) {
+  EXPECT_TRUE(prop::forall(
+      "alert/report counters never decrease", prop::alert_stream(),
+      [](const prop::AlertStream& s) {
+        BaseStation bs(s.config);
+        std::map<sim::NodeId, std::uint32_t> last_alert, last_report;
+        for (const auto& [reporter, target] : s.alerts) {
+          bs.process_alert(reporter, target);
+          const auto a = bs.alert_counter(target);
+          const auto r = bs.report_counter(reporter);
+          if (a < last_alert[target] || r < last_report[reporter])
+            return false;
+          last_alert[target] = a;
+          last_report[reporter] = r;
+        }
+        return true;
+      }));
+}
+
+TEST(RevocationProperty, RevocationFiresExactlyPastThreshold) {
+  // A target is revoked iff its counter exceeds tau2, the revoking alert is
+  // the one that took the counter to exactly tau2 + 1, and the counter
+  // freezes there (later alerts are ignored).
+  EXPECT_TRUE(prop::forall(
+      "revoked iff counter == tau2 + 1, frozen after", prop::alert_stream(),
+      [](const prop::AlertStream& s) {
+        BaseStation bs(s.config);
+        for (const auto& [reporter, target] : s.alerts) {
+          const auto disposition = bs.process_alert(reporter, target);
+          if (disposition == AlertDisposition::kAcceptedAndRevoked &&
+              bs.alert_counter(target) != s.config.alert_threshold + 1)
+            return false;
+          if (bs.is_revoked(target) !=
+              (bs.alert_counter(target) > s.config.alert_threshold))
+            return false;
+          if (bs.alert_counter(target) > s.config.alert_threshold + 1)
+            return false;
+        }
+        return true;
+      }));
+}
+
+TEST(RevocationProperty, NoTargetRevokedTwice) {
+  EXPECT_TRUE(prop::forall(
+      "revocation order is duplicate-free", prop::alert_stream(),
+      [](const prop::AlertStream& s) {
+        BaseStation bs(s.config);
+        std::size_t revoke_dispositions = 0;
+        for (const auto& [reporter, target] : s.alerts)
+          if (bs.process_alert(reporter, target) ==
+              AlertDisposition::kAcceptedAndRevoked)
+            ++revoke_dispositions;
+        std::vector<sim::NodeId> order = bs.revocation_order();
+        std::sort(order.begin(), order.end());
+        if (std::adjacent_find(order.begin(), order.end()) != order.end())
+          return false;
+        return revoke_dispositions == order.size() &&
+               order.size() == bs.revoked_count();
+      }));
+}
+
+TEST(RevocationProperty, QuotaCapsAcceptedReportsPerReporter) {
+  // tau1: each reporter gets at most tau1 + 1 accepted alerts.
+  EXPECT_TRUE(prop::forall(
+      "report counter <= tau1 + 1", prop::alert_stream(),
+      [](const prop::AlertStream& s) {
+        BaseStation bs(s.config);
+        for (const auto& [reporter, target] : s.alerts) {
+          bs.process_alert(reporter, target);
+          if (bs.report_counter(reporter) > s.config.report_quota + 1)
+            return false;
+        }
+        return true;
+      }));
+}
+
+TEST(RevocationProperty, StatsPartitionTheAlertStream) {
+  EXPECT_TRUE(prop::forall(
+      "received == accepted + ignored_quota + ignored_revoked",
+      prop::alert_stream(), [](const prop::AlertStream& s) {
+        BaseStation bs(s.config);
+        for (const auto& [reporter, target] : s.alerts)
+          bs.process_alert(reporter, target);
+        const auto& st = bs.stats();
+        return st.alerts_received == s.alerts.size() &&
+               st.alerts_received == st.alerts_accepted +
+                                         st.alerts_ignored_quota +
+                                         st.alerts_ignored_revoked &&
+               st.revocations == bs.revoked_count();
+      }));
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Mutation smoke test: applies ~10 curated single-line mutants to the
+# detection/revocation/sim sources and verifies the test suite kills every
+# one (at least one registered test fails per mutant). A mutant that
+# survives means a guard has no test teeth — the script fails loudly.
+#
+# Uses a dedicated build tree (build-mutation, RelWithDebInfo with runtime
+# invariants ON) and rebuilds only the test targets each mutant needs, so a
+# full run stays tractable on a single-core box.
+#
+# Usage: tools/mutation_smoke.sh [jobs]
+set -uo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+build="$repo/build-mutation"
+
+# --- mutant table ---------------------------------------------------------
+# Each mutant: file | exact old text | exact new text | test targets to
+# rebuild+run (space-separated gtest names; each must contain >=1 failure).
+MUTANT_NAMES=()
+MUTANT_FILES=()
+MUTANT_OLDS=()
+MUTANT_NEWS=()
+MUTANT_TESTS=()
+
+add_mutant() {
+  MUTANT_NAMES+=("$1")
+  MUTANT_FILES+=("$2")
+  MUTANT_OLDS+=("$3")
+  MUTANT_NEWS+=("$4")
+  MUTANT_TESTS+=("$5")
+}
+
+add_mutant "bs-threshold-off-by-one" \
+  "src/revocation/base_station.cpp" \
+  "if (alerts > config_.alert_threshold) {" \
+  "if (alerts >= config_.alert_threshold) {" \
+  "test_properties_revocation"
+
+add_mutant "bs-drop-alert-increment" \
+  "src/revocation/base_station.cpp" \
+  "  ++alerts;
+  ++stats_.alerts_accepted;" \
+  "  ++stats_.alerts_accepted;" \
+  "test_properties_revocation"
+
+add_mutant "bs-quota-off-by-one" \
+  "src/revocation/base_station.cpp" \
+  "if (reports > config_.report_quota) {" \
+  "if (reports >= config_.report_quota) {" \
+  "test_properties_revocation"
+
+add_mutant "consistency-flip-comparison" \
+  "src/detection/beacon_check.cpp" \
+  "r.malicious = r.deviation_ft > max_error_ft_;" \
+  "r.malicious = r.deviation_ft < max_error_ft_;" \
+  "test_properties_detection"
+
+add_mutant "replay-flip-comparison" \
+  "src/detection/replay_filter.cpp" \
+  "return observed_rtt_cycles > config_.rtt_x_max_cycles;" \
+  "return observed_rtt_cycles < config_.rtt_x_max_cycles;" \
+  "test_replay_filter"
+
+add_mutant "arq-backoff-exponent" \
+  "src/sim/arq.cpp" \
+  "static_cast<double>(attempt));" \
+  "static_cast<double>(attempt + 1));" \
+  "test_properties_sim"
+
+add_mutant "probe-retry-off-by-one" \
+  "src/core/nodes.cpp" \
+  "if (probe.attempt < ctx_.config.arq.max_retries) {" \
+  "if (probe.attempt <= ctx_.config.arq.max_retries) {" \
+  "test_invariants"
+
+add_mutant "scheduler-boundary-exclusive" \
+  "src/sim/scheduler.cpp" \
+  "while (!queue_.empty() && queue_.next_time() <= until) {" \
+  "while (!queue_.empty() && queue_.next_time() < until) {" \
+  "test_properties_sim"
+
+add_mutant "rtt-keep-mac-delay" \
+  "src/ranging/rtt.hpp" \
+  "return (t4_cycles - t1_cycles) - (t3_cycles - t2_cycles);" \
+  "return (t4_cycles - t1_cycles);" \
+  "test_properties_detection"
+
+add_mutant "channel-drop-delivery-count" \
+  "src/sim/channel.cpp" \
+  "  ++stats_.deliveries;" \
+  "  " \
+  "test_properties_sim"
+
+add_mutant "detector-swallow-alert" \
+  "src/detection/detector.cpp" \
+  "outcome = ProbeOutcome::kAlert;" \
+  "outcome = ProbeOutcome::kConsistent;" \
+  "test_invariants"
+
+# --- helpers --------------------------------------------------------------
+
+apply_patch() {  # file old new  (exact-string replace; must match exactly once)
+  python3 - "$repo/$1" "$2" "$3" <<'EOF'
+import sys
+path, old, new = sys.argv[1], sys.argv[2], sys.argv[3]
+src = open(path, encoding="utf-8").read()
+n = src.count(old)
+if n != 1:
+    sys.exit(f"expected exactly 1 occurrence in {path}, found {n}")
+open(path, "w", encoding="utf-8").write(src.replace(old, new, 1))
+EOF
+}
+
+restore() {  # file  (put back the pristine copy saved before mutation)
+  cp "$backup_dir/$(basename "$1")" "$repo/$1"
+}
+
+build_and_run() {  # test targets...; nonzero if any binary fails (or build breaks)
+  cmake --build "$build" -j "$jobs" --target "$@" > /dev/null 2>&1 || return 2
+  local t rc=0
+  for t in "$@"; do
+    "$build/tests/$t" > /dev/null 2>&1 || rc=1
+  done
+  return $rc
+}
+
+# --- run ------------------------------------------------------------------
+
+backup_dir="$(mktemp -d)"
+trap 'rm -rf "$backup_dir"' EXIT
+
+echo "=== configure ($build, RelWithDebInfo + invariants ON) ==="
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSLD_INVARIANTS=ON -DSLD_BUILD_BENCH=OFF -DSLD_BUILD_EXAMPLES=OFF \
+  > /dev/null
+
+all_tests="$(printf '%s\n' "${MUTANT_TESTS[@]}" | tr ' ' '\n' | sort -u | tr '\n' ' ')"
+echo "=== clean-tree baseline: ${all_tests}==="
+# shellcheck disable=SC2086
+if ! build_and_run $all_tests; then
+  echo "FAIL: suite does not pass on the unmutated tree; fix that first." >&2
+  exit 1
+fi
+echo "ok: clean tree passes"
+
+survived=()
+for i in "${!MUTANT_NAMES[@]}"; do
+  name="${MUTANT_NAMES[$i]}"
+  file="${MUTANT_FILES[$i]}"
+  echo "=== mutant $((i + 1))/${#MUTANT_NAMES[@]}: $name ($file) ==="
+  cp "$repo/$file" "$backup_dir/$(basename "$file")"
+  if ! apply_patch "$file" "${MUTANT_OLDS[$i]}" "${MUTANT_NEWS[$i]}"; then
+    echo "FAIL: could not apply $name — source drifted from mutant table" >&2
+    restore "$file"
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  build_and_run ${MUTANT_TESTS[$i]}
+  rc=$?
+  restore "$file"
+  if [[ $rc -eq 0 ]]; then
+    echo "SURVIVED: $name — no test failed under this mutant"
+    survived+=("$name")
+  else
+    echo "killed: $name (tests: ${MUTANT_TESTS[$i]})"
+  fi
+done
+
+echo "=== restore clean build ==="
+# shellcheck disable=SC2086
+build_and_run $all_tests || {
+  echo "FAIL: suite broken after restore — tree may be dirty" >&2
+  exit 1
+}
+
+if [[ ${#survived[@]} -gt 0 ]]; then
+  echo "FAIL: ${#survived[@]} mutant(s) survived: ${survived[*]}" >&2
+  exit 1
+fi
+echo "=== mutation smoke OK: all ${#MUTANT_NAMES[@]} mutants killed ==="

@@ -5,20 +5,35 @@
 # failure.
 #
 # Usage: tools/run_tier1.sh [jobs]
+#
+# Environment:
+#   SLD_JUNIT_DIR  if set, ctest also writes <dir>/<config>.junit.xml
+#                  (consumed by CI for test-report artifacts)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 
+# Use ccache transparently when the host has it (CI restores its cache).
+launcher_args=()
+if command -v ccache > /dev/null 2>&1; then
+  launcher_args=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_config() {
   local name="$1" build_type="$2" dir="$repo/build-$1"
+  local junit_args=()
+  if [[ -n "${SLD_JUNIT_DIR:-}" ]]; then
+    mkdir -p "$SLD_JUNIT_DIR"
+    junit_args=(--output-junit "$SLD_JUNIT_DIR/$name.junit.xml")
+  fi
   echo "=== [$name] configure ($build_type) ==="
   cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE="$build_type" \
-    -DSLD_BUILD_BENCH=ON -DSLD_BUILD_EXAMPLES=OFF
+    -DSLD_BUILD_BENCH=ON -DSLD_BUILD_EXAMPLES=OFF "${launcher_args[@]}"
   echo "=== [$name] build ==="
   cmake --build "$dir" -j "$jobs"
   echo "=== [$name] ctest ==="
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${junit_args[@]}"
   echo "=== [$name] traced smoke trial ==="
   "$dir/bench/ext_fault_tolerance" --fast --trials 1 \
     --trace "$dir/smoke_trace.jsonl" > /dev/null

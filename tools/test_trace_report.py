@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_report.py: schema validation on known-good and
+deliberately corrupted JSONL fixtures, plus a report() smoke test.
+
+Run from tools/:  python3 -m unittest test_trace_report
+(registered as the `trace_report_unittest` ctest target).
+"""
+
+import contextlib
+import io
+import json
+import os
+import tempfile
+import unittest
+
+import trace_report
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+GOOD = os.path.join(FIXTURES, "trace_good.jsonl")
+CORRUPT = os.path.join(FIXTURES, "trace_corrupt.jsonl")
+
+
+def validate_quietly(path):
+    with contextlib.redirect_stdout(io.StringIO()) as out, \
+            contextlib.redirect_stderr(io.StringIO()) as err:
+        code = trace_report.validate(path)
+    return code, out.getvalue(), err.getvalue()
+
+
+class ValidateGoodTrace(unittest.TestCase):
+    def test_known_good_fixture_passes(self):
+        code, out, err = validate_quietly(GOOD)
+        self.assertEqual(code, 0, err)
+        self.assertIn("all schema-valid", out)
+
+    def test_good_fixture_covers_core_event_families(self):
+        with open(GOOD, encoding="utf-8") as fh:
+            events = {json.loads(line)["e"] for line in fh if line.strip()}
+        for family in ("trial.start", "pkt.send", "detect.consistency",
+                       "bs.alert", "bs.revoke", "arq.retry", "trial.end"):
+            self.assertIn(family, events)
+
+    def test_every_good_record_is_in_schema(self):
+        with open(GOOD, encoding="utf-8") as fh:
+            for line in fh:
+                rec = json.loads(line)
+                self.assertIn(rec["e"], trace_report.SCHEMA)
+                for field in trace_report.SCHEMA[rec["e"]]:
+                    self.assertIn(field, rec, f"{rec['e']} missing {field}")
+
+
+class ValidateCorruptTraces(unittest.TestCase):
+    def _validate_lines(self, lines):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as fh:
+            fh.write("\n".join(lines) + "\n")
+            path = fh.name
+        try:
+            return validate_quietly(path)
+        finally:
+            os.unlink(path)
+
+    def test_corrupt_fixture_fails_with_each_corruption_reported(self):
+        code, _, err = validate_quietly(CORRUPT)
+        self.assertEqual(code, 1)
+        self.assertIn("missing field", err)          # pkt.send without bytes
+        self.assertIn("unknown event type", err)     # pkt.teleport
+        self.assertIn("time went backwards", err)    # 500 after 1000
+        self.assertIn("not an integer", err)         # "t": "soon"
+
+    def test_missing_required_field_fails(self):
+        code, _, err = self._validate_lines([
+            '{"t": 0, "e": "bs.revoke", "target": 2}',
+        ])
+        self.assertEqual(code, 1)
+        self.assertIn("missing field", err)
+
+    def test_unknown_event_type_fails(self):
+        code, _, err = self._validate_lines([
+            '{"t": 0, "e": "no.such.event"}',
+        ])
+        self.assertEqual(code, 1)
+        self.assertIn("unknown event type", err)
+
+    def test_time_backwards_within_trial_fails(self):
+        code, _, err = self._validate_lines([
+            '{"t": 0, "e": "trial.start", "seed": 1, "nodes": 1,'
+            ' "beacons": 1, "malicious": 0, "sensors": 0}',
+            '{"t": 500, "e": "pkt.loss", "src": 1, "dst": 2}',
+            '{"t": 100, "e": "pkt.loss", "src": 1, "dst": 2}',
+        ])
+        self.assertEqual(code, 1)
+        self.assertIn("time went backwards", err)
+
+    def test_trial_start_resets_the_clock(self):
+        code, _, err = self._validate_lines([
+            '{"t": 0, "e": "trial.start", "seed": 1, "nodes": 1,'
+            ' "beacons": 1, "malicious": 0, "sensors": 0}',
+            '{"t": 900, "e": "pkt.loss", "src": 1, "dst": 2}',
+            '{"t": 0, "e": "trial.start", "seed": 2, "nodes": 1,'
+            ' "beacons": 1, "malicious": 0, "sensors": 0}',
+            '{"t": 10, "e": "pkt.loss", "src": 1, "dst": 2}',
+        ])
+        self.assertEqual(code, 0, err)
+
+    def test_unparsable_json_fails(self):
+        code, _, err = self._validate_lines(['{"t": 0, "e": "pkt.loss",'])
+        self.assertEqual(code, 1)
+        self.assertTrue(err.strip(), "expected a parse error report")
+
+    def test_non_object_line_fails(self):
+        code, _, err = self._validate_lines(['[1, 2, 3]'])
+        self.assertEqual(code, 1)
+        self.assertIn("not a JSON object", err)
+
+
+class ReportSmoke(unittest.TestCase):
+    def test_report_renders_revocation_and_chain(self):
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            trace_report.report(GOOD, chains=True)
+        text = out.getvalue()
+        self.assertIn("trace report", text)
+        self.assertIn("revocations", text)
+        self.assertIn("beacon 2 revoked", text)
+        self.assertIn("true detection", text)
+        self.assertIn("causal chains", text)
+        # The malicious beacon's chain must surface the inconsistency.
+        self.assertIn("inconsistent", text)
+
+
+if __name__ == "__main__":
+    unittest.main()
