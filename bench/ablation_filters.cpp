@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
@@ -18,10 +19,12 @@ sld::core::SystemConfig base_config(std::uint64_t seed) {
   return c;
 }
 
-void run_row(sld::util::Table& table, const std::string& name,
-             const sld::core::SystemConfig& config, std::size_t trials) {
+void run_row(sld::bench::BenchIteration& it, sld::util::Table& table,
+             const std::string& name, const sld::core::SystemConfig& config,
+             std::size_t trials) {
   sld::core::ExperimentConfig e{config, trials};
   const auto agg = sld::core::run_experiment(e);
+  it.add_experiment(agg, e.trials);
   table.row()
       .cell(name)
       .cell(agg.detection_rate.mean())
@@ -34,55 +37,63 @@ void run_row(sld::util::Table& table, const std::string& name,
 
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
-  sld::util::Table table({"variant", "detection_rate", "false_positive_rate",
-                          "N_affected", "mean_loc_error_ft"});
 
-  run_row(table, "full_system(P=0.3)", base_config(args.seed), args.trials);
+  return sld::bench::run_main(
+      "ablation_filters", args, [&](sld::bench::BenchIteration& it) {
+        sld::util::Table table({"variant", "detection_rate",
+                                "false_positive_rate", "N_affected",
+                                "mean_loc_error_ft"});
 
-  {
-    auto c = base_config(args.seed);
-    c.wormhole_detection_rate = 0.0;  // wormhole detector off
-    run_row(table, "no_wormhole_detector", c, args.trials);
-  }
-  {
-    auto c = base_config(args.seed);
-    c.detecting_ids = 1;  // single detecting ID
-    run_row(table, "m=1_detecting_id", c, args.trials);
-  }
-  {
-    auto c = base_config(args.seed);
-    c.revocation.alert_threshold = 1000000;  // revocation effectively off
-    run_row(table, "no_revocation", c, args.trials);
-  }
-  {
-    auto c = base_config(args.seed);
-    // Attacker uses every evasion lever instead of plain effectiveness:
-    // same P = 0.3 but split across wormhole/local-replay fakery.
-    c.strategy = sld::attack::MaliciousStrategyConfig{};
-    c.strategy.p_normal = 0.3;
-    c.strategy.p_fake_wormhole = 0.3;
-    c.strategy.p_fake_local_replay = 0.3878;  // (1-.3)(1-.3)(1-.3878) ~ 0.3
-    run_row(table, "evasive_attacker(sameP)", c, args.trials);
-  }
-  {
-    auto c = base_config(args.seed);
-    c.ranging_type = sld::core::RangingType::kToa;  // §2.3: feature-agnostic
-    run_row(table, "toa_ranging(sameP)", c, args.trials);
-  }
-  {
-    auto c = base_config(args.seed);
-    c.wormhole_detector_type =
-        sld::core::SystemConfig::WormholeDetectorType::kGeographicLeash;
-    run_row(table, "geographic_leash_detector", c, args.trials);
-  }
-  {
-    auto c = base_config(args.seed);
-    c.deployment.malicious_beacon_count = 0;  // honest baseline
-    run_row(table, "no_attackers", c, args.trials);
-  }
+        run_row(it, table, "full_system(P=0.3)", base_config(args.seed),
+                args.trials);
 
-  table.print_csv(std::cout,
-                  "Ablation: per-stage contribution of the detection "
-                  "pipeline (P = 0.3 unless noted)");
-  return 0;
+        {
+          auto c = base_config(args.seed);
+          c.wormhole_detection_rate = 0.0;  // wormhole detector off
+          run_row(it, table, "no_wormhole_detector", c, args.trials);
+        }
+        {
+          auto c = base_config(args.seed);
+          c.detecting_ids = 1;  // single detecting ID
+          run_row(it, table, "m=1_detecting_id", c, args.trials);
+        }
+        {
+          auto c = base_config(args.seed);
+          c.revocation.alert_threshold = 1000000;  // revocation off
+          run_row(it, table, "no_revocation", c, args.trials);
+        }
+        {
+          auto c = base_config(args.seed);
+          // Attacker uses every evasion lever instead of plain
+          // effectiveness: same P = 0.3 but split across
+          // wormhole/local-replay fakery.
+          c.strategy = sld::attack::MaliciousStrategyConfig{};
+          c.strategy.p_normal = 0.3;
+          c.strategy.p_fake_wormhole = 0.3;
+          c.strategy.p_fake_local_replay =
+              0.3878;  // (1-.3)(1-.3)(1-.3878) ~ 0.3
+          run_row(it, table, "evasive_attacker(sameP)", c, args.trials);
+        }
+        {
+          auto c = base_config(args.seed);
+          c.ranging_type =
+              sld::core::RangingType::kToa;  // §2.3: feature-agnostic
+          run_row(it, table, "toa_ranging(sameP)", c, args.trials);
+        }
+        {
+          auto c = base_config(args.seed);
+          c.wormhole_detector_type =
+              sld::core::SystemConfig::WormholeDetectorType::kGeographicLeash;
+          run_row(it, table, "geographic_leash_detector", c, args.trials);
+        }
+        {
+          auto c = base_config(args.seed);
+          c.deployment.malicious_beacon_count = 0;  // honest baseline
+          run_row(it, table, "no_attackers", c, args.trials);
+        }
+
+        table.print_csv(it.out(),
+                        "Ablation: per-stage contribution of the detection "
+                        "pipeline (P = 0.3 unless noted)");
+      });
 }

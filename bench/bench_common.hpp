@@ -1,7 +1,16 @@
 // Shared helpers for the figure-reproduction benches: a tiny flag parser
-// (--trials N, --seed S, --fast, --trace FILE, --metrics FILE) so every
-// bench can be re-run with more statistical power — or full forensics —
-// without recompiling.
+// so every bench can be re-run with more statistical power — or full
+// forensics — without recompiling. Flags (all documented in DESIGN.md
+// "Bench flags"):
+//   --trials N     trials per sweep point
+//   --seed S       base RNG seed
+//   --fast         shrink sweeps for smoke runs
+//   --repeats N    measured repetitions of the whole workload (default 1)
+//   --warmup N     unmeasured warmup repetitions (default 0)
+//   --trace FILE   JSONL event trace of every trial
+//   --metrics FILE per-trial metrics snapshots (benches that support it)
+//   --json FILE    machine-readable BENCH result (bench_runner.hpp)
+//   --profile FILE hierarchical profiler JSON; table goes to stderr
 #pragma once
 
 #include <cerrno>
@@ -20,10 +29,22 @@ struct BenchArgs {
   std::size_t trials = 5;
   std::uint64_t seed = 1;
   bool fast = false;  // benches may shrink sweeps under --fast
+  /// Measured repetitions of the whole workload ("--repeats N"). The
+  /// human-readable tables print once (on the last repeat); wall time is
+  /// recorded per repeat and summarised as median + MAD.
+  std::size_t repeats = 1;
+  /// Unmeasured warmup repetitions before the measured ones.
+  std::size_t warmup = 0;
   /// JSONL trace destination ("--trace FILE"); empty means tracing off.
   std::string trace_path;
   /// Per-trial metrics snapshot destination ("--metrics FILE").
   std::string metrics_path;
+  /// Machine-readable bench-result destination ("--json FILE"); empty
+  /// means no BENCH_*.json is written.
+  std::string json_path;
+  /// Profiler snapshot destination ("--profile FILE"); empty means the
+  /// profiler stays off (zero overhead).
+  std::string profile_path;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -61,14 +82,41 @@ struct BenchArgs {
         args.seed = static_cast<std::uint64_t>(next_value("--seed"));
       } else if (a == "--fast") {
         args.fast = true;
+      } else if (a == "--repeats") {
+        args.repeats = static_cast<std::size_t>(next_value("--repeats"));
+        if (args.repeats == 0) {
+          std::cerr << "--repeats: must be at least 1\n";
+          std::exit(2);
+        }
+      } else if (a == "--warmup") {
+        args.warmup = static_cast<std::size_t>(next_value("--warmup"));
       } else if (a == "--trace") {
         args.trace_path = next_arg("--trace");
       } else if (a == "--metrics") {
         args.metrics_path = next_arg("--metrics");
+      } else if (a == "--json") {
+        args.json_path = next_arg("--json");
+      } else if (a == "--profile") {
+        args.profile_path = next_arg("--profile");
       } else if (a == "--help" || a == "-h") {
-        std::cout << "usage: " << argv[0]
-                  << " [--trials N] [--seed S] [--fast]"
-                  << " [--trace FILE] [--metrics FILE]\n";
+        std::cout
+            << "usage: " << argv[0]
+            << " [--trials N] [--seed S] [--fast]"
+            << " [--repeats N] [--warmup N]"
+            << " [--trace FILE] [--metrics FILE]"
+            << " [--json FILE] [--profile FILE]\n"
+            << "  --trials N     trials per sweep point (default 5)\n"
+            << "  --seed S       base RNG seed (default 1)\n"
+            << "  --fast         shrink sweeps for smoke runs\n"
+            << "  --repeats N    measured repetitions of the workload "
+               "(default 1)\n"
+            << "  --warmup N     unmeasured warmup repetitions (default 0)\n"
+            << "  --trace FILE   JSONL event trace of every trial\n"
+            << "  --metrics FILE per-trial metrics snapshots\n"
+            << "  --json FILE    machine-readable bench result "
+               "(sld-bench-result/v1)\n"
+            << "  --profile FILE profiler JSON snapshot; top-self-time "
+               "table on stderr\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << a << "\n";

@@ -1,0 +1,230 @@
+#include "bench_runner.hpp"
+
+#include <sys/resource.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+namespace sld::bench {
+
+namespace {
+
+/// A stream that swallows everything (warmup / non-reporting repeats).
+class NullBuffer final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+double median_of(std::vector<double> xs) {
+  const std::size_t n = xs.size();
+  std::sort(xs.begin(), xs.end());
+  return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/// Median absolute deviation — the noise scale bench_compare.py uses.
+double mad_of(const std::vector<double>& xs) {
+  const double med = median_of(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (const double x : xs) dev.push_back(std::abs(x - med));
+  return median_of(std::move(dev));
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char num[40];
+  std::snprintf(num, sizeof(num), "%.10g", v);
+  out += num;
+}
+
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+  out += '"';
+}
+
+/// Peak resident set size of this process, bytes (ru_maxrss is KiB on
+/// Linux).
+std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
+std::string build_result_json(const char* name, const BenchArgs& args,
+                              const std::vector<double>& wall_ms,
+                              const BenchIteration& last) {
+  const double median_ms = median_of(wall_ms);
+  const double mad_ms = mad_of(wall_ms);
+  const double secs = median_ms / 1000.0;
+
+  std::string out;
+  out.reserve(2048);
+  out += "{\"schema\":\"sld-bench-result/v1\",\"name\":";
+  append_quoted(out, name);
+  out += ",\"args\":{\"trials\":";
+  out += std::to_string(args.trials);
+  out += ",\"seed\":";
+  out += std::to_string(args.seed);
+  out += ",\"fast\":";
+  out += args.fast ? "true" : "false";
+  out += ",\"repeats\":";
+  out += std::to_string(args.repeats);
+  out += ",\"warmup\":";
+  out += std::to_string(args.warmup);
+  out += "},\"wall_ms\":{\"repeats\":[";
+  for (std::size_t i = 0; i < wall_ms.size(); ++i) {
+    if (i) out += ',';
+    append_number(out, wall_ms[i]);
+  }
+  out += "],\"median\":";
+  append_number(out, median_ms);
+  out += ",\"mad\":";
+  append_number(out, mad_ms);
+  out += "},\"throughput\":{\"sim_events\":";
+  out += std::to_string(last.sim_events());
+  out += ",\"packets\":";
+  out += std::to_string(last.packets());
+  out += ",\"trials\":";
+  out += std::to_string(last.trials());
+  out += ",\"events_per_sec\":";
+  append_number(out, secs > 0.0
+                         ? static_cast<double>(last.sim_events()) / secs
+                         : 0.0);
+  out += ",\"packets_per_sec\":";
+  append_number(out, secs > 0.0
+                         ? static_cast<double>(last.packets()) / secs
+                         : 0.0);
+  out += "},\"peak_rss_bytes\":";
+  out += std::to_string(peak_rss_bytes());
+
+  out += ",\"host\":{";
+  struct utsname un {};
+  const bool have_uname = uname(&un) == 0;
+  out += "\"os\":";
+  append_quoted(out, have_uname ? un.sysname : "unknown");
+  out += ",\"arch\":";
+  append_quoted(out, have_uname ? un.machine : "unknown");
+  out += ",\"hostname\":";
+  append_quoted(out, have_uname ? un.nodename : "unknown");
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  out += ",\"cpus\":";
+  out += std::to_string(cpus > 0 ? cpus : 0);
+  out += ",\"compiler\":";
+#if defined(__VERSION__)
+  append_quoted(out, __VERSION__);
+#else
+  append_quoted(out, "unknown");
+#endif
+  out += ",\"build\":";
+#if defined(SLD_BENCH_BUILD_TYPE)
+  append_quoted(out, SLD_BENCH_BUILD_TYPE);
+#else
+  append_quoted(out, "unknown");
+#endif
+  out += ",\"git\":";
+#if defined(SLD_BENCH_GIT_SHA)
+  append_quoted(out, SLD_BENCH_GIT_SHA);
+#else
+  append_quoted(out, "unknown");
+#endif
+  out += "},\"timestamp_unix\":";
+  out += std::to_string(static_cast<long long>(std::time(nullptr)));
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+void BenchIteration::add_experiment(const core::AggregateSummary& agg,
+                                    std::uint64_t trials) {
+  sim_events_ += agg.total_sched_events;
+  packets_ += agg.total_packets;
+  trials_ += trials;
+}
+
+void BenchIteration::add_trial(const core::TrialSummary& summary) {
+  sim_events_ += summary.sched_events;
+  packets_ += summary.channel.transmissions;
+  trials_ += 1;
+}
+
+int run_main(const char* name, const BenchArgs& args, const BenchBody& body) {
+  NullBuffer null_buffer;
+  std::ostream null_out(&null_buffer);
+
+  obs::Profiler& profiler = obs::Profiler::instance();
+  if (!args.profile_path.empty()) {
+    profiler.reset();
+    obs::Profiler::set_enabled(true);
+  }
+
+  for (std::size_t w = 0; w < args.warmup; ++w) {
+    BenchIteration it(null_out, /*report=*/false);
+    body(it);
+  }
+
+  std::vector<double> wall_ms;
+  wall_ms.reserve(args.repeats);
+  BenchIteration last(null_out, false);
+  for (std::size_t r = 0; r < args.repeats; ++r) {
+    const bool report = r + 1 == args.repeats;
+    BenchIteration it(report ? std::cout : null_out, report);
+    const auto start = std::chrono::steady_clock::now();
+    body(it);
+    wall_ms.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+    last = it;
+  }
+
+  if (!args.profile_path.empty()) {
+    obs::Profiler::set_enabled(false);
+    std::ofstream profile_out(args.profile_path);
+    if (!profile_out) {
+      std::cerr << "--profile: cannot open " << args.profile_path << "\n";
+      return 2;
+    }
+    profile_out << profiler.snapshot_json() << "\n";
+    std::cerr << profiler.format_table();
+  }
+
+  if (!args.json_path.empty()) {
+    std::ofstream json_out(args.json_path);
+    if (!json_out) {
+      std::cerr << "--json: cannot open " << args.json_path << "\n";
+      return 2;
+    }
+    json_out << build_result_json(name, args, wall_ms, last);
+    if (!json_out) {
+      std::cerr << "--json: write failed: " << args.json_path << "\n";
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sld::bench

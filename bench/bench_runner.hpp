@@ -1,0 +1,73 @@
+// Unified bench-result protocol (see DESIGN.md "Performance
+// observability").
+//
+// Every figure/extension/ablation bench hands its whole workload to
+// `run_main`, which runs the standard measurement loop — `--warmup N`
+// unmeasured repetitions, then `--repeats N` measured ones — and, when
+// `--json FILE` is given, emits one schema-versioned machine-readable
+// result ("sld-bench-result/v1"): per-repeat wall times with median + MAD,
+// simulated-events/sec and packets/sec throughput, peak RSS, and
+// host/compiler/git metadata. tools/bench_compare.py consumes these files
+// to gate perf regressions.
+//
+// The workload writes its human-readable tables to `it.out()`, which is
+// real stdout only on the reporting (last measured) repetition — so with
+// the default flags (one repeat, no warmup) bench stdout is byte-for-byte
+// what it was before the protocol existed, and the golden-summary check
+// keeps passing. Workloads must be deterministic functions of BenchArgs:
+// every repetition re-runs identical work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/secure_localization.hpp"
+
+namespace sld::bench {
+
+/// Per-repetition context handed to the bench workload.
+class BenchIteration {
+ public:
+  BenchIteration(std::ostream& out, bool report)
+      : out_(&out), report_(report) {}
+
+  /// Destination of the bench's human-readable output. Real stdout on the
+  /// reporting repetition, a swallow-everything stream otherwise.
+  std::ostream& out() const { return *out_; }
+
+  /// True exactly once per bench invocation (the last measured repeat);
+  /// guard side effects like --metrics files with this.
+  bool report() const { return report_; }
+
+  // --- throughput accounting for the JSON result --------------------------
+  void add_events(std::uint64_t n) { sim_events_ += n; }
+  void add_packets(std::uint64_t n) { packets_ += n; }
+  void add_trials(std::uint64_t n) { trials_ += n; }
+  /// Credits a whole experiment's scheduler events, transmissions, trials.
+  void add_experiment(const core::AggregateSummary& agg,
+                      std::uint64_t trials);
+  /// Credits one directly-run trial.
+  void add_trial(const core::TrialSummary& summary);
+
+  std::uint64_t sim_events() const { return sim_events_; }
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t trials() const { return trials_; }
+
+ private:
+  std::ostream* out_;
+  bool report_;
+  std::uint64_t sim_events_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+using BenchBody = std::function<void(BenchIteration&)>;
+
+/// The standard bench main: measurement loop + optional --json result +
+/// optional --profile snapshot. Returns the process exit code.
+int run_main(const char* name, const BenchArgs& args, const BenchBody& body);
+
+}  // namespace sld::bench

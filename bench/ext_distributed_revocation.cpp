@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/secure_localization.hpp"
 #include "revocation/distributed.hpp"
 #include "util/stats.hpp"
@@ -73,42 +74,48 @@ DistributedOutcome evaluate(const sld::core::SecureLocalizationSystem& system,
 
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
-  sld::util::Table table({"collusion", "vote_threshold",
-                          "centralized_detection", "centralized_fp_rate",
-                          "distributed_coverage",
-                          "distributed_wrong_per_node"});
 
-  for (const bool collusion : {false, true}) {
-    for (const std::uint32_t threshold : {2u, 3u, 4u}) {
-      sld::util::RunningStat cd, cf, dc_cov, dc_wrong;
-      for (std::size_t t = 0; t < args.trials; ++t) {
-        sld::core::SystemConfig config;
-        config.strategy =
-            sld::attack::MaliciousStrategyConfig::with_effectiveness(0.5);
-        config.collusion = collusion;
-        config.seed = args.seed + t * 31 + threshold;
-        sld::core::SecureLocalizationSystem system(config);
-        const auto summary = system.run();
-        cd.add(summary.detection_rate);
-        cf.add(summary.false_positive_rate);
+  return sld::bench::run_main(
+      "ext_distributed_revocation", args,
+      [&](sld::bench::BenchIteration& it) {
+        sld::util::Table table({"collusion", "vote_threshold",
+                                "centralized_detection",
+                                "centralized_fp_rate", "distributed_coverage",
+                                "distributed_wrong_per_node"});
 
-        sld::revocation::DistributedConfig dcfg;
-        dcfg.vote_threshold = threshold;
-        const auto dist = evaluate(system, summary, dcfg);
-        dc_cov.add(dist.malicious_coverage);
-        dc_wrong.add(dist.benign_wrongly_blacklisted);
-      }
-      table.row()
-          .cell(collusion ? "yes" : "no")
-          .cell(static_cast<long long>(threshold))
-          .cell(cd.mean())
-          .cell(cf.mean())
-          .cell(dc_cov.mean())
-          .cell(dc_wrong.mean());
-    }
-  }
-  table.print_csv(std::cout,
-                  "Extension: distributed (local-vote) revocation vs the "
-                  "centralized base-station scheme, P = 0.5");
-  return 0;
+        for (const bool collusion : {false, true}) {
+          for (const std::uint32_t threshold : {2u, 3u, 4u}) {
+            sld::util::RunningStat cd, cf, dc_cov, dc_wrong;
+            for (std::size_t t = 0; t < args.trials; ++t) {
+              sld::core::SystemConfig config;
+              config.strategy =
+                  sld::attack::MaliciousStrategyConfig::with_effectiveness(
+                      0.5);
+              config.collusion = collusion;
+              config.seed = args.seed + t * 31 + threshold;
+              sld::core::SecureLocalizationSystem system(config);
+              const auto summary = system.run();
+              it.add_trial(summary);
+              cd.add(summary.detection_rate);
+              cf.add(summary.false_positive_rate);
+
+              sld::revocation::DistributedConfig dcfg;
+              dcfg.vote_threshold = threshold;
+              const auto dist = evaluate(system, summary, dcfg);
+              dc_cov.add(dist.malicious_coverage);
+              dc_wrong.add(dist.benign_wrongly_blacklisted);
+            }
+            table.row()
+                .cell(collusion ? "yes" : "no")
+                .cell(static_cast<long long>(threshold))
+                .cell(cd.mean())
+                .cell(cf.mean())
+                .cell(dc_cov.mean())
+                .cell(dc_wrong.mean());
+          }
+        }
+        table.print_csv(it.out(),
+                        "Extension: distributed (local-vote) revocation vs "
+                        "the centralized base-station scheme, P = 0.5");
+      });
 }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
@@ -34,13 +35,19 @@ sld::core::SystemConfig scaled_config(const sld::bench::BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
-  const auto trace_sink = args.open_trace_sink();
+
+  return sld::bench::run_main("ext_fault_tolerance", args,
+                              [&](sld::bench::BenchIteration& it) {
+  // Trace and metrics side effects belong to the reporting repetition
+  // only (every repetition runs identical deterministic work).
+  const auto trace_sink =
+      it.report() ? args.open_trace_sink() : nullptr;
   std::ofstream metrics_out;
-  if (!args.metrics_path.empty()) {
+  if (it.report() && !args.metrics_path.empty()) {
     metrics_out.open(args.metrics_path);
     if (!metrics_out) {
       std::cerr << "--metrics: cannot open " << args.metrics_path << "\n";
-      return 2;
+      std::exit(2);
     }
     metrics_out << "[";
   }
@@ -79,6 +86,7 @@ int main(int argc, char** argv) {
         e.base.trace_sink = trace_sink.get();
         e.keep_trial_summaries = true;
         const auto agg = sld::core::run_experiment(e);
+        it.add_experiment(agg, e.trials);
 
         std::uint64_t probe_timeouts = 0, retx = 0;
         for (std::size_t ti = 0; ti < agg.trials.size(); ++ti) {
@@ -110,10 +118,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  table.print_csv(std::cout,
+  table.print_csv(it.out(),
                   "Fault tolerance: detection/revocation vs channel loss "
                   "(iid + Gilbert-Elliott burst len 4), ARQ off vs on "
                   "(timeout 250 ms, 4 retries, exp. backoff)");
   if (metrics_out.is_open()) metrics_out << "\n]\n";
-  return 0;
+  });
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/nodes.hpp"
 #include "core/secure_localization.hpp"
 #include "routing/gpsr.hpp"
@@ -58,55 +59,62 @@ int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
   const std::size_t pairs = args.fast ? 100 : 300;
 
-  sld::util::RunningStat truth_rate, attacked_rate, secured_rate;
-  sld::util::RunningStat attacked_err, secured_err;
-  for (std::size_t t = 0; t < args.trials; ++t) {
-    const std::uint64_t seed = args.seed + t;
+  return sld::bench::run_main(
+      "ext_routing_impact", args, [&](sld::bench::BenchIteration& it) {
+        sld::util::RunningStat truth_rate, attacked_rate, secured_rate;
+        sld::util::RunningStat attacked_err, secured_err;
+        for (std::size_t t = 0; t < args.trials; ++t) {
+          const std::uint64_t seed = args.seed + t;
 
-    sld::core::SystemConfig attacked_cfg;
-    attacked_cfg.strategy =
-        sld::attack::MaliciousStrategyConfig::with_effectiveness(0.8);
-    attacked_cfg.seed = seed;
-    // Isolate the compromised-beacon effect: no wormhole in this bench.
-    attacked_cfg.paper_wormhole = false;
-    attacked_cfg.revocation.alert_threshold = 1000000;  // revocation off
-    sld::core::SecureLocalizationSystem attacked(attacked_cfg);
-    const auto attacked_summary = attacked.run();
-    auto attacked_topo = topology_for(attacked);
+          sld::core::SystemConfig attacked_cfg;
+          attacked_cfg.strategy =
+              sld::attack::MaliciousStrategyConfig::with_effectiveness(0.8);
+          attacked_cfg.seed = seed;
+          // Isolate the compromised-beacon effect: no wormhole here.
+          attacked_cfg.paper_wormhole = false;
+          attacked_cfg.revocation.alert_threshold = 1000000;  // off
+          sld::core::SecureLocalizationSystem attacked(attacked_cfg);
+          const auto attacked_summary = attacked.run();
+          it.add_trial(attacked_summary);
+          auto attacked_topo = topology_for(attacked);
 
-    sld::core::SystemConfig secured_cfg = attacked_cfg;
-    secured_cfg.revocation = sld::revocation::RevocationConfig{};  // on
-    sld::core::SecureLocalizationSystem secured(secured_cfg);
-    const auto secured_summary = secured.run();
-    auto secured_topo = topology_for(secured);
+          sld::core::SystemConfig secured_cfg = attacked_cfg;
+          secured_cfg.revocation =
+              sld::revocation::RevocationConfig{};  // on
+          sld::core::SecureLocalizationSystem secured(secured_cfg);
+          const auto secured_summary = secured.run();
+          it.add_trial(secured_summary);
+          auto secured_topo = topology_for(secured);
 
-    // Ground truth baseline shares the secured deployment's physics.
-    sld::routing::Topology truth_topo(
-        secured.deployment().config.comm_range_ft);
-    for (const auto& n : secured.deployment().nodes)
-      truth_topo.add_node(n.id, n.position);
-    truth_topo.build_links();
+          // Ground truth baseline shares the secured deployment's physics.
+          sld::routing::Topology truth_topo(
+              secured.deployment().config.comm_range_ft);
+          for (const auto& n : secured.deployment().nodes)
+            truth_topo.add_node(n.id, n.position);
+          truth_topo.build_links();
 
-    truth_rate.add(delivery_rate(truth_topo, seed * 13 + 1, pairs));
-    attacked_rate.add(delivery_rate(attacked_topo, seed * 13 + 1, pairs));
-    secured_rate.add(delivery_rate(secured_topo, seed * 13 + 1, pairs));
-    attacked_err.add(attacked_summary.mean_localization_error_ft);
-    secured_err.add(secured_summary.mean_localization_error_ft);
-  }
+          truth_rate.add(delivery_rate(truth_topo, seed * 13 + 1, pairs));
+          attacked_rate.add(
+              delivery_rate(attacked_topo, seed * 13 + 1, pairs));
+          secured_rate.add(delivery_rate(secured_topo, seed * 13 + 1, pairs));
+          attacked_err.add(attacked_summary.mean_localization_error_ft);
+          secured_err.add(secured_summary.mean_localization_error_ft);
+        }
 
-  sld::util::Table table({"positions", "gpsr_delivery_rate",
-                          "mean_localization_error_ft"});
-  table.row().cell("ground_truth").cell(truth_rate.mean()).cell(0.0);
-  table.row()
-      .cell("attacked_no_revocation")
-      .cell(attacked_rate.mean())
-      .cell(attacked_err.mean());
-  table.row()
-      .cell("attacked_with_revocation")
-      .cell(secured_rate.mean())
-      .cell(secured_err.mean());
-  table.print_csv(std::cout,
-                  "Extension: GPSR delivery rate over believed positions — "
-                  "ground truth vs attacked (P=0.8) vs secured");
-  return 0;
+        sld::util::Table table({"positions", "gpsr_delivery_rate",
+                                "mean_localization_error_ft"});
+        table.row().cell("ground_truth").cell(truth_rate.mean()).cell(0.0);
+        table.row()
+            .cell("attacked_no_revocation")
+            .cell(attacked_rate.mean())
+            .cell(attacked_err.mean());
+        table.row()
+            .cell("attacked_with_revocation")
+            .cell(secured_rate.mean())
+            .cell(secured_err.mean());
+        table.print_csv(
+            it.out(),
+            "Extension: GPSR delivery rate over believed positions — "
+            "ground truth vs attacked (P=0.8) vs secured");
+      });
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/secure_localization.hpp"
 #include "revocation/suspiciousness.hpp"
 #include "util/stats.hpp"
@@ -14,52 +15,57 @@
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
 
-  sld::util::Table table({"collusion", "scheme", "detection_rate",
-                          "false_positive_rate"});
-  for (const bool collusion : {false, true}) {
-    sld::util::RunningStat counter_det, counter_fp, trust_det, trust_fp;
-    for (std::size_t t = 0; t < args.trials; ++t) {
-      sld::core::SystemConfig config;
-      config.strategy =
-          sld::attack::MaliciousStrategyConfig::with_effectiveness(0.5);
-      config.collusion = collusion;
-      config.seed = args.seed + 97 * t;
-      sld::core::SecureLocalizationSystem system(config);
-      const auto summary = system.run();
-      counter_det.add(summary.detection_rate);
-      counter_fp.add(summary.false_positive_rate);
+  return sld::bench::run_main(
+      "ext_suspiciousness", args, [&](sld::bench::BenchIteration& it) {
+        sld::util::Table table({"collusion", "scheme", "detection_rate",
+                                "false_positive_rate"});
+        for (const bool collusion : {false, true}) {
+          sld::util::RunningStat counter_det, counter_fp, trust_det,
+              trust_fp;
+          for (std::size_t t = 0; t < args.trials; ++t) {
+            sld::core::SystemConfig config;
+            config.strategy =
+                sld::attack::MaliciousStrategyConfig::with_effectiveness(
+                    0.5);
+            config.collusion = collusion;
+            config.seed = args.seed + 97 * t;
+            sld::core::SecureLocalizationSystem system(config);
+            const auto summary = system.run();
+            it.add_trial(summary);
+            counter_det.add(summary.detection_rate);
+            counter_fp.add(summary.false_positive_rate);
 
-      // Replay the identical alert stream through the trust model.
-      std::vector<sld::sim::AlertPayload> alerts;
-      alerts.reserve(summary.raw.alert_log.size());
-      for (const auto& a : summary.raw.alert_log)
-        alerts.push_back({a.reporter, a.target});
-      const auto trust =
-          sld::revocation::evaluate_suspiciousness(alerts);
+            // Replay the identical alert stream through the trust model.
+            std::vector<sld::sim::AlertPayload> alerts;
+            alerts.reserve(summary.raw.alert_log.size());
+            for (const auto& a : summary.raw.alert_log)
+              alerts.push_back({a.reporter, a.target});
+            const auto trust =
+                sld::revocation::evaluate_suspiciousness(alerts);
 
-      std::size_t mal_revoked = 0, ben_revoked = 0;
-      for (const auto* m : system.deployment().malicious_beacons())
-        if (trust.revoked.contains(m->id)) ++mal_revoked;
-      for (const auto* b : system.deployment().benign_beacons())
-        if (trust.revoked.contains(b->id)) ++ben_revoked;
-      trust_det.add(static_cast<double>(mal_revoked) /
-                    static_cast<double>(summary.malicious_beacons));
-      trust_fp.add(static_cast<double>(ben_revoked) /
-                   static_cast<double>(summary.benign_beacons));
-    }
-    table.row()
-        .cell(collusion ? "yes" : "no")
-        .cell("counter(tau1=10,tau2=2)")
-        .cell(counter_det.mean())
-        .cell(counter_fp.mean());
-    table.row()
-        .cell(collusion ? "yes" : "no")
-        .cell("trust_weighted")
-        .cell(trust_det.mean())
-        .cell(trust_fp.mean());
-  }
-  table.print_csv(std::cout,
-                  "Extension: counter-based vs trust-weighted revocation "
-                  "on identical alert streams, P = 0.5");
-  return 0;
+            std::size_t mal_revoked = 0, ben_revoked = 0;
+            for (const auto* m : system.deployment().malicious_beacons())
+              if (trust.revoked.contains(m->id)) ++mal_revoked;
+            for (const auto* b : system.deployment().benign_beacons())
+              if (trust.revoked.contains(b->id)) ++ben_revoked;
+            trust_det.add(static_cast<double>(mal_revoked) /
+                          static_cast<double>(summary.malicious_beacons));
+            trust_fp.add(static_cast<double>(ben_revoked) /
+                         static_cast<double>(summary.benign_beacons));
+          }
+          table.row()
+              .cell(collusion ? "yes" : "no")
+              .cell("counter(tau1=10,tau2=2)")
+              .cell(counter_det.mean())
+              .cell(counter_fp.mean());
+          table.row()
+              .cell(collusion ? "yes" : "no")
+              .cell("trust_weighted")
+              .cell(trust_det.mean())
+              .cell(trust_fp.mean());
+        }
+        table.print_csv(it.out(),
+                        "Extension: counter-based vs trust-weighted "
+                        "revocation on identical alert streams, P = 0.5");
+      });
 }

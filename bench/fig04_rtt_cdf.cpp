@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "ranging/rtt.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -14,28 +15,33 @@ int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
   const std::size_t samples = args.fast ? 2000 : 10000;
 
-  sld::ranging::MoteTimingModel model;
-  sld::util::Rng rng(args.seed);
-  const auto cal = sld::ranging::calibrate_rtt(model, samples, 150.0, rng);
+  return sld::bench::run_main(
+      "fig04_rtt_cdf", args, [&](sld::bench::BenchIteration& it) {
+        std::ostream& out = it.out();
+        sld::ranging::MoteTimingModel model;
+        sld::util::Rng rng(args.seed);
+        const auto cal =
+            sld::ranging::calibrate_rtt(model, samples, 150.0, rng);
+        it.add_events(samples);
 
-  sld::util::Table table({"rtt_cycles", "cumulative_distribution"});
-  const double lo = cal.x_min_cycles - 100.0;
-  const double hi = cal.x_max_cycles + 100.0;
-  constexpr int kPoints = 60;
-  for (int i = 0; i <= kPoints; ++i) {
-    const double x = lo + (hi - lo) * i / kPoints;
-    table.row().cell(x).cell(cal.cdf.at(x));
-  }
-  table.print_csv(std::cout,
-                  "Figure 4: cumulative distribution of RTT (no attack), " +
-                      std::to_string(samples) + " measurements");
+        sld::util::Table table({"rtt_cycles", "cumulative_distribution"});
+        const double lo = cal.x_min_cycles - 100.0;
+        const double hi = cal.x_max_cycles + 100.0;
+        constexpr int kPoints = 60;
+        for (int i = 0; i <= kPoints; ++i) {
+          const double x = lo + (hi - lo) * i / kPoints;
+          table.row().cell(x).cell(cal.cdf.at(x));
+        }
+        table.print_csv(
+            out, "Figure 4: cumulative distribution of RTT (no attack), " +
+                     std::to_string(samples) + " measurements");
 
-  std::cout << "\n# summary\n"
+        out << "\n# summary\n"
             << "x_min_cycles," << cal.x_min_cycles << "\n"
             << "x_max_cycles," << cal.x_max_cycles << "\n"
             << "span_cycles," << cal.x_max_cycles - cal.x_min_cycles << "\n"
-            << "span_bits," << (cal.x_max_cycles - cal.x_min_cycles) / 384.0
-            << "\n"
+            << "span_bits,"
+            << (cal.x_max_cycles - cal.x_min_cycles) / 384.0 << "\n"
             << "# paper: span ~ 4.5 bit-times; one bit = 384 CPU cycles\n";
-  return 0;
+      });
 }

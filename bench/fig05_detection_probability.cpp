@@ -7,6 +7,7 @@
 #include "analysis/formulas.hpp"
 #include "attack/strategy.hpp"
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "detection/detector.hpp"
 #include "ranging/rssi.hpp"
 #include "ranging/rtt.hpp"
@@ -60,21 +61,26 @@ double monte_carlo_pr(double P, std::size_t m, std::size_t nodes,
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
   const std::size_t mc_nodes = args.fast ? 500 : 5000;
-  sld::util::Rng rng(args.seed);
 
-  sld::util::Table table({"P", "m", "Pr_analytic", "Pr_monte_carlo"});
-  for (const std::size_t m : {1, 2, 4, 8}) {
-    for (double P = 0.0; P <= 1.0 + 1e-9; P += 0.05) {
-      if (P > 1.0) P = 1.0;
-      table.row()
-          .cell(P)
-          .cell(static_cast<long long>(m))
-          .cell(sld::analysis::detection_probability(P, m))
-          .cell(monte_carlo_pr(P, m, mc_nodes, rng));
-    }
-  }
-  table.print_csv(std::cout,
-                  "Figure 5: P_r vs P for m in {1,2,4,8} detecting IDs "
-                  "(analytic + Monte-Carlo through the Detector pipeline)");
-  return 0;
+  return sld::bench::run_main(
+      "fig05_detection_probability", args,
+      [&](sld::bench::BenchIteration& it) {
+        sld::util::Rng rng(args.seed);
+        sld::util::Table table({"P", "m", "Pr_analytic", "Pr_monte_carlo"});
+        for (const std::size_t m : {1, 2, 4, 8}) {
+          for (double P = 0.0; P <= 1.0 + 1e-9; P += 0.05) {
+            if (P > 1.0) P = 1.0;
+            table.row()
+                .cell(P)
+                .cell(static_cast<long long>(m))
+                .cell(sld::analysis::detection_probability(P, m))
+                .cell(monte_carlo_pr(P, m, mc_nodes, rng));
+            it.add_events(mc_nodes);
+          }
+        }
+        table.print_csv(
+            it.out(),
+            "Figure 5: P_r vs P for m in {1,2,4,8} detecting IDs "
+            "(analytic + Monte-Carlo through the Detector pipeline)");
+      });
 }

@@ -6,25 +6,32 @@
 
 #include "analysis/formulas.hpp"
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  (void)sld::bench::BenchArgs::parse(argc, argv);
-  sld::analysis::ModelParams params;
-  params.detecting_ids = 8;
-  params.alert_threshold = 2;
+  const auto args = sld::bench::BenchArgs::parse(argc, argv);
 
-  sld::util::Table table({"Nc", "P", "Pd"});
-  for (const double P : {0.1, 0.2, 0.3, 0.4}) {
-    for (std::size_t nc = 2; nc <= 200; nc += 2) {
-      params.requesters_per_beacon = nc;
-      table.row()
-          .cell(static_cast<long long>(nc))
-          .cell(P)
-          .cell(sld::analysis::revocation_probability(params, P));
-    }
-  }
-  table.print_csv(std::cout,
-                  "Figure 7: P_d vs N_c for P in {.1,.2,.3,.4}, m=8, tau2=2");
-  return 0;
+  return sld::bench::run_main(
+      "fig07_revocation_vs_requesters", args,
+      [&](sld::bench::BenchIteration& it) {
+        sld::analysis::ModelParams params;
+        params.detecting_ids = 8;
+        params.alert_threshold = 2;
+
+        sld::util::Table table({"Nc", "P", "Pd"});
+        for (const double P : {0.1, 0.2, 0.3, 0.4}) {
+          for (std::size_t nc = 2; nc <= 200; nc += 2) {
+            params.requesters_per_beacon = nc;
+            table.row()
+                .cell(static_cast<long long>(nc))
+                .cell(P)
+                .cell(sld::analysis::revocation_probability(params, P));
+            it.add_events(1);
+          }
+        }
+        table.print_csv(
+            it.out(),
+            "Figure 7: P_d vs N_c for P in {.1,.2,.3,.4}, m=8, tau2=2");
+      });
 }

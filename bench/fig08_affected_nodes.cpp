@@ -7,29 +7,34 @@
 
 #include "analysis/formulas.hpp"
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  (void)sld::bench::BenchArgs::parse(argc, argv);
-  sld::analysis::ModelParams params;
+  const auto args = sld::bench::BenchArgs::parse(argc, argv);
 
-  sld::util::Table table({"P", "tau2", "m", "N_affected"});
-  for (const std::uint32_t tau2 : {2, 3, 4}) {
-    for (const std::size_t m : {8, 4}) {
-      params.alert_threshold = tau2;
-      params.detecting_ids = m;
-      for (double P = 0.0; P <= 1.0 + 1e-9; P += 0.02) {
-        if (P > 1.0) P = 1.0;
-        table.row()
-            .cell(P)
-            .cell(static_cast<long long>(tau2))
-            .cell(static_cast<long long>(m))
-            .cell(sld::analysis::affected_nonbeacon_nodes(params, P));
-      }
-    }
-  }
-  table.print_csv(std::cout,
-                  "Figure 8: N' vs P for tau2 in {2,3,4} x m in {4,8}, "
-                  "N_c=100");
-  return 0;
+  return sld::bench::run_main(
+      "fig08_affected_nodes", args, [&](sld::bench::BenchIteration& it) {
+        sld::analysis::ModelParams params;
+
+        sld::util::Table table({"P", "tau2", "m", "N_affected"});
+        for (const std::uint32_t tau2 : {2, 3, 4}) {
+          for (const std::size_t m : {8, 4}) {
+            params.alert_threshold = tau2;
+            params.detecting_ids = m;
+            for (double P = 0.0; P <= 1.0 + 1e-9; P += 0.02) {
+              if (P > 1.0) P = 1.0;
+              table.row()
+                  .cell(P)
+                  .cell(static_cast<long long>(tau2))
+                  .cell(static_cast<long long>(m))
+                  .cell(sld::analysis::affected_nonbeacon_nodes(params, P));
+              it.add_events(1);
+            }
+          }
+        }
+        table.print_csv(it.out(),
+                        "Figure 8: N' vs P for tau2 in {2,3,4} x m in {4,8}, "
+                        "N_c=100");
+      });
 }

@@ -5,29 +5,36 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "sim/deployment.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
-  sld::util::Rng rng(args.seed);
-  const auto deployment =
-      sld::sim::deploy_random(sld::sim::DeploymentConfig{}, rng);
 
-  sld::util::Table table({"id", "x_ft", "y_ft", "kind"});
-  for (const auto* b : deployment.beacons()) {
-    table.row()
-        .cell(static_cast<long long>(b->id))
-        .cell(b->position.x)
-        .cell(b->position.y)
-        .cell(b->malicious ? "malicious_beacon" : "benign_beacon");
-  }
-  table.row().cell(0).cell(100.0).cell(100.0).cell("wormhole_mouth_A");
-  table.row().cell(0).cell(800.0).cell(700.0).cell("wormhole_mouth_B");
-  table.print_csv(std::cout,
-                  "Figure 11: deployment of 100 beacon nodes (10 malicious) "
-                  "in a 1000x1000 ft field, wormhole (100,100)-(800,700)");
-  std::cout << "\n# sensors deployed (not plotted in the paper's figure): "
-            << deployment.sensors().size() << "\n";
-  return 0;
+  return sld::bench::run_main(
+      "fig11_deployment", args, [&](sld::bench::BenchIteration& it) {
+        sld::util::Rng rng(args.seed);
+        const auto deployment =
+            sld::sim::deploy_random(sld::sim::DeploymentConfig{}, rng);
+        it.add_events(deployment.nodes.size());
+
+        sld::util::Table table({"id", "x_ft", "y_ft", "kind"});
+        for (const auto* b : deployment.beacons()) {
+          table.row()
+              .cell(static_cast<long long>(b->id))
+              .cell(b->position.x)
+              .cell(b->position.y)
+              .cell(b->malicious ? "malicious_beacon" : "benign_beacon");
+        }
+        table.row().cell(0).cell(100.0).cell(100.0).cell("wormhole_mouth_A");
+        table.row().cell(0).cell(800.0).cell(700.0).cell("wormhole_mouth_B");
+        table.print_csv(
+            it.out(),
+            "Figure 11: deployment of 100 beacon nodes (10 malicious) "
+            "in a 1000x1000 ft field, wormhole (100,100)-(800,700)");
+        it.out() << "\n# sensors deployed (not plotted in the paper's "
+                    "figure): "
+                 << deployment.sensors().size() << "\n";
+      });
 }

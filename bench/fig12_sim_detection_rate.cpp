@@ -7,6 +7,7 @@
 
 #include "analysis/formulas.hpp"
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
@@ -14,28 +15,32 @@ int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
   const double step = args.fast ? 0.2 : 0.05;
 
-  sld::util::Table table({"P", "detection_rate_sim", "ci95",
-                          "detection_rate_theory", "measured_Nc"});
-  for (double P = step; P <= 1.0 + 1e-9; P += step) {
-    if (P > 1.0) P = 1.0;
-    sld::core::ExperimentConfig e;
-    e.base.strategy =
-        sld::attack::MaliciousStrategyConfig::with_effectiveness(P);
-    e.base.seed = args.seed + static_cast<std::uint64_t>(P * 1000);
-    e.trials = args.trials;
-    const auto agg = sld::core::run_experiment(e);
+  return sld::bench::run_main(
+      "fig12_sim_detection_rate", args,
+      [&](sld::bench::BenchIteration& it) {
+        sld::util::Table table({"P", "detection_rate_sim", "ci95",
+                                "detection_rate_theory", "measured_Nc"});
+        for (double P = step; P <= 1.0 + 1e-9; P += step) {
+          if (P > 1.0) P = 1.0;
+          sld::core::ExperimentConfig e;
+          e.base.strategy =
+              sld::attack::MaliciousStrategyConfig::with_effectiveness(P);
+          e.base.seed = args.seed + static_cast<std::uint64_t>(P * 1000);
+          e.trials = args.trials;
+          const auto agg = sld::core::run_experiment(e);
+          it.add_experiment(agg, e.trials);
 
-    const auto params = sld::core::model_params_for(
-        e.base, agg.requesters_per_malicious.mean());
-    table.row()
-        .cell(P)
-        .cell(agg.detection_rate.mean())
-        .cell(agg.detection_rate.ci95_halfwidth())
-        .cell(sld::analysis::revocation_probability(params, P))
-        .cell(agg.requesters_per_malicious.mean());
-  }
-  table.print_csv(std::cout,
-                  "Figure 12: detection rate vs P, simulation vs theory "
-                  "(tau1=10, tau2=2, m=8, p_d=0.9)");
-  return 0;
+          const auto params = sld::core::model_params_for(
+              e.base, agg.requesters_per_malicious.mean());
+          table.row()
+              .cell(P)
+              .cell(agg.detection_rate.mean())
+              .cell(agg.detection_rate.ci95_halfwidth())
+              .cell(sld::analysis::revocation_probability(params, P))
+              .cell(agg.requesters_per_malicious.mean());
+        }
+        table.print_csv(it.out(),
+                        "Figure 12: detection rate vs P, simulation vs "
+                        "theory (tau1=10, tau2=2, m=8, p_d=0.9)");
+      });
 }

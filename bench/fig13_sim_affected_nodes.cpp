@@ -5,6 +5,7 @@
 
 #include "analysis/formulas.hpp"
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
@@ -12,28 +13,33 @@ int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
   const double step = args.fast ? 0.2 : 0.05;
 
-  sld::util::Table table(
-      {"P", "N_affected_sim", "ci95", "N_affected_theory", "measured_Nc"});
-  for (double P = step; P <= 1.0 + 1e-9; P += step) {
-    if (P > 1.0) P = 1.0;
-    sld::core::ExperimentConfig e;
-    e.base.strategy =
-        sld::attack::MaliciousStrategyConfig::with_effectiveness(P);
-    e.base.seed = args.seed + 7000 + static_cast<std::uint64_t>(P * 1000);
-    e.trials = args.trials;
-    const auto agg = sld::core::run_experiment(e);
+  return sld::bench::run_main(
+      "fig13_sim_affected_nodes", args,
+      [&](sld::bench::BenchIteration& it) {
+        sld::util::Table table({"P", "N_affected_sim", "ci95",
+                                "N_affected_theory", "measured_Nc"});
+        for (double P = step; P <= 1.0 + 1e-9; P += step) {
+          if (P > 1.0) P = 1.0;
+          sld::core::ExperimentConfig e;
+          e.base.strategy =
+              sld::attack::MaliciousStrategyConfig::with_effectiveness(P);
+          e.base.seed =
+              args.seed + 7000 + static_cast<std::uint64_t>(P * 1000);
+          e.trials = args.trials;
+          const auto agg = sld::core::run_experiment(e);
+          it.add_experiment(agg, e.trials);
 
-    const auto params = sld::core::model_params_for(
-        e.base, agg.requesters_per_malicious.mean());
-    table.row()
-        .cell(P)
-        .cell(agg.affected_per_malicious.mean())
-        .cell(agg.affected_per_malicious.ci95_halfwidth())
-        .cell(sld::analysis::affected_nonbeacon_nodes(params, P))
-        .cell(agg.requesters_per_malicious.mean());
-  }
-  table.print_csv(std::cout,
-                  "Figure 13: N' (affected non-beacon requesters per "
-                  "malicious beacon) vs P, simulation vs theory");
-  return 0;
+          const auto params = sld::core::model_params_for(
+              e.base, agg.requesters_per_malicious.mean());
+          table.row()
+              .cell(P)
+              .cell(agg.affected_per_malicious.mean())
+              .cell(agg.affected_per_malicious.ci95_halfwidth())
+              .cell(sld::analysis::affected_nonbeacon_nodes(params, P))
+              .cell(agg.requesters_per_malicious.mean());
+        }
+        table.print_csv(it.out(),
+                        "Figure 13: N' (affected non-beacon requesters per "
+                        "malicious beacon) vs P, simulation vs theory");
+      });
 }

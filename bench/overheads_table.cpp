@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_runner.hpp"
 #include "core/secure_localization.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -15,6 +16,8 @@
 int main(int argc, char** argv) {
   const auto args = sld::bench::BenchArgs::parse(argc, argv);
 
+  return sld::bench::run_main("overheads_table", args,
+                              [&](sld::bench::BenchIteration& it) {
   sld::util::RunningStat probes, probe_per_beacon, sensor_msgs,
       sensor_per_node, alerts, alerts_per_beacon, bs_processed, revocations,
       transmissions, beacon_energy, sensor_energy;
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed + t;
     sld::core::SecureLocalizationSystem system(config);
     const auto s = system.run();
+    it.add_trial(s);
 
     // Per-node radio energy, split by role.
     for (const auto& spec : system.deployment().nodes) {
@@ -77,12 +81,12 @@ int main(int argc, char** argv) {
       .cell(sensor_energy.mean())
       .cell(sensor_energy.max());
   table.print_csv(
-      std::cout,
+      it.out(),
       "Overheads: per-phase message counts at paper scale (N=1000, "
       "N_b=100, N_a=10, m=8, P=0.3) — the paper's 'practical trade-off' "
       "claim quantified");
-  std::cout << "\n# per_node column: probes per benign beacon, requests "
-               "per sensor, alerts per benign beacon, transmissions per "
-               "node; for the energy rows it is the per-node maximum\n";
-  return 0;
+  it.out() << "\n# per_node column: probes per benign beacon, requests "
+              "per sensor, alerts per benign beacon, transmissions per "
+              "node; for the energy rows it is the per-node maximum\n";
+  });
 }

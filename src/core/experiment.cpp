@@ -2,21 +2,39 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
+
+#include "obs/profiler.hpp"
 
 namespace sld::core {
 
 AggregateSummary run_experiment(const ExperimentConfig& config) {
   AggregateSummary agg;
   for (std::size_t i = 0; i < config.trials; ++i) {
+    SLD_PROF_SCOPE("trial");
     SystemConfig trial_config = config.base;
     trial_config.seed = config.base.seed + i;
     const auto wall_start = std::chrono::steady_clock::now();
-    SecureLocalizationSystem system(trial_config);
-    TrialSummary summary = system.run();
+    std::optional<SecureLocalizationSystem> system;
+    {
+      SLD_PROF_SCOPE("trial.setup");
+      system.emplace(trial_config);
+    }
+    TrialSummary summary;
+    {
+      SLD_PROF_SCOPE("trial.run");
+      summary = system->run();
+    }
+    {
+      SLD_PROF_SCOPE("trial.teardown");
+      system.reset();
+    }
     agg.trial_wall_ms.add(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - wall_start)
             .count());
+    agg.total_sched_events += summary.sched_events;
+    agg.total_packets += summary.channel.transmissions;
     agg.detection_rate.add(summary.detection_rate);
     agg.false_positive_rate.add(summary.false_positive_rate);
     agg.affected_per_malicious.add(summary.avg_affected_per_malicious);

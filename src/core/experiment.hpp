@@ -33,6 +33,11 @@ struct AggregateSummary {
   /// Host wall-clock time per trial, milliseconds (profiling, not
   /// simulation output — varies run to run).
   util::RunningStat trial_wall_ms;
+  /// Throughput denominators summed across trials: scheduler events and
+  /// radio transmissions — the bench protocol's events/sec and
+  /// packets/sec numerators.
+  std::uint64_t total_sched_events = 0;
+  std::uint64_t total_packets = 0;
   std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
 };
 

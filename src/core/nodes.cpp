@@ -5,6 +5,7 @@
 
 #include "check/invariant.hpp"
 #include "crypto/mac.hpp"
+#include "obs/profiler.hpp"
 #include "sim/channel.hpp"
 
 namespace sld::core {
@@ -287,6 +288,7 @@ void BeaconNode::send_probe_round(PendingProbe probe,
 }
 
 void BeaconNode::on_probe_timeout(std::uint64_t nonce) {
+  SLD_PROF_SCOPE("arq.probe_timeout");
   const auto it = pending_.find(nonce);
   if (it == pending_.end()) return;  // a reply arrived in time
   PendingProbe probe = std::move(it->second);
@@ -356,6 +358,7 @@ void BeaconNode::handle_request(const sim::Delivery& delivery) {
 }
 
 void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
+  SLD_PROF_SCOPE("detect.probe_round");
   if (!verify(ctx_.keys, delivery.msg)) {
     ++ctx_.metrics.mac_failures;
     return;
@@ -508,6 +511,7 @@ void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
 }
 
 void SensorNode::on_query_timeout(std::uint64_t nonce) {
+  SLD_PROF_SCOPE("arq.query_timeout");
   const auto it = pending_.find(nonce);
   if (it == pending_.end()) return;  // answered in time
   PendingQuery query = it->second;
@@ -629,6 +633,7 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
 }
 
 void SensorNode::finalize() {
+  SLD_PROF_SCOPE("sensor.finalize");
   localization::LocationReferences refs;
   refs.reserve(accepted_.size());
   std::unordered_set<sim::NodeId> counted;

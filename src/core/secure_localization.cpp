@@ -282,6 +282,7 @@ TrialSummary SecureLocalizationSystem::summarize() const {
         latency_sum_ms / static_cast<double>(latency_count);
   s.radio_energy_uj = network_.channel().total_radio().energy_uj();
 
+  s.sched_events = network_.scheduler().executed();
   s.rtt_x_max_cycles = ctx_->rtt_calibration.x_max_cycles;
   s.raw = ctx_->metrics;
   s.base_station = ctx_->base_station.stats();

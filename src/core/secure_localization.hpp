@@ -52,6 +52,10 @@ struct TrialSummary {
   /// denominator of retransmission-overhead comparisons.
   double radio_energy_uj = 0.0;
 
+  // Throughput denominators (also present as gauges in metrics_json).
+  /// Scheduler events executed this trial.
+  std::uint64_t sched_events = 0;
+
   // Calibration + raw counters.
   double rtt_x_max_cycles = 0.0;
   Metrics raw;

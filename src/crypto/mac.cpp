@@ -1,11 +1,13 @@
 #include "crypto/mac.hpp"
 
+#include "obs/profiler.hpp"
 #include "util/bytes.hpp"
 
 namespace sld::crypto {
 
 MacTag compute_mac(const Key128& key, std::uint32_t src, std::uint32_t dst,
                    std::span<const std::uint8_t> payload) {
+  SLD_PROF_SCOPE("crypto.mac");
   util::ByteWriter w;
   w.u32(src);
   w.u32(dst);

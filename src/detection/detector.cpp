@@ -1,6 +1,7 @@
 #include "detection/detector.hpp"
 
 #include "check/invariant.hpp"
+#include "obs/profiler.hpp"
 
 namespace sld::detection {
 
@@ -29,6 +30,7 @@ const char* outcome_name(ProbeOutcome outcome) {
 
 ProbeOutcome Detector::evaluate(const SignalObservation& observation,
                                 util::Rng& rng) const {
+  SLD_PROF_SCOPE("detect.evaluate");
   const ConsistencyResult consistency =
       consistency_.check(observation.receiver_position,
                          observation.claimed_position,

@@ -7,13 +7,25 @@
 
 namespace sld::obs {
 
-Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bucket_count)) {
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count,
+                     HistogramScale scale)
+    : lo_(lo), hi_(hi), scale_(scale) {
   if (!(hi > lo))
     throw std::invalid_argument("Histogram: hi must exceed lo");
   if (bucket_count == 0)
     throw std::invalid_argument("Histogram: need at least one bucket");
+  if (scale == HistogramScale::kLog && !(lo > 0.0))
+    throw std::invalid_argument("Histogram: log scale requires lo > 0");
+  width_ = scale == HistogramScale::kLog
+               ? std::log(hi / lo) / static_cast<double>(bucket_count)
+               : (hi - lo) / static_cast<double>(bucket_count);
   counts_.assign(bucket_count, 0);
+}
+
+double Histogram::edge(std::size_t i) const {
+  const double steps = static_cast<double>(i);
+  return scale_ == HistogramScale::kLog ? lo_ * std::exp(steps * width_)
+                                        : lo_ + steps * width_;
 }
 
 void Histogram::observe(double x) {
@@ -25,7 +37,12 @@ void Histogram::observe(double x) {
   }
   ++n_;
   sum_ += x;
-  const double offset = (x - lo_) / width_;
+  // Non-positive samples in log mode clamp into the first bucket (the
+  // same treatment as any below-range sample).
+  const double offset =
+      scale_ == HistogramScale::kLog
+          ? (x > 0.0 ? std::log(x / lo_) / width_ : -1.0)
+          : (x - lo_) / width_;
   std::size_t idx = 0;
   if (offset > 0.0) {
     idx = std::min(static_cast<std::size_t>(offset), counts_.size() - 1);
@@ -45,7 +62,12 @@ double Histogram::percentile(double p) const {
     if (static_cast<double>(cum) >= target) {
       const double frac =
           (target - before) / static_cast<double>(counts_[i]);
-      const double v = lo_ + (static_cast<double>(i) + frac) * width_;
+      const double steps = static_cast<double>(i) + frac;
+      // Interpolation matches the bucket layout: linear inside linear
+      // buckets, geometric inside log buckets.
+      const double v = scale_ == HistogramScale::kLog
+                           ? lo_ * std::exp(steps * width_)
+                           : lo_ + steps * width_;
       // The clamped tails are reported with the exact extrema.
       return std::clamp(v, min_, max_);
     }
@@ -71,13 +93,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
-                                      double hi, std::size_t bucket_count) {
+                                      double hi, std::size_t bucket_count,
+                                      HistogramScale scale) {
   const auto it = histogram_index_.find(name);
   if (it != histogram_index_.end())
     return *histograms_[it->second].instrument;
   histogram_index_.emplace(name, histograms_.size());
-  histograms_.push_back({name, std::make_unique<Histogram>(lo, hi,
-                                                           bucket_count)});
+  histograms_.push_back(
+      {name, std::make_unique<Histogram>(lo, hi, bucket_count, scale)});
   return *histograms_.back().instrument;
 }
 
@@ -142,6 +165,8 @@ std::string MetricsRegistry::snapshot_json() const {
     append_number(out, h.lo());
     out += ",\"hi\":";
     append_number(out, h.hi());
+    out += ",\"scale\":";
+    out += h.scale() == HistogramScale::kLog ? "\"log\"" : "\"linear\"";
     out += ",\"buckets\":[";
     const auto& buckets = h.buckets();
     for (std::size_t b = 0; b < buckets.size(); ++b) {

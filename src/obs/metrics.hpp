@@ -44,13 +44,22 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Fixed-bucket linear histogram over [lo, hi). Samples outside the range
-/// are clamped into the first/last bucket (the exact min/max are tracked
-/// separately, so the tails stay honest). Percentiles are extracted by
-/// linear interpolation inside the bucket that crosses the target rank.
+/// Bucket-edge layout of a Histogram. Linear splits [lo, hi) into equal
+/// widths; log (exponential) uses geometrically growing buckets, which
+/// keeps relative resolution constant across value decades — the right
+/// shape for RTT and residual latencies. Log requires lo > 0.
+enum class HistogramScale { kLinear, kLog };
+
+/// Fixed-bucket histogram over [lo, hi), linear or log-bucketed (see
+/// HistogramScale). Samples outside the range are clamped into the
+/// first/last bucket (the exact min/max are tracked separately, so the
+/// tails stay honest). Percentiles are extracted by interpolation inside
+/// the bucket that crosses the target rank — linear interpolation for
+/// linear buckets, geometric for log buckets.
 class Histogram {
  public:
-  Histogram(double lo, double hi, std::size_t bucket_count);
+  Histogram(double lo, double hi, std::size_t bucket_count,
+            HistogramScale scale = HistogramScale::kLinear);
 
   void observe(double x);
 
@@ -61,6 +70,10 @@ class Histogram {
   double max() const { return n_ ? max_ : 0.0; }
   double lo() const { return lo_; }
   double hi() const { return hi_; }
+  HistogramScale scale() const { return scale_; }
+
+  /// Bucket edges: bucket i covers [edge(i), edge(i+1)).
+  double edge(std::size_t i) const;
 
   /// Quantile for p in [0, 1]; 0 when empty. p50/p90/p99 are the shorthands
   /// the snapshot emits.
@@ -74,7 +87,8 @@ class Histogram {
  private:
   double lo_;
   double hi_;
-  double width_;
+  double width_;        // linear: bucket width; log: log(hi/lo)/buckets
+  HistogramScale scale_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t n_ = 0;
   double sum_ = 0.0;
@@ -91,7 +105,8 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, double lo, double hi,
-                       std::size_t bucket_count);
+                       std::size_t bucket_count,
+                       HistogramScale scale = HistogramScale::kLinear);
 
   /// One JSON document:
   ///   {"counters":{...},"gauges":{...},"histograms":{"name":

@@ -1,0 +1,208 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+namespace sld::obs {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+struct Profiler::ThreadState {
+  LiveNode root{"root", nullptr, 0, 0, {}};
+  LiveNode* current = &root;
+};
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+Profiler::ThreadState& Profiler::local_state() {
+  thread_local ThreadState* state = nullptr;
+  if (state == nullptr) {
+    auto owned = std::make_unique<ThreadState>();
+    state = owned.get();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::move(owned));
+  }
+  return *state;
+}
+
+Profiler::LiveNode* Profiler::enter(const char* name) {
+  ThreadState& state = local_state();
+  LiveNode* parent = state.current;
+  for (const auto& child : parent->children) {
+    // Names are literals: pointer identity almost always hits; strcmp
+    // covers the same literal deduplicated differently across TUs.
+    if (child->name == name || std::strcmp(child->name, name) == 0) {
+      state.current = child.get();
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<LiveNode>();
+  node->name = name;
+  node->parent = parent;
+  LiveNode* raw = node.get();
+  parent->children.push_back(std::move(node));
+  state.current = raw;
+  return raw;
+}
+
+void Profiler::exit(LiveNode* node, std::uint64_t elapsed_ns) {
+  node->calls += 1;
+  node->total_ns += elapsed_ns;
+  local_state().current = node->parent;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& thread : threads_) {
+    thread->root.children.clear();
+    thread->root.calls = 0;
+    thread->root.total_ns = 0;
+    thread->current = &thread->root;
+  }
+}
+
+namespace {
+
+void merge_live(const Profiler::LiveNode& live, ProfileNode& out) {
+  out.calls += live.calls;
+  out.total_ns += live.total_ns;
+  for (const auto& live_child : live.children) {
+    ProfileNode* slot = nullptr;
+    for (auto& child : out.children) {
+      if (child.name == live_child->name) {
+        slot = &child;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out.children.emplace_back();
+      slot = &out.children.back();
+      slot->name = live_child->name;
+    }
+    merge_live(*live_child, *slot);
+  }
+}
+
+void finalize(ProfileNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              return a.name < b.name;
+            });
+  std::uint64_t child_total = 0;
+  for (auto& child : node.children) {
+    finalize(child);
+    child_total += child.total_ns;
+  }
+  node.self_ns = node.total_ns > child_total ? node.total_ns - child_total
+                                             : 0;
+}
+
+void append_node_json(std::string& out, const ProfileNode& node) {
+  out += "{\"name\":\"";
+  out += node.name;  // span names are literals: no escaping needed
+  out += "\",\"calls\":";
+  out += std::to_string(node.calls);
+  out += ",\"total_ns\":";
+  out += std::to_string(node.total_ns);
+  out += ",\"self_ns\":";
+  out += std::to_string(node.self_ns);
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) out += ',';
+    append_node_json(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+void collect_rows(const ProfileNode& node, std::vector<ProfileRow>& rows) {
+  for (const auto& child : node.children) {
+    ProfileRow* slot = nullptr;
+    for (auto& row : rows) {
+      if (row.name == child.name) {
+        slot = &row;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      rows.emplace_back();
+      slot = &rows.back();
+      slot->name = child.name;
+    }
+    slot->calls += child.calls;
+    slot->total_ns += child.total_ns;
+    slot->self_ns += child.self_ns;
+    collect_rows(child, rows);
+  }
+}
+
+}  // namespace
+
+ProfileNode Profiler::snapshot() const {
+  ProfileNode root;
+  root.name = "root";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& thread : threads_) merge_live(thread->root, root);
+  // The synthetic root never runs as a span; its counters stay zero.
+  root.calls = 0;
+  root.total_ns = 0;
+  finalize(root);
+  root.self_ns = 0;
+  return root;
+}
+
+std::string Profiler::snapshot_json() const {
+  const ProfileNode root = snapshot();
+  std::string out;
+  out.reserve(1024);
+  out += "{\"schema\":\"sld-profile/v1\",\"spans\":[";
+  for (std::size_t i = 0; i < root.children.size(); ++i) {
+    if (i) out += ',';
+    append_node_json(out, root.children[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<ProfileRow> Profiler::flat_rows() const {
+  const ProfileNode root = snapshot();
+  std::vector<ProfileRow> rows;
+  collect_rows(root, rows);
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::string Profiler::format_table(std::size_t max_rows) const {
+  const auto rows = flat_rows();
+  std::string out = "# profile: top self-time spans\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %12s %14s %14s\n", "span",
+                "calls", "self_ms", "total_ms");
+  out += line;
+  const std::size_t shown = std::min(max_rows, rows.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& row = rows[i];
+    std::snprintf(line, sizeof(line), "%-32s %12llu %14.3f %14.3f\n",
+                  row.name.c_str(),
+                  static_cast<unsigned long long>(row.calls),
+                  static_cast<double>(row.self_ns) / 1e6,
+                  static_cast<double>(row.total_ns) / 1e6);
+    out += line;
+  }
+  if (rows.size() > shown) {
+    std::snprintf(line, sizeof(line), "# ... %zu more spans\n",
+                  rows.size() - shown);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sld::obs

@@ -1,0 +1,154 @@
+// Hierarchical scoped profiler (the observability subsystem's where-did-
+// the-time-go half; see obs/trace.hpp for events and obs/metrics.hpp for
+// aggregates).
+//
+// Instrumented code wraps a region in `SLD_PROF_SCOPE("name")`: an RAII
+// span that records wall-clock time into a per-thread call tree keyed by
+// the span's position in the dynamic call stack. The profiler is OFF by
+// default and follows the same cached-boolean gating discipline as
+// `Tracer`: a disabled span is one relaxed atomic load and a branch — no
+// clock is read, no allocation happens, and no randomness is drawn, so a
+// profiled run and an unprofiled run of the same seed produce bit-for-bit
+// identical simulation results (tests/test_profiler.cpp asserts this).
+//
+// Each thread owns its own tree (registered once, under a mutex, on the
+// thread's first span), so spans never contend; `snapshot()` merges the
+// per-thread trees by span name into one stable aggregate whose children
+// are sorted lexicographically. `snapshot_json()` renders it as one
+// schema-versioned JSON document ("sld-profile/v1"); `format_table()`
+// renders a flat "top self-time" view for humans.
+//
+// Contract: `set_enabled` / `reset` must only be called while no span is
+// live (between trials / runs), from one thread. Span names must be
+// string literals (the tree stores the pointer, not a copy).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sld::obs {
+
+/// One node of an aggregated (merged, name-sorted) profile snapshot.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t calls = 0;
+  /// Total wall time inside this span, children included, nanoseconds.
+  std::uint64_t total_ns = 0;
+  /// total_ns minus the children's total_ns (clamped at zero).
+  std::uint64_t self_ns = 0;
+  std::vector<ProfileNode> children;
+};
+
+/// One row of the flat "top self-time" view: the same span name summed
+/// over every position it appears at in the tree.
+struct ProfileRow {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+};
+
+class Profiler {
+ public:
+  /// The process-wide profiler every SLD_PROF_SCOPE records into.
+  static Profiler& instance();
+
+  /// Hot-path gate: one relaxed load. False (the default) means spans do
+  /// nothing at all.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Turns span recording on/off. Only flip while no span is live.
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every thread's tree (registered threads stay registered).
+  /// Only call while no span is live.
+  void reset();
+
+  /// Merges the per-thread trees into one aggregate tree. The returned
+  /// root is synthetic ("root", zero times); its children are the
+  /// top-level spans, each level sorted by name for schema stability.
+  ProfileNode snapshot() const;
+
+  /// The snapshot as one JSON document:
+  ///   {"schema":"sld-profile/v1","spans":[{"name":..,"calls":..,
+  ///    "total_ns":..,"self_ns":..,"children":[..]},..]}
+  std::string snapshot_json() const;
+
+  /// Flat top-self-time table (spans summed by name across the tree,
+  /// sorted by self time descending), rendered for humans.
+  std::string format_table(std::size_t max_rows = 24) const;
+
+  /// The flat rows behind format_table (sorted by self_ns descending,
+  /// name ascending on ties).
+  std::vector<ProfileRow> flat_rows() const;
+
+  // --- internals used by ProfileScope (public for the macro, not API) ---
+
+  /// A node of a thread's live tree. Children are few per node, so lookup
+  /// is a linear scan with pointer-identity fast path (names are literals).
+  struct LiveNode {
+    const char* name;
+    LiveNode* parent;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::vector<std::unique_ptr<LiveNode>> children;
+  };
+
+  /// Descends into (creating if needed) the child named `name` of the
+  /// calling thread's current node and makes it current.
+  LiveNode* enter(const char* name);
+
+  /// Credits `elapsed_ns` to `node` and pops it (current = its parent).
+  void exit(LiveNode* node, std::uint64_t elapsed_ns);
+
+ private:
+  struct ThreadState;
+  ThreadState& local_state();
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+/// RAII span. Use through SLD_PROF_SCOPE; the name must be a literal.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (!Profiler::enabled()) return;
+    node_ = Profiler::instance().enter(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileScope() {
+    if (node_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Profiler::instance().exit(
+        node_, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       elapsed)
+                       .count()));
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler::LiveNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define SLD_PROF_CONCAT2(a, b) a##b
+#define SLD_PROF_CONCAT(a, b) SLD_PROF_CONCAT2(a, b)
+/// Profiles the enclosing scope under `name` (a string literal).
+#define SLD_PROF_SCOPE(name) \
+  ::sld::obs::ProfileScope SLD_PROF_CONCAT(sld_prof_scope_, __LINE__)(name)
+
+}  // namespace sld::obs

@@ -1,6 +1,7 @@
 #include "revocation/base_station.hpp"
 
 #include "check/invariant.hpp"
+#include "obs/profiler.hpp"
 
 namespace sld::revocation {
 
@@ -24,6 +25,7 @@ const char* disposition_name(AlertDisposition d) {
 
 AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                                             sim::NodeId target) {
+  SLD_PROF_SCOPE("bs.process_alert");
   const std::uint32_t alerts_before = alert_counter(target);
   const bool revoked_before = revoked_.contains(target);
   const AlertDisposition disposition = process_alert_impl(reporter, target);

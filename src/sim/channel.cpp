@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/invariant.hpp"
+#include "obs/profiler.hpp"
 #include "util/geometry.hpp"
 
 namespace sld::sim {
@@ -158,6 +159,7 @@ void Channel::inject(const TxContext& ctx, Message msg) {
 }
 
 void Channel::transmit(const TxContext& ctx, const Message& msg) {
+  SLD_PROF_SCOPE("channel.transmit");
   ++stats_.transmissions;
 
   // Eavesdroppers / jammers hear everything radiating within range.
@@ -221,6 +223,7 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
 }
 
 void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
+  SLD_PROF_SCOPE("channel.deliver");
   ++stats_.delivery_attempts;
   if (rng_.bernoulli(config_.loss_probability)) {
     ++stats_.losses;

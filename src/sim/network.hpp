@@ -19,6 +19,7 @@ class Network {
                    std::uint64_t seed = 0x5eedULL);
 
   Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
   Channel& channel() { return channel_; }
   const Channel& channel() const { return channel_; }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "check/invariant.hpp"
+#include "obs/profiler.hpp"
 
 namespace sld::sim {
 
@@ -28,7 +29,10 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
                   "time monotonicity: popped event at " << ev.when
                       << " ns while the clock reads " << now_ << " ns");
     now_ = ev.when;
-    ev.action();
+    {
+      SLD_PROF_SCOPE("sched.event");
+      ev.action();
+    }
     ++executed;
     ++executed_;
   }
@@ -46,7 +50,10 @@ std::uint64_t Scheduler::run_until(SimTime until) {
                   "no event after stop: event at " << ev.when
                       << " ns executed past run_until(" << until << ")");
     now_ = ev.when;
-    ev.action();
+    {
+      SLD_PROF_SCOPE("sched.event");
+      ev.action();
+    }
     ++executed;
     ++executed_;
   }

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <regex>
+#include <stdexcept>
 #include <string>
 
 #include "core/secure_localization.hpp"
@@ -73,6 +74,76 @@ TEST(Metrics, PercentileOrderingIsMonotone) {
   for (int i = 0; i < 500; ++i) h.observe(static_cast<double>(i % 97) * 7.0);
   EXPECT_LE(h.p50(), h.p90());
   EXPECT_LE(h.p90(), h.p99());
+}
+
+// --- log-bucket (exponential) histograms ---------------------------------
+
+TEST(Metrics, LogHistogramBucketEdgesAreGeometric) {
+  // [1, 1024] over 10 buckets: edges 1, 2, 4, ..., 1024.
+  obs::Histogram h(1.0, 1024.0, 10, obs::HistogramScale::kLog);
+  EXPECT_EQ(h.scale(), obs::HistogramScale::kLog);
+  for (std::size_t i = 0; i <= 10; ++i)
+    EXPECT_NEAR(h.edge(i), std::pow(2.0, static_cast<double>(i)),
+                1e-9 * std::pow(2.0, static_cast<double>(i)));
+  // A sample just above an edge lands in the bucket above it.
+  h.observe(1.5);    // bucket 0: [1, 2)
+  h.observe(3.0);    // bucket 1: [2, 4)
+  h.observe(700.0);  // bucket 9: [512, 1024]
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(Metrics, LogHistogramClampsAndAcceptsNonPositive) {
+  obs::Histogram h(1.0, 100.0, 4, obs::HistogramScale::kLog);
+  h.observe(0.0);    // non-positive: clamps to the first bucket
+  h.observe(-5.0);
+  h.observe(1e12);   // above hi: clamps to the last bucket
+  EXPECT_EQ(h.buckets().front(), 2u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);  // extrema stay exact
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+}
+
+TEST(Metrics, LogHistogramPercentileInterpolatesGeometrically) {
+  // All mass in one bucket [10, 100) of [1, 1000): the percentile seam
+  // must interpolate along the geometric edge curve, inside the bucket.
+  obs::Histogram h(1.0, 1000.0, 3, obs::HistogramScale::kLog);
+  for (int i = 0; i < 100; ++i) h.observe(30.0);
+  EXPECT_GE(h.p50(), 10.0);
+  EXPECT_LE(h.p50(), 100.0);
+  // Percentiles never escape the observed extrema.
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+}
+
+TEST(Metrics, LogHistogramPercentilesMonotoneOnSkewedFill) {
+  // Latency-shaped fill spanning four decades — the log histogram's home
+  // turf, where a linear histogram would dump everything into bucket 0.
+  obs::Histogram h(0.001, 10.0, 40, obs::HistogramScale::kLog);
+  for (int i = 1; i <= 1000; ++i) h.observe(0.001 * static_cast<double>(i));
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_NEAR(h.p50(), 0.5, 0.1);
+  EXPECT_NEAR(h.p90(), 0.9, 0.1);
+}
+
+TEST(Metrics, LogHistogramSnapshotJsonCarriesScale) {
+  obs::MetricsRegistry reg;
+  reg.histogram("lat", 0.1, 100.0, 8, obs::HistogramScale::kLog)
+      .observe(5.0);
+  reg.histogram("lin", 0.0, 10.0, 2).observe(5.0);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"lat\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scale\":\"log\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scale\":\"linear\""), std::string::npos) << json;
+}
+
+TEST(Metrics, LogHistogramRejectsNonPositiveLowerBound) {
+  EXPECT_THROW(obs::Histogram(0.0, 10.0, 4, obs::HistogramScale::kLog),
+               std::invalid_argument);
+  EXPECT_THROW(obs::Histogram(-1.0, 10.0, 4, obs::HistogramScale::kLog),
+               std::invalid_argument);
 }
 
 TEST(Metrics, SnapshotJsonShape) {

@@ -1,0 +1,223 @@
+// Hierarchical profiler: span-tree semantics, JSON schema stability, and
+// the load-bearing guarantee that profiling never changes simulation
+// results (the same determinism contract tracing honours in test_obs.cpp).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/secure_localization.hpp"
+#include "obs/profiler.hpp"
+
+namespace sld {
+namespace {
+
+/// Re-disables and wipes the process-wide profiler around every test so
+/// one test's spans never leak into another's snapshot.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Profiler::set_enabled(false);
+    obs::Profiler::instance().reset();
+  }
+  void TearDown() override {
+    obs::Profiler::set_enabled(false);
+    obs::Profiler::instance().reset();
+  }
+};
+
+const obs::ProfileNode* find(const obs::ProfileNode& parent,
+                             const std::string& name) {
+  for (const auto& c : parent.children)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(obs::Profiler::enabled());  // off is the default
+  {
+    SLD_PROF_SCOPE("ghost");
+    SLD_PROF_SCOPE("ghost.child");
+  }
+  const auto root = obs::Profiler::instance().snapshot();
+  EXPECT_TRUE(root.children.empty());
+  EXPECT_TRUE(obs::Profiler::instance().flat_rows().empty());
+}
+
+TEST_F(ProfilerTest, SpanTreeNestsAndAggregates) {
+  obs::Profiler::set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    SLD_PROF_SCOPE("outer");
+    { SLD_PROF_SCOPE("inner"); }
+    { SLD_PROF_SCOPE("inner"); }
+  }
+  { SLD_PROF_SCOPE("other"); }
+  obs::Profiler::set_enabled(false);
+
+  const auto root = obs::Profiler::instance().snapshot();
+  ASSERT_EQ(root.children.size(), 2u);
+  // Children are name-sorted: "other" < "outer".
+  EXPECT_EQ(root.children[0].name, "other");
+  EXPECT_EQ(root.children[1].name, "outer");
+
+  const auto* outer = find(root, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 3u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  const auto* inner = find(*outer, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 6u);  // two per outer iteration
+  // Parent time covers its child; self = total - children (clamped).
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  // A leaf's self time is its total time.
+  EXPECT_EQ(inner->self_ns, inner->total_ns);
+
+  // The same name at a different stack position is a distinct node.
+  const auto* other = find(root, "other");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->calls, 1u);
+  EXPECT_TRUE(other->children.empty());
+}
+
+TEST_F(ProfilerTest, ReenteredScopesAccumulateCalls) {
+  obs::Profiler::set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    SLD_PROF_SCOPE("hot");
+  }
+  obs::Profiler::set_enabled(false);
+  const auto rows = obs::Profiler::instance().flat_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "hot");
+  EXPECT_EQ(rows[0].calls, 10u);
+  EXPECT_EQ(rows[0].self_ns, rows[0].total_ns);
+}
+
+TEST_F(ProfilerTest, ResetClearsCountsButKeepsWorking) {
+  obs::Profiler::set_enabled(true);
+  { SLD_PROF_SCOPE("before"); }
+  obs::Profiler::instance().reset();
+  { SLD_PROF_SCOPE("after"); }
+  obs::Profiler::set_enabled(false);
+  const auto root = obs::Profiler::instance().snapshot();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "after");
+}
+
+TEST_F(ProfilerTest, SnapshotJsonSchemaIsStable) {
+  obs::Profiler::set_enabled(true);
+  {
+    SLD_PROF_SCOPE("alpha");
+    { SLD_PROF_SCOPE("beta"); }
+  }
+  obs::Profiler::set_enabled(false);
+
+  const std::string json = obs::Profiler::instance().snapshot_json();
+  EXPECT_NE(json.find("\"schema\":\"sld-profile/v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos) << json;
+  // Every node carries exactly these fields, in this order.
+  EXPECT_NE(json.find("\"name\":\"beta\",\"calls\":1,\"total_ns\":"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"self_ns\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\":["), std::string::npos) << json;
+
+  // An empty profiler is still a valid document.
+  obs::Profiler::instance().reset();
+  EXPECT_EQ(obs::Profiler::instance().snapshot_json(),
+            "{\"schema\":\"sld-profile/v1\",\"spans\":[]}");
+}
+
+TEST_F(ProfilerTest, FormatTableListsTopSelfTimeSpans) {
+  obs::Profiler::set_enabled(true);
+  { SLD_PROF_SCOPE("tabled"); }
+  obs::Profiler::set_enabled(false);
+  const std::string table = obs::Profiler::instance().format_table();
+  EXPECT_NE(table.find("# profile: top self-time spans"), std::string::npos);
+  EXPECT_NE(table.find("tabled"), std::string::npos);
+}
+
+// --- whole-trial determinism ---------------------------------------------
+
+core::SystemConfig tiny_config() {
+  core::SystemConfig config;
+  config.deployment.total_nodes = 60;
+  config.deployment.beacon_count = 12;
+  config.deployment.malicious_beacon_count = 3;
+  config.deployment.field = util::Rect::square(300.0);
+  config.rtt_calibration_samples = 500;
+  config.strategy = attack::MaliciousStrategyConfig::with_effectiveness(0.9);
+  config.seed = 11;
+  return config;
+}
+
+TEST_F(ProfilerTest, ProfiledRunMatchesUnprofiledRunBitForBit) {
+  core::SecureLocalizationSystem unprofiled(tiny_config());
+  const auto a = unprofiled.run();
+
+  obs::Profiler::set_enabled(true);
+  core::SecureLocalizationSystem profiled(tiny_config());
+  const auto b = profiled.run();
+  obs::Profiler::set_enabled(false);
+
+  // Profiling actually captured the instrumented hot paths.
+  const auto rows = obs::Profiler::instance().flat_rows();
+  EXPECT_FALSE(rows.empty());
+  bool saw_sched = false, saw_mac = false;
+  for (const auto& r : rows) {
+    saw_sched = saw_sched || r.name == "sched.event";
+    saw_mac = saw_mac || r.name == "crypto.mac";
+  }
+  EXPECT_TRUE(saw_sched);
+  EXPECT_TRUE(saw_mac);
+
+  // ...without perturbing a single simulation output (metrics_json is
+  // excluded: its wall-clock phase gauges legitimately differ).
+  EXPECT_EQ(a.malicious_revoked, b.malicious_revoked);
+  EXPECT_EQ(a.benign_revoked, b.benign_revoked);
+  EXPECT_EQ(a.detection_rate, b.detection_rate);
+  EXPECT_EQ(a.false_positive_rate, b.false_positive_rate);
+  EXPECT_EQ(a.sensors_localized, b.sensors_localized);
+  EXPECT_EQ(a.sensors_unlocalized, b.sensors_unlocalized);
+  EXPECT_EQ(a.mean_localization_error_ft, b.mean_localization_error_ft);
+  EXPECT_EQ(a.max_localization_error_ft, b.max_localization_error_ft);
+  EXPECT_EQ(a.avg_affected_per_malicious, b.avg_affected_per_malicious);
+  EXPECT_EQ(a.radio_energy_uj, b.radio_energy_uj);
+  EXPECT_EQ(a.rtt_x_max_cycles, b.rtt_x_max_cycles);
+  EXPECT_EQ(a.sched_events, b.sched_events);
+  EXPECT_EQ(a.raw.probes_sent, b.raw.probes_sent);
+  EXPECT_EQ(a.raw.probe_replies, b.raw.probe_replies);
+  EXPECT_EQ(a.raw.consistency_flags, b.raw.consistency_flags);
+  EXPECT_EQ(a.raw.alerts_submitted, b.raw.alerts_submitted);
+  EXPECT_EQ(a.base_station.alerts_received, b.base_station.alerts_received);
+  EXPECT_EQ(a.base_station.revocations, b.base_station.revocations);
+  EXPECT_EQ(a.channel.transmissions, b.channel.transmissions);
+  EXPECT_EQ(a.channel.deliveries, b.channel.deliveries);
+}
+
+TEST_F(ProfilerTest, TrialSpansNestUnderTrialDuringExperiment) {
+  obs::Profiler::set_enabled(true);
+  {
+    SLD_PROF_SCOPE("trial");
+    {
+      SLD_PROF_SCOPE("trial.run");
+      core::SecureLocalizationSystem system(tiny_config());
+      system.run();
+    }
+  }
+  obs::Profiler::set_enabled(false);
+  const auto root = obs::Profiler::instance().snapshot();
+  const auto* trial = find(root, "trial");
+  ASSERT_NE(trial, nullptr);
+  const auto* run = find(*trial, "trial.run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_NE(find(*run, "sched.event"), nullptr);
+  // The parent's total time accounts for (at least) its children's.
+  std::uint64_t child_total = 0;
+  for (const auto& c : run->children) child_total += c.total_ns;
+  EXPECT_GE(run->total_ns, child_total);
+}
+
+}  // namespace
+}  // namespace sld

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over sld-bench-result/v1 files.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--threshold-pct P] [--mad-mult K]
+    bench_compare.py --validate FILE [FILE ...]
+    bench_compare.py --self-check
+
+BASELINE and CANDIDATE are each a BENCH_<name>.json file or a directory of
+them (as produced by tools/run_benches.sh); directories are matched by
+file name. A bench regresses when its candidate median wall time exceeds
+the baseline median by more than the noise threshold:
+
+    allowed = max(threshold_pct/100, mad_mult * (mad_b + mad_c) / median_b)
+
+i.e. the gate never fires inside the measured noise floor (median absolute
+deviations of both runs, scaled by --mad-mult) nor under a flat relative
+floor (--threshold-pct, default 10%). With --repeats 1 the MADs are zero
+and the flat floor alone applies. Exit codes: 0 no regression, 1 at least
+one regression (or validation failure), 2 bad input. Stdlib only.
+
+See DESIGN.md "Performance observability" for the result schema.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_NAME = "sld-bench-result/v1"
+
+# Required fields (and subfields) of a result file. Append-only: extra
+# fields are always allowed, so producers can grow the schema freely.
+REQUIRED = {
+    "schema": str,
+    "name": str,
+    "args": dict,
+    "wall_ms": dict,
+    "throughput": dict,
+    "peak_rss_bytes": int,
+    "host": dict,
+}
+REQUIRED_WALL = {"repeats": list, "median": (int, float), "mad": (int, float)}
+REQUIRED_ARGS = {"trials": int, "seed": int, "fast": bool,
+                 "repeats": int, "warmup": int}
+REQUIRED_THROUGHPUT = {"sim_events": int, "packets": int, "trials": int}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _require(obj, spec, ctx):
+    for key, typ in spec.items():
+        if key not in obj:
+            raise SchemaError(f"{ctx}: missing field '{key}'")
+        if not isinstance(obj[key], typ):
+            raise SchemaError(
+                f"{ctx}: field '{key}' has type {type(obj[key]).__name__}")
+        # bool is an int subclass; "int" fields must not be booleans.
+        if typ is int and isinstance(obj[key], bool):
+            raise SchemaError(f"{ctx}: field '{key}' is a bool, expected int")
+
+
+def load_result(path):
+    """Loads and schema-checks one result file. Raises SchemaError."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SchemaError(f"{path}: {e}") from e
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not an object")
+    _require(doc, REQUIRED, path)
+    if doc["schema"] != SCHEMA_NAME:
+        raise SchemaError(
+            f"{path}: schema is '{doc['schema']}', expected '{SCHEMA_NAME}'")
+    _require(doc["wall_ms"], REQUIRED_WALL, f"{path}: wall_ms")
+    _require(doc["args"], REQUIRED_ARGS, f"{path}: args")
+    _require(doc["throughput"], REQUIRED_THROUGHPUT, f"{path}: throughput")
+    if not doc["wall_ms"]["repeats"]:
+        raise SchemaError(f"{path}: wall_ms.repeats is empty")
+    for v in doc["wall_ms"]["repeats"]:
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            raise SchemaError(f"{path}: non-numeric entry in wall_ms.repeats")
+    if doc["wall_ms"]["median"] < 0 or doc["wall_ms"]["mad"] < 0:
+        raise SchemaError(f"{path}: negative wall_ms statistics")
+    return doc
+
+
+def collect(path):
+    """Returns {bench name: result dict} for a file or directory."""
+    if os.path.isdir(path):
+        out = {}
+        for fn in sorted(os.listdir(path)):
+            if fn.startswith("BENCH_") and fn.endswith(".json"):
+                doc = load_result(os.path.join(path, fn))
+                out[doc["name"]] = doc
+        if not out:
+            raise SchemaError(f"{path}: no BENCH_*.json files")
+        return out
+    doc = load_result(path)
+    return {doc["name"]: doc}
+
+
+def compare_one(base, cand, threshold_pct, mad_mult):
+    """Returns (delta_frac, allowed_frac, regressed)."""
+    mb = base["wall_ms"]["median"]
+    mc = cand["wall_ms"]["median"]
+    if mb <= 0:
+        # A zero-time baseline cannot regress measurably; never gate on it.
+        return 0.0, threshold_pct / 100.0, False
+    noise = mad_mult * (base["wall_ms"]["mad"] + cand["wall_ms"]["mad"]) / mb
+    allowed = max(threshold_pct / 100.0, noise)
+    delta = (mc - mb) / mb
+    return delta, allowed, delta > allowed
+
+
+def run_compare(baseline_path, candidate_path, threshold_pct, mad_mult):
+    base = collect(baseline_path)
+    cand = collect(candidate_path)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        raise SchemaError("no bench names in common between baseline and "
+                          "candidate")
+
+    header = (f"{'bench':34s} {'base_ms':>10s} {'cand_ms':>10s} "
+              f"{'delta':>8s} {'allowed':>8s}  verdict")
+    print(header)
+    print("-" * len(header))
+    regressions = 0
+    for name in common:
+        delta, allowed, bad = compare_one(base[name], cand[name],
+                                          threshold_pct, mad_mult)
+        if bad:
+            regressions += 1
+        verdict = "REGRESSION" if bad else "ok"
+        print(f"{name:34s} {base[name]['wall_ms']['median']:10.2f} "
+              f"{cand[name]['wall_ms']['median']:10.2f} "
+              f"{delta * 100:+7.1f}% {allowed * 100:7.1f}%  {verdict}")
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"# only in baseline (skipped): {', '.join(only_base)}")
+    if only_cand:
+        print(f"# only in candidate (skipped): {', '.join(only_cand)}")
+    if regressions:
+        print(f"# {regressions} regression(s) out of {len(common)} "
+              f"bench(es)")
+        return 1
+    print(f"# no regressions across {len(common)} bench(es)")
+    return 0
+
+
+def _synthetic(name, medians, mad=0.0):
+    return {
+        "schema": SCHEMA_NAME,
+        "name": name,
+        "args": {"trials": 1, "seed": 1, "fast": True,
+                 "repeats": len(medians), "warmup": 0},
+        "wall_ms": {"repeats": medians,
+                    "median": sorted(medians)[len(medians) // 2],
+                    "mad": mad},
+        "throughput": {"sim_events": 10, "packets": 5, "trials": 1},
+        "peak_rss_bytes": 1 << 20,
+        "host": {"os": "self-check"},
+    }
+
+
+def self_check():
+    """Exercises the gate logic on synthetic results; exits nonzero on any
+    surprise. Cheap enough for CI to run on every push."""
+    checks = []
+
+    # Identical runs: never a regression.
+    a = _synthetic("x", [100.0])
+    d, _, bad = compare_one(a, a, 10.0, 3.0)
+    checks.append(("identical inputs pass", not bad and d == 0.0))
+
+    # A 50% slowdown trips the default 10% floor.
+    b = _synthetic("x", [150.0])
+    _, _, bad = compare_one(a, b, 10.0, 3.0)
+    checks.append(("50% slowdown is a regression", bad))
+
+    # A 5% delta stays inside the 10% floor.
+    c = _synthetic("x", [105.0])
+    _, _, bad = compare_one(a, c, 10.0, 3.0)
+    checks.append(("5% delta is inside the flat floor", bad is False))
+
+    # Wide MADs raise the allowance above the flat floor.
+    noisy_a = _synthetic("x", [100.0, 90.0, 110.0], mad=10.0)
+    noisy_b = _synthetic("x", [125.0, 115.0, 135.0], mad=10.0)
+    _, allowed, bad = compare_one(noisy_a, noisy_b, 10.0, 3.0)
+    checks.append(("MAD noise widens the allowance", allowed > 0.10))
+    checks.append(("25% delta inside 3*(10+10)/100 noise passes", not bad))
+
+    # Speedups never fire.
+    fast = _synthetic("x", [50.0])
+    _, _, bad = compare_one(a, fast, 10.0, 3.0)
+    checks.append(("speedup passes", not bad))
+
+    # Schema validation rejects a wrong schema tag.
+    broken = _synthetic("x", [1.0])
+    broken["schema"] = "bogus/v0"
+    try:
+        _require(broken, REQUIRED, "synthetic")
+        rejected = broken["schema"] != SCHEMA_NAME
+    except SchemaError:
+        rejected = True
+    checks.append(("wrong schema tag is rejected", rejected))
+
+    ok = True
+    for label, passed in checks:
+        print(f"{'PASS' if passed else 'FAIL'}: {label}")
+        ok = ok and passed
+    return 0 if ok else 1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", nargs="?", help="baseline file or directory")
+    ap.add_argument("candidate", nargs="?", help="candidate file or directory")
+    ap.add_argument("--threshold-pct", type=float, default=10.0,
+                    help="flat relative regression floor in percent "
+                         "(default: 10)")
+    ap.add_argument("--mad-mult", type=float, default=3.0,
+                    help="noise allowance = this many summed MADs "
+                         "(default: 3)")
+    ap.add_argument("--validate", nargs="+", metavar="FILE",
+                    help="schema-check result files instead of comparing")
+    ap.add_argument("--self-check", action="store_true",
+                    help="run the built-in gate-logic checks and exit")
+    args = ap.parse_args(argv)
+
+    if args.self_check:
+        return self_check()
+
+    if args.validate:
+        failures = 0
+        for path in args.validate:
+            try:
+                doc = load_result(path)
+                print(f"ok: {path} ({doc['name']})")
+            except SchemaError as e:
+                print(f"invalid: {e}", file=sys.stderr)
+                failures += 1
+        return 1 if failures else 0
+
+    if not args.baseline or not args.candidate:
+        ap.error("need BASELINE and CANDIDATE (or --validate/--self-check)")
+    try:
+        return run_compare(args.baseline, args.candidate,
+                           args.threshold_pct, args.mad_mult)
+    except SchemaError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Runs the whole bench suite and collects one BENCH_<name>.json per bench
+# (schema "sld-bench-result/v1", see DESIGN.md "Performance observability").
+#
+# Usage:
+#   tools/run_benches.sh [--fast] [--bench-dir DIR] [--out DIR]
+#                        [--repeats N] [--warmup N] [--only NAME]
+#
+#   --fast        pass --fast to every bench (CI-sized sweeps)
+#   --bench-dir   directory holding the bench binaries (default: build/bench)
+#   --out         output directory for BENCH_*.json (default: bench-results)
+#   --repeats N   measured repetitions per bench (default: 1)
+#   --warmup N    unmeasured warmup repetitions per bench (default: 0)
+#   --only NAME   run a single bench (by binary name) instead of the suite
+#
+# The suite is every fig*/ext_*/ablation_* binary; micro_hotpaths is a
+# google-benchmark binary with its own protocol and is not part of it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCH_DIR=build/bench
+OUT_DIR=bench-results
+FAST=""
+REPEATS=1
+WARMUP=0
+ONLY=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST="--fast"; shift ;;
+    --bench-dir) BENCH_DIR="$2"; shift 2 ;;
+    --out) OUT_DIR="$2"; shift 2 ;;
+    --repeats) REPEATS="$2"; shift 2 ;;
+    --warmup) WARMUP="$2"; shift 2 ;;
+    --only) ONLY="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "run_benches.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "run_benches.sh: bench dir '$BENCH_DIR' not found (build first:" \
+       "cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build" \
+       "build -j)" >&2
+  exit 2
+fi
+mkdir -p "$OUT_DIR"
+
+benches=()
+for b in "$BENCH_DIR"/fig* "$BENCH_DIR"/ext_* "$BENCH_DIR"/ablation_* \
+         "$BENCH_DIR"/overheads_table; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  benches+=("$b")
+done
+if [[ -n "$ONLY" ]]; then
+  benches=("$BENCH_DIR/$ONLY")
+  [[ -x "${benches[0]}" ]] || { echo "run_benches.sh: no bench '$ONLY' in $BENCH_DIR" >&2; exit 2; }
+fi
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "run_benches.sh: no bench binaries in $BENCH_DIR" >&2
+  exit 2
+fi
+
+failures=0
+for b in "${benches[@]}"; do
+  name=$(basename "$b")
+  json="$OUT_DIR/BENCH_${name}.json"
+  echo "== $name -> $json" >&2
+  # Bench stdout is the figure's CSV — keep it out of the result capture.
+  if ! "$b" $FAST --repeats "$REPEATS" --warmup "$WARMUP" \
+       --json "$json" > /dev/null; then
+    echo "run_benches.sh: $name FAILED" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "run_benches.sh: $failures bench(es) failed" >&2
+  exit 1
+fi
+echo "run_benches.sh: wrote ${#benches[@]} result files to $OUT_DIR" >&2

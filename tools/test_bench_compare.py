@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py: schema validation on known-good and
+deliberately broken fixtures, and the regression gate on a no-regression
+pair vs an injected ~50% slowdown.
+
+Run from tools/:  python3 -m unittest test_bench_compare
+(registered as the `bench_compare_unittest` ctest target).
+"""
+
+import contextlib
+import io
+import os
+import unittest
+
+import bench_compare
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+BASELINE = os.path.join(FIXTURES, "bench_baseline")
+CANDIDATE = os.path.join(FIXTURES, "bench_candidate")
+MALFORMED = os.path.join(FIXTURES, "bench_malformed.json")
+WRONG_SCHEMA = os.path.join(FIXTURES, "bench_wrong_schema.json")
+MISSING_FIELD = os.path.join(FIXTURES, "bench_missing_field.json")
+GOOD = os.path.join(BASELINE, "BENCH_fig06_revocation_rate.json")
+
+
+def run_main(argv):
+    with contextlib.redirect_stdout(io.StringIO()) as out, \
+            contextlib.redirect_stderr(io.StringIO()) as err:
+        code = bench_compare.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+class ValidateFixtures(unittest.TestCase):
+    def test_good_file_passes(self):
+        code, out, _ = run_main(["--validate", GOOD])
+        self.assertEqual(code, 0)
+        self.assertIn("ok:", out)
+
+    def test_malformed_json_rejected(self):
+        code, _, err = run_main(["--validate", MALFORMED])
+        self.assertEqual(code, 1)
+        self.assertIn("invalid:", err)
+
+    def test_wrong_schema_tag_rejected(self):
+        code, _, err = run_main(["--validate", WRONG_SCHEMA])
+        self.assertEqual(code, 1)
+        self.assertIn("schema", err)
+
+    def test_missing_field_rejected(self):
+        code, _, err = run_main(["--validate", MISSING_FIELD])
+        self.assertEqual(code, 1)
+        self.assertIn("wall_ms", err)
+
+    def test_load_result_raises_on_malformed(self):
+        with self.assertRaises(bench_compare.SchemaError):
+            bench_compare.load_result(MALFORMED)
+
+
+class CompareGate(unittest.TestCase):
+    def test_identical_dirs_pass(self):
+        code, out, _ = run_main([BASELINE, BASELINE])
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+    def test_injected_regression_exits_nonzero(self):
+        # Candidate holds fig06 within noise and fig11 slowed by 50%.
+        code, out, _ = run_main([BASELINE, CANDIDATE])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("fig11_deployment", out)
+        # The within-noise bench is reported ok, not as a regression.
+        for line in out.splitlines():
+            if line.startswith("fig06_revocation_rate"):
+                self.assertTrue(line.rstrip().endswith("ok"))
+                break
+        else:
+            self.fail("fig06 row missing from the delta table")
+
+    def test_threshold_can_waive_the_regression(self):
+        code, _, _ = run_main([BASELINE, CANDIDATE, "--threshold-pct", "60"])
+        self.assertEqual(code, 0)
+
+    def test_mad_mult_widens_noise_floor(self):
+        # 50% delta, baseline median 100, summed MADs 4: 13 * 4 / 100 = 52%.
+        code, _, _ = run_main([BASELINE, CANDIDATE, "--mad-mult", "13"])
+        self.assertEqual(code, 0)
+
+    def test_single_files_compare(self):
+        code, out, _ = run_main([GOOD, GOOD])
+        self.assertEqual(code, 0)
+        self.assertIn("fig06_revocation_rate", out)
+
+    def test_disjoint_sets_are_an_error(self):
+        other = os.path.join(CANDIDATE, "BENCH_fig11_deployment.json")
+        code, _, err = run_main([GOOD, other])
+        self.assertEqual(code, 2)
+        self.assertIn("in common", err)
+
+    def test_malformed_candidate_is_input_error(self):
+        code, _, err = run_main([GOOD, MALFORMED])
+        self.assertEqual(code, 2)
+        self.assertIn("bench_compare:", err)
+
+
+class SelfCheck(unittest.TestCase):
+    def test_self_check_passes(self):
+        code, out, _ = run_main(["--self-check"])
+        self.assertEqual(code, 0)
+        self.assertIn("PASS", out)
+        self.assertNotIn("FAIL", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
