@@ -11,6 +11,7 @@
 //   --metrics FILE per-trial metrics snapshots (benches that support it)
 //   --json FILE    machine-readable BENCH result (bench_runner.hpp)
 //   --profile FILE hierarchical profiler JSON; table goes to stderr
+//   --chaos-sweep  add a chaos column (benches that support it)
 #pragma once
 
 #include <cerrno>
@@ -45,6 +46,11 @@ struct BenchArgs {
   /// Profiler snapshot destination ("--profile FILE"); empty means the
   /// profiler stays off (zero overhead).
   std::string profile_path;
+  /// Extend the sweep with a chaos configuration (crash windows, a
+  /// partition, clock drift, a WAL-backed base-station outage) in benches
+  /// that support it ("--chaos-sweep"). Off by default so the standard
+  /// sweep output — and its golden hash — is byte-identical.
+  bool chaos_sweep = false;
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
@@ -98,13 +104,15 @@ struct BenchArgs {
         args.json_path = next_arg("--json");
       } else if (a == "--profile") {
         args.profile_path = next_arg("--profile");
+      } else if (a == "--chaos-sweep") {
+        args.chaos_sweep = true;
       } else if (a == "--help" || a == "-h") {
         std::cout
             << "usage: " << argv[0]
             << " [--trials N] [--seed S] [--fast]"
             << " [--repeats N] [--warmup N]"
             << " [--trace FILE] [--metrics FILE]"
-            << " [--json FILE] [--profile FILE]\n"
+            << " [--json FILE] [--profile FILE] [--chaos-sweep]\n"
             << "  --trials N     trials per sweep point (default 5)\n"
             << "  --seed S       base RNG seed (default 1)\n"
             << "  --fast         shrink sweeps for smoke runs\n"
@@ -116,7 +124,9 @@ struct BenchArgs {
             << "  --json FILE    machine-readable bench result "
                "(sld-bench-result/v1)\n"
             << "  --profile FILE profiler JSON snapshot; top-self-time "
-               "table on stderr\n";
+               "table on stderr\n"
+            << "  --chaos-sweep  add a chaos configuration to the sweep "
+               "(benches that support it)\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << a << "\n";

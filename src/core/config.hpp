@@ -18,6 +18,7 @@
 #include "ranging/rtt.hpp"
 #include "ranging/toa.hpp"
 #include "revocation/base_station.hpp"
+#include "revocation/failover.hpp"
 #include "sim/deployment.hpp"
 #include "sim/time.hpp"
 
@@ -84,6 +85,11 @@ struct SystemConfig {
   /// duplication, corruption, delay jitter, crash windows. Default: all
   /// off, reproducing the paper's reliable-delivery assumption exactly.
   sim::FaultPlan faults;
+
+  /// Base-station durability and availability: snapshot/WAL persistence,
+  /// scheduled primary outages, standby takeover. Default: disabled, a
+  /// zero-cost pass-through to the paper's single immortal base station.
+  revocation::FailoverConfig failover;
 
   /// Retransmission policy for the probe exchange and sensor queries
   /// (timeout / max retries / exponential backoff with jitter). Disabled

@@ -54,7 +54,7 @@ SystemContext::SystemContext(const SystemConfig& cfg)
       rssi(cfg.rssi),
       toa(cfg.toa),
       timing(cfg.timing),
-      base_station(cfg.revocation),
+      cluster(cfg.revocation, cfg.failover),
       dissemination(cfg.revocation_reach_probability,
                     cfg.seed ^ 0xd15534731a7e0000ULL),
       rng(cfg.seed) {
@@ -80,6 +80,13 @@ SystemContext::SystemContext(const SystemConfig& cfg)
       static_cast<double>(cfg.revocation.alert_threshold + 8), 16);
   node_energy_hist =
       &instruments.histogram("radio.node_energy_uj", 0.0, 100'000.0, 50);
+  // Registered only for failover-enabled configs: the default metric
+  // snapshot (and with it the bench goldens) must stay byte-identical.
+  if (cfg.failover.any_enabled()) {
+    recovery_hist =
+        &instruments.histogram("recovery.latency_ms", 0.0, 10'000.0, 32);
+    cluster.set_recovery_histogram(recovery_hist);
+  }
   switch (cfg.wormhole_detector_type) {
     case SystemConfig::WormholeDetectorType::kProbabilistic:
       wormhole_detector =
@@ -95,6 +102,16 @@ SystemContext::SystemContext(const SystemConfig& cfg)
   detection::DetectorConfig det_cfg;
   det_cfg.max_ranging_error_ft = max_ranging_error_ft();
   det_cfg.replay.rtt_x_max_cycles = rtt_calibration.x_max_cycles;
+  // Clock drift stretches an honest RTT by at most rate_rx - rate_tx over
+  // the turnaround, i.e. 2*max_drift_ppm in the worst case; widen the
+  // replay filter's acceptance band by that much so drift alone can never
+  // read as replay delay. Zero with drift disabled — the calibrated x_max
+  // is used untouched.
+  if (cfg.faults.clock_drift.enabled()) {
+    det_cfg.replay.rtt_x_max_cycles +=
+        2.0 * cfg.faults.clock_drift.max_drift_ppm * 1e-6 *
+        cfg.faults.clock_drift.turnaround_cycles;
+  }
   detector.emplace(det_cfg, wormhole_detector.get());
 }
 
@@ -123,39 +140,65 @@ void SystemContext::submit_alert(sim::NodeId reporter, sim::NodeId target,
                     .f("target", target)
                     .f("collusion", collusion_alert));
   }
+  // A fresh nonce per *submission* (not per attempt): every transport copy
+  // of this alert carries the same nonce, so the base station's dedup makes
+  // retransmission idempotent.
+  const std::uint64_t nonce = ++next_alert_nonce;
   const sim::SimTime jitter = static_cast<sim::SimTime>(
       rng.uniform(0.0, 50.0 * static_cast<double>(sim::kMillisecond)));
-  scheduler->schedule_after(jitter, [this, reporter, target]() {
-    deliver_alert_attempt(reporter, target, 0);
+  scheduler->schedule_after(jitter, [this, reporter, target, nonce]() {
+    deliver_alert_attempt(reporter, target, nonce, 0);
   });
 }
 
 void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
                                           sim::NodeId target,
+                                          std::uint64_t nonce,
                                           std::size_t attempt) {
   SLD_INVARIANT(attempt <= config.arq.max_retries,
                 "retries bounded: alert delivery attempt " << attempt
                     << " exceeds max_retries=" << config.arq.max_retries);
+  // The alert (and its ARQ retry state) lives in the reporter's volatile
+  // memory: if the reporter is inside a crash window when this attempt
+  // fires, the alert dies with it.
+  if (faults != nullptr && faults->enabled() &&
+      faults->node_crashed(reporter, scheduler->now())) {
+    ++metrics.alerts_dropped_reporter_crash;
+    if (tracer.on()) {
+      tracer.emit(tracer.event("alert.reporter_down")
+                      .f("reporter", reporter)
+                      .f("target", target)
+                      .f("attempt", static_cast<std::uint64_t>(attempt)));
+    }
+    return;
+  }
+  // An unavailable base station (primary down, standby not yet promoted)
+  // looks exactly like a transport loss to the reporter: no ack arrives
+  // and the ARQ policy retries. available() is vacuously true — and draws
+  // nothing, schedules nothing — for the default failover config.
+  const bool station_up = cluster.available(scheduler->now());
+  if (!station_up) ++metrics.alerts_station_unavailable;
   // bernoulli(0) draws nothing, so the default lossless transport leaves
   // the per-trial RNG stream untouched.
-  if (!rng.bernoulli(config.alert_loss_probability)) {
+  if (station_up && !rng.bernoulli(config.alert_loss_probability)) {
     if (tracer.on()) {
       tracer.emit(tracer.event("alert.delivered")
                       .f("reporter", reporter)
                       .f("target", target)
                       .f("attempt", static_cast<std::uint64_t>(attempt)));
     }
-    const auto disposition = base_station.process_alert(reporter, target);
+    const auto disposition =
+        cluster.process_alert(scheduler->now(), reporter, target, nonce);
     if (disposition == revocation::AlertDisposition::kAccepted ||
         disposition == revocation::AlertDisposition::kAcceptedAndRevoked) {
       alert_counter_hist->observe(
-          static_cast<double>(base_station.alert_counter(target)));
+          static_cast<double>(cluster.alert_counter(target)));
     }
     if (disposition == revocation::AlertDisposition::kAcceptedAndRevoked)
       metrics.revocation_times.emplace_back(target, scheduler->now());
     return;
   }
-  // Attempt lost in transit.
+  // Attempt lost in transit (or no station was up to receive it).
   if (tracer.on()) {
     tracer.emit(tracer.event("alert.lost")
                     .f("reporter", reporter)
@@ -172,8 +215,9 @@ void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
                       .f("attempt", static_cast<std::uint64_t>(attempt + 1))
                       .f("delay_ns", static_cast<std::int64_t>(delay)));
     }
-    scheduler->schedule_after(delay, [this, reporter, target, attempt]() {
-      deliver_alert_attempt(reporter, target, attempt + 1);
+    scheduler->schedule_after(delay,
+                              [this, reporter, target, nonce, attempt]() {
+      deliver_alert_attempt(reporter, target, nonce, attempt + 1);
     });
   } else {
     ++metrics.alerts_delivery_failed;
@@ -188,7 +232,8 @@ void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
 
 SystemContext::SignalMeasurement SystemContext::measure(
     const sim::Delivery& delivery, const sim::BeaconReplyPayload& payload,
-    const util::Vec2& receiver_position, util::Rng& node_rng) const {
+    const util::Vec2& receiver_position, util::Rng& node_rng,
+    double rtt_skew_cycles) const {
   SignalMeasurement m;
   // Ranging measures distance to wherever the energy radiated from.
   const double physical_distance =
@@ -209,10 +254,12 @@ SystemContext::SignalMeasurement SystemContext::measure(
           node_rng);
       break;
   }
-  // RTT = honest hardware sample + replay delay + the target's timing lie.
+  // RTT = honest hardware sample + replay delay + the target's timing lie
+  // + the receiver/sender clock-rate mismatch over the turnaround (0
+  // unless clock drift is injected).
   m.rtt_cycles = timing.sample_rtt_cycles(physical_distance, node_rng) +
                  delivery.ctx.extra_delay_cycles +
-                 payload.processing_bias_cycles;
+                 payload.processing_bias_cycles + rtt_skew_cycles;
   return m;
 }
 
@@ -230,18 +277,37 @@ void BeaconNode::set_probe_targets(std::vector<sim::NodeId> targets) {
   probe_targets_ = std::move(targets);
 }
 
-void BeaconNode::start() {
+void BeaconNode::start() { schedule_probes(); }
+
+void BeaconNode::schedule_probes() {
   // Probe every target beacon once per detecting ID, staggered so the
   // event queue interleaves nodes deterministically but not degenerately.
-  sim::SimTime at = ctx_.config.probe_phase_start;
+  // At start() this begins at probe_phase_start exactly as the seed did;
+  // after a reboot it begins at the current time instead.
+  sim::SimTime at =
+      std::max(scheduler().now(), ctx_.config.probe_phase_start);
   for (const auto target : probe_targets_) {
     for (const auto detecting_id : detecting_ids_) {
       at += ctx_.config.transmission_stagger;
-      scheduler().schedule_at(at, [this, target, detecting_id]() {
+      schedule_timer_at(at, [this, target, detecting_id]() {
         send_probe(target, detecting_id);
       });
     }
   }
+}
+
+void BeaconNode::on_crash(sim::SimTime) {
+  // Volatile state dies with the node: in-flight probe rounds (their ARQ
+  // timers are epoch-fenced) and the memory of which targets were already
+  // reported.
+  pending_.clear();
+  reported_.clear();
+}
+
+void BeaconNode::on_reboot(sim::SimTime now, sim::SimTime) {
+  // Rebooting inside the probe phase restarts the probe schedule from
+  // scratch; after the phase the node just resumes answering requests.
+  if (now < ctx_.config.sensor_phase_start) schedule_probes();
 }
 
 void BeaconNode::send_probe(sim::NodeId target, sim::NodeId detecting_id) {
@@ -282,8 +348,9 @@ void BeaconNode::send_probe_round(PendingProbe probe,
   if (ctx_.config.arq.enabled) {
     const sim::SimTime timeout =
         sim::arq_timeout(ctx_.config.arq, attempt, rng_);
-    scheduler().schedule_after(timeout,
-                               [this, nonce]() { on_probe_timeout(nonce); });
+    // Boot-epoch-fenced: a timeout scheduled before a crash must not fire
+    // into the rebooted node's fresh state.
+    schedule_timer(timeout, [this, nonce]() { on_probe_timeout(nonce); });
   }
 }
 
@@ -371,7 +438,9 @@ void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
   if (delivery.msg.src != probe.target) return;  // mismatched responder
   ++ctx_.metrics.probe_replies;
 
-  const auto m = ctx_.measure(delivery, reply, position(), rng_);
+  const auto m = ctx_.measure(
+      delivery, reply, position(), rng_,
+      channel().faults().rtt_skew_cycles(id(), delivery.msg.src));
   ctx_.rtt_probe_hist->observe(m.rtt_cycles);
   ctx_.residual_hist->observe(m.distance_ft - m.physical_distance_ft);
   if (ctx_.tracer.on()) {
@@ -467,14 +536,32 @@ void SensorNode::set_query_targets(std::vector<sim::NodeId> targets) {
   query_targets_ = std::move(targets);
 }
 
-void SensorNode::start() {
-  sim::SimTime at = ctx_.config.sensor_phase_start;
+void SensorNode::start() { schedule_queries(); }
+
+void SensorNode::schedule_queries() {
+  sim::SimTime at =
+      std::max(scheduler().now(), ctx_.config.sensor_phase_start);
   for (const auto target : query_targets_) {
     at += ctx_.config.transmission_stagger;
-    scheduler().schedule_at(at, [this, target]() {
+    schedule_timer_at(at, [this, target]() {
       send_query(PendingQuery{target, 0}, /*is_retransmission=*/false);
     });
   }
+}
+
+void SensorNode::on_crash(sim::SimTime) {
+  // In-flight queries and accepted references are RAM-resident: a crash
+  // forgets both, and localization has to start over.
+  pending_.clear();
+  accepted_.clear();
+}
+
+void SensorNode::on_reboot(sim::SimTime, sim::SimTime) {
+  // Whether the reboot lands before or inside the sensor phase, the node
+  // re-queries everything: the pre-crash query timers are epoch-fenced and
+  // its accepted set was lost either way. (Before the phase this simply
+  // re-registers the original schedule.)
+  schedule_queries();
 }
 
 void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
@@ -505,8 +592,7 @@ void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
   if (ctx_.config.arq.enabled) {
     const sim::SimTime timeout =
         sim::arq_timeout(ctx_.config.arq, attempt, rng_);
-    scheduler().schedule_after(timeout,
-                               [this, nonce]() { on_query_timeout(nonce); });
+    schedule_timer(timeout, [this, nonce]() { on_query_timeout(nonce); });
   }
 }
 
@@ -564,7 +650,9 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
   if (delivery.msg.src != target) return;
   ++ctx_.metrics.sensor_replies;
 
-  const auto m = ctx_.measure(delivery, reply, position(), rng_);
+  const auto m = ctx_.measure(
+      delivery, reply, position(), rng_,
+      channel().faults().rtt_skew_cycles(id(), delivery.msg.src));
   ctx_.rtt_query_hist->observe(m.rtt_cycles);
   ctx_.residual_hist->observe(m.distance_ft - m.physical_distance_ft);
   if (ctx_.tracer.on()) {
@@ -634,11 +722,22 @@ void SensorNode::on_message(const sim::Delivery& delivery) {
 
 void SensorNode::finalize() {
   SLD_PROF_SCOPE("sensor.finalize");
+  // A sensor that is down when the phase ends has nothing to localize
+  // with — its accepted references died in the crash.
+  if (is_down()) {
+    ++ctx_.metrics.sensors_unlocalized;
+    if (ctx_.tracer.on()) {
+      ctx_.tracer.emit(ctx_.tracer.event("sensor.unlocalized")
+                           .f("node", id())
+                           .f("refs", static_cast<std::uint64_t>(0)));
+    }
+    return;
+  }
   localization::LocationReferences refs;
   refs.reserve(accepted_.size());
   std::unordered_set<sim::NodeId> counted;
   for (const auto& acc : accepted_) {
-    const bool revoked = ctx_.base_station.is_revoked(acc.ref.beacon_id) &&
+    const bool revoked = ctx_.bs().is_revoked(acc.ref.beacon_id) &&
                          ctx_.dissemination.sensor_knows(id(),
                                                          acc.ref.beacon_id);
     if (revoked) {

@@ -24,7 +24,9 @@
 #include "ranging/wormhole_detector.hpp"
 #include "revocation/base_station.hpp"
 #include "revocation/dissemination.hpp"
+#include "revocation/failover.hpp"
 #include "sim/network.hpp"
+#include "sim/recoverable.hpp"
 #include "util/stats.hpp"
 
 namespace sld::core {
@@ -54,6 +56,13 @@ struct Metrics {
   std::uint64_t sensor_no_response = 0;
   std::uint64_t alert_retransmissions = 0;
   std::uint64_t alerts_delivery_failed = 0;
+  /// Alerts (including queued retries) that died because their reporter
+  /// crashed before the delivery attempt fired — crash windows lose the
+  /// reporter's volatile ARQ state.
+  std::uint64_t alerts_dropped_reporter_crash = 0;
+  /// Delivery attempts that found no base station available (primary down,
+  /// standby not yet promoted); retried under the ARQ policy like a loss.
+  std::uint64_t alerts_station_unavailable = 0;
 
   /// (revoked beacon, simulation time) per revocation, in order — the
   /// basis of revocation-latency reporting under lossy alert transport.
@@ -101,12 +110,23 @@ struct SystemContext {
   ranging::RttCalibration rtt_calibration;
   std::unique_ptr<ranging::WormholeDetector> wormhole_detector;
   std::optional<detection::Detector> detector;  // built after calibration
-  revocation::BaseStation base_station;
+  /// Base-station side of the protocol. With the default FailoverConfig
+  /// this is a pass-through single station, bit-for-bit the seed behaviour;
+  /// chaos configs give it durable storage, outages, and a standby.
+  revocation::BaseStationCluster cluster;
+  /// The station whose word currently counts (revocation list, counters).
+  const revocation::BaseStation& bs() const { return cluster.authority(); }
   revocation::DisseminationModel dissemination;
   std::unordered_map<sim::NodeId, BeaconTruth> truth;
   Metrics metrics;
   util::Rng rng;
   sim::Scheduler* scheduler = nullptr;  // set by the system before start
+  /// Fault injector of the trial's channel (set by the system alongside
+  /// `scheduler`); nullptr means no fault model exists (unit-test contexts).
+  const sim::FaultInjector* faults = nullptr;
+  /// Monotonic alert-nonce source: every submitted alert gets a fresh nonce
+  /// so base-station dedup can tell a retransmitted copy from new evidence.
+  std::uint64_t next_alert_nonce = 0;
 
   /// Event tracer shared by every node (off until the system installs a
   /// sink-backed one alongside the scheduler).
@@ -121,6 +141,9 @@ struct SystemContext {
   obs::Histogram* residual_hist = nullptr;       // ranging.residual_ft
   obs::Histogram* alert_counter_hist = nullptr;  // bs.alert_counter
   obs::Histogram* node_energy_hist = nullptr;    // radio.node_energy_uj
+  /// recovery.latency_ms — registered only when failover is configured, so
+  /// default metric snapshots (and the bench goldens) are unchanged.
+  obs::Histogram* recovery_hist = nullptr;
 
   /// Delivers an alert to the base station with a small random transport
   /// jitter, so honest and colluding alerts interleave realistically.
@@ -131,8 +154,10 @@ struct SystemContext {
                     bool collusion_alert);
 
   /// One alert-transport delivery attempt (attempt 0 is the original).
+  /// `nonce` identifies the alert across retries, so a duplicated copy can
+  /// never double-count at the base station.
   void deliver_alert_attempt(sim::NodeId reporter, sim::NodeId target,
-                             std::size_t attempt);
+                             std::uint64_t nonce, std::size_t attempt);
 
   /// Measured distance + observed RTT for one received beacon reply.
   struct SignalMeasurement {
@@ -142,15 +167,25 @@ struct SystemContext {
     /// this is the ranging residual the metrics histogram tracks.
     double physical_distance_ft = 0.0;
   };
+  /// `rtt_skew_cycles` is the clock-drift-induced RTT measurement error of
+  /// this receiver/sender pair (0 with drift disabled); callers compute it
+  /// via FaultInjector::rtt_skew_cycles with their *physical* node id.
   SignalMeasurement measure(const sim::Delivery& delivery,
                             const sim::BeaconReplyPayload& payload,
                             const util::Vec2& receiver_position,
-                            util::Rng& node_rng) const;
+                            util::Rng& node_rng,
+                            double rtt_skew_cycles = 0.0) const;
 };
 
 /// A benign beacon node: answers beacon requests truthfully and probes the
 /// beacons around it through its m detecting IDs (paper §2.1).
-class BeaconNode final : public sim::Node {
+///
+/// Crash-recovery semantics: pending probes and the reported-targets set
+/// live in volatile RAM, so a crash loses them. A reboot inside the probe
+/// phase restarts the probe schedule from scratch; the base station's nonce
+/// dedup keeps re-transported alert copies idempotent, while a genuinely
+/// re-detected alert after reboot counts as fresh evidence.
+class BeaconNode final : public sim::Node, public sim::Recoverable {
  public:
   BeaconNode(sim::NodeId id, util::Vec2 position, double range_ft,
              SystemContext& ctx, std::vector<sim::NodeId> detecting_ids);
@@ -165,6 +200,8 @@ class BeaconNode final : public sim::Node {
 
   void start() override;
   void on_message(const sim::Delivery& delivery) override;
+  void on_crash(sim::SimTime now) override;
+  void on_reboot(sim::SimTime now, sim::SimTime downtime) override;
 
   std::size_t alerts_reported() const { return reported_.size(); }
 
@@ -183,6 +220,9 @@ class BeaconNode final : public sim::Node {
 
   void handle_request(const sim::Delivery& delivery);
   void handle_probe_reply(const sim::Delivery& delivery);
+  /// (Re)schedules one probe per (target, detecting id), staggered from
+  /// max(now, probe_phase_start) — start() and post-reboot restarts share it.
+  void schedule_probes();
   void send_probe(sim::NodeId target, sim::NodeId detecting_id);
   void send_probe_round(PendingProbe probe, bool is_retransmission);
   void on_probe_timeout(std::uint64_t nonce);
@@ -217,7 +257,12 @@ class MaliciousBeaconNode final : public sim::Node {
 
 /// A non-beacon sensor: requests beacon signals from the beacons around it,
 /// filters them (§2.2 pipelines), drops revoked beacons, and multilaterates.
-class SensorNode final : public sim::Node {
+///
+/// Crash-recovery semantics: pending queries and already-accepted location
+/// references are volatile; a reboot inside the sensor phase re-queries
+/// every target from scratch. A sensor that is down when finalize() fires
+/// counts as unlocalized.
+class SensorNode final : public sim::Node, public sim::Recoverable {
  public:
   SensorNode(sim::NodeId id, util::Vec2 position, double range_ft,
              SystemContext& ctx);
@@ -227,6 +272,8 @@ class SensorNode final : public sim::Node {
 
   void start() override;
   void on_message(const sim::Delivery& delivery) override;
+  void on_crash(sim::SimTime now) override;
+  void on_reboot(sim::SimTime now, sim::SimTime downtime) override;
 
   /// Called by the system after the sensor phase: applies revocations,
   /// localizes, and records metrics.
@@ -248,6 +295,9 @@ class SensorNode final : public sim::Node {
     std::size_t attempt = 0;
   };
 
+  /// (Re)schedules one query per target, staggered from
+  /// max(now, sensor_phase_start) — start() and post-reboot restarts.
+  void schedule_queries();
   void send_query(PendingQuery query, bool is_retransmission);
   void on_query_timeout(std::uint64_t nonce);
 

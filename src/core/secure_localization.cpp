@@ -1,6 +1,7 @@
 #include "core/secure_localization.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "attack/collusion.hpp"
@@ -46,6 +47,7 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
 
   build_nodes();
   ctx_->scheduler = &network_.scheduler();
+  ctx_->faults = &network_.channel().faults();
 
   // Wire one sink-backed tracer (clocked by the trial's scheduler) through
   // every instrumented layer. With no sink this constructs an off tracer
@@ -57,7 +59,7 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
   ctx_->tracer = tracer;
   network_.channel().set_tracer(tracer);
   ctx_->detector->set_tracer(tracer);
-  ctx_->base_station.set_tracer(tracer);
+  ctx_->cluster.set_tracer(tracer);
   ctx_->dissemination.set_tracer(tracer);
 
   if (tracer.on()) {
@@ -158,6 +160,18 @@ void SecureLocalizationSystem::schedule_collusion() {
     ctx_->submit_alert(alert.reporter, alert.target, /*collusion_alert=*/true);
 }
 
+void SecureLocalizationSystem::schedule_failover() {
+  // Drive cluster availability transitions at their exact times, so
+  // bs.failover traces and the recovery-latency histogram are stamped with
+  // the true transition instant rather than the next alert's arrival. An
+  // empty transition list (the default config) schedules nothing.
+  for (const auto& tr : ctx_->cluster.transitions()) {
+    const sim::SimTime t = tr.t;
+    network_.scheduler().schedule_at(
+        t, [this, t]() { ctx_->cluster.advance(t); });
+  }
+}
+
 void SecureLocalizationSystem::schedule_finalize() {
   std::size_t max_targets = 0;
   for (const auto* s : sensor_nodes_)
@@ -186,6 +200,7 @@ TrialSummary SecureLocalizationSystem::run() {
     obs::ScopedTimerMs timer(ctx_->instruments, "phase.probing_ms");
     network_.start_all();
     schedule_collusion();
+    schedule_failover();
     schedule_finalize();
     network_.scheduler().run_until(config_.sensor_phase_start);
   }
@@ -193,6 +208,9 @@ TrialSummary SecureLocalizationSystem::run() {
     obs::ScopedTimerMs timer(ctx_->instruments, "phase.localization_ms");
     network_.run();
   }
+  // Apply any availability transitions past the last executed event, so
+  // summarize() reads the cluster's final state.
+  ctx_->cluster.advance(std::numeric_limits<sim::SimTime>::max());
 
   ctx_->instruments.gauge("sched.events")
       .set(static_cast<double>(network_.scheduler().executed()));
@@ -209,9 +227,9 @@ TrialSummary SecureLocalizationSystem::run() {
     std::size_t malicious_revoked = 0;
     std::size_t benign_revoked = 0;
     for (const auto* m : malicious_nodes_)
-      if (ctx_->base_station.is_revoked(m->id())) ++malicious_revoked;
+      if (ctx_->bs().is_revoked(m->id())) ++malicious_revoked;
     for (const auto* b : benign_nodes_)
-      if (ctx_->base_station.is_revoked(b->id())) ++benign_revoked;
+      if (ctx_->bs().is_revoked(b->id())) ++benign_revoked;
     ctx_->tracer.emit(
         ctx_->tracer.event("trial.end")
             .f("seed", config_.seed)
@@ -233,14 +251,14 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   for (const auto* m : malicious_nodes_) {
     requester_sum +=
         static_cast<double>(network_.connected_nodes(m->id()).size());
-    if (ctx_->base_station.is_revoked(m->id())) ++s.malicious_revoked;
+    if (ctx_->bs().is_revoked(m->id())) ++s.malicious_revoked;
   }
   s.avg_requesters_per_malicious =
       malicious_nodes_.empty()
           ? 0.0
           : requester_sum / static_cast<double>(malicious_nodes_.size());
   for (const auto* b : benign_nodes_) {
-    if (ctx_->base_station.is_revoked(b->id())) ++s.benign_revoked;
+    if (ctx_->bs().is_revoked(b->id())) ++s.benign_revoked;
   }
   s.detection_rate =
       malicious_nodes_.empty()
@@ -285,7 +303,9 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.sched_events = network_.scheduler().executed();
   s.rtt_x_max_cycles = ctx_->rtt_calibration.x_max_cycles;
   s.raw = ctx_->metrics;
-  s.base_station = ctx_->base_station.stats();
+  s.base_station = ctx_->bs().stats();
+  s.cluster = ctx_->cluster.stats();
+  s.durable = ctx_->cluster.wal().stats();
   s.channel = network_.channel().stats();
   s.metrics_json = ctx_->instruments.snapshot_json();
   return s;

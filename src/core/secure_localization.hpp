@@ -60,6 +60,9 @@ struct TrialSummary {
   double rtt_x_max_cycles = 0.0;
   Metrics raw;
   revocation::BaseStationStats base_station;
+  /// Failover/durability accounting (all zero with the default config).
+  revocation::ClusterStats cluster;
+  revocation::DurableStoreStats durable;
   sim::ChannelStats channel;
 
   /// JSON snapshot of the trial's instrument registry (counters, gauges,
@@ -85,6 +88,7 @@ class SecureLocalizationSystem {
  private:
   void build_nodes();
   void schedule_collusion();
+  void schedule_failover();
   void schedule_finalize();
   TrialSummary summarize() const;
 

@@ -7,10 +7,23 @@ namespace sld::ranging {
 TimeSyncResult synchronize(const MoteTimingModel& model, double distance_ft,
                            double true_offset_cycles,
                            double attacker_delay_cycles, util::Rng& rng) {
+  return synchronize_drifting(model, distance_ft, true_offset_cycles,
+                              /*drift_ppm=*/0.0, attacker_delay_cycles, rng);
+}
+
+TimeSyncResult synchronize_drifting(const MoteTimingModel& model,
+                                    double distance_ft,
+                                    double true_offset_cycles,
+                                    double drift_ppm,
+                                    double attacker_delay_cycles,
+                                    util::Rng& rng) {
   if (distance_ft < 0.0)
     throw std::invalid_argument("synchronize: negative distance");
   if (attacker_delay_cycles < 0.0)
     throw std::invalid_argument("synchronize: negative attacker delay");
+  const double rho = drift_ppm * 1e-6;
+  if (rho <= -1.0)
+    throw std::invalid_argument("synchronize: drift stops the clock");
 
   const auto& cfg = model.config();
   const auto edge = [&]() {
@@ -18,16 +31,23 @@ TimeSyncResult synchronize(const MoteTimingModel& model, double distance_ft,
   };
   const double flight = sim::propagation_cycles(distance_ft);
 
-  // Sender clock = reference; receiver clock = reference + offset. The
-  // pulse-delay attacker jams the *reply in flight* and replays it late:
-  // an asymmetric path delay, which is exactly what the symmetric
-  // exchange cannot cancel (unlike the receiver's own turnaround time,
-  // which drops out of the computation).
-  const double t1 = 1000.0;                      // sender clock
+  // Sender clock = reference; the receiver clock reads
+  // offset + (T - t1) * (1 + rho) ahead of reference time T — the offset
+  // is what it was when the exchange began, and drift accrues over the
+  // exchange itself. The pulse-delay attacker jams the *reply in flight*
+  // and replays it late: an asymmetric path delay, which is exactly what
+  // the symmetric exchange cannot cancel (unlike the receiver's own
+  // turnaround time, which drops out — exactly at rho = 0, approximately
+  // under drift).
+  const double t1 = 1000.0;                             // sender clock
   const double arrive = t1 + edge() + flight + edge();  // reference time
-  const double t2 = arrive + true_offset_cycles;        // receiver clock
-  const double t3 = t2 + 500.0;                         // receiver clock
-  const double depart = t3 - true_offset_cycles;        // reference time
+  const double t2 = arrive + true_offset_cycles +
+                    rho * (arrive - t1);                // receiver clock
+  const double t3 = t2 + kSyncTurnaroundCycles;         // receiver clock
+  // The turnaround was measured by the skewed crystal: its reference-time
+  // duration is turnaround / (1 + rho).
+  const double depart =
+      arrive + kSyncTurnaroundCycles / (1.0 + rho);     // reference time
   const double t4 = depart + edge() + flight + attacker_delay_cycles +
                     edge();                             // sender clock
 
@@ -43,6 +63,28 @@ double max_sync_error_cycles(const MoteTimingModel& model) {
   // |(e1 + e2) - (e3 + e4)| / 2 <= jitter (each pair differs by at most
   // 2 * jitter, halved).
   return model.config().edge_jitter_cycles;
+}
+
+double max_sync_error_cycles(const MoteTimingModel& model,
+                             double max_drift_ppm, double max_distance_ft) {
+  if (max_drift_ppm < 0.0)
+    throw std::invalid_argument("max_sync_error_cycles: negative drift bound");
+  if (max_distance_ft < 0.0)
+    throw std::invalid_argument("max_sync_error_cycles: negative distance");
+  const auto& cfg = model.config();
+  const double rho = max_drift_ppm * 1e-6;
+  if (rho >= 1.0)
+    throw std::invalid_argument("max_sync_error_cycles: drift bound >= 1");
+  // Drift adds rho * (e1 + flight + e2) (the forward path observed through
+  // the skewed clock) and turnaround * (1 - 1 / (1 + rho)) / 2 (the skewed
+  // turnaround's residual) to the asymmetry bound. |1 - 1 / (1 + rho)| <=
+  // |rho| / (1 - |rho|) for either sign, so one safety factor covers both
+  // terms.
+  const double forward =
+      2.0 * (cfg.edge_base_cycles + cfg.edge_jitter_cycles) +
+      sim::propagation_cycles(max_distance_ft);
+  return cfg.edge_jitter_cycles +
+         rho / (1.0 - rho) * (forward + kSyncTurnaroundCycles / 2.0);
 }
 
 }  // namespace sld::ranging

@@ -23,6 +23,11 @@ struct TimeSyncResult {
   double delay_cycles = 0.0;
 };
 
+/// Receiver turnaround between receiving the request and stamping the
+/// reply, in receiver-clock cycles (fixed, so it cancels exactly in the
+/// drift-free symmetric exchange).
+inline constexpr double kSyncTurnaroundCycles = 500.0;
+
 /// One synchronization exchange between clocks that differ by
 /// `true_offset_cycles`; an attacker may hold the reply back by
 /// `attacker_delay_cycles` (the pulse-delay attack), which corrupts the
@@ -31,8 +36,29 @@ TimeSyncResult synchronize(const MoteTimingModel& model, double distance_ft,
                            double true_offset_cycles,
                            double attacker_delay_cycles, util::Rng& rng);
 
+/// Like synchronize(), but the receiver's crystal runs at a rate of
+/// (1 + drift_ppm * 1e-6) relative to the sender's. Drift accrues over the
+/// exchange itself: the forward-path delays and the receiver's turnaround
+/// are observed through the skewed clock, so the offset estimate picks up
+/// an extra error of about drift * (forward delay + turnaround / 2) that
+/// the symmetric exchange cannot cancel. drift_ppm = 0 reproduces
+/// synchronize() bit-for-bit.
+TimeSyncResult synchronize_drifting(const MoteTimingModel& model,
+                                    double distance_ft,
+                                    double true_offset_cycles,
+                                    double drift_ppm,
+                                    double attacker_delay_cycles,
+                                    util::Rng& rng);
+
 /// Worst-case honest offset error of one exchange: half the spread of the
 /// per-edge hardware delay (the asymmetry bound).
 double max_sync_error_cycles(const MoteTimingModel& model);
+
+/// Drift-aware bound for exchanges up to `max_distance_ft`: the asymmetry
+/// bound plus the worst-case drift accrual over the forward path and
+/// turnaround, with a 1 / (1 - |rho|) safety factor covering the skewed
+/// turnaround conversion for either drift sign.
+double max_sync_error_cycles(const MoteTimingModel& model,
+                             double max_drift_ppm, double max_distance_ft);
 
 }  // namespace sld::ranging

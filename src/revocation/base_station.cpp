@@ -18,24 +18,39 @@ const char* disposition_name(AlertDisposition d) {
       return "ignored_quota";
     case AlertDisposition::kIgnoredTargetRevoked:
       return "ignored_revoked";
+    case AlertDisposition::kIgnoredDuplicate:
+      return "ignored_duplicate";
   }
   return "unknown";
 }
+
+/// High bit distinguishes internally stamped nonces from caller-assigned
+/// ones (SystemContext uses a small counter), so the two can never collide.
+constexpr std::uint64_t kAutoNonceBit = 1ULL << 63;
 }  // namespace
 
 AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                                             sim::NodeId target) {
+  return process_alert(reporter, target, kAutoNonceBit | ++auto_nonce_);
+}
+
+AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
+                                            sim::NodeId target,
+                                            std::uint64_t nonce) {
   SLD_PROF_SCOPE("bs.process_alert");
   const std::uint32_t alerts_before = alert_counter(target);
   const bool revoked_before = revoked_.contains(target);
-  const AlertDisposition disposition = process_alert_impl(reporter, target);
+  const AlertDisposition disposition =
+      process_alert_impl(reporter, target, nonce);
   SLD_INVARIANT(stats_.alerts_received ==
                     stats_.alerts_accepted + stats_.alerts_ignored_quota +
-                        stats_.alerts_ignored_revoked,
+                        stats_.alerts_ignored_revoked +
+                        stats_.alerts_ignored_duplicate,
                 "alert accounting: received=" << stats_.alerts_received
                     << " accepted=" << stats_.alerts_accepted << " quota="
                     << stats_.alerts_ignored_quota << " revoked_ignored="
-                    << stats_.alerts_ignored_revoked);
+                    << stats_.alerts_ignored_revoked << " duplicate="
+                    << stats_.alerts_ignored_duplicate);
   SLD_INVARIANT(stats_.revocations == revoked_.size() &&
                     revoked_.size() == revocation_order_.size(),
                 "revocation bookkeeping: stat=" << stats_.revocations
@@ -72,8 +87,16 @@ AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
 }
 
 AlertDisposition BaseStation::process_alert_impl(sim::NodeId reporter,
-                                                 sim::NodeId target) {
+                                                 sim::NodeId target,
+                                                 std::uint64_t nonce) {
   ++stats_.alerts_received;
+
+  // Idempotence: a (reporter, target, nonce) key is counted at most once,
+  // whatever the transport did to the packet in between.
+  if (!seen_.insert(AlertKey{reporter, target, nonce}).second) {
+    ++stats_.alerts_ignored_duplicate;
+    return AlertDisposition::kIgnoredDuplicate;
+  }
 
   // Paper: accept iff the reporter's report counter has not exceeded tau1
   // and the target is not revoked. Note the reporter being revoked does
@@ -110,6 +133,28 @@ std::uint32_t BaseStation::alert_counter(sim::NodeId beacon) const {
 std::uint32_t BaseStation::report_counter(sim::NodeId beacon) const {
   const auto it = report_counter_.find(beacon);
   return it == report_counter_.end() ? 0 : it->second;
+}
+
+BaseStationState BaseStation::export_state() const {
+  BaseStationState state;
+  state.alert_counter = alert_counter_;
+  state.report_counter = report_counter_;
+  state.revocation_order = revocation_order_;
+  state.seen = seen_;
+  state.auto_nonce = auto_nonce_;
+  state.stats = stats_;
+  return state;
+}
+
+void BaseStation::import_state(const BaseStationState& state) {
+  alert_counter_ = state.alert_counter;
+  report_counter_ = state.report_counter;
+  revocation_order_ = state.revocation_order;
+  revoked_ = std::unordered_set<sim::NodeId>(state.revocation_order.begin(),
+                                             state.revocation_order.end());
+  seen_ = state.seen;
+  auto_nonce_ = state.auto_nonce;
+  stats_ = state.stats;
 }
 
 }  // namespace sld::revocation

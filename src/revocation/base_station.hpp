@@ -38,6 +38,7 @@ enum class AlertDisposition {
   kAcceptedAndRevoked,     // this alert pushed the target over tau2
   kIgnoredReporterQuota,   // reporter's report counter exceeded tau1
   kIgnoredTargetRevoked,   // target was already revoked
+  kIgnoredDuplicate,       // same (reporter, target, nonce) seen before
 };
 
 struct BaseStationStats {
@@ -45,7 +46,43 @@ struct BaseStationStats {
   std::uint64_t alerts_accepted = 0;
   std::uint64_t alerts_ignored_quota = 0;
   std::uint64_t alerts_ignored_revoked = 0;
+  std::uint64_t alerts_ignored_duplicate = 0;
   std::uint64_t revocations = 0;
+};
+
+/// Identity of one alert submission. The nonce makes retransmissions of
+/// the same alert (channel duplication, ARQ re-sends straddling a
+/// failover) idempotent at the base station: a key is counted at most
+/// once, so a duplicated packet can never double-increment a counter.
+struct AlertKey {
+  sim::NodeId reporter = 0;
+  sim::NodeId target = 0;
+  std::uint64_t nonce = 0;
+
+  friend bool operator==(const AlertKey&, const AlertKey&) = default;
+};
+
+struct AlertKeyHash {
+  std::size_t operator()(const AlertKey& k) const {
+    std::uint64_t x = k.nonce;
+    x ^= (static_cast<std::uint64_t>(k.reporter) << 32) | k.target;
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Serializable image of a base station — what a snapshot persists and
+/// what a standby imports before replaying the WAL tail.
+struct BaseStationState {
+  std::unordered_map<sim::NodeId, std::uint32_t> alert_counter;
+  std::unordered_map<sim::NodeId, std::uint32_t> report_counter;
+  std::vector<sim::NodeId> revocation_order;
+  std::unordered_set<AlertKey, AlertKeyHash> seen;
+  std::uint64_t auto_nonce = 0;
+  BaseStationStats stats;
 };
 
 class BaseStation {
@@ -54,8 +91,16 @@ class BaseStation {
 
   const RevocationConfig& config() const { return config_; }
 
-  /// Processes one alert (paper §3.1 algorithm).
+  /// Processes one alert (paper §3.1 algorithm). This overload stamps the
+  /// alert with a fresh internal nonce, so every call counts as a distinct
+  /// submission — the pre-nonce behaviour.
   AlertDisposition process_alert(sim::NodeId reporter, sim::NodeId target);
+
+  /// Processes one alert identified by (reporter, target, nonce). A key
+  /// already counted is ignored as a duplicate — retransmitted packets are
+  /// idempotent.
+  AlertDisposition process_alert(sim::NodeId reporter, sim::NodeId target,
+                                 std::uint64_t nonce);
 
   bool is_revoked(sim::NodeId beacon) const {
     return revoked_.contains(beacon);
@@ -75,9 +120,16 @@ class BaseStation {
   /// `bs.revoke` record when a counter crosses tau2.
   void set_tracer(obs::Tracer tracer) { trace_ = std::move(tracer); }
 
+  /// Copies the station's durable image (counters, revocation list, seen
+  /// alert keys, stats) for a snapshot.
+  BaseStationState export_state() const;
+
+  /// Replaces the station's state with `state` (restore from snapshot).
+  void import_state(const BaseStationState& state);
+
  private:
-  AlertDisposition process_alert_impl(sim::NodeId reporter,
-                                      sim::NodeId target);
+  AlertDisposition process_alert_impl(sim::NodeId reporter, sim::NodeId target,
+                                      std::uint64_t nonce);
 
   RevocationConfig config_;
   obs::Tracer trace_;
@@ -85,6 +137,10 @@ class BaseStation {
   std::unordered_map<sim::NodeId, std::uint32_t> report_counter_;
   std::unordered_set<sim::NodeId> revoked_;
   std::vector<sim::NodeId> revocation_order_;
+  std::unordered_set<AlertKey, AlertKeyHash> seen_;
+  /// Nonce source for the nonce-less overload; the high bit keeps the
+  /// internal namespace disjoint from caller-assigned nonces.
+  std::uint64_t auto_nonce_ = 0;
   BaseStationStats stats_;
 };
 

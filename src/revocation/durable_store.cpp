@@ -1,0 +1,71 @@
+#include "revocation/durable_store.hpp"
+
+#include <stdexcept>
+
+namespace sld::revocation {
+
+DurableStore::DurableStore(DurableConfig config) : config_(config) {
+  if (config_.fsync_every_records == 0)
+    throw std::invalid_argument("DurableStore: fsync interval must be >= 1");
+  if (config_.snapshot_every_records == 0)
+    throw std::invalid_argument("DurableStore: snapshot interval must be >= 1");
+}
+
+bool DurableStore::append(const AlertKey& record, const BaseStation& station) {
+  if (!config_.enabled) return false;
+  pending_.push_back(record);
+  ++stats_.appends;
+  if (pending_.size() < config_.fsync_every_records) return false;
+  flush();
+  maybe_snapshot(station);
+  return true;
+}
+
+void DurableStore::flush() {
+  if (!config_.enabled || pending_.empty()) return;
+  for (const AlertKey& r : pending_) {
+    tail_.push_back(r);
+    ++durable_alerts_[r.target];
+  }
+  pending_.clear();
+  ++stats_.flushes;
+}
+
+void DurableStore::drop_pending() {
+  if (pending_.empty()) return;
+  for (const AlertKey& r : pending_) ++lost_alerts_[r.target];
+  stats_.records_lost += pending_.size();
+  pending_.clear();
+}
+
+void DurableStore::maybe_snapshot(const BaseStation& station) {
+  if (tail_.size() <= config_.snapshot_every_records) return;
+  // Right after a flush the station state covers exactly (snapshot + tail),
+  // so its image can replace both.
+  snapshot_ = station.export_state();
+  tail_.clear();
+  ++stats_.snapshots;
+}
+
+BaseStation DurableStore::restore(const RevocationConfig& config) const {
+  BaseStation station(config);
+  if (!config_.enabled) return station;
+  if (snapshot_.has_value()) station.import_state(*snapshot_);
+  // The WAL tail holds only accepted records in accept order, so replaying
+  // them through the normal path reproduces counters and revocations
+  // exactly (and the nonce dedup makes a re-delivered copy a no-op).
+  for (const AlertKey& r : tail_) station.process_alert(r.reporter, r.target, r.nonce);
+  return station;
+}
+
+std::uint32_t DurableStore::durable_alerts(sim::NodeId target) const {
+  const auto it = durable_alerts_.find(target);
+  return it == durable_alerts_.end() ? 0 : it->second;
+}
+
+std::uint32_t DurableStore::lost_alerts(sim::NodeId target) const {
+  const auto it = lost_alerts_.find(target);
+  return it == lost_alerts_.end() ? 0 : it->second;
+}
+
+}  // namespace sld::revocation

@@ -1,0 +1,102 @@
+// Deterministic in-sim durable storage for base-station state: a snapshot
+// plus write-ahead log.
+//
+// The paper's §3.1 counters are assumed to live forever; a real base
+// station reboots. The DurableStore models the minimal persistence layer
+// that makes the scheme survive that: every *accepted* alert is appended
+// to a WAL as its (reporter, target, nonce) key, appends become durable
+// ("fsynced") every `fsync_every_records` appends, and once the flushed
+// tail grows past `snapshot_every_records` it is compacted into a snapshot
+// image of the full station state. A crash loses exactly the un-flushed
+// suffix — the configurable fsync loss window — and `restore()` rebuilds a
+// station by importing the snapshot and replaying the WAL tail through the
+// normal (idempotent, nonce-deduplicated) alert path, which reproduces the
+// counters, revocation list, and per-reporter quotas exactly.
+//
+// Everything is in-memory and a pure function of the calls made, so trials
+// stay bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "revocation/base_station.hpp"
+#include "sim/message.hpp"
+
+namespace sld::revocation {
+
+struct DurableConfig {
+  /// Master switch. Disabled stores accept appends but retain nothing:
+  /// a restart recovers an empty station (the pre-PR behaviour, now
+  /// explicit).
+  bool enabled = false;
+  /// Appends become crash-durable every this-many records (1 = fsync on
+  /// every append; larger values model group commit and widen the loss
+  /// window).
+  std::uint32_t fsync_every_records = 1;
+  /// Once the flushed WAL tail exceeds this many records it is compacted
+  /// into a snapshot of the full station state.
+  std::uint32_t snapshot_every_records = 64;
+};
+
+struct DurableStoreStats {
+  std::uint64_t appends = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t snapshots = 0;
+  /// Un-flushed records discarded by crashes.
+  std::uint64_t records_lost = 0;
+};
+
+class DurableStore {
+ public:
+  explicit DurableStore(DurableConfig config);
+
+  const DurableConfig& config() const { return config_; }
+  const DurableStoreStats& stats() const { return stats_; }
+
+  /// Appends one accepted alert. Returns true if the append triggered a
+  /// flush (records up to and including this one are now durable).
+  bool append(const AlertKey& record, const BaseStation& station);
+
+  /// Forces pending records to durability (e.g. at a clean shutdown).
+  void flush();
+
+  /// The active station crashed: the un-flushed suffix is gone.
+  void drop_pending();
+
+  /// Rebuilds a station from the snapshot plus WAL-tail replay. The result
+  /// reflects exactly the durable prefix of the accepted-alert history.
+  BaseStation restore(const RevocationConfig& config) const;
+
+  /// Durable accepted-alert count for `target` (snapshot + flushed tail).
+  /// After any restore, the station's alert counter is >= this only if no
+  /// quota/revocation rule truncated it — in practice the WAL only ever
+  /// contains accepted records, so equality holds; the chaos oracles use
+  /// it as the "counters never regress" floor.
+  std::uint32_t durable_alerts(sim::NodeId target) const;
+
+  /// Un-flushed records for `target` discarded by crashes so far.
+  std::uint32_t lost_alerts(sim::NodeId target) const;
+
+  std::size_t pending_records() const { return pending_.size(); }
+  std::size_t tail_records() const { return tail_.size(); }
+  bool has_snapshot() const { return snapshot_.has_value(); }
+
+ private:
+  void maybe_snapshot(const BaseStation& station);
+
+  DurableConfig config_;
+  std::optional<BaseStationState> snapshot_;
+  /// Flushed (durable) records newer than the snapshot, in accept order.
+  std::vector<AlertKey> tail_;
+  /// Appended but not yet flushed — lost if the active station crashes.
+  std::vector<AlertKey> pending_;
+  /// Accepted records per target in (snapshot + tail).
+  std::unordered_map<sim::NodeId, std::uint32_t> durable_alerts_;
+  std::unordered_map<sim::NodeId, std::uint32_t> lost_alerts_;
+  DurableStoreStats stats_;
+};
+
+}  // namespace sld::revocation

@@ -1,0 +1,164 @@
+#include "revocation/failover.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "check/invariant.hpp"
+
+namespace sld::revocation {
+
+namespace {
+/// Time of the last heartbeat at or before `t` (heartbeats start at 0).
+sim::SimTime last_heartbeat_before(sim::SimTime t, sim::SimTime interval) {
+  return (t / interval) * interval;
+}
+}  // namespace
+
+BaseStationCluster::BaseStationCluster(RevocationConfig revocation,
+                                       FailoverConfig failover)
+    : revocation_(revocation),
+      failover_(std::move(failover)),
+      wal_(failover_.durable) {
+  if (failover_.heartbeat_interval_ns <= 0)
+    throw std::invalid_argument("Failover: heartbeat interval must be > 0");
+  if (failover_.takeover_timeout_ns <= 0)
+    throw std::invalid_argument("Failover: takeover timeout must be > 0");
+  sim::SimTime prev_end = 0;
+  for (const auto& o : failover_.primary_outages) {
+    if (o.end <= o.start)
+      throw std::invalid_argument("Failover: empty outage window");
+    if (o.start < prev_end)
+      throw std::invalid_argument(
+          "Failover: outage windows must be sorted and non-overlapping");
+    prev_end = o.end;
+  }
+
+  stations_.emplace_back(revocation_);
+  if (failover_.standby_enabled) stations_.emplace_back(revocation_);
+
+  for (std::size_t i = 0; i < failover_.primary_outages.size(); ++i) {
+    const OutageWindow& o = failover_.primary_outages[i];
+    transitions_.push_back({o.start, Transition::Kind::kPrimaryDown, i});
+    if (failover_.standby_enabled) {
+      const sim::SimTime takeover =
+          last_heartbeat_before(o.start, failover_.heartbeat_interval_ns) +
+          failover_.takeover_timeout_ns;
+      if (takeover < o.end)
+        transitions_.push_back({takeover, Transition::Kind::kTakeover, i});
+    }
+    transitions_.push_back({o.end, Transition::Kind::kPrimaryBack, i});
+  }
+}
+
+void BaseStationCluster::set_tracer(obs::Tracer tracer) {
+  trace_ = std::move(tracer);
+  for (BaseStation& s : stations_) s.set_tracer(trace_);
+}
+
+void BaseStationCluster::advance(sim::SimTime now) {
+  SLD_INVARIANT(now >= last_advance_,
+                "cluster time ran backwards: " << now << " < " << last_advance_);
+  last_advance_ = now;
+  while (next_transition_ < transitions_.size() &&
+         transitions_[next_transition_].t <= now) {
+    apply(transitions_[next_transition_]);
+    ++next_transition_;
+  }
+}
+
+void BaseStationCluster::apply(const Transition& tr) {
+  const OutageWindow& outage = failover_.primary_outages[tr.outage];
+  switch (tr.kind) {
+    case Transition::Kind::kPrimaryDown: {
+      if (active_ == 0) {
+        // The active station's volatile state dies with it: un-flushed WAL
+        // records are gone, and what a restart can recover is exactly the
+        // durable prefix — so the authority view drops to it immediately.
+        wal_.drop_pending();
+        stations_[0] = wal_.restore(revocation_);
+        stations_[0].set_tracer(trace_);
+        service_down_ = true;
+      }
+      break;
+    }
+    case Transition::Kind::kTakeover: {
+      if (active_ != 0 || !service_down_) break;
+      stations_[1] = wal_.restore(revocation_);
+      stations_[1].set_tracer(trace_);
+      active_ = 1;
+      service_down_ = false;
+      ++epoch_;
+      ++cluster_stats_.failovers;
+      if (recovery_hist_ != nullptr)
+        recovery_hist_->observe(static_cast<double>(tr.t - outage.start) /
+                                static_cast<double>(sim::kMillisecond));
+      if (trace_.on())
+        trace_.emit(trace_.event("bs.failover")
+                        .f("epoch", epoch_)
+                        .f("role", "takeover"));
+      break;
+    }
+    case Transition::Kind::kPrimaryBack: {
+      if (active_ == 0) {
+        // No standby promoted itself: the primary restarts from durable
+        // state (already loaded at crash time) and resumes service.
+        service_down_ = false;
+        ++cluster_stats_.restarts;
+        if (recovery_hist_ != nullptr)
+          recovery_hist_->observe(static_cast<double>(outage.end -
+                                                      outage.start) /
+                                  static_cast<double>(sim::kMillisecond));
+        if (trace_.on())
+          trace_.emit(trace_.event("bs.failover")
+                          .f("epoch", epoch_)
+                          .f("role", "restart"));
+      } else {
+        // Split-brain fence: the returned primary sees epoch_ > its own in
+        // the alert acks and demotes itself; the standby stays active.
+        ++cluster_stats_.fences;
+        if (trace_.on())
+          trace_.emit(trace_.event("bs.failover")
+                          .f("epoch", epoch_)
+                          .f("role", "fence"));
+      }
+      break;
+    }
+  }
+}
+
+bool BaseStationCluster::available(sim::SimTime now) {
+  advance(now);
+  return !service_down_;
+}
+
+AlertDisposition BaseStationCluster::process_alert(sim::SimTime now,
+                                                   sim::NodeId reporter,
+                                                   sim::NodeId target,
+                                                   std::uint64_t nonce) {
+  advance(now);
+  SLD_INVARIANT(!service_down_,
+                "process_alert while no station is available (t=" << now << ")");
+  BaseStation& station = stations_[active_];
+  const std::uint64_t snapshots_before = wal_.stats().snapshots;
+  const AlertDisposition disposition =
+      station.process_alert(reporter, target, nonce);
+  if (disposition == AlertDisposition::kAccepted ||
+      disposition == AlertDisposition::kAcceptedAndRevoked) {
+    ++accepted_[target];
+    wal_.append(AlertKey{reporter, target, nonce}, station);
+    if (trace_.on() && wal_.stats().snapshots > snapshots_before) {
+      trace_.emit(trace_.event("bs.snapshot")
+                      .f("records", wal_.stats().appends)
+                      .f("wal_tail", static_cast<std::uint64_t>(
+                                         wal_.tail_records())));
+    }
+  }
+  return disposition;
+}
+
+std::uint32_t BaseStationCluster::accepted_distinct(sim::NodeId target) const {
+  const auto it = accepted_.find(target);
+  return it == accepted_.end() ? 0 : it->second;
+}
+
+}  // namespace sld::revocation

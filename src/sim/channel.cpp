@@ -256,6 +256,22 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
       trace_.emit(trace_.event("pkt.crash_rx").f("node", dst.id()));
     return;
   }
+  // Partition cuts are static time windows over physical node sets, so the
+  // check runs against the deterministic arrival time and draws nothing.
+  if (!faults_.plan().partitions.empty()) {
+    const Node* src_node = find(msg.src);  // resolve aliases
+    const NodeId src_phys = src_node != nullptr ? src_node->id() : msg.src;
+    if (faults_.partition_blocked(src_phys, dst.id(),
+                                  scheduler_.now() + delay)) {
+      ++stats_.partition_drops;
+      check_conservation();
+      if (trace_.on())
+        trace_.emit(trace_.event("pkt.partition_drop")
+                        .f("src", msg.src)
+                        .f("dst", msg.dst));
+      return;
+    }
+  }
   auto fate = faults_.decide(msg.src, dst.id());
   if (fate.dropped) {
     ++stats_.dropped_by_fault;
@@ -296,12 +312,13 @@ void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
 
 void Channel::check_conservation() const {
   SLD_INVARIANT(stats_.deliveries + stats_.losses + stats_.dropped_by_fault +
-                        stats_.crashed_rx_drops ==
+                        stats_.crashed_rx_drops + stats_.partition_drops ==
                     stats_.delivery_attempts + stats_.duplicates,
                 "packet conservation: deliveries=" << stats_.deliveries
                     << " losses=" << stats_.losses << " fault_drops="
                     << stats_.dropped_by_fault << " crashed_rx="
-                    << stats_.crashed_rx_drops << " attempts="
+                    << stats_.crashed_rx_drops << " partition="
+                    << stats_.partition_drops << " attempts="
                     << stats_.delivery_attempts << " duplicates="
                     << stats_.duplicates);
   SLD_INVARIANT(stats_.crashed_drops ==

@@ -68,6 +68,7 @@ struct ChannelConfig {
 /// delivery. So
 ///
 ///   deliveries + losses + dropped_by_fault + crashed_rx_drops
+///       + partition_drops
 ///     == delivery_attempts + duplicates
 ///
 /// always, which `SLD_INVARIANT` asserts after every attempt in
@@ -91,6 +92,8 @@ struct ChannelStats {
   std::uint64_t crashed_drops = 0;
   std::uint64_t crashed_tx_drops = 0;
   std::uint64_t crashed_rx_drops = 0;
+  /// Deliveries dropped because they crossed an active partition cut.
+  std::uint64_t partition_drops = 0;
 };
 
 /// Per-node radio activity, the basis of energy accounting (tx and rx are
@@ -162,8 +165,12 @@ class Channel {
   /// Installs the event tracer (off by default). Emits one record per
   /// packet fate: pkt.send / pkt.deliver / pkt.loss / pkt.out_of_range /
   /// pkt.suppressed / pkt.fault_drop / pkt.duplicate / pkt.corrupt /
-  /// pkt.crash_tx / pkt.crash_rx.
+  /// pkt.crash_tx / pkt.crash_rx / pkt.partition_drop.
   void set_tracer(obs::Tracer tracer) { trace_ = std::move(tracer); }
+
+  /// The installed tracer (off by default). Nodes and the Network borrow
+  /// it for lifecycle events (node.reboot, partition.start/heal).
+  const obs::Tracer& tracer() const { return trace_; }
 
   /// Radio activity summed over every node — the basis of whole-network
   /// energy accounting (e.g. the energy overhead of retransmissions).

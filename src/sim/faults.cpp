@@ -26,7 +26,7 @@ bool FaultPlan::any_enabled() const {
   return loss_probability > 0.0 || burst.enabled() ||
          duplicate_probability > 0.0 || corruption_probability > 0.0 ||
          max_extra_delay_ns > 0 || !node_loss.empty() || !link_loss.empty() ||
-         !crashes.empty();
+         !crashes.empty() || clock_drift.enabled() || !partitions.empty();
 }
 
 FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
@@ -45,6 +45,21 @@ FaultInjector::FaultInjector(FaultPlan plan, util::Rng rng)
     if (w.end <= w.start)
       throw std::invalid_argument("FaultPlan: empty crash window");
   }
+  if (plan_.clock_drift.max_drift_ppm < 0.0)
+    throw std::invalid_argument("FaultPlan: negative clock drift");
+  if (plan_.clock_drift.enabled() && plan_.clock_drift.turnaround_cycles <= 0.0)
+    throw std::invalid_argument("FaultPlan: non-positive drift turnaround");
+  partition_sides_.reserve(plan_.partitions.size());
+  for (const auto& p : plan_.partitions) {
+    if (p.end <= p.start)
+      throw std::invalid_argument("FaultPlan: empty partition window");
+    if (p.side_a.empty())
+      throw std::invalid_argument("FaultPlan: partition with empty side");
+    partition_sides_.emplace_back(p.side_a.begin(), p.side_a.end());
+  }
+  // One draw from a child stream, so per-node drift rates are reproducible
+  // without ever touching the decide() stream.
+  drift_seed_ = rng_.fork(0xd21f7ULL)();
 }
 
 bool FaultInjector::node_crashed(NodeId node, SimTime t) const {
@@ -52,6 +67,32 @@ bool FaultInjector::node_crashed(NodeId node, SimTime t) const {
     if (w.node == node && t >= w.start && t < w.end) return true;
   }
   return false;
+}
+
+bool FaultInjector::partition_blocked(NodeId src, NodeId dst,
+                                      SimTime t) const {
+  for (std::size_t i = 0; i < partition_sides_.size(); ++i) {
+    const PartitionWindow& w = plan_.partitions[i];
+    if (t < w.start || t >= w.end) continue;
+    const auto& side = partition_sides_[i];
+    if (side.contains(src) != side.contains(dst)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::drift_ppm(NodeId node) const {
+  if (!plan_.clock_drift.enabled()) return 0.0;
+  std::uint64_t x =
+      drift_seed_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(node) + 1));
+  x = util::splitmix64(x);
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+  return (2.0 * u - 1.0) * plan_.clock_drift.max_drift_ppm;
+}
+
+double FaultInjector::rtt_skew_cycles(NodeId receiver, NodeId sender) const {
+  if (!plan_.clock_drift.enabled()) return 0.0;
+  return (drift_ppm(receiver) - drift_ppm(sender)) * 1e-6 *
+         plan_.clock_drift.turnaround_cycles;
 }
 
 bool FaultInjector::link_lost(NodeId src, NodeId dst) {

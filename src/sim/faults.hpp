@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -47,8 +48,38 @@ struct GilbertElliottConfig {
 };
 
 /// A node is offline (neither sends nor receives) during [start, end).
+/// On reboot at `end` the node has lost its volatile state: Network
+/// schedules crash/reboot transitions that run the node's Recoverable
+/// hooks, and Node-owned timers scheduled before the window never fire.
 struct CrashWindow {
   NodeId node = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// Deterministic per-node clock rate error. Each node runs its local clock
+/// at (1 + rate_ppm(node) * 1e-6) times real rate, with rate_ppm(node)
+/// drawn from [-max_drift_ppm, +max_drift_ppm] by hashing the node id, so
+/// the assignment is independent of call order and of every other RNG
+/// stream. The dominant effect on an RTT measurement is the responder's
+/// turnaround (t3 - t2) being timed by two different clocks:
+///   skew_cycles = (rate_rx - rate_tx) * 1e-6 * turnaround_cycles.
+struct ClockDriftConfig {
+  /// Maximum absolute clock rate error, parts per million. Zero disables.
+  double max_drift_ppm = 0.0;
+  /// Modeled responder turnaround (t3 - t2) in CPU cycles. Default is
+  /// ~20 ms at 7.3728 MHz — MAC backoff plus processing on a mote.
+  double turnaround_cycles = 147'456.0;
+
+  bool enabled() const { return max_drift_ppm > 0.0; }
+};
+
+/// The network is bipartitioned during [start, end): deliveries crossing
+/// the (side_a | everyone else) cut are dropped at their arrival time;
+/// deliveries within one side are unaffected. Node ids are physical ids
+/// (the Channel resolves aliases before checking).
+struct PartitionWindow {
+  std::vector<NodeId> side_a;
   SimTime start = 0;
   SimTime end = 0;
 };
@@ -74,6 +105,10 @@ struct FaultPlan {
   std::unordered_map<std::uint64_t, double> link_loss;
   /// Scheduled crash/reboot windows.
   std::vector<CrashWindow> crashes;
+  /// Per-node clock rate error feeding RTT / time-sync measurements.
+  ClockDriftConfig clock_drift;
+  /// Scheduled network bipartitions.
+  std::vector<PartitionWindow> partitions;
 
   static std::uint64_t link_key(NodeId src, NodeId dst) {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
@@ -97,6 +132,17 @@ class FaultInjector {
   /// True if `node` is inside one of its crash windows at time `t`.
   bool node_crashed(NodeId node, SimTime t) const;
 
+  /// True if a (src -> dst) delivery crosses an active partition cut at
+  /// time `t`. Pure time/set lookup; draws no randomness.
+  bool partition_blocked(NodeId src, NodeId dst, SimTime t) const;
+
+  /// `node`'s fixed clock rate error in ppm (zero when drift is disabled).
+  double drift_ppm(NodeId node) const;
+
+  /// Drift-induced skew of an RTT measured by `receiver` against
+  /// `sender`'s responder turnaround, in CPU cycles. Signed.
+  double rtt_skew_cycles(NodeId receiver, NodeId sender) const;
+
   /// What happens to one (src -> dst) delivery. Draws only for faults the
   /// plan enables; evolves the link's Gilbert-Elliott chain as a side
   /// effect.
@@ -118,8 +164,13 @@ class FaultInjector {
   FaultPlan plan_;
   util::Rng rng_;
   bool enabled_ = false;
+  /// Seed for the per-node drift hash; derived once from a fork of the
+  /// injector RNG so drift assignments never consume the decide() stream.
+  std::uint64_t drift_seed_ = 0;
   /// Gilbert-Elliott state per link: present and true => in the bad state.
   std::unordered_map<std::uint64_t, bool> link_in_bad_;
+  /// plan_.partitions[i].side_a as a set, for O(1) membership checks.
+  std::vector<std::unordered_set<NodeId>> partition_sides_;
 };
 
 }  // namespace sld::sim

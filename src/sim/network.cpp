@@ -50,6 +50,31 @@ std::vector<NodeId> Network::connected_nodes(NodeId id) const {
 
 void Network::start_all() {
   for (Node* n : order_) n->start();
+
+  // Fault-plan lifecycle transitions. Only configured plans schedule
+  // anything, so fault-free runs keep the seed event sequence bit-for-bit.
+  const FaultPlan& plan = channel_.faults().plan();
+  for (const auto& w : plan.crashes) {
+    Node* n = node(w.node);
+    if (n == nullptr) continue;
+    scheduler_.schedule_at(w.start, [n]() { n->crash_now(); });
+    scheduler_.schedule_at(w.end, [n]() { n->reboot_now(); });
+  }
+  for (const auto& p : plan.partitions) {
+    const auto nodes_a = static_cast<std::uint64_t>(p.side_a.size());
+    const SimTime duration = p.end - p.start;
+    scheduler_.schedule_at(p.start, [this, nodes_a]() {
+      const obs::Tracer& trace = channel_.tracer();
+      if (trace.on())
+        trace.emit(trace.event("partition.start").f("nodes_a", nodes_a));
+    });
+    scheduler_.schedule_at(p.end, [this, duration]() {
+      const obs::Tracer& trace = channel_.tracer();
+      if (trace.on())
+        trace.emit(trace.event("partition.heal")
+                       .f("duration_ns", static_cast<std::int64_t>(duration)));
+    });
+  }
 }
 
 std::uint64_t Network::run(std::uint64_t max_events) {

@@ -1,6 +1,11 @@
 #include "sim/node.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "check/invariant.hpp"
+#include "sim/channel.hpp"
+#include "sim/recoverable.hpp"
 
 namespace sld::sim {
 
@@ -25,6 +30,60 @@ Channel& Node::channel() const {
 Scheduler& Node::scheduler() const {
   if (scheduler_ == nullptr) throw std::logic_error("Node: not attached");
   return *scheduler_;
+}
+
+bool Node::alive_at(SimTime now) const {
+  if (down_) return false;
+  // Static crash windows cover tests that drive the channel without
+  // Network::start_all (no transition events): a timer may never act
+  // inside a configured window even if crash_now() was never called.
+  if (channel_ != nullptr && channel_->faults().enabled() &&
+      channel_->faults().node_crashed(id_, now))
+    return false;
+  return true;
+}
+
+void Node::schedule_timer(SimTime delay, std::function<void()> action) {
+  schedule_timer_at(scheduler().now() + delay, std::move(action));
+}
+
+void Node::schedule_timer_at(SimTime when, std::function<void()> action) {
+  Scheduler& sched = scheduler();
+  const std::uint32_t epoch = boot_epoch_;
+  sched.schedule_at(when, [this, epoch, action = std::move(action)]() {
+    if (epoch != boot_epoch_ || !alive_at(scheduler_->now())) {
+      ++timers_dropped_;
+      return;
+    }
+    SLD_INVARIANT(!down_ && !(channel_ != nullptr &&
+                              channel_->faults().enabled() &&
+                              channel_->faults().node_crashed(
+                                  id_, scheduler_->now())),
+                  "node timer fired while its owner is down");
+    action();
+  });
+}
+
+void Node::crash_now() {
+  if (down_) return;
+  down_ = true;
+  crash_time_ = scheduler().now();
+  if (auto* r = dynamic_cast<Recoverable*>(this)) r->on_crash(crash_time_);
+}
+
+void Node::reboot_now() {
+  if (!down_) return;
+  down_ = false;
+  ++boot_epoch_;
+  const SimTime now = scheduler().now();
+  const SimTime downtime = now - crash_time_;
+  if (channel_ != nullptr && channel_->tracer().on()) {
+    const obs::Tracer& trace = channel_->tracer();
+    trace.emit(trace.event("node.reboot")
+                   .f("node", id_)
+                   .f("down_ns", static_cast<std::int64_t>(downtime)));
+  }
+  if (auto* r = dynamic_cast<Recoverable*>(this)) r->on_reboot(now, downtime);
 }
 
 }  // namespace sld::sim

@@ -4,6 +4,9 @@
 // the channel/scheduler.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+
 #include "sim/message.hpp"
 #include "sim/scheduler.hpp"
 #include "util/geometry.hpp"
@@ -37,16 +40,53 @@ class Node {
   /// Wires the node to its environment; called by Network.
   void attach(Channel* channel, Scheduler* scheduler);
 
+  /// True while the node is inside a crash window whose transition has
+  /// fired (Network::start_all schedules the transitions).
+  bool is_down() const { return down_; }
+
+  /// Number of times the node has rebooted. Timers remember the epoch they
+  /// were scheduled in and refuse to fire after a reboot.
+  std::uint32_t boot_epoch() const { return boot_epoch_; }
+
+  /// Node-owned timers dropped because the node crashed or rebooted.
+  std::uint64_t timers_dropped() const { return timers_dropped_; }
+
+  /// Crash transition: marks the node down and runs its Recoverable
+  /// on_crash hook (if it implements one). Called by Network.
+  void crash_now();
+
+  /// Reboot transition: marks the node up, bumps the boot epoch (dropping
+  /// every timer scheduled before the crash), emits a `node.reboot` trace
+  /// event, and runs the Recoverable on_reboot hook. Called by Network.
+  void reboot_now();
+
  protected:
   Channel& channel() const;
   Scheduler& scheduler() const;
 
+  /// Schedules `action` to run `delay` ns from now as a timer owned by
+  /// this node: the action is dropped — never executed — if the node is
+  /// down when the timer fires or has rebooted since it was scheduled
+  /// (volatile timer state does not survive a crash).
+  void schedule_timer(SimTime delay, std::function<void()> action);
+
+  /// Absolute-time variant of schedule_timer.
+  void schedule_timer_at(SimTime when, std::function<void()> action);
+
  private:
+  /// True if the node may act at time `now`: neither dynamically down nor
+  /// inside a statically configured crash window.
+  bool alive_at(SimTime now) const;
+
   NodeId id_;
   util::Vec2 position_;
   double range_;
   Channel* channel_ = nullptr;
   Scheduler* scheduler_ = nullptr;
+  bool down_ = false;
+  SimTime crash_time_ = 0;
+  std::uint32_t boot_epoch_ = 0;
+  std::uint64_t timers_dropped_ = 0;
 };
 
 }  // namespace sld::sim

@@ -1,0 +1,29 @@
+// Crash/reboot state-loss hooks for simulated devices.
+//
+// PR 1's crash windows only silenced a node's radio; the node's volatile
+// state (pending ARQ retries, in-flight probes, un-flushed alerts) survived
+// the "crash" untouched. Nodes that model state loss implement Recoverable:
+// Network schedules crash/reboot transitions from the FaultPlan's crash
+// windows, and Node::crash_now()/reboot_now() invoke these hooks so a
+// rebooting device re-initializes instead of resuming impossible state.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace sld::sim {
+
+class Recoverable {
+ public:
+  virtual ~Recoverable() = default;
+
+  /// The device loses power at `now`: volatile state is gone. Drop pending
+  /// transactions here; do not schedule events (the node is down).
+  virtual void on_crash(SimTime now) = 0;
+
+  /// The device reboots at `now` after `downtime` ns offline. Re-establish
+  /// whatever schedule a freshly booted device would; timers scheduled
+  /// before the crash have been invalidated by the boot-epoch bump.
+  virtual void on_reboot(SimTime now, SimTime downtime) = 0;
+};
+
+}  // namespace sld::sim

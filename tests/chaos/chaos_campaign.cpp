@@ -1,0 +1,401 @@
+// Chaos campaign: seeded randomized fault schedules against full trials.
+//
+// Each schedule is a pure function of one 64-bit seed: it draws node
+// crash/reboot windows, network partitions, clock drift, packet loss /
+// duplication / corruption, and base-station outages (always WAL-backed,
+// sometimes with a standby), then runs one complete trial and checks the
+// convergence oracles that must hold under ANY such schedule:
+//
+//   1. no benign beacon is ever revoked;
+//   2. every sensor is accounted for (localized + unlocalized == sensors);
+//   3. channel packet conservation across every fault outcome;
+//   4. counter identity: for every alert target,
+//        alert_counter(t) + wal.lost_alerts(t) == accepted_distinct(t),
+//      and revocation fires exactly when the counter exceeds tau2 — i.e.
+//      accepted evidence beyond the threshold (minus the bounded fsync
+//      loss window) ALWAYS converges to revocation;
+//   5. WAL loss is bounded by the fsync window per primary crash;
+//   6. zero SLD_INVARIANT violations (meaningful when the binary is built
+//      with -DSLD_INVARIANTS=ON; tools/run_chaos.sh does exactly that).
+//
+// A failing schedule prints a one-line repro:
+//   SLD_CHAOS_SEED=<seed> ./chaos_campaign
+// and, when --trace-dir is given, deterministically re-runs that schedule
+// with a JSONL trace sink so CI can archive the full event forensics.
+//
+// Not a gtest: the campaign is a standalone binary so tools/run_chaos.sh
+// and the ctest chaos_smoke entry can scale schedule counts independently.
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "core/secure_localization.hpp"
+#include "obs/trace.hpp"
+#include "sim/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sld;
+
+// ---------------------------------------------------------------------------
+// Invariant recording: the handler is a plain function pointer, so failures
+// land in file-scope state that run_schedule() snapshots around each trial.
+
+std::vector<std::string> g_invariant_messages;
+
+void recording_handler(const check::InvariantViolation& v) {
+  if (g_invariant_messages.size() < 8) {
+    std::ostringstream os;
+    os << v.file << ":" << v.line << ": " << v.condition << " — "
+       << v.message;
+    g_invariant_messages.push_back(os.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generation: SystemConfig as a pure function of (seed, fast).
+
+struct CampaignOptions {
+  std::size_t schedules = 50;
+  std::uint64_t base_seed = 1;
+  bool fast = false;
+  std::string trace_dir;
+};
+
+core::SystemConfig make_schedule(std::uint64_t seed, bool fast) {
+  core::SystemConfig c;
+  c.deployment.total_nodes = fast ? 200 : 300;
+  c.deployment.beacon_count = fast ? 20 : 30;
+  c.deployment.malicious_beacon_count = fast ? 2 : 3;
+  c.deployment.field = util::Rect::square(fast ? 460.0 : 550.0);
+  c.rtt_calibration_samples = fast ? 1000 : 2000;
+  c.strategy = attack::MaliciousStrategyConfig::with_effectiveness(1.0);
+  c.paper_wormhole = false;
+  c.seed = seed;
+
+  // All schedule randomness comes from a dedicated stream so the system's
+  // own seed-derived streams stay untouched.
+  util::Rng rng = util::Rng(seed).fork(0xc4a05);
+  const std::uint32_t beacons =
+      static_cast<std::uint32_t>(c.deployment.beacon_count);
+  const std::uint32_t sensors = static_cast<std::uint32_t>(
+      c.deployment.total_nodes - c.deployment.beacon_count);
+  auto random_node = [&]() -> sim::NodeId {
+    if (rng.bernoulli(0.5)) {
+      return sim::kFirstBeaconId +
+             static_cast<sim::NodeId>(rng.uniform_u64(beacons));
+    }
+    return sim::kNonBeaconIdBase +
+           static_cast<sim::NodeId>(rng.uniform_u64(sensors));
+  };
+
+  // Alerts must survive transient outages: retries are always on.
+  c.arq.enabled = true;
+  c.arq.initial_timeout_ns = 250 * sim::kMillisecond;
+  c.arq.max_retries = static_cast<std::size_t>(rng.uniform_int(4, 8));
+  c.arq.jitter_fraction = 0.1;
+
+  // Channel-level chaos.
+  static constexpr double kLossChoices[] = {0.0, 0.05, 0.10};
+  c.faults.loss_probability =
+      kLossChoices[rng.uniform_u64(std::size(kLossChoices))];
+  if (rng.bernoulli(0.3)) c.faults.duplicate_probability = 0.05;
+  if (rng.bernoulli(0.2)) c.faults.corruption_probability = 0.01;
+  if (rng.bernoulli(0.5)) {
+    c.faults.clock_drift.max_drift_ppm = rng.uniform(10.0, 100.0);
+  }
+
+  // Crash/reboot windows: up to 4 distinct victims, windows inside the
+  // probing + early sensor phase so both phases see reboots.
+  const auto crash_count = rng.uniform_u64(5);  // 0..4
+  for (std::uint64_t i = 0; i < crash_count; ++i) {
+    const sim::NodeId victim = random_node();
+    bool duplicate = false;
+    for (const auto& w : c.faults.crashes) duplicate |= (w.node == victim);
+    if (duplicate) continue;  // one window per node keeps reboots ordered
+    const auto start = static_cast<sim::SimTime>(
+        rng.uniform(0.0, 60.0) * static_cast<double>(sim::kSecond));
+    const auto duration = static_cast<sim::SimTime>(
+        rng.uniform(0.5, 20.0) * static_cast<double>(sim::kSecond));
+    c.faults.crashes.push_back(sim::CrashWindow{victim, start, start + duration});
+  }
+
+  // Network bipartitions: up to 2 cuts of up to a quarter of the field.
+  const auto partition_count = rng.uniform_u64(3);  // 0..2
+  for (std::uint64_t i = 0; i < partition_count; ++i) {
+    sim::PartitionWindow w;
+    const auto side = 1 + rng.uniform_u64(c.deployment.total_nodes / 4);
+    for (std::uint64_t k = 0; k < side; ++k) w.side_a.push_back(random_node());
+    w.start = static_cast<sim::SimTime>(
+        rng.uniform(0.0, 60.0) * static_cast<double>(sim::kSecond));
+    w.end = w.start + static_cast<sim::SimTime>(
+        rng.uniform(0.5, 10.0) * static_cast<double>(sim::kSecond));
+    c.faults.partitions.push_back(std::move(w));
+  }
+
+  // Base-station chaos. Outages ALWAYS pair with a WAL: an outage without
+  // durable state restores an empty station, which legitimately breaks the
+  // convergence oracle (that pairing is rejected as a config error by the
+  // oracle below, not a detection bug).
+  switch (rng.uniform_u64(3)) {
+    case 0:  // immortal station (but durable bookkeeping half the time)
+      c.failover.durable.enabled = rng.bernoulli(0.5);
+      break;
+    case 1: {  // crash/restart: 1-2 short outages against the alert burst
+      c.failover.durable.enabled = true;
+      static constexpr std::uint32_t kFsyncChoices[] = {1, 2, 4};
+      c.failover.durable.fsync_every_records =
+          kFsyncChoices[rng.uniform_u64(std::size(kFsyncChoices))];
+      c.failover.durable.snapshot_every_records = 16;
+      sim::SimTime cursor = static_cast<sim::SimTime>(
+          rng.uniform(0.0, 2.0) * static_cast<double>(sim::kSecond));
+      const auto outages = 1 + rng.uniform_u64(2);
+      for (std::uint64_t i = 0; i < outages; ++i) {
+        const auto duration = static_cast<sim::SimTime>(
+            rng.uniform(0.5, 5.0) * static_cast<double>(sim::kSecond));
+        c.failover.primary_outages.push_back({cursor, cursor + duration});
+        cursor += duration + static_cast<sim::SimTime>(
+            rng.uniform(2.0, 10.0) * static_cast<double>(sim::kSecond));
+      }
+      break;
+    }
+    default: {  // standby failover: primary may never come back
+      c.failover.durable.enabled = true;
+      c.failover.standby_enabled = true;
+      const auto start = static_cast<sim::SimTime>(
+          rng.uniform(0.0, 5.0) * static_cast<double>(sim::kSecond));
+      const auto duration = rng.bernoulli(0.5)
+          ? 3600 * sim::kSecond  // dead for the rest of the trial
+          : static_cast<sim::SimTime>(
+                rng.uniform(3.0, 30.0) * static_cast<double>(sim::kSecond));
+      c.failover.primary_outages.push_back({start, start + duration});
+      break;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Oracles.
+
+struct ScheduleResult {
+  std::vector<std::string> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
+                            obs::TraceSink* sink) {
+  ScheduleResult result;
+  auto fail = [&result](const std::string& what) {
+    result.failures.push_back(what);
+  };
+
+  core::SystemConfig config = make_schedule(seed, opts.fast);
+  config.trace_sink = sink;
+
+  g_invariant_messages.clear();
+  const std::uint64_t violations_before = check::invariant_failure_count();
+  check::ScopedInvariantHandler guard(&recording_handler);
+
+  try {
+    core::SecureLocalizationSystem sys(config);
+    const auto s = sys.run();
+
+    // Oracle 1: chaos never frames a benign beacon.
+    if (s.benign_revoked != 0) {
+      std::ostringstream os;
+      os << "benign_revoked == " << s.benign_revoked << " (want 0)";
+      fail(os.str());
+    }
+
+    // Oracle 2: every sensor is accounted for.
+    if (s.sensors_localized + s.sensors_unlocalized != s.sensors) {
+      std::ostringstream os;
+      os << "sensor accounting: localized " << s.sensors_localized
+         << " + unlocalized " << s.sensors_unlocalized << " != "
+         << s.sensors;
+      fail(os.str());
+    }
+
+    // Oracle 3: packet conservation across every fault outcome.
+    const auto& ch = s.channel;
+    const std::uint64_t accounted = ch.deliveries + ch.losses +
+                                    ch.dropped_by_fault + ch.crashed_rx_drops +
+                                    ch.partition_drops;
+    if (accounted != ch.delivery_attempts + ch.duplicates) {
+      std::ostringstream os;
+      os << "channel conservation: " << accounted
+         << " accounted != " << ch.delivery_attempts << " attempts + "
+         << ch.duplicates << " duplicates";
+      fail(os.str());
+    }
+
+    // Oracle 4: counter identity + revocation threshold, per target.
+    const auto& cluster = sys.context().cluster;
+    const auto& bs = sys.context().bs();
+    const auto tau2 = config.revocation.alert_threshold;
+    for (const auto& [target, accepted] : cluster.accepted_by_target()) {
+      const std::uint32_t counter = bs.alert_counter(target);
+      const std::uint32_t lost = cluster.wal().lost_alerts(target);
+      if (counter + lost != accepted) {
+        std::ostringstream os;
+        os << "counter identity for target " << target << ": counter "
+           << counter << " + wal-lost " << lost << " != accepted "
+           << accepted;
+        fail(os.str());
+      }
+      if (bs.is_revoked(target) != (counter > tau2)) {
+        std::ostringstream os;
+        os << "revocation threshold for target " << target << ": counter "
+           << counter << " vs tau2 " << tau2 << " but is_revoked == "
+           << bs.is_revoked(target);
+        fail(os.str());
+      }
+    }
+
+    // Oracle 5: WAL loss bounded by the fsync window per primary crash.
+    const auto fsync = config.failover.durable.fsync_every_records;
+    const std::uint64_t crash_bound =
+        config.failover.primary_outages.size() *
+        (fsync > 0 ? fsync - 1 : 0);
+    if (s.durable.records_lost > crash_bound) {
+      std::ostringstream os;
+      os << "WAL lost " << s.durable.records_lost
+         << " records, bound is (fsync-1) * outages == " << crash_bound;
+      fail(os.str());
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("trial threw: ") + e.what());
+  }
+
+  // Oracle 6: no invariant fired anywhere in the trial.
+  const std::uint64_t delta =
+      check::invariant_failure_count() - violations_before;
+  if (delta != 0) {
+    std::ostringstream os;
+    os << delta << " SLD_INVARIANT violation(s)";
+    fail(os.str());
+    for (const auto& msg : g_invariant_messages) fail("  " + msg);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+int usage(const char* argv0, int code) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--schedules N] [--base-seed S] [--fast] [--trace-dir DIR]\n"
+         "Runs N seeded chaos schedules (seeds S, S+1, ...). Every failure\n"
+         "prints a one-line repro; SLD_CHAOS_SEED=<seed> in the environment\n"
+         "replays exactly that schedule (with a JSONL trace when\n"
+         "--trace-dir is set). Exits nonzero if any schedule fails.\n";
+  return code;
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos, 0);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Runs one seed; on failure prints the report and the repro line, then
+/// re-runs with a JSONL sink if a trace dir was requested.
+bool run_and_report(std::uint64_t seed, const CampaignOptions& opts) {
+  const ScheduleResult r = run_schedule(seed, opts, nullptr);
+  if (r.ok()) return true;
+  std::cerr << "FAIL schedule seed=" << seed << ":\n";
+  for (const auto& f : r.failures) std::cerr << "  - " << f << "\n";
+  std::cerr << "  repro: SLD_CHAOS_SEED=" << seed << " ./chaos_campaign"
+            << (opts.fast ? " --fast" : "") << "\n";
+  if (!opts.trace_dir.empty()) {
+    const std::string path =
+        opts.trace_dir + "/chaos_" + std::to_string(seed) + ".jsonl";
+    try {
+      obs::JsonlSink sink(path);
+      (void)run_schedule(seed, opts, &sink);  // deterministic re-run
+      std::cerr << "  trace: " << path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "  trace capture failed: " << e.what() << "\n";
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::optional<std::uint64_t> {
+      if (i + 1 >= argc) return std::nullopt;
+      return parse_u64(argv[++i]);
+    };
+    if (arg == "--schedules") {
+      const auto v = value();
+      if (!v) return usage(argv[0], 2);
+      opts.schedules = static_cast<std::size_t>(*v);
+    } else if (arg == "--base-seed") {
+      const auto v = value();
+      if (!v) return usage(argv[0], 2);
+      opts.base_seed = *v;
+    } else if (arg == "--fast") {
+      opts.fast = true;
+    } else if (arg == "--trace-dir") {
+      if (i + 1 >= argc) return usage(argv[0], 2);
+      opts.trace_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0], 0);
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0], 2);
+    }
+  }
+
+  if (!sld::check::invariants_enabled()) {
+    std::cerr << "note: SLD_INVARIANT compiled out in this build; the "
+                 "invariant oracle is vacuous (build with -DSLD_INVARIANTS=ON "
+                 "or use tools/run_chaos.sh for the full campaign)\n";
+  }
+
+  // Single-schedule replay mode.
+  if (const char* env = std::getenv("SLD_CHAOS_SEED")) {
+    const auto seed = parse_u64(env);
+    if (!seed) {
+      std::cerr << "SLD_CHAOS_SEED is not a number: " << env << "\n";
+      return 2;
+    }
+    std::cerr << "replaying single schedule seed=" << *seed << "\n";
+    return run_and_report(*seed, opts) ? 0 : 1;
+  }
+
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < opts.schedules; ++i) {
+    const std::uint64_t seed = opts.base_seed + i;
+    if (!run_and_report(seed, opts)) ++failed;
+    if ((i + 1) % 50 == 0) {
+      std::cerr << "... " << (i + 1) << "/" << opts.schedules
+                << " schedules, " << failed << " failed\n";
+    }
+  }
+  std::cout << "chaos campaign: " << opts.schedules << " schedules, "
+            << (opts.schedules - failed) << " ok, " << failed
+            << " failed (invariants "
+            << (sld::check::invariants_enabled() ? "on" : "compiled out")
+            << ")\n";
+  return failed == 0 ? 0 : 1;
+}

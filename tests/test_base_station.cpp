@@ -105,6 +105,70 @@ TEST(BaseStation, StatsTrackDispositions) {
   EXPECT_EQ(st.revocations, 1u);
 }
 
+TEST(BaseStation, DuplicatedAlertCannotDoubleCount) {
+  // Regression for idempotent ingestion: a duplicated transport copy of
+  // the same (reporter, target, nonce) alert must not double-increment the
+  // counter past tau2. tau2 = 2 here, so two reporters' alerts duplicated
+  // any number of times must never revoke.
+  BaseStation bs(config(10, 2));
+  EXPECT_EQ(bs.process_alert(1, 50, 0xaaa), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(2, 50, 0xbbb), AlertDisposition::kAccepted);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bs.process_alert(1, 50, 0xaaa),
+              AlertDisposition::kIgnoredDuplicate);
+    EXPECT_EQ(bs.process_alert(2, 50, 0xbbb),
+              AlertDisposition::kIgnoredDuplicate);
+  }
+  EXPECT_EQ(bs.alert_counter(50), 2u);
+  EXPECT_FALSE(bs.is_revoked(50));
+  EXPECT_EQ(bs.stats().alerts_ignored_duplicate, 20u);
+  // A duplicate must not burn the reporter's quota either.
+  EXPECT_EQ(bs.report_counter(1), 1u);
+  // Fresh nonce = new evidence: the third distinct alert still revokes.
+  EXPECT_EQ(bs.process_alert(3, 50, 0xccc),
+            AlertDisposition::kAcceptedAndRevoked);
+}
+
+TEST(BaseStation, DuplicateDetectionIsPerNonceNotPerPair) {
+  // The same reporter re-detecting the same target after a reboot submits
+  // a fresh nonce; that is new evidence, not a duplicate.
+  BaseStation bs(config(10, 5));
+  EXPECT_EQ(bs.process_alert(1, 50, 1), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(1, 50, 2), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.alert_counter(50), 2u);
+}
+
+TEST(BaseStation, AutoNoncesNeverCollideWithCallerNonces) {
+  // The 2-arg overload stamps internal nonces in a reserved namespace, so
+  // mixing it with small caller-chosen nonces can never cause a spurious
+  // duplicate verdict.
+  BaseStation bs(config(10, 100));
+  EXPECT_EQ(bs.process_alert(1, 50), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(2, 50, 1), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(3, 50), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.alert_counter(50), 3u);
+  EXPECT_EQ(bs.stats().alerts_ignored_duplicate, 0u);
+}
+
+TEST(BaseStation, ExportImportRoundTripsState) {
+  BaseStation bs(config(10, 2));
+  bs.process_alert(1, 50, 11);
+  bs.process_alert(2, 50, 12);
+  bs.process_alert(3, 50, 13);  // revokes 50
+  bs.process_alert(4, 60, 14);
+
+  BaseStation restored(config(10, 2));
+  restored.import_state(bs.export_state());
+  EXPECT_TRUE(restored.is_revoked(50));
+  EXPECT_EQ(restored.alert_counter(50), 3u);
+  EXPECT_EQ(restored.alert_counter(60), 1u);
+  EXPECT_EQ(restored.report_counter(1), 1u);
+  EXPECT_EQ(restored.revocation_order(), bs.revocation_order());
+  // The dedup set travels too: a replayed copy is still a duplicate.
+  EXPECT_EQ(restored.process_alert(4, 60, 14),
+            AlertDisposition::kIgnoredDuplicate);
+}
+
 TEST(BaseStation, IndependentTargetsIndependentCounters) {
   BaseStation bs(config(10, 2));
   bs.process_alert(1, 50);

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "crypto/mac.hpp"
 #include "sim/arq.hpp"
 #include "sim/channel.hpp"
@@ -186,6 +187,94 @@ TEST(FaultPlan, CrashWindowSilencesNodeBothWays) {
   EXPECT_EQ(b.deliveries.size(), 1u);
   EXPECT_TRUE(a.deliveries.empty());
   EXPECT_EQ(net.channel().stats().crashed_drops, 2u);
+}
+
+TEST(FaultPlan, PartitionBlocksCrossCutTrafficBothWaysThenHeals) {
+  FaultPlan plan;
+  plan.partitions.push_back(PartitionWindow{{1}, 0, kSecond});
+  Network net{with_faults(plan), 37};
+  auto& a = net.emplace_node<RecorderNode>(1, util::Vec2{0, 0}, 150.0);
+  auto& b = net.emplace_node<RecorderNode>(2, util::Vec2{50, 0}, 150.0);
+  auto& c = net.emplace_node<RecorderNode>(3, util::Vec2{0, 50}, 150.0);
+  net.start_all();
+  // Inside the window: anything crossing the {1} | {2, 3} cut dies in
+  // both directions; traffic within one side flows.
+  net.channel().unicast(a, make_msg(1, 2));
+  net.channel().unicast(b, make_msg(2, 1));
+  net.channel().unicast(b, make_msg(2, 3));
+  // After the heal the same cut-crossing links deliver.
+  net.scheduler().schedule_at(2 * kSecond, [&]() {
+    net.channel().unicast(a, make_msg(1, 2));
+    net.channel().unicast(b, make_msg(2, 1));
+  });
+  net.run();
+  EXPECT_EQ(c.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(a.deliveries.size(), 1u);
+  const auto& s = net.channel().stats();
+  EXPECT_EQ(s.partition_drops, 2u);
+  EXPECT_EQ(s.dropped_by_fault, 0u);
+  // Conservation across the new outcome class.
+  EXPECT_EQ(s.deliveries + s.losses + s.dropped_by_fault +
+                s.crashed_rx_drops + s.partition_drops,
+            s.delivery_attempts + s.duplicates);
+}
+
+/// Node whose owned timers count their firings; lets tests observe the
+/// crash/reboot timer fence from outside.
+class TimerNode final : public Node {
+ public:
+  using Node::Node;
+  void on_message(const Delivery&) override {}
+  void arm(SimTime delay) {
+    schedule_timer(delay, [this]() { ++fired; });
+  }
+  int fired = 0;
+};
+
+TEST(FaultPlan, CrashDropsOwnedTimersAndRebootFencesOldEpoch) {
+  const auto violations_before = check::invariant_failure_count();
+  FaultPlan plan;
+  plan.crashes.push_back(CrashWindow{4, kSecond, 2 * kSecond});
+  Network net{with_faults(plan), 41};
+  auto& n = net.emplace_node<TimerNode>(4, util::Vec2{0, 0}, 150.0);
+  net.start_all();
+  // Armed before the crash, due inside the window: dropped (node down).
+  n.arm(kSecond + kMillisecond);
+  // Armed before the crash, due after the reboot: dropped too — volatile
+  // timer state does not survive the crash (stale boot epoch).
+  n.arm(3 * kSecond);
+  // Armed after the reboot: fires normally.
+  net.scheduler().schedule_at(2 * kSecond + kMillisecond,
+                              [&]() { n.arm(kMillisecond); });
+  net.run();
+  EXPECT_EQ(n.fired, 1);
+  EXPECT_EQ(n.timers_dropped(), 2u);
+  EXPECT_EQ(n.boot_epoch(), 1u);
+  // The drops were clean refusals, not invariant violations: no timer
+  // body ever ran while its owner was down.
+  EXPECT_EQ(check::invariant_failure_count(), violations_before);
+}
+
+TEST(FaultPlan, DriftAndPartitionValidationRejected) {
+  FaultPlan bad_drift;
+  bad_drift.clock_drift.max_drift_ppm = -1.0;
+  EXPECT_THROW((Network{with_faults(bad_drift), 1}), std::invalid_argument);
+
+  FaultPlan bad_turnaround;
+  bad_turnaround.clock_drift.max_drift_ppm = 10.0;
+  bad_turnaround.clock_drift.turnaround_cycles = 0.0;
+  EXPECT_THROW((Network{with_faults(bad_turnaround), 1}),
+               std::invalid_argument);
+
+  FaultPlan empty_window;
+  empty_window.partitions.push_back(PartitionWindow{{1}, 5, 5});
+  EXPECT_THROW((Network{with_faults(empty_window), 1}),
+               std::invalid_argument);
+
+  FaultPlan empty_side;
+  empty_side.partitions.push_back(PartitionWindow{{}, 0, 5});
+  EXPECT_THROW((Network{with_faults(empty_side), 1}), std::invalid_argument);
 }
 
 TEST(FaultPlan, PerNodeAndPerLinkLossAreScoped) {

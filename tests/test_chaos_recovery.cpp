@@ -1,0 +1,164 @@
+// System-level crash recovery: rebooting nodes lose their volatile state
+// but the trial still completes and accounts for them; a base-station
+// outage backed by the WAL plus ARQ retries converges to the same revoked
+// set as an uninterrupted run; failover runs surface their recovery
+// latency in the instrument registry.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/secure_localization.hpp"
+
+namespace sld::core {
+namespace {
+
+SystemConfig small_config() {
+  SystemConfig c;
+  c.deployment.total_nodes = 300;
+  c.deployment.beacon_count = 30;
+  c.deployment.malicious_beacon_count = 3;
+  c.deployment.field = util::Rect::square(550.0);
+  c.rtt_calibration_samples = 2000;
+  c.strategy = attack::MaliciousStrategyConfig::with_effectiveness(1.0);
+  c.paper_wormhole = false;
+  c.seed = 11;
+  return c;
+}
+
+sim::ArqConfig deterministic_retries(std::size_t max_retries = 6) {
+  sim::ArqConfig arq;
+  arq.enabled = true;
+  arq.initial_timeout_ns = 250 * sim::kMillisecond;
+  arq.max_retries = max_retries;
+  arq.jitter_fraction = 0.0;  // draws nothing: retry times are scripted
+  return arq;
+}
+
+TEST(ChaosRecovery, CrashedSensorIsUnlocalizedAndAccounted) {
+  SystemConfig c = small_config();
+  SecureLocalizationSystem probe(c);
+  const auto* victim = probe.deployment().sensors().front();
+  ASSERT_NE(victim, nullptr);
+
+  SystemConfig crashed = c;
+  crashed.faults.crashes.push_back(
+      sim::CrashWindow{victim->id, 0, 3600 * sim::kSecond});
+  SecureLocalizationSystem sys(crashed);
+  const auto s = sys.run();
+  EXPECT_GE(s.sensors_unlocalized, 1u);
+  EXPECT_EQ(s.sensors_localized + s.sensors_unlocalized, s.sensors);
+  EXPECT_EQ(s.benign_revoked, 0u);
+}
+
+TEST(ChaosRecovery, RebootedSensorRecoversAndLocalizes) {
+  // A sensor that crashes before its query phase and reboots just after
+  // the phase begins loses its scheduled queries (epoch-fenced timers) but
+  // reschedules them on reboot: it still localizes, and the network-wide
+  // unlocalized count matches the crash-free baseline.
+  SystemConfig c = small_config();
+  SecureLocalizationSystem baseline(c);
+  const auto s_base = baseline.run();
+  // Pick a victim that localizes in the baseline (some sensors simply lack
+  // coverage and never localize, crash or not).
+  sim::NodeId victim = 0;
+  for (const auto* spec : baseline.deployment().sensors()) {
+    const auto* node =
+        dynamic_cast<const SensorNode*>(baseline.network().node(spec->id));
+    ASSERT_NE(node, nullptr);
+    if (node->result().has_value()) {
+      victim = spec->id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+
+  SystemConfig crashed = c;
+  crashed.faults.crashes.push_back(
+      sim::CrashWindow{victim, 30 * sim::kSecond,
+                       c.sensor_phase_start + 200 * sim::kMillisecond});
+  SecureLocalizationSystem sys(crashed);
+  const auto s = sys.run();
+  const auto* rebooted =
+      dynamic_cast<const SensorNode*>(sys.network().node(victim));
+  ASSERT_NE(rebooted, nullptr);
+  EXPECT_TRUE(rebooted->result().has_value());
+  EXPECT_EQ(s.sensors_unlocalized, s_base.sensors_unlocalized);
+}
+
+TEST(ChaosRecovery, CrashedReporterLosesInFlightAlerts) {
+  // Crash every benign beacon mid-probe-phase: alerts whose ARQ state
+  // lived in the crashed reporters die with them and are accounted.
+  SystemConfig c = small_config();
+  SecureLocalizationSystem probe(c);
+  SystemConfig crashed = c;
+  for (const auto* b : probe.deployment().benign_beacons()) {
+    crashed.faults.crashes.push_back(sim::CrashWindow{
+        b->id, 200 * sim::kMillisecond, 40 * sim::kSecond});
+  }
+  crashed.arq = deterministic_retries(2);
+  SecureLocalizationSystem sys(crashed);
+  const auto s = sys.run();
+  EXPECT_GT(s.raw.alerts_dropped_reporter_crash, 0u);
+  EXPECT_EQ(s.benign_revoked, 0u);
+}
+
+TEST(ChaosRecovery, StationOutageWithWalConvergesToUninterruptedSet) {
+  // Acceptance bound at system level: a 2 s primary outage covered by a
+  // WAL (fsync = 1) and ARQ alert retries revokes exactly the same beacons
+  // as the run with an immortal base station.
+  SystemConfig base = small_config();
+  base.arq = deterministic_retries();
+  SecureLocalizationSystem uninterrupted(base);
+  const auto s_base = uninterrupted.run();
+
+  SystemConfig outage = base;
+  outage.failover.durable.enabled = true;
+  outage.failover.durable.fsync_every_records = 1;
+  // The alert burst rides the probe phase (first ~0.5 s), so the outage
+  // must cover t = 0 to actually be felt.
+  outage.failover.primary_outages = {{0, 2 * sim::kSecond}};
+  SecureLocalizationSystem sys(outage);
+  const auto s = sys.run();
+
+  EXPECT_EQ(s.cluster.restarts, 1u);
+  EXPECT_GT(s.raw.alerts_station_unavailable, 0u);
+  EXPECT_GT(s.durable.appends, 0u);
+  EXPECT_EQ(s.durable.records_lost, 0u);
+  EXPECT_EQ(s.malicious_revoked, s_base.malicious_revoked);
+  EXPECT_EQ(s.benign_revoked, s_base.benign_revoked);
+  for (const auto& [id, truth] : uninterrupted.context().truth) {
+    EXPECT_EQ(sys.context().bs().is_revoked(id),
+              uninterrupted.context().bs().is_revoked(id))
+        << "beacon " << id;
+  }
+}
+
+TEST(ChaosRecovery, StandbyTakeoverKeepsDetectionAlive) {
+  // Kill the primary for the rest of the trial: the standby takes over
+  // after its timeout, reconciles from the WAL, and the alert stream
+  // (under retries) still reaches the same verdicts.
+  SystemConfig base = small_config();
+  base.arq = deterministic_retries();
+  SecureLocalizationSystem uninterrupted(base);
+  const auto s_base = uninterrupted.run();
+
+  SystemConfig failover = base;
+  failover.failover.standby_enabled = true;
+  failover.failover.durable.enabled = true;
+  failover.failover.primary_outages = {
+      {1 * sim::kSecond, 3600 * sim::kSecond}};
+  SecureLocalizationSystem sys(failover);
+  const auto s = sys.run();
+
+  EXPECT_EQ(s.cluster.failovers, 1u);
+  EXPECT_EQ(s.malicious_revoked, s_base.malicious_revoked);
+  EXPECT_EQ(s.benign_revoked, s_base.benign_revoked);
+  // Failover-enabled runs register the recovery-latency histogram.
+  EXPECT_NE(s.metrics_json.find("recovery.latency_ms"), std::string::npos);
+  // Default runs do not (golden safety).
+  EXPECT_EQ(s_base.metrics_json.find("recovery.latency_ms"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sld::core

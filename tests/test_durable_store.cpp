@@ -1,0 +1,129 @@
+// Durable-store semantics: WAL append/flush, fsync loss windows, snapshot
+// compaction, and restore() reproducing the station state exactly.
+#include "revocation/durable_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sld::revocation {
+namespace {
+
+RevocationConfig revocation(std::uint32_t tau1 = 10, std::uint32_t tau2 = 2) {
+  return RevocationConfig{tau1, tau2};
+}
+
+DurableConfig durable(std::uint32_t fsync = 1, std::uint32_t snap = 64) {
+  DurableConfig d;
+  d.enabled = true;
+  d.fsync_every_records = fsync;
+  d.snapshot_every_records = snap;
+  return d;
+}
+
+/// Feeds `n` accepted alerts (distinct reporters, one target) through a
+/// station + store pair, exactly the way the cluster journals them.
+void feed(BaseStation& bs, DurableStore& store, sim::NodeId target,
+          std::uint32_t n, std::uint64_t nonce_base = 1000) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const AlertKey key{100 + i, target, nonce_base + i};
+    const auto d = bs.process_alert(key.reporter, key.target, key.nonce);
+    ASSERT_TRUE(d == AlertDisposition::kAccepted ||
+                d == AlertDisposition::kAcceptedAndRevoked);
+    store.append(key, bs);
+  }
+}
+
+TEST(DurableStore, DisabledStoreRestoresEmptyStation) {
+  DurableStore store{DurableConfig{}};
+  BaseStation bs(revocation());
+  feed(bs, store, 50, 3);
+  EXPECT_EQ(store.stats().appends, 0u);
+  const BaseStation restored = store.restore(revocation());
+  EXPECT_EQ(restored.alert_counter(50), 0u);
+  EXPECT_FALSE(restored.is_revoked(50));
+}
+
+TEST(DurableStore, FsyncEveryRecordLosesNothing) {
+  DurableStore store(durable(/*fsync=*/1));
+  BaseStation bs(revocation());
+  feed(bs, store, 50, 3);  // third alert crosses tau2 = 2
+  EXPECT_TRUE(bs.is_revoked(50));
+  store.drop_pending();  // crash: nothing pending, nothing lost
+  EXPECT_EQ(store.stats().records_lost, 0u);
+  const BaseStation restored = store.restore(revocation());
+  EXPECT_TRUE(restored.is_revoked(50));
+  EXPECT_EQ(restored.alert_counter(50), 3u);
+  EXPECT_EQ(restored.revocation_order(), bs.revocation_order());
+}
+
+TEST(DurableStore, CrashLosesExactlyTheUnflushedSuffix) {
+  // Group commit every 4 records; 6 appends -> 4 durable, 2 pending.
+  DurableStore store(durable(/*fsync=*/4));
+  BaseStation bs(revocation(10, 100));
+  feed(bs, store, 50, 6);
+  EXPECT_EQ(store.tail_records(), 4u);
+  EXPECT_EQ(store.pending_records(), 2u);
+  store.drop_pending();
+  EXPECT_EQ(store.stats().records_lost, 2u);
+  EXPECT_EQ(store.durable_alerts(50), 4u);
+  EXPECT_EQ(store.lost_alerts(50), 2u);
+  const BaseStation restored = store.restore(revocation(10, 100));
+  // The loss is bounded by the fsync window: at most fsync - 1 records.
+  EXPECT_EQ(restored.alert_counter(50), 4u);
+  EXPECT_GE(restored.alert_counter(50) + store.config().fsync_every_records,
+            bs.alert_counter(50) + 1);
+}
+
+TEST(DurableStore, SnapshotCompactionPreservesExactState) {
+  // Snapshot every 4 flushed records: 11 appends -> at least one snapshot,
+  // and restore() must still reproduce the live station exactly.
+  DurableStore store(durable(/*fsync=*/1, /*snap=*/4));
+  BaseStation bs(revocation(100, 5));
+  feed(bs, store, 50, 6);  // sixth alert crosses tau2 = 5: 50 is revoked
+  feed(bs, store, 60, 5, /*nonce_base=*/2000);
+  EXPECT_TRUE(store.has_snapshot());
+  EXPECT_GT(store.stats().snapshots, 0u);
+  EXPECT_LT(store.tail_records(), 11u);
+  const BaseStation restored = store.restore(revocation(100, 5));
+  EXPECT_EQ(restored.alert_counter(50), bs.alert_counter(50));
+  EXPECT_EQ(restored.alert_counter(60), bs.alert_counter(60));
+  EXPECT_TRUE(restored.is_revoked(50));
+  EXPECT_FALSE(restored.is_revoked(60));
+  EXPECT_EQ(restored.revocation_order(), bs.revocation_order());
+  EXPECT_EQ(store.durable_alerts(50), 6u);
+  EXPECT_EQ(store.durable_alerts(60), 5u);
+}
+
+TEST(DurableStore, RestoredStationDedupsReplayedCopies) {
+  DurableStore store(durable());
+  BaseStation bs(revocation());
+  feed(bs, store, 50, 2, /*nonce_base=*/7000);
+  BaseStation restored = store.restore(revocation());
+  // A transport copy of an already-journaled alert is a duplicate.
+  EXPECT_EQ(restored.process_alert(100, 50, 7000),
+            AlertDisposition::kIgnoredDuplicate);
+  EXPECT_EQ(restored.alert_counter(50), 2u);
+}
+
+TEST(DurableStore, RestoreIsRepeatable) {
+  // restore() is const: two restores from the same store agree.
+  DurableStore store(durable(/*fsync=*/2, /*snap=*/3));
+  BaseStation bs(revocation(100, 100));
+  feed(bs, store, 50, 9);
+  const BaseStation r1 = store.restore(revocation(100, 100));
+  const BaseStation r2 = store.restore(revocation(100, 100));
+  EXPECT_EQ(r1.alert_counter(50), r2.alert_counter(50));
+  EXPECT_EQ(r1.revocation_order(), r2.revocation_order());
+  EXPECT_EQ(r1.stats().alerts_accepted, r2.stats().alerts_accepted);
+}
+
+TEST(DurableStore, InvalidConfigRejected) {
+  DurableConfig zero_fsync = durable();
+  zero_fsync.fsync_every_records = 0;
+  EXPECT_THROW(DurableStore{zero_fsync}, std::invalid_argument);
+  DurableConfig zero_snap = durable();
+  zero_snap.snapshot_every_records = 0;
+  EXPECT_THROW(DurableStore{zero_snap}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sld::revocation

@@ -174,7 +174,7 @@ TEST(FaultTolerance, CrashedBeaconGoesUndetectedButAccounted) {
   const auto s = sys.run();
   EXPECT_GT(s.channel.crashed_drops, 0u);
   EXPECT_GT(s.raw.probe_no_response, 0u);
-  EXPECT_FALSE(sys.context().base_station.is_revoked(victim));
+  EXPECT_FALSE(sys.context().bs().is_revoked(victim));
 }
 
 TEST(FaultTolerance, LostAlertsLowerDetectionButRetriesRestoreIt) {

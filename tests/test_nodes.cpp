@@ -148,7 +148,7 @@ TEST_F(NodeProtocolTest, DetectingBeaconReportsEachTargetOnce) {
   EXPECT_EQ(ctx_.metrics.probe_replies, 4u);
   EXPECT_EQ(ctx_.metrics.consistency_flags, 4u);
   EXPECT_EQ(ctx_.metrics.alerts_submitted, 1u);
-  EXPECT_EQ(ctx_.base_station.alert_counter(mal.id()), 1u);
+  EXPECT_EQ(ctx_.bs().alert_counter(mal.id()), 1u);
   EXPECT_EQ(detector.alerts_reported(), 1u);
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Chaos campaign gate: build an optimized configuration with SLD_INVARIANT
+# checks forced ON, then run >= 200 seeded randomized fault schedules
+# (crash/reboot windows, partitions, clock drift, loss/duplication, WAL-backed
+# base-station outages, standby failover) through the convergence oracles in
+# tests/chaos/chaos_campaign.cpp. Exits nonzero if any schedule fails; each
+# failure prints a one-line `SLD_CHAOS_SEED=<seed>` repro and, because
+# --trace-dir is set, a JSONL trace of the failing schedule for forensics.
+#
+# Usage: tools/run_chaos.sh [schedules] [jobs]
+#
+# Environment:
+#   SLD_CHAOS_SEED   replay exactly one schedule instead of the campaign
+#   SLD_CHAOS_TRACE  override the trace output directory
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+schedules="${1:-200}"
+jobs="${2:-$(nproc)}"
+dir="$repo/build-chaos"
+trace_dir="${SLD_CHAOS_TRACE:-$dir/chaos-traces}"
+
+launcher_args=()
+if command -v ccache > /dev/null 2>&1; then
+  launcher_args=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+echo "=== [chaos] configure (RelWithDebInfo, SLD_INVARIANTS=ON) ==="
+cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSLD_INVARIANTS=ON -DSLD_BUILD_BENCH=OFF -DSLD_BUILD_EXAMPLES=OFF \
+  "${launcher_args[@]}"
+echo "=== [chaos] build ==="
+cmake --build "$dir" --target chaos_campaign -j "$jobs"
+
+mkdir -p "$trace_dir"
+echo "=== [chaos] campaign: $schedules schedules ==="
+"$dir/tests/chaos/chaos_campaign" --schedules "$schedules" --base-seed 1 \
+  --trace-dir "$trace_dir"
+
+echo "=== chaos OK: $schedules schedules, zero oracle/invariant failures ==="

@@ -9,6 +9,8 @@
 # Environment:
 #   SLD_JUNIT_DIR  if set, ctest also writes <dir>/<config>.junit.xml
 #                  (consumed by CI for test-report artifacts)
+#   SLD_CHAOS=1    also run the full chaos campaign (tools/run_chaos.sh:
+#                  200 seeded fault schedules with SLD_INVARIANT forced on)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,5 +44,10 @@ run_config() {
 
 run_config release Release
 run_config sanitize Sanitize
+
+if [[ "${SLD_CHAOS:-0}" == "1" ]]; then
+  echo "=== chaos campaign (SLD_CHAOS=1) ==="
+  "$repo/tools/run_chaos.sh" 200 "$jobs"
+fi
 
 echo "=== tier-1 OK: Release + Sanitize suites passed ==="

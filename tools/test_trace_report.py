@@ -114,6 +114,58 @@ class ValidateCorruptTraces(unittest.TestCase):
         self.assertIn("not a JSON object", err)
 
 
+class ChaosEvents(unittest.TestCase):
+    """The crash-recovery / chaos event family added for the chaos
+    campaign: schema-valid lines pass, and the report summarizes them."""
+
+    CHAOS_LINES = [
+        '{"t": 0, "e": "trial.start", "seed": 1, "nodes": 10, "beacons": 3,'
+        ' "malicious": 1, "sensors": 7}',
+        '{"t": 5, "e": "partition.start", "nodes_a": 4}',
+        '{"t": 6, "e": "pkt.partition_drop", "src": 1, "dst": 2}',
+        '{"t": 9, "e": "partition.heal", "duration_ns": 4}',
+        '{"t": 10, "e": "node.reboot", "node": 7, "down_ns": 100}',
+        '{"t": 11, "e": "alert.reporter_down", "reporter": 4, "target": 2,'
+        ' "attempt": 1}',
+        '{"t": 12, "e": "bs.snapshot", "records": 8, "wal_tail": 2}',
+        '{"t": 13, "e": "bs.failover", "epoch": 2, "role": "takeover"}',
+        '{"t": 14, "e": "bs.failover", "epoch": 2, "role": "fence"}',
+        '{"t": 20, "e": "trial.end", "seed": 1, "malicious_revoked": 1,'
+        ' "benign_revoked": 0, "sensors_localized": 7}',
+    ]
+
+    def _write(self, lines):
+        fh = tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False)
+        fh.write("\n".join(lines) + "\n")
+        fh.close()
+        self.addCleanup(os.unlink, fh.name)
+        return fh.name
+
+    def test_chaos_events_are_schema_valid(self):
+        code, out, err = validate_quietly(self._write(self.CHAOS_LINES))
+        self.assertEqual(code, 0, err)
+        self.assertIn("all schema-valid", out)
+
+    def test_chaos_events_require_their_fields(self):
+        for bad in ('{"t": 1, "e": "node.reboot", "node": 7}',
+                    '{"t": 1, "e": "bs.failover", "epoch": 2}',
+                    '{"t": 1, "e": "partition.start"}',
+                    '{"t": 1, "e": "pkt.partition_drop", "src": 1}'):
+            code, _, err = validate_quietly(self._write([bad]))
+            self.assertEqual(code, 1, bad)
+            self.assertIn("missing field", err)
+
+    def test_report_summarizes_crash_recovery(self):
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            trace_report.report(self._write(self.CHAOS_LINES), chains=False)
+        text = out.getvalue()
+        self.assertIn("crash recovery", text)
+        self.assertIn("node reboots: 1", text)
+        self.assertIn("bs.failover takeover: 1", text)
+        self.assertIn("partitions: 1 started, 1 healed", text)
+        self.assertIn("reporter crashes: 1", text)
+
+
 class ReportSmoke(unittest.TestCase):
     def test_report_renders_revocation_and_chain(self):
         with contextlib.redirect_stdout(io.StringIO()) as out:

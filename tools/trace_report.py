@@ -33,6 +33,7 @@ SCHEMA = {
     "pkt.corrupt": ["src", "dst"],
     "pkt.crash_tx": ["node"],
     "pkt.crash_rx": ["node"],
+    "pkt.partition_drop": ["src", "dst"],
     # ARQ.
     "arq.timeout": ["node", "target", "kind", "attempt"],
     "arq.retry": ["node", "target", "kind", "attempt"],
@@ -59,15 +60,24 @@ SCHEMA = {
     "alert.lost": ["reporter", "target", "attempt"],
     "alert.retry": ["reporter", "target", "attempt", "delay_ns"],
     "alert.giveup": ["reporter", "target", "attempt"],
+    # Alerts that died with their crashed reporter (volatile ARQ state).
+    "alert.reporter_down": ["reporter", "target", "attempt"],
     "bs.alert": ["reporter", "target", "disposition", "alert_counter",
                  "report_counter"],
     "bs.revoke": ["target", "alert_counter", "threshold"],
+    # Durability + failover lifecycle (role: takeover | restart | fence).
+    "bs.snapshot": ["records", "wal_tail"],
+    "bs.failover": ["epoch", "role"],
     "dissem.miss": ["sensor", "target"],
     # Trial lifecycle.
     "trial.start": ["seed", "nodes", "beacons", "malicious", "sensors"],
     "trial.end": ["seed", "malicious_revoked", "benign_revoked",
                   "sensors_localized"],
     "node.beacon": ["id", "x", "y", "malicious"],
+    # Crash-recovery lifecycle (chaos schedules).
+    "node.reboot": ["node", "down_ns"],
+    "partition.start": ["nodes_a"],
+    "partition.heal": ["duration_ns"],
     # Sensor outcomes.
     "sensor.drop_revoked": ["node", "target"],
     "sensor.localized": ["node", "err_ft", "refs"],
@@ -211,6 +221,30 @@ def report(path, chains):
                       f"{rec['node']} measured {rec['measured_ft']:.1f} ft "
                       f"vs expected {rec['expected_ft']:.1f} ft "
                       f"(threshold {rec['threshold_ft']:.1f})")
+        print()
+
+    # Crash recovery / chaos lifecycle: reboots, failovers, partitions.
+    reboots = [rec for rec in records if rec.get("e") == "node.reboot"]
+    roles = collections.Counter(
+        rec["role"] for rec in records if rec.get("e") == "bs.failover")
+    partitions = by_type.get("partition.start", 0)
+    if reboots or roles or partitions:
+        print("-- crash recovery --")
+        if reboots:
+            mean_down = sum(r["down_ns"] for r in reboots) / len(reboots)
+            print(f"  node reboots: {len(reboots)} "
+                  f"(mean downtime {ms(mean_down):.1f} ms)")
+        for role, n in sorted(roles.items()):
+            print(f"  bs.failover {role}: {n}")
+        if partitions:
+            healed = by_type.get("partition.heal", 0)
+            print(f"  partitions: {partitions} started, {healed} healed")
+        dropped = by_type.get("pkt.partition_drop", 0)
+        orphaned = by_type.get("alert.reporter_down", 0)
+        if dropped:
+            print(f"  deliveries dropped at partition cuts: {dropped}")
+        if orphaned:
+            print(f"  alerts lost to reporter crashes: {orphaned}")
         print()
 
     # Retry storms: nodes with the most ARQ retries.
