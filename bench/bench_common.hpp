@@ -15,9 +15,11 @@
 #pragma once
 
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -25,6 +27,62 @@
 #include "obs/trace.hpp"
 
 namespace sld::bench {
+
+/// Strict whole-string integer parse for bench flags: garbage, trailing
+/// text, or out-of-range input exits(2) with a flag-prefixed message.
+inline long long parse_strict_ll(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << flag << ": not a number: '" << text << "'\n";
+    std::exit(2);
+  }
+  if (errno == ERANGE) {
+    std::cerr << flag << ": out of range: '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Strict whole-string floating-point parse; rejects garbage, trailing
+/// text, infinities and NaN.
+inline double parse_strict_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::cerr << flag << ": not a number: '" << text << "'\n";
+    std::exit(2);
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    std::cerr << flag << ": out of range: '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+/// As parse_strict_ll but additionally rejects zero and negative values —
+/// shard counts, queue bounds and flood volumes must be positive.
+inline long long parse_positive_ll(const char* flag, const char* text) {
+  const long long v = parse_strict_ll(flag, text);
+  if (v <= 0) {
+    std::cerr << flag << ": must be positive: '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+/// As parse_strict_double but additionally rejects zero and negative
+/// values — rates, burst lengths and Zipf exponents must be positive.
+inline double parse_positive_double(const char* flag, const char* text) {
+  const double v = parse_strict_double(flag, text);
+  if (v <= 0.0) {
+    std::cerr << flag << ": must be positive: '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
 
 struct BenchArgs {
   std::size_t trials = 5;
@@ -52,11 +110,27 @@ struct BenchArgs {
   /// sweep output — and its golden hash — is byte-identical.
   bool chaos_sweep = false;
 
+  /// Called for every flag parse() itself does not recognise. Pull value
+  /// operands with the provided `next(flag)` callback; return true when
+  /// the flag was consumed, false to make parse() reject it as unknown.
+  using ExtraFlagFn = std::function<bool(
+      const std::string& flag,
+      const std::function<const char*(const char*)>& next)>;
+
   static BenchArgs parse(int argc, char** argv) {
+    return parse(argc, argv, nullptr, nullptr);
+  }
+
+  /// Like parse() but benches may register extra flags (strictly parsed
+  /// via the parse_* helpers above); `extra_help` lines are appended to
+  /// the --help text.
+  static BenchArgs parse(int argc, char** argv, const ExtraFlagFn& extra,
+                         const char* extra_help) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      auto next_arg = [&](const char* flag) -> const char* {
+      const std::function<const char*(const char*)> next_arg =
+          [&](const char* flag) -> const char* {
         if (i + 1 >= argc) {
           std::cerr << flag << " requires a value\n";
           std::exit(2);
@@ -64,20 +138,10 @@ struct BenchArgs {
         return argv[++i];
       };
       auto next_value = [&](const char* flag) -> long long {
-        const char* text = next_arg(flag);
-        errno = 0;
-        char* end = nullptr;
-        const long long v = std::strtoll(text, &end, 10);
-        if (end == text || *end != '\0') {
-          std::cerr << flag << ": not a number: '" << text << "'\n";
-          std::exit(2);
-        }
-        if (errno == ERANGE) {
-          std::cerr << flag << ": out of range: '" << text << "'\n";
-          std::exit(2);
-        }
+        const long long v = parse_strict_ll(flag, next_arg(flag));
         if (v < 0) {
-          std::cerr << flag << ": must be non-negative: '" << text << "'\n";
+          std::cerr << flag << ": must be non-negative: '"
+                    << argv[i] << "'\n";
           std::exit(2);
         }
         return v;
@@ -127,7 +191,10 @@ struct BenchArgs {
                "table on stderr\n"
             << "  --chaos-sweep  add a chaos configuration to the sweep "
                "(benches that support it)\n";
+        if (extra_help != nullptr) std::cout << extra_help;
         std::exit(0);
+      } else if (extra && extra(a, next_arg)) {
+        // consumed by the bench's own flag table
       } else {
         std::cerr << "unknown flag: " << a << "\n";
         std::exit(2);

@@ -101,7 +101,20 @@ chaos_scenarios() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = sld::bench::BenchArgs::parse(argc, argv);
+  double burst_len = 4.0;
+  const auto args = sld::bench::BenchArgs::parse(
+      argc, argv,
+      [&](const std::string& a, const auto& next) {
+        if (a == "--burst-len") {
+          burst_len =
+              sld::bench::parse_positive_double("--burst-len",
+                                                next("--burst-len"));
+          return true;
+        }
+        return false;
+      },
+      "  --burst-len L  Gilbert-Elliott average burst length, > 0 "
+      "(default 4)\n");
 
   return sld::bench::run_main("ext_fault_tolerance", args,
                               [&](sld::bench::BenchIteration& it) {
@@ -120,7 +133,6 @@ int main(int argc, char** argv) {
   }
   std::size_t metrics_entries = 0;
   const double losses[] = {0.0, 0.05, 0.1, 0.2};
-  const double kBurstLen = 4.0;
 
   sld::util::Table table(
       {"loss_model", "loss_rate", "arq", "detection_rate", "ci95",
@@ -138,7 +150,7 @@ int main(int argc, char** argv) {
           if (loss > 0.0)
             e.base.faults.burst =
                 sld::sim::GilbertElliottConfig::for_average_loss(loss,
-                                                                 kBurstLen);
+                                                                 burst_len);
         } else {
           e.base.faults.loss_probability = loss;
         }

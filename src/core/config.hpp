@@ -19,6 +19,7 @@
 #include "ranging/toa.hpp"
 #include "revocation/base_station.hpp"
 #include "revocation/failover.hpp"
+#include "revocation/shard.hpp"
 #include "sim/deployment.hpp"
 #include "sim/time.hpp"
 
@@ -70,6 +71,21 @@ struct SystemConfig {
   /// (Figure 14's worst case).
   bool collusion = false;
 
+  /// Alert-storm attack: on top of the collusion plan, each colluder
+  /// floods this many extra forged alerts at Zipf-skewed benign targets
+  /// during the probe phase. 0 (the default) schedules nothing. Only
+  /// meaningful with `collusion` on — the flood reuses the colluder set.
+  struct AlertStormConfig {
+    std::size_t flood_alerts_per_colluder = 0;
+    /// Zipf exponent of the target-popularity skew (1 = classic Zipf;
+    /// larger concentrates the flood on fewer victims).
+    double zipf_exponent = 1.0;
+    /// Flood submissions spread uniformly over this window from the probe
+    /// phase start.
+    sim::SimTime duration_ns = 30 * sim::kSecond;
+  };
+  AlertStormConfig storm;
+
   /// Probability a sensor learns a given revocation (paper: ~1 thanks to
   /// retransmission).
   double revocation_reach_probability = 1.0;
@@ -90,6 +106,12 @@ struct SystemConfig {
   /// scheduled primary outages, standby takeover. Default: disabled, a
   /// zero-cost pass-through to the paper's single immortal base station.
   revocation::FailoverConfig failover;
+
+  /// Overload-resilient alert ingestion in front of the base station:
+  /// sharded bounded queues, per-reporter rate limiting, priority-aware
+  /// shedding and the WAL circuit breaker. Default: disabled, an exact
+  /// pass-through to the cluster (bit-for-bit the seed behaviour).
+  revocation::IngestConfig ingest;
 
   /// Retransmission policy for the probe exchange and sensor queries
   /// (timeout / max retries / exponential backoff with jitter). Disabled

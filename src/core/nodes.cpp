@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "check/invariant.hpp"
 #include "crypto/mac.hpp"
@@ -55,6 +57,7 @@ SystemContext::SystemContext(const SystemConfig& cfg)
       toa(cfg.toa),
       timing(cfg.timing),
       cluster(cfg.revocation, cfg.failover),
+      ingest(cfg.ingest, cluster),
       dissemination(cfg.revocation_reach_probability,
                     cfg.seed ^ 0xd15534731a7e0000ULL),
       rng(cfg.seed) {
@@ -86,6 +89,35 @@ SystemContext::SystemContext(const SystemConfig& cfg)
     recovery_hist =
         &instruments.histogram("recovery.latency_ms", 0.0, 10'000.0, 32);
     cluster.set_recovery_histogram(recovery_hist);
+  }
+  // Ingest instruments exist only for pipeline-enabled configs, for the
+  // same goldens reason as recovery.latency_ms above.
+  if (cfg.ingest.enabled()) {
+    revocation::IngestPipeline::Instruments ins;
+    ins.accepted = &instruments.counter("bs.ingest.accepted");
+    ins.shed = &instruments.counter("bs.ingest.shed");
+    ins.rate_limited = &instruments.counter("bs.ingest.rate_limited");
+    ins.deferred = &instruments.counter("bs.ingest.deferred");
+    ins.latency_ms = &instruments.histogram("bs.ingest.latency_ms", 0.1,
+                                            60'000.0, 32,
+                                            obs::HistogramScale::kLog);
+    for (std::uint32_t i = 0; i < cfg.ingest.shard.count; ++i) {
+      ins.queue_depth.push_back(
+          &instruments.gauge("bs.ingest.queue_depth.s" + std::to_string(i)));
+    }
+    ingest.set_instruments(std::move(ins));
+    ingest.set_commit_hook([this](sim::NodeId /*reporter*/, sim::NodeId target,
+                                  revocation::AlertDisposition disposition,
+                                  sim::SimTime /*enqueued_at*/,
+                                  sim::SimTime committed_at) {
+      if (disposition == revocation::AlertDisposition::kAccepted ||
+          disposition == revocation::AlertDisposition::kAcceptedAndRevoked) {
+        alert_counter_hist->observe(
+            static_cast<double>(cluster.alert_counter(target)));
+      }
+      if (disposition == revocation::AlertDisposition::kAcceptedAndRevoked)
+        metrics.revocation_times.emplace_back(target, committed_at);
+    });
   }
   switch (cfg.wormhole_detector_type) {
     case SystemConfig::WormholeDetectorType::kProbabilistic:
@@ -181,22 +213,41 @@ void SystemContext::deliver_alert_attempt(sim::NodeId reporter,
   // bernoulli(0) draws nothing, so the default lossless transport leaves
   // the per-trial RNG stream untouched.
   if (station_up && !rng.bernoulli(config.alert_loss_probability)) {
-    if (tracer.on()) {
-      tracer.emit(tracer.event("alert.delivered")
-                      .f("reporter", reporter)
-                      .f("target", target)
-                      .f("attempt", static_cast<std::uint64_t>(attempt)));
+    if (!ingest.enabled()) {
+      if (tracer.on()) {
+        tracer.emit(tracer.event("alert.delivered")
+                        .f("reporter", reporter)
+                        .f("target", target)
+                        .f("attempt", static_cast<std::uint64_t>(attempt)));
+      }
+      const auto disposition =
+          cluster.process_alert(scheduler->now(), reporter, target, nonce);
+      if (disposition == revocation::AlertDisposition::kAccepted ||
+          disposition == revocation::AlertDisposition::kAcceptedAndRevoked) {
+        alert_counter_hist->observe(
+            static_cast<double>(cluster.alert_counter(target)));
+      }
+      if (disposition == revocation::AlertDisposition::kAcceptedAndRevoked)
+        metrics.revocation_times.emplace_back(target, scheduler->now());
+      return;
     }
-    const auto disposition =
-        cluster.process_alert(scheduler->now(), reporter, target, nonce);
-    if (disposition == revocation::AlertDisposition::kAccepted ||
-        disposition == revocation::AlertDisposition::kAcceptedAndRevoked) {
-      alert_counter_hist->observe(
-          static_cast<double>(cluster.alert_counter(target)));
+    // Pipeline path: an enqueued (or pair-absorbed) alert is acked — its
+    // counting happens at shard-commit time through the commit hook. A
+    // shed or rate-limited alert got no ack, which to the reporter is
+    // indistinguishable from a transport loss: fall through to the ARQ
+    // retry path below and try again once the storm eases.
+    const revocation::IngestResult res =
+        ingest.submit(scheduler->now(), reporter, target, nonce);
+    if (res.kind == revocation::IngestResult::Kind::kEnqueued ||
+        res.kind == revocation::IngestResult::Kind::kAbsorbed) {
+      if (tracer.on()) {
+        tracer.emit(tracer.event("alert.delivered")
+                        .f("reporter", reporter)
+                        .f("target", target)
+                        .f("attempt", static_cast<std::uint64_t>(attempt)));
+      }
+      return;
     }
-    if (disposition == revocation::AlertDisposition::kAcceptedAndRevoked)
-      metrics.revocation_times.emplace_back(target, scheduler->now());
-    return;
   }
   // Attempt lost in transit (or no station was up to receive it).
   if (tracer.on()) {

@@ -25,6 +25,7 @@
 #include "revocation/base_station.hpp"
 #include "revocation/dissemination.hpp"
 #include "revocation/failover.hpp"
+#include "revocation/shard.hpp"
 #include "sim/network.hpp"
 #include "sim/recoverable.hpp"
 #include "util/stats.hpp"
@@ -114,6 +115,11 @@ struct SystemContext {
   /// this is a pass-through single station, bit-for-bit the seed behaviour;
   /// chaos configs give it durable storage, outages, and a standby.
   revocation::BaseStationCluster cluster;
+  /// Overload-resilient ingestion in front of the cluster. Disabled (the
+  /// default) it is an exact pass-through; enabled it owns admission,
+  /// shard queues, and the WAL circuit breaker. Alerts enter through
+  /// deliver_alert_attempt -> ingest.submit.
+  revocation::IngestPipeline ingest;
   /// The station whose word currently counts (revocation list, counters).
   const revocation::BaseStation& bs() const { return cluster.authority(); }
   revocation::DisseminationModel dissemination;

@@ -6,6 +6,7 @@
 
 #include "attack/collusion.hpp"
 #include "attack/wormhole.hpp"
+#include "util/stats.hpp"
 
 namespace sld::core {
 
@@ -60,6 +61,7 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
   network_.channel().set_tracer(tracer);
   ctx_->detector->set_tracer(tracer);
   ctx_->cluster.set_tracer(tracer);
+  ctx_->ingest.set_tracer(tracer);
   ctx_->dissemination.set_tracer(tracer);
 
   if (tracer.on()) {
@@ -158,6 +160,31 @@ void SecureLocalizationSystem::schedule_collusion() {
   // interleaves their alerts with honest ones.
   for (const auto& alert : plan.alerts)
     ctx_->submit_alert(alert.reporter, alert.target, /*collusion_alert=*/true);
+
+  // Alert-storm flood: on top of the quota-exact plan above, each colluder
+  // fires extra forged alerts at Zipf-skewed benign victims spread across
+  // the storm window. Fresh nonces per submission keep the flood from
+  // collapsing into duplicates at the base station.
+  if (config_.storm.flood_alerts_per_colluder == 0 || benign_targets.empty())
+    return;
+  util::Rng storm_rng = ctx_->rng.fork(0x57024);
+  const util::ZipfSampler zipf(benign_targets.size(),
+                               config_.storm.zipf_exponent);
+  const auto window = static_cast<std::uint64_t>(
+      std::max<sim::SimTime>(config_.storm.duration_ns, 1));
+  for (const auto c : colluders) {
+    for (std::size_t i = 0; i < config_.storm.flood_alerts_per_colluder;
+         ++i) {
+      const sim::NodeId victim =
+          benign_targets[zipf.sample(storm_rng.uniform01())];
+      const sim::SimTime at =
+          config_.probe_phase_start +
+          static_cast<sim::SimTime>(storm_rng.uniform_u64(window));
+      network_.scheduler().schedule_at(at, [this, c, victim]() {
+        ctx_->submit_alert(c, victim, /*collusion_alert=*/true);
+      });
+    }
+  }
 }
 
 void SecureLocalizationSystem::schedule_failover() {
@@ -168,7 +195,7 @@ void SecureLocalizationSystem::schedule_failover() {
   for (const auto& tr : ctx_->cluster.transitions()) {
     const sim::SimTime t = tr.t;
     network_.scheduler().schedule_at(
-        t, [this, t]() { ctx_->cluster.advance(t); });
+        t, [this, t]() { ctx_->ingest.advance(t); });
   }
 }
 
@@ -182,6 +209,16 @@ void SecureLocalizationSystem::schedule_finalize() {
       static_cast<sim::SimTime>(max_targets + 2) *
           config_.transmission_stagger +
       sim::kSecond;
+  // Pump the ingestion pipeline right before the sensors finalize (the
+  // scheduler is FIFO-stable at equal times), so every queued alert whose
+  // service time has elapsed is committed and disseminated first. Gated:
+  // the default config must schedule no extra event (sched.events is part
+  // of the bench goldens).
+  if (ctx_->ingest.enabled()) {
+    network_.scheduler().schedule_at(finalize_at, [this, finalize_at]() {
+      ctx_->ingest.advance(finalize_at);
+    });
+  }
   for (auto* sensor : sensor_nodes_) {
     network_.scheduler().schedule_at(finalize_at,
                                      [sensor]() { sensor->finalize(); });
@@ -208,8 +245,11 @@ TrialSummary SecureLocalizationSystem::run() {
     obs::ScopedTimerMs timer(ctx_->instruments, "phase.localization_ms");
     network_.run();
   }
-  // Apply any availability transitions past the last executed event, so
-  // summarize() reads the cluster's final state.
+  // Force-commit anything still queued in the ingestion shards (and
+  // journal deferred degraded-mode commits), then apply any availability
+  // transitions past the last executed event, so summarize() reads the
+  // final state.
+  ctx_->ingest.drain(network_.scheduler().now());
   ctx_->cluster.advance(std::numeric_limits<sim::SimTime>::max());
 
   ctx_->instruments.gauge("sched.events")
@@ -306,6 +346,7 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.base_station = ctx_->bs().stats();
   s.cluster = ctx_->cluster.stats();
   s.durable = ctx_->cluster.wal().stats();
+  s.ingest = ctx_->ingest.stats();
   s.channel = network_.channel().stats();
   s.metrics_json = ctx_->instruments.snapshot_json();
   return s;

@@ -63,6 +63,8 @@ struct TrialSummary {
   /// Failover/durability accounting (all zero with the default config).
   revocation::ClusterStats cluster;
   revocation::DurableStoreStats durable;
+  /// Ingestion-pipeline accounting (all zero with the default config).
+  revocation::IngestStats ingest;
   sim::ChannelStats channel;
 
   /// JSON snapshot of the trial's instrument registry (counters, gauges,

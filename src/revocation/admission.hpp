@@ -1,0 +1,123 @@
+// Admission control for the base station's alert ingestion path.
+//
+// The paper's revocation scheme assumes the base station can absorb every
+// alert, but colluding reporters are exactly the adversary the threat
+// model posits: an alert storm is both a DoS on revocation and an
+// amplification of false accusations. The admission layer sits in front
+// of the shard queues (shard.hpp) and applies three deterministic gates:
+//
+//   * per-reporter token buckets — a flooder's sustained rate is capped
+//     while a benign reporter's handful of alerts always has tokens;
+//   * a windowed (reporter, target) pair rule — a reporter's repeated
+//     accusations against one target carry no new evidence (honest nodes
+//     already self-limit to one, paper §3.1), so repeats are absorbed
+//     cheaply and a colluder contributes at most one accepted alert per
+//     target, which bounds the harm a storm of forged alerts can do;
+//   * a circuit breaker over the WAL device — sustained flush stall trips
+//     ingestion into counting-without-durability instead of blocking.
+//
+// The breaker is an explicit state machine
+//
+//   closed -> shedding   (a queue-full shed happened recently)
+//   closed -> degraded   (WAL stalled for >= breaker_trip_ns)
+//   degraded -> recovering (stall cleared; deferred records re-journaled)
+//   recovering -> closed  (cooldown elapsed)
+//
+// and, like everything in the simulator, a pure function of configured
+// fault windows and observed event times — no wall clock, no randomness.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "revocation/base_station.hpp"
+#include "revocation/durable_store.hpp"
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace sld::revocation {
+
+enum class BreakerState {
+  kClosed,      // normal operation
+  kShedding,    // queue pressure: first-sight alerts are being dropped
+  kDegraded,    // WAL stalled: counting without durability
+  kRecovering,  // stall cleared: deferred records journaled, cooling down
+};
+
+const char* breaker_state_name(BreakerState state);
+
+struct AdmissionConfig {
+  /// Master switch. Disabled means every alert is admitted untouched —
+  /// the pre-admission behaviour, bit-for-bit.
+  bool enabled = false;
+  /// Sustained per-reporter alert rate (tokens/second). 0 disables the
+  /// rate gate.
+  double reporter_rate_per_s = 5.0;
+  /// Token-bucket depth: alerts a reporter may burst above the rate.
+  double reporter_burst = 8.0;
+  /// Remembered (reporter, target) pairs for the one-accusation-per-pair
+  /// rule, windowed like the nonce dedup. 0 disables the rule.
+  std::size_t pair_window = 1u << 16;
+  /// A target whose alert counter has reached this is "suspected": its
+  /// alerts ride the priority lane and are never shed.
+  std::uint32_t suspect_after = 1;
+  /// WAL stall duration that trips the breaker into degraded mode.
+  sim::SimTime breaker_trip_ns = 500 * sim::kMillisecond;
+  /// Time in recovering before the breaker re-closes.
+  sim::SimTime breaker_cooldown_ns = 2 * sim::kSecond;
+  /// A shed event holds the breaker in shedding for this long.
+  sim::SimTime shed_reopen_ns = 1 * sim::kSecond;
+};
+
+/// The deterministic admission state: token buckets, the pair window and
+/// the breaker. Owned and driven by the IngestPipeline.
+class AdmissionController {
+ public:
+  enum class Decision {
+    kAdmit,          // pass on to the shard queues
+    kRateLimited,    // reporter out of tokens
+    kDuplicatePair,  // (reporter, target) already accused in the window
+  };
+
+  /// `stall_windows` is the WAL device's fault schedule (the breaker's
+  /// degraded intervals are precomputed from it).
+  AdmissionController(const AdmissionConfig& config,
+                      const std::vector<StallWindow>& stall_windows);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Applies the pair rule and the token-bucket gate (in that order: a
+  /// repeat accusation is absorbed without spending a token).
+  Decision admit(sim::NodeId reporter, sim::NodeId target, sim::SimTime now);
+
+  /// Records that an admitted alert was actually enqueued, committing
+  /// its (reporter, target) pair to the window.
+  void remember_pair(sim::NodeId reporter, sim::NodeId target);
+
+  /// Records a queue-full shed; holds the breaker in shedding for
+  /// `shed_reopen_ns`.
+  void note_shed(sim::SimTime now);
+
+  /// Breaker state at `now` — a pure function of the stall schedule and
+  /// the last shed time, so it can be queried freely.
+  BreakerState state(sim::SimTime now) const;
+
+  std::uint64_t pair_evictions() const { return pairs_.evictions(); }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    sim::SimTime last_refill = 0;
+  };
+
+  AdmissionConfig config_;
+  /// [start, end) intervals in which the breaker reads degraded.
+  std::vector<StallWindow> degraded_;
+  std::unordered_map<sim::NodeId, Bucket> buckets_;
+  DedupWindow pairs_;
+  sim::SimTime last_shed_ = 0;
+  bool any_shed_ = false;
+};
+
+}  // namespace sld::revocation

@@ -5,7 +5,29 @@
 
 namespace sld::revocation {
 
-BaseStation::BaseStation(RevocationConfig config) : config_(config) {}
+BaseStation::BaseStation(RevocationConfig config)
+    : config_(config), seen_(config.dedup_window) {}
+
+bool DedupWindow::insert(const AlertKey& key) {
+  if (!set_.insert(key).second) return false;
+  order_.push_back(key);
+  if (capacity_ != 0 && order_.size() > capacity_) {
+    set_.erase(order_.front());
+    order_.pop_front();
+    ++evictions_;
+  }
+  return true;
+}
+
+std::vector<AlertKey> DedupWindow::snapshot() const {
+  return std::vector<AlertKey>(order_.begin(), order_.end());
+}
+
+void DedupWindow::restore(const std::vector<AlertKey>& keys) {
+  order_.clear();
+  set_.clear();
+  for (const AlertKey& k : keys) insert(k);
+}
 
 namespace {
 const char* disposition_name(AlertDisposition d) {
@@ -91,12 +113,15 @@ AlertDisposition BaseStation::process_alert_impl(sim::NodeId reporter,
                                                  std::uint64_t nonce) {
   ++stats_.alerts_received;
 
-  // Idempotence: a (reporter, target, nonce) key is counted at most once,
-  // whatever the transport did to the packet in between.
-  if (!seen_.insert(AlertKey{reporter, target, nonce}).second) {
+  // Idempotence: a (reporter, target, nonce) key is counted at most once
+  // within the dedup window, whatever the transport did to the packet in
+  // between.
+  const std::uint64_t evictions_before = seen_.evictions();
+  if (!seen_.insert(AlertKey{reporter, target, nonce})) {
     ++stats_.alerts_ignored_duplicate;
     return AlertDisposition::kIgnoredDuplicate;
   }
+  stats_.dedup_evictions += seen_.evictions() - evictions_before;
 
   // Paper: accept iff the reporter's report counter has not exceeded tau1
   // and the target is not revoked. Note the reporter being revoked does
@@ -140,7 +165,7 @@ BaseStationState BaseStation::export_state() const {
   state.alert_counter = alert_counter_;
   state.report_counter = report_counter_;
   state.revocation_order = revocation_order_;
-  state.seen = seen_;
+  state.seen = seen_.snapshot();
   state.auto_nonce = auto_nonce_;
   state.stats = stats_;
   return state;
@@ -152,7 +177,7 @@ void BaseStation::import_state(const BaseStationState& state) {
   revocation_order_ = state.revocation_order;
   revoked_ = std::unordered_set<sim::NodeId>(state.revocation_order.begin(),
                                              state.revocation_order.end());
-  seen_ = state.seen;
+  seen_.restore(state.seen);
   auto_nonce_ = state.auto_nonce;
   stats_ = state.stats;
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -31,6 +32,13 @@ struct RevocationConfig {
   /// tau2: a target is revoked once its alert counter *exceeds* this
   /// (i.e. at tau2 + 1 accepted alerts).
   std::uint32_t alert_threshold = 2;
+  /// Upper bound on remembered (reporter, target, nonce) dedup keys; the
+  /// oldest key is evicted when a new one would exceed it. 0 = unbounded
+  /// (the pre-window behaviour). A late duplicate of an evicted key is
+  /// counted again, so the window trades bounded memory for idempotence
+  /// only across the most recent `dedup_window` submissions — far older
+  /// retransmissions than any ARQ produces.
+  std::size_t dedup_window = 1u << 16;
 };
 
 enum class AlertDisposition {
@@ -48,6 +56,9 @@ struct BaseStationStats {
   std::uint64_t alerts_ignored_revoked = 0;
   std::uint64_t alerts_ignored_duplicate = 0;
   std::uint64_t revocations = 0;
+  /// Dedup keys aged out of the bounded window (0 while the footprint
+  /// stays under `dedup_window`).
+  std::uint64_t dedup_evictions = 0;
 };
 
 /// Identity of one alert submission. The nonce makes retransmissions of
@@ -74,13 +85,46 @@ struct AlertKeyHash {
   }
 };
 
+/// Bounded insertion-ordered set of alert keys: the station's nonce-dedup
+/// memory. Unbounded growth here was a real storm-amplified leak — every
+/// distinct (reporter, target, nonce) ever submitted stayed resident — so
+/// the window keeps only the most recent `capacity` keys and counts what
+/// it ages out. Capacity 0 means unbounded.
+class DedupWindow {
+ public:
+  explicit DedupWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts `key`; returns false (and changes nothing) if it is already
+  /// in the window. May evict the oldest key to stay within capacity.
+  bool insert(const AlertKey& key);
+
+  bool contains(const AlertKey& key) const { return set_.contains(key); }
+
+  std::size_t size() const { return set_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Window contents, oldest first (the serializable image).
+  std::vector<AlertKey> snapshot() const;
+  /// Replaces the contents with `keys` (given oldest first), re-applying
+  /// the capacity bound. Does not reset the eviction count.
+  void restore(const std::vector<AlertKey>& keys);
+
+ private:
+  std::size_t capacity_;
+  std::deque<AlertKey> order_;
+  std::unordered_set<AlertKey, AlertKeyHash> set_;
+  std::uint64_t evictions_ = 0;
+};
+
 /// Serializable image of a base station — what a snapshot persists and
 /// what a standby imports before replaying the WAL tail.
 struct BaseStationState {
   std::unordered_map<sim::NodeId, std::uint32_t> alert_counter;
   std::unordered_map<sim::NodeId, std::uint32_t> report_counter;
   std::vector<sim::NodeId> revocation_order;
-  std::unordered_set<AlertKey, AlertKeyHash> seen;
+  /// Dedup-window contents, oldest first.
+  std::vector<AlertKey> seen;
   std::uint64_t auto_nonce = 0;
   BaseStationStats stats;
 };
@@ -114,6 +158,8 @@ class BaseStation {
   std::uint32_t report_counter(sim::NodeId beacon) const;
 
   const BaseStationStats& stats() const { return stats_; }
+  /// Resident dedup keys (bounded by RevocationConfig::dedup_window).
+  std::size_t dedup_footprint() const { return seen_.size(); }
 
   /// Installs the event tracer (off by default). Emits one `bs.alert`
   /// record per processed alert (disposition + post-state counters) and a
@@ -137,7 +183,7 @@ class BaseStation {
   std::unordered_map<sim::NodeId, std::uint32_t> report_counter_;
   std::unordered_set<sim::NodeId> revoked_;
   std::vector<sim::NodeId> revocation_order_;
-  std::unordered_set<AlertKey, AlertKeyHash> seen_;
+  DedupWindow seen_;
   /// Nonce source for the nonce-less overload; the high bit keeps the
   /// internal namespace disjoint from caller-assigned nonces.
   std::uint64_t auto_nonce_ = 0;

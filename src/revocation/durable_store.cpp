@@ -1,28 +1,66 @@
 #include "revocation/durable_store.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sld::revocation {
 
-DurableStore::DurableStore(DurableConfig config) : config_(config) {
+DurableStore::DurableStore(DurableConfig config) : config_(std::move(config)) {
   if (config_.fsync_every_records == 0)
     throw std::invalid_argument("DurableStore: fsync interval must be >= 1");
   if (config_.snapshot_every_records == 0)
     throw std::invalid_argument("DurableStore: snapshot interval must be >= 1");
+  sim::SimTime prev_end = 0;
+  for (const StallWindow& w : config_.stall_windows) {
+    if (w.end <= w.start)
+      throw std::invalid_argument("DurableStore: empty stall window");
+    if (w.start < prev_end)
+      throw std::invalid_argument(
+          "DurableStore: stall windows must be sorted and non-overlapping");
+    prev_end = w.end;
+  }
 }
 
 bool DurableStore::append(const AlertKey& record, const BaseStation& station) {
   if (!config_.enabled) return false;
   pending_.push_back(record);
   ++stats_.appends;
+  if (stalled_) {
+    // The device cannot complete a flush right now: the record rides the
+    // pending buffer past the fsync cadence and widens the loss window.
+    ++stats_.stalled_appends;
+    return false;
+  }
   if (pending_.size() < config_.fsync_every_records) return false;
   flush();
   maybe_snapshot(station);
   return true;
 }
 
+void DurableStore::advance(sim::SimTime now) {
+  if (!config_.enabled || config_.stall_windows.empty()) return;
+  last_advance_ = now;
+  const auto& windows = config_.stall_windows;
+  while (next_stall_ < windows.size() && windows[next_stall_].end <= now)
+    ++next_stall_;
+  const bool in_window =
+      next_stall_ < windows.size() && windows[next_stall_].start <= now;
+  if (stalled_ && !in_window) {
+    // Stall cleared: catch up on the backlog the cadence would already
+    // have flushed (snapshot compaction waits for the next append).
+    stalled_ = false;
+    if (pending_.size() >= config_.fsync_every_records) flush();
+  }
+  stalled_ = in_window;
+}
+
+void DurableStore::note_lost(const AlertKey& record) {
+  ++lost_alerts_[record.target];
+  ++stats_.deferred_lost;
+}
+
 void DurableStore::flush() {
-  if (!config_.enabled || pending_.empty()) return;
+  if (!config_.enabled || stalled_ || pending_.empty()) return;
   for (const AlertKey& r : pending_) {
     tail_.push_back(r);
     ++durable_alerts_[r.target];
@@ -39,6 +77,7 @@ void DurableStore::drop_pending() {
 }
 
 void DurableStore::maybe_snapshot(const BaseStation& station) {
+  if (!snapshot_gate_open_) return;
   if (tail_.size() <= config_.snapshot_every_records) return;
   // Right after a flush the station state covers exactly (snapshot + tail),
   // so its image can replace both.

@@ -24,8 +24,18 @@
 
 #include "revocation/base_station.hpp"
 #include "sim/message.hpp"
+#include "sim/time.hpp"
 
 namespace sld::revocation {
+
+/// The WAL device cannot complete flushes in [start, end) — an injected
+/// fault modelling a saturated or hung storage backend. Appends still
+/// land in the pending buffer (and are lost on a crash), they just cannot
+/// become durable until the stall clears.
+struct StallWindow {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+};
 
 struct DurableConfig {
   /// Master switch. Disabled stores accept appends but retain nothing:
@@ -39,6 +49,9 @@ struct DurableConfig {
   /// Once the flushed WAL tail exceeds this many records it is compacted
   /// into a snapshot of the full station state.
   std::uint32_t snapshot_every_records = 64;
+  /// Flush-stall fault windows (sorted, non-overlapping). Empty by
+  /// default: the store never stalls.
+  std::vector<StallWindow> stall_windows;
 };
 
 struct DurableStoreStats {
@@ -47,6 +60,12 @@ struct DurableStoreStats {
   std::uint64_t snapshots = 0;
   /// Un-flushed records discarded by crashes.
   std::uint64_t records_lost = 0;
+  /// Appends made while the device was stalled (each widened the crash
+  /// loss window beyond the fsync bound).
+  std::uint64_t stalled_appends = 0;
+  /// Records the ingest pipeline accepted in degraded (non-durable) mode
+  /// and then lost to a crash before they could be journaled.
+  std::uint64_t deferred_lost = 0;
 };
 
 class DurableStore {
@@ -57,14 +76,30 @@ class DurableStore {
   const DurableStoreStats& stats() const { return stats_; }
 
   /// Appends one accepted alert. Returns true if the append triggered a
-  /// flush (records up to and including this one are now durable).
+  /// flush (records up to and including this one are now durable). While
+  /// the device is stalled the record stays pending regardless of the
+  /// fsync cadence.
   bool append(const AlertKey& record, const BaseStation& station);
 
+  /// Moves simulated time forward for stall-window bookkeeping. When a
+  /// stall clears, a pending backlog at or past the fsync cadence is
+  /// flushed immediately. Idempotent; must not run backwards.
+  void advance(sim::SimTime now);
+
+  /// True if a stall window covers the last advanced-to time.
+  bool stalled() const { return stalled_; }
+
   /// Forces pending records to durability (e.g. at a clean shutdown).
+  /// No-op while stalled.
   void flush();
 
   /// The active station crashed: the un-flushed suffix is gone.
   void drop_pending();
+
+  /// Accounts one record that was accepted without durability (degraded
+  /// mode) and lost to a crash — it was never appended, but it is gone
+  /// evidence all the same, so it joins the per-target lost ledger.
+  void note_lost(const AlertKey& record);
 
   /// Rebuilds a station from the snapshot plus WAL-tail replay. The result
   /// reflects exactly the durable prefix of the accepted-alert history.
@@ -84,6 +119,15 @@ class DurableStore {
   std::size_t tail_records() const { return tail_.size(); }
   bool has_snapshot() const { return snapshot_.has_value(); }
 
+  /// Compaction gate. A snapshot replaces (snapshot + tail) with the live
+  /// station image, which is only sound when that image holds no state
+  /// beyond the flushed log. The ingest pipeline closes the gate while
+  /// degraded-mode records are counted but not yet journaled — a snapshot
+  /// cut then would smuggle their counters into durable state, and a later
+  /// crash would charge the same records to the lost ledger twice over.
+  /// Appends and flushes are unaffected; compaction just waits.
+  void set_snapshot_gate(bool open) { snapshot_gate_open_ = open; }
+
  private:
   void maybe_snapshot(const BaseStation& station);
 
@@ -97,6 +141,10 @@ class DurableStore {
   std::unordered_map<sim::NodeId, std::uint32_t> durable_alerts_;
   std::unordered_map<sim::NodeId, std::uint32_t> lost_alerts_;
   DurableStoreStats stats_;
+  bool stalled_ = false;
+  bool snapshot_gate_open_ = true;
+  sim::SimTime last_advance_ = 0;
+  std::size_t next_stall_ = 0;
 };
 
 }  // namespace sld::revocation

@@ -61,9 +61,14 @@ void BaseStationCluster::advance(sim::SimTime now) {
   last_advance_ = now;
   while (next_transition_ < transitions_.size() &&
          transitions_[next_transition_].t <= now) {
+    // The WAL's stall clock must reach each transition before it applies:
+    // a stall that clears before a crash flushes first, one that is still
+    // open when the crash hits keeps the backlog pending (and lost).
+    wal_.advance(transitions_[next_transition_].t);
     apply(transitions_[next_transition_]);
     ++next_transition_;
   }
+  wal_.advance(now);
 }
 
 void BaseStationCluster::apply(const Transition& tr) {
@@ -78,6 +83,7 @@ void BaseStationCluster::apply(const Transition& tr) {
         stations_[0] = wal_.restore(revocation_);
         stations_[0].set_tracer(trace_);
         service_down_ = true;
+        ++cluster_stats_.active_crashes;
       }
       break;
     }
@@ -131,10 +137,9 @@ bool BaseStationCluster::available(sim::SimTime now) {
   return !service_down_;
 }
 
-AlertDisposition BaseStationCluster::process_alert(sim::SimTime now,
-                                                   sim::NodeId reporter,
-                                                   sim::NodeId target,
-                                                   std::uint64_t nonce) {
+AlertDisposition BaseStationCluster::process_alert(
+    sim::SimTime now, sim::NodeId reporter, sim::NodeId target,
+    std::uint64_t nonce, bool durable) {
   advance(now);
   SLD_INVARIANT(!service_down_,
                 "process_alert while no station is available (t=" << now << ")");
@@ -145,15 +150,23 @@ AlertDisposition BaseStationCluster::process_alert(sim::SimTime now,
   if (disposition == AlertDisposition::kAccepted ||
       disposition == AlertDisposition::kAcceptedAndRevoked) {
     ++accepted_[target];
-    wal_.append(AlertKey{reporter, target, nonce}, station);
-    if (trace_.on() && wal_.stats().snapshots > snapshots_before) {
-      trace_.emit(trace_.event("bs.snapshot")
-                      .f("records", wal_.stats().appends)
-                      .f("wal_tail", static_cast<std::uint64_t>(
-                                         wal_.tail_records())));
+    if (durable) {
+      wal_.append(AlertKey{reporter, target, nonce}, station);
+      if (trace_.on() && wal_.stats().snapshots > snapshots_before) {
+        trace_.emit(trace_.event("bs.snapshot")
+                        .f("records", wal_.stats().appends)
+                        .f("wal_tail", static_cast<std::uint64_t>(
+                                           wal_.tail_records())));
+      }
     }
   }
   return disposition;
+}
+
+void BaseStationCluster::journal(const AlertKey& record) {
+  SLD_INVARIANT(!service_down_,
+                "journal() while no station is available");
+  wal_.append(record, stations_[active_]);
 }
 
 std::uint32_t BaseStationCluster::accepted_distinct(sim::NodeId target) const {

@@ -67,6 +67,9 @@ struct ClusterStats {
   std::uint64_t fences = 0;
   /// Primary restarts that resumed service (no standby had taken over).
   std::uint64_t restarts = 0;
+  /// Crashes of the *active* station (volatile state lost). Outages that
+  /// only hit an already-fenced primary do not count.
+  std::uint64_t active_crashes = 0;
 };
 
 class BaseStationCluster {
@@ -90,10 +93,31 @@ class BaseStationCluster {
   /// True if an up-and-running station is accepting alerts at `now`.
   bool available(sim::SimTime now);
 
+  /// Like available() but without advancing time — for callers that have
+  /// already advanced the cluster to `now` in this step.
+  bool in_service() const { return !service_down_; }
+
   /// Routes one alert to the active station and journals it if accepted.
-  /// Precondition: available(now).
+  /// Precondition: available(now). `durable = false` skips the WAL append
+  /// — the ingest pipeline's degraded mode, where the caller owns the
+  /// record's fate until it is journal()ed or lost.
   AlertDisposition process_alert(sim::SimTime now, sim::NodeId reporter,
-                                 sim::NodeId target, std::uint64_t nonce);
+                                 sim::NodeId target, std::uint64_t nonce,
+                                 bool durable = true);
+
+  /// Appends one previously-deferred accepted record to the WAL (degraded
+  /// mode recovery). The record must have been accepted by the active
+  /// station via process_alert(..., durable = false).
+  void journal(const AlertKey& record);
+
+  /// Accounts a deferred record that a crash destroyed before journal().
+  void note_deferred_lost(const AlertKey& record) { wal_.note_lost(record); }
+
+  /// Closes/opens the WAL's snapshot-compaction gate (see
+  /// DurableStore::set_snapshot_gate). Held closed by the ingest pipeline
+  /// whenever deferred records are outstanding, so a snapshot never
+  /// captures station state the log does not yet cover.
+  void set_snapshot_gate(bool open) { wal_.set_snapshot_gate(open); }
 
   /// The station whose word currently counts (reads: revocation list,
   /// counters, stats). During an outage with no promoted standby this is
@@ -137,6 +161,11 @@ class BaseStationCluster {
     std::size_t outage = 0;
   };
   const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// How many of transitions() advance() has applied so far. Lets layered
+  /// consumers (the ingest pipeline) detect crashes/takeovers that slipped
+  /// between their own advance() calls without re-deriving the schedule.
+  std::size_t transitions_applied() const { return next_transition_; }
 
  private:
   void apply(const Transition& tr);

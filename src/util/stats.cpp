@@ -63,6 +63,27 @@ double EmpiricalCdf::x_max() const {
   return sorted_.back();
 }
 
+ZipfSampler::ZipfSampler(std::size_t ranks, double exponent) {
+  if (ranks == 0)
+    throw std::invalid_argument("ZipfSampler: ranks must be >= 1");
+  if (!(exponent > 0.0))
+    throw std::invalid_argument("ZipfSampler: exponent must be > 0");
+  cdf_.resize(ranks);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -exponent);
+    cdf_[r] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // Guard against round-off leaving the tail short.
+}
+
+std::size_t ZipfSampler::sample(double u01) const {
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u01);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
 double log_gamma(double x) {
   if (x <= 0.0) throw std::invalid_argument("log_gamma: x must be > 0");
   // Lanczos approximation, g = 7, n = 9.

@@ -60,6 +60,25 @@ class EmpiricalCdf {
   std::vector<double> sorted_;
 };
 
+/// Zipf(s) sampler over ranks 0..K-1: rank r is drawn with probability
+/// proportional to 1/(r+1)^s. The CDF is precomputed once, so sampling is
+/// a single uniform draw plus a binary search and the mapping from draw to
+/// rank is deterministic and monotone.
+class ZipfSampler {
+ public:
+  /// Requires ranks >= 1 and exponent > 0; throws std::invalid_argument
+  /// otherwise.
+  ZipfSampler(std::size_t ranks, double exponent);
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Maps u in [0, 1) to a rank (0 is the most popular).
+  std::size_t sample(double u01) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
 /// ln Gamma(x) for x > 0 (Lanczos approximation, ~1e-13 relative error).
 double log_gamma(double x);
 

@@ -66,10 +66,12 @@ struct CampaignOptions {
   std::size_t schedules = 50;
   std::uint64_t base_seed = 1;
   bool fast = false;
+  bool storm_only = false;
   std::string trace_dir;
 };
 
-core::SystemConfig make_schedule(std::uint64_t seed, bool fast) {
+core::SystemConfig make_schedule(std::uint64_t seed, bool fast,
+                                 bool storm_only) {
   core::SystemConfig c;
   c.deployment.total_nodes = fast ? 200 : 300;
   c.deployment.beacon_count = fast ? 20 : 30;
@@ -179,6 +181,57 @@ core::SystemConfig make_schedule(std::uint64_t seed, bool fast) {
       break;
     }
   }
+
+  // Alert-storm family: colluders flood Zipf-skewed benign victims through
+  // the admission-controlled ingestion pipeline, on top of whatever channel
+  // and base-station chaos was drawn above. tau2 is raised to N_a + 1 so
+  // that admission pair-dedup (at most ONE accepted accusation per
+  // (reporter, target) pair) caps every benign counter at N_a — zero benign
+  // revocations are then achievable at ANY flood intensity, which is
+  // exactly what the bounded-harm oracle checks. Without admission the same
+  // flood WOULD frame benign beacons (fresh nonces bypass the base
+  // station's triple dedup), so the family always turns admission on.
+  if (storm_only || rng.bernoulli(0.35)) {
+    c.collusion = true;
+    c.revocation.alert_threshold = static_cast<std::uint32_t>(
+        c.deployment.malicious_beacon_count + 1);
+    c.storm.flood_alerts_per_colluder =
+        static_cast<std::size_t>(rng.uniform_int(fast ? 30 : 60,
+                                                 fast ? 120 : 300));
+    static constexpr double kZipfChoices[] = {0.8, 1.0, 1.5};
+    c.storm.zipf_exponent = kZipfChoices[rng.uniform_u64(std::size(kZipfChoices))];
+    c.storm.duration_ns = static_cast<sim::SimTime>(
+        rng.uniform(10.0, 40.0) * static_cast<double>(sim::kSecond));
+
+    c.ingest.admission.enabled = true;
+    c.ingest.admission.reporter_rate_per_s = rng.uniform(2.0, 20.0);
+    c.ingest.admission.reporter_burst = rng.uniform(4.0, 16.0);
+    static constexpr std::uint32_t kShardChoices[] = {1, 2, 4};
+    c.ingest.shard.count =
+        kShardChoices[rng.uniform_u64(std::size(kShardChoices))];
+    static constexpr std::size_t kCapacityChoices[] = {8, 16, 64};
+    c.ingest.shard.queue_capacity =
+        kCapacityChoices[rng.uniform_u64(std::size(kCapacityChoices))];
+    c.ingest.shard.service_time_ns = static_cast<sim::SimTime>(
+        rng.uniform_int(1, 5)) * sim::kMillisecond;
+
+    // WAL commit stalls (only meaningful with a WAL): long enough windows
+    // trip the circuit breaker into degraded counting mid-storm.
+    if (c.failover.durable.enabled && rng.bernoulli(0.5)) {
+      sim::SimTime cursor = static_cast<sim::SimTime>(
+          rng.uniform(1.0, 10.0) * static_cast<double>(sim::kSecond));
+      const auto stalls = 1 + rng.uniform_u64(2);
+      for (std::uint64_t i = 0; i < stalls; ++i) {
+        const auto duration = static_cast<sim::SimTime>(
+            rng.uniform(0.5, 4.0) * static_cast<double>(sim::kSecond));
+        c.failover.durable.stall_windows.push_back(
+            {cursor, cursor + duration});
+        cursor += duration + static_cast<sim::SimTime>(
+            rng.uniform(2.0, 8.0) * static_cast<double>(sim::kSecond));
+      }
+      c.ingest.admission.breaker_trip_ns = 200 * sim::kMillisecond;
+    }
+  }
   return c;
 }
 
@@ -197,7 +250,7 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
     result.failures.push_back(what);
   };
 
-  core::SystemConfig config = make_schedule(seed, opts.fast);
+  core::SystemConfig config = make_schedule(seed, opts.fast, opts.storm_only);
   config.trace_sink = sink;
 
   g_invariant_messages.clear();
@@ -260,15 +313,100 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
       }
     }
 
-    // Oracle 5: WAL loss bounded by the fsync window per primary crash.
+    // Oracle 5: WAL loss bounded by the fsync window per primary crash,
+    // plus any appends that arrived while a commit stall held the log —
+    // stalled records are pending (not yet durable) whatever the fsync
+    // cadence says, so a crash can take all of them.
     const auto fsync = config.failover.durable.fsync_every_records;
     const std::uint64_t crash_bound =
         config.failover.primary_outages.size() *
-        (fsync > 0 ? fsync - 1 : 0);
+            (fsync > 0 ? fsync - 1 : 0) +
+        s.durable.stalled_appends;
     if (s.durable.records_lost > crash_bound) {
       std::ostringstream os;
       os << "WAL lost " << s.durable.records_lost
-         << " records, bound is (fsync-1) * outages == " << crash_bound;
+         << " records, bound is (fsync-1) * outages + stalled == "
+         << crash_bound;
+      fail(os.str());
+    }
+
+    // Oracle 7 (storm): bounded harm under overload. The zero-benign-harm
+    // side is oracle 1 (pair-dedup caps benign counters at N_a < tau2 + 1
+    // at ANY flood intensity, so it must hold even here); the liveness
+    // side — accepted evidence beyond tau2 always converges to revocation
+    // — is oracle 4. What is new here: the pipeline may not strand or
+    // invent alerts, and every malicious revocation must land within the
+    // service-model latency bound.
+    if (config.ingest.enabled()) {
+      const auto& in = s.ingest;
+      if (in.submitted != in.accepted + in.rate_limited + in.shed +
+                              in.pair_duplicates) {
+        std::ostringstream os;
+        os << "ingest conservation: submitted " << in.submitted
+           << " != accepted " << in.accepted << " + rate_limited "
+           << in.rate_limited << " + shed " << in.shed << " + pair_dup "
+           << in.pair_duplicates;
+        fail(os.str());
+      }
+      if (in.accepted != in.committed) {
+        std::ostringstream os;
+        os << "ingest drain: accepted " << in.accepted << " != committed "
+           << in.committed << " (queued alerts stranded at end of trial)";
+        fail(os.str());
+      }
+      if (in.deferred != in.deferred_journaled + in.deferred_lost) {
+        std::ostringstream os;
+        os << "deferred accounting: deferred " << in.deferred
+           << " != journaled " << in.deferred_journaled << " + lost "
+           << in.deferred_lost;
+        fail(os.str());
+      }
+      // Bounded revocation latency: a commit slot never lands later than
+      // the last executed event plus the whole accepted backlog served
+      // back-to-back (the service model adds service_time per entry).
+      const sim::SimTime horizon =
+          static_cast<sim::SimTime>(sys.network().scheduler().now()) +
+          static_cast<sim::SimTime>(in.accepted) *
+              config.ingest.shard.service_time_ns;
+      for (const auto& [target, at] : s.raw.revocation_times) {
+        const auto truth_it = sys.context().truth.find(target);
+        if (truth_it == sys.context().truth.end() ||
+            !truth_it->second.malicious)
+          continue;
+        if (at > horizon) {
+          std::ostringstream os;
+          os << "revocation latency for malicious target " << target << ": "
+             << at << " past service-model horizon " << horizon;
+          fail(os.str());
+        }
+      }
+    }
+
+    // Forensic context for any failure above: the durability/storm knobs
+    // this seed drew plus the end-of-trial WAL and ingest counters, so a
+    // repro line alone is enough to reason about the fault interleaving.
+    if (!result.ok()) {
+      std::ostringstream os;
+      const auto& d = config.failover.durable;
+      os << "context: fsync=" << d.fsync_every_records
+         << " snapshot_every=" << d.snapshot_every_records
+         << " standby=" << config.failover.standby_enabled << " outages=[";
+      for (const auto& o : config.failover.primary_outages)
+        os << "(" << o.start << "," << o.end << ")";
+      os << "] stalls=[";
+      for (const auto& w : d.stall_windows)
+        os << "(" << w.start << "," << w.end << ")";
+      os << "] wal{appends=" << s.durable.appends
+         << " flushes=" << s.durable.flushes
+         << " snapshots=" << s.durable.snapshots
+         << " records_lost=" << s.durable.records_lost
+         << " stalled=" << s.durable.stalled_appends
+         << " deferred_lost=" << s.durable.deferred_lost << "}"
+         << " ingest{accepted=" << s.ingest.accepted
+         << " deferred=" << s.ingest.deferred
+         << " journaled=" << s.ingest.deferred_journaled
+         << " deferred_lost=" << s.ingest.deferred_lost
+         << " reconciled=" << s.ingest.reconciled << "}";
       fail(os.str());
     }
   } catch (const std::exception& e) {
@@ -293,8 +431,10 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
 int usage(const char* argv0, int code) {
   std::cerr
       << "usage: " << argv0
-      << " [--schedules N] [--base-seed S] [--fast] [--trace-dir DIR]\n"
-         "Runs N seeded chaos schedules (seeds S, S+1, ...). Every failure\n"
+      << " [--schedules N] [--base-seed S] [--fast] [--storm]"
+         " [--trace-dir DIR]\n"
+         "Runs N seeded chaos schedules (seeds S, S+1, ...). --storm forces\n"
+         "the alert-storm family on every schedule. Every failure\n"
          "prints a one-line repro; SLD_CHAOS_SEED=<seed> in the environment\n"
          "replays exactly that schedule (with a JSONL trace when\n"
          "--trace-dir is set). Exits nonzero if any schedule fails.\n";
@@ -320,7 +460,8 @@ bool run_and_report(std::uint64_t seed, const CampaignOptions& opts) {
   std::cerr << "FAIL schedule seed=" << seed << ":\n";
   for (const auto& f : r.failures) std::cerr << "  - " << f << "\n";
   std::cerr << "  repro: SLD_CHAOS_SEED=" << seed << " ./chaos_campaign"
-            << (opts.fast ? " --fast" : "") << "\n";
+            << (opts.fast ? " --fast" : "")
+            << (opts.storm_only ? " --storm" : "") << "\n";
   if (!opts.trace_dir.empty()) {
     const std::string path =
         opts.trace_dir + "/chaos_" + std::to_string(seed) + ".jsonl";
@@ -355,6 +496,8 @@ int main(int argc, char** argv) {
       opts.base_seed = *v;
     } else if (arg == "--fast") {
       opts.fast = true;
+    } else if (arg == "--storm") {
+      opts.storm_only = true;
     } else if (arg == "--trace-dir") {
       if (i + 1 >= argc) return usage(argv[0], 2);
       opts.trace_dir = argv[++i];

@@ -179,5 +179,69 @@ TEST(BaseStation, IndependentTargetsIndependentCounters) {
   EXPECT_FALSE(bs.is_revoked(60));
 }
 
+TEST(BaseStation, DedupWindowBoundsFootprint) {
+  // 20 distinct keys through a window of 8: the resident set stays flat
+  // at 8 and the 12 oldest keys are counted as evicted.
+  RevocationConfig c = config(1000, 1000);
+  c.dedup_window = 8;
+  BaseStation bs(c);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    bs.process_alert(1 + static_cast<sim::NodeId>(i), 50, 100 + i);
+    EXPECT_LE(bs.dedup_footprint(), 8u);
+  }
+  EXPECT_EQ(bs.dedup_footprint(), 8u);
+  EXPECT_EQ(bs.stats().dedup_evictions, 12u);
+  // Eviction is pure bookkeeping: every alert still counted exactly once.
+  EXPECT_EQ(bs.alert_counter(50), 20u);
+}
+
+TEST(BaseStation, EvictedKeyIsCountedAgain) {
+  // The documented tradeoff: a retransmission older than the window is no
+  // longer recognized as a duplicate and double-counts. Window 2, so key
+  // (1, 50, 100) ages out after two newer keys.
+  RevocationConfig c = config(1000, 1000);
+  c.dedup_window = 2;
+  BaseStation bs(c);
+  EXPECT_EQ(bs.process_alert(1, 50, 100), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(1, 50, 100),
+            AlertDisposition::kIgnoredDuplicate);
+  bs.process_alert(2, 50, 101);
+  bs.process_alert(3, 50, 102);
+  EXPECT_EQ(bs.process_alert(1, 50, 100), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.alert_counter(50), 4u);
+}
+
+TEST(BaseStation, UnboundedWindowNeverEvicts) {
+  RevocationConfig c = config(1000, 1000);
+  c.dedup_window = 0;  // the pre-window behaviour
+  BaseStation bs(c);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    bs.process_alert(1 + static_cast<sim::NodeId>(i), 50, 100 + i);
+  }
+  EXPECT_EQ(bs.dedup_footprint(), 500u);
+  EXPECT_EQ(bs.stats().dedup_evictions, 0u);
+}
+
+TEST(BaseStation, SnapshotRestoreRoundTripsDedupWindow) {
+  // Export/import preserves the window's insertion order, so the restored
+  // station evicts the same oldest key the original would have.
+  RevocationConfig c = config(1000, 1000);
+  c.dedup_window = 3;
+  BaseStation bs(c);
+  bs.process_alert(1, 50, 100);
+  bs.process_alert(2, 50, 101);
+  bs.process_alert(3, 50, 102);
+
+  BaseStation restored(c);
+  restored.import_state(bs.export_state());
+  EXPECT_EQ(restored.dedup_footprint(), 3u);
+  EXPECT_EQ(restored.process_alert(2, 50, 101),
+            AlertDisposition::kIgnoredDuplicate);
+  // One new key evicts exactly the oldest (1, 50, 100).
+  restored.process_alert(4, 50, 103);
+  EXPECT_EQ(restored.dedup_footprint(), 3u);
+  EXPECT_EQ(restored.process_alert(1, 50, 100), AlertDisposition::kAccepted);
+}
+
 }  // namespace
 }  // namespace sld::revocation

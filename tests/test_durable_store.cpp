@@ -116,6 +116,68 @@ TEST(DurableStore, RestoreIsRepeatable) {
   EXPECT_EQ(r1.stats().alerts_accepted, r2.stats().alerts_accepted);
 }
 
+TEST(DurableStore, StalledAppendsStayPendingPastFsyncCadence) {
+  // fsync-every-1 normally flushes each append; inside a stall window the
+  // records ride the pending buffer instead, each counted as a stalled
+  // append (the widened loss window the chaos oracle charges for).
+  DurableConfig d = durable(/*fsync=*/1);
+  d.stall_windows = {{1 * sim::kSecond, 3 * sim::kSecond}};
+  DurableStore store(d);
+  BaseStation bs(revocation(100, 100));
+
+  store.advance(500 * sim::kMillisecond);
+  EXPECT_FALSE(store.stalled());
+  feed(bs, store, 50, 2);
+  EXPECT_EQ(store.pending_records(), 0u);
+
+  store.advance(1500 * sim::kMillisecond);
+  EXPECT_TRUE(store.stalled());
+  feed(bs, store, 50, 3, /*nonce_base=*/2000);
+  EXPECT_EQ(store.stats().stalled_appends, 3u);
+  EXPECT_EQ(store.pending_records(), 3u);
+  EXPECT_EQ(store.durable_alerts(50), 2u);
+  // flush() is a no-op while the device is stalled.
+  store.flush();
+  EXPECT_EQ(store.pending_records(), 3u);
+}
+
+TEST(DurableStore, StallClearanceFlushesTheBacklog) {
+  DurableConfig d = durable(/*fsync=*/4);
+  d.stall_windows = {{0, 2 * sim::kSecond}};
+  DurableStore store(d);
+  BaseStation bs(revocation(100, 100));
+
+  store.advance(1 * sim::kSecond);
+  feed(bs, store, 50, 5);
+  EXPECT_EQ(store.pending_records(), 5u);
+  // Advancing past the window end flushes the >= fsync backlog at once.
+  store.advance(2500 * sim::kMillisecond);
+  EXPECT_FALSE(store.stalled());
+  EXPECT_EQ(store.pending_records(), 0u);
+  EXPECT_EQ(store.durable_alerts(50), 5u);
+  EXPECT_EQ(store.stats().records_lost, 0u);
+}
+
+TEST(DurableStore, CrashDuringStallLosesTheStalledRecords) {
+  // A crash mid-stall loses every record the stall kept pending — more
+  // than the fsync interval alone would bound, which is exactly what
+  // stats().stalled_appends lets the oracles account for.
+  DurableConfig d = durable(/*fsync=*/1);
+  d.stall_windows = {{0, 10 * sim::kSecond}};
+  DurableStore store(d);
+  BaseStation bs(revocation(100, 100));
+
+  store.advance(1 * sim::kSecond);
+  feed(bs, store, 50, 4);
+  ASSERT_EQ(store.pending_records(), 4u);
+  store.drop_pending();
+  EXPECT_EQ(store.stats().records_lost, 4u);
+  EXPECT_EQ(store.lost_alerts(50), 4u);
+  EXPECT_EQ(store.durable_alerts(50), 0u);
+  const BaseStation restored = store.restore(revocation(100, 100));
+  EXPECT_EQ(restored.alert_counter(50), 0u);
+}
+
 TEST(DurableStore, InvalidConfigRejected) {
   DurableConfig zero_fsync = durable();
   zero_fsync.fsync_every_records = 0;

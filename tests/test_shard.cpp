@@ -1,0 +1,426 @@
+// Ingest-pipeline semantics: disabled pass-through, sharded service-model
+// commits, bounded queues with priority-aware shedding, takeover/restart
+// reconciliation of in-flight entries, and degraded-mode deferred
+// durability — plus a property test that the accounting identities and
+// the shed-only-first-sight rule hold on random submission schedules.
+#include "revocation/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "prop/prop.hpp"
+#include "revocation/failover.hpp"
+#include "sim/time.hpp"
+
+namespace sld::revocation {
+namespace {
+
+RevocationConfig revocation(std::uint32_t tau1 = 1000, std::uint32_t tau2 = 2) {
+  return RevocationConfig{tau1, tau2};
+}
+
+/// Admission with the rate gate and pair rule switched off — isolates the
+/// queue/shed/breaker mechanics under test.
+AdmissionConfig admission_no_gates(std::uint32_t suspect_after = 1000) {
+  AdmissionConfig a;
+  a.enabled = true;
+  a.reporter_rate_per_s = 0;
+  a.pair_window = 0;
+  a.suspect_after = suspect_after;
+  return a;
+}
+
+IngestConfig sharded(std::uint32_t shards, std::size_t capacity = 64,
+                     sim::SimTime service = 2 * sim::kMillisecond) {
+  IngestConfig c;
+  c.shard.count = shards;
+  c.shard.queue_capacity = capacity;
+  c.shard.service_time_ns = service;
+  return c;
+}
+
+TEST(IngestPipeline, DisabledConfigIsExactPassThrough) {
+  // Same alert sequence straight into a cluster and through a default
+  // (disabled) pipeline: identical dispositions, identical end state,
+  // and the pipeline keeps no queues and counts nothing.
+  BaseStationCluster direct(revocation(1, 2), FailoverConfig{});
+  BaseStationCluster wrapped(revocation(1, 2), FailoverConfig{});
+  IngestPipeline pipe(IngestConfig{}, wrapped);
+  ASSERT_FALSE(pipe.enabled());
+
+  std::uint64_t nonce = 0;
+  // Revocation, quota overflow and a duplicate all in one schedule.
+  const struct {
+    sim::NodeId reporter, target;
+  } alerts[] = {{1, 50}, {2, 50}, {3, 50}, {4, 50}, {1, 51}, {1, 52}, {2, 51}};
+  for (const auto& a : alerts) {
+    ++nonce;
+    const auto want =
+        direct.process_alert(static_cast<sim::SimTime>(nonce) *
+                                 sim::kMillisecond,
+                             a.reporter, a.target, nonce);
+    const IngestResult got =
+        pipe.submit(static_cast<sim::SimTime>(nonce) * sim::kMillisecond,
+                    a.reporter, a.target, nonce);
+    EXPECT_EQ(got.kind, IngestResult::Kind::kBypass);
+    EXPECT_EQ(got.disposition, want);
+  }
+  // A replayed key is a duplicate through both paths.
+  EXPECT_EQ(pipe.submit(sim::kSecond, 1, 50, 1).disposition,
+            direct.process_alert(sim::kSecond, 1, 50, 1));
+
+  EXPECT_EQ(wrapped.alert_counter(50), direct.alert_counter(50));
+  EXPECT_EQ(wrapped.is_revoked(50), direct.is_revoked(50));
+  EXPECT_EQ(wrapped.authority().revocation_order(),
+            direct.authority().revocation_order());
+  EXPECT_EQ(pipe.queue_depth(), 0u);
+  EXPECT_EQ(pipe.stats().submitted, 0u);
+  EXPECT_EQ(pipe.stats().committed, 0u);
+}
+
+TEST(IngestPipeline, EnabledPipelineReachesDirectOutcome) {
+  // With shards > 1 (admission off) every alert is admitted; after the
+  // queues drain the cluster must be in exactly the state the direct
+  // path produces, and the commit hook must have seen every disposition.
+  BaseStationCluster direct(revocation(1000, 2), FailoverConfig{});
+  BaseStationCluster wrapped(revocation(1000, 2), FailoverConfig{});
+  IngestPipeline pipe(sharded(3), wrapped);
+  ASSERT_TRUE(pipe.enabled());
+
+  std::vector<AlertDisposition> committed;
+  pipe.set_commit_hook([&](sim::NodeId, sim::NodeId, AlertDisposition d,
+                           sim::SimTime, sim::SimTime) {
+    committed.push_back(d);
+  });
+
+  std::uint64_t nonce = 0;
+  std::vector<AlertDisposition> want;
+  for (sim::NodeId reporter = 1; reporter <= 4; ++reporter) {
+    for (sim::NodeId target = 50; target <= 55; ++target) {
+      ++nonce;
+      want.push_back(direct.process_alert(0, reporter, target, nonce));
+      const IngestResult r = pipe.submit(0, reporter, target, nonce);
+      EXPECT_EQ(r.kind, IngestResult::Kind::kEnqueued);
+    }
+  }
+  pipe.drain(sim::kSecond);
+
+  EXPECT_EQ(pipe.stats().accepted, nonce);
+  EXPECT_EQ(pipe.stats().committed, nonce);
+  EXPECT_EQ(pipe.queue_depth(), 0u);
+  for (sim::NodeId target = 50; target <= 55; ++target) {
+    EXPECT_EQ(wrapped.alert_counter(target), direct.alert_counter(target));
+    EXPECT_EQ(wrapped.is_revoked(target), direct.is_revoked(target));
+  }
+  // Shard order interleaves commits, but per-target disposition history is
+  // order-independent here: compare as multisets of dispositions.
+  std::vector<int> got_hist(8, 0), want_hist(8, 0);
+  for (const auto d : committed) ++got_hist[static_cast<std::size_t>(d)];
+  for (const auto d : want) ++want_hist[static_cast<std::size_t>(d)];
+  EXPECT_EQ(got_hist, want_hist);
+}
+
+TEST(IngestPipeline, FullQueueShedsFirstSightAlerts) {
+  BaseStationCluster cluster(revocation(), FailoverConfig{});
+  IngestConfig cfg = sharded(1, /*capacity=*/2, /*service=*/sim::kSecond);
+  cfg.admission = admission_no_gates();
+  IngestPipeline pipe(cfg, cluster);
+
+  EXPECT_EQ(pipe.submit(0, 1, 50, 1).kind, IngestResult::Kind::kEnqueued);
+  EXPECT_EQ(pipe.submit(0, 2, 50, 2).kind, IngestResult::Kind::kEnqueued);
+  // Queue is at capacity and target 50 is not suspected: LIFO shed.
+  EXPECT_EQ(pipe.submit(0, 3, 50, 3).kind, IngestResult::Kind::kShed);
+  EXPECT_EQ(pipe.stats().shed, 1u);
+  EXPECT_EQ(pipe.breaker_state(0), BreakerState::kShedding);
+
+  // The shed alert is really gone: only the two enqueued ones count.
+  pipe.drain(10 * sim::kSecond);
+  EXPECT_EQ(cluster.alert_counter(50), 2u);
+  EXPECT_EQ(pipe.stats().committed, 2u);
+}
+
+TEST(IngestPipeline, SuspectedTargetRidesPastFullQueue) {
+  BaseStationCluster cluster(revocation(1000, 5), FailoverConfig{});
+  IngestConfig cfg = sharded(1, /*capacity=*/1, /*service=*/sim::kMillisecond);
+  cfg.admission = admission_no_gates(/*suspect_after=*/1);
+  IngestPipeline pipe(cfg, cluster);
+
+  // First accusation commits: target 50's counter reaches suspect_after.
+  EXPECT_EQ(pipe.submit(0, 1, 50, 1).kind, IngestResult::Kind::kEnqueued);
+  pipe.advance(2 * sim::kMillisecond);
+  ASSERT_EQ(cluster.alert_counter(50), 1u);
+
+  // Fill the queue, then: a suspected-target alert is never shed even at
+  // a full queue, while a first-sight target at the same queue is.
+  const sim::SimTime t = 2 * sim::kMillisecond;
+  EXPECT_EQ(pipe.submit(t, 2, 50, 2).kind, IngestResult::Kind::kEnqueued);
+  EXPECT_EQ(pipe.submit(t, 3, 50, 3).kind, IngestResult::Kind::kEnqueued);
+  EXPECT_EQ(pipe.stats().priority_admits, 1u);
+  EXPECT_EQ(pipe.submit(t, 4, 51, 4).kind, IngestResult::Kind::kShed);
+  EXPECT_EQ(pipe.stats().shed, 1u);
+
+  pipe.drain(sim::kSecond);
+  EXPECT_EQ(cluster.alert_counter(50), 3u);
+  EXPECT_EQ(cluster.alert_counter(51), 0u);
+}
+
+TEST(IngestPipeline, TakeoverReconcileDrainsQueuedEntries) {
+  // Satellite: entries queued when the primary dies stay queued across the
+  // outage and drain into the promoted standby — none lost, none
+  // double-counted, and none claims a commit time inside the outage.
+  FailoverConfig fo;
+  fo.standby_enabled = true;
+  fo.durable.enabled = true;
+  fo.durable.fsync_every_records = 1;
+  fo.primary_outages = {{1 * sim::kSecond, 3600 * sim::kSecond}};
+  BaseStationCluster cluster(revocation(1000, 2), fo);
+  IngestPipeline pipe(sharded(2, 64, /*service=*/300 * sim::kMillisecond),
+                      cluster);
+
+  std::vector<sim::SimTime> commit_times;
+  pipe.set_commit_hook([&](sim::NodeId, sim::NodeId, AlertDisposition,
+                           sim::SimTime, sim::SimTime committed_at) {
+    commit_times.push_back(committed_at);
+  });
+
+  // Six alerts land just before the outage; their service-model commit
+  // slots (0.8s..1.4s per shard) fall inside it.
+  for (sim::NodeId i = 0; i < 6; ++i) {
+    const sim::NodeId target = 50 + (i % 2);
+    EXPECT_EQ(pipe.submit(500 * sim::kMillisecond, 1 + i, target, 1 + i).kind,
+              IngestResult::Kind::kEnqueued);
+  }
+  // Mid-outage (standby takes over at 2.5s): commits are due but the
+  // station is down, so everything stays queued.
+  pipe.advance(1200 * sim::kMillisecond);
+  EXPECT_EQ(pipe.stats().committed, 0u);
+  EXPECT_EQ(pipe.queue_depth(), 6u);
+
+  // First in-service advance drains the backlog into the new primary.
+  pipe.advance(3 * sim::kSecond);
+  EXPECT_EQ(cluster.stats().failovers, 1u);
+  EXPECT_EQ(pipe.stats().reconciled, 6u);
+  EXPECT_EQ(pipe.stats().committed, 6u);
+  EXPECT_EQ(pipe.queue_depth(), 0u);
+  EXPECT_EQ(cluster.alert_counter(50), 3u);
+  EXPECT_EQ(cluster.alert_counter(51), 3u);
+  EXPECT_TRUE(cluster.is_revoked(50));
+  EXPECT_TRUE(cluster.is_revoked(51));
+  EXPECT_EQ(cluster.wal().stats().records_lost, 0u);
+  // Reconciled entries committed no earlier than service resumption.
+  ASSERT_EQ(commit_times.size(), 6u);
+  for (const sim::SimTime t : commit_times) EXPECT_GE(t, 3 * sim::kSecond);
+}
+
+TEST(IngestPipeline, RestartReconcileAfterPrimaryCrash) {
+  // Same drain guarantee without a standby: the backlog waits for the
+  // primary's restart (WAL restore) instead of a takeover.
+  FailoverConfig fo;
+  fo.durable.enabled = true;
+  fo.durable.fsync_every_records = 1;
+  fo.primary_outages = {{1 * sim::kSecond, 3 * sim::kSecond}};
+  BaseStationCluster cluster(revocation(1000, 2), fo);
+  IngestPipeline pipe(sharded(2, 64, /*service=*/300 * sim::kMillisecond),
+                      cluster);
+
+  for (sim::NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(pipe.submit(500 * sim::kMillisecond, 1 + i, 50, 1 + i).kind,
+              IngestResult::Kind::kEnqueued);
+  }
+  pipe.advance(1200 * sim::kMillisecond);
+  EXPECT_EQ(pipe.stats().committed, 0u);
+
+  pipe.advance(5 * sim::kSecond);
+  EXPECT_EQ(cluster.stats().restarts, 1u);
+  EXPECT_EQ(pipe.stats().reconciled, 3u);
+  EXPECT_EQ(cluster.alert_counter(50), 3u);
+  EXPECT_TRUE(cluster.is_revoked(50));
+}
+
+TEST(IngestPipeline, DegradedModeDefersThenRejournals) {
+  // A WAL stall trips the breaker: commits keep counting without
+  // durability, and once the stall clears every deferred record is
+  // journaled in accept order — the restored station matches.
+  FailoverConfig fo;
+  fo.durable.enabled = true;
+  fo.durable.fsync_every_records = 1;
+  fo.durable.stall_windows = {{0, 3 * sim::kSecond}};
+  BaseStationCluster cluster(revocation(1000, 2), fo);
+  IngestConfig cfg = sharded(1, 64, /*service=*/sim::kMillisecond);
+  cfg.admission = admission_no_gates();
+  cfg.admission.breaker_trip_ns = 500 * sim::kMillisecond;
+  cfg.admission.breaker_cooldown_ns = 1 * sim::kSecond;
+  IngestPipeline pipe(cfg, cluster);
+
+  for (sim::NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(pipe.submit(sim::kSecond, 1 + i, 50, 1 + i).kind,
+              IngestResult::Kind::kEnqueued);
+  }
+  pipe.advance(1100 * sim::kMillisecond);
+  ASSERT_EQ(pipe.breaker_state(1100 * sim::kMillisecond),
+            BreakerState::kDegraded);
+  EXPECT_EQ(pipe.stats().committed, 3u);
+  EXPECT_EQ(pipe.stats().deferred, 3u);
+  EXPECT_EQ(pipe.deferred_outstanding(), 3u);
+  // Counting continued (the whole point of degraded mode)...
+  EXPECT_EQ(cluster.alert_counter(50), 3u);
+  EXPECT_TRUE(cluster.is_revoked(50));
+  // ...but nothing reached the WAL yet.
+  EXPECT_EQ(cluster.wal().stats().appends, 0u);
+
+  // Stall clears at 3s; the next advance journals the parked records.
+  pipe.advance(4500 * sim::kMillisecond);
+  EXPECT_EQ(pipe.stats().deferred_journaled, 3u);
+  EXPECT_EQ(pipe.deferred_outstanding(), 0u);
+  EXPECT_EQ(cluster.wal().stats().appends, 3u);
+  EXPECT_EQ(cluster.wal().durable_alerts(50), 3u);
+  EXPECT_GE(pipe.stats().breaker_transitions, 2u);
+
+  const BaseStation restored = cluster.wal().restore(revocation(1000, 2));
+  EXPECT_EQ(restored.alert_counter(50), 3u);
+  EXPECT_TRUE(restored.is_revoked(50));
+}
+
+TEST(IngestPipeline, DeferredRecordsLostToCrashJoinTheLostLedger) {
+  // If the active station crashes while records are still deferred, they
+  // are charged to the WAL's lost ledger — never silently dropped — and
+  // the counter identity (accepted == durable counters + lost) holds.
+  FailoverConfig fo;
+  fo.durable.enabled = true;
+  fo.durable.fsync_every_records = 1;
+  fo.durable.stall_windows = {{0, 20 * sim::kSecond}};
+  fo.primary_outages = {{2 * sim::kSecond, 3 * sim::kSecond}};
+  BaseStationCluster cluster(revocation(1000, 5), fo);
+  IngestConfig cfg = sharded(1, 64, /*service=*/sim::kMillisecond);
+  cfg.admission = admission_no_gates();
+  cfg.admission.breaker_trip_ns = 500 * sim::kMillisecond;
+  IngestPipeline pipe(cfg, cluster);
+
+  for (sim::NodeId i = 0; i < 2; ++i) {
+    EXPECT_EQ(pipe.submit(sim::kSecond, 1 + i, 50, 1 + i).kind,
+              IngestResult::Kind::kEnqueued);
+  }
+  pipe.advance(1200 * sim::kMillisecond);
+  ASSERT_EQ(pipe.stats().deferred, 2u);
+  ASSERT_EQ(cluster.alert_counter(50), 2u);
+
+  // The crash at 2s destroys the volatile counters and the deferred list.
+  pipe.advance(5 * sim::kSecond);
+  EXPECT_EQ(cluster.stats().active_crashes, 1u);
+  EXPECT_EQ(pipe.stats().deferred_lost, 2u);
+  EXPECT_EQ(pipe.deferred_outstanding(), 0u);
+  EXPECT_EQ(cluster.alert_counter(50), 0u);
+  EXPECT_EQ(cluster.wal().lost_alerts(50), 2u);
+  EXPECT_EQ(cluster.wal().stats().deferred_lost, 2u);
+  EXPECT_EQ(cluster.accepted_by_target().at(50),
+            cluster.alert_counter(50) + cluster.wal().lost_alerts(50));
+}
+
+TEST(IngestPipeline, SnapshotCompactionWaitsForDeferredJournal) {
+  // Chaos-found double count (storm seed 10): while the journal loop was
+  // re-appending deferred records, a flush crossed the snapshot threshold
+  // and compacted the *live* station image — which already counted keys
+  // the loop had not yet appended. A later crash then dropped those keys
+  // from pending AND charged them to the lost ledger, so they were in the
+  // restored counter twice over. The snapshot gate must hold compaction
+  // until every deferred record is journaled.
+  FailoverConfig fo;
+  fo.durable.enabled = true;
+  fo.durable.fsync_every_records = 3;
+  fo.durable.snapshot_every_records = 1;
+  fo.durable.stall_windows = {{0, 3 * sim::kSecond}};
+  fo.primary_outages = {{5 * sim::kSecond, 6 * sim::kSecond}};
+  BaseStationCluster cluster(revocation(1000, 1000), fo);
+  IngestConfig cfg = sharded(1, 64, /*service=*/sim::kMillisecond);
+  cfg.admission = admission_no_gates();
+  cfg.admission.breaker_trip_ns = 500 * sim::kMillisecond;
+  cfg.admission.breaker_cooldown_ns = 1 * sim::kSecond;
+  IngestPipeline pipe(cfg, cluster);
+
+  // Four distinct targets counted in degraded mode (stall trips the
+  // breaker before any of them commits).
+  for (sim::NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(pipe.submit(sim::kSecond, 1 + i, 50 + i, 1 + i).kind,
+              IngestResult::Kind::kEnqueued);
+  }
+  pipe.advance(1100 * sim::kMillisecond);
+  ASSERT_EQ(pipe.stats().deferred, 4u);
+  ASSERT_EQ(cluster.wal().stats().appends, 0u);
+
+  // Stall clears at 3s: the journal loop appends all four. With fsync 3
+  // the flush lands mid-loop and the tail crosses snapshot_every — the
+  // gate must keep compaction parked, leaving the fourth record pending.
+  pipe.advance(4500 * sim::kMillisecond);
+  EXPECT_EQ(pipe.stats().deferred_journaled, 4u);
+  EXPECT_EQ(cluster.wal().stats().snapshots, 0u);
+  EXPECT_EQ(cluster.wal().pending_records(), 1u);
+  EXPECT_EQ(cluster.wal().tail_records(), 3u);
+
+  // The 5s crash drops the pending fourth record; exactly one unit of
+  // evidence is lost, and each target's identity still balances.
+  pipe.advance(7 * sim::kSecond);
+  EXPECT_EQ(cluster.stats().active_crashes, 1u);
+  EXPECT_EQ(cluster.wal().stats().records_lost, 1u);
+  EXPECT_EQ(cluster.alert_counter(53), 0u);
+  EXPECT_EQ(cluster.wal().lost_alerts(53), 1u);
+  for (sim::NodeId t = 50; t < 54; ++t) {
+    EXPECT_EQ(cluster.accepted_by_target().at(t),
+              cluster.alert_counter(t) + cluster.wal().lost_alerts(t))
+        << "target " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: on any submission schedule, the ingest accounting identities
+// hold, sheds only ever hit first-sight targets, and after drain() the
+// authority's counters equal the accepted-alert ledger.
+
+TEST(IngestPipelineProperty, AccountingAndShedPriorityHold) {
+  prop::forall<std::vector<std::int64_t>>(
+      "ingest identities on random schedules",
+      prop::vector_of(prop::int_range(0, (1 << 15) - 1), 0, 120),
+      [](const std::vector<std::int64_t>& spec) {
+        BaseStationCluster cluster(revocation(1000, 3), FailoverConfig{});
+        IngestConfig cfg = sharded(2, /*capacity=*/4,
+                                   /*service=*/5 * sim::kMillisecond);
+        cfg.admission.enabled = true;
+        cfg.admission.reporter_rate_per_s = 5.0;
+        cfg.admission.reporter_burst = 2.0;
+        cfg.admission.suspect_after = 2;
+        IngestPipeline pipe(cfg, cluster);
+
+        sim::SimTime now = 0;
+        std::uint64_t nonce = 0;
+        for (const std::int64_t v : spec) {
+          const sim::NodeId reporter = 1 + static_cast<sim::NodeId>(v % 8);
+          const sim::NodeId target =
+              50 + static_cast<sim::NodeId>((v / 8) % 6);
+          now += ((v / 48) % 20) * sim::kMillisecond;
+          const IngestResult r = pipe.submit(now, reporter, target, ++nonce);
+          // Priority rule: a suspected target is never shed.
+          if (r.kind == IngestResult::Kind::kShed &&
+              cluster.alert_counter(target) >= cfg.admission.suspect_after)
+            return false;
+          const IngestStats& s = pipe.stats();
+          if (s.submitted != s.accepted + s.rate_limited + s.shed +
+                                 s.pair_duplicates)
+            return false;
+          if (s.accepted != s.committed + pipe.queue_depth()) return false;
+        }
+
+        pipe.drain(now + 10 * sim::kSecond);
+        const IngestStats& s = pipe.stats();
+        if (s.accepted != s.committed || pipe.queue_depth() != 0) return false;
+        if (s.deferred != 0) return false;  // no stall schedule configured
+        // No faults: every accepted alert is in the authority's counters.
+        for (const auto& [target, accepted] : cluster.accepted_by_target()) {
+          if (cluster.alert_counter(target) != accepted) return false;
+        }
+        return true;
+      });
+}
+
+}  // namespace
+}  // namespace sld::revocation

@@ -13,8 +13,10 @@
 #   --warmup N    unmeasured warmup repetitions per bench (default: 0)
 #   --only NAME   run a single bench (by binary name) instead of the suite
 #
-# The suite is every fig*/ext_*/ablation_* binary; micro_hotpaths is a
-# google-benchmark binary with its own protocol and is not part of it.
+# The suite is every fig*/ext_*/ablation_* binary (which picks up
+# ext_alert_storm, the ingestion overload bench, automatically);
+# micro_hotpaths is a google-benchmark binary with its own protocol and is
+# not part of it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

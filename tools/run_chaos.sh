@@ -12,6 +12,9 @@
 # Environment:
 #   SLD_CHAOS_SEED   replay exactly one schedule instead of the campaign
 #   SLD_CHAOS_TRACE  override the trace output directory
+#   SLD_CHAOS_FLAGS  extra flags passed through to chaos_campaign
+#                    (e.g. "--storm" for the alert-storm-only family,
+#                    "--fast" for CI-sized schedules)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,9 +35,15 @@ cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 echo "=== [chaos] build ==="
 cmake --build "$dir" --target chaos_campaign -j "$jobs"
 
+extra_flags=()
+if [[ -n "${SLD_CHAOS_FLAGS:-}" ]]; then
+  # shellcheck disable=SC2206  # deliberate word-splitting of the flag string
+  extra_flags=(${SLD_CHAOS_FLAGS})
+fi
+
 mkdir -p "$trace_dir"
-echo "=== [chaos] campaign: $schedules schedules ==="
+echo "=== [chaos] campaign: $schedules schedules ${SLD_CHAOS_FLAGS:-} ==="
 "$dir/tests/chaos/chaos_campaign" --schedules "$schedules" --base-seed 1 \
-  --trace-dir "$trace_dir"
+  --trace-dir "$trace_dir" "${extra_flags[@]}"
 
 echo "=== chaos OK: $schedules schedules, zero oracle/invariant failures ==="

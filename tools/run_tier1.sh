@@ -11,6 +11,9 @@
 #                  (consumed by CI for test-report artifacts)
 #   SLD_CHAOS=1    also run the full chaos campaign (tools/run_chaos.sh:
 #                  200 seeded fault schedules with SLD_INVARIANT forced on)
+#   SLD_STORM=1    also run an alert-storm-only chaos slice (the overload
+#                  pipeline's bounded-harm and latency oracles under
+#                  Zipf-skewed floods composed with crash/partition faults)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -48,6 +51,11 @@ run_config sanitize Sanitize
 if [[ "${SLD_CHAOS:-0}" == "1" ]]; then
   echo "=== chaos campaign (SLD_CHAOS=1) ==="
   "$repo/tools/run_chaos.sh" 200 "$jobs"
+fi
+
+if [[ "${SLD_STORM:-0}" == "1" ]]; then
+  echo "=== alert-storm chaos slice (SLD_STORM=1) ==="
+  SLD_CHAOS_FLAGS="--storm" "$repo/tools/run_chaos.sh" 100 "$jobs"
 fi
 
 echo "=== tier-1 OK: Release + Sanitize suites passed ==="

@@ -166,6 +166,56 @@ class ChaosEvents(unittest.TestCase):
         self.assertIn("reporter crashes: 1", text)
 
 
+class OverloadEvents(unittest.TestCase):
+    """The ingestion-overload event family (alert-storm PR): sheds,
+    breaker transitions and shard commit batches."""
+
+    STORM_LINES = [
+        '{"t": 0, "e": "trial.start", "seed": 1, "nodes": 10, "beacons": 3,'
+        ' "malicious": 1, "sensors": 7}',
+        '{"t": 5, "e": "bs.shed", "reporter": 9, "target": 2,'
+        ' "reason": "rate_limited", "shard": 0}',
+        '{"t": 6, "e": "bs.shed", "reporter": 8, "target": 3,'
+        ' "reason": "queue_full", "shard": 1}',
+        '{"t": 7, "e": "bs.breaker", "from": "closed", "to": "shedding"}',
+        '{"t": 8, "e": "bs.breaker", "from": "shedding", "to": "degraded"}',
+        '{"t": 9, "e": "bs.shard_commit", "shard": 1, "batch": 4,'
+        ' "queue_depth": 2}',
+        '{"t": 20, "e": "trial.end", "seed": 1, "malicious_revoked": 1,'
+        ' "benign_revoked": 0, "sensors_localized": 7}',
+    ]
+
+    def _write(self, lines):
+        fh = tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False)
+        fh.write("\n".join(lines) + "\n")
+        fh.close()
+        self.addCleanup(os.unlink, fh.name)
+        return fh.name
+
+    def test_overload_events_are_schema_valid(self):
+        code, out, err = validate_quietly(self._write(self.STORM_LINES))
+        self.assertEqual(code, 0, err)
+        self.assertIn("all schema-valid", out)
+
+    def test_overload_events_require_their_fields(self):
+        for bad in ('{"t": 1, "e": "bs.shed", "reporter": 9, "target": 2}',
+                    '{"t": 1, "e": "bs.breaker", "from": "closed"}',
+                    '{"t": 1, "e": "bs.shard_commit", "shard": 0}'):
+            code, _, err = validate_quietly(self._write([bad]))
+            self.assertEqual(code, 1, bad)
+            self.assertIn("missing field", err)
+
+    def test_report_summarizes_overload(self):
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            trace_report.report(self._write(self.STORM_LINES), chains=False)
+        text = out.getvalue()
+        self.assertIn("ingestion overload", text)
+        self.assertIn("shed (queue_full): 1", text)
+        self.assertIn("shed (rate_limited): 1", text)
+        self.assertIn("breaker closed -> shedding: 1", text)
+        self.assertIn("shard commits: 1 batch(es), largest 4 record(s)", text)
+
+
 class ReportSmoke(unittest.TestCase):
     def test_report_renders_revocation_and_chain(self):
         with contextlib.redirect_stdout(io.StringIO()) as out:

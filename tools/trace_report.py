@@ -68,6 +68,11 @@ SCHEMA = {
     # Durability + failover lifecycle (role: takeover | restart | fence).
     "bs.snapshot": ["records", "wal_tail"],
     "bs.failover": ["epoch", "role"],
+    # Ingestion overload path (reason: queue_full | rate_limited; from/to:
+    # closed | shedding | degraded | recovering).
+    "bs.shed": ["reporter", "target", "reason", "shard"],
+    "bs.breaker": ["from", "to"],
+    "bs.shard_commit": ["shard", "batch", "queue_depth"],
     "dissem.miss": ["sensor", "target"],
     # Trial lifecycle.
     "trial.start": ["seed", "nodes", "beacons", "malicious", "sensors"],
@@ -245,6 +250,25 @@ def report(path, chains):
             print(f"  deliveries dropped at partition cuts: {dropped}")
         if orphaned:
             print(f"  alerts lost to reporter crashes: {orphaned}")
+        print()
+
+    # Ingestion overload: sheds by reason, breaker moves, commit batching.
+    sheds = collections.Counter(
+        rec["reason"] for rec in records if rec.get("e") == "bs.shed")
+    breaker_moves = collections.Counter(
+        (rec["from"], rec["to"]) for rec in records
+        if rec.get("e") == "bs.breaker")
+    batches = [rec["batch"] for rec in records
+               if rec.get("e") == "bs.shard_commit"]
+    if sheds or breaker_moves or batches:
+        print("-- ingestion overload --")
+        for reason, n in sorted(sheds.items()):
+            print(f"  shed ({reason}): {n}")
+        for (src, dst), n in sorted(breaker_moves.items()):
+            print(f"  breaker {src} -> {dst}: {n}")
+        if batches:
+            print(f"  shard commits: {len(batches)} batch(es), "
+                  f"largest {max(batches)} record(s)")
         print()
 
     # Retry storms: nodes with the most ARQ retries.
