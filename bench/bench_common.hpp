@@ -12,6 +12,8 @@
 //   --json FILE    machine-readable BENCH result (bench_runner.hpp)
 //   --profile FILE hierarchical profiler JSON; table goes to stderr
 //   --chaos-sweep  add a chaos column (benches that support it)
+//   --timeseries FILE  timeseries/v1 telemetry stream (supporting benches)
+//   --slo SPEC     SLO rules, inline or @file (supporting benches)
 #pragma once
 
 #include <cerrno>
@@ -19,11 +21,15 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace sld::bench {
@@ -109,6 +115,12 @@ struct BenchArgs {
   /// that support it ("--chaos-sweep"). Off by default so the standard
   /// sweep output — and its golden hash — is byte-identical.
   bool chaos_sweep = false;
+  /// `timeseries/v1` JSONL destination ("--timeseries FILE"); empty means
+  /// no telemetry stream (benches that support it).
+  std::string timeseries_path;
+  /// SLO rule spec ("--slo SPEC"): inline rules separated by ';', or
+  /// "@file" to read a rule file. Empty means the bench's defaults.
+  std::string slo_spec;
 
   /// Called for every flag parse() itself does not recognise. Pull value
   /// operands with the provided `next(flag)` callback; return true when
@@ -170,6 +182,10 @@ struct BenchArgs {
         args.profile_path = next_arg("--profile");
       } else if (a == "--chaos-sweep") {
         args.chaos_sweep = true;
+      } else if (a == "--timeseries") {
+        args.timeseries_path = next_arg("--timeseries");
+      } else if (a == "--slo") {
+        args.slo_spec = next_arg("--slo");
       } else if (a == "--help" || a == "-h") {
         std::cout
             << "usage: " << argv[0]
@@ -190,7 +206,11 @@ struct BenchArgs {
             << "  --profile FILE profiler JSON snapshot; top-self-time "
                "table on stderr\n"
             << "  --chaos-sweep  add a chaos configuration to the sweep "
-               "(benches that support it)\n";
+               "(benches that support it)\n"
+            << "  --timeseries FILE  timeseries/v1 telemetry JSONL "
+               "(benches that support it)\n"
+            << "  --slo SPEC     SLO rules, inline or @file: "
+            << sld::obs::slo_spec_grammar() << "\n";
         if (extra_help != nullptr) std::cout << extra_help;
         std::exit(0);
       } else if (extra && extra(a, next_arg)) {
@@ -212,6 +232,43 @@ struct BenchArgs {
       return std::make_unique<sld::obs::JsonlSink>(trace_path);
     } catch (const std::exception& e) {
       std::cerr << "--trace: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+
+  /// Opens the --timeseries sink, or nullptr when telemetry streaming is
+  /// off. Same ownership contract as open_trace_sink().
+  std::unique_ptr<sld::obs::JsonlSink> open_timeseries_sink() const {
+    if (timeseries_path.empty()) return nullptr;
+    try {
+      return std::make_unique<sld::obs::JsonlSink>(timeseries_path);
+    } catch (const std::exception& e) {
+      std::cerr << "--timeseries: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+
+  /// Parses --slo (reading "@file" specs from disk). Returns `fallback`
+  /// when no spec was given; exits(2) on malformed rules, matching the
+  /// strict-flag convention.
+  std::vector<sld::obs::SloRule> parse_slo(
+      const std::string& fallback = "") const {
+    std::string spec = slo_spec.empty() ? fallback : slo_spec;
+    if (spec.empty()) return {};
+    if (spec[0] == '@') {
+      std::ifstream in(spec.substr(1));
+      if (!in.is_open()) {
+        std::cerr << "--slo: cannot open " << spec.substr(1) << "\n";
+        std::exit(2);
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      spec = buf.str();
+    }
+    try {
+      return sld::obs::parse_slo_spec(spec);
+    } catch (const std::exception& e) {
+      std::cerr << "--slo: " << e.what() << "\n";
       std::exit(2);
     }
   }

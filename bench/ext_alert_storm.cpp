@@ -13,13 +13,26 @@
 // the defense — with it off the hottest victim's counter grows with the
 // flood; with it on every benign counter is capped at the flooder count,
 // below tau2, at ANY flood intensity.
+//
+// `--storm` switches to a single-cell deep-dive instead of the sweep: one
+// admission-on pipeline, honest traffic spread over a 15 s timeline, the
+// whole flood compressed into a 3 s burst, with a 250 ms-cadence
+// TimeseriesSampler watching the pipeline instruments and an SLO monitor
+// (default rules below, override with --slo) judging the run window by
+// window. The report is the per-window telemetry table plus the breach log
+// and health verdict; --timeseries captures the same windows as a
+// `timeseries/v1` stream for tools/ts_report.py.
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "revocation/failover.hpp"
 #include "revocation/shard.hpp"
@@ -183,10 +196,238 @@ CellResult run_cell(const StormKnobs& knobs, std::size_t flooders,
   return r;
 }
 
+// --- storm mode -----------------------------------------------------------
+
+constexpr sim::SimTime kStormEnd = 15 * sim::kSecond;
+constexpr sim::SimTime kBurstStart = 4 * sim::kSecond;
+constexpr sim::SimTime kBurstEnd = 7 * sim::kSecond;
+constexpr std::int64_t kStormCadence = 250 * sim::kMillisecond;
+/// Storm flooders cycle their forged accusations through this many victim
+/// ids — every alert names a fresh (reporter, target) pair, so pair-dedup
+/// cannot absorb the flood and the token buckets + queue bounds are the
+/// defenses actually on trial. The pool is large enough that no victim's
+/// counter approaches tau2 (3200 forged alerts / 997 victims ≈ 3 each).
+constexpr std::size_t kStormVictimPool = 997;
+
+// The flood rate-limit spike is the breach signal (the 3 s burst pushes
+// rate(bs.ingest.rate_limited) three orders of magnitude above quiet-time
+// levels); the breaker gauge tracks shedding pressure with a slow clear so
+// the recovery edge lands after the queues visibly drain.
+constexpr const char* kDefaultStormSlo =
+    "flood    rate(bs.ingest.rate_limited) > 50 sustain=2 clear=2;"
+    "pressure gauge(bs.ingest.breaker_state) >= 1 sustain=1 clear=4";
+
+/// Raises a monotone mirror counter to a live pipeline statistic.
+void sync_counter(obs::Counter& c, std::uint64_t live) {
+  if (live > c.value()) c.inc(live - c.value());
+}
+
+void run_storm(const StormKnobs& knobs, const bench::BenchArgs& args,
+               bench::BenchIteration& it) {
+  const std::size_t honest = 40;
+  const std::size_t malicious = 6;
+  const std::size_t benign = 30;
+  const std::size_t flooders = 16;
+
+  revocation::RevocationConfig rc;
+  rc.alert_threshold = 24;
+  rc.report_quota = 100'000;
+  revocation::BaseStationCluster cluster(rc, revocation::FailoverConfig{});
+
+  revocation::IngestConfig ic;
+  ic.shard.count = knobs.shards;
+  ic.shard.queue_capacity = 16;
+  ic.shard.service_time_ns = 10 * sim::kMillisecond;
+  ic.admission.enabled = true;
+  // The burst must overwhelm BOTH defenses for the timeline to show them:
+  // its instantaneous rate (~1000/s) blows through the token buckets, and
+  // what the buckets admit still exceeds the shards' aggregate service
+  // rate, so queues fill and the breaker enters shedding.
+  ic.admission.reporter_rate_per_s = knobs.reporter_rate_per_s;
+  ic.admission.reporter_burst = 16.0;
+  revocation::IngestPipeline pipeline(ic, cluster);
+
+  // Pipeline instruments live in a per-run registry, same names as the
+  // full system's (core/nodes.cpp) so --slo specs port across both.
+  obs::MetricsRegistry reg;
+  revocation::IngestPipeline::Instruments ins;
+  ins.accepted = &reg.counter("bs.ingest.accepted");
+  ins.shed = &reg.counter("bs.ingest.shed");
+  ins.rate_limited = &reg.counter("bs.ingest.rate_limited");
+  ins.deferred = &reg.counter("bs.ingest.deferred");
+  ins.latency_ms = &reg.histogram("bs.ingest.latency_ms", 0.1, 60'000.0, 32,
+                                  obs::HistogramScale::kLog);
+  for (std::uint32_t i = 0; i < ic.shard.count; ++i) {
+    ins.queue_depth.push_back(
+        &reg.gauge("bs.ingest.queue_depth.s" + std::to_string(i)));
+  }
+  ins.breaker_state = &reg.gauge("bs.ingest.breaker_state");
+  obs::Counter& submitted_c = reg.counter("bs.ingest.submitted");
+  obs::Counter& committed_c = reg.counter("bs.ingest.committed");
+  pipeline.set_instruments(std::move(ins));
+
+  // Trace/telemetry sinks only on the reported repeat, as in sweep mode.
+  const auto trace_sink = it.report() ? args.open_trace_sink() : nullptr;
+  const auto ts_sink = it.report() ? args.open_timeseries_sink() : nullptr;
+
+  sim::SimTime sim_now = 0;
+  obs::Tracer tracer(trace_sink.get(), [&sim_now] {
+    return static_cast<std::int64_t>(sim_now);
+  });
+  cluster.set_tracer(tracer);
+  pipeline.set_tracer(tracer);
+  if (tracer.on()) {
+    tracer.emit(
+        tracer.event("trial.start")
+            .f("seed", args.seed)
+            .f("nodes", static_cast<std::uint64_t>(honest + flooders +
+                                                   malicious + benign))
+            .f("beacons", static_cast<std::uint64_t>(malicious + benign))
+            .f("malicious", static_cast<std::uint64_t>(malicious))
+            .f("sensors", static_cast<std::uint64_t>(0)));
+  }
+
+  obs::TimeseriesOptions topt;
+  topt.enabled = true;
+  topt.cadence_ns = kStormCadence;
+  topt.ring_capacity = 64;  // >= the 60 windows of the 15 s timeline
+  topt.sink = ts_sink.get();
+  obs::TimeseriesSampler sampler(reg, topt);
+  // The bench owns the timeline, so (unlike the in-system hook, which must
+  // stay read-only) the presample hook may advance the pipeline to the
+  // window edge: commits due before the edge land inside the window.
+  sampler.set_presample_hook([&](std::int64_t t) {
+    pipeline.advance(static_cast<sim::SimTime>(t));
+    sync_counter(submitted_c, pipeline.stats().submitted);
+    sync_counter(committed_c, pipeline.stats().committed);
+  });
+
+  obs::SloMonitor slo(args.parse_slo(kDefaultStormSlo));
+  slo.add_tracer(tracer);
+  if (ts_sink != nullptr && ts_sink.get() != trace_sink.get()) {
+    slo.add_tracer(obs::Tracer(ts_sink.get(), [&sim_now] {
+      return static_cast<std::int64_t>(sim_now);
+    }));
+  }
+  sampler.set_window_observer(
+      [&slo](const obs::WindowSample& w) { slo.on_window(w); });
+
+  // Workload: honest accusations over the whole timeline, the entire
+  // flood compressed into [kBurstStart, kBurstEnd).
+  util::Rng rng(args.seed);
+  std::vector<Submission> subs;
+  std::uint64_t nonce = 1;
+  for (std::size_t h = 0; h < honest; ++h) {
+    for (std::size_t m = 0; m < malicious; ++m) {
+      Submission s;
+      s.t = static_cast<sim::SimTime>(
+          rng.uniform_u64(static_cast<std::uint64_t>(kStormEnd)));
+      s.reporter = kHonestBase + static_cast<sim::NodeId>(h);
+      s.target = kMaliciousBase + static_cast<sim::NodeId>(m);
+      s.nonce = nonce++;
+      subs.push_back(s);
+    }
+  }
+  for (std::size_t f = 0; f < flooders; ++f) {
+    for (std::size_t k = 0; k < knobs.flood_per_flooder; ++k) {
+      Submission s;
+      s.t = kBurstStart + static_cast<sim::SimTime>(rng.uniform_u64(
+                              static_cast<std::uint64_t>(kBurstEnd -
+                                                         kBurstStart)));
+      s.reporter = kFlooderBase + static_cast<sim::NodeId>(f);
+      s.target = kBenignBase +
+                 static_cast<sim::NodeId>(
+                     (f * knobs.flood_per_flooder + k) % kStormVictimPool);
+      s.nonce = nonce++;
+      subs.push_back(s);
+    }
+  }
+  std::stable_sort(subs.begin(), subs.end(),
+                   [](const Submission& a, const Submission& b) {
+                     return a.t < b.t;
+                   });
+
+  sampler.begin(0, args.seed);
+  for (const Submission& s : subs) {
+    sim_now = s.t;
+    // Close due windows BEFORE the submission: a window captures strictly
+    // pre-edge state, same contract as the scheduler time probe.
+    sampler.advance_to(static_cast<std::int64_t>(s.t));
+    pipeline.submit(s.t, s.reporter, s.target, s.nonce);
+  }
+  sim_now = kStormEnd;
+  sampler.advance_to(static_cast<std::int64_t>(kStormEnd));
+  pipeline.drain(kStormEnd);
+  sampler.finish(static_cast<std::int64_t>(kStormEnd));
+
+  // Per-window telemetry table straight from the ring (deterministic: the
+  // whole timeline is a pure function of knobs and seed).
+  util::Table table({"window", "t_ms", "submitted", "accepted",
+                     "rate_limited", "shed", "committed", "rl_per_s",
+                     "queue_depth", "breaker"});
+  for (const obs::WindowSample& w : sampler.ring()) {
+    double depth = 0.0;
+    for (std::uint32_t i = 0; i < ic.shard.count; ++i) {
+      const double* d =
+          w.gauge("bs.ingest.queue_depth.s" + std::to_string(i));
+      if (d != nullptr) depth += *d;
+    }
+    const auto delta_of = [&w](const char* name) -> long long {
+      const std::uint64_t* d = w.delta(name);
+      return d == nullptr ? 0 : static_cast<long long>(*d);
+    };
+    const double* breaker = w.gauge("bs.ingest.breaker_state");
+    table.row()
+        .cell(static_cast<long long>(w.index))
+        .cell(static_cast<long long>(w.t_end_ns / sim::kMillisecond))
+        .cell(delta_of("bs.ingest.submitted"))
+        .cell(delta_of("bs.ingest.accepted"))
+        .cell(delta_of("bs.ingest.rate_limited"))
+        .cell(delta_of("bs.ingest.shed"))
+        .cell(delta_of("bs.ingest.committed"))
+        .cell(w.rate_per_s("bs.ingest.rate_limited"))
+        .cell(depth)
+        .cell(breaker == nullptr ? 0.0 : *breaker);
+  }
+  table.print_csv(it.out(),
+                  "Alert storm deep-dive: 250 ms telemetry windows over a "
+                  "15 s timeline with the flood compressed into [4 s, 7 s)");
+
+  // Zero-harm check rides along: the flood must not revoke any victim.
+  std::size_t malicious_revoked = 0;
+  std::size_t victims_revoked = 0;
+  const auto& bs = cluster.authority();
+  for (std::size_t m = 0; m < malicious; ++m) {
+    if (bs.is_revoked(kMaliciousBase + static_cast<sim::NodeId>(m)))
+      ++malicious_revoked;
+  }
+  for (std::size_t b = 0; b < kStormVictimPool; ++b) {
+    if (bs.is_revoked(kBenignBase + static_cast<sim::NodeId>(b)))
+      ++victims_revoked;
+  }
+  it.out() << "revoked malicious=" << malicious_revoked
+           << " benign=" << victims_revoked << "\n";
+  it.out() << "slo_verdict healthy=" << (slo.healthy() ? 1 : 0)
+           << " rules=" << slo.rules().size()
+           << " breaches=" << slo.breaches()
+           << " recovers=" << slo.recovers()
+           << " active=" << slo.active() << "\n";
+  for (const obs::SloMonitor::LogEntry& e : slo.log()) {
+    it.out() << "slo_" << (e.breach ? "breach" : "recover") << " rule="
+             << e.rule << " window=" << e.window
+             << " t_ms=" << e.t_ns / sim::kMillisecond << "\n";
+  }
+
+  it.add_events(pipeline.stats().submitted);
+  it.add_trials(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   StormKnobs knobs;
+  bool storm = false;
+  bool rate_set = false;
   const auto args = bench::BenchArgs::parse(
       argc, argv,
       [&](const std::string& a, const auto& next) {
@@ -198,6 +439,11 @@ int main(int argc, char** argv) {
         if (a == "--rate") {
           knobs.reporter_rate_per_s =
               bench::parse_positive_double("--rate", next("--rate"));
+          rate_set = true;
+          return true;
+        }
+        if (a == "--storm") {
+          storm = true;
           return true;
         }
         if (a == "--zipf") {
@@ -214,9 +460,23 @@ int main(int argc, char** argv) {
       },
       "  --shards N     ingestion shards, > 0 (default 4)\n"
       "  --rate R       admission tokens per reporter-second, > 0 "
-      "(default 5)\n"
+      "(default 5; 40 under --storm)\n"
       "  --zipf S       flood target-popularity exponent, > 0 (default 1)\n"
-      "  --flood K      forged alerts per flooder, > 0 (default 200)\n");
+      "  --flood K      forged alerts per flooder, > 0 (default 200)\n"
+      "  --storm        single-cell deep-dive: 250 ms telemetry windows + "
+      "SLO verdict\n");
+
+  // Storm mode defaults the token rate high enough that the burst
+  // saturates the shards (queues fill, breaker trips) and not just the
+  // buckets; an explicit --rate still wins.
+  if (storm && !rate_set) knobs.reporter_rate_per_s = 40.0;
+
+  if (storm) {
+    return bench::run_main("ext_alert_storm_storm", args,
+                           [&](bench::BenchIteration& it) {
+                             run_storm(knobs, args, it);
+                           });
+  }
 
   return bench::run_main("ext_alert_storm", args, [&](bench::BenchIteration&
                                                           it) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "attack/strategy.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/arq.hpp"
 #include "sim/channel.hpp"
@@ -134,6 +136,18 @@ struct SystemConfig {
   /// costs one cached branch per emit site; results are bit-for-bit
   /// identical either way because tracing draws no randomness.
   obs::TraceSink* trace_sink = nullptr;
+
+  /// Streaming telemetry: window cadence, ring depth, and the optional
+  /// `timeseries/v1` JSONL sink (non-owning, like trace_sink). Disabled —
+  /// the default — constructs no sampler, registers no extra instruments,
+  /// and leaves the run bit-for-bit the seed (the scheduler time probe
+  /// schedules no events and the sampler draws no randomness).
+  obs::TimeseriesOptions telemetry;
+
+  /// SLO health monitors evaluated as telemetry windows close (requires
+  /// telemetry.enabled). The verdict and breach log fold into
+  /// TrialSummary::metrics_json under "slo".
+  std::vector<obs::SloRule> slo_rules;
 
   /// Simulation phases: beacons probe first, then sensors localize.
   sim::SimTime probe_phase_start = 0;

@@ -35,6 +35,9 @@ AggregateSummary run_experiment(const ExperimentConfig& config) {
             .count());
     agg.total_sched_events += summary.sched_events;
     agg.total_packets += summary.channel.transmissions;
+    agg.total_slo_breaches += summary.slo.breaches;
+    if (summary.slo.enabled && !summary.slo.healthy)
+      ++agg.slo_unhealthy_trials;
     agg.detection_rate.add(summary.detection_rate);
     agg.false_positive_rate.add(summary.false_positive_rate);
     agg.affected_per_malicious.add(summary.avg_affected_per_malicious);

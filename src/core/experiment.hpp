@@ -38,6 +38,11 @@ struct AggregateSummary {
   /// packets/sec numerators.
   std::uint64_t total_sched_events = 0;
   std::uint64_t total_packets = 0;
+  /// SLO health across trials (all zero unless telemetry + rules are on):
+  /// total breach firings and trials that ended with a rule still in
+  /// breach.
+  std::uint64_t total_slo_breaches = 0;
+  std::uint64_t slo_unhealthy_trials = 0;
   std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
 };
 

@@ -105,6 +105,7 @@ SystemContext::SystemContext(const SystemConfig& cfg)
       ins.queue_depth.push_back(
           &instruments.gauge("bs.ingest.queue_depth.s" + std::to_string(i)));
     }
+    ins.breaker_state = &instruments.gauge("bs.ingest.breaker_state");
     ingest.set_instruments(std::move(ins));
     ingest.set_commit_hook([this](sim::NodeId /*reporter*/, sim::NodeId target,
                                   revocation::AlertDisposition disposition,

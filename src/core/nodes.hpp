@@ -17,6 +17,8 @@
 #include "localization/location_reference.hpp"
 #include "localization/multilateration.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "ranging/rssi.hpp"
 #include "ranging/rtt.hpp"
@@ -150,6 +152,13 @@ struct SystemContext {
   /// recovery.latency_ms — registered only when failover is configured, so
   /// default metric snapshots (and the bench goldens) are unchanged.
   obs::Histogram* recovery_hist = nullptr;
+
+  /// Streaming telemetry sampler and SLO monitor — constructed by the
+  /// system only when config.telemetry.enabled (same goldens discipline as
+  /// the conditional instruments above). The chaos campaign reads the
+  /// sampler's ring tail as failure context.
+  std::unique_ptr<obs::TimeseriesSampler> timeseries;
+  std::unique_ptr<obs::SloMonitor> slo;
 
   /// Delivers an alert to the base station with a small random transport
   /// jitter, so honest and colluding alerts interleave realistically.

@@ -64,6 +64,8 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
   ctx_->ingest.set_tracer(tracer);
   ctx_->dissemination.set_tracer(tracer);
 
+  setup_telemetry();
+
   if (tracer.on()) {
     tracer.emit(
         tracer.event("trial.start")
@@ -187,6 +189,80 @@ void SecureLocalizationSystem::schedule_collusion() {
   }
 }
 
+void SecureLocalizationSystem::setup_telemetry() {
+  if (!config_.telemetry.enabled) return;
+  // Mirror instruments exist only for telemetry runs, so default metric
+  // snapshots (and the bench goldens) stay byte-identical to the seed.
+  obs::MetricsRegistry& reg = ctx_->instruments;
+  tel_.tx = &reg.counter("channel.tx");
+  tel_.deliveries = &reg.counter("channel.deliveries");
+  tel_.drops = &reg.counter("channel.drops");
+  tel_.alerts = &reg.counter("alerts.submitted");
+  tel_.revocations = &reg.counter("bs.revocations");
+  tel_.sched_executed = &reg.counter("sched.executed");
+  tel_.sched_pending = &reg.gauge("sched.pending");
+  if (config_.ingest.enabled())
+    tel_.breaker = &reg.gauge("bs.ingest.breaker_state");
+  tel_.in_service = &reg.gauge("bs.cluster.in_service");
+
+  ctx_->timeseries =
+      std::make_unique<obs::TimeseriesSampler>(reg, config_.telemetry);
+  ctx_->timeseries->set_presample_hook(
+      [this](std::int64_t t) { sync_telemetry(t); });
+
+  if (!config_.slo_rules.empty()) {
+    ctx_->slo = std::make_unique<obs::SloMonitor>(config_.slo_rules);
+    ctx_->slo->add_tracer(ctx_->tracer);
+    if (config_.telemetry.sink != nullptr &&
+        config_.telemetry.sink != config_.trace_sink) {
+      // Breach markers also ride the telemetry stream, so ts_report can
+      // annotate timelines without the main trace.
+      sim::Scheduler* sched = &network_.scheduler();
+      ctx_->slo->add_tracer(obs::Tracer(config_.telemetry.sink, [sched]() {
+        return static_cast<std::int64_t>(sched->now());
+      }));
+    }
+    obs::SloMonitor* slo = ctx_->slo.get();
+    ctx_->timeseries->set_window_observer(
+        [slo](const obs::WindowSample& w) { slo->on_window(w); });
+  }
+
+  // Drive the sampler from the scheduler clock: windows close exactly when
+  // sim time crosses their end, with zero extra events scheduled.
+  obs::TimeseriesSampler* ts = ctx_->timeseries.get();
+  network_.scheduler().set_time_probe([ts](sim::SimTime t) {
+    ts->advance_to(static_cast<std::int64_t>(t));
+  });
+}
+
+namespace {
+/// Raises a monotone mirror counter to the live value (never decreases).
+void sync_counter(obs::Counter* counter, std::uint64_t live) {
+  if (counter != nullptr && live > counter->value())
+    counter->inc(live - counter->value());
+}
+}  // namespace
+
+void SecureLocalizationSystem::sync_telemetry(std::int64_t t) {
+  const sim::ChannelStats& ch = network_.channel().stats();
+  sync_counter(tel_.tx, ch.transmissions);
+  sync_counter(tel_.deliveries, ch.deliveries);
+  sync_counter(tel_.drops, ch.losses + ch.dropped_by_fault +
+                               ch.partition_drops + ch.crashed_drops);
+  sync_counter(tel_.alerts, ctx_->metrics.alerts_submitted);
+  sync_counter(tel_.revocations, ctx_->metrics.revocation_times.size());
+  sync_counter(tel_.sched_executed, network_.scheduler().executed());
+  tel_.sched_pending->set(
+      static_cast<double>(network_.scheduler().pending()));
+  if (tel_.breaker != nullptr) {
+    // Poll the breaker as a pure function of time — advancing the pipeline
+    // from a sampling hook would perturb the trial.
+    tel_.breaker->set(static_cast<double>(static_cast<int>(
+        ctx_->ingest.breaker_state(static_cast<sim::SimTime>(t)))));
+  }
+  tel_.in_service->set(ctx_->cluster.in_service() ? 1.0 : 0.0);
+}
+
 void SecureLocalizationSystem::schedule_failover() {
   // Drive cluster availability transitions at their exact times, so
   // bs.failover traces and the recovery-latency histogram are stamped with
@@ -230,6 +306,12 @@ TrialSummary SecureLocalizationSystem::run() {
     throw std::logic_error("SecureLocalizationSystem::run: already ran");
   ran_ = true;
 
+  // Telemetry windows start on the scheduler's t = 0 grid; the ts.meta
+  // stream header goes out before any window.
+  if (ctx_->timeseries)
+    ctx_->timeseries->begin(
+        static_cast<std::int64_t>(network_.scheduler().now()), config_.seed);
+
   // The probing and localization phases are timed separately. Splitting
   // the run at sensor_phase_start executes the exact same event sequence
   // as one uninterrupted run (events are ordered by time either way).
@@ -251,6 +333,13 @@ TrialSummary SecureLocalizationSystem::run() {
   // final state.
   ctx_->ingest.drain(network_.scheduler().now());
   ctx_->cluster.advance(std::numeric_limits<sim::SimTime>::max());
+
+  // Close the telemetry stream: complete windows through now, plus the
+  // partial tail, so the final drain/commit burst is visible in the last
+  // window and the SLO monitor sees end-of-trial state.
+  if (ctx_->timeseries)
+    ctx_->timeseries->finish(
+        static_cast<std::int64_t>(network_.scheduler().now()));
 
   ctx_->instruments.gauge("sched.events")
       .set(static_cast<double>(network_.scheduler().executed()));
@@ -349,6 +438,16 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.ingest = ctx_->ingest.stats();
   s.channel = network_.channel().stats();
   s.metrics_json = ctx_->instruments.snapshot_json();
+  if (ctx_->slo) {
+    s.slo.enabled = true;
+    s.slo.healthy = ctx_->slo->healthy();
+    s.slo.breaches = ctx_->slo->breaches();
+    s.slo.recovers = ctx_->slo->recovers();
+    // Fold the verdict + breach log into the snapshot document (insert
+    // before the closing brace).
+    s.metrics_json.insert(s.metrics_json.size() - 1,
+                          ",\"slo\":" + ctx_->slo->verdict_json());
+  }
   return s;
 }
 

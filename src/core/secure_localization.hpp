@@ -67,6 +67,18 @@ struct TrialSummary {
   revocation::IngestStats ingest;
   sim::ChannelStats channel;
 
+  /// SLO health verdict (inert defaults unless telemetry + SLO rules were
+  /// configured; the full breach log rides in metrics_json under "slo").
+  struct SloHealth {
+    bool enabled = false;
+    /// No rule was in breach when the trial ended (recovered breaches
+    /// still show in `breaches`).
+    bool healthy = true;
+    std::uint64_t breaches = 0;
+    std::uint64_t recovers = 0;
+  };
+  SloHealth slo;
+
   /// JSON snapshot of the trial's instrument registry (counters, gauges,
   /// histograms with p50/p90/p99, per-phase wall-clock timings). The
   /// wall-clock gauges make this the one TrialSummary field that is NOT a
@@ -88,10 +100,30 @@ class SecureLocalizationSystem {
   sim::Network& network() { return network_; }
 
  private:
+  /// Live-stat mirrors the telemetry presample hook syncs into the
+  /// registry right before each window closes. Registered only for
+  /// telemetry-enabled configs (nullptr otherwise).
+  struct TelemetryMirror {
+    obs::Counter* tx = nullptr;               // channel.tx
+    obs::Counter* deliveries = nullptr;       // channel.deliveries
+    obs::Counter* drops = nullptr;            // channel.drops
+    obs::Counter* alerts = nullptr;           // alerts.submitted
+    obs::Counter* revocations = nullptr;      // bs.revocations
+    obs::Counter* sched_executed = nullptr;   // sched.executed
+    obs::Gauge* sched_pending = nullptr;      // sched.pending
+    obs::Gauge* breaker = nullptr;            // bs.ingest.breaker_state
+    obs::Gauge* in_service = nullptr;         // bs.cluster.in_service
+  };
+
   void build_nodes();
   void schedule_collusion();
   void schedule_failover();
   void schedule_finalize();
+  void setup_telemetry();
+  /// Presample hook: mirrors live stats (channel, scheduler, breaker,
+  /// cluster service state) into the registry. Pure reads only — it must
+  /// never perturb the simulation.
+  void sync_telemetry(std::int64_t t);
   TrialSummary summarize() const;
 
   SystemConfig config_;
@@ -102,6 +134,7 @@ class SecureLocalizationSystem {
   std::vector<MaliciousBeaconNode*> malicious_nodes_;
   std::vector<SensorNode*> sensor_nodes_;
   crypto::DetectingIdRegistry detecting_registry_;
+  TelemetryMirror tel_;
   bool ran_ = false;
 };
 

@@ -115,6 +115,25 @@ class MetricsRegistry {
   /// Instruments appear in registration order.
   std::string snapshot_json() const;
 
+  // Read-only enumeration in registration order (append-only, so indices
+  // handed out here are stable for the registry's lifetime) — the
+  // time-series sampler's snapshot walk.
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t gauge_count() const { return gauges_.size(); }
+  std::size_t histogram_count() const { return histograms_.size(); }
+  template <typename Fn>  // Fn(const std::string& name, const Counter&)
+  void for_each_counter(Fn&& fn) const {
+    for (const auto& c : counters_) fn(c.name, *c.instrument);
+  }
+  template <typename Fn>  // Fn(const std::string& name, const Gauge&)
+  void for_each_gauge(Fn&& fn) const {
+    for (const auto& g : gauges_) fn(g.name, *g.instrument);
+  }
+  template <typename Fn>  // Fn(const std::string& name, const Histogram&)
+  void for_each_histogram(Fn&& fn) const {
+    for (const auto& h : histograms_) fn(h.name, *h.instrument);
+  }
+
  private:
   template <typename T>
   struct Named {

@@ -1,0 +1,135 @@
+// Declarative SLO health monitors over the time-series telemetry stream.
+//
+// A rule binds one window-derived signal — a counter's per-second rate or
+// cumulative total, a gauge, a histogram quantile, or a burn rate (the
+// bad/total delta ratio measured against an error-budget objective) — to a
+// threshold with sustain/clear hysteresis:
+//
+//   name source(metric) cmp threshold [sustain=N] [clear=N]
+//
+//   shed_rate  rate(bs.ingest.shed) > 50 sustain=2 clear=2
+//   backlog    gauge(bs.ingest.queue_depth.s0) >= 16
+//   slow_p99   p99(bs.ingest.latency_ms) > 500 sustain=3
+//   shed_burn  burn(bs.ingest.shed/bs.ingest.accepted, 0.01) > 1 sustain=2
+//
+// Rules are evaluated online as the TimeseriesSampler closes windows: a
+// rule *breaches* after `sustain` consecutive bad windows (never earlier —
+// a property test pins this), emits `slo.breach`, and *recovers* after
+// `clear` consecutive good windows, emitting `slo.recover`. The monitor
+// folds a pass/fail health verdict plus a bounded breach log into JSON for
+// TrialSummary::metrics_json. A window in which the rule's metric does not
+// exist (yet) counts as good. Everything is a pure function of the window
+// stream: no wall clock, no randomness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace sld::obs {
+
+enum class SloSource {
+  kRate,   // counter delta / window seconds
+  kTotal,  // cumulative counter value
+  kGauge,  // last-written gauge value
+  kP50,    // histogram quantiles (cumulative, not per-window)
+  kP90,
+  kP99,
+  kBurn,  // (bad delta / total delta) / objective
+};
+
+enum class SloCmp { kGt, kGe, kLt, kLe };
+
+struct SloRule {
+  std::string name;
+  SloSource source = SloSource::kRate;
+  std::string metric;
+  /// Burn rate only: the denominator counter and the error-budget
+  /// objective (allowed bad fraction; value 1.0 == burning exactly at
+  /// budget).
+  std::string total_metric;
+  double objective = 0.0;
+  SloCmp cmp = SloCmp::kGt;
+  double threshold = 0.0;
+  /// Consecutive bad windows required before the rule breaches (>= 1).
+  std::size_t sustain_windows = 1;
+  /// Consecutive good windows required before a breached rule recovers.
+  std::size_t clear_windows = 1;
+};
+
+/// Parses a spec: rules separated by ';' or newlines, '#' starts a
+/// comment, blank entries ignored. Throws std::invalid_argument with a
+/// one-line diagnostic on malformed input.
+std::vector<SloRule> parse_slo_spec(const std::string& spec);
+
+/// One-line grammar summary for --help texts.
+const char* slo_spec_grammar();
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(std::vector<SloRule> rules);
+
+  /// Destinations for slo.breach / slo.recover events (typically the main
+  /// trace and the telemetry stream). Off tracers cost one branch.
+  void add_tracer(Tracer tracer) { tracers_.push_back(std::move(tracer)); }
+
+  /// Evaluates every rule against one closed window, firing breach and
+  /// recover transitions.
+  void on_window(const WindowSample& w);
+
+  const std::vector<SloRule>& rules() const { return rules_; }
+  std::uint64_t breaches() const { return breaches_; }
+  std::uint64_t recovers() const { return recovers_; }
+  /// Rules currently in breach.
+  std::size_t active() const;
+  /// True when no rule is in breach right now (end-of-trial verdict; past,
+  /// recovered breaches stay visible in breaches() and the log).
+  bool healthy() const { return active() == 0; }
+
+  struct LogEntry {
+    std::string rule;
+    bool breach = true;  // false == recover
+    std::int64_t t_ns = 0;
+    std::uint64_t window = 0;
+    double value = 0.0;
+  };
+  const std::vector<LogEntry>& log() const { return log_; }
+
+  /// {"rules":N,"breaches":B,"recovers":R,"active":A,"healthy":bool,
+  ///  "log":[{"rule":..,"kind":..,"t":..,"window":..,"value":..},...],
+  ///  "log_dropped":D} — spliced into TrialSummary::metrics_json.
+  std::string verdict_json() const;
+
+ private:
+  struct RuleState {
+    bool breached = false;
+    std::size_t bad_streak = 0;
+    std::size_t good_streak = 0;
+  };
+
+  /// Signal value + bad verdict for one rule over one window. `defined`
+  /// is false when the rule's metric is absent from the window.
+  struct Eval {
+    bool defined = false;
+    double value = 0.0;
+    bool bad = false;
+  };
+  Eval evaluate(const SloRule& rule, const WindowSample& w) const;
+  void fire(const SloRule& rule, const RuleState& state, bool breach,
+            const WindowSample& w, double value);
+
+  std::vector<SloRule> rules_;
+  std::vector<RuleState> states_;
+  std::vector<Tracer> tracers_;
+  std::uint64_t breaches_ = 0;
+  std::uint64_t recovers_ = 0;
+  std::vector<LogEntry> log_;
+  std::uint64_t log_dropped_ = 0;
+  static constexpr std::size_t kMaxLog = 32;
+};
+
+}  // namespace sld::obs

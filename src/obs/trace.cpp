@@ -109,6 +109,12 @@ Event& Event::f(std::string_view key, std::uint64_t v) {
   return *this;
 }
 
+Event& Event::raw(std::string_view key, std::string_view json) {
+  key_prefix(key);
+  buf_ += json;
+  return *this;
+}
+
 std::string Event::finish() {
   buf_ += '}';
   return std::move(buf_);

@@ -101,6 +101,10 @@ class Event {
     return f(key, static_cast<std::int64_t>(v));
   }
 
+  /// Splices pre-rendered JSON in as the value — for nested objects (the
+  /// time-series windows). The caller owns the value's well-formedness.
+  Event& raw(std::string_view key, std::string_view json);
+
   /// Closes the object and returns the line. The Event must not be reused.
   std::string finish();
 

@@ -25,6 +25,14 @@ IngestPipeline::IngestPipeline(IngestConfig config, BaseStationCluster& cluster)
 
 void IngestPipeline::set_instruments(Instruments instruments) {
   instruments_ = std::move(instruments);
+  // Gauges keep their last-written value, and a shared registry can carry
+  // them over from a previous trial's pipeline. Sync every gauge to THIS
+  // pipeline's state right away, so the first telemetry sample after trial
+  // setup can never read stale queue depths or breaker state.
+  update_gauges();
+  if (instruments_.breaker_state != nullptr)
+    instruments_.breaker_state->set(
+        static_cast<double>(static_cast<int>(last_breaker_)));
 }
 
 std::size_t IngestPipeline::queue_depth() const {
@@ -157,6 +165,9 @@ void IngestPipeline::breaker_step(sim::SimTime now) {
   const BreakerState state = admission_.state(now);
   if (state != last_breaker_) {
     ++stats_.breaker_transitions;
+    if (instruments_.breaker_state != nullptr)
+      instruments_.breaker_state->set(
+          static_cast<double>(static_cast<int>(state)));
     if (trace_.on()) {
       trace_.emit(trace_.event("bs.breaker")
                       .f("from", breaker_state_name(last_breaker_))

@@ -108,6 +108,9 @@ class IngestPipeline {
     obs::Counter* deferred = nullptr;
     obs::Histogram* latency_ms = nullptr;
     std::vector<obs::Gauge*> queue_depth;  // one per shard
+    /// Numeric BreakerState (0 closed, 1 shedding, 2 degraded,
+    /// 3 recovering) — the telemetry timeline's breaker track.
+    obs::Gauge* breaker_state = nullptr;
   };
 
   /// Invoked at every commit with the cluster's disposition and the

@@ -28,7 +28,7 @@ std::uint64_t Scheduler::run(std::uint64_t max_events) {
     SLD_INVARIANT(ev.when >= now_,
                   "time monotonicity: popped event at " << ev.when
                       << " ns while the clock reads " << now_ << " ns");
-    now_ = ev.when;
+    advance_clock(ev.when);
     {
       SLD_PROF_SCOPE("sched.event");
       ev.action();
@@ -49,7 +49,7 @@ std::uint64_t Scheduler::run_until(SimTime until) {
     SLD_INVARIANT(ev.when <= until,
                   "no event after stop: event at " << ev.when
                       << " ns executed past run_until(" << until << ")");
-    now_ = ev.when;
+    advance_clock(ev.when);
     {
       SLD_PROF_SCOPE("sched.event");
       ev.action();
@@ -57,7 +57,7 @@ std::uint64_t Scheduler::run_until(SimTime until) {
     ++executed;
     ++executed_;
   }
-  if (now_ < until) now_ = until;
+  if (now_ < until) advance_clock(until);
   return executed;
 }
 

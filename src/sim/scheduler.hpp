@@ -13,7 +13,20 @@ namespace sld::sim {
 /// in (time, FIFO) order.
 class Scheduler {
  public:
+  using TimeProbe = std::function<void(SimTime)>;
+
   SimTime now() const { return now_; }
+
+  /// Observer invoked with the new clock value whenever time advances —
+  /// after the decision to move the clock, before any event at the new
+  /// time executes (so the observer sees strictly pre-t state). This is
+  /// how the time-series sampler closes windows without scheduling a
+  /// single event: the run loop stays event-for-event identical, and an
+  /// empty probe (the default) costs one cached branch per event.
+  void set_time_probe(TimeProbe probe) {
+    probe_ = std::move(probe);
+    probe_on_ = static_cast<bool>(probe_);
+  }
 
   /// Schedules `action` at absolute time `when` (>= now).
   void schedule_at(SimTime when, std::function<void()> action);
@@ -46,10 +59,17 @@ class Scheduler {
     if (queue_.size() > max_pending_) max_pending_ = queue_.size();
   }
 
+  void advance_clock(SimTime when) {
+    if (probe_on_ && when > now_) probe_(when);
+    now_ = when;
+  }
+
   SimTime now_ = 0;
   EventQueue queue_;
   std::uint64_t executed_ = 0;
   std::size_t max_pending_ = 0;
+  TimeProbe probe_;
+  bool probe_on_ = false;
 };
 
 }  // namespace sld::sim

@@ -232,6 +232,15 @@ core::SystemConfig make_schedule(std::uint64_t seed, bool fast,
       c.ingest.admission.breaker_trip_ns = 200 * sim::kMillisecond;
     }
   }
+
+  // Telemetry rides along on every schedule purely as a forensic recorder:
+  // the sampler draws no randomness and schedules no events, so the chaos
+  // schedules (and trial outcomes) are unchanged from the pre-telemetry
+  // campaign. The bounded ring holds the last few seconds of windows — the
+  // failure context below dumps them when an oracle trips.
+  c.telemetry.enabled = true;
+  c.telemetry.cadence_ns = 500 * sim::kMillisecond;
+  c.telemetry.ring_capacity = 12;
   return c;
 }
 
@@ -408,6 +417,11 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
          << " deferred_lost=" << s.ingest.deferred_lost
          << " reconciled=" << s.ingest.reconciled << "}";
       fail(os.str());
+      // Run-timeline forensics: the last telemetry windows before the end
+      // of the trial — what the pipeline was doing when the oracle tripped.
+      if (sys.context().timeseries != nullptr) {
+        fail("telemetry tail:\n" + sys.context().timeseries->render_tail(8));
+      }
     }
   } catch (const std::exception& e) {
     fail(std::string("trial threw: ") + e.what());

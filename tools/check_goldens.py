@@ -7,6 +7,11 @@ TrialSummary CSV tables), and compares against the checked-in hash. Any
 drift in simulation results — intended or not — shows up as a failing
 `bench_goldens` ctest; intended drift is recorded with --update.
 
+A goldens entry is `<binary>[:flag,flag,...] <sha256>`: the optional
+comma-separated suffix appends mode flags to the standard argument set, so
+one binary can be pinned in several modes (e.g. `ext_alert_storm` and
+`ext_alert_storm:--storm`).
+
 Usage:
   check_goldens.py --bench-dir build/bench --goldens tests/goldens/bench_goldens.txt
   check_goldens.py --bench-dir build/bench --goldens ... --update
@@ -43,12 +48,19 @@ def write_goldens(path, goldens):
             f.write(f"{name} {goldens[name]}\n")
 
 
+def split_entry(name):
+    """'ext_alert_storm:--storm' -> ('ext_alert_storm', ['--storm'])."""
+    binary, _, flags = name.partition(":")
+    return binary, [f for f in flags.split(",") if f]
+
+
 def run_bench(bench_dir, name):
-    exe = os.path.join(bench_dir, name)
+    binary, extra = split_entry(name)
+    exe = os.path.join(bench_dir, binary)
     if not os.path.exists(exe):
         return None, f"missing bench binary: {exe}"
     try:
-        out = subprocess.run([exe] + BENCH_ARGS, capture_output=True,
+        out = subprocess.run([exe] + BENCH_ARGS + extra, capture_output=True,
                              timeout=300, check=True)
     except subprocess.CalledProcessError as e:
         return None, f"{name} exited {e.returncode}: {e.stderr.decode()[:500]}"

@@ -16,7 +16,9 @@
 # The suite is every fig*/ext_*/ablation_* binary (which picks up
 # ext_alert_storm, the ingestion overload bench, automatically);
 # micro_hotpaths is a google-benchmark binary with its own protocol and is
-# not part of it.
+# not part of it. Mode variants reuse a binary with extra flags under a
+# distinct result name: ext_alert_storm_storm is `ext_alert_storm --storm`
+# (the alert-storm telemetry scenario; also selectable via --only).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,30 +59,58 @@ for b in "$BENCH_DIR"/fig* "$BENCH_DIR"/ext_* "$BENCH_DIR"/ablation_* \
   [[ -x "$b" && -f "$b" ]] || continue
   benches+=("$b")
 done
+# name:binary:extra flags — run `binary` with the flags, report as `name`.
+modes=("ext_alert_storm_storm:ext_alert_storm:--storm")
+
 if [[ -n "$ONLY" ]]; then
-  benches=("$BENCH_DIR/$ONLY")
-  [[ -x "${benches[0]}" ]] || { echo "run_benches.sh: no bench '$ONLY' in $BENCH_DIR" >&2; exit 2; }
+  only_mode=""
+  for m in "${modes[@]}"; do
+    [[ "${m%%:*}" == "$ONLY" ]] && only_mode="$m"
+  done
+  if [[ -n "$only_mode" ]]; then
+    benches=()
+    modes=("$only_mode")
+  else
+    benches=("$BENCH_DIR/$ONLY")
+    [[ -x "${benches[0]}" ]] || { echo "run_benches.sh: no bench '$ONLY' in $BENCH_DIR" >&2; exit 2; }
+    modes=()
+  fi
 fi
-if [[ ${#benches[@]} -eq 0 ]]; then
+if [[ ${#benches[@]} -eq 0 && ${#modes[@]} -eq 0 ]]; then
   echo "run_benches.sh: no bench binaries in $BENCH_DIR" >&2
   exit 2
 fi
 
 failures=0
-for b in "${benches[@]}"; do
-  name=$(basename "$b")
-  json="$OUT_DIR/BENCH_${name}.json"
+written=0
+run_one() {  # run_one NAME EXE [EXTRA_FLAGS...]
+  local name="$1" exe="$2"; shift 2
+  local json="$OUT_DIR/BENCH_${name}.json"
   echo "== $name -> $json" >&2
   # Bench stdout is the figure's CSV — keep it out of the result capture.
-  if ! "$b" $FAST --repeats "$REPEATS" --warmup "$WARMUP" \
+  if "$exe" $FAST "$@" --repeats "$REPEATS" --warmup "$WARMUP" \
        --json "$json" > /dev/null; then
+    written=$((written + 1))
+  else
     echo "run_benches.sh: $name FAILED" >&2
     failures=$((failures + 1))
   fi
+}
+
+for b in "${benches[@]}"; do
+  run_one "$(basename "$b")" "$b"
+done
+for m in "${modes[@]}"; do
+  name="${m%%:*}"
+  rest="${m#*:}"
+  bin="${rest%%:*}"
+  flags="${rest#*:}"
+  [[ -x "$BENCH_DIR/$bin" ]] || continue
+  run_one "$name" "$BENCH_DIR/$bin" $flags
 done
 
 if [[ $failures -gt 0 ]]; then
   echo "run_benches.sh: $failures bench(es) failed" >&2
   exit 1
 fi
-echo "run_benches.sh: wrote ${#benches[@]} result files to $OUT_DIR" >&2
+echo "run_benches.sh: wrote $written result files to $OUT_DIR" >&2

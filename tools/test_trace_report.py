@@ -216,6 +216,77 @@ class OverloadEvents(unittest.TestCase):
         self.assertIn("shard commits: 1 batch(es), largest 4 record(s)", text)
 
 
+class TelemetryEvents(unittest.TestCase):
+    """The streaming-telemetry event family (timeseries/v1 + SLO monitor):
+    ts.meta/ts.window/slo.breach/slo.recover validate, ts.meta resets the
+    monotone clock, and the report renders the breach timeline."""
+
+    TS_LINES = [
+        '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1",'
+        ' "cadence_ns": 1000, "seed": 7}',
+        '{"t": 1000, "e": "ts.window", "idx": 0, "start": 0, "end": 1000,'
+        ' "counters": {"c": 3}, "deltas": {"c": 3}, "gauges": {"g": 1.5},'
+        ' "hists": {}}',
+        '{"t": 1000, "e": "slo.breach", "rule": "flood", "value": 3000.0,'
+        ' "threshold": 50.0, "window": 0, "windows": 1}',
+        '{"t": 2000, "e": "ts.window", "idx": 1, "start": 1000, "end": 2000,'
+        ' "counters": {"c": 3}, "deltas": {"c": 0}, "gauges": {"g": 0.0},'
+        ' "hists": {}}',
+        '{"t": 2000, "e": "slo.recover", "rule": "flood", "value": 0.0,'
+        ' "threshold": 50.0, "window": 1, "windows": 1}',
+    ]
+
+    def _write(self, lines):
+        fh = tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False)
+        fh.write("\n".join(lines) + "\n")
+        fh.close()
+        self.addCleanup(os.unlink, fh.name)
+        return fh.name
+
+    def test_telemetry_events_are_schema_valid(self):
+        code, out, err = validate_quietly(self._write(self.TS_LINES))
+        self.assertEqual(code, 0, err)
+        self.assertIn("all schema-valid", out)
+
+    def test_telemetry_events_require_their_fields(self):
+        for bad in ('{"t": 1, "e": "ts.meta", "schema": "timeseries/v1"}',
+                    '{"t": 1, "e": "ts.window", "idx": 0, "start": 0,'
+                    ' "end": 1}',
+                    '{"t": 1, "e": "slo.breach", "rule": "flood"}',
+                    '{"t": 1, "e": "slo.recover", "rule": "flood"}'):
+            code, _, err = validate_quietly(self._write([bad]))
+            self.assertEqual(code, 1, bad)
+            self.assertIn("missing field", err)
+
+    def test_ts_meta_resets_the_clock_like_trial_start(self):
+        code, _, err = validate_quietly(self._write([
+            '{"t": 0, "e": "trial.start", "seed": 1, "nodes": 1,'
+            ' "beacons": 1, "malicious": 0, "sensors": 0}',
+            '{"t": 900, "e": "pkt.loss", "src": 1, "dst": 2}',
+            '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1",'
+            ' "cadence_ns": 1000, "seed": 2}',
+            '{"t": 10, "e": "pkt.loss", "src": 1, "dst": 2}',
+        ]))
+        self.assertEqual(code, 0, err)
+
+    def test_report_renders_breach_timeline(self):
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            trace_report.report(self._write(self.TS_LINES), chains=False)
+        text = out.getvalue()
+        self.assertIn("SLO breach timeline", text)
+        self.assertIn("BREACH  flood", text)
+        self.assertIn("recover flood", text)
+        self.assertIn("1 breach(es), 1 recovery(ies)", text)
+        self.assertIn("verdict: healthy", text)
+
+    def test_report_flags_unrecovered_breach_as_unhealthy(self):
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            trace_report.report(self._write(self.TS_LINES[:3]), chains=False)
+        text = out.getvalue()
+        self.assertIn("verdict: UNHEALTHY", text)
+        self.assertIn("still in breach: flood", text)
+
+
 class ReportSmoke(unittest.TestCase):
     def test_report_renders_revocation_and_chain(self):
         with contextlib.redirect_stdout(io.StringIO()) as out:

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Unit tests for ts_report.py: timeseries/v1 validation on known-good and
+deliberately corrupted fixtures, sparkline rendering, dashboard output, and
+the --expect-breach/--expect-recover CI assertions.
+
+Run from tools/:  python3 -m unittest test_ts_report
+(registered as the `ts_report_unittest` ctest target).
+"""
+
+import contextlib
+import io
+import os
+import tempfile
+import unittest
+
+import ts_report
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+GOOD = os.path.join(FIXTURES, "ts_good.jsonl")
+CORRUPT = os.path.join(FIXTURES, "ts_corrupt.jsonl")
+
+
+def run_quietly(fn, *args, **kwargs):
+    with contextlib.redirect_stdout(io.StringIO()) as out, \
+            contextlib.redirect_stderr(io.StringIO()) as err:
+        code = fn(*args, **kwargs)
+    return code, out.getvalue(), err.getvalue()
+
+
+def write_lines(lines):
+    fh = tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False)
+    fh.write("\n".join(lines) + "\n")
+    fh.close()
+    return fh.name
+
+
+class ValidateGoodStream(unittest.TestCase):
+    def test_known_good_fixture_passes(self):
+        code, out, err = run_quietly(ts_report.validate, GOOD)
+        self.assertEqual(code, 0, err)
+        self.assertIn("self-consistent", out)
+
+    def test_good_fixture_exercises_all_four_event_types(self):
+        import json
+        with open(GOOD, encoding="utf-8") as fh:
+            events = {json.loads(line)["e"] for line in fh if line.strip()}
+        self.assertEqual(events, {"ts.meta", "ts.window",
+                                  "slo.breach", "slo.recover"})
+
+
+class ValidateCorruptStream(unittest.TestCase):
+    def test_corrupt_fixture_reports_each_corruption(self):
+        code, _, err = run_quietly(ts_report.validate, CORRUPT)
+        self.assertEqual(code, 1)
+        self.assertIn("ts.window before any ts.meta", err)
+        self.assertIn("'timeseries/v2' != 'timeseries/v1'", err)
+        self.assertIn("end 250000000 <= start 260000000", err)
+        self.assertIn("delta 7 != cumulative step 2", err)
+        self.assertIn("has no delta", err)            # shed counter
+        self.assertIn("went backwards", err)          # accepted 1 < 2
+        self.assertIn("unexpected event 'pkt.send'", err)
+        self.assertIn("slo.breach missing field(s)", err)
+
+    def test_non_contiguous_window_index_fails(self):
+        path = write_lines([
+            '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1", '
+            '"cadence_ns": 100, "seed": 1}',
+            '{"t": 100, "e": "ts.window", "idx": 0, "start": 0, "end": 100, '
+            '"counters": {}, "deltas": {}, "gauges": {}, "hists": {}}',
+            '{"t": 300, "e": "ts.window", "idx": 2, "start": 100, '
+            '"end": 300, "counters": {}, "deltas": {}, "gauges": {}, '
+            '"hists": {}}',
+        ])
+        try:
+            code, _, err = run_quietly(ts_report.validate, path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 1)
+        self.assertIn("not contiguous", err)
+
+    def test_gap_between_window_edges_fails(self):
+        path = write_lines([
+            '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1", '
+            '"cadence_ns": 100, "seed": 1}',
+            '{"t": 100, "e": "ts.window", "idx": 0, "start": 0, "end": 100, '
+            '"counters": {}, "deltas": {}, "gauges": {}, "hists": {}}',
+            '{"t": 250, "e": "ts.window", "idx": 1, "start": 150, '
+            '"end": 250, "counters": {}, "deltas": {}, "gauges": {}, '
+            '"hists": {}}',
+        ])
+        try:
+            code, _, err = run_quietly(ts_report.validate, path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 1)
+        self.assertIn("start 150 != previous end 100", err)
+
+    def test_second_trial_segment_resets_counter_baseline(self):
+        # A fresh ts.meta starts a new trial: counters restart from 0
+        # without tripping the monotonicity check.
+        path = write_lines([
+            '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1", '
+            '"cadence_ns": 100, "seed": 1}',
+            '{"t": 100, "e": "ts.window", "idx": 0, "start": 0, "end": 100, '
+            '"counters": {"c": 9}, "deltas": {"c": 9}, "gauges": {}, '
+            '"hists": {}}',
+            '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1", '
+            '"cadence_ns": 100, "seed": 2}',
+            '{"t": 100, "e": "ts.window", "idx": 0, "start": 0, "end": 100, '
+            '"counters": {"c": 2}, "deltas": {"c": 2}, "gauges": {}, '
+            '"hists": {}}',
+        ])
+        try:
+            code, _, err = run_quietly(ts_report.validate, path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 0, err)
+
+
+class Sparklines(unittest.TestCase):
+    def test_zero_series_renders_blank(self):
+        self.assertEqual(ts_report.sparkline([0, 0, 0]), "   ")
+
+    def test_peak_maps_to_top_of_ramp(self):
+        line = ts_report.sparkline([0, 5, 10])
+        self.assertEqual(len(line), 3)
+        self.assertEqual(line[0], ts_report.RAMP[0])
+        self.assertEqual(line[2], ts_report.RAMP[-1])
+
+    def test_long_series_is_downsampled_by_chunk_max(self):
+        values = [0] * 100 + [7] + [0] * 99
+        line = ts_report.sparkline(values, width=50)
+        self.assertLessEqual(len(line), 50)
+        self.assertIn(ts_report.RAMP[-1], line)  # spike survives downsample
+
+    def test_breach_ticks_mark_breach_and_recover_windows(self):
+        windows = [{"idx": i} for i in range(4)]
+        events = [
+            {"e": "slo.breach", "rule": "r", "window": 1},
+            {"e": "slo.recover", "rule": "r", "window": 3},
+        ]
+        self.assertEqual(ts_report.breach_ticks(windows, events), " ^ v")
+
+
+class Reports(unittest.TestCase):
+    def test_report_renders_sparklines_and_slo_transitions(self):
+        code, out, _ = run_quietly(ts_report.report, GOOD)
+        self.assertEqual(code, 0)
+        self.assertIn("timeline report", out)
+        self.assertIn("4 windows x 250 ms", out)
+        self.assertIn("bs.ingest.rate_limited", out)
+        self.assertIn("^ breach, v recover", out)
+        self.assertIn("BREACH  flood", out)
+        self.assertIn("recover flood", out)
+        self.assertIn("verdict: healthy", out)
+
+    def test_dashboard_aggregates_queue_depth_and_curates_tracks(self):
+        code, out, _ = run_quietly(ts_report.report, GOOD, dashboard=True)
+        self.assertEqual(code, 0)
+        self.assertIn("storm/failover dashboard", out)
+        self.assertIn("bs.ingest.queue_depth(total)", out)
+        self.assertIn("bs.ingest.breaker_state", out)
+
+    def test_metric_filter_rejects_unknown_names(self):
+        code, _, err = run_quietly(ts_report.report, GOOD,
+                                   metrics=["no.such.metric"])
+        self.assertEqual(code, 1)
+        self.assertIn("no.such.metric", err)
+
+    def test_empty_stream_is_an_error(self):
+        path = write_lines(["", ""])
+        try:
+            code, _, err = run_quietly(ts_report.report, path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 1)
+        self.assertIn("no ts.meta", err)
+
+
+class Expectations(unittest.TestCase):
+    def test_met_expectations_pass(self):
+        code, out, _ = run_quietly(ts_report.check_expectations, GOOD,
+                                   ["flood"], ["flood"])
+        self.assertEqual(code, 0)
+        self.assertIn("expectations met", out)
+
+    def test_unmet_breach_expectation_fails(self):
+        code, _, err = run_quietly(ts_report.check_expectations, GOOD,
+                                   ["pressure"], [])
+        self.assertEqual(code, 1)
+        self.assertIn("expected slo.breach for rule 'pressure'", err)
+
+    def test_unmet_recover_expectation_fails(self):
+        code, _, err = run_quietly(ts_report.check_expectations, GOOD,
+                                   [], ["pressure"])
+        self.assertEqual(code, 1)
+        self.assertIn("expected slo.recover for rule 'pressure'", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -87,7 +87,20 @@ SCHEMA = {
     "sensor.drop_revoked": ["node", "target"],
     "sensor.localized": ["node", "err_ft", "refs"],
     "sensor.unlocalized": ["node", "refs"],
+    # Streaming telemetry (timeseries/v1; ts.meta opens each trial's stream
+    # and, like trial.start, resets the monotone-time cursor).
+    "ts.meta": ["schema", "cadence_ns", "seed"],
+    "ts.window": ["idx", "start", "end", "counters", "deltas", "gauges",
+                  "hists"],
+    # SLO monitor transitions ("windows" = the sustain/clear streak length
+    # that triggered the transition).
+    "slo.breach": ["rule", "value", "threshold", "window", "windows"],
+    "slo.recover": ["rule", "value", "threshold", "window", "windows"],
 }
+
+# Events that open a new trial/stream segment and reset the monotone-time
+# validation cursor.
+RESET_EVENTS = ("trial.start", "ts.meta")
 
 VERDICT_EVENTS = ("detect.verdict", "query.verdict")
 
@@ -127,7 +140,7 @@ def validate(path):
                 errors.append(
                     f"line {n}: {etype} missing field(s) {missing}")
             # Sim time is monotone within a trial (trial.start resets it).
-            if etype == "trial.start":
+            if etype in RESET_EVENTS:
                 last_t_per_trial = t
             elif isinstance(t, int) and last_t_per_trial is not None:
                 if t < last_t_per_trial:
@@ -269,6 +282,31 @@ def report(path, chains):
         if batches:
             print(f"  shard commits: {len(batches)} batch(es), "
                   f"largest {max(batches)} record(s)")
+        print()
+
+    # SLO breach timeline: every monitor transition in time order, with
+    # the trial health verdict it adds up to.
+    slo_events = [rec for rec in records
+                  if rec.get("e") in ("slo.breach", "slo.recover")]
+    if slo_events:
+        print("-- SLO breach timeline --")
+        active = set()
+        for rec in slo_events:
+            if rec["e"] == "slo.breach":
+                active.add(rec["rule"])
+                kind = "BREACH "
+            else:
+                active.discard(rec["rule"])
+                kind = "recover"
+            print(f"  [{ms(rec['t']):10.3f} ms] {kind} {rec['rule']:16s} "
+                  f"value {rec['value']} vs {rec['threshold']} "
+                  f"(window {rec['window']}, streak {rec['windows']})")
+        breaches = sum(rec["e"] == "slo.breach" for rec in slo_events)
+        verdict = "UNHEALTHY" if active else "healthy"
+        print(f"  {breaches} breach(es), {len(slo_events) - breaches} "
+              f"recovery(ies); end-of-stream verdict: {verdict}"
+              + (f" (still in breach: {', '.join(sorted(active))})"
+                 if active else ""))
         print()
 
     # Retry storms: nodes with the most ARQ retries.
