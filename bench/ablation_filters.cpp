@@ -21,8 +21,9 @@ sld::core::SystemConfig base_config(std::uint64_t seed) {
 
 void run_row(sld::bench::BenchIteration& it, sld::util::Table& table,
              const std::string& name, const sld::core::SystemConfig& config,
-             std::size_t trials) {
+             std::size_t trials, std::size_t jobs) {
   sld::core::ExperimentConfig e{config, trials};
+  e.jobs = jobs;
   const auto agg = sld::core::run_experiment(e);
   it.add_experiment(agg, e.trials);
   table.row()
@@ -45,22 +46,22 @@ int main(int argc, char** argv) {
                                 "mean_loc_error_ft"});
 
         run_row(it, table, "full_system(P=0.3)", base_config(args.seed),
-                args.trials);
+                args.trials, args.jobs);
 
         {
           auto c = base_config(args.seed);
           c.wormhole_detection_rate = 0.0;  // wormhole detector off
-          run_row(it, table, "no_wormhole_detector", c, args.trials);
+          run_row(it, table, "no_wormhole_detector", c, args.trials, args.jobs);
         }
         {
           auto c = base_config(args.seed);
           c.detecting_ids = 1;  // single detecting ID
-          run_row(it, table, "m=1_detecting_id", c, args.trials);
+          run_row(it, table, "m=1_detecting_id", c, args.trials, args.jobs);
         }
         {
           auto c = base_config(args.seed);
           c.revocation.alert_threshold = 1000000;  // revocation off
-          run_row(it, table, "no_revocation", c, args.trials);
+          run_row(it, table, "no_revocation", c, args.trials, args.jobs);
         }
         {
           auto c = base_config(args.seed);
@@ -72,24 +73,26 @@ int main(int argc, char** argv) {
           c.strategy.p_fake_wormhole = 0.3;
           c.strategy.p_fake_local_replay =
               0.3878;  // (1-.3)(1-.3)(1-.3878) ~ 0.3
-          run_row(it, table, "evasive_attacker(sameP)", c, args.trials);
+          run_row(it, table, "evasive_attacker(sameP)", c, args.trials,
+                  args.jobs);
         }
         {
           auto c = base_config(args.seed);
           c.ranging_type =
               sld::core::RangingType::kToa;  // §2.3: feature-agnostic
-          run_row(it, table, "toa_ranging(sameP)", c, args.trials);
+          run_row(it, table, "toa_ranging(sameP)", c, args.trials, args.jobs);
         }
         {
           auto c = base_config(args.seed);
           c.wormhole_detector_type =
               sld::core::SystemConfig::WormholeDetectorType::kGeographicLeash;
-          run_row(it, table, "geographic_leash_detector", c, args.trials);
+          run_row(it, table, "geographic_leash_detector", c, args.trials,
+                  args.jobs);
         }
         {
           auto c = base_config(args.seed);
           c.deployment.malicious_beacon_count = 0;  // honest baseline
-          run_row(it, table, "no_attackers", c, args.trials);
+          run_row(it, table, "no_attackers", c, args.trials, args.jobs);
         }
 
         table.print_csv(it.out(),

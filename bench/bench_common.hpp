@@ -14,6 +14,7 @@
 //   --chaos-sweep  add a chaos column (benches that support it)
 //   --timeseries FILE  timeseries/v1 telemetry stream (supporting benches)
 //   --slo SPEC     SLO rules, inline or @file (supporting benches)
+//   --jobs N       worker threads per experiment (1 = serial, 0 = hardware)
 #pragma once
 
 #include <cerrno>
@@ -121,6 +122,12 @@ struct BenchArgs {
   /// SLO rule spec ("--slo SPEC"): inline rules separated by ';', or
   /// "@file" to read a rule file. Empty means the bench's defaults.
   std::string slo_spec;
+  /// Worker threads per experiment ("--jobs N"): 1 (the default) runs the
+  /// classic serial loop, 0 means hardware concurrency, N>1 runs trials on
+  /// the work-stealing executor. Every aggregate, golden, and stream is
+  /// byte-identical across values (tests/test_executor.cpp) — only wall
+  /// time changes.
+  std::size_t jobs = 1;
 
   /// Called for every flag parse() itself does not recognise. Pull value
   /// operands with the provided `next(flag)` callback; return true when
@@ -186,6 +193,8 @@ struct BenchArgs {
         args.timeseries_path = next_arg("--timeseries");
       } else if (a == "--slo") {
         args.slo_spec = next_arg("--slo");
+      } else if (a == "--jobs") {
+        args.jobs = static_cast<std::size_t>(next_value("--jobs"));
       } else if (a == "--help" || a == "-h") {
         std::cout
             << "usage: " << argv[0]
@@ -210,7 +219,9 @@ struct BenchArgs {
             << "  --timeseries FILE  timeseries/v1 telemetry JSONL "
                "(benches that support it)\n"
             << "  --slo SPEC     SLO rules, inline or @file: "
-            << sld::obs::slo_spec_grammar() << "\n";
+            << sld::obs::slo_spec_grammar() << "\n"
+            << "  --jobs N       worker threads per experiment "
+               "(default 1 = serial, 0 = hardware concurrency)\n";
         if (extra_help != nullptr) std::cout << extra_help;
         std::exit(0);
       } else if (extra && extra(a, next_arg)) {

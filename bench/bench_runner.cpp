@@ -95,6 +95,8 @@ std::string build_result_json(const char* name, const BenchArgs& args,
   out += std::to_string(args.repeats);
   out += ",\"warmup\":";
   out += std::to_string(args.warmup);
+  out += ",\"jobs\":";
+  out += std::to_string(args.jobs);
   out += "},\"wall_ms\":{\"repeats\":[";
   for (std::size_t i = 0; i < wall_ms.size(); ++i) {
     if (i) out += ',';

@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
         e.base = scaled_config(args);
         e.base.seed = args.seed;
         e.trials = args.trials;
+        e.jobs = args.jobs;
         if (bursty) {
           if (loss > 0.0)
             e.base.faults.burst =
@@ -212,6 +213,7 @@ int main(int argc, char** argv) {
       e.base = scaled_config(args);
       e.base.seed = args.seed;
       e.trials = args.trials;
+      e.jobs = args.jobs;
       e.base.arq.enabled = true;
       e.base.arq.initial_timeout_ns = 250 * sld::sim::kMillisecond;
       e.base.arq.max_retries = 4;

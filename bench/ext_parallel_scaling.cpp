@@ -1,0 +1,62 @@
+// Extension (beyond the paper): throughput scaling of the parallel trial
+// executor (core/executor.hpp). The workload is a fixed sweep of
+// attacker-effectiveness points, each run as one multi-trial experiment,
+// so `--jobs N` fans the trials across N workers while the printed tables
+// stay byte-identical to `--jobs 1` — the goldens file pins this binary
+// both plain and with `--jobs 4` to the SAME hash, turning the golden
+// check into a standing serial-vs-parallel equivalence proof. Speed lives
+// in the --json result (events_per_sec); CI runs jobs 1/2/4 and gates the
+// jobs-4 speedup with bench_compare.py --speedup.
+//
+// Trials per point are `--trials` x 8 so even the goldens configuration
+// (--trials 1) gives each worker real work instead of degenerating to the
+// serial path (jobs are clamped to the trial count).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_runner.hpp"
+#include "core/experiment.hpp"
+#include "sim/deployment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = sld::bench::BenchArgs::parse(argc, argv);
+  const double step = args.fast ? 0.3 : 0.15;
+  const std::size_t trials_per_point = args.trials * 8;
+
+  return sld::bench::run_main(
+      "ext_parallel_scaling", args, [&](sld::bench::BenchIteration& it) {
+        sld::util::Table table({"P", "trials", "detection_rate", "ci95",
+                                "false_positive_rate", "mean_loc_error_ft"});
+        for (double P = step; P <= 0.9 + 1e-9; P += step) {
+          sld::core::ExperimentConfig e;
+          e.base.strategy =
+              sld::attack::MaliciousStrategyConfig::with_effectiveness(P);
+          if (args.fast) {
+            // Same density as the paper at ~1/3 scale: keeps the smoke /
+            // goldens run sub-second per trial while leaving enough work
+            // per trial for the scaling measurement to mean something.
+            e.base.deployment.total_nodes = 300;
+            e.base.deployment.beacon_count = 30;
+            e.base.deployment.malicious_beacon_count = 3;
+            e.base.deployment.field = sld::util::Rect::square(550.0);
+            e.base.rtt_calibration_samples = 2000;
+          }
+          e.base.seed = args.seed + static_cast<std::uint64_t>(P * 1000);
+          e.trials = trials_per_point;
+          e.jobs = args.jobs;
+          const auto agg = sld::core::run_experiment(e);
+          it.add_experiment(agg, e.trials);
+          table.row()
+              .cell(P)
+              .cell(trials_per_point)
+              .cell(agg.detection_rate.mean())
+              .cell(agg.detection_rate.ci95_halfwidth())
+              .cell(agg.false_positive_rate.mean())
+              .cell(agg.mean_localization_error_ft.mean());
+        }
+        table.print_csv(it.out(),
+                        "Extension: parallel-executor workload (aggregates "
+                        "are jobs-invariant; speed is in --json)");
+      });
+}

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
           e.base.seed =
               args.seed + 7000 + static_cast<std::uint64_t>(P * 1000);
           e.trials = args.trials;
+          e.jobs = args.jobs;
           const auto agg = sld::core::run_experiment(e);
           it.add_experiment(agg, e.trials);
 

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
               e.base.collusion = true;
               e.base.seed = args.seed + na * 1000 + tau2 * 100 + tau1;
               e.trials = args.trials;
+              e.jobs = args.jobs;
 
               // The attacker plays the P that maximizes expected damage for
               // this operating point (evaluated at the geometric requester

@@ -9,6 +9,10 @@ namespace sld::check {
 namespace {
 std::atomic<InvariantHandler> g_handler{&default_invariant_handler};
 std::atomic<std::uint64_t> g_failures{0};
+// Per-thread override and counter: plain (non-atomic) because each is only
+// ever touched by its owning thread.
+thread_local InvariantHandler t_handler = nullptr;
+thread_local std::uint64_t t_failures = 0;
 }  // namespace
 
 void default_invariant_handler(const InvariantViolation& violation) {
@@ -24,18 +28,31 @@ InvariantHandler set_invariant_handler(InvariantHandler handler) {
                                                : &default_invariant_handler);
 }
 
+InvariantHandler set_thread_invariant_handler(InvariantHandler handler) {
+  InvariantHandler previous = t_handler;
+  t_handler = handler;
+  return previous;
+}
+
 std::uint64_t invariant_failure_count() {
   return g_failures.load(std::memory_order_relaxed);
 }
 
+std::uint64_t thread_invariant_failure_count() { return t_failures; }
+
 void invariant_failed(const char* file, int line, const char* condition,
                       const std::string& message) {
   g_failures.fetch_add(1, std::memory_order_relaxed);
+  ++t_failures;
   InvariantViolation violation;
   violation.file = file;
   violation.line = line;
   violation.condition = condition;
   violation.message = message;
+  if (t_handler != nullptr) {
+    t_handler(violation);
+    return;
+  }
   g_handler.load()(violation);
 }
 

@@ -51,11 +51,24 @@ using InvariantHandler = void (*)(const InvariantViolation&);
 /// previously installed one.
 InvariantHandler set_invariant_handler(InvariantHandler handler);
 
+/// Installs a handler for the CALLING THREAD only; while set (non-null) it
+/// takes precedence over the process-wide handler for violations raised on
+/// this thread. Parallel trial workers (chaos campaign `--jobs`, executor
+/// tests) install one each so concurrent trials record their own failures
+/// without clobbering a shared handler. Returns the thread's previous
+/// override (nullptr when none was set).
+InvariantHandler set_thread_invariant_handler(InvariantHandler handler);
+
 /// Prints the violation to stderr and aborts. The initial handler.
 void default_invariant_handler(const InvariantViolation& violation);
 
-/// Total violations reported since process start (any handler).
+/// Total violations reported since process start (any handler, any
+/// thread).
 std::uint64_t invariant_failure_count();
+
+/// Violations reported on the calling thread since it started — the
+/// per-trial delta a parallel worker snapshots around its own trial.
+std::uint64_t thread_invariant_failure_count();
 
 /// The failure funnel the macro expands to; callable directly by tests.
 void invariant_failed(const char* file, int line, const char* condition,
@@ -80,6 +93,23 @@ class ScopedInvariantHandler {
   ~ScopedInvariantHandler() { set_invariant_handler(previous_); }
   ScopedInvariantHandler(const ScopedInvariantHandler&) = delete;
   ScopedInvariantHandler& operator=(const ScopedInvariantHandler&) = delete;
+
+ private:
+  InvariantHandler previous_;
+};
+
+/// RAII: installs a thread-local handler override for one scope, restores
+/// the thread's previous override on exit.
+class ScopedThreadInvariantHandler {
+ public:
+  explicit ScopedThreadInvariantHandler(InvariantHandler handler)
+      : previous_(set_thread_invariant_handler(handler)) {}
+  ~ScopedThreadInvariantHandler() {
+    set_thread_invariant_handler(previous_);
+  }
+  ScopedThreadInvariantHandler(const ScopedThreadInvariantHandler&) = delete;
+  ScopedThreadInvariantHandler& operator=(const ScopedThreadInvariantHandler&) =
+      delete;
 
  private:
   InvariantHandler previous_;

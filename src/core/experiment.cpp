@@ -2,55 +2,157 @@
 
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <optional>
+#include <utility>
 
+#include "core/executor.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace sld::core {
 
-AggregateSummary run_experiment(const ExperimentConfig& config) {
+namespace {
+
+/// Everything one trial produces, buffered so the merge loop can replay it
+/// in seed order regardless of which worker finished when.
+struct TrialOutcome {
+  TrialSummary summary;
+  double wall_ms = 0.0;
+  /// Lines the trial emitted into its private trace buffer (empty when the
+  /// experiment has no trace sink). When the experiment's telemetry sink
+  /// aliases its trace sink, the telemetry lines interleave here exactly
+  /// as the trial emitted them — the aliasing is preserved per trial.
+  std::vector<std::string> trace_lines;
+  /// Telemetry lines when the timeseries sink is distinct from the trace
+  /// sink.
+  std::vector<std::string> timeseries_lines;
+};
+
+/// Runs one complete trial — setup, run, teardown — with the same profiler
+/// span structure on every path, so a profiled `--jobs N` run merges to
+/// the same span tree (names and call counts) as a profiled serial run.
+TrialOutcome run_one_trial(const SystemConfig& trial_config) {
+  SLD_PROF_SCOPE("trial");
+  TrialOutcome out;
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::optional<SecureLocalizationSystem> system;
+  {
+    SLD_PROF_SCOPE("trial.setup");
+    system.emplace(trial_config);
+  }
+  {
+    SLD_PROF_SCOPE("trial.run");
+    out.summary = system->run();
+  }
+  {
+    SLD_PROF_SCOPE("trial.teardown");
+    system.reset();
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  return out;
+}
+
+/// Folds one trial into the aggregate. Shared by the serial loop and the
+/// parallel merge so both paths accumulate in the identical order with the
+/// identical arithmetic.
+void accumulate(AggregateSummary& agg, TrialOutcome&& out,
+                bool keep_trial_summaries) {
+  const TrialSummary& summary = out.summary;
+  agg.trial_wall_ms.add(out.wall_ms);
+  agg.total_sched_events += summary.sched_events;
+  agg.total_packets += summary.channel.transmissions;
+  agg.total_slo_breaches += summary.slo.breaches;
+  if (summary.slo.enabled && !summary.slo.healthy)
+    ++agg.slo_unhealthy_trials;
+  agg.detection_rate.add(summary.detection_rate);
+  agg.false_positive_rate.add(summary.false_positive_rate);
+  agg.affected_per_malicious.add(summary.avg_affected_per_malicious);
+  agg.mean_localization_error_ft.add(summary.mean_localization_error_ft);
+  agg.requesters_per_malicious.add(summary.avg_requesters_per_malicious);
+  agg.sensors_localized.add(static_cast<double>(summary.sensors_localized));
+  if (summary.mean_malicious_revocation_latency_ms > 0.0)
+    agg.revocation_latency_ms.add(
+        summary.mean_malicious_revocation_latency_ms);
+  agg.radio_energy_uj.add(summary.radio_energy_uj);
+  if (keep_trial_summaries) agg.trials.push_back(std::move(out.summary));
+}
+
+AggregateSummary run_serial(const ExperimentConfig& config) {
   AggregateSummary agg;
   for (std::size_t i = 0; i < config.trials; ++i) {
-    SLD_PROF_SCOPE("trial");
     SystemConfig trial_config = config.base;
     trial_config.seed = config.base.seed + i;
-    const auto wall_start = std::chrono::steady_clock::now();
-    std::optional<SecureLocalizationSystem> system;
-    {
-      SLD_PROF_SCOPE("trial.setup");
-      system.emplace(trial_config);
-    }
-    TrialSummary summary;
-    {
-      SLD_PROF_SCOPE("trial.run");
-      summary = system->run();
-    }
-    {
-      SLD_PROF_SCOPE("trial.teardown");
-      system.reset();
-    }
-    agg.trial_wall_ms.add(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count());
-    agg.total_sched_events += summary.sched_events;
-    agg.total_packets += summary.channel.transmissions;
-    agg.total_slo_breaches += summary.slo.breaches;
-    if (summary.slo.enabled && !summary.slo.healthy)
-      ++agg.slo_unhealthy_trials;
-    agg.detection_rate.add(summary.detection_rate);
-    agg.false_positive_rate.add(summary.false_positive_rate);
-    agg.affected_per_malicious.add(summary.avg_affected_per_malicious);
-    agg.mean_localization_error_ft.add(summary.mean_localization_error_ft);
-    agg.requesters_per_malicious.add(summary.avg_requesters_per_malicious);
-    agg.sensors_localized.add(static_cast<double>(summary.sensors_localized));
-    if (summary.mean_malicious_revocation_latency_ms > 0.0)
-      agg.revocation_latency_ms.add(
-          summary.mean_malicious_revocation_latency_ms);
-    agg.radio_energy_uj.add(summary.radio_energy_uj);
-    if (config.keep_trial_summaries) agg.trials.push_back(std::move(summary));
+    accumulate(agg, run_one_trial(trial_config),
+               config.keep_trial_summaries);
   }
   return agg;
+}
+
+AggregateSummary run_parallel(const ExperimentConfig& config,
+                              std::size_t jobs) {
+  // Ownership rules (DESIGN.md §13): each trial is a sealed unit — its own
+  // Scheduler, Network, RNG streams, MetricsRegistry, and buffered
+  // observability sinks live and die on one worker. The experiment-level
+  // sinks and the aggregate are touched only by this (the calling) thread,
+  // strictly after the pool drains.
+  obs::TraceSink* const trace_sink = config.base.trace_sink;
+  obs::TraceSink* const ts_sink = config.base.telemetry.sink;
+  const bool ts_aliases_trace = ts_sink != nullptr && ts_sink == trace_sink;
+
+  std::vector<TrialOutcome> outcomes(config.trials);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(config.trials);
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    tasks.push_back([&config, &outcomes, trace_sink, ts_sink,
+                     ts_aliases_trace, i] {
+      SystemConfig trial_config = config.base;
+      trial_config.seed = config.base.seed + i;
+      // Private per-trial buffers in place of the shared sinks: the trial
+      // writes as if it owned the stream; the merge below replays the
+      // buffers in seed order, reproducing the serial interleaving.
+      obs::MemorySink trace_buffer;
+      obs::MemorySink timeseries_buffer;
+      if (trace_sink != nullptr) trial_config.trace_sink = &trace_buffer;
+      if (ts_sink != nullptr) {
+        trial_config.telemetry.sink =
+            ts_aliases_trace ? &trace_buffer : &timeseries_buffer;
+      }
+      TrialOutcome out = run_one_trial(trial_config);
+      out.trace_lines = trace_buffer.take_lines();
+      out.timeseries_lines = timeseries_buffer.take_lines();
+      outcomes[i] = std::move(out);
+    });
+  }
+
+  WorkStealingPool pool(jobs);
+  pool.run(std::move(tasks));
+
+  // Seed-ordered merge: statistics accumulate and streams flush in the
+  // exact order the serial loop would have produced them.
+  AggregateSummary agg;
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    TrialOutcome& out = outcomes[i];
+    if (trace_sink != nullptr)
+      for (const auto& line : out.trace_lines) trace_sink->write(line);
+    if (ts_sink != nullptr && !ts_aliases_trace)
+      for (const auto& line : out.timeseries_lines) ts_sink->write(line);
+    out.trace_lines.clear();
+    out.timeseries_lines.clear();
+    accumulate(agg, std::move(out), config.keep_trial_summaries);
+  }
+  return agg;
+}
+
+}  // namespace
+
+AggregateSummary run_experiment(const ExperimentConfig& config) {
+  std::size_t jobs = WorkStealingPool::resolve_jobs(config.jobs);
+  if (jobs > config.trials) jobs = config.trials;
+  if (jobs <= 1) return run_serial(config);
+  return run_parallel(config, jobs);
 }
 
 analysis::ModelParams model_params_for(const SystemConfig& config,

@@ -1,5 +1,18 @@
 // Multi-trial experiment runner: repeats a SystemConfig across seeds and
 // aggregates the TrialSummary quantities the figures plot.
+//
+// Trials are independent, seed-deterministic units, so they parallelize
+// embarrassingly: `jobs > 1` fans them out across a WorkStealingPool
+// (core/executor.hpp), each worker running complete trials with its own
+// Scheduler/Network/RNG/MetricsRegistry and per-trial buffered trace and
+// telemetry sinks. Results are merged strictly in seed order after the
+// pool drains, so every statistic, golden, metrics_json rollup, and
+// flushed trace/timeseries stream is byte-identical to a `jobs = 1` run
+// (tests/test_executor.cpp proves this property; DESIGN.md §13 states the
+// ownership and merge-ordering rules). The only values that legitimately
+// differ across jobs levels are host wall-clock measurements
+// (AggregateSummary::trial_wall_ms and the `phase.*_ms` gauges inside
+// metrics_json), which exist to measure the host, not the simulation.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +29,11 @@ struct ExperimentConfig {
   std::size_t trials = 5;
   /// Seed of trial i is base.seed + i.
   bool keep_trial_summaries = false;
+  /// Concurrent trials: 1 (the default) runs the classic serial loop on
+  /// the calling thread — no pool, no worker threads, bit-for-bit the
+  /// pre-executor behaviour. 0 means one job per hardware thread. N > 1
+  /// runs up to N trials concurrently with seed-ordered merge.
+  std::size_t jobs = 1;
 };
 
 struct AggregateSummary {
@@ -31,7 +49,7 @@ struct AggregateSummary {
   /// Whole-network radio energy per trial, microjoules.
   util::RunningStat radio_energy_uj;
   /// Host wall-clock time per trial, milliseconds (profiling, not
-  /// simulation output — varies run to run).
+  /// simulation output — varies run to run and across jobs levels).
   util::RunningStat trial_wall_ms;
   /// Throughput denominators summed across trials: scheduler events and
   /// radio transmissions — the bench protocol's events/sec and
@@ -46,7 +64,7 @@ struct AggregateSummary {
   std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
 };
 
-/// Runs `config.trials` independent trials.
+/// Runs `config.trials` independent trials, `config.jobs` at a time.
 AggregateSummary run_experiment(const ExperimentConfig& config);
 
 /// Builds analytical ModelParams matching a system config, with N_c taken

@@ -20,14 +20,26 @@ Profiler& Profiler::instance() {
 }
 
 Profiler::ThreadState& Profiler::local_state() {
-  thread_local ThreadState* state = nullptr;
-  if (state == nullptr) {
+  // The registration outlives every span on this thread; its destructor
+  // runs at thread exit and folds the thread's tree into the retired
+  // accumulator so pool workers neither leak registry slots nor lose
+  // recorded spans when they are joined.
+  struct Registration {
+    Profiler* profiler = nullptr;
+    ThreadState* state = nullptr;
+    ~Registration() {
+      if (profiler != nullptr) profiler->retire(state);
+    }
+  };
+  thread_local Registration reg;
+  if (reg.state == nullptr) {
     auto owned = std::make_unique<ThreadState>();
-    state = owned.get();
+    reg.state = owned.get();
+    reg.profiler = this;
     const std::lock_guard<std::mutex> lock(mutex_);
     threads_.push_back(std::move(owned));
   }
-  return *state;
+  return *reg.state;
 }
 
 Profiler::LiveNode* Profiler::enter(const char* name) {
@@ -64,6 +76,8 @@ void Profiler::reset() {
     thread->root.total_ns = 0;
     thread->current = &thread->root;
   }
+  retired_ = ProfileNode{};
+  retired_.name = "root";
 }
 
 namespace {
@@ -85,6 +99,28 @@ void merge_live(const Profiler::LiveNode& live, ProfileNode& out) {
       slot->name = live_child->name;
     }
     merge_live(*live_child, *slot);
+  }
+}
+
+/// Name-keyed merge of one already-aggregated tree into another (the
+/// retired accumulator into a snapshot root).
+void merge_profile(const ProfileNode& from, ProfileNode& out) {
+  out.calls += from.calls;
+  out.total_ns += from.total_ns;
+  for (const auto& from_child : from.children) {
+    ProfileNode* slot = nullptr;
+    for (auto& child : out.children) {
+      if (child.name == from_child.name) {
+        slot = &child;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out.children.emplace_back();
+      slot = &out.children.back();
+      slot->name = from_child.name;
+    }
+    merge_profile(from_child, *slot);
   }
 }
 
@@ -142,10 +178,22 @@ void collect_rows(const ProfileNode& node, std::vector<ProfileRow>& rows) {
 
 }  // namespace
 
+void Profiler::retire(ThreadState* state) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  merge_live(state->root, retired_);
+  for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+    if (it->get() == state) {
+      threads_.erase(it);
+      break;
+    }
+  }
+}
+
 ProfileNode Profiler::snapshot() const {
   ProfileNode root;
   root.name = "root";
   const std::lock_guard<std::mutex> lock(mutex_);
+  merge_profile(retired_, root);
   for (const auto& thread : threads_) merge_live(thread->root, root);
   // The synthetic root never runs as a span; its counters stay zero.
   root.calls = 0;

@@ -12,15 +12,24 @@
 // identical simulation results (tests/test_profiler.cpp asserts this).
 //
 // Each thread owns its own tree (registered once, under a mutex, on the
-// thread's first span), so spans never contend; `snapshot()` merges the
-// per-thread trees by span name into one stable aggregate whose children
-// are sorted lexicographically. `snapshot_json()` renders it as one
-// schema-versioned JSON document ("sld-profile/v1"); `format_table()`
-// renders a flat "top self-time" view for humans.
+// thread's first span), so spans never contend and concurrent trials on
+// different workers can never interleave into one call tree; `snapshot()`
+// merges the per-thread trees by span name into one stable aggregate
+// whose children are sorted lexicographically. When a registered thread
+// exits (e.g. a WorkStealingPool worker at pool teardown), its tree is
+// merged into a retired accumulator under the registry mutex and its
+// per-thread state is freed — so snapshots survive worker churn and the
+// registry does not grow without bound across pooled experiment runs.
+// `snapshot_json()` renders the merge as one schema-versioned JSON
+// document ("sld-profile/v1"); `format_table()` renders a flat "top
+// self-time" view for humans.
 //
-// Contract: `set_enabled` / `reset` must only be called while no span is
-// live (between trials / runs), from one thread. Span names must be
-// string literals (the tree stores the pointer, not a copy).
+// Thread-safety contract: enter/exit touch only the calling thread's
+// tree. `snapshot` / `reset` / `set_enabled` must only be called while no
+// span is live on any thread (between trials / runs); the trial executor
+// guarantees this because `WorkStealingPool::run` returning happens-after
+// every task's spans closed. Span names must be string literals (the tree
+// stores the pointer, not a copy).
 #pragma once
 
 #include <atomic>
@@ -113,11 +122,17 @@ class Profiler {
  private:
   struct ThreadState;
   ThreadState& local_state();
+  /// Thread-exit hook: folds the exiting thread's tree into `retired_`
+  /// and drops its registration. Called from the thread_local
+  /// registration's destructor.
+  void retire(ThreadState* state);
 
   static std::atomic<bool> enabled_;
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ThreadState>> threads_;
+  /// Name-merged trees of threads that have exited (synthetic root).
+  ProfileNode retired_;
 };
 
 /// RAII span. Use through SLD_PROF_SCOPE; the name must be a literal.

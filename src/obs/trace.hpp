@@ -54,6 +54,9 @@ class MemorySink final : public TraceSink {
   bool enabled() const override { return true; }
   void write(std::string_view line) override { lines_.emplace_back(line); }
   const std::vector<std::string>& lines() const { return lines_; }
+  /// Steals the buffered lines (the sink ends up empty) — the parallel
+  /// trial executor drains each per-trial buffer without copying it.
+  std::vector<std::string> take_lines() { return std::move(lines_); }
   void clear() { lines_.clear(); }
 
  private:

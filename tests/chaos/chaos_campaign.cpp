@@ -25,9 +25,18 @@
 //
 // Not a gtest: the campaign is a standalone binary so tools/run_chaos.sh
 // and the ctest chaos_smoke entry can scale schedule counts independently.
+//
+// `--jobs N` fans the schedules across a WorkStealingPool (each schedule
+// is an independent pure function of its seed); results are buffered per
+// seed and reported in seed order, so the report — and the exit code — is
+// identical to a serial campaign (`--selftest-jobs N` asserts exactly
+// that). Invariant recording is thread-local, so concurrent schedules
+// attribute violations to the schedule that raised them. Failure-trace
+// re-runs and SLD_CHAOS_SEED replays always run serially.
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "check/invariant.hpp"
+#include "core/executor.hpp"
 #include "core/secure_localization.hpp"
 #include "obs/trace.hpp"
 #include "sim/deployment.hpp"
@@ -45,17 +55,20 @@ namespace {
 using namespace sld;
 
 // ---------------------------------------------------------------------------
-// Invariant recording: the handler is a plain function pointer, so failures
-// land in file-scope state that run_schedule() snapshots around each trial.
+// Invariant recording. The handler and message buffer are thread-local:
+// with --jobs, schedules run concurrently on pool workers, and each trial
+// must capture exactly the violations its own thread raised
+// (check::set_thread_invariant_handler overrides the process handler for
+// the installing thread only).
 
-std::vector<std::string> g_invariant_messages;
+thread_local std::vector<std::string> t_invariant_messages;
 
 void recording_handler(const check::InvariantViolation& v) {
-  if (g_invariant_messages.size() < 8) {
+  if (t_invariant_messages.size() < 8) {
     std::ostringstream os;
     os << v.file << ":" << v.line << ": " << v.condition << " — "
        << v.message;
-    g_invariant_messages.push_back(os.str());
+    t_invariant_messages.push_back(os.str());
   }
 }
 
@@ -68,6 +81,12 @@ struct CampaignOptions {
   bool fast = false;
   bool storm_only = false;
   std::string trace_dir;
+  /// Concurrent schedules: 1 = the classic serial campaign, 0 = hardware
+  /// threads. Reporting is seed-ordered either way.
+  std::size_t jobs = 1;
+  /// When nonzero: run N schedules at --jobs 1 and again at --jobs 4 and
+  /// demand identical per-seed verdicts and failure reports.
+  std::size_t selftest_jobs = 0;
 };
 
 core::SystemConfig make_schedule(std::uint64_t seed, bool fast,
@@ -262,9 +281,10 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
   core::SystemConfig config = make_schedule(seed, opts.fast, opts.storm_only);
   config.trace_sink = sink;
 
-  g_invariant_messages.clear();
-  const std::uint64_t violations_before = check::invariant_failure_count();
-  check::ScopedInvariantHandler guard(&recording_handler);
+  t_invariant_messages.clear();
+  const std::uint64_t violations_before =
+      check::thread_invariant_failure_count();
+  check::ScopedThreadInvariantHandler guard(&recording_handler);
 
   try {
     core::SecureLocalizationSystem sys(config);
@@ -427,14 +447,15 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
     fail(std::string("trial threw: ") + e.what());
   }
 
-  // Oracle 6: no invariant fired anywhere in the trial.
+  // Oracle 6: no invariant fired anywhere in the trial (counted on this
+  // thread — the trial runs start to finish on the calling thread).
   const std::uint64_t delta =
-      check::invariant_failure_count() - violations_before;
+      check::thread_invariant_failure_count() - violations_before;
   if (delta != 0) {
     std::ostringstream os;
     os << delta << " SLD_INVARIANT violation(s)";
     fail(os.str());
-    for (const auto& msg : g_invariant_messages) fail("  " + msg);
+    for (const auto& msg : t_invariant_messages) fail("  " + msg);
   }
   return result;
 }
@@ -446,11 +467,14 @@ int usage(const char* argv0, int code) {
   std::cerr
       << "usage: " << argv0
       << " [--schedules N] [--base-seed S] [--fast] [--storm]"
-         " [--trace-dir DIR]\n"
+         " [--trace-dir DIR] [--jobs N] [--selftest-jobs N]\n"
          "Runs N seeded chaos schedules (seeds S, S+1, ...). --storm forces\n"
-         "the alert-storm family on every schedule. Every failure\n"
+         "the alert-storm family on every schedule. --jobs runs schedules\n"
+         "concurrently (0 = hardware threads) with seed-ordered reporting;\n"
+         "--selftest-jobs N instead runs N schedules at jobs 1 and jobs 4\n"
+         "and fails on any verdict difference. Every failure\n"
          "prints a one-line repro; SLD_CHAOS_SEED=<seed> in the environment\n"
-         "replays exactly that schedule (with a JSONL trace when\n"
+         "replays exactly that schedule serially (with a JSONL trace when\n"
          "--trace-dir is set). Exits nonzero if any schedule fails.\n";
   return code;
 }
@@ -466,10 +490,11 @@ std::optional<std::uint64_t> parse_u64(const std::string& s) {
   }
 }
 
-/// Runs one seed; on failure prints the report and the repro line, then
-/// re-runs with a JSONL sink if a trace dir was requested.
-bool run_and_report(std::uint64_t seed, const CampaignOptions& opts) {
-  const ScheduleResult r = run_schedule(seed, opts, nullptr);
+/// Prints a failed schedule's report and repro line, then re-runs it
+/// serially with a JSONL sink if a trace dir was requested. Returns
+/// r.ok().
+bool report(std::uint64_t seed, const CampaignOptions& opts,
+            const ScheduleResult& r) {
   if (r.ok()) return true;
   std::cerr << "FAIL schedule seed=" << seed << ":\n";
   for (const auto& f : r.failures) std::cerr << "  - " << f << "\n";
@@ -490,6 +515,61 @@ bool run_and_report(std::uint64_t seed, const CampaignOptions& opts) {
   return false;
 }
 
+bool run_and_report(std::uint64_t seed, const CampaignOptions& opts) {
+  return report(seed, opts, run_schedule(seed, opts, nullptr));
+}
+
+/// Runs the whole campaign at the given concurrency and returns the
+/// per-seed results (index i is seed base_seed + i). The pool executes
+/// schedules in whatever order stealing produces; the slot-per-seed
+/// buffer makes the returned vector — and everything reported from it —
+/// independent of that order.
+std::vector<ScheduleResult> run_campaign(const CampaignOptions& opts,
+                                         std::size_t jobs) {
+  std::vector<ScheduleResult> results(opts.schedules);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < opts.schedules; ++i)
+      results[i] = run_schedule(opts.base_seed + i, opts, nullptr);
+    return results;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(opts.schedules);
+  for (std::size_t i = 0; i < opts.schedules; ++i) {
+    tasks.push_back([&results, &opts, i] {
+      results[i] = run_schedule(opts.base_seed + i, opts, nullptr);
+    });
+  }
+  core::WorkStealingPool pool(jobs);
+  pool.run(std::move(tasks));
+  return results;
+}
+
+/// --selftest-jobs: the campaign's own serial-vs-parallel equivalence
+/// check — identical per-seed verdicts AND identical failure reports at
+/// --jobs 1 and --jobs 4.
+int run_jobs_selftest(CampaignOptions opts) {
+  opts.schedules = opts.selftest_jobs;
+  const auto serial = run_campaign(opts, 1);
+  const auto parallel = run_campaign(opts, 4);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < opts.schedules; ++i) {
+    if (serial[i].failures == parallel[i].failures) continue;
+    ++mismatches;
+    std::cerr << "MISMATCH seed=" << opts.base_seed + i << ": jobs=1 -> "
+              << serial[i].failures.size() << " failure(s), jobs=4 -> "
+              << parallel[i].failures.size() << " failure(s)\n";
+    for (const auto& f : serial[i].failures)
+      std::cerr << "  jobs=1: " << f << "\n";
+    for (const auto& f : parallel[i].failures)
+      std::cerr << "  jobs=4: " << f << "\n";
+  }
+  std::cout << "chaos jobs selftest: " << opts.schedules
+            << " schedules, verdicts "
+            << (mismatches == 0 ? "identical" : "DIFFER") << " at --jobs 1 "
+            << "vs --jobs 4 (" << mismatches << " mismatch(es))\n";
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -508,6 +588,14 @@ int main(int argc, char** argv) {
       const auto v = value();
       if (!v) return usage(argv[0], 2);
       opts.base_seed = *v;
+    } else if (arg == "--jobs") {
+      const auto v = value();
+      if (!v) return usage(argv[0], 2);
+      opts.jobs = static_cast<std::size_t>(*v);
+    } else if (arg == "--selftest-jobs") {
+      const auto v = value();
+      if (!v || *v == 0) return usage(argv[0], 2);
+      opts.selftest_jobs = static_cast<std::size_t>(*v);
     } else if (arg == "--fast") {
       opts.fast = true;
     } else if (arg == "--storm") {
@@ -529,7 +617,8 @@ int main(int argc, char** argv) {
                  "or use tools/run_chaos.sh for the full campaign)\n";
   }
 
-  // Single-schedule replay mode.
+  // Single-schedule replay mode: always serial, whatever --jobs says —
+  // a repro must not depend on pool scheduling.
   if (const char* env = std::getenv("SLD_CHAOS_SEED")) {
     const auto seed = parse_u64(env);
     if (!seed) {
@@ -540,13 +629,26 @@ int main(int argc, char** argv) {
     return run_and_report(*seed, opts) ? 0 : 1;
   }
 
+  if (opts.selftest_jobs > 0) return run_jobs_selftest(opts);
+
+  const std::size_t jobs =
+      sld::core::WorkStealingPool::resolve_jobs(opts.jobs);
   std::size_t failed = 0;
-  for (std::size_t i = 0; i < opts.schedules; ++i) {
-    const std::uint64_t seed = opts.base_seed + i;
-    if (!run_and_report(seed, opts)) ++failed;
-    if ((i + 1) % 50 == 0) {
-      std::cerr << "... " << (i + 1) << "/" << opts.schedules
-                << " schedules, " << failed << " failed\n";
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < opts.schedules; ++i) {
+      const std::uint64_t seed = opts.base_seed + i;
+      if (!run_and_report(seed, opts)) ++failed;
+      if ((i + 1) % 50 == 0) {
+        std::cerr << "... " << (i + 1) << "/" << opts.schedules
+                  << " schedules, " << failed << " failed\n";
+      }
+    }
+  } else {
+    // Parallel: run everything first, then report strictly in seed order
+    // (any failure-trace re-run happens serially during reporting).
+    const auto results = run_campaign(opts, jobs);
+    for (std::size_t i = 0; i < opts.schedules; ++i) {
+      if (!report(opts.base_seed + i, opts, results[i])) ++failed;
     }
   }
   std::cout << "chaos campaign: " << opts.schedules << " schedules, "

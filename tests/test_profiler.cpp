@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 
+#include "core/experiment.hpp"
 #include "core/secure_localization.hpp"
 #include "obs/profiler.hpp"
 
@@ -194,6 +196,63 @@ TEST_F(ProfilerTest, ProfiledRunMatchesUnprofiledRunBitForBit) {
   EXPECT_EQ(a.base_station.revocations, b.base_station.revocations);
   EXPECT_EQ(a.channel.transmissions, b.channel.transmissions);
   EXPECT_EQ(a.channel.deliveries, b.channel.deliveries);
+}
+
+/// Renders a snapshot's structure — names and call counts, no times — so
+/// two profiles can be compared shape-for-shape.
+std::string shape_of(const obs::ProfileNode& node) {
+  std::string out = node.name + "(" + std::to_string(node.calls) + ")";
+  out += "[";
+  for (const auto& c : node.children) out += shape_of(c);
+  out += "]";
+  return out;
+}
+
+TEST_F(ProfilerTest, ExitedThreadSpansSurviveInSnapshot) {
+  obs::Profiler::set_enabled(true);
+  { SLD_PROF_SCOPE("main.span"); }
+  std::thread worker([] {
+    SLD_PROF_SCOPE("worker.span");
+    { SLD_PROF_SCOPE("worker.child"); }
+  });
+  worker.join();  // the thread's tree retires at exit
+  obs::Profiler::set_enabled(false);
+  const auto root = obs::Profiler::instance().snapshot();
+  const auto* retired = find(root, "worker.span");
+  ASSERT_NE(retired, nullptr)
+      << "spans from an exited thread were dropped from the snapshot";
+  EXPECT_EQ(retired->calls, 1u);
+  EXPECT_NE(find(*retired, "worker.child"), nullptr);
+  EXPECT_NE(find(root, "main.span"), nullptr);
+}
+
+TEST_F(ProfilerTest, ParallelExperimentProfileMatchesSerialShape) {
+  // Regression for Profiler::instance() thread-safety: a profiled
+  // `jobs = 4` experiment, after the name-sorted merge across worker
+  // trees (live and retired), must have exactly the serial run's span
+  // structure and call counts — only the recorded times may differ.
+  core::ExperimentConfig e;
+  e.base = tiny_config();
+  e.trials = 6;
+
+  obs::Profiler::set_enabled(true);
+  e.jobs = 1;
+  core::run_experiment(e);
+  obs::Profiler::set_enabled(false);
+  const std::string serial_shape =
+      shape_of(obs::Profiler::instance().snapshot());
+  EXPECT_NE(serial_shape.find("trial(6)"), std::string::npos)
+      << serial_shape;
+
+  obs::Profiler::instance().reset();
+  obs::Profiler::set_enabled(true);
+  e.jobs = 4;
+  core::run_experiment(e);
+  obs::Profiler::set_enabled(false);
+  const std::string parallel_shape =
+      shape_of(obs::Profiler::instance().snapshot());
+
+  EXPECT_EQ(serial_shape, parallel_shape);
 }
 
 TEST_F(ProfilerTest, TrialSpansNestUnderTrialDuringExperiment) {

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE CANDIDATE [--threshold-pct P] [--mad-mult K]
+    bench_compare.py --speedup BASELINE CANDIDATE --min-speedup X
     bench_compare.py --validate FILE [FILE ...]
     bench_compare.py --self-check
 
@@ -18,6 +19,11 @@ deviations of both runs, scaled by --mad-mult) nor under a flat relative
 floor (--threshold-pct, default 10%). With --repeats 1 the MADs are zero
 and the flat floor alone applies. Exit codes: 0 no regression, 1 at least
 one regression (or validation failure), 2 bad input. Stdlib only.
+
+--speedup inverts the gate: the CANDIDATE must be FASTER than the
+BASELINE by at least --min-speedup x, measured on
+throughput.events_per_sec (the jobs-scaling gate: baseline = --jobs 1,
+candidate = --jobs N of the same bench at the same seed).
 
 See DESIGN.md "Performance observability" for the result schema.
 """
@@ -152,6 +158,47 @@ def run_compare(baseline_path, candidate_path, threshold_pct, mad_mult):
     return 0
 
 
+def speedup_of(base, cand):
+    """candidate events/sec over baseline events/sec (0.0 when the
+    baseline rate is missing or zero — which then always fails the gate)."""
+    eb = base["throughput"].get("events_per_sec") or 0.0
+    ec = cand["throughput"].get("events_per_sec") or 0.0
+    if eb <= 0:
+        return 0.0
+    return ec / eb
+
+
+def run_speedup(baseline_path, candidate_path, min_speedup):
+    base = collect(baseline_path)
+    cand = collect(candidate_path)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        raise SchemaError("no bench names in common between baseline and "
+                          "candidate")
+    header = (f"{'bench':34s} {'base_ev/s':>12s} {'cand_ev/s':>12s} "
+              f"{'speedup':>8s} {'floor':>6s}  verdict")
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for name in common:
+        s = speedup_of(base[name], cand[name])
+        bad = s < min_speedup
+        if bad:
+            failures += 1
+        print(f"{name:34s} "
+              f"{base[name]['throughput'].get('events_per_sec') or 0:12.0f} "
+              f"{cand[name]['throughput'].get('events_per_sec') or 0:12.0f} "
+              f"{s:7.2f}x {min_speedup:5.2f}x  "
+              f"{'TOO SLOW' if bad else 'ok'}")
+    if failures:
+        print(f"# {failures} bench(es) under the {min_speedup:.2f}x "
+              f"speedup floor")
+        return 1
+    print(f"# all {len(common)} bench(es) at or above "
+          f"{min_speedup:.2f}x")
+    return 0
+
+
 def _synthetic(name, medians, mad=0.0):
     return {
         "schema": SCHEMA_NAME,
@@ -199,6 +246,19 @@ def self_check():
     _, _, bad = compare_one(a, fast, 10.0, 3.0)
     checks.append(("speedup passes", not bad))
 
+    # --speedup gate: events/sec ratio against the floor.
+    slow_tp = _synthetic("x", [100.0])
+    slow_tp["throughput"]["events_per_sec"] = 1000.0
+    fast_tp = _synthetic("x", [100.0])
+    fast_tp["throughput"]["events_per_sec"] = 3000.0
+    checks.append(("3x throughput clears a 2.5x floor",
+                   speedup_of(slow_tp, fast_tp) >= 2.5))
+    checks.append(("1x throughput fails a 2.5x floor",
+                   speedup_of(slow_tp, slow_tp) < 2.5))
+    no_tp = _synthetic("x", [100.0])
+    checks.append(("missing events_per_sec fails closed",
+                   speedup_of(no_tp, fast_tp) == 0.0))
+
     # Schema validation rejects a wrong schema tag.
     broken = _synthetic("x", [1.0])
     broken["schema"] = "bogus/v0"
@@ -231,6 +291,13 @@ def main(argv=None):
                     help="schema-check result files instead of comparing")
     ap.add_argument("--self-check", action="store_true",
                     help="run the built-in gate-logic checks and exit")
+    ap.add_argument("--speedup", action="store_true",
+                    help="gate on CANDIDATE being at least --min-speedup "
+                         "times BASELINE's events_per_sec instead of on "
+                         "wall-time regression")
+    ap.add_argument("--min-speedup", type=float, default=2.5,
+                    help="required events_per_sec ratio for --speedup "
+                         "(default: 2.5)")
     args = ap.parse_args(argv)
 
     if args.self_check:
@@ -250,6 +317,9 @@ def main(argv=None):
     if not args.baseline or not args.candidate:
         ap.error("need BASELINE and CANDIDATE (or --validate/--self-check)")
     try:
+        if args.speedup:
+            return run_speedup(args.baseline, args.candidate,
+                               args.min_speedup)
         return run_compare(args.baseline, args.candidate,
                            args.threshold_pct, args.mad_mult)
     except SchemaError as e:

@@ -60,7 +60,11 @@ for b in "$BENCH_DIR"/fig* "$BENCH_DIR"/ext_* "$BENCH_DIR"/ablation_* \
   benches+=("$b")
 done
 # name:binary:extra flags — run `binary` with the flags, report as `name`.
-modes=("ext_alert_storm_storm:ext_alert_storm:--storm")
+# ext_parallel_scaling_jobs4 is the same sweep fanned over 4 executor
+# workers; bench_compare.py --speedup gates its events/sec against the
+# serial run's.
+modes=("ext_alert_storm_storm:ext_alert_storm:--storm"
+       "ext_parallel_scaling_jobs4:ext_parallel_scaling:--jobs 4")
 
 if [[ -n "$ONLY" ]]; then
   only_mode=""

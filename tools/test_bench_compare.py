@@ -9,7 +9,9 @@ Run from tools/:  python3 -m unittest test_bench_compare
 
 import contextlib
 import io
+import json
 import os
+import tempfile
 import unittest
 
 import bench_compare
@@ -100,6 +102,47 @@ class CompareGate(unittest.TestCase):
         code, _, err = run_main([GOOD, MALFORMED])
         self.assertEqual(code, 2)
         self.assertIn("bench_compare:", err)
+
+
+class SpeedupGate(unittest.TestCase):
+    """--speedup mode: events_per_sec ratio against --min-speedup (the
+    ext_parallel_scaling jobs-scaling gate)."""
+
+    def _with_rate(self, rate):
+        doc = bench_compare.load_result(GOOD)
+        doc["throughput"]["events_per_sec"] = rate
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        json.dump(doc, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def test_sufficient_speedup_passes(self):
+        base = self._with_rate(1000.0)
+        cand = self._with_rate(2600.0)
+        code, out, _ = run_main(["--speedup", base, cand])
+        self.assertEqual(code, 0)
+        self.assertIn("2.60x", out)
+
+    def test_insufficient_speedup_fails(self):
+        base = self._with_rate(1000.0)
+        cand = self._with_rate(1200.0)
+        code, out, _ = run_main(["--speedup", base, cand])
+        self.assertEqual(code, 1)
+        self.assertIn("TOO SLOW", out)
+
+    def test_min_speedup_flag_lowers_the_floor(self):
+        base = self._with_rate(1000.0)
+        cand = self._with_rate(1200.0)
+        code, _, _ = run_main(
+            ["--speedup", base, cand, "--min-speedup", "1.1"])
+        self.assertEqual(code, 0)
+
+    def test_identical_files_fail_the_default_floor(self):
+        code, out, _ = run_main(["--speedup", GOOD, GOOD])
+        self.assertEqual(code, 1)
+        self.assertIn("1.00x", out)
 
 
 class SelfCheck(unittest.TestCase):
