@@ -12,10 +12,11 @@
 
 namespace {
 
-sld::core::SystemConfig base_config(std::uint64_t seed) {
+sld::core::SystemConfig base_config(const sld::bench::BenchArgs& args) {
   sld::core::SystemConfig c;
   c.strategy = sld::attack::MaliciousStrategyConfig::with_effectiveness(0.3);
-  c.seed = seed;
+  c.seed = args.seed;
+  c.memstats = args.memstats;
   return c;
 }
 
@@ -45,26 +46,26 @@ int main(int argc, char** argv) {
                                 "false_positive_rate", "N_affected",
                                 "mean_loc_error_ft"});
 
-        run_row(it, table, "full_system(P=0.3)", base_config(args.seed),
+        run_row(it, table, "full_system(P=0.3)", base_config(args),
                 args.trials, args.jobs);
 
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           c.wormhole_detection_rate = 0.0;  // wormhole detector off
           run_row(it, table, "no_wormhole_detector", c, args.trials, args.jobs);
         }
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           c.detecting_ids = 1;  // single detecting ID
           run_row(it, table, "m=1_detecting_id", c, args.trials, args.jobs);
         }
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           c.revocation.alert_threshold = 1000000;  // revocation off
           run_row(it, table, "no_revocation", c, args.trials, args.jobs);
         }
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           // Attacker uses every evasion lever instead of plain
           // effectiveness: same P = 0.3 but split across
           // wormhole/local-replay fakery.
@@ -77,20 +78,20 @@ int main(int argc, char** argv) {
                   args.jobs);
         }
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           c.ranging_type =
               sld::core::RangingType::kToa;  // §2.3: feature-agnostic
           run_row(it, table, "toa_ranging(sameP)", c, args.trials, args.jobs);
         }
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           c.wormhole_detector_type =
               sld::core::SystemConfig::WormholeDetectorType::kGeographicLeash;
           run_row(it, table, "geographic_leash_detector", c, args.trials,
                   args.jobs);
         }
         {
-          auto c = base_config(args.seed);
+          auto c = base_config(args);
           c.deployment.malicious_beacon_count = 0;  // honest baseline
           run_row(it, table, "no_attackers", c, args.trials, args.jobs);
         }

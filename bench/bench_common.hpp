@@ -15,6 +15,9 @@
 //   --timeseries FILE  timeseries/v1 telemetry stream (supporting benches)
 //   --slo SPEC     SLO rules, inline or @file (supporting benches)
 //   --jobs N       worker threads per experiment (1 = serial, 0 = hardware)
+//   --memstats     allocation + hot-path telemetry (table on stderr,
+//                  "memstats" block in --json)
+//   --rss          sample peak RSS into the telemetry stream (mem.rss_kb)
 #pragma once
 
 #include <cerrno>
@@ -128,6 +131,15 @@ struct BenchArgs {
   /// byte-identical across values (tests/test_executor.cpp) — only wall
   /// time changes.
   std::size_t jobs = 1;
+  /// Memory & hot-path micro-observability ("--memstats"): per-scope
+  /// allocation counts, queue-depth / sift / scan-fanout statistics.
+  /// Summary table on stderr; a "memstats" block in --json. Off by
+  /// default — stdout (and the golden hash) is byte-identical either way.
+  bool memstats = false;
+  /// Sample peak process RSS into the telemetry stream as a `mem.rss_kb`
+  /// gauge ("--rss"; requires --timeseries to be visible anywhere). Off by
+  /// default: RSS is host state and varies machine to machine.
+  bool rss = false;
 
   /// Called for every flag parse() itself does not recognise. Pull value
   /// operands with the provided `next(flag)` callback; return true when
@@ -195,6 +207,10 @@ struct BenchArgs {
         args.slo_spec = next_arg("--slo");
       } else if (a == "--jobs") {
         args.jobs = static_cast<std::size_t>(next_value("--jobs"));
+      } else if (a == "--memstats") {
+        args.memstats = true;
+      } else if (a == "--rss") {
+        args.rss = true;
       } else if (a == "--help" || a == "-h") {
         std::cout
             << "usage: " << argv[0]
@@ -221,7 +237,11 @@ struct BenchArgs {
             << "  --slo SPEC     SLO rules, inline or @file: "
             << sld::obs::slo_spec_grammar() << "\n"
             << "  --jobs N       worker threads per experiment "
-               "(default 1 = serial, 0 = hardware concurrency)\n";
+               "(default 1 = serial, 0 = hardware concurrency)\n"
+            << "  --memstats     allocation + hot-path telemetry "
+               "(stderr table; \"memstats\" block in --json)\n"
+            << "  --rss          sample peak RSS into the telemetry "
+               "stream (mem.rss_kb gauge)\n";
         if (extra_help != nullptr) std::cout << extra_help;
         std::exit(0);
       } else if (extra && extra(a, next_arg)) {

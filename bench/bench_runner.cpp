@@ -123,6 +123,49 @@ std::string build_result_json(const char* name, const BenchArgs& args,
   out += "},\"peak_rss_bytes\":";
   out += std::to_string(peak_rss_bytes());
 
+  // Memory & hot-path roll-up, present only when the bench ran with
+  // --memstats. The integer fields are exact (identical at any --jobs);
+  // the derived ratios and p99s ride along for humans and dashboards.
+  if (last.memhot().enabled) {
+    const obs::MemHotTotals& m = last.memhot();
+    const double events = static_cast<double>(last.sim_events());
+    out += ",\"memstats\":{\"allocs\":";
+    out += std::to_string(m.allocs);
+    out += ",\"alloc_bytes\":";
+    out += std::to_string(m.alloc_bytes);
+    out += ",\"frees\":";
+    out += std::to_string(m.frees);
+    out += ",\"freed_bytes\":";
+    out += std::to_string(m.freed_bytes);
+    out += ",\"peak_live_bytes\":";
+    out += std::to_string(m.peak_live_bytes);
+    out += ",\"allocs_per_event\":";
+    append_number(out, events > 0.0
+                           ? static_cast<double>(m.allocs) / events
+                           : 0.0);
+    out += ",\"bytes_per_event\":";
+    append_number(out, events > 0.0
+                           ? static_cast<double>(m.alloc_bytes) / events
+                           : 0.0);
+    out += ",\"max_queue_depth\":";
+    out += std::to_string(m.max_queue_depth);
+    out += ",\"queue_depth_p99\":";
+    append_number(out, m.queue_depth_p99);
+    out += ",\"sift_up_steps\":";
+    out += std::to_string(m.sift_up_steps);
+    out += ",\"sift_down_steps\":";
+    out += std::to_string(m.sift_down_steps);
+    out += ",\"scans\":";
+    out += std::to_string(m.scans);
+    out += ",\"scan_nodes\":";
+    out += std::to_string(m.scan_nodes);
+    out += ",\"scan_fanout_mean\":";
+    append_number(out, m.scan_fanout_mean());
+    out += ",\"packet_lifetime_p99_ns\":";
+    append_number(out, m.packet_lifetime_p99_ns);
+    out += "}";
+  }
+
   out += ",\"host\":{";
   struct utsname un {};
   const bool have_uname = uname(&un) == 0;
@@ -166,12 +209,14 @@ void BenchIteration::add_experiment(const core::AggregateSummary& agg,
   sim_events_ += agg.total_sched_events;
   packets_ += agg.total_packets;
   trials_ += trials;
+  memhot_.merge(agg.memhot);
 }
 
 void BenchIteration::add_trial(const core::TrialSummary& summary) {
   sim_events_ += summary.sched_events;
   packets_ += summary.channel.transmissions;
   trials_ += 1;
+  memhot_.merge(summary.memhot);
 }
 
 int run_main(const char* name, const BenchArgs& args, const BenchBody& body) {
@@ -202,6 +247,8 @@ int run_main(const char* name, const BenchArgs& args, const BenchBody& body) {
                           .count());
     last = it;
   }
+
+  if (args.memstats) std::cerr << obs::Memstats::format_table();
 
   if (!args.profile_path.empty()) {
     obs::Profiler::set_enabled(false);

@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "core/secure_localization.hpp"
+#include "obs/memstats.hpp"
 
 namespace sld::bench {
 
@@ -46,15 +47,20 @@ class BenchIteration {
   void add_events(std::uint64_t n) { sim_events_ += n; }
   void add_packets(std::uint64_t n) { packets_ += n; }
   void add_trials(std::uint64_t n) { trials_ += n; }
-  /// Credits a whole experiment's scheduler events, transmissions, trials.
+  /// Credits a whole experiment's scheduler events, transmissions, trials
+  /// (and its memstats roll-up, if the experiment ran with memstats on).
   void add_experiment(const core::AggregateSummary& agg,
                       std::uint64_t trials);
   /// Credits one directly-run trial.
   void add_trial(const core::TrialSummary& summary);
+  /// Folds a memory/hot-path roll-up produced outside run_experiment (e.g.
+  /// a micro-workload that read Memstats directly).
+  void add_memhot(const obs::MemHotTotals& totals) { memhot_.merge(totals); }
 
   std::uint64_t sim_events() const { return sim_events_; }
   std::uint64_t packets() const { return packets_; }
   std::uint64_t trials() const { return trials_; }
+  const obs::MemHotTotals& memhot() const { return memhot_; }
 
  private:
   std::ostream* out_;
@@ -62,6 +68,7 @@ class BenchIteration {
   std::uint64_t sim_events_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t trials_ = 0;
+  obs::MemHotTotals memhot_;
 };
 
 using BenchBody = std::function<void(BenchIteration&)>;

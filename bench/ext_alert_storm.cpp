@@ -30,6 +30,7 @@
 
 #include "bench_common.hpp"
 #include "bench_runner.hpp"
+#include "obs/memstats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
@@ -292,6 +293,12 @@ void run_storm(const StormKnobs& knobs, const bench::BenchArgs& args,
   topt.cadence_ns = kStormCadence;
   topt.ring_capacity = 64;  // >= the 60 windows of the 15 s timeline
   topt.sink = ts_sink.get();
+  topt.sample_rss = args.rss;
+  // --rss: peak-RSS gauge refreshed per window, same pattern as the
+  // in-system sampler (the stream gains host state; window timing and the
+  // stdout table stay deterministic — mem.rss_kb never feeds the table).
+  obs::Gauge* rss_gauge =
+      topt.sample_rss ? &reg.gauge("mem.rss_kb") : nullptr;
   obs::TimeseriesSampler sampler(reg, topt);
   // The bench owns the timeline, so (unlike the in-system hook, which must
   // stay read-only) the presample hook may advance the pipeline to the
@@ -300,6 +307,8 @@ void run_storm(const StormKnobs& knobs, const bench::BenchArgs& args,
     pipeline.advance(static_cast<sim::SimTime>(t));
     sync_counter(submitted_c, pipeline.stats().submitted);
     sync_counter(committed_c, pipeline.stats().committed);
+    if (rss_gauge != nullptr)
+      rss_gauge->set(static_cast<double>(obs::current_rss_kb()));
   });
 
   obs::SloMonitor slo(args.parse_slo(kDefaultStormSlo));

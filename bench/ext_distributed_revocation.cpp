@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "bench_runner.hpp"
+#include "core/experiment.hpp"
 #include "core/secure_localization.hpp"
 #include "revocation/distributed.hpp"
 #include "util/stats.hpp"
@@ -85,25 +86,38 @@ int main(int argc, char** argv) {
 
         for (const bool collusion : {false, true}) {
           for (const std::uint32_t threshold : {2u, 3u, 4u}) {
-            sld::util::RunningStat cd, cf, dc_cov, dc_wrong;
-            for (std::size_t t = 0; t < args.trials; ++t) {
-              sld::core::SystemConfig config;
-              config.strategy =
-                  sld::attack::MaliciousStrategyConfig::with_effectiveness(
-                      0.5);
-              config.collusion = collusion;
-              config.seed = args.seed + t * 31 + threshold;
-              sld::core::SecureLocalizationSystem system(config);
-              const auto summary = system.run();
-              it.add_trial(summary);
-              cd.add(summary.detection_rate);
-              cf.add(summary.false_positive_rate);
+            // Each trial's local-vote replay needs the live system, so it
+            // runs inside the run_indexed worker; the fold below walks the
+            // results in index order, keeping stdout byte-identical at any
+            // --jobs level.
+            struct TrialResult {
+              sld::core::TrialSummary summary;
+              DistributedOutcome dist;
+            };
+            const auto results = sld::core::run_indexed(
+                args.trials, args.jobs, [&](std::size_t t) {
+                  sld::core::SystemConfig config;
+                  config.strategy = sld::attack::MaliciousStrategyConfig::
+                      with_effectiveness(0.5);
+                  config.collusion = collusion;
+                  config.seed = args.seed + t * 31 + threshold;
+                  config.memstats = args.memstats;
+                  sld::core::SecureLocalizationSystem system(config);
+                  TrialResult r;
+                  r.summary = system.run();
+                  sld::revocation::DistributedConfig dcfg;
+                  dcfg.vote_threshold = threshold;
+                  r.dist = evaluate(system, r.summary, dcfg);
+                  return r;
+                });
 
-              sld::revocation::DistributedConfig dcfg;
-              dcfg.vote_threshold = threshold;
-              const auto dist = evaluate(system, summary, dcfg);
-              dc_cov.add(dist.malicious_coverage);
-              dc_wrong.add(dist.benign_wrongly_blacklisted);
+            sld::util::RunningStat cd, cf, dc_cov, dc_wrong;
+            for (const auto& r : results) {
+              it.add_trial(r.summary);
+              cd.add(r.summary.detection_rate);
+              cf.add(r.summary.false_positive_rate);
+              dc_cov.add(r.dist.malicious_coverage);
+              dc_wrong.add(r.dist.benign_wrongly_blacklisted);
             }
             table.row()
                 .cell(collusion ? "yes" : "no")

@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
         sld::core::ExperimentConfig e;
         e.base = scaled_config(args);
         e.base.seed = args.seed;
+        e.base.memstats = args.memstats;
         e.trials = args.trials;
         e.jobs = args.jobs;
         if (bursty) {
@@ -212,6 +213,7 @@ int main(int argc, char** argv) {
       sld::core::ExperimentConfig e;
       e.base = scaled_config(args);
       e.base.seed = args.seed;
+      e.base.memstats = args.memstats;
       e.trials = args.trials;
       e.jobs = args.jobs;
       e.base.arq.enabled = true;

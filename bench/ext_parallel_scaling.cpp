@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
             e.base.rtt_calibration_samples = 2000;
           }
           e.base.seed = args.seed + static_cast<std::uint64_t>(P * 1000);
+          e.base.memstats = args.memstats;
           e.trials = trials_per_point;
           e.jobs = args.jobs;
           const auto agg = sld::core::run_experiment(e);

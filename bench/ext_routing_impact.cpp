@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "bench_runner.hpp"
+#include "core/experiment.hpp"
 #include "core/nodes.hpp"
 #include "core/secure_localization.hpp"
 #include "routing/gpsr.hpp"
@@ -53,6 +54,17 @@ double delivery_rate(const sld::routing::Topology& topo,
                    : 0.0;
 }
 
+/// Everything one trial contributes to the fold, computed inside the
+/// run_indexed worker (the topologies need the live systems, so routing
+/// runs there too and only plain numbers cross the thread boundary).
+struct TrialResult {
+  sld::core::TrialSummary attacked_summary;
+  sld::core::TrialSummary secured_summary;
+  double truth_r = 0.0;
+  double attacked_r = 0.0;
+  double secured_r = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,44 +73,57 @@ int main(int argc, char** argv) {
 
   return sld::bench::run_main(
       "ext_routing_impact", args, [&](sld::bench::BenchIteration& it) {
+        const auto results = sld::core::run_indexed(
+            args.trials, args.jobs, [&](std::size_t t) {
+              const std::uint64_t seed = args.seed + t;
+
+              sld::core::SystemConfig attacked_cfg;
+              attacked_cfg.strategy =
+                  sld::attack::MaliciousStrategyConfig::with_effectiveness(
+                      0.8);
+              attacked_cfg.seed = seed;
+              // Isolate the compromised-beacon effect: no wormhole here.
+              attacked_cfg.paper_wormhole = false;
+              attacked_cfg.revocation.alert_threshold = 1000000;  // off
+              attacked_cfg.memstats = args.memstats;
+              sld::core::SecureLocalizationSystem attacked(attacked_cfg);
+              TrialResult r;
+              r.attacked_summary = attacked.run();
+              auto attacked_topo = topology_for(attacked);
+
+              sld::core::SystemConfig secured_cfg = attacked_cfg;
+              secured_cfg.revocation =
+                  sld::revocation::RevocationConfig{};  // on
+              sld::core::SecureLocalizationSystem secured(secured_cfg);
+              r.secured_summary = secured.run();
+              auto secured_topo = topology_for(secured);
+
+              // Ground truth baseline shares the secured deployment's
+              // physics.
+              sld::routing::Topology truth_topo(
+                  secured.deployment().config.comm_range_ft);
+              for (const auto& n : secured.deployment().nodes)
+                truth_topo.add_node(n.id, n.position);
+              truth_topo.build_links();
+
+              r.truth_r = delivery_rate(truth_topo, seed * 13 + 1, pairs);
+              r.attacked_r =
+                  delivery_rate(attacked_topo, seed * 13 + 1, pairs);
+              r.secured_r =
+                  delivery_rate(secured_topo, seed * 13 + 1, pairs);
+              return r;
+            });
+
         sld::util::RunningStat truth_rate, attacked_rate, secured_rate;
         sld::util::RunningStat attacked_err, secured_err;
-        for (std::size_t t = 0; t < args.trials; ++t) {
-          const std::uint64_t seed = args.seed + t;
-
-          sld::core::SystemConfig attacked_cfg;
-          attacked_cfg.strategy =
-              sld::attack::MaliciousStrategyConfig::with_effectiveness(0.8);
-          attacked_cfg.seed = seed;
-          // Isolate the compromised-beacon effect: no wormhole here.
-          attacked_cfg.paper_wormhole = false;
-          attacked_cfg.revocation.alert_threshold = 1000000;  // off
-          sld::core::SecureLocalizationSystem attacked(attacked_cfg);
-          const auto attacked_summary = attacked.run();
-          it.add_trial(attacked_summary);
-          auto attacked_topo = topology_for(attacked);
-
-          sld::core::SystemConfig secured_cfg = attacked_cfg;
-          secured_cfg.revocation =
-              sld::revocation::RevocationConfig{};  // on
-          sld::core::SecureLocalizationSystem secured(secured_cfg);
-          const auto secured_summary = secured.run();
-          it.add_trial(secured_summary);
-          auto secured_topo = topology_for(secured);
-
-          // Ground truth baseline shares the secured deployment's physics.
-          sld::routing::Topology truth_topo(
-              secured.deployment().config.comm_range_ft);
-          for (const auto& n : secured.deployment().nodes)
-            truth_topo.add_node(n.id, n.position);
-          truth_topo.build_links();
-
-          truth_rate.add(delivery_rate(truth_topo, seed * 13 + 1, pairs));
-          attacked_rate.add(
-              delivery_rate(attacked_topo, seed * 13 + 1, pairs));
-          secured_rate.add(delivery_rate(secured_topo, seed * 13 + 1, pairs));
-          attacked_err.add(attacked_summary.mean_localization_error_ft);
-          secured_err.add(secured_summary.mean_localization_error_ft);
+        for (const auto& r : results) {
+          it.add_trial(r.attacked_summary);
+          it.add_trial(r.secured_summary);
+          truth_rate.add(r.truth_r);
+          attacked_rate.add(r.attacked_r);
+          secured_rate.add(r.secured_r);
+          attacked_err.add(r.attacked_summary.mean_localization_error_ft);
+          secured_err.add(r.secured_summary.mean_localization_error_ft);
         }
 
         sld::util::Table table({"positions", "gpsr_delivery_rate",

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
               sld::attack::MaliciousStrategyConfig::with_effectiveness(P);
           e.base.seed =
               args.seed + 7000 + static_cast<std::uint64_t>(P * 1000);
+          e.base.memstats = args.memstats;
           e.trials = args.trials;
           e.jobs = args.jobs;
           const auto agg = sld::core::run_experiment(e);

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
               e.base.revocation.alert_threshold = tau2;
               e.base.collusion = true;
               e.base.seed = args.seed + na * 1000 + tau2 * 100 + tau1;
+              e.base.memstats = args.memstats;
               e.trials = args.trials;
               e.jobs = args.jobs;
 

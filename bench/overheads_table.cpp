@@ -6,9 +6,12 @@
 // counts every message of a paper-scale trial and reports the per-node and
 // per-phase communication overheads, plus the base station's workload.
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "bench_runner.hpp"
+#include "core/experiment.hpp"
 #include "core/secure_localization.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -18,23 +21,41 @@ int main(int argc, char** argv) {
 
   return sld::bench::run_main("overheads_table", args,
                               [&](sld::bench::BenchIteration& it) {
+  // Per-node radio energies are read off the live channel, so each trial
+  // ships them out of its run_indexed worker as (is_beacon, energy_uj)
+  // pairs in deployment order; the fold below replays them in index order
+  // so stdout is byte-identical at any --jobs level.
+  struct TrialResult {
+    sld::core::TrialSummary summary;
+    std::vector<std::pair<bool, double>> node_energy;
+  };
+  const auto results =
+      sld::core::run_indexed(args.trials, args.jobs, [&](std::size_t t) {
+        sld::core::SystemConfig config;
+        config.strategy =
+            sld::attack::MaliciousStrategyConfig::with_effectiveness(0.3);
+        config.seed = args.seed + t;
+        config.memstats = args.memstats;
+        sld::core::SecureLocalizationSystem system(config);
+        TrialResult r;
+        r.summary = system.run();
+        for (const auto& spec : system.deployment().nodes) {
+          const auto radio = system.network().channel().node_radio(spec.id);
+          r.node_energy.emplace_back(spec.beacon, radio.energy_uj());
+        }
+        return r;
+      });
+
   sld::util::RunningStat probes, probe_per_beacon, sensor_msgs,
       sensor_per_node, alerts, alerts_per_beacon, bs_processed, revocations,
       transmissions, beacon_energy, sensor_energy;
-  for (std::size_t t = 0; t < args.trials; ++t) {
-    sld::core::SystemConfig config;
-    config.strategy =
-        sld::attack::MaliciousStrategyConfig::with_effectiveness(0.3);
-    config.seed = args.seed + t;
-    sld::core::SecureLocalizationSystem system(config);
-    const auto s = system.run();
+  for (const auto& r : results) {
+    const auto& s = r.summary;
     it.add_trial(s);
 
     // Per-node radio energy, split by role.
-    for (const auto& spec : system.deployment().nodes) {
-      const auto radio = system.network().channel().node_radio(spec.id);
-      (spec.beacon ? beacon_energy : sensor_energy).add(radio.energy_uj());
-    }
+    for (const auto& [is_beacon, energy_uj] : r.node_energy)
+      (is_beacon ? beacon_energy : sensor_energy).add(energy_uj);
 
     const double benign = static_cast<double>(s.benign_beacons);
     const double sensors = static_cast<double>(s.sensors);

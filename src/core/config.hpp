@@ -149,6 +149,15 @@ struct SystemConfig {
   /// TrialSummary::metrics_json under "slo".
   std::vector<obs::SloRule> slo_rules;
 
+  /// Memory & hot-path micro-observability (src/obs/memstats): per-scope
+  /// allocation telemetry plus scheduler/channel micro-counters (queue
+  /// depth, heap sift distances, scan fan-out, packet lifetime). Off — the
+  /// default — registers no instruments, keeps the global operator-new hook
+  /// on its one-cached-branch fast path, and leaves runs bit-for-bit the
+  /// seed. On, per-scope counts are identical at any --jobs because only
+  /// scope-tagged simulation allocations are attributed (see DESIGN.md §14).
+  bool memstats = false;
+
   /// Simulation phases: beacons probe first, then sensors localize.
   sim::SimTime probe_phase_start = 0;
   sim::SimTime sensor_phase_start = 60 * sim::kSecond;

@@ -67,6 +67,7 @@ void accumulate(AggregateSummary& agg, TrialOutcome&& out,
   agg.total_slo_breaches += summary.slo.breaches;
   if (summary.slo.enabled && !summary.slo.healthy)
     ++agg.slo_unhealthy_trials;
+  agg.memhot.merge(summary.memhot);
   agg.detection_rate.add(summary.detection_rate);
   agg.false_positive_rate.add(summary.false_positive_rate);
   agg.affected_per_malicious.add(summary.avg_affected_per_malicious);

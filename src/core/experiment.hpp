@@ -16,9 +16,12 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "analysis/formulas.hpp"
+#include "core/executor.hpp"
 #include "core/secure_localization.hpp"
 #include "util/stats.hpp"
 
@@ -61,11 +64,44 @@ struct AggregateSummary {
   /// breach.
   std::uint64_t total_slo_breaches = 0;
   std::uint64_t slo_unhealthy_trials = 0;
+  /// Memory & hot-path roll-up merged across trials (counts summed, depth
+  /// and p99s maxed). Inert defaults unless SystemConfig::memstats is on;
+  /// the integer counts are exact and identical at any jobs level.
+  obs::MemHotTotals memhot;
   std::vector<TrialSummary> trials;  // filled iff keep_trial_summaries
 };
 
 /// Runs `config.trials` independent trials, `config.jobs` at a time.
 AggregateSummary run_experiment(const ExperimentConfig& config);
+
+/// Runs `fn(0) .. fn(count - 1)` — independent, self-contained work items,
+/// typically one experiment sweep point each — up to `jobs` at a time on a
+/// WorkStealingPool and returns the results in index order. `jobs <= 1`
+/// (after resolve_jobs) runs the classic serial loop on the calling thread
+/// with no pool at all. Because each item computes everything it needs
+/// inside `fn` and the fold happens strictly in index order after the pool
+/// drains, output built from the returned vector is byte-identical at any
+/// jobs level (the discipline DESIGN.md §13 sets for trials, lifted to
+/// sweep points).
+template <typename Fn>
+auto run_indexed(std::size_t count, std::size_t jobs, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results(count);
+  std::size_t workers = WorkStealingPool::resolve_jobs(jobs);
+  if (workers > count) workers = count;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+    return results;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
+  WorkStealingPool pool(workers);
+  pool.run(std::move(tasks));
+  return results;
+}
 
 /// Builds analytical ModelParams matching a system config, with N_c taken
 /// from the measured average (`measured_requesters`) so theory and

@@ -7,6 +7,7 @@
 
 #include "check/invariant.hpp"
 #include "crypto/mac.hpp"
+#include "obs/memstats.hpp"
 #include "obs/profiler.hpp"
 #include "sim/channel.hpp"
 
@@ -408,6 +409,7 @@ void BeaconNode::send_probe_round(PendingProbe probe,
 
 void BeaconNode::on_probe_timeout(std::uint64_t nonce) {
   SLD_PROF_SCOPE("arq.probe_timeout");
+  SLD_MEM_SCOPE("arq");
   const auto it = pending_.find(nonce);
   if (it == pending_.end()) return;  // a reply arrived in time
   PendingProbe probe = std::move(it->second);
@@ -478,6 +480,7 @@ void BeaconNode::handle_request(const sim::Delivery& delivery) {
 
 void BeaconNode::handle_probe_reply(const sim::Delivery& delivery) {
   SLD_PROF_SCOPE("detect.probe_round");
+  SLD_MEM_SCOPE("detection");
   if (!verify(ctx_.keys, delivery.msg)) {
     ++ctx_.metrics.mac_failures;
     return;
@@ -650,6 +653,7 @@ void SensorNode::send_query(PendingQuery query, bool is_retransmission) {
 
 void SensorNode::on_query_timeout(std::uint64_t nonce) {
   SLD_PROF_SCOPE("arq.query_timeout");
+  SLD_MEM_SCOPE("arq");
   const auto it = pending_.find(nonce);
   if (it == pending_.end()) return;  // answered in time
   PendingQuery query = it->second;

@@ -65,6 +65,7 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
   ctx_->dissemination.set_tracer(tracer);
 
   setup_telemetry();
+  setup_memstats();
 
   if (tracer.on()) {
     tracer.emit(
@@ -241,7 +242,87 @@ void sync_counter(obs::Counter* counter, std::uint64_t live) {
   if (counter != nullptr && live > counter->value())
     counter->inc(live - counter->value());
 }
+
+/// The memstats scope tags mirrored into the registry, in registration
+/// order (matching the SLD_MEM_SCOPE tags spread through the simulation).
+constexpr const char* kMemScopes[] = {"scheduler", "channel",   "messages",
+                                      "arq",       "detection", "revocation"};
 }  // namespace
+
+void SecureLocalizationSystem::setup_memstats() {
+  obs::MetricsRegistry& reg = ctx_->instruments;
+  if (config_.telemetry.enabled && config_.telemetry.sample_rss)
+    rss_gauge_ = &reg.gauge("mem.rss_kb");
+  if (!config_.memstats) return;
+
+  // Process-wide switch: idempotent and sticky, so concurrent trials under
+  // --jobs can all flip it without coordination.
+  obs::Memstats::set_enabled(true);
+
+  for (const char* tag : kMemScopes) {
+    MemMirror m;
+    m.tag = tag;
+    const std::string prefix = std::string("mem.") + tag;
+    m.allocs = &reg.counter(prefix + ".allocs");
+    m.bytes = &reg.counter(prefix + ".bytes");
+    m.frees = &reg.counter(prefix + ".frees");
+    // Baseline against this worker thread's running totals: the delta at
+    // any later point on the same thread is this trial's own contribution
+    // (trials are sealed to one worker, see DESIGN.md §14).
+    m.start = obs::Memstats::thread_totals_for(tag);
+    mem_.push_back(m);
+  }
+  // Start the peak-live high-water mark fresh, so the end-of-trial peak is
+  // the trial's own (plus any pre-trial live bytes — an upper bound).
+  obs::Memstats::reset_thread_peaks();
+
+  // Hot-path micro-instruments. Shapes: queue depth and sift distances are
+  // small integers; wait/lifetime are nanoseconds spanning ns..minutes, so
+  // log-scaled.
+  hot_.queue_depth = &reg.histogram("hot.queue_depth", 1.0, 1 << 20, 64,
+                                    obs::HistogramScale::kLog);
+  hot_.sift_up = &reg.histogram("hot.sift_up", 0.0, 64.0, 64);
+  hot_.sift_down = &reg.histogram("hot.sift_down", 0.0, 64.0, 64);
+  hot_.event_wait_ns = &reg.histogram("hot.event_wait_ns", 1.0, 1e12, 64,
+                                      obs::HistogramScale::kLog);
+  hot_.scan_fanout = &reg.histogram("hot.scan_fanout", 1.0, 4096.0, 64,
+                                    obs::HistogramScale::kLog);
+  hot_.packet_lifetime_ns = &reg.histogram("hot.packet_lifetime_ns", 1.0,
+                                           1e12, 64, obs::HistogramScale::kLog);
+  hot_.sift_up_steps = &reg.counter("hot.sift_up_steps");
+  hot_.sift_down_steps = &reg.counter("hot.sift_down_steps");
+  hot_.scans = &reg.counter("hot.scans");
+  hot_.scan_nodes = &reg.counter("hot.scan_nodes");
+  network_.scheduler().set_hot_stats(&hot_);
+  network_.channel().set_hot_stats(&hot_);
+}
+
+void SecureLocalizationSystem::fold_memstats() {
+  if (mem_.empty()) return;
+  memhot_.enabled = true;
+  for (auto& m : mem_) {
+    const obs::MemScopeStats now = obs::Memstats::thread_totals_for(m.tag);
+    const std::uint64_t allocs = now.allocs - m.start.allocs;
+    const std::uint64_t bytes = now.alloc_bytes - m.start.alloc_bytes;
+    const std::uint64_t frees = now.frees - m.start.frees;
+    sync_counter(m.allocs, allocs);
+    sync_counter(m.bytes, bytes);
+    sync_counter(m.frees, frees);
+    memhot_.allocs += allocs;
+    memhot_.alloc_bytes += bytes;
+    memhot_.frees += frees;
+    memhot_.freed_bytes += now.freed_bytes - m.start.freed_bytes;
+    if (now.peak_live_bytes > 0)
+      memhot_.peak_live_bytes += static_cast<std::uint64_t>(now.peak_live_bytes);
+  }
+  memhot_.max_queue_depth = network_.scheduler().max_pending();
+  memhot_.queue_depth_p99 = hot_.queue_depth->p99();
+  memhot_.sift_up_steps = network_.scheduler().sift_up_steps();
+  memhot_.sift_down_steps = network_.scheduler().sift_down_steps();
+  memhot_.scans = hot_.scans->value();
+  memhot_.scan_nodes = hot_.scan_nodes->value();
+  memhot_.packet_lifetime_p99_ns = hot_.packet_lifetime_ns->p99();
+}
 
 void SecureLocalizationSystem::sync_telemetry(std::int64_t t) {
   const sim::ChannelStats& ch = network_.channel().stats();
@@ -261,6 +342,14 @@ void SecureLocalizationSystem::sync_telemetry(std::int64_t t) {
         ctx_->ingest.breaker_state(static_cast<sim::SimTime>(t)))));
   }
   tel_.in_service->set(ctx_->cluster.in_service() ? 1.0 : 0.0);
+  for (auto& m : mem_) {
+    const obs::MemScopeStats now = obs::Memstats::thread_totals_for(m.tag);
+    sync_counter(m.allocs, now.allocs - m.start.allocs);
+    sync_counter(m.bytes, now.alloc_bytes - m.start.alloc_bytes);
+    sync_counter(m.frees, now.frees - m.start.frees);
+  }
+  if (rss_gauge_ != nullptr)
+    rss_gauge_->set(static_cast<double>(obs::current_rss_kb()));
 }
 
 void SecureLocalizationSystem::schedule_failover() {
@@ -340,6 +429,8 @@ TrialSummary SecureLocalizationSystem::run() {
   if (ctx_->timeseries)
     ctx_->timeseries->finish(
         static_cast<std::int64_t>(network_.scheduler().now()));
+
+  fold_memstats();
 
   ctx_->instruments.gauge("sched.events")
       .set(static_cast<double>(network_.scheduler().executed()));
@@ -437,6 +528,7 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.durable = ctx_->cluster.wal().stats();
   s.ingest = ctx_->ingest.stats();
   s.channel = network_.channel().stats();
+  s.memhot = memhot_;
   s.metrics_json = ctx_->instruments.snapshot_json();
   if (ctx_->slo) {
     s.slo.enabled = true;

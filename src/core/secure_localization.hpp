@@ -11,7 +11,9 @@
 #include "core/config.hpp"
 #include "core/nodes.hpp"
 #include "crypto/detecting_ids.hpp"
+#include "obs/memstats.hpp"
 #include "sim/deployment.hpp"
+#include "sim/hotstats.hpp"
 #include "sim/network.hpp"
 
 namespace sld::core {
@@ -79,6 +81,14 @@ struct TrialSummary {
   };
   SloHealth slo;
 
+  /// Memory & hot-path micro-observability roll-up (inert defaults unless
+  /// SystemConfig::memstats was on): per-scope allocation deltas summed
+  /// over the simulation scopes, scheduler heap statistics and channel
+  /// scan fan-out. The integer counts are exact and identical at any
+  /// --jobs; peak_live_bytes is an approximate upper bound (see
+  /// obs/memstats.hpp).
+  obs::MemHotTotals memhot;
+
   /// JSON snapshot of the trial's instrument registry (counters, gauges,
   /// histograms with p50/p90/p99, per-phase wall-clock timings). The
   /// wall-clock gauges make this the one TrialSummary field that is NOT a
@@ -115,11 +125,29 @@ class SecureLocalizationSystem {
     obs::Gauge* in_service = nullptr;         // bs.cluster.in_service
   };
 
+  /// Per-scope allocation baseline + the registry mirror counters the
+  /// presample hook and the end-of-run fold raise to the trial's deltas.
+  /// Populated only for memstats-enabled configs.
+  struct MemMirror {
+    const char* tag = nullptr;
+    obs::MemScopeStats start;
+    obs::Counter* allocs = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* frees = nullptr;
+  };
+
   void build_nodes();
   void schedule_collusion();
   void schedule_failover();
   void schedule_finalize();
   void setup_telemetry();
+  /// Registers mem.*/hot.* instruments, captures the per-scope allocation
+  /// baseline and wires the scheduler/channel micro-counter sinks. No-op
+  /// (and registers nothing) unless config.memstats is set.
+  void setup_memstats();
+  /// End-of-run fold: raises the mem.* mirrors to their final deltas and
+  /// fills memhot_ from the baseline deltas + hot.* instruments.
+  void fold_memstats();
   /// Presample hook: mirrors live stats (channel, scheduler, breaker,
   /// cluster service state) into the registry. Pure reads only — it must
   /// never perturb the simulation.
@@ -135,6 +163,10 @@ class SecureLocalizationSystem {
   std::vector<SensorNode*> sensor_nodes_;
   crypto::DetectingIdRegistry detecting_registry_;
   TelemetryMirror tel_;
+  std::vector<MemMirror> mem_;
+  sim::HotStats hot_;
+  obs::Gauge* rss_gauge_ = nullptr;
+  obs::MemHotTotals memhot_;
   bool ran_ = false;
 };
 

@@ -46,6 +46,11 @@ struct TimeseriesOptions {
   /// `timeseries/v1` JSONL destination (non-owning; must outlive every
   /// trial using it). nullptr keeps the ring without emitting a stream.
   TraceSink* sink = nullptr;
+  /// Sample peak process RSS into a `mem.rss_kb` gauge at every window
+  /// close. Off by default: RSS is host state, not simulation state, so
+  /// sampling it makes the stream nondeterministic across machines (window
+  /// *timing* stays deterministic either way).
+  bool sample_rss = false;
 };
 
 /// One closed telemetry window. Instruments appear in registration order;

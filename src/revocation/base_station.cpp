@@ -1,6 +1,7 @@
 #include "revocation/base_station.hpp"
 
 #include "check/invariant.hpp"
+#include "obs/memstats.hpp"
 #include "obs/profiler.hpp"
 
 namespace sld::revocation {
@@ -60,6 +61,7 @@ AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                                             sim::NodeId target,
                                             std::uint64_t nonce) {
   SLD_PROF_SCOPE("bs.process_alert");
+  SLD_MEM_SCOPE("revocation");
   const std::uint32_t alerts_before = alert_counter(target);
   const bool revoked_before = revoked_.contains(target);
   const AlertDisposition disposition =

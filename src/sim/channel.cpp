@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/invariant.hpp"
+#include "obs/memstats.hpp"
 #include "obs/profiler.hpp"
 #include "util/geometry.hpp"
 
@@ -108,6 +109,7 @@ Node* Channel::find(NodeId id) const {
 }
 
 void Channel::unicast(const Node& sender, Message msg) {
+  SLD_MEM_SCOPE("channel");
   // A crashed node does not transmit at all.
   if (faults_.enabled() &&
       faults_.node_crashed(sender.id(), scheduler_.now())) {
@@ -160,19 +162,33 @@ void Channel::inject(const TxContext& ctx, Message msg) {
 
 void Channel::transmit(const TxContext& ctx, const Message& msg) {
   SLD_PROF_SCOPE("channel.transmit");
+  SLD_MEM_SCOPE("channel");
   ++stats_.transmissions;
+
+  // Nodes examined by this transmission's topology scan — the fan-out a
+  // spatial index would collapse. One histogram observation per transmit.
+  std::uint64_t scanned = 0;
+  const auto note_scan = [&]() {
+    if (hot_ == nullptr) return;
+    if (hot_->scans != nullptr) hot_->scans->inc();
+    if (hot_->scan_nodes != nullptr) hot_->scan_nodes->inc(scanned);
+    if (hot_->scan_fanout != nullptr)
+      hot_->scan_fanout->observe(static_cast<double>(scanned));
+  };
 
   // Eavesdroppers / jammers hear everything radiating within range.
   bool suppressed = false;
   for (auto* obs : observers_) {
     const double d2 =
         util::distance_squared(ctx.radiating_position, obs->observer_position());
+    ++scanned;
     if (d2 <= ctx.radiating_range * ctx.radiating_range) {
       suppressed = obs->on_overhear(msg, ctx) || suppressed;
     }
   }
   if (suppressed) {
     ++stats_.suppressed;
+    note_scan();
     if (trace_.on())
       trace_.emit(trace_.event("pkt.suppressed")
                       .f("src", msg.src)
@@ -197,7 +213,10 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
   // Wormhole paths: any tunnel mouth within the radiating range picks the
   // signal up and re-radiates it at the opposite mouth. A copy that already
   // crossed a tunnel is not tunnelled again (no cascading).
-  if (ctx.via_wormhole || dst == nullptr) return;
+  if (ctx.via_wormhole || dst == nullptr) {
+    note_scan();
+    return;
+  }
   for (const auto& w : wormholes_) {
     struct Hop {
       const util::Vec2& in;
@@ -207,6 +226,7 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
     for (const auto& hop : hops) {
       const double d2_in =
           util::distance_squared(ctx.radiating_position, hop.in);
+      ++scanned;
       if (d2_in > ctx.radiating_range * ctx.radiating_range) continue;
       TxContext tunneled;
       tunneled.radiating_position = hop.out;
@@ -220,6 +240,7 @@ void Channel::transmit(const TxContext& ctx, const Message& msg) {
       }
     }
   }
+  note_scan();
 }
 
 void Channel::deliver(Node& dst, const TxContext& ctx, const Message& msg) {
@@ -332,6 +353,8 @@ void Channel::schedule_delivery(Node& dst, const TxContext& ctx,
                                 const Message& msg, SimTime delay) {
   ++stats_.deliveries;
   if (ctx.via_wormhole) ++stats_.wormhole_deliveries;
+  if (hot_ != nullptr && hot_->packet_lifetime_ns != nullptr)
+    hot_->packet_lifetime_ns->observe(static_cast<double>(delay));
   if (trace_.on()) {
     trace_.emit(trace_.event("pkt.deliver")
                     .f("src", msg.src)

@@ -183,6 +183,10 @@ class Channel {
   /// replay-delay reasoning uses).
   double packet_airtime_cycles(std::size_t payload_bytes) const;
 
+  /// Optional hot-path micro-counter sink (scan fan-out, packet lifetime;
+  /// see sim/hotstats.hpp). Not owned; nullptr turns recording back off.
+  void set_hot_stats(HotStats* hot) { hot_ = hot; }
+
  private:
   void transmit(const TxContext& ctx, const Message& msg);
   void deliver(Node& dst, const TxContext& ctx, const Message& msg);
@@ -201,6 +205,7 @@ class Channel {
   ChannelStats stats_;
   std::unordered_map<NodeId, NodeRadioStats> radio_;
   obs::Tracer trace_;
+  HotStats* hot_ = nullptr;
 };
 
 }  // namespace sld::sim

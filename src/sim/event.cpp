@@ -3,29 +3,84 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/memstats.hpp"
+
 namespace sld::sim {
 
-void EventQueue::push(SimTime when, std::function<void()> action) {
-  heap_.push(Event{when, next_seq_++, std::move(action)});
+void EventQueue::push(SimTime when, SimTime queued_at,
+                      std::function<void()> action) {
+  SLD_MEM_SCOPE("scheduler");
+  heap_.push_back(Event{when, next_seq_++, queued_at, std::move(action)});
+  // Sift up: hole-based (move the parent down until the slot is found),
+  // one element move per level crossed.
+  std::size_t i = heap_.size() - 1;
+  Event ev = std::move(heap_[i]);
+  std::uint64_t steps = 0;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], ev)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+    ++steps;
+  }
+  heap_[i] = std::move(ev);
+  sift_up_steps_ += steps;
+  if (hot_ != nullptr) {
+    if (hot_->sift_up != nullptr)
+      hot_->sift_up->observe(static_cast<double>(steps));
+    if (hot_->sift_up_steps != nullptr) hot_->sift_up_steps->inc(steps);
+    if (hot_->queue_depth != nullptr)
+      hot_->queue_depth->observe(static_cast<double>(heap_.size()));
+  }
 }
 
 SimTime EventQueue::next_time() const {
   if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 Event EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
-  // priority_queue::top returns const&; the move is safe because we pop
-  // immediately after.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  return ev;
+  Event top = std::move(heap_.front());
+  std::uint64_t steps = 0;
+  if (heap_.size() > 1) {
+    // Sift the last element down from the root.
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t smallest = left;
+      if (right < n && later(heap_[left], heap_[right])) smallest = right;
+      if (!later(ev, heap_[smallest])) break;
+      heap_[i] = std::move(heap_[smallest]);
+      i = smallest;
+      ++steps;
+    }
+    heap_[i] = std::move(ev);
+  } else {
+    heap_.pop_back();
+  }
+  sift_down_steps_ += steps;
+  if (hot_ != nullptr) {
+    if (hot_->sift_down != nullptr)
+      hot_->sift_down->observe(static_cast<double>(steps));
+    if (hot_->sift_down_steps != nullptr) hot_->sift_down_steps->inc(steps);
+    if (hot_->event_wait_ns != nullptr)
+      hot_->event_wait_ns->observe(
+          static_cast<double>(top.when - top.queued_at));
+  }
+  return top;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
   next_seq_ = 0;
+  sift_up_steps_ = 0;
+  sift_down_steps_ = 0;
 }
 
 }  // namespace sld::sim

@@ -1,13 +1,22 @@
 // Event queue for the discrete-event simulator: a min-heap of (time, seq)
 // ordered closures. The sequence number makes same-time events FIFO, which
 // keeps runs deterministic.
+//
+// The heap is explicit (vector + hand-rolled sift) rather than a
+// std::priority_queue so the sift distances — the comparisons-per-push/pop
+// cost the planned flat/bucketed queue will attack — are observable. The
+// (when, seq) key is a strict total order, so the pop sequence is identical
+// to the std::priority_queue implementation it replaced: goldens are
+// byte-for-byte unchanged. Sift-step totals are always counted (two integer
+// adds per operation); per-operation histograms cost one extra branch and
+// only record when a HotStats sink is wired.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/hotstats.hpp"
 #include "sim/time.hpp"
 
 namespace sld::sim {
@@ -16,13 +25,20 @@ namespace sld::sim {
 struct Event {
   SimTime when = 0;
   std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+  SimTime queued_at = 0;  // schedule time, for event-wait accounting
   std::function<void()> action;
 };
 
 /// Min-heap of events ordered by (when, seq).
 class EventQueue {
  public:
-  void push(SimTime when, std::function<void()> action);
+  void push(SimTime when, std::function<void()> action) {
+    push(when, when, std::move(action));
+  }
+
+  /// `queued_at` is the clock value at schedule time; the wait histogram
+  /// observes `when - queued_at` at pop.
+  void push(SimTime when, SimTime queued_at, std::function<void()> action);
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
@@ -35,16 +51,27 @@ class EventQueue {
 
   void clear();
 
- private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  /// Optional micro-counter sink (see sim/hotstats.hpp). Not owned; must
+  /// outlive the queue or be reset to nullptr.
+  void set_hot_stats(HotStats* hot) { hot_ = hot; }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Total sift steps (element moves) since construction / clear().
+  std::uint64_t sift_up_steps() const { return sift_up_steps_; }
+  std::uint64_t sift_down_steps() const { return sift_down_steps_; }
+
+ private:
+  /// True when `a` must pop after `b` — the same strict weak ordering the
+  /// previous std::priority_queue comparator induced.
+  static bool later(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t sift_up_steps_ = 0;
+  std::uint64_t sift_down_steps_ = 0;
+  HotStats* hot_ = nullptr;
 };
 
 }  // namespace sld::sim

@@ -1,8 +1,11 @@
 #include "sim/message.hpp"
 
+#include "obs/memstats.hpp"
+
 namespace sld::sim {
 
 util::Bytes BeaconRequestPayload::serialize() const {
+  SLD_MEM_SCOPE("messages");
   util::ByteWriter w;
   w.u64(nonce);
   return w.take();
@@ -16,6 +19,7 @@ BeaconRequestPayload BeaconRequestPayload::parse(const util::Bytes& bytes) {
 }
 
 util::Bytes BeaconReplyPayload::serialize() const {
+  SLD_MEM_SCOPE("messages");
   util::ByteWriter w;
   w.u64(nonce);
   w.f64(claimed_position.x);
@@ -39,6 +43,7 @@ BeaconReplyPayload BeaconReplyPayload::parse(const util::Bytes& bytes) {
 }
 
 util::Bytes AlertPayload::serialize() const {
+  SLD_MEM_SCOPE("messages");
   util::ByteWriter w;
   w.u32(reporter);
   w.u32(target);
@@ -54,6 +59,7 @@ AlertPayload AlertPayload::parse(const util::Bytes& bytes) {
 }
 
 util::Bytes RevocationPayload::serialize() const {
+  SLD_MEM_SCOPE("messages");
   util::ByteWriter w;
   w.u32(revoked);
   return w.take();

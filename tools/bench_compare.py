@@ -4,6 +4,8 @@
 Usage:
     bench_compare.py BASELINE CANDIDATE [--threshold-pct P] [--mad-mult K]
     bench_compare.py --speedup BASELINE CANDIDATE --min-speedup X
+    bench_compare.py --exact BASELINE CANDIDATE
+    bench_compare.py --require-equal BASELINE CANDIDATE
     bench_compare.py --validate FILE [FILE ...]
     bench_compare.py --self-check
 
@@ -25,6 +27,19 @@ BASELINE by at least --min-speedup x, measured on
 throughput.events_per_sec (the jobs-scaling gate: baseline = --jobs 1,
 candidate = --jobs N of the same bench at the same seed).
 
+--exact gates on the deterministic integer counters of the "memstats"
+block (present when the bench ran with --memstats): the candidate FAILS
+if any of allocs / alloc_bytes / frees / freed_bytes / max_queue_depth /
+sift_up_steps / sift_down_steps / scans / scan_nodes EXCEEDS the
+baseline. No noise floor: these counts are pure functions of (code,
+flags, seed), so a +1 is a real regression. peak_live_bytes and the
+derived p99/mean fields are excluded — they are thread-layout- or
+float-sensitive. --require-equal is the stricter variant: ANY difference
+(either direction) fails; use it to assert --jobs 1 vs --jobs N
+invariance of the memstats roll-up.
+
+Every exit-1 summary line names exactly which bench and metric failed.
+
 See DESIGN.md "Performance observability" for the result schema.
 """
 
@@ -34,6 +49,14 @@ import os
 import sys
 
 SCHEMA_NAME = "sld-bench-result/v1"
+
+# Deterministic integer counters of the optional "memstats" block, gated
+# exactly (no noise floor). peak_live_bytes is deliberately absent: it is
+# a sum of per-thread high-water marks, so it varies with thread layout.
+EXACT_FIELDS = (
+    "allocs", "alloc_bytes", "frees", "freed_bytes", "max_queue_depth",
+    "sift_up_steps", "sift_down_steps", "scans", "scan_nodes",
+)
 
 # Required fields (and subfields) of a result file. Append-only: extra
 # fields are always allowed, so producers can grow the schema freely.
@@ -134,12 +157,12 @@ def run_compare(baseline_path, candidate_path, threshold_pct, mad_mult):
               f"{'delta':>8s} {'allowed':>8s}  verdict")
     print(header)
     print("-" * len(header))
-    regressions = 0
+    regressed = []
     for name in common:
         delta, allowed, bad = compare_one(base[name], cand[name],
                                           threshold_pct, mad_mult)
         if bad:
-            regressions += 1
+            regressed.append(f"{name}[wall_ms.median {delta * 100:+.1f}%]")
         verdict = "REGRESSION" if bad else "ok"
         print(f"{name:34s} {base[name]['wall_ms']['median']:10.2f} "
               f"{cand[name]['wall_ms']['median']:10.2f} "
@@ -150,9 +173,9 @@ def run_compare(baseline_path, candidate_path, threshold_pct, mad_mult):
         print(f"# only in baseline (skipped): {', '.join(only_base)}")
     if only_cand:
         print(f"# only in candidate (skipped): {', '.join(only_cand)}")
-    if regressions:
-        print(f"# {regressions} regression(s) out of {len(common)} "
-              f"bench(es)")
+    if regressed:
+        print(f"# {len(regressed)} regression(s) out of {len(common)} "
+              f"bench(es): {', '.join(regressed)}")
         return 1
     print(f"# no regressions across {len(common)} bench(es)")
     return 0
@@ -179,23 +202,94 @@ def run_speedup(baseline_path, candidate_path, min_speedup):
               f"{'speedup':>8s} {'floor':>6s}  verdict")
     print(header)
     print("-" * len(header))
-    failures = 0
+    failed = []
     for name in common:
         s = speedup_of(base[name], cand[name])
         bad = s < min_speedup
         if bad:
-            failures += 1
+            failed.append(f"{name}[events_per_sec {s:.2f}x]")
         print(f"{name:34s} "
               f"{base[name]['throughput'].get('events_per_sec') or 0:12.0f} "
               f"{cand[name]['throughput'].get('events_per_sec') or 0:12.0f} "
               f"{s:7.2f}x {min_speedup:5.2f}x  "
               f"{'TOO SLOW' if bad else 'ok'}")
-    if failures:
-        print(f"# {failures} bench(es) under the {min_speedup:.2f}x "
-              f"speedup floor")
+    if failed:
+        print(f"# {len(failed)} bench(es) under the {min_speedup:.2f}x "
+              f"speedup floor: {', '.join(failed)}")
         return 1
     print(f"# all {len(common)} bench(es) at or above "
           f"{min_speedup:.2f}x")
+    return 0
+
+
+def exact_failures(ms_b, ms_c, require_equal):
+    """Returns [(field, base, cand)] for every EXACT_FIELDS counter that
+    fails the gate (candidate > baseline, or any difference when
+    require_equal)."""
+    out = []
+    for field in EXACT_FIELDS:
+        vb = ms_b.get(field, 0)
+        vc = ms_c.get(field, 0)
+        if (vb != vc) if require_equal else (vc > vb):
+            out.append((field, vb, vc))
+    return out
+
+
+def run_exact(baseline_path, candidate_path, require_equal):
+    """Exact-count gate over the memstats block. In --exact mode the
+    candidate fails when any EXACT_FIELDS counter exceeds the baseline;
+    with require_equal, any difference in either direction fails."""
+    base = collect(baseline_path)
+    cand = collect(candidate_path)
+    common = sorted(set(base) & set(cand))
+    if not common:
+        raise SchemaError("no bench names in common between baseline and "
+                          "candidate")
+    mode = "require-equal" if require_equal else "exact"
+    header = (f"{'bench.metric':48s} {'base':>14s} {'cand':>14s}  verdict")
+    print(header)
+    print("-" * len(header))
+    failed = []
+    skipped = []
+    gated = 0
+    for name in common:
+        ms_b = base[name].get("memstats")
+        ms_c = cand[name].get("memstats")
+        if ms_b is None and ms_c is None:
+            skipped.append(name)
+            continue
+        if ms_b is None or ms_c is None:
+            side = "baseline" if ms_b is None else "candidate"
+            failed.append(f"{name}[memstats missing in {side}]")
+            print(f"{name + '.memstats':48s} {'-':>14s} {'-':>14s}  "
+                  f"MISSING ({side})")
+            continue
+        gated += 1
+        bad_fields = {f for f, _, _ in
+                      exact_failures(ms_b, ms_c, require_equal)}
+        for field in EXACT_FIELDS:
+            vb = ms_b.get(field, 0)
+            vc = ms_c.get(field, 0)
+            bad = field in bad_fields
+            if bad:
+                failed.append(f"{name}[memstats.{field} {vb} -> {vc}]")
+            verdict = ("DIFFERS" if require_equal else "REGRESSION") \
+                if bad else "ok"
+            print(f"{name + '.' + field:48s} {vb:14d} {vc:14d}  {verdict}")
+    if skipped:
+        print(f"# no memstats block on either side (skipped): "
+              f"{', '.join(skipped)}")
+    if failed:
+        print(f"# {len(failed)} {mode} failure(s): {', '.join(failed)}")
+        return 1
+    if gated == 0:
+        # An exact gate that gated nothing is a misconfigured CI job, not
+        # a pass: the bench was probably run without --memstats.
+        print(f"# {mode} gate matched no memstats blocks "
+              f"(run the benches with --memstats)")
+        return 1
+    print(f"# {mode} gate clean across {gated} bench(es), "
+          f"{len(EXACT_FIELDS)} counters each")
     return 0
 
 
@@ -259,6 +353,25 @@ def self_check():
     checks.append(("missing events_per_sec fails closed",
                    speedup_of(no_tp, fast_tp) == 0.0))
 
+    # Exact memstats gate: +1 alloc is a regression, equal counts pass,
+    # fewer allocs pass --exact but fail --require-equal.
+    ms = {f: 100 for f in EXACT_FIELDS}
+    ms_more = dict(ms, allocs=101)
+    ms_less = dict(ms, scans=99)
+    checks.append(("equal counts pass the exact gate",
+                   exact_failures(ms, ms, False) == []))
+    checks.append(("one extra alloc fails the exact gate",
+                   exact_failures(ms, ms_more, False) ==
+                   [("allocs", 100, 101)]))
+    checks.append(("fewer scans pass --exact",
+                   exact_failures(ms, ms_less, False) == []))
+    checks.append(("fewer scans fail --require-equal",
+                   exact_failures(ms, ms_less, True) ==
+                   [("scans", 100, 99)]))
+    checks.append(("missing candidate field gates as 0",
+                   exact_failures({"allocs": 1}, {}, True) ==
+                   [("allocs", 1, 0)]))
+
     # Schema validation rejects a wrong schema tag.
     broken = _synthetic("x", [1.0])
     broken["schema"] = "bogus/v0"
@@ -298,6 +411,13 @@ def main(argv=None):
     ap.add_argument("--min-speedup", type=float, default=2.5,
                     help="required events_per_sec ratio for --speedup "
                          "(default: 2.5)")
+    ap.add_argument("--exact", action="store_true",
+                    help="gate on the deterministic memstats counters: "
+                         "fail if any exceeds the baseline (no noise "
+                         "floor)")
+    ap.add_argument("--require-equal", action="store_true",
+                    help="like --exact but ANY memstats-counter "
+                         "difference fails (jobs-invariance gate)")
     args = ap.parse_args(argv)
 
     if args.self_check:
@@ -317,6 +437,9 @@ def main(argv=None):
     if not args.baseline or not args.candidate:
         ap.error("need BASELINE and CANDIDATE (or --validate/--self-check)")
     try:
+        if args.exact or args.require_equal:
+            return run_exact(args.baseline, args.candidate,
+                             args.require_equal)
         if args.speedup:
             return run_speedup(args.baseline, args.candidate,
                                args.min_speedup)

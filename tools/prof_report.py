@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Chrome-trace / Perfetto exporter for sld profiler + telemetry output.
+
+Usage:
+    prof_report.py [--profile PROF.json] [--timeseries TS.jsonl] -o OUT.json
+    prof_report.py --validate OUT.json [OUT.json ...]
+
+Converts either or both of:
+
+  * an `sld-profile/v1` snapshot (bench --profile FILE): the aggregated
+    span tree becomes one flame-graph lane of "ph":"X" complete events.
+    The profiler keeps totals, not per-call records, so timestamps are
+    synthesized — each span starts where its parent (or elder sibling)
+    left off and spans its total_ns. Wall positions are therefore
+    schematic; widths, nesting, and the {calls, total_ns, self_ns} args
+    are exact.
+
+  * a `timeseries/v1` JSONL stream (bench --timeseries FILE): every
+    per-window counter delta and gauge (the `mem.*` allocation mirrors,
+    `hot.*` queue-depth/fan-out instruments, `mem.rss_kb`, breaker
+    states, ...) becomes a "ph":"C" counter track sampled at the window
+    edge; histogram quantiles surface as `<name>.p99` tracks. Window
+    timestamps are sim time, so these tracks are deterministic.
+
+The output is the Chrome Trace Event JSON-object format — load it at
+chrome://tracing or ui.perfetto.dev. --validate structurally checks a
+produced file (stdlib only, no jsonschema): traceEvents array, required
+keys and types per phase, non-negative ts/dur. Exit codes: 0 ok,
+1 validation failure, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+PROFILE_SCHEMA = "sld-profile/v1"
+TS_SCHEMA = "timeseries/v1"
+
+# Trace-event layout: one fake process, spans and counters on separate
+# tracks so Perfetto renders the flame lane above the counter tracks.
+PID = 1
+TID_SPANS = 1
+
+
+def _meta(name, args, tid=None):
+    ev = {"name": name, "ph": "M", "pid": PID, "args": args}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def spans_to_events(doc, path):
+    """Flattens the sld-profile/v1 span tree into complete ("ph":"X")
+    events with synthesized sequential timestamps (microseconds)."""
+    if doc.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema is '{doc.get('schema')}', "
+            f"expected '{PROFILE_SCHEMA}'")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError(f"{path}: missing 'spans' array")
+
+    events = []
+
+    def emit(span, start_us):
+        for key in ("name", "calls", "total_ns", "self_ns"):
+            if key not in span:
+                raise ValueError(f"{path}: span missing '{key}'")
+        dur_us = span["total_ns"] / 1000.0
+        events.append({
+            "name": span["name"],
+            "ph": "X",
+            "ts": start_us,
+            "dur": dur_us,
+            "pid": PID,
+            "tid": TID_SPANS,
+            "args": {
+                "calls": span["calls"],
+                "total_ns": span["total_ns"],
+                "self_ns": span["self_ns"],
+            },
+        })
+        cursor = start_us
+        for child in span.get("children", []):
+            cursor = emit(child, cursor)
+        return start_us + dur_us
+
+    cursor = 0.0
+    for root in spans:
+        cursor = emit(root, cursor)
+    return events
+
+
+def _counter(name, ts_us, value):
+    return {"name": name, "ph": "C", "ts": ts_us, "pid": PID,
+            "args": {"value": value}}
+
+
+def timeseries_to_events(lines, path):
+    """Turns ts.window records into "ph":"C" counter tracks: one track
+    per counter delta, gauge, and histogram p99, sampled at window-end
+    sim time (ns -> us)."""
+    events = []
+    saw_meta = False
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{path}:{lineno}: {e}") from e
+        kind = rec.get("e")
+        if kind == "ts.meta":
+            if rec.get("schema") != TS_SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: schema is '{rec.get('schema')}', "
+                    f"expected '{TS_SCHEMA}'")
+            saw_meta = True
+        elif kind == "ts.window":
+            ts_us = rec.get("end", rec.get("t", 0)) / 1000.0
+            for name, val in rec.get("deltas", {}).items():
+                events.append(_counter(name, ts_us, val))
+            for name, val in rec.get("gauges", {}).items():
+                events.append(_counter(name, ts_us, val))
+            for name, q in rec.get("hists", {}).items():
+                events.append(_counter(name + ".p99", ts_us,
+                                       q.get("p99", 0)))
+        # Other record kinds (slo.breach markers, trial events when the
+        # stream aliases the trace sink) carry no per-window samples.
+    if not saw_meta:
+        raise ValueError(f"{path}: no ts.meta header — not a "
+                         f"{TS_SCHEMA} stream")
+    return events
+
+
+def build_trace(profile_path, timeseries_path):
+    events = [_meta("process_name", {"name": "sld"})]
+    if profile_path:
+        with open(profile_path, encoding="utf-8") as f:
+            doc = json.load(f)
+        events.append(_meta("thread_name", {"name": "profiler spans"},
+                            tid=TID_SPANS))
+        events.extend(spans_to_events(doc, profile_path))
+    if timeseries_path:
+        with open(timeseries_path, encoding="utf-8") as f:
+            events.extend(timeseries_to_events(f, timeseries_path))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _check(cond, path, msg):
+    if not cond:
+        raise ValueError(f"{path}: {msg}")
+
+
+def validate_trace(path):
+    """Structural check of a Chrome-trace JSON file produced by this
+    tool (or anything trace-viewer-compatible in the JSON-object form)."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    _check(isinstance(doc, dict), path, "top level is not an object")
+    events = doc.get("traceEvents")
+    _check(isinstance(events, list), path, "traceEvents is not an array")
+    _check(len(events) > 0, path, "traceEvents is empty")
+    num = (int, float)
+    for i, ev in enumerate(events):
+        ctx = f"traceEvents[{i}]"
+        _check(isinstance(ev, dict), path, f"{ctx}: not an object")
+        _check(isinstance(ev.get("name"), str), path,
+               f"{ctx}: missing string 'name'")
+        ph = ev.get("ph")
+        _check(ph in ("X", "C", "M", "I", "B", "E"), path,
+               f"{ctx}: unsupported phase '{ph}'")
+        _check(isinstance(ev.get("pid"), int), path,
+               f"{ctx}: missing int 'pid'")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        _check(isinstance(ts, num) and not isinstance(ts, bool), path,
+               f"{ctx}: missing numeric 'ts'")
+        _check(ts >= 0, path, f"{ctx}: negative ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            _check(isinstance(dur, num) and not isinstance(dur, bool),
+                   path, f"{ctx}: 'X' event missing numeric 'dur'")
+            _check(dur >= 0, path, f"{ctx}: negative dur")
+        if ph == "C":
+            value = (ev.get("args") or {}).get("value")
+            _check(isinstance(value, num) and not isinstance(value, bool),
+                   path, f"{ctx}: 'C' event missing numeric args.value")
+    return len(events)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--profile", metavar="FILE",
+                    help="sld-profile/v1 snapshot (bench --profile)")
+    ap.add_argument("--timeseries", metavar="FILE",
+                    help="timeseries/v1 JSONL stream (bench --timeseries)")
+    ap.add_argument("-o", "--output", metavar="FILE",
+                    help="write the Chrome-trace JSON here "
+                         "(default: stdout)")
+    ap.add_argument("--validate", nargs="+", metavar="FILE",
+                    help="structurally check Chrome-trace files instead "
+                         "of converting")
+    args = ap.parse_args(argv)
+
+    if args.validate:
+        failures = 0
+        for path in args.validate:
+            try:
+                n = validate_trace(path)
+                print(f"ok: {path} ({n} events)")
+            except (OSError, json.JSONDecodeError, ValueError) as e:
+                print(f"invalid: {e}", file=sys.stderr)
+                failures += 1
+        return 1 if failures else 0
+
+    if not args.profile and not args.timeseries:
+        ap.error("need --profile and/or --timeseries (or --validate)")
+    try:
+        trace = build_trace(args.profile, args.timeseries)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"prof_report: {e}", file=sys.stderr)
+        return 2
+    out = json.dumps(trace, indent=1)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(out + "\n")
+        spans = sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+        counters = sum(1 for e in trace["traceEvents"] if e["ph"] == "C")
+        print(f"wrote {args.output}: {spans} spans, "
+              f"{counters} counter samples")
+    else:
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,12 @@
 #   --only NAME   run a single bench (by binary name) instead of the suite
 #
 # The suite is every fig*/ext_*/ablation_* binary (which picks up
-# ext_alert_storm, the ingestion overload bench, automatically);
-# micro_hotpaths is a google-benchmark binary with its own protocol and is
-# not part of it. Mode variants reuse a binary with extra flags under a
-# distinct result name: ext_alert_storm_storm is `ext_alert_storm --storm`
-# (the alert-storm telemetry scenario; also selectable via --only).
+# ext_alert_storm, the ingestion overload bench, automatically), plus
+# overheads_table and micro_hotpaths (the hot-path microbench speaks the
+# same protocol as every figure bench). Mode variants reuse a binary with
+# extra flags under a distinct result name: ext_alert_storm_storm is
+# `ext_alert_storm --storm` (the alert-storm telemetry scenario; also
+# selectable via --only).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,7 +56,7 @@ mkdir -p "$OUT_DIR"
 
 benches=()
 for b in "$BENCH_DIR"/fig* "$BENCH_DIR"/ext_* "$BENCH_DIR"/ablation_* \
-         "$BENCH_DIR"/overheads_table; do
+         "$BENCH_DIR"/overheads_table "$BENCH_DIR"/micro_hotpaths; do
   [[ -x "$b" && -f "$b" ]] || continue
   benches+=("$b")
 done

@@ -28,7 +28,7 @@ cmake -S "$repo" -B "$dir" -DCMAKE_BUILD_TYPE=Tsan \
   -DSLD_BUILD_BENCH=OFF -DSLD_BUILD_EXAMPLES=OFF "${launcher_args[@]}"
 echo "=== [tsan] build ==="
 cmake --build "$dir" -j "$jobs" --target \
-  test_executor_pool test_executor test_profiler chaos_campaign
+  test_executor_pool test_executor test_profiler test_memstats chaos_campaign
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
@@ -38,6 +38,8 @@ echo "=== [tsan] serial-vs-parallel equivalence suite ==="
 "$dir/tests/test_executor"
 echo "=== [tsan] profiler cross-thread merge ==="
 "$dir/tests/test_profiler"
+echo "=== [tsan] memstats thread-local accounting, 4 workers ==="
+"$dir/tests/test_memstats"
 echo "=== [tsan] chaos campaign, 4 workers ==="
 "$dir/tests/chaos/chaos_campaign" --schedules 12 --base-seed 1 --fast --jobs 4
 echo "=== [tsan] alert-storm chaos slice, 4 workers ==="

@@ -145,6 +145,82 @@ class SpeedupGate(unittest.TestCase):
         self.assertIn("1.00x", out)
 
 
+class ExactGate(unittest.TestCase):
+    """--exact / --require-equal: the deterministic memstats-counter gate
+    (the CI mem-smoke job's regression and jobs-invariance checks)."""
+
+    def _with_memstats(self, **overrides):
+        doc = bench_compare.load_result(GOOD)
+        ms = {f: 100 for f in bench_compare.EXACT_FIELDS}
+        ms.update(overrides)
+        doc["memstats"] = ms
+        f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+        json.dump(doc, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def test_equal_counts_pass_both_modes(self):
+        base = self._with_memstats()
+        for flag in ("--exact", "--require-equal"):
+            code, out, _ = run_main([flag, base, base])
+            self.assertEqual(code, 0, flag)
+            self.assertIn("gate clean", out)
+
+    def test_extra_allocs_fail_and_are_named(self):
+        base = self._with_memstats()
+        cand = self._with_memstats(allocs=101)
+        code, out, _ = run_main(["--exact", base, cand])
+        self.assertEqual(code, 1)
+        # The exit-1 summary line names the bench AND the metric.
+        summary = out.splitlines()[-1]
+        self.assertIn("memstats.allocs", summary)
+        self.assertIn("100 -> 101", summary)
+        self.assertIn("fig06_revocation_rate", summary)
+
+    def test_fewer_scans_pass_exact_but_fail_require_equal(self):
+        base = self._with_memstats()
+        cand = self._with_memstats(scans=99)
+        code, _, _ = run_main(["--exact", base, cand])
+        self.assertEqual(code, 0)
+        code, out, _ = run_main(["--require-equal", base, cand])
+        self.assertEqual(code, 1)
+        self.assertIn("memstats.scans", out.splitlines()[-1])
+
+    def test_missing_memstats_on_one_side_fails(self):
+        base = self._with_memstats()
+        code, out, _ = run_main(["--exact", base, GOOD])
+        self.assertEqual(code, 1)
+        self.assertIn("missing in candidate", out.splitlines()[-1])
+
+    def test_no_memstats_anywhere_fails_closed(self):
+        # A gate that gated nothing is a misconfigured job, not a pass.
+        code, out, _ = run_main(["--exact", GOOD, GOOD])
+        self.assertEqual(code, 1)
+        self.assertIn("--memstats", out)
+
+    def test_peak_live_bytes_is_not_gated(self):
+        base = self._with_memstats(peak_live_bytes=1000)
+        cand = self._with_memstats(peak_live_bytes=9999)
+        code, _, _ = run_main(["--require-equal", base, cand])
+        self.assertEqual(code, 0)
+
+
+class NamedRegressionSummary(unittest.TestCase):
+    def test_wall_time_summary_names_bench_and_metric(self):
+        code, out, _ = run_main([BASELINE, CANDIDATE])
+        self.assertEqual(code, 1)
+        summary = out.splitlines()[-1]
+        self.assertIn("fig11_deployment[wall_ms.median", summary)
+
+    def test_speedup_summary_names_bench_and_metric(self):
+        code, out, _ = run_main(["--speedup", GOOD, GOOD])
+        self.assertEqual(code, 1)
+        summary = out.splitlines()[-1]
+        self.assertIn("fig06_revocation_rate[events_per_sec 1.00x]",
+                      summary)
+
+
 class SelfCheck(unittest.TestCase):
     def test_self_check_passes(self):
         code, out, _ = run_main(["--self-check"])

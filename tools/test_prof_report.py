@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Unit tests for prof_report.py: span-tree flattening, counter tracks
+from timeseries windows, and the structural Chrome-trace validator.
+
+Run from tools/:  python3 -m unittest test_prof_report
+(registered as the `prof_report_unittest` ctest target).
+"""
+
+import contextlib
+import io
+import json
+import os
+import tempfile
+import unittest
+
+import prof_report
+
+PROFILE = {
+    "schema": "sld-profile/v1",
+    "spans": [{
+        "name": "trial", "calls": 1, "total_ns": 10_000, "self_ns": 4_000,
+        "children": [
+            {"name": "sched.event", "calls": 7, "total_ns": 5_000,
+             "self_ns": 3_000, "children": [
+                 {"name": "channel.transmit", "calls": 3,
+                  "total_ns": 2_000, "self_ns": 2_000, "children": []}]},
+            {"name": "trial.teardown", "calls": 1, "total_ns": 1_000,
+             "self_ns": 1_000, "children": []},
+        ],
+    }],
+}
+
+TS_LINES = [
+    {"t": 0, "e": "ts.meta", "schema": "timeseries/v1",
+     "cadence_ns": 1000, "seed": 1},
+    {"t": 1000, "e": "ts.window", "idx": 0, "start": 0, "end": 1000,
+     "counters": {"mem.scheduler.allocs": 5},
+     "deltas": {"mem.scheduler.allocs": 5},
+     "gauges": {"mem.rss_kb": 2048.0},
+     "hists": {"hot.queue_depth": {"count": 9, "p50": 2, "p90": 5,
+                                   "p99": 7}}},
+    {"t": 2000, "e": "ts.window", "idx": 1, "start": 1000, "end": 2000,
+     "counters": {"mem.scheduler.allocs": 8},
+     "deltas": {"mem.scheduler.allocs": 3},
+     "gauges": {"mem.rss_kb": 2112.0}, "hists": {}},
+]
+
+
+def run_main(argv):
+    with contextlib.redirect_stdout(io.StringIO()) as out, \
+            contextlib.redirect_stderr(io.StringIO()) as err:
+        code = prof_report.main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+class Fixtures(unittest.TestCase):
+    def write(self, content, suffix):
+        f = tempfile.NamedTemporaryFile("w", suffix=suffix, delete=False)
+        f.write(content)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def write_profile(self, doc=PROFILE):
+        return self.write(json.dumps(doc), ".json")
+
+    def write_timeseries(self, lines=TS_LINES):
+        return self.write(
+            "".join(json.dumps(rec) + "\n" for rec in lines), ".jsonl")
+
+    def out_path(self):
+        f = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+
+class SpanFlattening(Fixtures):
+    def test_spans_become_nested_complete_events(self):
+        events = prof_report.spans_to_events(PROFILE, "mem")
+        by_name = {e["name"]: e for e in events}
+        self.assertEqual(len(events), 4)
+        for e in events:
+            self.assertEqual(e["ph"], "X")
+        trial = by_name["trial"]
+        sched = by_name["sched.event"]
+        xmit = by_name["channel.transmit"]
+        tear = by_name["trial.teardown"]
+        # dur is total_ns in microseconds.
+        self.assertAlmostEqual(trial["dur"], 10.0)
+        self.assertAlmostEqual(sched["dur"], 5.0)
+        # Children nest inside the parent's synthesized range; siblings
+        # are laid out sequentially.
+        self.assertGreaterEqual(sched["ts"], trial["ts"])
+        self.assertLessEqual(sched["ts"] + sched["dur"],
+                             trial["ts"] + trial["dur"])
+        self.assertGreaterEqual(xmit["ts"], sched["ts"])
+        self.assertAlmostEqual(tear["ts"], sched["ts"] + sched["dur"])
+        # Exact aggregates ride in args.
+        self.assertEqual(sched["args"],
+                         {"calls": 7, "total_ns": 5000, "self_ns": 3000})
+
+    def test_wrong_schema_rejected(self):
+        with self.assertRaises(ValueError):
+            prof_report.spans_to_events({"schema": "bogus", "spans": []},
+                                        "mem")
+
+
+class CounterTracks(Fixtures):
+    def test_windows_become_counter_samples(self):
+        events = prof_report.timeseries_to_events(
+            [json.dumps(r) for r in TS_LINES], "mem")
+        allocs = [e for e in events
+                  if e["name"] == "mem.scheduler.allocs"]
+        # Counter tracks carry the per-window DELTA, not the cumulative.
+        self.assertEqual([e["args"]["value"] for e in allocs], [5, 3])
+        # Sampled at window end, ns -> us.
+        self.assertEqual([e["ts"] for e in allocs], [1.0, 2.0])
+        rss = [e for e in events if e["name"] == "mem.rss_kb"]
+        self.assertEqual([e["args"]["value"] for e in rss],
+                         [2048.0, 2112.0])
+        p99 = [e for e in events if e["name"] == "hot.queue_depth.p99"]
+        self.assertEqual([e["args"]["value"] for e in p99], [7])
+        for e in events:
+            self.assertEqual(e["ph"], "C")
+
+    def test_stream_without_meta_header_rejected(self):
+        with self.assertRaises(ValueError):
+            prof_report.timeseries_to_events(
+                [json.dumps(TS_LINES[1])], "mem")
+
+
+class EndToEnd(Fixtures):
+    def test_convert_then_validate(self):
+        out = self.out_path()
+        code, stdout, _ = run_main(["--profile", self.write_profile(),
+                                    "--timeseries",
+                                    self.write_timeseries(),
+                                    "-o", out])
+        self.assertEqual(code, 0)
+        self.assertIn("4 spans", stdout)
+        code, stdout, _ = run_main(["--validate", out])
+        self.assertEqual(code, 0)
+        self.assertIn("ok:", stdout)
+        doc = json.load(open(out, encoding="utf-8"))
+        self.assertIn("traceEvents", doc)
+
+    def test_profile_only_and_timeseries_only(self):
+        for argv in (["--profile", self.write_profile()],
+                     ["--timeseries", self.write_timeseries()]):
+            out = self.out_path()
+            code, _, _ = run_main(argv + ["-o", out])
+            self.assertEqual(code, 0, argv)
+            code, _, _ = run_main(["--validate", out])
+            self.assertEqual(code, 0, argv)
+
+    def test_bad_profile_is_input_error(self):
+        bad = self.write("{not json", ".json")
+        code, _, err = run_main(["--profile", bad, "-o", self.out_path()])
+        self.assertEqual(code, 2)
+        self.assertIn("prof_report:", err)
+
+
+class Validator(Fixtures):
+    def _validate(self, doc):
+        return run_main(["--validate", self.write(json.dumps(doc),
+                                                  ".json")])
+
+    def test_rejects_missing_trace_events(self):
+        code, _, err = self._validate({"foo": []})
+        self.assertEqual(code, 1)
+        self.assertIn("traceEvents", err)
+
+    def test_rejects_empty_trace_events(self):
+        code, _, err = self._validate({"traceEvents": []})
+        self.assertEqual(code, 1)
+        self.assertIn("empty", err)
+
+    def test_rejects_complete_event_without_dur(self):
+        code, _, err = self._validate({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "pid": 1}]})
+        self.assertEqual(code, 1)
+        self.assertIn("dur", err)
+
+    def test_rejects_counter_without_value(self):
+        code, _, err = self._validate({"traceEvents": [
+            {"name": "x", "ph": "C", "ts": 0, "pid": 1, "args": {}}]})
+        self.assertEqual(code, 1)
+        self.assertIn("args.value", err)
+
+    def test_rejects_unknown_phase(self):
+        code, _, err = self._validate({"traceEvents": [
+            {"name": "x", "ph": "Z", "ts": 0, "pid": 1}]})
+        self.assertEqual(code, 1)
+        self.assertIn("phase", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -161,6 +161,27 @@ class Reports(unittest.TestCase):
         self.assertIn("bs.ingest.queue_depth(total)", out)
         self.assertIn("bs.ingest.breaker_state", out)
 
+    def test_dashboard_surfaces_rss_gauge_when_sampled(self):
+        # A --rss stream carries a mem.rss_kb gauge per window; the
+        # dashboard's curated tracks include it.
+        path = write_lines([
+            '{"t": 0, "e": "ts.meta", "schema": "timeseries/v1", '
+            '"cadence_ns": 1000, "seed": 1}',
+            '{"t": 1000, "e": "ts.window", "idx": 0, "start": 0, '
+            '"end": 1000, "counters": {}, "deltas": {}, '
+            '"gauges": {"mem.rss_kb": 2048.0}, "hists": {}}',
+            '{"t": 2000, "e": "ts.window", "idx": 1, "start": 1000, '
+            '"end": 2000, "counters": {}, "deltas": {}, '
+            '"gauges": {"mem.rss_kb": 2112.0}, "hists": {}}',
+        ])
+        try:
+            code, out, _ = run_quietly(ts_report.report, path,
+                                       dashboard=True)
+        finally:
+            os.unlink(path)
+        self.assertEqual(code, 0)
+        self.assertIn("mem.rss_kb", out)
+
     def test_metric_filter_rejects_unknown_names(self):
         code, _, err = run_quietly(ts_report.report, GOOD,
                                    metrics=["no.such.metric"])

@@ -44,6 +44,7 @@ DASHBOARD_GAUGES = [
     "bs.ingest.breaker_state",
     "bs.cluster.in_service",
     "sched.pending",
+    "mem.rss_kb",
 ]
 
 
