@@ -1,0 +1,91 @@
+#include "attack/framing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sld::attack {
+
+namespace {
+std::uint64_t cell_key(const util::Vec2& p, double cell) {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell));
+  return (static_cast<std::uint64_t>(cx) << 32) ^
+         (static_cast<std::uint64_t>(cy) & 0xffffffffULL);
+}
+}  // namespace
+
+FramingPlan plan_framing(
+    const std::vector<std::pair<sim::NodeId, util::Vec2>>& colluders,
+    const std::vector<std::pair<sim::NodeId, util::Vec2>>& benign_beacons,
+    const FramingConfig& config, std::size_t report_quota,
+    sim::SimTime window_start,
+    const std::vector<std::pair<sim::SimTime, sim::SimTime>>& outages,
+    util::Rng& rng) {
+  FramingPlan plan;
+  if (colluders.empty() || benign_beacons.empty()) return plan;
+
+  // Rank targets by coverage criticality: fewest benign beacons in the
+  // cell first (losing one of those starves the cell), id breaking ties.
+  const double cell = config.cell_ft > 0 ? config.cell_ft : 1.0;
+  std::unordered_map<std::uint64_t, std::uint32_t> census;
+  for (const auto& [id, pos] : benign_beacons) ++census[cell_key(pos, cell)];
+  std::vector<std::pair<sim::NodeId, std::uint32_t>> ranked;
+  ranked.reserve(benign_beacons.size());
+  for (const auto& [id, pos] : benign_beacons)
+    ranked.emplace_back(id, census.at(cell_key(pos, cell)));
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second < b.second : a.first < b.first;
+  });
+
+  // tau1 pacing: each colluder accuses each framed target once per wave;
+  // only the first accusation of a pair consumes accepted-alert quota
+  // (later waves are pair repeats), so distinct targets are capped at the
+  // quota and every framing alert is accepted, never quota-ignored.
+  const std::size_t n_targets =
+      std::min<std::size_t>({config.targets, ranked.size(),
+                             report_quota > 0 ? report_quota : 1});
+  plan.targets.reserve(n_targets);
+  for (std::size_t i = 0; i < n_targets; ++i)
+    plan.targets.push_back(ranked[i].first);
+
+  const std::uint32_t waves = std::max<std::uint32_t>(1, config.waves);
+  const sim::SimTime window = std::max<sim::SimTime>(config.window_ns, 1);
+  for (std::uint32_t w = 0; w < waves; ++w) {
+    // Wave anchor: evenly across the window — or snapped just past a
+    // scheduled outage's recovery edge, accusing the station while it is
+    // rebuilding lifecycle state from the WAL.
+    sim::SimTime anchor =
+        window_start + (window * static_cast<sim::SimTime>(w)) /
+                           static_cast<sim::SimTime>(waves);
+    if (!outages.empty()) {
+      const auto& outage = outages[w % outages.size()];
+      const sim::SimTime recovery = outage.second + sim::kMillisecond;
+      if (recovery >= window_start && recovery < window_start + window)
+        anchor = recovery;
+    }
+    for (std::size_t t = 0; t < plan.targets.size(); ++t) {
+      for (std::size_t c = 0; c < colluders.size(); ++c) {
+        // Small deterministic jitter spreads the clique's accusations so
+        // they interleave with honest traffic instead of arriving as one
+        // burst the admission layer would trivially fingerprint.
+        const sim::SimTime jitter =
+            static_cast<sim::SimTime>(rng.uniform_u64(5 * sim::kMillisecond));
+        plan.alerts.push_back(FramingPlan::TimedAlert{
+            colluders[c].first, plan.targets[t],
+            anchor + static_cast<sim::SimTime>(t) * sim::kMillisecond +
+                jitter});
+      }
+    }
+  }
+  std::sort(plan.alerts.begin(), plan.alerts.end(),
+            [](const FramingPlan::TimedAlert& a,
+               const FramingPlan::TimedAlert& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.target != b.target) return a.target < b.target;
+              return a.reporter < b.reporter;
+            });
+  return plan;
+}
+
+}  // namespace sld::attack

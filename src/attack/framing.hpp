@@ -1,0 +1,62 @@
+// Coverage-directed framing attack (the lifecycle's adversary).
+//
+// Collusion (collusion.hpp) floods alerts to revoke *as many* benign
+// beacons as possible. Framing is the patient variant aimed at the
+// revocation scheme itself: the colluders pick the benign beacons whose
+// loss hurts localization coverage the most (sparsest deployment cells
+// first), pace their accusations under the per-reporter tau1 budget so
+// every alert is accepted, and re-accuse in waves so the targets' decayed
+// evidence is topped up just as it would clear. When the deployment has
+// scheduled base-station outages, waves are aligned to the recovery
+// instants — accusations landing while the station is rebuilding from the
+// WAL are the hardest case for lifecycle agreement across failover.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace sld::attack {
+
+struct FramingConfig {
+  bool enabled = false;
+  /// Benign beacons to frame (capped at the colluders' tau1 budget).
+  std::uint32_t targets = 4;
+  /// Accusation window: waves are spread across it.
+  sim::SimTime window_ns = 30 * sim::kSecond;
+  /// Re-accusation waves per target (tops decayed evidence back up).
+  std::uint32_t waves = 2;
+  /// Cell size used to rank coverage criticality; should match the
+  /// defender's LifecycleConfig::cell_ft for the sharpest attack.
+  double cell_ft = 250.0;
+};
+
+struct FramingPlan {
+  struct TimedAlert {
+    sim::NodeId reporter = 0;
+    sim::NodeId target = 0;
+    sim::SimTime at = 0;
+  };
+  /// Accusations in schedule order.
+  std::vector<TimedAlert> alerts;
+  /// The framed beacons, most coverage-critical first.
+  std::vector<sim::NodeId> targets;
+};
+
+/// Builds the framing schedule. `outages` (possibly empty) are the
+/// scheduled primary outage windows; waves are snapped to just past their
+/// recovery edges when available. Deterministic given `rng`'s state.
+FramingPlan plan_framing(
+    const std::vector<std::pair<sim::NodeId, util::Vec2>>& colluders,
+    const std::vector<std::pair<sim::NodeId, util::Vec2>>& benign_beacons,
+    const FramingConfig& config, std::size_t report_quota,
+    sim::SimTime window_start,
+    const std::vector<std::pair<sim::SimTime, sim::SimTime>>& outages,
+    util::Rng& rng);
+
+}  // namespace sld::attack

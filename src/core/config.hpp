@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "attack/framing.hpp"
 #include "attack/strategy.hpp"
+#include "localization/fallback.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -87,6 +89,20 @@ struct SystemConfig {
     sim::SimTime duration_ns = 30 * sim::kSecond;
   };
   AlertStormConfig storm;
+
+  /// Coverage-directed framing attack: colluders accuse the benign
+  /// beacons whose loss degrades coverage most, paced under tau1 and
+  /// (when outages are scheduled) aligned to recovery edges. Default:
+  /// disabled, nothing scheduled, no randomness drawn. The defense is
+  /// `revocation.lifecycle`; framing against the paper's permanent
+  /// scheme is the undefended baseline the framing bench sweeps.
+  attack::FramingConfig framing;
+
+  /// Localization fallback ladder: when revocation/quarantine leaves a
+  /// sensor short of references, degrade multilateration -> robust ->
+  /// weighted centroid with an explicit confidence tier instead of
+  /// failing. Default: disabled, the seed's multilateration-or-fail.
+  localization::FallbackConfig fallback;
 
   /// Probability a sensor learns a given revocation (paper: ~1 thanks to
   /// retransmission).

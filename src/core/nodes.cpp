@@ -7,6 +7,7 @@
 
 #include "check/invariant.hpp"
 #include "crypto/mac.hpp"
+#include "localization/fallback.hpp"
 #include "obs/memstats.hpp"
 #include "obs/profiler.hpp"
 #include "sim/channel.hpp"
@@ -789,6 +790,7 @@ void SensorNode::finalize() {
     }
     return;
   }
+  const sim::SimTime now = scheduler().now();
   localization::LocationReferences refs;
   refs.reserve(accepted_.size());
   std::unordered_set<sim::NodeId> counted;
@@ -805,9 +807,68 @@ void SensorNode::finalize() {
       }
       continue;
     }
+    // Quarantine is disseminated like a (reversible) revocation notice:
+    // sensors that heard it sequester the reference. is_quarantined
+    // short-circuits to false while the lifecycle is disabled.
+    const bool quarantined =
+        ctx_.bs().is_quarantined(acc.ref.beacon_id, now) &&
+        ctx_.dissemination.sensor_knows(id(), acc.ref.beacon_id);
+    if (quarantined) {
+      ++ctx_.metrics.sensor_refs_dropped_quarantined;
+      if (ctx_.tracer.on()) {
+        ctx_.tracer.emit(ctx_.tracer.event("sensor.drop_quarantined")
+                             .f("node", id())
+                             .f("target", acc.ref.beacon_id));
+      }
+      continue;
+    }
     if (acc.effective_malicious && counted.insert(acc.ref.beacon_id).second)
       ++ctx_.metrics.affected_by_malicious[acc.ref.beacon_id];
     refs.push_back(acc.ref);
+  }
+
+  if (ctx_.config.fallback.enabled) {
+    const auto fallen =
+        localization::localize_with_fallback(refs, ctx_.config.fallback);
+    if (fallen) {
+      localization::LocalizationResult as_result;
+      as_result.position = fallen->position;
+      as_result.rms_residual_ft = fallen->rms_residual_ft;
+      result_ = as_result;
+      ++ctx_.metrics.sensors_localized;
+      switch (fallen->tier) {
+        case localization::ConfidenceTier::kMultilateration:
+          ++ctx_.metrics.sensors_tier_mlat;
+          break;
+        case localization::ConfidenceTier::kRobust:
+          ++ctx_.metrics.sensors_tier_robust;
+          break;
+        case localization::ConfidenceTier::kCentroid:
+          ++ctx_.metrics.sensors_tier_centroid;
+          break;
+      }
+      const double err_ft = util::distance(fallen->position, position());
+      ctx_.metrics.localization_error_ft.add(err_ft);
+      ctx_.metrics.localization_errors_ft.push_back(err_ft);
+      if (ctx_.tracer.on()) {
+        ctx_.tracer.emit(
+            ctx_.tracer.event("sensor.localized")
+                .f("node", id())
+                .f("err_ft", err_ft)
+                .f("refs", static_cast<std::uint64_t>(refs.size()))
+                .f("tier",
+                   localization::confidence_tier_name(fallen->tier)));
+      }
+    } else {
+      ++ctx_.metrics.sensors_unlocalized;
+      if (ctx_.tracer.on()) {
+        ctx_.tracer.emit(ctx_.tracer.event("sensor.unlocalized")
+                             .f("node", id())
+                             .f("refs",
+                                static_cast<std::uint64_t>(refs.size())));
+      }
+    }
+    return;
   }
 
   localization::MultilaterationSolver solver;
@@ -817,6 +878,7 @@ void SensorNode::finalize() {
     ++ctx_.metrics.sensors_localized;
     const double err_ft = util::distance(fit->position, position());
     ctx_.metrics.localization_error_ft.add(err_ft);
+    ctx_.metrics.localization_errors_ft.push_back(err_ft);
     if (ctx_.tracer.on()) {
       ctx_.tracer.emit(ctx_.tracer.event("sensor.localized")
                            .f("node", id())

@@ -77,9 +77,22 @@ struct Metrics {
   std::uint64_t sensor_discarded_wormhole = 0;
   std::uint64_t sensor_discarded_rtt = 0;
   std::uint64_t sensor_refs_dropped_revoked = 0;
+  /// References dropped because their beacon was quarantined (always 0
+  /// while the lifecycle is disabled).
+  std::uint64_t sensor_refs_dropped_quarantined = 0;
   std::uint64_t sensors_localized = 0;
   std::uint64_t sensors_unlocalized = 0;
   util::RunningStat localization_error_ft;
+  /// Per-sensor localization errors in finalize order — the raw sample
+  /// the benches compute tail quantiles (p99) from.
+  std::vector<double> localization_errors_ft;
+  /// Framing accusations scheduled by the framing plan (0 unless the
+  /// framing attack is enabled).
+  std::uint64_t framing_alerts_submitted = 0;
+  /// Fallback-ladder rung counts (all 0 while the ladder is disabled).
+  std::uint64_t sensors_tier_mlat = 0;
+  std::uint64_t sensors_tier_robust = 0;
+  std::uint64_t sensors_tier_centroid = 0;
 
   /// Per malicious beacon: how many distinct sensors accepted (and kept,
   /// post-revocation) its effective malicious reference.

@@ -47,6 +47,17 @@ SecureLocalizationSystem::SecureLocalizationSystem(SystemConfig config)
   }
 
   build_nodes();
+  // Lifecycle runs need the deployment roster at the base station (and in
+  // the durable store, so WAL restore re-registers it before replay): the
+  // corroboration check weighs reporters by position and the coverage
+  // guard bins beacons into cells. Gated — registering beacons on a
+  // lifecycle-disabled station is a no-op, but we skip even that.
+  if (config_.revocation.lifecycle.enabled) {
+    std::vector<std::pair<sim::NodeId, util::Vec2>> roster;
+    for (const auto& spec : deployment_.nodes)
+      if (spec.beacon) roster.emplace_back(spec.id, spec.position);
+    ctx_->cluster.set_beacon_roster(roster);
+  }
   ctx_->scheduler = &network_.scheduler();
   ctx_->faults = &network_.channel().faults();
 
@@ -190,6 +201,33 @@ void SecureLocalizationSystem::schedule_collusion() {
   }
 }
 
+void SecureLocalizationSystem::schedule_framing() {
+  if (!config_.framing.enabled || malicious_nodes_.empty()) return;
+
+  std::vector<std::pair<sim::NodeId, util::Vec2>> colluders;
+  for (const auto* m : malicious_nodes_)
+    colluders.emplace_back(m->id(), m->position());
+  std::vector<std::pair<sim::NodeId, util::Vec2>> benign;
+  for (const auto* b : benign_nodes_)
+    benign.emplace_back(b->id(), b->position());
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> outages;
+  for (const auto& w : config_.failover.primary_outages)
+    outages.emplace_back(w.start, w.end);
+
+  util::Rng framing_rng = ctx_->rng.fork(0xf4a41);
+  const auto plan = attack::plan_framing(
+      colluders, benign, config_.framing, config_.revocation.report_quota,
+      config_.probe_phase_start, outages, framing_rng);
+  for (const auto& alert : plan.alerts) {
+    const sim::NodeId reporter = alert.reporter;
+    const sim::NodeId target = alert.target;
+    network_.scheduler().schedule_at(alert.at, [this, reporter, target]() {
+      ++ctx_->metrics.framing_alerts_submitted;
+      ctx_->submit_alert(reporter, target, /*collusion_alert=*/true);
+    });
+  }
+}
+
 void SecureLocalizationSystem::setup_telemetry() {
   if (!config_.telemetry.enabled) return;
   // Mirror instruments exist only for telemetry runs, so default metric
@@ -205,6 +243,12 @@ void SecureLocalizationSystem::setup_telemetry() {
   if (config_.ingest.enabled())
     tel_.breaker = &reg.gauge("bs.ingest.breaker_state");
   tel_.in_service = &reg.gauge("bs.cluster.in_service");
+  if (config_.revocation.lifecycle.enabled) {
+    tel_.quarantines = &reg.counter("bs.quarantines");
+    tel_.exonerations = &reg.counter("bs.exonerations");
+    tel_.escalations = &reg.counter("bs.escalations");
+    tel_.min_usable = &reg.gauge("coverage.min_usable");
+  }
 
   ctx_->timeseries =
       std::make_unique<obs::TimeseriesSampler>(reg, config_.telemetry);
@@ -342,6 +386,23 @@ void SecureLocalizationSystem::sync_telemetry(std::int64_t t) {
         ctx_->ingest.breaker_state(static_cast<sim::SimTime>(t)))));
   }
   tel_.in_service->set(ctx_->cluster.in_service() ? 1.0 : 0.0);
+  if (tel_.quarantines != nullptr) {
+    const revocation::BaseStationStats& bs = ctx_->bs().stats();
+    sync_counter(tel_.quarantines, bs.quarantines);
+    sync_counter(tel_.exonerations, bs.exonerations);
+    sync_counter(tel_.escalations, bs.escalations);
+    // Coverage floor as the defender sees it: the sparsest occupied cell's
+    // usable-beacon count at the window edge (pure lazy-decay reads).
+    const auto census =
+        ctx_->bs().lifecycle().census_all(static_cast<sim::SimTime>(t));
+    std::uint32_t min_usable = 0;
+    bool first = true;
+    for (const auto& cell : census) {
+      if (first || cell.usable < min_usable) min_usable = cell.usable;
+      first = false;
+    }
+    tel_.min_usable->set(static_cast<double>(min_usable));
+  }
   for (auto& m : mem_) {
     const obs::MemScopeStats now = obs::Memstats::thread_totals_for(m.tag);
     sync_counter(m.allocs, now.allocs - m.start.allocs);
@@ -408,6 +469,7 @@ TrialSummary SecureLocalizationSystem::run() {
     obs::ScopedTimerMs timer(ctx_->instruments, "phase.probing_ms");
     network_.start_all();
     schedule_collusion();
+    schedule_framing();
     schedule_failover();
     schedule_finalize();
     network_.scheduler().run_until(config_.sensor_phase_start);
@@ -422,6 +484,10 @@ TrialSummary SecureLocalizationSystem::run() {
   // final state.
   ctx_->ingest.drain(network_.scheduler().now());
   ctx_->cluster.advance(std::numeric_limits<sim::SimTime>::max());
+  // Materialize pending exonerations and emit the end-of-trial coverage
+  // census before any state is read. No-op with the lifecycle disabled.
+  if (config_.revocation.lifecycle.enabled)
+    ctx_->cluster.settle(network_.scheduler().now());
 
   // Close the telemetry stream: complete windows through now, plus the
   // partial tail, so the final drain/commit burst is visible in the last
@@ -467,23 +533,38 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.malicious_beacons = malicious_nodes_.size();
   s.sensors = sensor_nodes_.size();
 
+  const sim::SimTime end_time = network_.scheduler().now();
   double requester_sum = 0.0;
   for (const auto* m : malicious_nodes_) {
     requester_sum +=
         static_cast<double>(network_.connected_nodes(m->id()).size());
-    if (ctx_->bs().is_revoked(m->id())) ++s.malicious_revoked;
+    if (ctx_->bs().is_revoked(m->id()))
+      ++s.malicious_revoked;
+    else if (ctx_->bs().is_quarantined(m->id(), end_time))
+      ++s.malicious_quarantined;
   }
   s.avg_requesters_per_malicious =
       malicious_nodes_.empty()
           ? 0.0
           : requester_sum / static_cast<double>(malicious_nodes_.size());
   for (const auto* b : benign_nodes_) {
-    if (ctx_->bs().is_revoked(b->id())) ++s.benign_revoked;
+    if (ctx_->bs().is_revoked(b->id()))
+      ++s.benign_revoked;
+    else if (ctx_->bs().is_quarantined(b->id(), end_time))
+      ++s.benign_quarantined;
+  }
+  if (config_.revocation.lifecycle.enabled) {
+    std::uint32_t min_usable = std::numeric_limits<std::uint32_t>::max();
+    for (const auto& cell : ctx_->bs().lifecycle().census_all(end_time))
+      min_usable = std::min(min_usable, cell.usable);
+    if (min_usable != std::numeric_limits<std::uint32_t>::max())
+      s.min_cell_usable = min_usable;
   }
   s.detection_rate =
       malicious_nodes_.empty()
           ? 0.0
-          : static_cast<double>(s.malicious_revoked) /
+          : static_cast<double>(s.malicious_revoked +
+                                s.malicious_quarantined) /
                 static_cast<double>(malicious_nodes_.size());
   s.false_positive_rate =
       benign_nodes_.empty()
@@ -505,6 +586,13 @@ TrialSummary SecureLocalizationSystem::summarize() const {
   s.sensors_unlocalized = ctx_->metrics.sensors_unlocalized;
   s.mean_localization_error_ft = ctx_->metrics.localization_error_ft.mean();
   s.max_localization_error_ft = ctx_->metrics.localization_error_ft.max();
+  if (!ctx_->metrics.localization_errors_ft.empty()) {
+    // Nearest-rank p99 over the raw per-sensor sample.
+    std::vector<double> errs = ctx_->metrics.localization_errors_ft;
+    std::sort(errs.begin(), errs.end());
+    const std::size_t rank = (errs.size() * 99 + 99) / 100;
+    s.p99_localization_error_ft = errs[std::min(rank, errs.size()) - 1];
+  }
 
   double latency_sum_ms = 0.0;
   std::size_t latency_count = 0;

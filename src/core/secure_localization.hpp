@@ -28,10 +28,22 @@ struct TrialSummary {
   /// the measured N_c fed back into the analytical model.
   double avg_requesters_per_malicious = 0.0;
 
-  // Revocation outcomes.
+  // Revocation outcomes. With the evidence lifecycle enabled,
+  // `detection_rate` counts quarantined-or-revoked malicious beacons
+  // (quarantine is reversible sequestration — the beacon is out of
+  // service either way), while `benign_revoked` / `false_positive_rate`
+  // stay PERMANENT revocations only: a quarantined benign beacon that
+  // exonerates was never falsely revoked.
   std::size_t malicious_revoked = 0;
   std::size_t benign_revoked = 0;
-  double detection_rate = 0.0;       // malicious_revoked / N_a
+  /// Beacons held in (non-permanent) quarantine when the trial ended.
+  /// Always 0 while revocation.lifecycle is disabled.
+  std::size_t malicious_quarantined = 0;
+  std::size_t benign_quarantined = 0;
+  /// Minimum usable-beacon count over occupied deployment cells at the
+  /// end of the trial (lifecycle runs only; 0 otherwise).
+  std::uint32_t min_cell_usable = 0;
+  double detection_rate = 0.0;       // (revoked + quarantined) / N_a
   double false_positive_rate = 0.0;  // benign_revoked / (N_b - N_a)
 
   // Attack impact.
@@ -45,6 +57,9 @@ struct TrialSummary {
   std::size_t sensors_unlocalized = 0;
   double mean_localization_error_ft = 0.0;
   double max_localization_error_ft = 0.0;
+  /// Nearest-rank p99 of the per-sensor error sample (0 when no sensor
+  /// localized).
+  double p99_localization_error_ft = 0.0;
 
   // Fault tolerance.
   /// Mean time until a malicious beacon was revoked, in milliseconds of
@@ -123,6 +138,12 @@ class SecureLocalizationSystem {
     obs::Gauge* sched_pending = nullptr;      // sched.pending
     obs::Gauge* breaker = nullptr;            // bs.ingest.breaker_state
     obs::Gauge* in_service = nullptr;         // bs.cluster.in_service
+    /// Lifecycle mirrors, registered only when revocation.lifecycle is on
+    /// (so telemetry-enabled seed runs keep their metric snapshots).
+    obs::Counter* quarantines = nullptr;      // bs.quarantines
+    obs::Counter* exonerations = nullptr;     // bs.exonerations
+    obs::Counter* escalations = nullptr;      // bs.escalations
+    obs::Gauge* min_usable = nullptr;         // coverage.min_usable
   };
 
   /// Per-scope allocation baseline + the registry mirror counters the
@@ -138,6 +159,9 @@ class SecureLocalizationSystem {
 
   void build_nodes();
   void schedule_collusion();
+  /// Schedules the coverage-directed framing plan (attack/framing). No-op
+  /// — and draws no randomness — unless config.framing.enabled.
+  void schedule_framing();
   void schedule_failover();
   void schedule_finalize();
   void setup_telemetry();

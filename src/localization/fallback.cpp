@@ -1,0 +1,59 @@
+#include "localization/fallback.hpp"
+
+#include "localization/centroid.hpp"
+
+namespace sld::localization {
+
+const char* confidence_tier_name(ConfidenceTier tier) {
+  switch (tier) {
+    case ConfidenceTier::kMultilateration:
+      return "mlat";
+    case ConfidenceTier::kRobust:
+      return "robust";
+    case ConfidenceTier::kCentroid:
+      return "centroid";
+  }
+  return "unknown";
+}
+
+std::optional<FallbackResult> localize_with_fallback(
+    const LocationReferences& refs, const FallbackConfig& config) {
+  if (refs.empty()) return std::nullopt;
+
+  if (refs.size() >= config.min_references) {
+    const MultilaterationSolver solver;
+    if (const auto fit = solver.solve(refs);
+        fit.has_value() && fit->rms_residual_ft <= config.acceptable_rms_ft) {
+      FallbackResult r;
+      r.position = fit->position;
+      r.rms_residual_ft = fit->rms_residual_ft;
+      r.tier = ConfidenceTier::kMultilateration;
+      return r;
+    }
+    RobustOptions robust;
+    robust.acceptable_rms_ft = config.acceptable_rms_ft;
+    robust.min_references = config.min_references;
+    if (const auto fit = robust_multilateration(refs, robust);
+        fit.has_value()) {
+      FallbackResult r;
+      r.position = fit->fit.position;
+      r.rms_residual_ft = fit->fit.rms_residual_ft;
+      r.tier = ConfidenceTier::kRobust;
+      r.discarded = fit->discarded.size();
+      return r;
+    }
+  }
+
+  // Range-free rung: always available with >= 1 reference; no residual
+  // structure, so the tier is the caller's only quality signal.
+  if (const auto centroid = weighted_centroid_estimate(refs);
+      centroid.has_value()) {
+    FallbackResult r;
+    r.position = *centroid;
+    r.tier = ConfidenceTier::kCentroid;
+    return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sld::localization

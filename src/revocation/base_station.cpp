@@ -7,7 +7,14 @@
 namespace sld::revocation {
 
 BaseStation::BaseStation(RevocationConfig config)
-    : config_(config), seen_(config.dedup_window) {}
+    : config_(config),
+      seen_(config.dedup_window),
+      lifecycle_(config.lifecycle,
+                 static_cast<double>(config.alert_threshold)) {}
+
+void BaseStation::register_beacon(sim::NodeId id, util::Vec2 position) {
+  if (config_.lifecycle.enabled) lifecycle_.register_beacon(id, position);
+}
 
 bool DedupWindow::insert(const AlertKey& key) {
   if (!set_.insert(key).second) return false;
@@ -60,12 +67,20 @@ AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
 AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                                             sim::NodeId target,
                                             std::uint64_t nonce) {
+  return process_alert(reporter, target, nonce, sim::SimTime{0});
+}
+
+AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
+                                            sim::NodeId target,
+                                            std::uint64_t nonce,
+                                            sim::SimTime now) {
   SLD_PROF_SCOPE("bs.process_alert");
   SLD_MEM_SCOPE("revocation");
   const std::uint32_t alerts_before = alert_counter(target);
   const bool revoked_before = revoked_.contains(target);
+  LifecycleOutcome lifecycle_outcome;
   const AlertDisposition disposition =
-      process_alert_impl(reporter, target, nonce);
+      process_alert_impl(reporter, target, nonce, now, &lifecycle_outcome);
   SLD_INVARIANT(stats_.alerts_received ==
                     stats_.alerts_accepted + stats_.alerts_ignored_quota +
                         stats_.alerts_ignored_revoked +
@@ -83,12 +98,21 @@ AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
   SLD_INVARIANT(alert_counter(target) >= alerts_before,
                 "alert counter monotonicity: target " << target << " fell from "
                     << alerts_before << " to " << alert_counter(target));
-  SLD_INVARIANT(revoked_.contains(target) ==
-                    (alert_counter(target) > config_.alert_threshold),
+  // With the lifecycle enabled, revocation is driven by decayed evidence
+  // + corroboration, not the raw counter — the iff only holds for the
+  // paper's permanent scheme.
+  SLD_INVARIANT(config_.lifecycle.enabled ||
+                    revoked_.contains(target) ==
+                        (alert_counter(target) > config_.alert_threshold),
                 "revocation iff counter > tau2: target " << target
                     << " counter=" << alert_counter(target) << " tau2="
                     << config_.alert_threshold
                     << " revoked=" << revoked_.contains(target));
+  SLD_INVARIANT(!config_.lifecycle.enabled ||
+                    lifecycle_.is_revoked(target) == revoked_.contains(target),
+                "lifecycle/revoked-set agreement: target " << target
+                    << " tracker=" << lifecycle_.is_revoked(target)
+                    << " set=" << revoked_.contains(target));
   SLD_INVARIANT(!(revoked_before &&
                   disposition == AlertDisposition::kAcceptedAndRevoked),
                 "no double revocation: target " << target
@@ -100,6 +124,7 @@ AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
                     .f("disposition", disposition_name(disposition))
                     .f("alert_counter", alert_counter(target))
                     .f("report_counter", report_counter(reporter)));
+    emit_lifecycle_trace(target, lifecycle_outcome);
     if (disposition == AlertDisposition::kAcceptedAndRevoked) {
       trace_.emit(trace_.event("bs.revoke")
                       .f("target", target)
@@ -110,9 +135,64 @@ AlertDisposition BaseStation::process_alert(sim::NodeId reporter,
   return disposition;
 }
 
-AlertDisposition BaseStation::process_alert_impl(sim::NodeId reporter,
-                                                 sim::NodeId target,
-                                                 std::uint64_t nonce) {
+void BaseStation::emit_lifecycle_trace(sim::NodeId target,
+                                       const LifecycleOutcome& outcome) {
+  if (outcome.exonerated) {
+    trace_.emit(trace_.event("bs.exonerate")
+                    .f("target", target)
+                    .f("evidence", outcome.evidence));
+  }
+  if (outcome.quarantined || outcome.guard_refused) {
+    if (outcome.cell_known) {
+      trace_.emit(trace_.event("coverage.usable_beacons")
+                      .f("cx", outcome.cell_x)
+                      .f("cy", outcome.cell_y)
+                      .f("usable", outcome.cell_usable));
+    }
+    if (outcome.escalated) {
+      trace_.emit(trace_.event("bs.escalate")
+                      .f("target", target)
+                      .f("evidence", outcome.evidence)
+                      .f("usable", outcome.cell_usable));
+    }
+    if (outcome.quarantined) {
+      trace_.emit(trace_.event("bs.quarantine")
+                      .f("target", target)
+                      .f("evidence", outcome.evidence));
+    }
+  }
+}
+
+void BaseStation::settle(sim::SimTime now) {
+  if (!config_.lifecycle.enabled) return;
+  for (const auto& [id, outcome] : lifecycle_.settle(now)) {
+    ++stats_.exonerations;
+    if (trace_.on()) {
+      trace_.emit(trace_.event("bs.exonerate")
+                      .f("target", id)
+                      .f("evidence", outcome.evidence));
+    }
+  }
+  if (trace_.on()) {
+    for (const auto& cell : lifecycle_.census_all(now)) {
+      trace_.emit(trace_.event("coverage.usable_beacons")
+                      .f("cx", cell.cell_x)
+                      .f("cy", cell.cell_y)
+                      .f("usable", cell.usable));
+    }
+  }
+}
+
+LifecyclePhase BaseStation::lifecycle_phase(sim::NodeId beacon,
+                                            sim::SimTime now) const {
+  if (config_.lifecycle.enabled) return lifecycle_.phase(beacon, now);
+  return revoked_.contains(beacon) ? LifecyclePhase::kRevoked
+                                   : LifecyclePhase::kClear;
+}
+
+AlertDisposition BaseStation::process_alert_impl(
+    sim::NodeId reporter, sim::NodeId target, std::uint64_t nonce,
+    sim::SimTime now, LifecycleOutcome* lifecycle_outcome) {
   ++stats_.alerts_received;
 
   // Idempotence: a (reporter, target, nonce) key is counted at most once
@@ -143,7 +223,31 @@ AlertDisposition BaseStation::process_alert_impl(sim::NodeId reporter,
   ++alerts;
   ++stats_.alerts_accepted;
 
-  if (alerts > config_.alert_threshold) {
+  if (!config_.lifecycle.enabled) {
+    if (alerts > config_.alert_threshold) {
+      revoked_.insert(target);
+      revocation_order_.push_back(target);
+      ++stats_.revocations;
+      return AlertDisposition::kAcceptedAndRevoked;
+    }
+    return AlertDisposition::kAccepted;
+  }
+
+  // Lifecycle path: the raw counter above stays untouched (it still
+  // feeds suspiciousness-priority heuristics); the decayed evidence
+  // decides the transitions.
+  *lifecycle_outcome = lifecycle_.observe(reporter, target, now);
+  if (lifecycle_outcome->exonerated) ++stats_.exonerations;
+  if (lifecycle_outcome->guard_refused) ++stats_.guard_refusals;
+  if (lifecycle_outcome->quarantined) {
+    ++stats_.quarantines;
+    if (lifecycle_outcome->escalated) ++stats_.escalations;
+    if (lifecycle_outcome->cell_known &&
+        lifecycle_outcome->cell_usable < config_.lifecycle.min_usable_per_cell &&
+        !lifecycle_outcome->escalated)
+      ++stats_.coverage_floor_violations;
+  }
+  if (lifecycle_outcome->revoked) {
     revoked_.insert(target);
     revocation_order_.push_back(target);
     ++stats_.revocations;
@@ -170,6 +274,7 @@ BaseStationState BaseStation::export_state() const {
   state.seen = seen_.snapshot();
   state.auto_nonce = auto_nonce_;
   state.stats = stats_;
+  state.lifecycle = lifecycle_.export_state();
   return state;
 }
 
@@ -182,6 +287,7 @@ void BaseStation::import_state(const BaseStationState& state) {
   seen_.restore(state.seen);
   auto_nonce_ = state.auto_nonce;
   stats_ = state.stats;
+  lifecycle_.import_state(state.lifecycle);
 }
 
 }  // namespace sld::revocation

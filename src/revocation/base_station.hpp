@@ -21,7 +21,10 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "revocation/lifecycle.hpp"
 #include "sim/message.hpp"
+#include "sim/time.hpp"
+#include "util/geometry.hpp"
 
 namespace sld::revocation {
 
@@ -39,6 +42,9 @@ struct RevocationConfig {
   /// only across the most recent `dedup_window` submissions — far older
   /// retransmissions than any ARQ produces.
   std::size_t dedup_window = 1u << 16;
+  /// Evidence-lifecycle layer (decay, quarantine/exoneration, coverage
+  /// guard). Disabled by default: the paper's permanent revocation.
+  LifecycleConfig lifecycle;
 };
 
 enum class AlertDisposition {
@@ -59,6 +65,14 @@ struct BaseStationStats {
   /// Dedup keys aged out of the bounded window (0 while the footprint
   /// stays under `dedup_window`).
   std::uint64_t dedup_evictions = 0;
+  /// Lifecycle-layer counters (all 0 while the lifecycle is disabled).
+  std::uint64_t quarantines = 0;
+  std::uint64_t exonerations = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t guard_refusals = 0;
+  /// Quarantines admitted below the coverage floor without escalated
+  /// evidence — impossible by construction; the chaos oracles assert 0.
+  std::uint64_t coverage_floor_violations = 0;
 };
 
 /// Identity of one alert submission. The nonce makes retransmissions of
@@ -127,6 +141,9 @@ struct BaseStationState {
   std::vector<AlertKey> seen;
   std::uint64_t auto_nonce = 0;
   BaseStationStats stats;
+  /// Per-beacon lifecycle records, in first-suspicion order (empty while
+  /// the lifecycle is disabled).
+  std::vector<std::pair<sim::NodeId, BeaconLifecycleState>> lifecycle;
 };
 
 class BaseStation {
@@ -142,13 +159,45 @@ class BaseStation {
 
   /// Processes one alert identified by (reporter, target, nonce). A key
   /// already counted is ignored as a duplicate — retransmitted packets are
-  /// idempotent.
+  /// idempotent. Timestamped at sim time 0 (lifecycle decay needs real
+  /// times; prefer the timed overload when the lifecycle is enabled).
   AlertDisposition process_alert(sim::NodeId reporter, sim::NodeId target,
                                  std::uint64_t nonce);
+
+  /// Timed overload: identical to the above when the lifecycle is
+  /// disabled; with it enabled, `now` drives evidence decay and the
+  /// quarantine / exoneration / revocation transitions.
+  AlertDisposition process_alert(sim::NodeId reporter, sim::NodeId target,
+                                 std::uint64_t nonce, sim::SimTime now);
+
+  /// Registers a beacon's deployed position with the lifecycle layer
+  /// (coverage-guard census + reporter plausibility). Config-derived, so
+  /// a restore re-registers the same roster; no-op while disabled.
+  void register_beacon(sim::NodeId id, util::Vec2 position);
 
   bool is_revoked(sim::NodeId beacon) const {
     return revoked_.contains(beacon);
   }
+
+  /// Lifecycle queries (all trivially false/clear while disabled).
+  bool is_quarantined(sim::NodeId beacon, sim::SimTime now) const {
+    return config_.lifecycle.enabled && lifecycle_.is_quarantined(beacon, now);
+  }
+  /// Usable for localization: neither revoked nor quarantined.
+  bool usable(sim::NodeId beacon, sim::SimTime now) const {
+    return !revoked_.contains(beacon) &&
+           (!config_.lifecycle.enabled || lifecycle_.usable(beacon, now));
+  }
+  double evidence(sim::NodeId beacon, sim::SimTime now) const {
+    return config_.lifecycle.enabled ? lifecycle_.evidence(beacon, now) : 0.0;
+  }
+  LifecyclePhase lifecycle_phase(sim::NodeId beacon, sim::SimTime now) const;
+  const LifecycleTracker& lifecycle() const { return lifecycle_; }
+
+  /// End-of-trial sweep: materializes pending exonerations (trace +
+  /// stats) and emits one coverage.usable_beacons census per occupied
+  /// deployment cell. No-op while the lifecycle is disabled.
+  void settle(sim::SimTime now);
   const std::vector<sim::NodeId>& revocation_order() const {
     return revocation_order_;
   }
@@ -175,7 +224,10 @@ class BaseStation {
 
  private:
   AlertDisposition process_alert_impl(sim::NodeId reporter, sim::NodeId target,
-                                      std::uint64_t nonce);
+                                      std::uint64_t nonce, sim::SimTime now,
+                                      LifecycleOutcome* lifecycle_outcome);
+  void emit_lifecycle_trace(sim::NodeId target,
+                            const LifecycleOutcome& outcome);
 
   RevocationConfig config_;
   obs::Tracer trace_;
@@ -188,6 +240,7 @@ class BaseStation {
   /// internal namespace disjoint from caller-assigned nonces.
   std::uint64_t auto_nonce_ = 0;
   BaseStationStats stats_;
+  LifecycleTracker lifecycle_;
 };
 
 }  // namespace sld::revocation

@@ -21,9 +21,10 @@ DurableStore::DurableStore(DurableConfig config) : config_(std::move(config)) {
   }
 }
 
-bool DurableStore::append(const AlertKey& record, const BaseStation& station) {
+bool DurableStore::append(const AlertKey& record, sim::SimTime at,
+                          const BaseStation& station) {
   if (!config_.enabled) return false;
-  pending_.push_back(record);
+  pending_.push_back(WalRecord{record, at});
   ++stats_.appends;
   if (stalled_) {
     // The device cannot complete a flush right now: the record rides the
@@ -61,9 +62,9 @@ void DurableStore::note_lost(const AlertKey& record) {
 
 void DurableStore::flush() {
   if (!config_.enabled || stalled_ || pending_.empty()) return;
-  for (const AlertKey& r : pending_) {
+  for (const WalRecord& r : pending_) {
     tail_.push_back(r);
-    ++durable_alerts_[r.target];
+    ++durable_alerts_[r.key.target];
   }
   pending_.clear();
   ++stats_.flushes;
@@ -71,7 +72,7 @@ void DurableStore::flush() {
 
 void DurableStore::drop_pending() {
   if (pending_.empty()) return;
-  for (const AlertKey& r : pending_) ++lost_alerts_[r.target];
+  for (const WalRecord& r : pending_) ++lost_alerts_[r.key.target];
   stats_.records_lost += pending_.size();
   pending_.clear();
 }
@@ -89,11 +90,16 @@ void DurableStore::maybe_snapshot(const BaseStation& station) {
 BaseStation DurableStore::restore(const RevocationConfig& config) const {
   BaseStation station(config);
   if (!config_.enabled) return station;
+  // Roster first: config-derived geometry the lifecycle needs before any
+  // replayed alert can attempt a quarantine.
+  for (const auto& [id, pos] : roster_) station.register_beacon(id, pos);
   if (snapshot_.has_value()) station.import_state(*snapshot_);
   // The WAL tail holds only accepted records in accept order, so replaying
-  // them through the normal path reproduces counters and revocations
-  // exactly (and the nonce dedup makes a re-delivered copy a no-op).
-  for (const AlertKey& r : tail_) station.process_alert(r.reporter, r.target, r.nonce);
+  // them through the normal timed path reproduces counters, revocations,
+  // and lifecycle evidence exactly (and the nonce dedup makes a
+  // re-delivered copy a no-op).
+  for (const WalRecord& r : tail_)
+    station.process_alert(r.key.reporter, r.key.target, r.key.nonce, r.at);
   return station;
 }
 

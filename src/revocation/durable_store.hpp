@@ -54,6 +54,17 @@ struct DurableConfig {
   std::vector<StallWindow> stall_windows;
 };
 
+/// One WAL entry: the accepted alert's identity plus its accept time.
+/// The time matters only to the lifecycle layer (evidence decay is a
+/// function of when each alert landed); the paper's permanent scheme
+/// replays identically with every timestamp zero.
+struct WalRecord {
+  AlertKey key;
+  sim::SimTime at = 0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
 struct DurableStoreStats {
   std::uint64_t appends = 0;
   std::uint64_t flushes = 0;
@@ -75,11 +86,25 @@ class DurableStore {
   const DurableConfig& config() const { return config_; }
   const DurableStoreStats& stats() const { return stats_; }
 
-  /// Appends one accepted alert. Returns true if the append triggered a
-  /// flush (records up to and including this one are now durable). While
-  /// the device is stalled the record stays pending regardless of the
-  /// fsync cadence.
-  bool append(const AlertKey& record, const BaseStation& station);
+  /// Appends one accepted alert, stamped with its accept time. Returns
+  /// true if the append triggered a flush (records up to and including
+  /// this one are now durable). While the device is stalled the record
+  /// stays pending regardless of the fsync cadence.
+  bool append(const AlertKey& record, sim::SimTime at,
+              const BaseStation& station);
+  /// Convenience for time-agnostic callers (stamps sim time 0).
+  bool append(const AlertKey& record, const BaseStation& station) {
+    return append(record, sim::SimTime{0}, station);
+  }
+
+  /// Registers the deployment's beacon roster (config-derived, not
+  /// state): restore() re-registers it on the fresh station before the
+  /// snapshot import and WAL replay, so the lifecycle's coverage guard
+  /// and corroboration geometry survive a crash.
+  void set_beacon_roster(
+      std::vector<std::pair<sim::NodeId, util::Vec2>> roster) {
+    roster_ = std::move(roster);
+  }
 
   /// Moves simulated time forward for stall-window bookkeeping. When a
   /// stall clears, a pending backlog at or past the fsync cadence is
@@ -134,9 +159,11 @@ class DurableStore {
   DurableConfig config_;
   std::optional<BaseStationState> snapshot_;
   /// Flushed (durable) records newer than the snapshot, in accept order.
-  std::vector<AlertKey> tail_;
+  std::vector<WalRecord> tail_;
   /// Appended but not yet flushed — lost if the active station crashes.
-  std::vector<AlertKey> pending_;
+  std::vector<WalRecord> pending_;
+  /// Beacon positions re-registered on every restored station.
+  std::vector<std::pair<sim::NodeId, util::Vec2>> roster_;
   /// Accepted records per target in (snapshot + tail).
   std::unordered_map<sim::NodeId, std::uint32_t> durable_alerts_;
   std::unordered_map<sim::NodeId, std::uint32_t> lost_alerts_;

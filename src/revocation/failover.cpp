@@ -55,6 +55,13 @@ void BaseStationCluster::set_tracer(obs::Tracer tracer) {
   for (BaseStation& s : stations_) s.set_tracer(trace_);
 }
 
+void BaseStationCluster::set_beacon_roster(
+    const std::vector<std::pair<sim::NodeId, util::Vec2>>& roster) {
+  for (BaseStation& s : stations_)
+    for (const auto& [id, pos] : roster) s.register_beacon(id, pos);
+  wal_.set_beacon_roster(roster);
+}
+
 void BaseStationCluster::advance(sim::SimTime now) {
   SLD_INVARIANT(now >= last_advance_,
                 "cluster time ran backwards: " << now << " < " << last_advance_);
@@ -146,12 +153,12 @@ AlertDisposition BaseStationCluster::process_alert(
   BaseStation& station = stations_[active_];
   const std::uint64_t snapshots_before = wal_.stats().snapshots;
   const AlertDisposition disposition =
-      station.process_alert(reporter, target, nonce);
+      station.process_alert(reporter, target, nonce, now);
   if (disposition == AlertDisposition::kAccepted ||
       disposition == AlertDisposition::kAcceptedAndRevoked) {
     ++accepted_[target];
     if (durable) {
-      wal_.append(AlertKey{reporter, target, nonce}, station);
+      wal_.append(AlertKey{reporter, target, nonce}, now, station);
       if (trace_.on() && wal_.stats().snapshots > snapshots_before) {
         trace_.emit(trace_.event("bs.snapshot")
                         .f("records", wal_.stats().appends)
@@ -163,10 +170,10 @@ AlertDisposition BaseStationCluster::process_alert(
   return disposition;
 }
 
-void BaseStationCluster::journal(const AlertKey& record) {
+void BaseStationCluster::journal(const WalRecord& record) {
   SLD_INVARIANT(!service_down_,
                 "journal() while no station is available");
-  wal_.append(record, stations_[active_]);
+  wal_.append(record.key, record.at, stations_[active_]);
 }
 
 std::uint32_t BaseStationCluster::accepted_distinct(sim::NodeId target) const {

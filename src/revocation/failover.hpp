@@ -105,10 +105,21 @@ class BaseStationCluster {
                                  sim::NodeId target, std::uint64_t nonce,
                                  bool durable = true);
 
-  /// Appends one previously-deferred accepted record to the WAL (degraded
-  /// mode recovery). The record must have been accepted by the active
-  /// station via process_alert(..., durable = false).
-  void journal(const AlertKey& record);
+  /// Appends one previously-deferred accepted record (with its original
+  /// accept time) to the WAL (degraded mode recovery). The record must
+  /// have been accepted by the active station via
+  /// process_alert(..., durable = false).
+  void journal(const WalRecord& record);
+
+  /// Registers the deployment's beacon roster on every station and on
+  /// the WAL (so restored stations get it back). Config-derived; no-op
+  /// state-wise while the lifecycle is disabled.
+  void set_beacon_roster(
+      const std::vector<std::pair<sim::NodeId, util::Vec2>>& roster);
+
+  /// End-of-trial lifecycle settle on the authority (see
+  /// BaseStation::settle). No-op while the lifecycle is disabled.
+  void settle(sim::SimTime now) { stations_[active_].settle(now); }
 
   /// Accounts a deferred record that a crash destroyed before journal().
   void note_deferred_lost(const AlertKey& record) { wal_.note_lost(record); }
@@ -149,6 +160,13 @@ class BaseStationCluster {
   }
   std::uint32_t report_counter(sim::NodeId beacon) const {
     return authority().report_counter(beacon);
+  }
+  bool is_quarantined(sim::NodeId beacon, sim::SimTime now) const {
+    return authority().is_quarantined(beacon, now);
+  }
+  /// Usable for localization: neither revoked nor quarantined.
+  bool usable(sim::NodeId beacon, sim::SimTime now) const {
+    return authority().usable(beacon, now);
   }
 
   /// Availability transitions, precomputed at construction (exposed for

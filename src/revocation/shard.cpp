@@ -78,9 +78,12 @@ IngestResult IngestPipeline::submit(sim::SimTime now, sim::NodeId reporter,
 
   const std::size_t shard_index = target % shards_.size();
   Shard& shard = shards_[shard_index];
+  // Quarantined targets keep the never-shed priority: their corroboration
+  // evidence is exactly what the lifecycle needs to resolve the case.
   const bool suspected =
       config_.admission.enabled &&
-      cluster_.alert_counter(target) >= config_.admission.suspect_after;
+      (cluster_.alert_counter(target) >= config_.admission.suspect_after ||
+       cluster_.is_quarantined(target, now));
   if (shard.queue.size() >= config_.shard.queue_capacity) {
     if (!suspected) {
       // Priority-aware LIFO shed: the newest (unacked) first-sight arrival
@@ -154,7 +157,7 @@ void IngestPipeline::on_transitions() {
   // The active station's volatile state died, and the deferred records
   // only existed there: charge them to the lost ledger so the counter
   // identity (counted == durable + lost) keeps holding.
-  for (const AlertKey& key : deferred_) cluster_.note_deferred_lost(key);
+  for (const WalRecord& r : deferred_) cluster_.note_deferred_lost(r.key);
   stats_.deferred_lost += deferred_.size();
   deferred_.clear();
   cluster_.set_snapshot_gate(true);
@@ -184,7 +187,7 @@ void IngestPipeline::journal_deferred() {
   // commit, so WAL replay order stays identical to accept order.
   // The gate stays closed across the loop: a mid-loop flush must not cut a
   // snapshot while later keys are still counted-but-unjournaled.
-  for (const AlertKey& key : deferred_) cluster_.journal(key);
+  for (const WalRecord& r : deferred_) cluster_.journal(r);
   stats_.deferred_journaled += deferred_.size();
   deferred_.clear();
   cluster_.set_snapshot_gate(true);
@@ -259,7 +262,9 @@ void IngestPipeline::commit_one(std::size_t shard_index, sim::SimTime now,
   const bool counted = disposition == AlertDisposition::kAccepted ||
                        disposition == AlertDisposition::kAcceptedAndRevoked;
   if (counted && degraded) {
-    deferred_.push_back(entry.key);
+    // Stamped with the cluster-observe time: a later journal replay must
+    // decay lifecycle evidence exactly as the live path did.
+    deferred_.push_back(WalRecord{entry.key, now});
     cluster_.set_snapshot_gate(false);
     ++stats_.deferred;
     if (instruments_.deferred != nullptr) instruments_.deferred->inc();

@@ -184,8 +184,9 @@ class IngestPipeline {
   Instruments instruments_;
   CommitHook commit_hook_;
   std::vector<Shard> shards_;
-  /// Accepted-but-not-journaled keys, in accept order (degraded mode).
-  std::vector<AlertKey> deferred_;
+  /// Accepted-but-not-journaled records (key + accept time), in accept
+  /// order (degraded mode).
+  std::vector<WalRecord> deferred_;
   BreakerState last_breaker_ = BreakerState::kClosed;
   /// Commits found the station down; the next in-service advance drains
   /// the backlog and counts it as reconciled.

@@ -80,6 +80,7 @@ struct CampaignOptions {
   std::uint64_t base_seed = 1;
   bool fast = false;
   bool storm_only = false;
+  bool framing_only = false;
   std::string trace_dir;
   /// Concurrent schedules: 1 = the classic serial campaign, 0 = hardware
   /// threads. Reporting is seed-ordered either way.
@@ -90,7 +91,7 @@ struct CampaignOptions {
 };
 
 core::SystemConfig make_schedule(std::uint64_t seed, bool fast,
-                                 bool storm_only) {
+                                 bool storm_only, bool framing_only) {
   core::SystemConfig c;
   c.deployment.total_nodes = fast ? 200 : 300;
   c.deployment.beacon_count = fast ? 20 : 30;
@@ -210,7 +211,8 @@ core::SystemConfig make_schedule(std::uint64_t seed, bool fast,
   // exactly what the bounded-harm oracle checks. Without admission the same
   // flood WOULD frame benign beacons (fresh nonces bypass the base
   // station's triple dedup), so the family always turns admission on.
-  if (storm_only || rng.bernoulli(0.35)) {
+  const bool storm_family = storm_only || (!framing_only && rng.bernoulli(0.35));
+  if (storm_family) {
     c.collusion = true;
     c.revocation.alert_threshold = static_cast<std::uint32_t>(
         c.deployment.malicious_beacon_count + 1);
@@ -252,6 +254,37 @@ core::SystemConfig make_schedule(std::uint64_t seed, bool fast,
     }
   }
 
+  // Framing family (mutually exclusive with the storm family, so the
+  // evidence lifecycle — not admission pair-dedup — is the subsystem on
+  // trial): the colluders run the coverage-directed framing plan against
+  // the sparsest cells' benign beacons, paced under tau1 so every alert is
+  // accepted, in waves that top decayed evidence back up — on top of
+  // whatever channel and base-station chaos was drawn above (framing x
+  // crash x partition x WAL restore). Same Byzantine-provisioning spirit
+  // as the storm family's tau2 bump: the defender's corroboration quorum
+  // and escalation bar sit above the worst colluding clique (N_a distinct
+  // reporters) plus the bounded honest false-positive dribble (a benign
+  // counter historically never exceeds tau2), so framing can sequester but
+  // structurally can NEVER permanently revoke a benign beacon or override
+  // the coverage floor — exactly what oracles 1 and 8 assert.
+  if (framing_only || (!storm_family && rng.bernoulli(0.25))) {
+    c.revocation.lifecycle.enabled = true;
+    c.fallback.enabled = true;
+    c.framing.enabled = true;
+    c.framing.targets =
+        static_cast<std::uint32_t>(rng.uniform_int(2, fast ? 4 : 5));
+    c.framing.waves = static_cast<std::uint32_t>(rng.uniform_int(1, 3));
+    c.framing.window_ns = static_cast<sim::SimTime>(
+        rng.uniform(10.0, 40.0) * static_cast<double>(sim::kSecond));
+    c.framing.cell_ft = c.revocation.lifecycle.cell_ft;
+    const auto n_a =
+        static_cast<std::uint32_t>(c.deployment.malicious_beacon_count);
+    c.revocation.lifecycle.corroboration_k = n_a + 3;
+    c.revocation.lifecycle.escalation_threshold =
+        static_cast<double>(n_a * c.framing.waves +
+                            c.revocation.alert_threshold) + 2.0;
+  }
+
   // Telemetry rides along on every schedule purely as a forensic recorder:
   // the sampler draws no randomness and schedules no events, so the chaos
   // schedules (and trial outcomes) are unchanged from the pre-telemetry
@@ -278,7 +311,8 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
     result.failures.push_back(what);
   };
 
-  core::SystemConfig config = make_schedule(seed, opts.fast, opts.storm_only);
+  core::SystemConfig config =
+      make_schedule(seed, opts.fast, opts.storm_only, opts.framing_only);
   config.trace_sink = sink;
 
   t_invariant_messages.clear();
@@ -333,7 +367,11 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
            << accepted;
         fail(os.str());
       }
-      if (bs.is_revoked(target) != (counter > tau2)) {
+      // With the lifecycle enabled, revocation is driven by decayed
+      // evidence + corroboration, not the raw counter — the iff only holds
+      // for the paper's permanent scheme.
+      if (!config.revocation.lifecycle.enabled &&
+          bs.is_revoked(target) != (counter > tau2)) {
         std::ostringstream os;
         os << "revocation threshold for target " << target << ": counter "
            << counter << " vs tau2 " << tau2 << " but is_revoked == "
@@ -411,6 +449,31 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
       }
     }
 
+    // Oracle 8 (framing): the lifecycle sequesters, never frames. The
+    // zero-permanent-harm side is oracle 1 (benign_revoked counts
+    // PERMANENT revocations only — a quarantined beacon that exonerates
+    // was never falsely revoked), and it must hold under framing at ANY
+    // intensity because the corroboration quorum is provisioned above the
+    // colluding clique. What is new here: the coverage guard never admits
+    // a quarantine below the usable floor without escalated evidence
+    // (impossible by construction — a violation is a lifecycle bug, not an
+    // unlucky schedule), and the escalation bar provisioned by
+    // make_schedule is genuinely out of the colluders' reach.
+    if (config.revocation.lifecycle.enabled) {
+      if (s.base_station.coverage_floor_violations != 0) {
+        std::ostringstream os;
+        os << "coverage guard admitted " << s.base_station.coverage_floor_violations
+           << " quarantine(s) below the usable floor without escalation";
+        fail(os.str());
+      }
+      if (config.framing.enabled && s.base_station.escalations != 0) {
+        std::ostringstream os;
+        os << "framing reached the escalation bar (" << s.base_station.escalations
+           << " escalation(s)); the provisioned threshold is too low";
+        fail(os.str());
+      }
+    }
+
     // Forensic context for any failure above: the durability/storm knobs
     // this seed drew plus the end-of-trial WAL and ingest counters, so a
     // repro line alone is enough to reason about the fault interleaving.
@@ -436,6 +499,17 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
          << " journaled=" << s.ingest.deferred_journaled
          << " deferred_lost=" << s.ingest.deferred_lost
          << " reconciled=" << s.ingest.reconciled << "}";
+      if (config.framing.enabled) {
+        os << " framing{targets=" << config.framing.targets
+           << " waves=" << config.framing.waves << " k="
+           << config.revocation.lifecycle.corroboration_k << " esc="
+           << config.revocation.lifecycle.escalation_threshold
+           << "} lifecycle{quarantines=" << s.base_station.quarantines
+           << " exonerations=" << s.base_station.exonerations
+           << " guard_refusals=" << s.base_station.guard_refusals
+           << " benign_quarantined=" << s.benign_quarantined
+           << " min_cell_usable=" << s.min_cell_usable << "}";
+      }
       fail(os.str());
       // Run-timeline forensics: the last telemetry windows before the end
       // of the trial — what the pipeline was doing when the oracle tripped.
@@ -466,10 +540,11 @@ ScheduleResult run_schedule(std::uint64_t seed, const CampaignOptions& opts,
 int usage(const char* argv0, int code) {
   std::cerr
       << "usage: " << argv0
-      << " [--schedules N] [--base-seed S] [--fast] [--storm]"
+      << " [--schedules N] [--base-seed S] [--fast] [--storm] [--framing]"
          " [--trace-dir DIR] [--jobs N] [--selftest-jobs N]\n"
          "Runs N seeded chaos schedules (seeds S, S+1, ...). --storm forces\n"
-         "the alert-storm family on every schedule. --jobs runs schedules\n"
+         "the alert-storm family on every schedule; --framing forces the\n"
+         "lifecycle framing family. --jobs runs schedules\n"
          "concurrently (0 = hardware threads) with seed-ordered reporting;\n"
          "--selftest-jobs N instead runs N schedules at jobs 1 and jobs 4\n"
          "and fails on any verdict difference. Every failure\n"
@@ -500,7 +575,8 @@ bool report(std::uint64_t seed, const CampaignOptions& opts,
   for (const auto& f : r.failures) std::cerr << "  - " << f << "\n";
   std::cerr << "  repro: SLD_CHAOS_SEED=" << seed << " ./chaos_campaign"
             << (opts.fast ? " --fast" : "")
-            << (opts.storm_only ? " --storm" : "") << "\n";
+            << (opts.storm_only ? " --storm" : "")
+            << (opts.framing_only ? " --framing" : "") << "\n";
   if (!opts.trace_dir.empty()) {
     const std::string path =
         opts.trace_dir + "/chaos_" + std::to_string(seed) + ".jsonl";
@@ -600,6 +676,8 @@ int main(int argc, char** argv) {
       opts.fast = true;
     } else if (arg == "--storm") {
       opts.storm_only = true;
+    } else if (arg == "--framing") {
+      opts.framing_only = true;
     } else if (arg == "--trace-dir") {
       if (i + 1 >= argc) return usage(argv[0], 2);
       opts.trace_dir = argv[++i];

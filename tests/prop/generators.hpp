@@ -340,6 +340,87 @@ inline Gen<sim::AlertPayload> alert_payload() {
   return g;
 }
 
+// ---------------------------------------------------------------------------
+// Lifecycle scenarios.
+
+/// A timed accepted-alert history over a small positioned beacon roster —
+/// the lifecycle state machine's entire input domain. Times are
+/// non-decreasing (the tracker's invariant); some reporters are off-roster
+/// so the unknown-vantage paths get exercised too.
+struct TimedAlertStream {
+  revocation::LifecycleConfig config;
+  double quarantine_threshold = 2.0;
+  std::vector<std::pair<sim::NodeId, util::Vec2>> roster;
+  struct TimedAlert {
+    sim::NodeId reporter = 0;
+    sim::NodeId target = 0;
+    sim::SimTime at = 0;
+  };
+  std::vector<TimedAlert> alerts;
+};
+
+inline Gen<TimedAlertStream> timed_alert_stream() {
+  Gen<TimedAlertStream> g;
+  g.generate = [](util::Rng& rng) {
+    TimedAlertStream s;
+    s.config.enabled = true;
+    s.config.half_life_ns = static_cast<sim::SimTime>(
+        10 * sim::kSecond + rng.uniform_u64(600 * sim::kSecond));
+    s.config.min_usable_per_cell =
+        static_cast<std::uint32_t>(rng.uniform_u64(3));
+    s.quarantine_threshold = 1.0 + static_cast<double>(rng.uniform_u64(4));
+    const std::size_t beacons = 3 + static_cast<std::size_t>(rng.uniform_u64(6));
+    for (std::size_t i = 0; i < beacons; ++i) {
+      s.roster.emplace_back(
+          static_cast<sim::NodeId>(1 + i),
+          util::Vec2{rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)});
+    }
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_u64(100));
+    sim::SimTime t = 0;
+    s.alerts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      t += static_cast<sim::SimTime>(rng.uniform_u64(30 * sim::kSecond));
+      TimedAlertStream::TimedAlert a;
+      // +2: a couple of reporter ids with no roster position.
+      a.reporter = static_cast<sim::NodeId>(1 + rng.uniform_u64(beacons + 2));
+      a.target = s.roster[rng.uniform_u64(beacons)].first;
+      a.at = t;
+      s.alerts.push_back(a);
+    }
+    return s;
+  };
+  g.shrink = [](const TimedAlertStream& s) {
+    std::vector<TimedAlertStream> out;
+    if (!s.alerts.empty()) {
+      TimedAlertStream half = s;
+      half.alerts.resize(s.alerts.size() / 2);
+      out.push_back(std::move(half));
+      for (std::size_t i = 0; i < s.alerts.size(); ++i) {
+        TimedAlertStream smaller = s;
+        smaller.alerts.erase(smaller.alerts.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(smaller));
+      }
+    }
+    return out;
+  };
+  g.show = [](const TimedAlertStream& s) {
+    std::ostringstream os;
+    os << "{half_life=" << s.config.half_life_ns / sim::kSecond
+       << "s qt=" << s.quarantine_threshold << " floor="
+       << s.config.min_usable_per_cell << " roster=" << s.roster.size()
+       << ", " << s.alerts.size() << " alerts:";
+    const std::size_t shown = std::min<std::size_t>(s.alerts.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i)
+      os << " " << s.alerts[i].reporter << "->" << s.alerts[i].target << "@"
+         << s.alerts[i].at;
+    if (shown < s.alerts.size()) os << " ...";
+    os << "}";
+    return os.str();
+  };
+  return g;
+}
+
 inline Gen<sim::RevocationPayload> revocation_payload() {
   Gen<sim::RevocationPayload> g;
   g.generate = [](util::Rng& rng) {

@@ -6,7 +6,10 @@ namespace sld::revocation {
 namespace {
 
 RevocationConfig config(std::uint32_t tau1 = 10, std::uint32_t tau2 = 2) {
-  return RevocationConfig{tau1, tau2};
+  RevocationConfig c;
+  c.report_quota = tau1;
+  c.alert_threshold = tau2;
+  return c;
 }
 
 TEST(BaseStation, RevokesAfterThresholdExceeded) {

@@ -46,9 +46,10 @@ TEST(Collusion, AchievesPaperRevocationBound) {
 
   const auto plan = plan_collusion(colluders, targets, tau1, tau2);
 
-  revocation::BaseStation bs(
-      revocation::RevocationConfig{static_cast<std::uint32_t>(tau1),
-                                   static_cast<std::uint32_t>(tau2)});
+  revocation::RevocationConfig rc;
+  rc.report_quota = static_cast<std::uint32_t>(tau1);
+  rc.alert_threshold = static_cast<std::uint32_t>(tau2);
+  revocation::BaseStation bs(rc);
   for (const auto& a : plan.alerts) bs.process_alert(a.reporter, a.target);
 
   const double expected = 10.0 * (tau1 + 1) / (tau2 + 1);  // ~36.7

@@ -8,7 +8,10 @@ namespace sld::revocation {
 namespace {
 
 RevocationConfig revocation(std::uint32_t tau1 = 10, std::uint32_t tau2 = 2) {
-  return RevocationConfig{tau1, tau2};
+  RevocationConfig c;
+  c.report_quota = tau1;
+  c.alert_threshold = tau2;
+  return c;
 }
 
 DurableConfig durable(std::uint32_t fsync = 1, std::uint32_t snap = 64) {
@@ -176,6 +179,123 @@ TEST(DurableStore, CrashDuringStallLosesTheStalledRecords) {
   EXPECT_EQ(store.durable_alerts(50), 0u);
   const BaseStation restored = store.restore(revocation(100, 100));
   EXPECT_EQ(restored.alert_counter(50), 0u);
+}
+
+/// tau1 = 10, tau2 = 2, lifecycle on — the framing-resistant station.
+RevocationConfig lifecycle_revocation() {
+  RevocationConfig rc;
+  rc.lifecycle.enabled = true;
+  return rc;
+}
+
+/// The cross-shaped roster used by the lifecycle tests: target 50 plus
+/// four geometrically independent witnesses in its cell.
+std::vector<std::pair<sim::NodeId, util::Vec2>> cross_roster() {
+  return {{50, {100.0, 100.0}},
+          {1, {100.0, 140.0}},
+          {2, {140.0, 100.0}},
+          {3, {60.0, 100.0}},
+          {4, {100.0, 60.0}}};
+}
+
+BaseStation lifecycle_station() {
+  BaseStation bs(lifecycle_revocation());
+  for (const auto& [id, pos] : cross_roster()) bs.register_beacon(id, pos);
+  return bs;
+}
+
+/// Feeds timed accepted alerts through a station + store pair the way the
+/// cluster journals them (timed WAL records).
+void feed_timed(BaseStation& bs, DurableStore& store, sim::NodeId target,
+                const std::vector<std::pair<sim::NodeId, sim::SimTime>>&
+                    reporters_at) {
+  std::uint64_t nonce = 5000;
+  for (const auto& [reporter, at] : reporters_at) {
+    const AlertKey key{reporter, target, nonce++};
+    const auto d = bs.process_alert(key.reporter, key.target, key.nonce, at);
+    ASSERT_TRUE(d == AlertDisposition::kAccepted ||
+                d == AlertDisposition::kAcceptedAndRevoked);
+    store.append(key, at, bs);
+  }
+}
+
+TEST(DurableStoreLifecycle, MidQuarantineRestoreIsByteIdentical) {
+  DurableStore store(durable(/*fsync=*/1));
+  store.set_beacon_roster(cross_roster());
+  BaseStation live = lifecycle_station();
+  // Three independent witnesses over ~a minute: quarantined, not revoked.
+  feed_timed(live, store, 50,
+             {{1, 10 * sim::kSecond},
+              {2, 30 * sim::kSecond},
+              {3, 60 * sim::kSecond}});
+  ASSERT_TRUE(live.is_quarantined(50, 60 * sim::kSecond));
+  ASSERT_FALSE(live.is_revoked(50));
+
+  const BaseStation restored = store.restore(lifecycle_revocation());
+  // The full lifecycle image — decayed evidence doubles, phases, reporter
+  // sets — survives the crash byte-for-byte.
+  EXPECT_EQ(restored.export_state().lifecycle,
+            live.export_state().lifecycle);
+  EXPECT_TRUE(restored.is_quarantined(50, 60 * sim::kSecond));
+  EXPECT_EQ(restored.evidence(50, 90 * sim::kSecond),
+            live.evidence(50, 90 * sim::kSecond));
+
+  // Both continue identically: a fourth witness + a repeat revoke on both.
+  BaseStation continued = store.restore(lifecycle_revocation());
+  BaseStation mirror = live;
+  for (BaseStation* bs : {&continued, &mirror}) {
+    bs->process_alert(4, 50, 9001, 70 * sim::kSecond);
+    bs->process_alert(1, 50, 9002, 80 * sim::kSecond);
+  }
+  EXPECT_TRUE(continued.is_revoked(50));
+  EXPECT_EQ(continued.export_state().lifecycle,
+            mirror.export_state().lifecycle);
+}
+
+TEST(DurableStoreLifecycle, SnapshotCompactionKeepsDecayState) {
+  // Snapshot every 2 flushed records: the image (not just the log tail)
+  // must carry evidence and last_update.
+  DurableStore store(durable(/*fsync=*/1, /*snap=*/2));
+  store.set_beacon_roster(cross_roster());
+  BaseStation live = lifecycle_station();
+  feed_timed(live, store, 50,
+             {{1, 10 * sim::kSecond},
+              {2, 200 * sim::kSecond},
+              {3, 500 * sim::kSecond},
+              {4, 700 * sim::kSecond}});
+  ASSERT_TRUE(store.has_snapshot());
+  const BaseStation restored = store.restore(lifecycle_revocation());
+  EXPECT_EQ(restored.export_state().lifecycle,
+            live.export_state().lifecycle);
+  EXPECT_EQ(restored.evidence(50, 900 * sim::kSecond),
+            live.evidence(50, 900 * sim::kSecond));
+  EXPECT_EQ(restored.lifecycle_phase(50, 700 * sim::kSecond),
+            live.lifecycle_phase(50, 700 * sim::kSecond));
+}
+
+TEST(DurableStoreLifecycle, CrashLosesUnflushedEvidence) {
+  // Group commit every 4: the 4th (revoking) record is durable, the 5th
+  // is pending and dies with the crash — the restored station is back to
+  // the durable prefix's lifecycle exactly.
+  DurableStore store(durable(/*fsync=*/4));
+  store.set_beacon_roster(cross_roster());
+  BaseStation live = lifecycle_station();
+  feed_timed(live, store, 50,
+             {{1, 1 * sim::kSecond},
+              {2, 2 * sim::kSecond},
+              {3, 3 * sim::kSecond}});
+  feed_timed(live, store, 60, {{4, 4 * sim::kSecond}});
+  feed_timed(live, store, 50, {{4, 5 * sim::kSecond}});
+  ASSERT_EQ(store.pending_records(), 1u);
+  store.drop_pending();
+
+  const BaseStation restored = store.restore(lifecycle_revocation());
+  // Live saw 4 distinct reporters against 50; the durable prefix saw 3.
+  EXPECT_EQ(live.lifecycle().distinct_reporters(50), 4u);
+  EXPECT_EQ(restored.lifecycle().distinct_reporters(50), 3u);
+  EXPECT_TRUE(restored.is_quarantined(50, 5 * sim::kSecond));
+  EXPECT_LT(restored.evidence(50, 5 * sim::kSecond),
+            live.evidence(50, 5 * sim::kSecond));
 }
 
 TEST(DurableStore, InvalidConfigRejected) {

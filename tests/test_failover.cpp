@@ -19,7 +19,10 @@ using sim::kMillisecond;
 using sim::kSecond;
 
 RevocationConfig revocation(std::uint32_t tau1 = 10, std::uint32_t tau2 = 2) {
-  return RevocationConfig{tau1, tau2};
+  RevocationConfig c;
+  c.report_quota = tau1;
+  c.alert_threshold = tau2;
+  return c;
 }
 
 FailoverConfig standby_config(std::vector<OutageWindow> outages,

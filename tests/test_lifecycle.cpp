@@ -1,0 +1,358 @@
+// Evidence-lifecycle state machine (src/revocation/lifecycle): decay
+// math, quarantine/corroboration/exoneration transitions, the coverage
+// guard, and the BaseStation integration (stats, dispositions, durable
+// image round-trip).
+#include "revocation/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "revocation/base_station.hpp"
+
+namespace sld::revocation {
+namespace {
+
+constexpr sim::SimTime kHalfLife = 300 * sim::kSecond;
+
+LifecycleConfig lifecycle_config() {
+  LifecycleConfig lc;
+  lc.enabled = true;
+  lc.half_life_ns = kHalfLife;
+  return lc;
+}
+
+/// Station with the lifecycle on and the paper's tau1 = 10, tau2 = 2.
+RevocationConfig station_config() {
+  RevocationConfig rc;
+  rc.lifecycle = lifecycle_config();
+  return rc;
+}
+
+/// Target at (100, 100) with four geometrically independent reporters
+/// within plausible probing range.
+void register_cross_roster(LifecycleTracker& t) {
+  t.register_beacon(50, {100.0, 100.0});
+  t.register_beacon(1, {100.0, 140.0});
+  t.register_beacon(2, {140.0, 100.0});
+  t.register_beacon(3, {60.0, 100.0});
+  t.register_beacon(4, {100.0, 60.0});
+}
+
+TEST(DecayFactor, ExactAtHalfLifeMultiples) {
+  EXPECT_EQ(decay_factor(0, kHalfLife), 1.0);
+  EXPECT_EQ(decay_factor(kHalfLife, kHalfLife), 0.5);
+  EXPECT_EQ(decay_factor(2 * kHalfLife, kHalfLife), 0.25);
+  EXPECT_EQ(decay_factor(10 * kHalfLife, kHalfLife), 1.0 / 1024.0);
+}
+
+TEST(DecayFactor, MonotoneNonIncreasing) {
+  double prev = 1.0;
+  for (sim::SimTime t = 0; t <= 4 * kHalfLife; t += kHalfLife / 64) {
+    const double d = decay_factor(t, kHalfLife);
+    EXPECT_LE(d, prev) << "at t = " << t;
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    prev = d;
+  }
+}
+
+TEST(DecayFactor, CloseToTrueExponential) {
+  for (sim::SimTime t = 0; t <= 3 * kHalfLife; t += kHalfLife / 7) {
+    const double exact =
+        std::exp2(-static_cast<double>(t) / static_cast<double>(kHalfLife));
+    EXPECT_NEAR(decay_factor(t, kHalfLife), exact, 1e-12) << "at t = " << t;
+  }
+}
+
+TEST(DecayFactor, UnderflowsToZero) {
+  EXPECT_EQ(decay_factor(2000 * kHalfLife, kHalfLife), 0.0);
+}
+
+TEST(DecayFactor, DegenerateArguments) {
+  EXPECT_EQ(decay_factor(-5, kHalfLife), 1.0);
+  EXPECT_EQ(decay_factor(5, 0), 1.0);
+}
+
+TEST(Lifecycle, QuarantineNeedsEvidenceAboveThreshold) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  register_cross_roster(t);
+  EXPECT_FALSE(t.observe(1, 50, 0).quarantined);
+  EXPECT_FALSE(t.observe(2, 50, 1).quarantined);
+  EXPECT_EQ(t.phase(50, 1), LifecyclePhase::kSuspected);
+  const auto out = t.observe(3, 50, 2);
+  EXPECT_TRUE(out.quarantined);
+  EXPECT_FALSE(out.revoked);  // evidence 3.0 < revocation_evidence_min
+  EXPECT_TRUE(t.is_quarantined(50, 2));
+  EXPECT_FALSE(t.is_revoked(50));
+  EXPECT_FALSE(t.usable(50, 2));
+}
+
+TEST(Lifecycle, IndependentWitnessesPermanentlyRevoke) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  register_cross_roster(t);
+  t.observe(1, 50, 0);
+  t.observe(2, 50, 1);
+  t.observe(3, 50, 2);  // quarantined at evidence ~3
+  // Four witnesses corroborate, but a nanosecond of decay keeps the
+  // evidence a hair under revocation_evidence_min = 4.0 — the bar is
+  // strict, so the fourth alert does not yet revoke.
+  EXPECT_FALSE(t.observe(4, 50, 3).revoked);
+  const auto out = t.observe(1, 50, 4);
+  EXPECT_TRUE(out.revoked);  // evidence ~5, four independent witnesses
+  EXPECT_TRUE(t.is_revoked(50));
+  EXPECT_FALSE(t.usable(50, 4));
+  EXPECT_EQ(t.phase(50, 4), LifecyclePhase::kRevoked);
+}
+
+TEST(Lifecycle, ClusteredCliqueCanQuarantineButNeverRevoke) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  t.register_beacon(50, {100.0, 100.0});
+  // Three colluders within one vantage point (< independence_min_ft).
+  t.register_beacon(11, {110.0, 100.0});
+  t.register_beacon(12, {115.0, 100.0});
+  t.register_beacon(13, {110.0, 105.0});
+  // Give the cell company so the coverage guard is not the limiting factor.
+  t.register_beacon(60, {120.0, 120.0});
+  LifecycleOutcome out;
+  for (int round = 0; round < 4; ++round) {
+    out = t.observe(11, 50, round * 3 + 0);
+    out = t.observe(12, 50, round * 3 + 1);
+    out = t.observe(13, 50, round * 3 + 2);
+  }
+  // Evidence is far past every bar (12 alerts, ~no decay) but the clique
+  // counts as a single witness — quarantined forever, revoked never.
+  EXPECT_GE(out.evidence, 4.0);
+  EXPECT_TRUE(t.is_quarantined(50, 100));
+  EXPECT_FALSE(t.is_revoked(50));
+}
+
+TEST(Lifecycle, ImplausiblyFarReportersCarryNoCorroboration) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  t.register_beacon(50, {100.0, 100.0});
+  // Independent of each other, but all farther than plausible_range_ft
+  // from the target — none could have probed it.
+  t.register_beacon(21, {400.0, 100.0});
+  t.register_beacon(22, {100.0, 400.0});
+  t.register_beacon(23, {400.0, 400.0});
+  t.register_beacon(60, {120.0, 120.0});
+  for (int i = 0; i < 6; ++i)
+    t.observe(static_cast<sim::NodeId>(21 + (i % 3)), 50, i);
+  EXPECT_TRUE(t.is_quarantined(50, 6));
+  EXPECT_FALSE(t.is_revoked(50));
+}
+
+TEST(Lifecycle, EvidenceDecaysAndExonerates) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  register_cross_roster(t);
+  t.observe(1, 50, 0);
+  t.observe(2, 50, 1);
+  t.observe(3, 50, 2);
+  ASSERT_TRUE(t.is_quarantined(50, 2));
+  // Evidence 3.0 decays below clear_threshold = 0.5 after log2(6) < 3
+  // half-lives; the lazy view reports the exoneration without mutation.
+  const sim::SimTime later = 2 + 3 * kHalfLife;
+  EXPECT_LT(t.evidence(50, later), 0.5);
+  EXPECT_EQ(t.phase(50, later), LifecyclePhase::kExonerated);
+  EXPECT_TRUE(t.usable(50, later));
+  // The next alert materializes the exoneration, then re-suspects.
+  const auto out = t.observe(4, 50, later);
+  EXPECT_TRUE(out.exonerated);
+  EXPECT_TRUE(out.suspected);
+  EXPECT_EQ(t.phase(50, later), LifecyclePhase::kSuspected);
+  // Re-suspicion starts over: the old accusers were forgotten.
+  EXPECT_EQ(t.distinct_reporters(50), 1u);
+}
+
+TEST(Lifecycle, SettleMaterializesExonerationOnce) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  register_cross_roster(t);
+  t.observe(1, 50, 0);
+  t.observe(2, 50, 1);
+  t.observe(3, 50, 2);
+  const sim::SimTime later = 2 + 4 * kHalfLife;
+  auto settled = t.settle(later);
+  ASSERT_EQ(settled.size(), 1u);
+  EXPECT_EQ(settled[0].first, 50u);
+  EXPECT_TRUE(settled[0].second.exonerated);
+  EXPECT_EQ(t.phase(50, later), LifecyclePhase::kExonerated);
+  // Idempotent: a second sweep (even later) finds nothing to do.
+  EXPECT_TRUE(t.settle(later + kHalfLife).empty());
+}
+
+TEST(Lifecycle, CoverageGuardRefusesThenEscalates) {
+  LifecycleConfig lc = lifecycle_config();
+  lc.min_usable_per_cell = 1;
+  LifecycleTracker t(lc, 2.0);
+  // Target alone in its cell: quarantining it would zero the cell.
+  t.register_beacon(50, {10.0, 10.0});
+  t.register_beacon(60, {400.0, 400.0});
+  LifecycleOutcome out;
+  for (int i = 0; i < 6; ++i) {
+    out = t.observe(static_cast<sim::NodeId>(100 + i), 50, i);
+    EXPECT_FALSE(out.quarantined) << "alert " << i;
+  }
+  // Evidence ~6-eps: above tau2, (just) below escalation_threshold ->
+  // still refused by the coverage guard.
+  EXPECT_TRUE(out.guard_refused);
+  EXPECT_TRUE(out.cell_known);
+  EXPECT_EQ(out.cell_usable, 0u);
+  EXPECT_EQ(t.phase(50, 5), LifecyclePhase::kSuspected);
+  // The seventh alert pushes evidence past escalation_threshold = 6.0.
+  out = t.observe(106, 50, 6);
+  EXPECT_TRUE(out.quarantined);
+  EXPECT_TRUE(out.escalated);
+  EXPECT_TRUE(t.is_quarantined(50, 6));
+}
+
+TEST(Lifecycle, UnregisteredTargetCannotBePermanentlyRevoked) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  // No roster at all: quarantine works (no cell to guard), but permanent
+  // revocation demands a known position to corroborate against.
+  for (int i = 0; i < 10; ++i)
+    t.observe(static_cast<sim::NodeId>(1 + i), 50, i);
+  EXPECT_TRUE(t.is_quarantined(50, 9));
+  EXPECT_FALSE(t.is_revoked(50));
+}
+
+TEST(Lifecycle, CensusCountsUsableBeaconsPerCell) {
+  LifecycleTracker t(lifecycle_config(), 2.0);
+  register_cross_roster(t);  // all five in cell (0, 0)
+  t.register_beacon(70, {300.0, 100.0});  // cell (1, 0)
+  auto cells = t.census_all(0);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].beacons, 5u);
+  EXPECT_EQ(cells[0].usable, 5u);
+  EXPECT_EQ(cells[1].beacons, 1u);
+  // Quarantine the target: its cell loses one usable beacon.
+  t.observe(1, 50, 0);
+  t.observe(2, 50, 1);
+  t.observe(3, 50, 2);
+  cells = t.census_all(2);
+  EXPECT_EQ(cells[0].usable, 4u);
+}
+
+TEST(Lifecycle, PhaseNames) {
+  EXPECT_STREQ(lifecycle_phase_name(LifecyclePhase::kClear), "clear");
+  EXPECT_STREQ(lifecycle_phase_name(LifecyclePhase::kSuspected), "suspected");
+  EXPECT_STREQ(lifecycle_phase_name(LifecyclePhase::kQuarantined),
+               "quarantined");
+  EXPECT_STREQ(lifecycle_phase_name(LifecyclePhase::kRevoked), "revoked");
+  EXPECT_STREQ(lifecycle_phase_name(LifecyclePhase::kExonerated),
+               "exonerated");
+}
+
+TEST(LifecycleStation, QuarantineThenCorroboratedRevocation) {
+  BaseStation bs(station_config());
+  bs.register_beacon(50, {100.0, 100.0});
+  bs.register_beacon(1, {100.0, 140.0});
+  bs.register_beacon(2, {140.0, 100.0});
+  bs.register_beacon(3, {60.0, 100.0});
+  bs.register_beacon(4, {100.0, 60.0});
+
+  EXPECT_EQ(bs.process_alert(1, 50, 101, 0), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.process_alert(2, 50, 102, 1), AlertDisposition::kAccepted);
+  // Third alert quarantines instead of permanently revoking.
+  EXPECT_EQ(bs.process_alert(3, 50, 103, 2), AlertDisposition::kAccepted);
+  EXPECT_TRUE(bs.is_quarantined(50, 2));
+  EXPECT_FALSE(bs.is_revoked(50));
+  EXPECT_FALSE(bs.usable(50, 2));
+  EXPECT_EQ(bs.stats().quarantines, 1u);
+  EXPECT_EQ(bs.stats().revocations, 0u);
+
+  // Fourth independent witness corroborates, but decayed evidence is a
+  // hair under the strict revocation_evidence_min = 4.0 bar.
+  EXPECT_EQ(bs.process_alert(4, 50, 104, 3), AlertDisposition::kAccepted);
+  EXPECT_FALSE(bs.is_revoked(50));
+
+  // The fifth accepted alert clears both bars: permanent revocation.
+  EXPECT_EQ(bs.process_alert(1, 50, 105, 4),
+            AlertDisposition::kAcceptedAndRevoked);
+  EXPECT_TRUE(bs.is_revoked(50));
+  EXPECT_EQ(bs.stats().revocations, 1u);
+  EXPECT_EQ(bs.lifecycle_phase(50, 4), LifecyclePhase::kRevoked);
+
+  // Only now are further alerts ignored.
+  EXPECT_EQ(bs.process_alert(2, 50, 106, 5),
+            AlertDisposition::kIgnoredTargetRevoked);
+}
+
+TEST(LifecycleStation, AlertsAgainstQuarantinedTargetStillAccepted) {
+  BaseStation bs(station_config());
+  bs.register_beacon(50, {100.0, 100.0});
+  // Company in the cell, or the coverage guard would refuse quarantine.
+  bs.register_beacon(60, {120.0, 120.0});
+  bs.process_alert(11, 50, 201, 0);
+  bs.process_alert(12, 50, 202, 1);
+  bs.process_alert(13, 50, 203, 2);
+  ASSERT_TRUE(bs.is_quarantined(50, 2));
+  // Quarantine is not revocation: accusers keep accruing corroboration.
+  EXPECT_EQ(bs.process_alert(14, 50, 204, 3), AlertDisposition::kAccepted);
+  EXPECT_EQ(bs.stats().alerts_ignored_revoked, 0u);
+}
+
+TEST(LifecycleStation, SettleEmitsExonerationStats) {
+  BaseStation bs(station_config());
+  bs.register_beacon(50, {100.0, 100.0});
+  bs.register_beacon(60, {120.0, 120.0});
+  bs.process_alert(11, 50, 301, 0);
+  bs.process_alert(12, 50, 302, 1);
+  bs.process_alert(13, 50, 303, 2);
+  ASSERT_TRUE(bs.is_quarantined(50, 2));
+  bs.settle(2 + 4 * kHalfLife);
+  EXPECT_EQ(bs.stats().exonerations, 1u);
+  EXPECT_EQ(bs.lifecycle_phase(50, 2 + 4 * kHalfLife),
+            LifecyclePhase::kExonerated);
+  EXPECT_TRUE(bs.usable(50, 2 + 4 * kHalfLife));
+}
+
+TEST(LifecycleStation, ExportImportRoundTripsMidQuarantine) {
+  BaseStation live(station_config());
+  live.register_beacon(50, {100.0, 100.0});
+  live.register_beacon(1, {100.0, 140.0});
+  live.register_beacon(2, {140.0, 100.0});
+  live.register_beacon(3, {60.0, 100.0});
+  live.register_beacon(4, {100.0, 60.0});
+  live.process_alert(1, 50, 401, 1000);
+  live.process_alert(2, 50, 402, 2000);
+  live.process_alert(3, 50, 403, 3000);
+  ASSERT_TRUE(live.is_quarantined(50, 3000));
+
+  BaseStation restored(station_config());
+  // Roster is config-derived and re-registered before the image import.
+  restored.register_beacon(50, {100.0, 100.0});
+  restored.register_beacon(1, {100.0, 140.0});
+  restored.register_beacon(2, {140.0, 100.0});
+  restored.register_beacon(3, {60.0, 100.0});
+  restored.register_beacon(4, {100.0, 60.0});
+  restored.import_state(live.export_state());
+
+  EXPECT_EQ(restored.export_state().lifecycle,
+            live.export_state().lifecycle);
+  EXPECT_TRUE(restored.is_quarantined(50, 3000));
+  EXPECT_EQ(restored.evidence(50, 3000), live.evidence(50, 3000));
+
+  // Both stations continue identically from the restored image.
+  EXPECT_EQ(live.process_alert(4, 50, 404, 4000),
+            restored.process_alert(4, 50, 404, 4000));
+  const auto a = live.process_alert(1, 50, 405, 5000);
+  const auto b = restored.process_alert(1, 50, 405, 5000);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, AlertDisposition::kAcceptedAndRevoked);
+  EXPECT_EQ(restored.export_state().lifecycle,
+            live.export_state().lifecycle);
+}
+
+TEST(LifecycleStation, DisabledLifecycleKeepsSeedBehaviour) {
+  RevocationConfig rc;  // lifecycle off
+  BaseStation bs(rc);
+  bs.register_beacon(50, {100.0, 100.0});  // no-op while disabled
+  bs.process_alert(1, 50, 501, 0);
+  bs.process_alert(2, 50, 502, 1);
+  EXPECT_EQ(bs.process_alert(3, 50, 503, 2),
+            AlertDisposition::kAcceptedAndRevoked);
+  EXPECT_FALSE(bs.is_quarantined(50, 2));
+  EXPECT_EQ(bs.stats().quarantines, 0u);
+  EXPECT_TRUE(bs.export_state().lifecycle.empty());
+}
+
+}  // namespace
+}  // namespace sld::revocation

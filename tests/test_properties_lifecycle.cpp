@@ -1,0 +1,151 @@
+// Properties of the evidence lifecycle (src/revocation/lifecycle): decay
+// is monotone in elapsed sim time, exoneration sweeps are idempotent and
+// observationally neutral, and the state machine is replay-deterministic —
+// the same timed accepted-alert history produces a byte-identical state
+// image, even across an export/import split at an arbitrary point.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "revocation/lifecycle.hpp"
+
+namespace {
+
+using namespace sld;
+using prop::TimedAlertStream;
+using revocation::LifecyclePhase;
+using revocation::LifecycleTracker;
+
+/// Elapsed-time pairs over a random half-life for the decay property.
+struct DecayCase {
+  sim::SimTime half_life = 0;
+  sim::SimTime t1 = 0;
+  sim::SimTime t2 = 0;  // >= t1
+};
+
+prop::Gen<DecayCase> decay_case() {
+  prop::Gen<DecayCase> g;
+  g.generate = [](util::Rng& rng) {
+    DecayCase c;
+    c.half_life = static_cast<sim::SimTime>(
+        1 + rng.uniform_u64(600 * sim::kSecond));
+    const auto a = static_cast<sim::SimTime>(
+        rng.uniform_u64(2000ULL * static_cast<std::uint64_t>(c.half_life)));
+    const auto b = static_cast<sim::SimTime>(
+        rng.uniform_u64(2000ULL * static_cast<std::uint64_t>(c.half_life)));
+    c.t1 = std::min(a, b);
+    c.t2 = std::max(a, b);
+    return c;
+  };
+  g.show = [](const DecayCase& c) {
+    std::ostringstream os;
+    os << "{H=" << c.half_life << " t1=" << c.t1 << " t2=" << c.t2 << "}";
+    return os.str();
+  };
+  return g;
+}
+
+LifecycleTracker build_tracker(const TimedAlertStream& s) {
+  LifecycleTracker t(s.config, s.quarantine_threshold);
+  for (const auto& [id, pos] : s.roster) t.register_beacon(id, pos);
+  return t;
+}
+
+sim::SimTime end_time(const TimedAlertStream& s) {
+  return s.alerts.empty() ? 0 : s.alerts.back().at;
+}
+
+TEST(LifecycleProperties, DecayMonotoneInElapsedSimTime) {
+  prop::forall<DecayCase>(
+      "decay_monotone", decay_case(), [](const DecayCase& c) {
+        const double d1 = revocation::decay_factor(c.t1, c.half_life);
+        const double d2 = revocation::decay_factor(c.t2, c.half_life);
+        return d2 <= d1 && d1 <= 1.0 && d2 >= 0.0;
+      });
+}
+
+TEST(LifecycleProperties, ExonerationIdempotentAndNeutral) {
+  prop::forall<TimedAlertStream>(
+      "exoneration_idempotent", prop::timed_alert_stream(),
+      [](const TimedAlertStream& s) {
+        LifecycleTracker t = build_tracker(s);
+        for (const auto& a : s.alerts) t.observe(a.reporter, a.target, a.at);
+        const sim::SimTime sweep =
+            end_time(s) + 5 * s.config.half_life_ns;
+
+        // The sweep must not change what any query already reported.
+        std::vector<std::pair<LifecyclePhase, double>> before;
+        for (const auto& [id, pos] : s.roster)
+          before.emplace_back(t.phase(id, sweep), t.evidence(id, sweep));
+        t.settle(sweep);
+        for (std::size_t i = 0; i < s.roster.size(); ++i) {
+          const sim::NodeId id = s.roster[i].first;
+          if (t.phase(id, sweep) != before[i].first) return false;
+          if (t.evidence(id, sweep) != before[i].second) return false;
+        }
+
+        // Idempotent: with no observes in between, a second sweep (at any
+        // later time) has nothing left to exonerate.
+        return t.settle(sweep).empty() &&
+               t.settle(sweep + s.config.half_life_ns).empty();
+      });
+}
+
+TEST(LifecycleProperties, ReplayDeterministicAcrossSnapshotSplit) {
+  prop::forall<TimedAlertStream>(
+      "replay_deterministic", prop::timed_alert_stream(),
+      [](const TimedAlertStream& s, util::Rng& rng) {
+        // Reference: the whole history folded into one tracker.
+        LifecycleTracker whole = build_tracker(s);
+        for (const auto& a : s.alerts)
+          whole.observe(a.reporter, a.target, a.at);
+
+        // Replayed: split at a random point, export the image, import it
+        // into a fresh tracker (roster re-registered, as a WAL restore
+        // does), and fold the remainder.
+        const std::size_t split =
+            static_cast<std::size_t>(rng.uniform_u64(s.alerts.size() + 1));
+        LifecycleTracker first = build_tracker(s);
+        for (std::size_t i = 0; i < split; ++i)
+          first.observe(s.alerts[i].reporter, s.alerts[i].target,
+                        s.alerts[i].at);
+        LifecycleTracker second = build_tracker(s);
+        second.import_state(first.export_state());
+        for (std::size_t i = split; i < s.alerts.size(); ++i)
+          second.observe(s.alerts[i].reporter, s.alerts[i].target,
+                         s.alerts[i].at);
+
+        if (whole.export_state() != second.export_state()) return false;
+        const sim::SimTime at = end_time(s);
+        for (const auto& [id, pos] : s.roster) {
+          if (whole.phase(id, at) != second.phase(id, at)) return false;
+          if (whole.evidence(id, at) != second.evidence(id, at)) return false;
+        }
+        return true;
+      });
+}
+
+TEST(LifecycleProperties, RevokedIsAbsorbingAndQuarantinePrecedesIt) {
+  prop::forall<TimedAlertStream>(
+      "revoked_absorbing", prop::timed_alert_stream(),
+      [](const TimedAlertStream& s) {
+        LifecycleTracker t = build_tracker(s);
+        std::vector<sim::NodeId> revoked;
+        for (const auto& a : s.alerts) {
+          const auto out = t.observe(a.reporter, a.target, a.at);
+          // Permanent revocation only ever happens from quarantine, and a
+          // beacon revoked earlier must still be revoked now.
+          if (out.revoked && out.guard_refused) return false;
+          for (const sim::NodeId id : revoked)
+            if (!t.is_revoked(id)) return false;
+          if (out.revoked) revoked.push_back(a.target);
+        }
+        return true;
+      });
+}
+
+}  // namespace

@@ -18,7 +18,10 @@ namespace sld::revocation {
 namespace {
 
 RevocationConfig revocation(std::uint32_t tau1 = 1000, std::uint32_t tau2 = 2) {
-  return RevocationConfig{tau1, tau2};
+  RevocationConfig c;
+  c.report_quota = tau1;
+  c.alert_threshold = tau2;
+  return c;
 }
 
 /// Admission with the rate gate and pair rule switched off — isolates the

@@ -177,5 +177,45 @@ INSTANTIATE_TEST_SUITE_P(Wormholes, WormholeSweep,
                            return "Nw" + std::to_string(info.param);
                          });
 
+// --- lifecycle detection parity -------------------------------------------
+
+// The evidence-lifecycle scheme (quarantine + corroboration) must not cost
+// detection: in the fig12/fig14 scenario (the paper's §4 scale — this is
+// the default SystemConfig, where cells hold several beacons and the
+// coverage guard rarely has to defer a quarantine) the detection rate with
+// the lifecycle on (quarantined counts as detected) stays within 2% of the
+// permanent-revocation baseline at the same seeds.
+
+class LifecycleParitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LifecycleParitySweep, DetectionWithinTwoPercentOfPermanent) {
+  ExperimentConfig e;
+  e.trials = 3;
+  e.base.seed = 67 + static_cast<std::uint64_t>(GetParam() * 100);
+  e.base.strategy =
+      attack::MaliciousStrategyConfig::with_effectiveness(GetParam());
+
+  const auto base = run_experiment(e);
+
+  e.base.revocation.lifecycle.enabled = true;
+  e.base.fallback.enabled = true;
+  const auto lifecycle = run_experiment(e);
+
+  EXPECT_NEAR(lifecycle.detection_rate.mean(), base.detection_rate.mean(),
+              0.02)
+      << "P = " << GetParam();
+  // The lifecycle never permanently revokes more benign beacons than the
+  // permanent scheme does (corroboration only removes revocations).
+  EXPECT_LE(lifecycle.false_positive_rate.mean(),
+            base.false_positive_rate.mean() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParityLevels, LifecycleParitySweep,
+                         ::testing::Values(0.2, 0.4, 0.8),
+                         [](const auto& info) {
+                           return "P" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
 }  // namespace
 }  // namespace sld::core

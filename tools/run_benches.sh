@@ -18,8 +18,9 @@
 # overheads_table and micro_hotpaths (the hot-path microbench speaks the
 # same protocol as every figure bench). Mode variants reuse a binary with
 # extra flags under a distinct result name: ext_alert_storm_storm is
-# `ext_alert_storm --storm` (the alert-storm telemetry scenario; also
-# selectable via --only).
+# `ext_alert_storm --storm` (the alert-storm telemetry scenario) and
+# ext_framing_dos_framing is `ext_framing_dos --framing` (the framing
+# lifecycle deep-dive); both are also selectable via --only.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -65,6 +66,7 @@ done
 # workers; bench_compare.py --speedup gates its events/sec against the
 # serial run's.
 modes=("ext_alert_storm_storm:ext_alert_storm:--storm"
+       "ext_framing_dos_framing:ext_framing_dos:--framing"
        "ext_parallel_scaling_jobs4:ext_parallel_scaling:--jobs 4")
 
 if [[ -n "$ONLY" ]]; then

@@ -14,6 +14,10 @@
 #   SLD_STORM=1    also run an alert-storm-only chaos slice (the overload
 #                  pipeline's bounded-harm and latency oracles under
 #                  Zipf-skewed floods composed with crash/partition faults)
+#   SLD_FRAMING=1  also run a framing-only chaos slice (colluding cliques
+#                  running coordinated framing waves against the evidence
+#                  lifecycle: zero permanent benign revocations and the
+#                  coverage floor held, with invariants forced on)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -56,6 +60,11 @@ fi
 if [[ "${SLD_STORM:-0}" == "1" ]]; then
   echo "=== alert-storm chaos slice (SLD_STORM=1) ==="
   SLD_CHAOS_FLAGS="--storm" "$repo/tools/run_chaos.sh" 100 "$jobs"
+fi
+
+if [[ "${SLD_FRAMING:-0}" == "1" ]]; then
+  echo "=== framing chaos slice (SLD_FRAMING=1) ==="
+  SLD_CHAOS_FLAGS="--framing" "$repo/tools/run_chaos.sh" 100 "$jobs"
 fi
 
 echo "=== tier-1 OK: Release + Sanitize suites passed ==="

@@ -37,7 +37,9 @@ class ValidateGoodTrace(unittest.TestCase):
         with open(GOOD, encoding="utf-8") as fh:
             events = {json.loads(line)["e"] for line in fh if line.strip()}
         for family in ("trial.start", "pkt.send", "detect.consistency",
-                       "bs.alert", "bs.revoke", "arq.retry", "trial.end"):
+                       "bs.alert", "bs.revoke", "bs.quarantine",
+                       "bs.exonerate", "coverage.usable_beacons",
+                       "arq.retry", "trial.end"):
             self.assertIn(family, events)
 
     def test_every_good_record_is_in_schema(self):
@@ -285,6 +287,70 @@ class TelemetryEvents(unittest.TestCase):
         text = out.getvalue()
         self.assertIn("verdict: UNHEALTHY", text)
         self.assertIn("still in breach: flood", text)
+
+
+class LifecycleEvents(unittest.TestCase):
+    """The evidence-lifecycle event family (framing-resistance PR):
+    quarantine / escalate / exonerate transitions and the coverage-guard
+    cell censuses."""
+
+    LIFECYCLE_LINES = [
+        '{"t": 0, "e": "trial.start", "seed": 1, "nodes": 10, "beacons": 4,'
+        ' "malicious": 1, "sensors": 6}',
+        '{"t": 0, "e": "node.beacon", "id": 2, "x": 400.0, "y": 250.0,'
+        ' "malicious": true}',
+        '{"t": 5, "e": "coverage.usable_beacons", "cx": 1, "cy": 0,'
+        ' "usable": 3}',
+        '{"t": 5, "e": "bs.quarantine", "target": 2, "evidence": 3.2}',
+        '{"t": 6, "e": "coverage.usable_beacons", "cx": 0, "cy": 1,'
+        ' "usable": 0}',
+        '{"t": 6, "e": "bs.escalate", "target": 3, "evidence": 6.1,'
+        ' "usable": 0}',
+        '{"t": 6, "e": "bs.quarantine", "target": 3, "evidence": 6.1}',
+        '{"t": 9, "e": "bs.exonerate", "target": 3, "evidence": 0.3}',
+        '{"t": 20, "e": "trial.end", "seed": 1, "malicious_revoked": 0,'
+        ' "benign_revoked": 0, "sensors_localized": 6}',
+    ]
+
+    def _write(self, lines):
+        fh = tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False)
+        fh.write("\n".join(lines) + "\n")
+        fh.close()
+        self.addCleanup(os.unlink, fh.name)
+        return fh.name
+
+    def test_lifecycle_events_are_schema_valid(self):
+        code, out, err = validate_quietly(self._write(self.LIFECYCLE_LINES))
+        self.assertEqual(code, 0, err)
+        self.assertIn("all schema-valid", out)
+
+    def test_lifecycle_events_require_their_fields(self):
+        for bad in ('{"t": 1, "e": "bs.quarantine", "target": 2}',
+                    '{"t": 1, "e": "bs.exonerate", "evidence": 0.4}',
+                    '{"t": 1, "e": "bs.escalate", "target": 3,'
+                    ' "evidence": 6.1}',
+                    '{"t": 1, "e": "coverage.usable_beacons", "cx": 1,'
+                    ' "cy": 0}'):
+            code, _, err = validate_quietly(self._write([bad]))
+            self.assertEqual(code, 1, bad)
+            self.assertIn("missing field", err)
+
+    def test_report_renders_quarantine_timeline(self):
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            trace_report.report(self._write(self.LIFECYCLE_LINES),
+                                chains=False)
+        text = out.getvalue()
+        self.assertIn("quarantine timeline", text)
+        self.assertIn("quarantine beacon 2", text)
+        self.assertIn("— malicious", text)
+        self.assertIn("escalate   beacon 3", text)
+        self.assertIn("cell usable 0", text)
+        self.assertIn("exonerate  beacon 3", text)
+        self.assertIn("— benign", text)
+        self.assertIn("2 quarantine(s), 1 escalation(s), 1 exoneration(s)",
+                      text)
+        self.assertIn("coverage censuses: 2 over 2 cell(s), min usable 0",
+                      text)
 
 
 class ReportSmoke(unittest.TestCase):

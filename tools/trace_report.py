@@ -73,6 +73,13 @@ SCHEMA = {
     "bs.shed": ["reporter", "target", "reason", "shard"],
     "bs.breaker": ["from", "to"],
     "bs.shard_commit": ["shard", "batch", "queue_depth"],
+    # Evidence-lifecycle revocation (framing resistance). bs.escalate fires
+    # when escalated evidence overrides the coverage guard; the census
+    # event records the usable-beacon count of one grid cell.
+    "bs.quarantine": ["target", "evidence"],
+    "bs.exonerate": ["target", "evidence"],
+    "bs.escalate": ["target", "evidence", "usable"],
+    "coverage.usable_beacons": ["cx", "cy", "usable"],
     "dissem.miss": ["sensor", "target"],
     # Trial lifecycle.
     "trial.start": ["seed", "nodes", "beacons", "malicious", "sensors"],
@@ -282,6 +289,44 @@ def report(path, chains):
         if batches:
             print(f"  shard commits: {len(batches)} batch(es), "
                   f"largest {max(batches)} record(s)")
+        print()
+
+    # Quarantine timeline: every suspect's quarantine / escalation /
+    # exoneration in time order, annotated with ground truth, plus the
+    # coverage floor the guard observed across its cell censuses.
+    lifecycle_kinds = ("bs.quarantine", "bs.escalate", "bs.exonerate")
+    lifecycle = []
+    census = []
+    trial = -1
+    for rec in records:
+        etype = rec.get("e")
+        if etype == "trial.start":
+            trial += 1
+        elif etype in lifecycle_kinds:
+            lifecycle.append((trial, rec))
+        elif etype == "coverage.usable_beacons":
+            census.append(rec)
+    if lifecycle or census:
+        print("-- quarantine timeline --")
+        for tr, rec in lifecycle:
+            truth = ("malicious" if (tr, rec["target"]) in malicious
+                     else "benign")
+            kind = rec["e"].split(".", 1)[1]
+            extra = (f", cell usable {rec['usable']}"
+                     if rec["e"] == "bs.escalate" else "")
+            print(f"  trial {tr} [{ms(rec['t']):10.3f} ms] {kind:10s} "
+                  f"beacon {rec['target']} (evidence {rec['evidence']:.2f}"
+                  f"{extra}) — {truth}")
+        quarantines = sum(r["e"] == "bs.quarantine" for _, r in lifecycle)
+        escalations = sum(r["e"] == "bs.escalate" for _, r in lifecycle)
+        exonerations = sum(r["e"] == "bs.exonerate" for _, r in lifecycle)
+        print(f"  {quarantines} quarantine(s), {escalations} "
+              f"escalation(s), {exonerations} exoneration(s)")
+        if census:
+            floor = min(rec["usable"] for rec in census)
+            cells = {(rec["cx"], rec["cy"]) for rec in census}
+            print(f"  coverage censuses: {len(census)} over {len(cells)} "
+                  f"cell(s), min usable {floor}")
         print()
 
     # SLO breach timeline: every monitor transition in time order, with
